@@ -1,0 +1,298 @@
+// Ablation benches for the design choices DESIGN.md calls out:
+//
+//  A. Policy comparison — PPA (closed loop) vs the always-on baseline, a
+//     hardware-style idle-timeout policy, and the oracle upper bound
+//     (analytic over baseline idle gaps).
+//  B. Displacement-factor sweep beyond the paper's {1,5,10}% grid.
+//  C. On-demand behaviour in low power: wait-for-wake (paper) vs
+//     transmitting at 1X width.
+//  D. Power-model weighting: gated-ports (paper numbers) vs the
+//     links-are-64%-of-switch weighting.
+//  E. Deeper sleep states (paper §VI future work): larger reactivation
+//     times with proportionally larger GT, and a lower low-power draw.
+#include "bench_common.hpp"
+#include "power/policies.hpp"
+#include "power/switch_report.hpp"
+
+namespace {
+
+using namespace ibpower;
+using namespace ibpower::bench;
+
+struct ManagedOutcome {
+  double savings_pct;
+  double increase_pct;
+  double low_residency;
+};
+
+ManagedOutcome run_managed(const ExperimentConfig& cfg, const Trace& trace,
+                           TimeNs baseline_time, bool reduced_width = false,
+                           PowerModelConfig power = {}) {
+  ReplayOptions opt;
+  opt.fabric = cfg.fabric;
+  opt.fabric.link.transmit_at_reduced_width = reduced_width;
+  opt.enable_power_management = true;
+  opt.ppa = cfg.ppa;
+  ReplayEngine engine(&trace, opt);
+  const ReplayResult run = engine.run();
+  std::vector<const IbLink*> ports;
+  for (NodeId n = 0; n < cfg.workload.nranks; ++n) {
+    ports.push_back(
+        &engine.fabric().link(engine.fabric().topology().node_uplink(n)));
+  }
+  const auto fleet = aggregate_power(ports, power);
+  const double increase = 100.0 *
+                          (static_cast<double>(run.exec_time.ns) -
+                           static_cast<double>(baseline_time.ns)) /
+                          static_cast<double>(baseline_time.ns);
+  return {fleet.switch_savings_pct, increase, fleet.mean_low_residency};
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int iterations = iterations_from_args(argc, argv, 60);
+  print_report_banner(std::cout, "Ablations: policies & design choices");
+
+  // ---------------------------------------------------------------- A
+  std::cout << "\n--- A. Policy comparison (savings % per IB switch) ---\n";
+  {
+    TablePrinter table({"App", "PPA (paper)", "Timeout 50us", "Timeout 200us",
+                        "Timeout 1ms", "Oracle", "PPA delay [%]"});
+    for (const GridCell cell : {GridCell{"gromacs", 8}, GridCell{"alya", 8},
+                                GridCell{"wrf", 8}, GridCell{"nas_bt", 9},
+                                GridCell{"nas_mg", 8}}) {
+      ExperimentConfig cfg = cell_config(cell, 0.01, iterations);
+      const auto app = make_app(cfg.app);
+      const Trace trace = app->generate(cfg.workload);
+
+      ReplayOptions base_opt;
+      base_opt.fabric = cfg.fabric;
+      ReplayEngine base_engine(&trace, base_opt);
+      const ReplayResult base = base_engine.run();
+
+      // Analytic comparators over the baseline idle gaps.
+      auto policy_savings = [&](auto&& evaluate) {
+        double sum = 0.0;
+        for (NodeId n = 0; n < cell.nranks; ++n) {
+          const auto gaps =
+              node_link_idle_gaps(base_engine.fabric(), n, base.exec_time);
+          sum += evaluate(gaps).low_residency();
+        }
+        return 57.0 * sum / cell.nranks;  // 1 - 0.43 = 57% cap
+      };
+      const TimeNs tr = cfg.ppa.t_react;
+      const double oracle = policy_savings([&](const auto& gaps) {
+        return evaluate_oracle(gaps, base.exec_time, tr, tr);
+      });
+      auto timeout_savings = [&](TimeNs to) {
+        return policy_savings([&](const auto& gaps) {
+          return evaluate_idle_timeout(gaps, base.exec_time, tr, tr, to);
+        });
+      };
+
+      const ManagedOutcome ppa = run_managed(cfg, trace, base.exec_time);
+      table.add_row(
+          {pretty_app(cell.app), TablePrinter::fmt(ppa.savings_pct),
+           TablePrinter::fmt(timeout_savings(TimeNs::from_us(std::int64_t{50}))),
+           TablePrinter::fmt(timeout_savings(TimeNs::from_us(std::int64_t{200}))),
+           TablePrinter::fmt(timeout_savings(TimeNs::from_ms(1.0))),
+           TablePrinter::fmt(oracle), TablePrinter::fmt(ppa.increase_pct)});
+    }
+    table.print(std::cout);
+    std::cout << "Note: timeout policies wake on demand, so every gated gap\n"
+              << "adds a full Treact to the critical path (not shown in their\n"
+              << "savings); the PPA pays (almost) none of that by design.\n";
+  }
+
+  // ---------------------------------------------------------------- B
+  std::cout << "\n--- B. Displacement-factor sweep (GROMACS@8, ALYA@8) ---\n";
+  {
+    TablePrinter table({"Displacement [%]", "GROMACS savings", "GROMACS incr",
+                        "ALYA savings", "ALYA incr"});
+    for (const double disp : {0.005, 0.01, 0.02, 0.05, 0.10, 0.20, 0.30}) {
+      std::vector<std::string> row{TablePrinter::fmt(100.0 * disp, 1)};
+      for (const char* app_name : {"gromacs", "alya"}) {
+        ExperimentConfig cfg = cell_config({app_name, 8}, disp, iterations);
+        const auto app = make_app(cfg.app);
+        const Trace trace = app->generate(cfg.workload);
+        ReplayOptions base_opt;
+        base_opt.fabric = cfg.fabric;
+        ReplayEngine base_engine(&trace, base_opt);
+        const ReplayResult base = base_engine.run();
+        const ManagedOutcome out = run_managed(cfg, trace, base.exec_time);
+        row.push_back(TablePrinter::fmt(out.savings_pct));
+        row.push_back(TablePrinter::fmt(out.increase_pct, 3));
+      }
+      table.add_row(std::move(row));
+    }
+    table.print(std::cout);
+    std::cout << "Shape: savings decrease monotonically with displacement\n"
+              << "(power-time trade-off, paper §III-B / §IV-B).\n";
+  }
+
+  // ---------------------------------------------------------------- C
+  std::cout << "\n--- C. Low-power transmission: wait-for-wake vs 1X width ---\n";
+  {
+    TablePrinter table({"App", "Wait: savings", "Wait: incr", "1X: savings",
+                        "1X: incr"});
+    for (const GridCell cell : {GridCell{"gromacs", 32}, GridCell{"wrf", 32}}) {
+      ExperimentConfig cfg = cell_config(cell, 0.01, iterations);
+      const auto app = make_app(cfg.app);
+      const Trace trace = app->generate(cfg.workload);
+      ReplayOptions base_opt;
+      base_opt.fabric = cfg.fabric;
+      ReplayEngine base_engine(&trace, base_opt);
+      const ReplayResult base = base_engine.run();
+      const ManagedOutcome wait = run_managed(cfg, trace, base.exec_time, false);
+      const ManagedOutcome lane1 = run_managed(cfg, trace, base.exec_time, true);
+      table.add_row({pretty_app(cell.app), TablePrinter::fmt(wait.savings_pct),
+                     TablePrinter::fmt(wait.increase_pct, 3),
+                     TablePrinter::fmt(lane1.savings_pct),
+                     TablePrinter::fmt(lane1.increase_pct, 3)});
+    }
+    table.print(std::cout);
+  }
+
+  // ---------------------------------------------------------------- D
+  std::cout << "\n--- D. Power-model weighting (GROMACS@8) ---\n";
+  {
+    ExperimentConfig cfg = cell_config({"gromacs", 8}, 0.01, iterations);
+    const auto app = make_app(cfg.app);
+    const Trace trace = app->generate(cfg.workload);
+    ReplayOptions base_opt;
+    base_opt.fabric = cfg.fabric;
+    ReplayEngine base_engine(&trace, base_opt);
+    const ReplayResult base = base_engine.run();
+
+    PowerModelConfig gated;
+    PowerModelConfig share;
+    share.weighting = PowerModelConfig::Weighting::LinkShareOfSwitch;
+    const auto a = run_managed(cfg, trace, base.exec_time, false, gated);
+    const auto b = run_managed(cfg, trace, base.exec_time, false, share);
+    TablePrinter table({"Weighting", "Savings [%]"});
+    table.add_row({"Gated ports (paper)", TablePrinter::fmt(a.savings_pct)});
+    table.add_row({"Links = 64% of switch", TablePrinter::fmt(b.savings_pct)});
+    table.print(std::cout);
+  }
+
+  // ---------------------------------------------------------------- E
+  std::cout << "\n--- E. Deeper sleep states (paper §VI future work) ---\n";
+  {
+    TablePrinter table({"Treact", "Low draw", "GT", "Savings [%]",
+                        "Time increase [%]"});
+    struct Sleep {
+      TimeNs t_react;
+      double draw;
+    };
+    for (const Sleep s : {Sleep{TimeNs::from_us(std::int64_t{10}), 0.43},
+                          Sleep{TimeNs::from_us(std::int64_t{100}), 0.30},
+                          Sleep{TimeNs::from_ms(1.0), 0.15}}) {
+      ExperimentConfig cfg = cell_config({"gromacs", 8}, 0.01, iterations);
+      cfg.ppa.t_react = s.t_react;
+      cfg.ppa.grouping_threshold =
+          max(2 * s.t_react, cfg.ppa.grouping_threshold);
+      cfg.ppa.min_low_power_duration = s.t_react;
+      cfg.fabric.link.t_react = s.t_react;
+      cfg.fabric.link.t_deact = s.t_react;
+      cfg.power.low_power_fraction = s.draw;
+
+      const auto app = make_app(cfg.app);
+      const Trace trace = app->generate(cfg.workload);
+      ReplayOptions base_opt;
+      base_opt.fabric = cfg.fabric;
+      ReplayEngine base_engine(&trace, base_opt);
+      const ReplayResult base = base_engine.run();
+      const ManagedOutcome out =
+          run_managed(cfg, trace, base.exec_time, false, cfg.power);
+      table.add_row({to_string(s.t_react), TablePrinter::fmt(s.draw, 2),
+                     to_string(cfg.ppa.grouping_threshold),
+                     TablePrinter::fmt(out.savings_pct),
+                     TablePrinter::fmt(out.increase_pct, 3)});
+    }
+    table.print(std::cout);
+    std::cout << "Shape (paper §VI): with accurate prediction, much larger\n"
+              << "reactivation delays (whole-switch sleep, ~1 ms) can be\n"
+              << "amortized for deeper savings without large slowdowns.\n";
+  }
+
+  // ---------------------------------------------------------------- F
+  std::cout << "\n--- F. History-based link DVS (Shang et al. family) vs "
+               "WRPS gating ---\n";
+  {
+    TablePrinter table({"App", "WRPS/PPA savings", "DVS savings",
+                        "DVS stretch [% exec]", "DVS note"});
+    for (const GridCell cell : {GridCell{"gromacs", 8}, GridCell{"wrf", 8},
+                                GridCell{"nas_bt", 9}}) {
+      ExperimentConfig cfg = cell_config(cell, 0.01, iterations);
+      const auto app = make_app(cfg.app);
+      const Trace trace = app->generate(cfg.workload);
+      ReplayOptions base_opt;
+      base_opt.fabric = cfg.fabric;
+      ReplayEngine base_engine(&trace, base_opt);
+      const ReplayResult base = base_engine.run();
+
+      // DVS evaluated analytically over the baseline busy intervals.
+      double dvs_savings = 0.0;
+      TimeNs stretch{};
+      for (NodeId n = 0; n < cell.nranks; ++n) {
+        const IbLink& link = base_engine.fabric().node_link(n);
+        IntervalSet busy;
+        for (const auto& iv : link.busy(Direction::Up).intervals()) {
+          busy.add(iv);
+        }
+        for (const auto& iv : link.busy(Direction::Down).intervals()) {
+          busy.add(iv);
+        }
+        const DvsOutcome out = evaluate_history_dvs(busy, base.exec_time);
+        dvs_savings += out.savings_pct() / cell.nranks;
+        stretch += out.stretch_total;
+      }
+      const ManagedOutcome ppa = run_managed(cfg, trace, base.exec_time);
+      table.add_row(
+          {pretty_app(cell.app), TablePrinter::fmt(ppa.savings_pct),
+           TablePrinter::fmt(dvs_savings),
+           TablePrinter::fmt(100.0 * (stretch / base.exec_time) /
+                                 cell.nranks,
+                             3),
+           "wakes-free but stretches bursts"});
+    }
+    table.print(std::cout);
+    std::cout << "DVS saves aggressively on idle links (quadratic power in\n"
+              << "frequency) but every burst that lands on an under-clocked\n"
+              << "window is stretched — the risk Abts et al. accept for\n"
+              << "datacenters and the paper rejects for HPC (§V).\n";
+  }
+
+  // ---------------------------------------------------------------- G
+  std::cout << "\n--- G. Per-switch view of a managed GROMACS@16 run ---\n";
+  {
+    ExperimentConfig cfg = cell_config({"gromacs", 16}, 0.01, iterations);
+    const auto app = make_app(cfg.app);
+    const Trace trace = app->generate(cfg.workload);
+    ReplayOptions opt;
+    opt.fabric = cfg.fabric;
+    opt.enable_power_management = true;
+    opt.ppa = cfg.ppa;
+    ReplayEngine engine(&trace, opt);
+    (void)engine.run();
+    const auto rows = switch_power_report(engine.fabric(), PowerModelConfig{});
+    TablePrinter table({"Switch", "Kind", "Active ports",
+                        "Savings (active) [%]", "Savings (all 36/14) [%]"});
+    int printed = 0;
+    for (const auto& row : rows) {
+      if (row.active_ports == 0 && printed >= 3) continue;  // skip idle boxes
+      table.add_row({std::to_string(row.id), row.is_leaf ? "leaf" : "top",
+                     std::to_string(row.active_ports),
+                     TablePrinter::fmt(row.savings_active_ports_pct),
+                     TablePrinter::fmt(row.savings_all_ports_pct)});
+      ++printed;
+      if (printed > 6) break;
+    }
+    table.print(std::cout);
+    std::cout << "Gating happens on the node-facing ports of the leaf\n"
+              << "switches; trunks and top switches stay always-on (they\n"
+              << "carry unpredictable aggregated traffic).\n";
+  }
+  return 0;
+}

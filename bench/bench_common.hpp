@@ -1,0 +1,70 @@
+// Shared helpers for the table/figure reproduction benches.
+#pragma once
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "sim/experiment.hpp"
+#include "util/table_printer.hpp"
+#include "workloads/app_model.hpp"
+
+namespace ibpower::bench {
+
+/// The paper's evaluation grid (§IV-B): five applications at five sizes
+/// (NAS BT uses square process counts).
+struct GridCell {
+  const char* app;
+  int nranks;
+};
+
+inline std::vector<GridCell> paper_grid() {
+  return {
+      {"gromacs", 8}, {"gromacs", 16}, {"gromacs", 32}, {"gromacs", 64},
+      {"gromacs", 128},
+      {"alya", 8},    {"alya", 16},    {"alya", 32},    {"alya", 64},
+      {"alya", 128},
+      {"wrf", 8},     {"wrf", 16},     {"wrf", 32},     {"wrf", 64},
+      {"wrf", 128},
+      {"nas_bt", 9},  {"nas_bt", 16},  {"nas_bt", 36},  {"nas_bt", 64},
+      {"nas_bt", 100},
+      {"nas_mg", 8},  {"nas_mg", 16},  {"nas_mg", 32},  {"nas_mg", 64},
+      {"nas_mg", 128},
+  };
+}
+
+inline const char* pretty_app(const std::string& app) {
+  if (app == "gromacs") return "GROMACS";
+  if (app == "alya") return "ALYA";
+  if (app == "wrf") return "WRF";
+  if (app == "nas_bt") return "NAS BT";
+  if (app == "nas_mg") return "NAS MG";
+  return app.c_str();
+}
+
+/// Standard experiment configuration for a grid cell.
+inline ExperimentConfig cell_config(const GridCell& cell,
+                                    double displacement = 0.01,
+                                    int iterations = 100) {
+  ExperimentConfig cfg;
+  cfg.app = cell.app;
+  cfg.workload.nranks = cell.nranks;
+  cfg.workload.iterations = iterations;
+  cfg.workload.seed = 42;
+  cfg.ppa.grouping_threshold = default_gt(cell.app, cell.nranks);
+  cfg.ppa.displacement_factor = displacement;
+  return cfg;
+}
+
+/// Parse "--iterations N" / "--quick" style args shared by the benches.
+inline int iterations_from_args(int argc, char** argv, int fallback = 100) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::string(argv[i]) == "--iterations") return std::stoi(argv[i + 1]);
+  }
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--quick") return 30;
+  }
+  return fallback;
+}
+
+}  // namespace ibpower::bench

@@ -1,0 +1,150 @@
+// Reproduces the paper's Figures 7, 8 and 9: IB-switch power savings (a)
+// and application execution-time increase (b) for displacement factors of
+// 10%, 5% and 1%, across the five applications and five process counts.
+//
+// The trace and baseline replay are shared across the three displacement
+// settings of a cell; each managed replay runs the full closed loop (PPA +
+// power-mode control + lane wake penalties + software overheads).
+#include <map>
+
+#include "bench_common.hpp"
+
+namespace {
+
+using namespace ibpower;
+using namespace ibpower::bench;
+
+struct CellResult {
+  double savings_pct;
+  double increase_pct;
+  double hit_pct;
+};
+
+// Paper values (Fig. 7a/8a/9a and 7b/8b/9b) for side-by-side comparison.
+// Indexed [displacement][app][size-index]; displacement order 10%, 5%, 1%.
+const std::map<std::string, std::array<std::array<double, 5>, 3>>
+    kPaperSavings = {
+        {"gromacs", {{{32.8, 30.2, 27.8, 23.4, 15.0},
+                      {34.6, 31.8, 29.4, 24.7, 16.3},
+                      {36.0, 33.1, 30.6, 25.7, 17.0}}}},
+        {"alya", {{{13.2, 11.5, 8.1, 4.8, 2.1},
+                   {13.9, 12.1, 8.5, 5.1, 2.2},
+                   {14.5, 12.6, 8.9, 5.2, 2.3}}}},
+        {"wrf", {{{35.1, 28.5, 20.2, 10.4, 3.6},
+                  {36.8, 30.0, 21.2, 10.9, 3.8},
+                  {38.1, 31.0, 22.0, 11.4, 4.1}}}},
+        {"nas_bt", {{{46.7, 41.9, 30.3, 18.5, 5.5},
+                     {49.3, 44.2, 32.0, 19.6, 5.5},
+                     {51.3, 46.1, 33.3, 20.4, 5.5}}}},
+        {"nas_mg", {{{25.2, 26.4, 17.5, 11.3, 3.4},
+                     {26.6, 27.9, 18.5, 11.9, 3.6},
+                     {27.7, 29.0, 19.3, 12.3, 3.7}}}},
+    };
+
+int size_index(const std::string& app, int nranks) {
+  const std::vector<int> sizes = app == "nas_bt"
+                                     ? std::vector<int>{9, 16, 36, 64, 100}
+                                     : std::vector<int>{8, 16, 32, 64, 128};
+  for (std::size_t i = 0; i < sizes.size(); ++i) {
+    if (sizes[i] == nranks) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int iterations = iterations_from_args(argc, argv);
+  const std::array<double, 3> displacements = {0.10, 0.05, 0.01};
+  const std::array<const char*, 3> fig_names = {"Figure 7 (displacement 10%)",
+                                                "Figure 8 (displacement 5%)",
+                                                "Figure 9 (displacement 1%)"};
+
+  print_report_banner(std::cout,
+                      "Figures 7-9: power savings & execution-time increase");
+
+  // results[disp][cell index]
+  std::vector<std::vector<CellResult>> results(
+      displacements.size(), std::vector<CellResult>(paper_grid().size()));
+
+  const auto grid = paper_grid();
+  for (std::size_t c = 0; c < grid.size(); ++c) {
+    const GridCell& cell = grid[c];
+    const auto app = make_app(cell.app);
+    ExperimentConfig cfg = cell_config(cell, 0.01, iterations);
+    const Trace trace = app->generate(cfg.workload);
+
+    // Shared baseline.
+    ReplayOptions base_opt;
+    base_opt.fabric = cfg.fabric;
+    ReplayEngine base_engine(&trace, base_opt);
+    const ReplayResult base = base_engine.run();
+
+    for (std::size_t d = 0; d < displacements.size(); ++d) {
+      ReplayOptions opt;
+      opt.fabric = cfg.fabric;
+      opt.enable_power_management = true;
+      opt.ppa = cfg.ppa;
+      opt.ppa.displacement_factor = displacements[d];
+      ReplayEngine engine(&trace, opt);
+      const ReplayResult run = engine.run();
+
+      std::vector<const IbLink*> ports;
+      for (NodeId n = 0; n < cell.nranks; ++n) {
+        ports.push_back(
+            &engine.fabric().link(engine.fabric().topology().node_uplink(n)));
+      }
+      const FleetPowerSummary power = aggregate_power(ports, cfg.power);
+      const double increase =
+          100.0 *
+          (static_cast<double>(run.exec_time.ns) -
+           static_cast<double>(base.exec_time.ns)) /
+          static_cast<double>(base.exec_time.ns);
+      results[d][c] = {power.switch_savings_pct, increase,
+                       run.agent_total.hit_rate_pct()};
+    }
+  }
+
+  for (std::size_t d = 0; d < displacements.size(); ++d) {
+    std::cout << "\n=== " << fig_names[d] << " ===\n";
+    TablePrinter table({"App", "N proc", "Savings [%]", "Paper [%]",
+                        "Time increase [%]", "Hit rate [%]"});
+    std::string last_app;
+    std::array<double, 5> avg_savings{};
+    std::array<int, 5> counts{};
+    for (std::size_t c = 0; c < grid.size(); ++c) {
+      const GridCell& cell = grid[c];
+      if (cell.app != last_app) {
+        table.add_separator();
+        last_app = cell.app;
+      }
+      const int si = size_index(cell.app, cell.nranks);
+      const double paper =
+          kPaperSavings.at(cell.app)[d][static_cast<std::size_t>(si)];
+      table.add_row({pretty_app(cell.app), std::to_string(cell.nranks),
+                     TablePrinter::fmt(results[d][c].savings_pct),
+                     TablePrinter::fmt(paper, 1),
+                     TablePrinter::fmt(results[d][c].increase_pct),
+                     TablePrinter::fmt(results[d][c].hit_pct, 1)});
+      avg_savings[static_cast<std::size_t>(si)] += results[d][c].savings_pct;
+      ++counts[static_cast<std::size_t>(si)];
+    }
+    table.add_separator();
+    for (int si = 0; si < 5; ++si) {
+      // Paper's AVERAGE series.
+      static const char* labels[5] = {"8/9", "16", "32/36", "64", "128/100"};
+      table.add_row({"AVERAGE", labels[si],
+                     TablePrinter::fmt(avg_savings[static_cast<std::size_t>(si)] /
+                                       counts[static_cast<std::size_t>(si)]),
+                     "", "", ""});
+    }
+    table.print(std::cout);
+  }
+
+  std::cout
+      << "\nShapes to hold (paper §IV-B): savings decline with rank count\n"
+         "(strong scaling); smaller displacement saves slightly more; the\n"
+         "average peaks around 30-33% at 8/9 ranks; execution-time increase\n"
+         "stays ~1% on average with larger penalties at the biggest runs.\n";
+  return 0;
+}

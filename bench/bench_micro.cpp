@@ -1,0 +1,207 @@
+// google-benchmark microbenchmarks for the hot components: gram formation,
+// PPA observation, pattern-list hash table (our uthash stand-in vs
+// std::unordered_map), interval bookkeeping, link reservations and the
+// replay engine's event throughput.
+#include <benchmark/benchmark.h>
+
+#include <unordered_map>
+
+#include "core/gram_builder.hpp"
+#include "core/pmpi_agent.hpp"
+#include "core/ppa.hpp"
+#include "network/ib_link.hpp"
+#include "sim/replay.hpp"
+#include "util/hash_table.hpp"
+#include "util/interval_set.hpp"
+#include "util/rng.hpp"
+#include "workloads/app_model.hpp"
+
+namespace {
+
+using namespace ibpower;
+using namespace ibpower::literals;
+
+PpaConfig micro_config() {
+  PpaConfig cfg;
+  cfg.grouping_threshold = 20_us;
+  cfg.t_react = 10_us;
+  return cfg;
+}
+
+void BM_GramBuilder(benchmark::State& state) {
+  const MpiCall calls[] = {MpiCall::Sendrecv, MpiCall::Sendrecv,
+                           MpiCall::Sendrecv, MpiCall::Allreduce,
+                           MpiCall::Allreduce};
+  for (auto _ : state) {
+    GramInterner interner;
+    GramBuilder builder(20_us, &interner);
+    TimeNs t{};
+    for (int i = 0; i < 1000; ++i) {
+      const MpiCall c = calls[i % 5];
+      t += (i % 5 == 0 || i % 5 == 3 || i % 5 == 4) ? 100_us : 2_us;
+      benchmark::DoNotOptimize(builder.on_call_enter(c, t));
+      t += 1_us;
+      builder.on_call_exit(t);
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_GramBuilder);
+
+void BM_PpaObserveRegular(benchmark::State& state) {
+  // Steady-state: pattern already detected, observe() in light mode.
+  for (auto _ : state) {
+    state.PauseTiming();
+    GramInterner interner;
+    const GramId a = interner.intern({MpiCall::Sendrecv, MpiCall::Sendrecv});
+    const GramId b = interner.intern({MpiCall::Allreduce});
+    PatternDetector detector(micro_config(), &interner);
+    state.ResumeTiming();
+    for (std::size_t i = 0; i < 2000; ++i) {
+      ClosedGram g;
+      g.id = (i % 2) ? b : a;
+      g.position = i;
+      g.preceding_idle = 100_us;
+      benchmark::DoNotOptimize(detector.observe(g));
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * 2000);
+}
+BENCHMARK(BM_PpaObserveRegular);
+
+void BM_AgentFullLoop(benchmark::State& state) {
+  for (auto _ : state) {
+    PmpiAgent agent(micro_config(), nullptr);
+    TimeNs t{};
+    for (int i = 0; i < 500; ++i) {
+      const bool boundary = (i % 5 == 0);
+      t += boundary ? 200_us : 2_us;
+      const MpiCall c = (i % 5 < 3) ? MpiCall::Sendrecv : MpiCall::Allreduce;
+      t += agent.on_call_enter(c, t) + 1_us;
+      agent.on_call_exit(c, t);
+    }
+    benchmark::DoNotOptimize(agent.stats().total_calls);
+  }
+  state.SetItemsProcessed(state.iterations() * 500);
+}
+BENCHMARK(BM_AgentFullLoop);
+
+void BM_FlatHashMapPatternLookup(benchmark::State& state) {
+  struct SeqHash {
+    std::uint64_t operator()(const std::vector<GramId>& v) const {
+      return fnv1a(v.data(), v.size() * sizeof(GramId));
+    }
+  };
+  FlatHashMap<std::vector<GramId>, int, SeqHash> map;
+  Rng rng(1);
+  std::vector<std::vector<GramId>> keys;
+  for (int i = 0; i < 512; ++i) {
+    std::vector<GramId> key(3);
+    for (auto& g : key) g = static_cast<GramId>(rng.uniform_below(64));
+    map.insert_or_assign(key, i);
+    keys.push_back(std::move(key));
+  }
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(map.find(keys[i++ & 511]));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_FlatHashMapPatternLookup);
+
+void BM_UnorderedMapPatternLookup(benchmark::State& state) {
+  struct SeqHash {
+    std::size_t operator()(const std::vector<GramId>& v) const {
+      return fnv1a(v.data(), v.size() * sizeof(GramId));
+    }
+  };
+  std::unordered_map<std::vector<GramId>, int, SeqHash> map;
+  Rng rng(1);
+  std::vector<std::vector<GramId>> keys;
+  for (int i = 0; i < 512; ++i) {
+    std::vector<GramId> key(3);
+    for (auto& g : key) g = static_cast<GramId>(rng.uniform_below(64));
+    map.emplace(key, i);
+    keys.push_back(std::move(key));
+  }
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(map.find(keys[i++ & 511]));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_UnorderedMapPatternLookup);
+
+void BM_IntervalSetAppend(benchmark::State& state) {
+  for (auto _ : state) {
+    IntervalSet set;
+    TimeNs t{};
+    for (int i = 0; i < 1000; ++i) {
+      set.add(t, t + 5_us);
+      t += 12_us;
+    }
+    benchmark::DoNotOptimize(set.total());
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_IntervalSetAppend);
+
+void BM_LinkReserve(benchmark::State& state) {
+  IbLink link;
+  TimeNs t{};
+  for (auto _ : state) {
+    t += 10_us;
+    benchmark::DoNotOptimize(link.reserve(Direction::Up, t, 2048));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_LinkReserve);
+
+void BM_ReplayAlya8(benchmark::State& state) {
+  WorkloadParams params;
+  params.nranks = 8;
+  params.iterations = 10;
+  const Trace trace = make_app("alya")->generate(params);
+  double events = 0.0;
+  for (auto _ : state) {
+    ReplayOptions opt;
+    ReplayEngine engine(&trace, opt);
+    const auto rr = engine.run();
+    benchmark::DoNotOptimize(rr.events_processed);
+    events += static_cast<double>(rr.events_processed);
+  }
+  state.counters["events/s"] =
+      benchmark::Counter(events, benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_ReplayAlya8)->Unit(benchmark::kMillisecond);
+
+void BM_ReplayManagedAlya8(benchmark::State& state) {
+  WorkloadParams params;
+  params.nranks = 8;
+  params.iterations = 10;
+  const Trace trace = make_app("alya")->generate(params);
+  for (auto _ : state) {
+    ReplayOptions opt;
+    opt.enable_power_management = true;
+    opt.ppa.grouping_threshold = 24_us;
+    ReplayEngine engine(&trace, opt);
+    const auto rr = engine.run();
+    benchmark::DoNotOptimize(rr.events_processed);
+  }
+}
+BENCHMARK(BM_ReplayManagedAlya8)->Unit(benchmark::kMillisecond);
+
+void BM_WorkloadGeneration(benchmark::State& state) {
+  WorkloadParams params;
+  params.nranks = static_cast<int>(state.range(0));
+  params.iterations = 20;
+  const auto app = make_app("wrf");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(app->generate(params).total_records());
+  }
+}
+BENCHMARK(BM_WorkloadGeneration)->Arg(8)->Arg(64)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,56 @@
+// Reproduces the paper's Table I: distribution of link idle intervals.
+//
+// For every application and process count, replay the baseline (power-
+// unaware) trace and classify every node-uplink idle interval into the
+// paper's buckets (<20 us, 20-200 us, >200 us), reporting the interval
+// count, the percentage of intervals, and the percentage of accumulated
+// idle time per bucket.
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace ibpower;
+  using namespace ibpower::bench;
+
+  const int iterations = iterations_from_args(argc, argv);
+  print_report_banner(std::cout, "Table I: distribution of link idle intervals");
+
+  TablePrinter table({"App", "N proc", "<20us N", "<20us %", "<20us t%",
+                      "20-200us N", "20-200 %", "20-200 t%", ">200us N",
+                      ">200 %", ">200 t%", "reducible t%"});
+
+  std::string last_app;
+  for (const GridCell& cell : paper_grid()) {
+    ExperimentConfig cfg = cell_config(cell, 0.01, iterations);
+
+    const auto app = make_app(cfg.app);
+    const Trace trace = app->generate(cfg.workload);
+    ReplayOptions opt;
+    opt.fabric = cfg.fabric;
+    ReplayEngine engine(&trace, opt);
+    const ReplayResult rr = engine.run();
+    const IdleDistribution d =
+        aggregate_idle(engine.fabric(), cell.nranks, rr.exec_time);
+
+    if (cell.app != last_app) {
+      table.add_separator();
+      last_app = cell.app;
+    }
+    table.add_row({pretty_app(cell.app), std::to_string(cell.nranks),
+                   std::to_string(d.buckets[0].count),
+                   TablePrinter::fmt(d.buckets[0].pct_intervals),
+                   TablePrinter::fmt(d.buckets[0].pct_idle_time, 3),
+                   std::to_string(d.buckets[1].count),
+                   TablePrinter::fmt(d.buckets[1].pct_intervals),
+                   TablePrinter::fmt(d.buckets[1].pct_idle_time, 3),
+                   std::to_string(d.buckets[2].count),
+                   TablePrinter::fmt(d.buckets[2].pct_intervals),
+                   TablePrinter::fmt(d.buckets[2].pct_idle_time, 2),
+                   TablePrinter::fmt(100.0 * d.reducible_time_fraction(), 2)});
+  }
+  table.print(std::cout);
+
+  std::cout << "\nPaper's Table I claim to reproduce: intervals >= 20us carry\n"
+               ">99% of accumulated idle time in (almost) all configurations,\n"
+               "so nearly all idle time is a candidate for lane gating.\n";
+  return 0;
+}

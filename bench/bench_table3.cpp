@@ -1,0 +1,79 @@
+// Reproduces the paper's Table III: the chosen grouping threshold (GT) and
+// the resulting MPI-call hit rate per application and process count.
+//
+// Methodology follows §IV-C: sweep GT from the minimum of 2*Treact upward
+// on the baseline call timelines (prediction-only agents) and choose the
+// smallest GT within 1% of the best hit rate (a large GT needlessly
+// shrinks the gateable idle regions).
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace ibpower;
+  using namespace ibpower::bench;
+
+  const int iterations = iterations_from_args(argc, argv, 80);
+  print_report_banner(std::cout, "Table III: chosen GT and MPI call hit rate");
+
+  // Paper hit rates for comparison (Table III).
+  auto paper_hit = [](const std::string& app, int idx) {
+    static const std::map<std::string, std::array<double, 5>> hits = {
+        {"gromacs", {42, 44, 48, 44, 59}}, {"alya", {93, 93, 93, 93, 93}},
+        {"wrf", {25, 33, 32, 31, 31}},     {"nas_bt", {97, 98, 98, 98, 98}},
+        {"nas_mg", {74, 79, 70, 74, 74}},
+    };
+    return hits.at(app)[static_cast<std::size_t>(idx)];
+  };
+
+  TablePrinter table({"App", "N proc", "Chosen GT [us]", "Hit rate [%]",
+                      "Paper GT [us]", "Paper hit [%]"});
+  auto paper_gt = [](const std::string& app, int idx) -> int {
+    static const std::map<std::string, std::array<int, 5>> gts = {
+        {"gromacs", {20, 222, 20, 22, 136}}, {"alya", {20, 72, 36, 36, 20}},
+        {"wrf", {56, 30, 30, 36, 22}},       {"nas_bt", {20, 22, 46, 20, 50}},
+        {"nas_mg", {300, 382, 300, 290, 150}},
+    };
+    return gts.at(app)[static_cast<std::size_t>(idx)];
+  };
+
+  std::string last_app;
+  int size_idx = 0;
+  for (const GridCell& cell : paper_grid()) {
+    if (cell.app != last_app) {
+      table.add_separator();
+      last_app = cell.app;
+      size_idx = 0;
+    }
+    ExperimentConfig cfg = cell_config(cell, 0.01, iterations);
+
+    // Candidate GT values: fine sweep at the low end + the MG-scale values.
+    std::vector<TimeNs> gts;
+    for (const int us : {20, 24, 30, 36, 50, 72, 100, 150, 220, 300, 380}) {
+      gts.push_back(TimeNs::from_us(static_cast<std::int64_t>(us)));
+    }
+    const auto points = sweep_gt(cfg, gts);
+    double best = 0.0;
+    for (const auto& p : points) best = std::max(best, p.hit_rate_pct);
+    TimeNs chosen = points.front().gt;
+    double chosen_hit = points.front().hit_rate_pct;
+    for (const auto& p : points) {
+      if (p.hit_rate_pct >= best - 1.0) {
+        chosen = p.gt;
+        chosen_hit = p.hit_rate_pct;
+        break;  // smallest qualifying GT
+      }
+    }
+
+    table.add_row({pretty_app(cell.app), std::to_string(cell.nranks),
+                   TablePrinter::fmt(chosen.us(), 0),
+                   TablePrinter::fmt(chosen_hit, 1),
+                   std::to_string(paper_gt(cell.app, size_idx)),
+                   TablePrinter::fmt(paper_hit(cell.app, size_idx), 0)});
+    ++size_idx;
+  }
+  table.print(std::cout);
+
+  std::cout << "\nShapes to hold (paper Table III): ALYA and NAS BT predict\n"
+               ">90% of calls; NAS MG sits in the 70s and needs a much larger\n"
+               "GT than the other applications; WRF is the least predictable.\n";
+  return 0;
+}

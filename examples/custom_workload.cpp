@@ -1,0 +1,129 @@
+// Bringing your own application to the framework.
+//
+// Shows the three ways a user plugs workloads in:
+//   1. Implement AppModel for a custom communication structure (here: a
+//      2D Jacobi stencil with periodic checkpoints).
+//   2. Serialize the trace to the text format, reload it, and verify it.
+//   3. Run the baseline/managed experiment on it and read out the metrics.
+//
+// Usage: ./examples/custom_workload [nranks] [iterations]
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
+#include "sim/experiment.hpp"
+#include "trace/trace_io.hpp"
+#include "workloads/scaling.hpp"
+
+using namespace ibpower;
+
+namespace {
+
+/// A 2D Jacobi solver: per sweep, halo exchange along both grid axes, a
+/// long relaxation compute, and a convergence allreduce; every 10th sweep
+/// writes a checkpoint (gather to rank 0), which breaks the pattern the
+/// same way real I/O phases do.
+class JacobiModel final : public AppModel {
+ public:
+  [[nodiscard]] std::string name() const override { return "jacobi2d"; }
+
+  [[nodiscard]] Trace generate(const WorkloadParams& p) const override {
+    TraceEmitter em(name(), p);
+    const ScalingHelper sc(p, 8, /*alpha=*/1.1);
+    int gx, gy;
+    grid_factor(p.nranks, &gx, &gy);
+
+    const double relax = sc.comp_us(1800.0);
+    const Bytes halo = sc.msg_bytes(32 * 1024);
+    Trace& trace = em.raw_trace();
+    for (int it = 0; it < p.iterations; ++it) {
+      em.compute_all(relax, 0.05);
+      // Nonblocking halo exchange along x: post irecv/isend, overlap the
+      // boundary-independent relaxation, then waitall.
+      for (Rank r = 0; r < p.nranks; ++r) {
+        const int i = r % gx;
+        const int j = r / gx;
+        const Rank east = static_cast<Rank>(((i + 1) % gx) + j * gx);
+        const Rank west = static_cast<Rank>(((i - 1 + gx) % gx) + j * gx);
+        if (east == r) continue;
+        trace.push(r, IrecvRecord{west, halo, 0, 1});
+        trace.push(r, IsendRecord{east, halo, 0, 2});
+      }
+      em.compute_all(40.0, 0.05);  // interior relaxation overlaps the halo
+      for (Rank r = 0; r < p.nranks; ++r) {
+        const int i = r % gx;
+        if (((i + 1) % gx) + (r / gx) * gx == r) continue;
+        trace.push(r, WaitallRecord{});
+      }
+      em.compute_all(1.5, 0.05);
+      em.sendrecv_grid(gx, gy, 1, halo, 1);  // y halo stays blocking
+      em.compute_all(sc.comp_us(300.0), 0.05);
+      em.collective(MpiCall::Allreduce, 8);
+      if (it % 10 == 9) {
+        em.compute_all(25.0, 0.05);
+        em.collective(MpiCall::Gather, 64 * 1024);  // checkpoint
+      }
+    }
+    return em.take();
+  }
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int nranks = argc > 1 ? std::atoi(argv[1]) : 16;
+  const int iterations = argc > 2 ? std::atoi(argv[2]) : 80;
+
+  // 1. Generate.
+  JacobiModel model;
+  WorkloadParams params;
+  params.nranks = nranks;
+  params.iterations = iterations;
+  const Trace trace = model.generate(params);
+  std::printf("Generated %s: %d ranks, %zu records, %zu MPI calls\n",
+              model.name().c_str(), nranks, trace.total_records(),
+              trace.total_mpi_calls());
+
+  // 2. Round-trip through the text format and validate.
+  std::stringstream buffer;
+  write_trace(buffer, trace);
+  const Trace reloaded = read_trace(buffer);
+  const std::string problem = reloaded.validate();
+  std::printf("Round-trip validation: %s\n",
+              problem.empty() ? "OK (sends/recvs matched, collectives agree)"
+                              : problem.c_str());
+
+  // 3. Baseline vs managed.
+  ReplayOptions base_opt;
+  ReplayEngine base_engine(&reloaded, base_opt);
+  const ReplayResult base = base_engine.run();
+
+  ReplayOptions managed_opt;
+  managed_opt.enable_power_management = true;
+  managed_opt.ppa.grouping_threshold = TimeNs::from_us(std::int64_t{24});
+  managed_opt.ppa.displacement_factor = 0.01;
+  ReplayEngine engine(&reloaded, managed_opt);
+  const ReplayResult run = engine.run();
+
+  std::vector<const IbLink*> ports;
+  for (NodeId n = 0; n < nranks; ++n) {
+    ports.push_back(
+        &engine.fabric().link(engine.fabric().topology().node_uplink(n)));
+  }
+  const FleetPowerSummary power = aggregate_power(ports, PowerModelConfig{});
+
+  std::printf("\nBaseline: %s   Managed: %s (%+.3f%%)\n",
+              to_string(base.exec_time).c_str(),
+              to_string(run.exec_time).c_str(),
+              100.0 *
+                  (static_cast<double>(run.exec_time.ns) -
+                   static_cast<double>(base.exec_time.ns)) /
+                  static_cast<double>(base.exec_time.ns));
+  std::printf("Switch power savings: %.2f%%   hit rate: %.1f%%\n",
+              power.switch_savings_pct, run.agent_total.hit_rate_pct());
+  std::printf("Checkpoints every 10th sweep caused %llu pattern "
+              "mispredicts (re-armed after one clean appearance each).\n",
+              static_cast<unsigned long long>(
+                  run.agent_total.pattern_mispredicts));
+  return 0;
+}

@@ -1,0 +1,107 @@
+// Quickstart: the core prediction API on the paper's own example.
+//
+// Feeds the ALYA MPI-event stream of the paper's Fig. 2/3 (three
+// MPI_Sendrecv = id 41, then two MPI_Allreduce = id 10, repeating) into a
+// PmpiAgent — the component the paper runs inside the PMPI layer — and
+// shows: gram formation, pattern detection, the power-down (WRPS) requests
+// issued with the Alg. 3 safety margin, and the reaction to a mispredict.
+//
+// Build & run:  ./examples/quickstart
+#include <cstdio>
+#include <vector>
+
+#include "core/pmpi_agent.hpp"
+
+using namespace ibpower;
+using namespace ibpower::literals;
+
+namespace {
+
+/// A LinkPowerPort that just logs WRPS calls (in the real system this is
+/// the node's IB link; in the simulator it is network/IbLink).
+struct LoggingPort final : LinkPowerPort {
+  void request_low_power(TimeNs now, TimeNs duration) override {
+    std::printf("      -> WRPS: lanes off at %-9s timer=%s (full width again at %s)\n",
+                to_string(now).c_str(), to_string(duration).c_str(),
+                to_string(now + duration + 10_us).c_str());
+  }
+};
+
+}  // namespace
+
+int main() {
+  PpaConfig config;
+  config.grouping_threshold = 20_us;    // GT = 2 * Treact (paper §III-C)
+  config.t_react = 10_us;               // lane reactivation (paper §II)
+  config.displacement_factor = 0.10;    // safety margin (paper Alg. 3)
+  config.interception_overhead = TimeNs::zero();  // keep the log tidy
+  config.ppa_invocation_overhead = TimeNs::zero();
+
+  LoggingPort port;
+  PmpiAgent agent(config, &port);
+
+  std::printf("ALYA stream from the paper's Fig. 2: 41-41-41 ... 10 ... 10\n\n");
+
+  TimeNs t{};
+  int event = 0;
+  auto call = [&](MpiCall c, TimeNs gap) {
+    t += gap;
+    const bool was_predicting = agent.predicting();
+    const TimeNs overhead = agent.on_call_enter(c, t);
+    std::printf("  event %2d  %-13s gap=%-8s %s\n", ++event, to_string(c),
+                to_string(gap).c_str(),
+                agent.predicting()
+                    ? (was_predicting ? "[predicting]" : "[PATTERN DETECTED]")
+                    : "");
+    t += overhead + 1_us;  // 1us in the MPI call itself
+    agent.on_call_exit(c, t);  // may log a WRPS request for this call
+  };
+
+  auto iteration = [&] {
+    call(MpiCall::Sendrecv, 200_us);  // compute phase, then the halo triplet
+    call(MpiCall::Sendrecv, 2_us);
+    call(MpiCall::Sendrecv, 2_us);
+    call(MpiCall::Allreduce, 100_us);
+    call(MpiCall::Allreduce, 80_us);
+  };
+
+  for (int it = 1; it <= 5; ++it) {
+    std::printf("-- iteration %d --\n", it);
+    iteration();
+  }
+
+  std::printf("\n-- a foreign phase appears (I/O burst): mispredict --\n");
+  call(MpiCall::Bcast, 300_us);
+  call(MpiCall::Bcast, 300_us);
+
+  std::printf("\n-- the known pattern returns: re-armed after ONE appearance --\n");
+  for (int it = 0; it < 2; ++it) iteration();
+
+  agent.finish();
+  const AgentStats& s = agent.stats();
+  std::printf(
+      "\nSummary: %llu calls, %llu grams, %llu pattern(s) detected,\n"
+      "         %llu power-down requests totalling %s of low-power time,\n"
+      "         %llu mispredict(s), MPI-call hit rate %.1f%%\n",
+      static_cast<unsigned long long>(s.total_calls),
+      static_cast<unsigned long long>(s.grams_closed),
+      static_cast<unsigned long long>(
+          agent.detector().patterns().detected_ids().size()),
+      static_cast<unsigned long long>(s.power_requests),
+      to_string(s.requested_low_power_total).c_str(),
+      static_cast<unsigned long long>(s.pattern_mispredicts),
+      s.hit_rate_pct());
+
+  // Show the detected pattern the way the paper prints it (Fig. 3).
+  for (const PatternId id : agent.detector().patterns().detected_ids()) {
+    const PatternInfo& info = agent.detector().patterns()[id];
+    std::printf("Detected pattern: ");
+    for (std::size_t g = 0; g < info.grams.size(); ++g) {
+      std::printf("%s%s", g ? "_" : "",
+                  agent.interner().to_string(info.grams[g]).c_str());
+    }
+    std::printf("  (seen %u times, %u MPI calls per appearance)\n",
+                info.frequency, info.n_mpi_calls);
+  }
+  return 0;
+}

@@ -1,0 +1,68 @@
+// Configuration of the power-saving mechanism (paper §III).
+#pragma once
+
+#include <cstddef>
+
+#include "util/time_types.hpp"
+
+namespace ibpower {
+
+/// Parameters of the pattern-prediction + power-mode-control mechanism.
+///
+/// Defaults follow the paper: Treact = 10 us (§II), GT >= 2*Treact (§III-C),
+/// displacement factor swept over {1%, 5%, 10%} (§IV-B), detection after 3
+/// consecutive pattern appearances (§III-A policy).
+struct PpaConfig {
+  /// Grouping threshold (GT): adjacent MPI calls closer than this are merged
+  /// into one gram (Alg. 1). Must be >= 2 * t_react for gating to ever pay.
+  TimeNs grouping_threshold{TimeNs::from_us(std::int64_t{20})};
+
+  /// Lane reactivation (and deactivation) time, Treact.
+  TimeNs t_react{TimeNs::from_us(std::int64_t{10})};
+
+  /// Safety margin as a fraction of the predicted idle time (Alg. 3:
+  /// safetyLimit = idleTime * displacementF + Treact).
+  double displacement_factor{0.10};
+
+  /// A pattern is declared detected after appearing this many times
+  /// consecutively ("if the same pattern appears three times consecutively,
+  /// we predict that the 4-th one will be the same").
+  int consecutive_appearances_to_detect{3};
+
+  /// Patterns are between these many grams long. The minimum repeat unit is
+  /// a bi-gram (§III-A); max bounds the periodicity search and is frozen to
+  /// the first detected pattern length (paper's maxPatternSize) so later
+  /// iterations are not merged into ever-longer patterns.
+  int min_pattern_grams{2};
+  int max_pattern_grams{32};
+
+  /// Low-power residency shorter than this is not worth a WRPS round trip;
+  /// requests below it are suppressed.
+  TimeNs min_low_power_duration{TimeNs::from_us(std::int64_t{10})};
+
+  /// Modeled software overheads charged to simulated time by the replay
+  /// engine (paper §IV-D): per-MPI-call interception cost and per-PPA-
+  /// invocation cost.
+  TimeNs interception_overhead{TimeNs::from_us(std::int64_t{1})};
+  TimeNs ppa_invocation_overhead{TimeNs::from_us(std::int64_t{16})};
+
+  /// Exponential smoothing factor for the per-boundary idle-gap estimates:
+  /// 0 = pure running mean over all appearances (paper's "averaged over
+  /// previous appearances"); >0 = EWMA weight of the newest observation
+  /// (ablation knob).
+  double gap_ewma_alpha{0.0};
+
+  /// Upper bound on remembered grams (ring semantics are not needed for the
+  /// paper's runs; this is a safety valve for very long executions).
+  std::size_t max_gram_history{1u << 22};
+
+  [[nodiscard]] bool valid() const {
+    return grouping_threshold >= 2 * t_react && t_react > TimeNs::zero() &&
+           displacement_factor >= 0.0 && displacement_factor < 1.0 &&
+           consecutive_appearances_to_detect >= 2 && min_pattern_grams >= 2 &&
+           max_pattern_grams >= min_pattern_grams && gap_ewma_alpha >= 0.0 &&
+           gap_ewma_alpha <= 1.0;
+  }
+};
+
+}  // namespace ibpower

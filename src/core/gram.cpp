@@ -1,0 +1,31 @@
+#include "core/gram.hpp"
+
+#include "util/expect.hpp"
+
+namespace ibpower {
+
+GramId GramInterner::intern(const std::vector<MpiCall>& calls) {
+  IBP_EXPECTS(!calls.empty());
+  if (const GramId* found = index_.find(calls)) return *found;
+  const auto id = static_cast<GramId>(contents_.size());
+  contents_.push_back(calls);
+  index_.insert_or_assign(calls, id);
+  return id;
+}
+
+const std::vector<MpiCall>& GramInterner::calls_of(GramId id) const {
+  IBP_EXPECTS(id < contents_.size());
+  return contents_[id];
+}
+
+std::string GramInterner::to_string(GramId id) const {
+  const auto& calls = calls_of(id);
+  std::string out;
+  for (std::size_t i = 0; i < calls.size(); ++i) {
+    if (i > 0) out += '-';
+    out += std::to_string(static_cast<int>(calls[i]));
+  }
+  return out;
+}
+
+}  // namespace ibpower

@@ -1,0 +1,56 @@
+// Grams: groups of temporally adjacent MPI calls (paper §III-A, Fig. 2).
+//
+// A gram is the unit the pattern-prediction algorithm operates on. Gram
+// *contents* (the MPI call sequence) are interned to dense integer ids, so
+// pattern comparison is integer comparison and the pattern list can key on
+// gram-id sequences.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "trace/mpi_event.hpp"
+#include "util/hash_table.hpp"
+
+namespace ibpower {
+
+using GramId = std::uint32_t;
+inline constexpr GramId kInvalidGram = ~GramId{0};
+
+/// A gram that has been closed by the arrival of a distant MPI call.
+struct ClosedGram {
+  GramId id{kInvalidGram};
+  std::size_t position{0};     // index in the gram array
+  TimeNs begin{};              // entry time of its first MPI call
+  TimeNs end{};                // exit time of its last MPI call
+  TimeNs preceding_idle{};     // gap between previous gram's end and begin
+  std::uint32_t n_calls{0};    // number of MPI calls grouped in it
+};
+
+/// Interns MPI-call sequences to dense GramIds.
+class GramInterner {
+ public:
+  /// Returns the id for `calls`, creating it if unseen.
+  GramId intern(const std::vector<MpiCall>& calls);
+
+  /// Content lookup (valid for any id previously returned by intern()).
+  [[nodiscard]] const std::vector<MpiCall>& calls_of(GramId id) const;
+
+  [[nodiscard]] std::size_t size() const { return contents_.size(); }
+
+  /// Paper-style rendering, e.g. "41-41-41" for three MPI_Sendrecv calls.
+  [[nodiscard]] std::string to_string(GramId id) const;
+
+ private:
+  struct SeqHash {
+    std::uint64_t operator()(const std::vector<MpiCall>& v) const {
+      return fnv1a(v.data(), v.size() * sizeof(MpiCall));
+    }
+  };
+
+  FlatHashMap<std::vector<MpiCall>, GramId, SeqHash> index_;
+  std::vector<std::vector<MpiCall>> contents_;
+};
+
+}  // namespace ibpower

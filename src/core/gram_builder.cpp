@@ -1,0 +1,54 @@
+#include "core/gram_builder.hpp"
+
+namespace ibpower {
+
+std::optional<ClosedGram> GramBuilder::on_call_enter(MpiCall call,
+                                                     TimeNs enter) {
+  IBP_EXPECTS(call != MpiCall::None);
+  std::optional<ClosedGram> closed;
+
+  if (!any_call_) {
+    any_call_ = true;
+    open_begin_ = enter;
+    open_preceding_idle_ = TimeNs::zero();
+  } else {
+    IBP_EXPECTS(enter >= last_exit_);
+    const TimeNs gap = enter - last_exit_;
+    if (gap >= gt_) {
+      closed = close_open();
+      open_begin_ = enter;
+      open_preceding_idle_ = gap;
+    }
+  }
+  open_calls_.push_back(call);
+  in_call_ = true;
+  return closed;
+}
+
+void GramBuilder::on_call_exit(TimeNs exit) {
+  IBP_EXPECTS(in_call_);
+  IBP_EXPECTS(exit >= open_begin_);
+  open_end_ = exit;
+  last_exit_ = exit;
+  in_call_ = false;
+}
+
+std::optional<ClosedGram> GramBuilder::flush() {
+  if (open_calls_.empty()) return std::nullopt;
+  return close_open();
+}
+
+ClosedGram GramBuilder::close_open() {
+  IBP_ASSERT(!open_calls_.empty());
+  ClosedGram g;
+  g.id = interner_->intern(open_calls_);
+  g.position = next_position_++;
+  g.begin = open_begin_;
+  g.end = open_end_;
+  g.preceding_idle = open_preceding_idle_;
+  g.n_calls = static_cast<std::uint32_t>(open_calls_.size());
+  open_calls_.clear();
+  return g;
+}
+
+}  // namespace ibpower

@@ -1,0 +1,70 @@
+// Gram formation — the paper's Algorithm 1.
+//
+// Adjacent MPI calls whose inter-communication (idle) gap is below the
+// grouping threshold GT are appended to the current gram; a call arriving
+// after a gap >= GT closes the current gram and starts a new one. A gram is
+// therefore only known to be closed when the *next* distant call arrives —
+// the PPA consumes closed grams, while the power-mode controller matches
+// the still-open gram against the predicted pattern (Alg. 3).
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "core/gram.hpp"
+#include "trace/mpi_event.hpp"
+#include "util/expect.hpp"
+
+namespace ibpower {
+
+class GramBuilder {
+ public:
+  GramBuilder(TimeNs grouping_threshold, GramInterner* interner)
+      : gt_(grouping_threshold), interner_(interner) {
+    IBP_EXPECTS(interner != nullptr);
+    IBP_EXPECTS(grouping_threshold > TimeNs::zero());
+  }
+
+  /// Feed one intercepted MPI call at its entry. If the gap since the
+  /// previous call's exit is >= GT, the previous gram closes and is
+  /// returned. Closure is decided at *entry* so the PPA can react before the
+  /// call completes (a pattern's first gram may be a single call whose exit
+  /// already needs a power-down decision).
+  std::optional<ClosedGram> on_call_enter(MpiCall call, TimeNs enter);
+
+  /// Record the same call's exit time (extends the open gram).
+  void on_call_exit(TimeNs exit);
+
+  /// Close the gram in progress (end of execution). Returns it if nonempty.
+  std::optional<ClosedGram> flush();
+
+  /// The MPI calls of the gram currently being formed.
+  [[nodiscard]] const std::vector<MpiCall>& open_calls() const {
+    return open_calls_;
+  }
+  /// Entry time of the open gram's first call (valid if !open_calls().empty()).
+  [[nodiscard]] TimeNs open_begin() const { return open_begin_; }
+
+  /// Number of grams closed so far (== position of the next closed gram).
+  [[nodiscard]] std::size_t closed_count() const { return next_position_; }
+
+  [[nodiscard]] TimeNs grouping_threshold() const { return gt_; }
+  [[nodiscard]] TimeNs last_exit() const { return last_exit_; }
+
+ private:
+  ClosedGram close_open();
+
+  TimeNs gt_;
+  GramInterner* interner_;
+
+  std::vector<MpiCall> open_calls_;
+  TimeNs open_begin_{};
+  TimeNs open_end_{};
+  TimeNs open_preceding_idle_{};
+  TimeNs last_exit_{};
+  bool any_call_{false};
+  bool in_call_{false};
+  std::size_t next_position_{0};
+};
+
+}  // namespace ibpower

@@ -1,0 +1,36 @@
+#include "core/pattern.hpp"
+
+#include <algorithm>
+
+namespace ibpower {
+
+PatternId PatternList::find_or_create(const std::vector<GramId>& grams,
+                                      bool* created) {
+  IBP_EXPECTS(!grams.empty());
+  if (const PatternId* found = index_.find(grams)) {
+    if (created) *created = false;
+    return *found;
+  }
+  const auto id = static_cast<PatternId>(store_.size());
+  PatternInfo info;
+  info.grams = grams;
+  info.gap_after.resize(grams.size());
+  store_.push_back(std::move(info));
+  index_.insert_or_assign(grams, id);
+  if (created) *created = true;
+  return id;
+}
+
+PatternId PatternList::find(const std::vector<GramId>& grams) const {
+  const PatternId* found = index_.find(grams);
+  return found ? *found : kInvalidPattern;
+}
+
+void PatternList::mark_detected(PatternId id) {
+  IBP_EXPECTS(id < store_.size());
+  if (store_[id].detected) return;
+  store_[id].detected = true;
+  detected_.push_back(id);
+}
+
+}  // namespace ibpower

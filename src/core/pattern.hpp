@@ -1,0 +1,112 @@
+// Pattern objects — entries of the paper's pattern list (§III-A).
+//
+// A pattern is a sequence of grams. Each pattern tracks the idle gaps at its
+// gram boundaries ("the time between two grams in a pattern"), which the
+// power-mode controller turns into predicted low-power intervals. Gap
+// estimates are running means over previous appearances, optionally EWMA
+// (ablation knob in PpaConfig).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/gram.hpp"
+#include "util/expect.hpp"
+#include "util/time_types.hpp"
+
+namespace ibpower {
+
+/// Running estimate of one inter-gram idle gap.
+class GapEstimate {
+ public:
+  void observe(TimeNs gap, double ewma_alpha) {
+    IBP_EXPECTS(gap >= TimeNs::zero());
+    ++n_;
+    const auto g = static_cast<double>(gap.ns);
+    if (n_ == 1) {
+      mean_ns_ = g;
+    } else if (ewma_alpha > 0.0) {
+      mean_ns_ = ewma_alpha * g + (1.0 - ewma_alpha) * mean_ns_;
+    } else {
+      mean_ns_ += (g - mean_ns_) / static_cast<double>(n_);
+    }
+  }
+
+  [[nodiscard]] bool has_value() const { return n_ > 0; }
+  [[nodiscard]] std::uint64_t samples() const { return n_; }
+  [[nodiscard]] TimeNs mean() const {
+    return TimeNs{static_cast<std::int64_t>(mean_ns_ + 0.5)};
+  }
+
+ private:
+  std::uint64_t n_{0};
+  double mean_ns_{0.0};
+};
+
+using PatternId = std::uint32_t;
+inline constexpr PatternId kInvalidPattern = ~PatternId{0};
+
+struct PatternInfo {
+  std::vector<GramId> grams;
+
+  /// gap_after[i]: idle time following gram i of the pattern. The last entry
+  /// is the gap between consecutive pattern appearances (back-to-back
+  /// repetition wraps the pattern onto itself).
+  std::vector<GapEstimate> gap_after;
+
+  /// Total appearances observed (paper's "frequency").
+  std::uint32_t frequency{0};
+  /// First gram-array position this pattern was seen at.
+  std::size_t first_position{0};
+  /// Position of the most recent appearance start.
+  std::size_t last_position{0};
+  /// Number of MPI calls across the pattern's grams (paper's pattern-object
+  /// field "number of MPI calls in a detected pattern").
+  std::uint32_t n_mpi_calls{0};
+  /// True once the pattern repeated enough times consecutively; detected
+  /// patterns re-arm prediction on first reappearance after a mispredict.
+  bool detected{false};
+
+  [[nodiscard]] std::size_t length() const { return grams.size(); }
+};
+
+/// Owns all PatternInfo objects with stable addresses and indexes them by
+/// gram-id sequence (the paper keys its uthash table by the pattern string).
+class PatternList {
+ public:
+  /// Finds the pattern with this gram sequence, or creates it.
+  /// Returns its id; `created` reports which happened.
+  PatternId find_or_create(const std::vector<GramId>& grams, bool* created);
+
+  [[nodiscard]] PatternId find(const std::vector<GramId>& grams) const;
+
+  [[nodiscard]] PatternInfo& operator[](PatternId id) {
+    IBP_EXPECTS(id < store_.size());
+    return store_[id];
+  }
+  [[nodiscard]] const PatternInfo& operator[](PatternId id) const {
+    IBP_EXPECTS(id < store_.size());
+    return store_[id];
+  }
+
+  [[nodiscard]] std::size_t size() const { return store_.size(); }
+
+  /// Ids of all patterns flagged `detected` (ordered by detection time).
+  [[nodiscard]] const std::vector<PatternId>& detected_ids() const {
+    return detected_;
+  }
+  void mark_detected(PatternId id);
+
+ private:
+  struct SeqHash {
+    std::uint64_t operator()(const std::vector<GramId>& v) const {
+      return fnv1a(v.data(), v.size() * sizeof(GramId));
+    }
+  };
+
+  std::vector<PatternInfo> store_;
+  FlatHashMap<std::vector<GramId>, PatternId, SeqHash> index_;
+  std::vector<PatternId> detected_;
+};
+
+}  // namespace ibpower

@@ -1,0 +1,106 @@
+#include "core/pmpi_agent.hpp"
+
+#include "util/expect.hpp"
+
+namespace ibpower {
+
+void AgentStats::merge(const AgentStats& o) {
+  total_calls += o.total_calls;
+  predicted_calls += o.predicted_calls;
+  pattern_mispredicts += o.pattern_mispredicts;
+  arms += o.arms;
+  arm_failures += o.arm_failures;
+  grams_closed += o.grams_closed;
+  ppa_scan_invocations += o.ppa_scan_invocations;
+  power_requests += o.power_requests;
+  requested_low_power_total += o.requested_low_power_total;
+  modeled_overhead_total += o.modeled_overhead_total;
+}
+
+PmpiAgent::PmpiAgent(const PpaConfig& cfg, LinkPowerPort* port)
+    : cfg_(cfg),
+      port_(port),
+      grams_(cfg.grouping_threshold, &interner_),
+      detector_(cfg, &interner_),
+      controller_(cfg, &interner_) {
+  IBP_EXPECTS(cfg.valid());
+}
+
+TimeNs PmpiAgent::on_call_enter(MpiCall call, TimeNs enter) {
+  IBP_EXPECTS(call != MpiCall::None);
+  ++stats_.total_calls;
+  const TimeNs gap = any_call_ ? enter - last_exit_ : TimeNs::zero();
+  any_call_ = true;
+
+  const bool was_active = controller_.active();
+  const std::uint64_t scans_before = detector_.invocations();
+
+  // 1. Gram formation (Alg. 1). A closure is processed with the detector's
+  //    *current* scanning state: light bookkeeping while the controller is
+  //    active, full PPA otherwise. Running this before the controller's
+  //    verdict means a mispredict at this very call cannot instantly re-arm
+  //    on the previous (stale) appearance.
+  bool armed_now = false;
+  if (auto closed = grams_.on_call_enter(call, enter)) {
+    ++stats_.grams_closed;
+    if (auto pattern = detector_.observe(*closed)) {
+      if (!controller_.active() &&
+          controller_.arm(&detector_.patterns(), *pattern, call)) {
+        detector_.set_scanning(false);
+        ++stats_.arms;
+        ++stats_.predicted_calls;  // the arming call begins the pattern
+        armed_now = true;
+      } else if (!controller_.active()) {
+        ++stats_.arm_failures;
+      }
+    }
+  }
+
+  // 2. Pattern verification (Alg. 3 guard) for calls while predicting.
+  if (was_active && !armed_now) {
+    const auto verdict = controller_.on_call_enter(call, gap);
+    if (verdict == PowerModeController::Verdict::Mispredict) {
+      ++stats_.pattern_mispredicts;
+      detector_.set_scanning(true);  // relaunch the PPA (paper Fig. 1)
+    } else {
+      ++stats_.predicted_calls;
+    }
+  }
+
+  // 3. Modeled software overhead: every interception costs ~1 us; a full
+  //    PPA scan costs extra when it ran (§IV-D).
+  TimeNs overhead = cfg_.interception_overhead;
+  const std::uint64_t scans = detector_.invocations() - scans_before;
+  stats_.ppa_scan_invocations += scans;
+  if (scans > 0) {
+    overhead += cfg_.ppa_invocation_overhead * static_cast<std::int64_t>(scans);
+  }
+  stats_.modeled_overhead_total += overhead;
+  return overhead;
+}
+
+void PmpiAgent::on_call_exit(MpiCall call, TimeNs exit) {
+  IBP_EXPECTS(call != MpiCall::None);
+  (void)call;
+  grams_.on_call_exit(exit);
+  last_exit_ = exit;
+
+  if (controller_.active()) {
+    if (auto request = controller_.on_call_exit()) {
+      ++stats_.power_requests;
+      stats_.requested_low_power_total += request->low_power_duration;
+      if (port_ != nullptr) {
+        port_->request_low_power(exit, request->low_power_duration);
+      }
+    }
+  }
+}
+
+void PmpiAgent::finish() {
+  if (auto closed = grams_.flush()) {
+    ++stats_.grams_closed;
+    (void)detector_.observe(*closed);
+  }
+}
+
+}  // namespace ibpower

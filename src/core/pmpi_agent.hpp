@@ -1,0 +1,102 @@
+// PmpiAgent — the per-MPI-process power-saving mechanism (paper Fig. 1).
+//
+// This is the component the paper runs inside the PMPI profiling layer: it
+// intercepts every MPI call, forms grams (Alg. 1), runs the PPA while no
+// pattern is predicted (Alg. 2), and drives the power-mode controller
+// (Alg. 3) once one is. It is substrate-agnostic: the replay engine invokes
+// the enter/exit hooks with simulated times, and a real PMPI shim could
+// invoke them with wall-clock times — the agent never assumes a simulator.
+//
+// Lane actuation goes through the LinkPowerPort interface so the agent can
+// be bound to the network model's node link, a mock in tests, or nothing
+// (dry-run prediction analysis, used by the GT-sweep bench).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "core/config.hpp"
+#include "core/gram.hpp"
+#include "core/gram_builder.hpp"
+#include "core/pattern.hpp"
+#include "core/power_mode_control.hpp"
+#include "core/ppa.hpp"
+#include "util/time_types.hpp"
+
+namespace ibpower {
+
+/// Actuation interface to the node's IB link (WRPS + hardware timer,
+/// paper Fig. 5).
+class LinkPowerPort {
+ public:
+  virtual ~LinkPowerPort() = default;
+
+  /// Shut down the inactive lanes at `now` and program the hardware timer
+  /// so reactivation starts after `duration`; lanes are full width again at
+  /// now + duration + Treact. Management is one-directional: the agent gets
+  /// no feedback about whether the prediction was correct (§III-B).
+  virtual void request_low_power(TimeNs now, TimeNs duration) = 0;
+};
+
+/// Counters the evaluation reads out per rank.
+struct AgentStats {
+  std::uint64_t total_calls{0};
+  std::uint64_t predicted_calls{0};     // verified OK while controller active
+  std::uint64_t pattern_mispredicts{0};
+  std::uint64_t arms{0};                // times prediction (re)activated
+  std::uint64_t arm_failures{0};
+  std::uint64_t grams_closed{0};
+  std::uint64_t ppa_scan_invocations{0};
+  std::uint64_t power_requests{0};
+  TimeNs requested_low_power_total{};
+  TimeNs modeled_overhead_total{};
+
+  /// Paper Table III / Fig. 10 metric: % of MPI calls correctly predicted.
+  [[nodiscard]] double hit_rate_pct() const {
+    return total_calls == 0 ? 0.0
+                            : 100.0 * static_cast<double>(predicted_calls) /
+                                  static_cast<double>(total_calls);
+  }
+
+  void merge(const AgentStats& o);
+};
+
+class PmpiAgent {
+ public:
+  /// `port` may be null for prediction-only (dry) runs.
+  PmpiAgent(const PpaConfig& cfg, LinkPowerPort* port);
+
+  /// Intercept an MPI call at its entry (simulated or wall time). Returns
+  /// the modeled software overhead (interception + PPA work, §IV-D) the
+  /// caller should charge to this rank's timeline.
+  TimeNs on_call_enter(MpiCall call, TimeNs enter);
+
+  /// Intercept the same call's exit. May issue a WRPS request through the
+  /// port. `exit` must include any overhead the caller charged at entry.
+  void on_call_exit(MpiCall call, TimeNs exit);
+
+  /// End of execution: flush the open gram into the detector.
+  void finish();
+
+  [[nodiscard]] const AgentStats& stats() const { return stats_; }
+  [[nodiscard]] const PatternDetector& detector() const { return detector_; }
+  [[nodiscard]] const GramInterner& interner() const { return interner_; }
+  [[nodiscard]] const PowerModeController& controller() const {
+    return controller_;
+  }
+  [[nodiscard]] bool predicting() const { return controller_.active(); }
+  [[nodiscard]] const PpaConfig& config() const { return cfg_; }
+
+ private:
+  PpaConfig cfg_;
+  LinkPowerPort* port_;
+  GramInterner interner_;
+  GramBuilder grams_;
+  PatternDetector detector_;
+  PowerModeController controller_;
+  AgentStats stats_;
+  TimeNs last_exit_{};
+  bool any_call_{false};
+};
+
+}  // namespace ibpower

@@ -1,0 +1,90 @@
+#include "core/power_mode_control.hpp"
+
+#include "util/expect.hpp"
+
+namespace ibpower {
+
+bool PowerModeController::arm(PatternList* patterns, PatternId id,
+                              MpiCall closing_call) {
+  IBP_EXPECTS(patterns != nullptr);
+  IBP_EXPECTS(!active());
+  PatternInfo& info = (*patterns)[id];
+  IBP_EXPECTS(!info.grams.empty());
+
+  // The call that closed the last scanned gram is the first call of the next
+  // pattern appearance; verify it actually begins the pattern.
+  const auto& first_gram_calls = interner_->calls_of(info.grams[0]);
+  if (first_gram_calls[0] != closing_call) return false;
+
+  pattern_ = &info;
+  pattern_id_ = id;
+  gram_idx_ = 0;
+  call_idx_ = 1;
+  boundary_pending_ = (call_idx_ == first_gram_calls.size());
+  return true;
+}
+
+void PowerModeController::disarm() {
+  pattern_ = nullptr;
+  pattern_id_ = kInvalidPattern;
+  gram_idx_ = 0;
+  call_idx_ = 0;
+  boundary_pending_ = false;
+}
+
+const std::vector<MpiCall>& PowerModeController::expected_gram_calls() const {
+  IBP_ASSERT(pattern_ != nullptr);
+  return interner_->calls_of(pattern_->grams[gram_idx_]);
+}
+
+PowerModeController::Verdict PowerModeController::on_call_enter(MpiCall call,
+                                                                TimeNs gap) {
+  IBP_EXPECTS(active());
+  const auto& expected = expected_gram_calls();
+
+  if (call_idx_ == 0) {
+    // Expecting the first call of the next gram: the gap must be a real
+    // inter-gram gap (>= GT) and the call id must match.
+    if (gap < cfg_.grouping_threshold || call != expected[0]) {
+      disarm();
+      return Verdict::Mispredict;
+    }
+    // Feed the observed gap back into the boundary estimate (the boundary
+    // just crossed follows the *previous* gram).
+    const std::size_t prev =
+        gram_idx_ == 0 ? pattern_->length() - 1 : gram_idx_ - 1;
+    pattern_->gap_after[prev].observe(gap, cfg_.gap_ewma_alpha);
+  } else {
+    // Mid-gram: calls must stay grouped (< GT) and match in order.
+    if (gap >= cfg_.grouping_threshold || call != expected[call_idx_]) {
+      disarm();
+      return Verdict::Mispredict;
+    }
+  }
+
+  ++call_idx_;
+  if (call_idx_ == expected.size()) boundary_pending_ = true;
+  return Verdict::Ok;
+}
+
+std::optional<PowerModeController::PowerRequest>
+PowerModeController::on_call_exit() {
+  if (!active() || !boundary_pending_) return std::nullopt;
+  boundary_pending_ = false;
+  const std::size_t boundary = gram_idx_;
+  gram_idx_ = (gram_idx_ + 1) % pattern_->length();
+  call_idx_ = 0;
+
+  const GapEstimate& est = pattern_->gap_after[boundary];
+  if (!est.has_value()) return std::nullopt;
+
+  // Alg. 3: safetyLimit = idleTime * displacementF + Treact;
+  //         predictIdleTime = idleTime - safetyLimit.
+  const TimeNs predicted = est.mean();
+  const TimeNs safety = predicted * cfg_.displacement_factor + cfg_.t_react;
+  const TimeNs low = predicted - safety;
+  if (low < cfg_.min_low_power_duration) return std::nullopt;
+  return PowerRequest{predicted, low};
+}
+
+}  // namespace ibpower

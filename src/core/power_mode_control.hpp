@@ -1,0 +1,76 @@
+// Power-mode control — the paper's Algorithm 3.
+//
+// Once a pattern is detected, the controller walks the predicted pattern
+// call-by-call. At the exit of the call that completes the expected gram it
+// issues a WRPS power-down request for the predicted idle gap minus the
+// safety limit (idle * displacementFactor + Treact). At the entry of each
+// call it verifies the stream still follows the pattern: a call arriving
+// with the wrong id, or with a gap on the wrong side of the grouping
+// threshold, is a *pattern mispredict* and control returns to the PPA.
+// (The second misprediction type — a correctly predicted pattern whose idle
+// interval ends earlier than predicted — is detected by the link model,
+// which charges the residual reactivation latency; the controller never
+// needs feedback for it, matching the paper's one-directional design.)
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "core/config.hpp"
+#include "core/gram.hpp"
+#include "core/pattern.hpp"
+
+namespace ibpower {
+
+class PowerModeController {
+ public:
+  PowerModeController(const PpaConfig& cfg, const GramInterner* interner)
+      : cfg_(cfg), interner_(interner) {}
+
+  /// Arms the controller on `pattern`. Detection happens at the entry of the
+  /// first MPI call of the next pattern appearance (that call is what closed
+  /// the last gram the PPA saw), so the caller passes that call for
+  /// verification; arming fails if it does not begin the pattern.
+  [[nodiscard]] bool arm(PatternList* patterns, PatternId id,
+                         MpiCall closing_call);
+
+  [[nodiscard]] bool active() const { return pattern_ != nullptr; }
+  [[nodiscard]] PatternId pattern_id() const { return pattern_id_; }
+  void disarm();
+
+  enum class Verdict : std::uint8_t { Ok, Mispredict };
+
+  /// Verify one MPI call entry against the pattern. `gap` is the idle time
+  /// since the previous call's exit on this rank. Must only be called while
+  /// active. On Mispredict the controller disarms itself.
+  Verdict on_call_enter(MpiCall call, TimeNs gap);
+
+  /// A WRPS request produced at a gram boundary.
+  struct PowerRequest {
+    TimeNs predicted_idle;       // predicted gap to the next gram
+    TimeNs low_power_duration;   // predicted_idle - safetyLimit (Alg. 3)
+  };
+
+  /// Called at every MPI call exit while active; returns a request when the
+  /// call completed the expected gram and the boundary's gap estimate makes
+  /// gating worthwhile.
+  std::optional<PowerRequest> on_call_exit();
+
+  /// Index of the gram (within the pattern) currently being matched.
+  [[nodiscard]] std::size_t gram_index() const { return gram_idx_; }
+  /// Index of the next expected call within that gram.
+  [[nodiscard]] std::size_t call_index() const { return call_idx_; }
+
+ private:
+  [[nodiscard]] const std::vector<MpiCall>& expected_gram_calls() const;
+
+  PpaConfig cfg_;
+  const GramInterner* interner_;
+  PatternInfo* pattern_{nullptr};
+  PatternId pattern_id_{kInvalidPattern};
+  std::size_t gram_idx_{0};
+  std::size_t call_idx_{0};
+  bool boundary_pending_{false};  // expected gram complete, awaiting exit
+};
+
+}  // namespace ibpower

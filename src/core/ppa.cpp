@@ -1,0 +1,132 @@
+#include "core/ppa.hpp"
+
+#include "util/expect.hpp"
+
+namespace ibpower {
+
+PatternDetector::PatternDetector(const PpaConfig& cfg,
+                                 const GramInterner* interner)
+    : cfg_(cfg), interner_(interner), max_len_(cfg.max_pattern_grams) {
+  IBP_EXPECTS(cfg.valid());
+  IBP_EXPECTS(interner != nullptr);
+  match_run_.assign(static_cast<std::size_t>(max_len_) + 1, 0);
+}
+
+std::optional<PatternId> PatternDetector::observe(const ClosedGram& gram) {
+  IBP_EXPECTS(history_.size() < cfg_.max_gram_history);
+  history_.push_back({gram.id, gram.preceding_idle});
+  const std::size_t i = history_.size() - 1;
+
+  // Periodicity run update. This is the always-on, O(max_len) part; it keeps
+  // running while the power-mode controller is active so that context is
+  // warm when scanning resumes after a mispredict.
+  const auto upper = static_cast<std::size_t>(max_len_);
+  for (std::size_t len = 2; len <= upper; ++len) {
+    auto& run = match_run_[len];
+    if (i >= len && history_[i].id == history_[i - len].id) {
+      ++run;
+    } else {
+      run = 0;
+    }
+    ++ops_;
+  }
+
+  if (!scanning_) return std::nullopt;
+  ++invocations_;
+
+  // First-reappearance re-arm of an already-detected pattern (paper §III-A
+  // second policy bullet).
+  if (auto rearmed = check_rearm()) return rearmed;
+
+  // Appearance counting: a run of k*len matching positions means the
+  // trailing length-len pattern just completed its (k+1)-th consecutive
+  // appearance.
+  for (int len = cfg_.min_pattern_grams; len <= max_len_; ++len) {
+    const auto ulen = static_cast<std::size_t>(len);
+    const std::uint32_t run = match_run_[ulen];
+    if (run == 0 || run % ulen != 0) continue;
+    if (run == ulen) {
+      // First repeat: also record the initial appearance so its boundary
+      // gaps seed the estimates.
+      record_appearance_at(i + 1 - 2 * ulen, len);
+    }
+    const PatternId pid = record_appearance_at(i + 1 - ulen, len);
+    const auto needed =
+        static_cast<std::uint32_t>(cfg_.consecutive_appearances_to_detect - 1) *
+        ulen;
+    if (run >= needed) {
+      patterns_.mark_detected(pid);
+      if (!frozen_) {
+        // Freeze maxPatternSize to the natural iteration length (Alg. 2
+        // line 32) so later iterations are not merged into one pattern.
+        max_len_ = len;
+        frozen_ = true;
+      }
+      return pid;
+    }
+  }
+  return std::nullopt;
+}
+
+PatternId PatternDetector::record_appearance_at(std::size_t start, int len) {
+  const auto ulen = static_cast<std::size_t>(len);
+  IBP_ASSERT(start + ulen <= history_.size());
+  std::vector<GramId> key(ulen);
+  for (std::size_t j = 0; j < ulen; ++j) key[j] = history_[start + j].id;
+
+  bool created = false;
+  const PatternId pid = patterns_.find_or_create(key, &created);
+  PatternInfo& info = patterns_[pid];
+  if (created) {
+    info.first_position = start;
+    std::uint32_t calls = 0;
+    for (const GramId g : key) {
+      calls += static_cast<std::uint32_t>(interner_->calls_of(g).size());
+    }
+    info.n_mpi_calls = calls;
+  }
+  ++info.frequency;
+  info.last_position = start;
+
+  // Boundary gaps: gap_after[j] is the idle following gram j. Within the
+  // appearance that is the preceding_idle of gram j+1; the wrap gap (after
+  // the last gram) is the preceding_idle of this appearance's first gram,
+  // i.e. the gap separating it from whatever came before.
+  for (std::size_t j = 1; j < ulen; ++j) {
+    info.gap_after[j - 1].observe(history_[start + j].preceding_idle,
+                                  cfg_.gap_ewma_alpha);
+  }
+  if (start > 0) {
+    info.gap_after[ulen - 1].observe(history_[start].preceding_idle,
+                                     cfg_.gap_ewma_alpha);
+  }
+  ops_ += ulen;
+  return pid;
+}
+
+std::optional<PatternId> PatternDetector::check_rearm() {
+  for (const PatternId pid : patterns_.detected_ids()) {
+    const PatternInfo& info = patterns_[pid];
+    const std::size_t len = info.length();
+    if (history_.size() < len) continue;
+    const std::size_t start = history_.size() - len;
+    // Skip if this appearance is the one that triggered detection (the
+    // trailing block was already recorded).
+    if (info.last_position == start) continue;
+    bool match = true;
+    for (std::size_t j = 0; j < len; ++j) {
+      ++ops_;
+      if (history_[start + j].id != info.grams[j]) {
+        match = false;
+        break;
+      }
+    }
+    if (match) {
+      record_appearance_at(start, static_cast<int>(len));
+      return pid;
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace ibpower

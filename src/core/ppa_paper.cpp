@@ -1,0 +1,178 @@
+#include "core/ppa_paper.hpp"
+
+#include "util/expect.hpp"
+
+namespace ibpower {
+
+PaperPpa::PaperPpa(const PpaConfig& cfg, const GramInterner* interner)
+    : cfg_(cfg), interner_(interner), max_size_(cfg.max_pattern_grams) {
+  IBP_EXPECTS(cfg.valid());
+  IBP_EXPECTS(interner != nullptr);
+}
+
+std::string PaperPpa::key_of(std::size_t start, std::size_t len) const {
+  IBP_EXPECTS(start + len <= grams_.size());
+  std::string key;
+  for (std::size_t i = 0; i < len; ++i) {
+    if (i > 0) key += '_';
+    key += interner_->to_string(grams_[start + i]);
+  }
+  return key;
+}
+
+bool PaperPpa::window_equals(std::size_t a, std::size_t b,
+                             std::size_t len) const {
+  if (a + len > grams_.size() || b + len > grams_.size()) return false;
+  for (std::size_t i = 0; i < len; ++i) {
+    if (grams_[a + i] != grams_[b + i]) return false;
+  }
+  return true;
+}
+
+const PaperPpa::PatternEntry* PaperPpa::find(const std::string& key) const {
+  return list_.find(key);
+}
+
+std::optional<std::string> PaperPpa::on_event(
+    const std::optional<ClosedGram>& closed) {
+  ++event_;
+  if (closed) grams_.push_back(closed->id);
+  if (predicting_ || grams_.empty()) return std::nullopt;
+
+  const bool was_predicting = predicting_;
+  switch (step_) {
+    case Step::Add:
+      step_add(event_);
+      break;
+    case Step::Check:
+      step_check(event_);
+      break;
+    case Step::Grow:
+      step_grow(event_);
+      break;
+  }
+  if (!was_predicting && predicting_) return predicted_key_;
+  return std::nullopt;
+}
+
+void PaperPpa::step_add(int event) {
+  // Alg. 1 line 9 gate: the window plus its next expected occurrence must
+  // be visible before the window is worth adding.
+  const std::size_t pos = grams_.size() - 1;
+  if (pos + 1 < pos_cur_ + 2 * size_) return;  // "Not enough grams"
+
+  const std::string key = key_of(pos_cur_, size_);
+  PatternEntry& entry = list_[key];
+  const bool matched = entry.frequency > 0;
+  if (!matched) {
+    entry.grams.assign(grams_.begin() + static_cast<std::ptrdiff_t>(pos_cur_),
+                       grams_.begin() +
+                           static_cast<std::ptrdiff_t>(pos_cur_ + size_));
+  }
+  ++entry.frequency;
+  entry.positions.push_back(pos_cur_);
+  last_add_matched_ = matched;
+  consecutive_repeats_ = 0;
+  log_.push_back({event, matched ? "match" : "add", key, entry.frequency,
+                  pos_cur_});
+
+  // Re-arm immediately on a previously detected pattern (§III-A policy 2).
+  if (entry.detected) {
+    predicting_ = true;
+    predicted_key_ = key;
+    predicted_from_ = pos_cur_ + size_;
+    log_.push_back({event, "detect", key, entry.frequency, pos_cur_});
+    return;
+  }
+  step_ = Step::Check;
+}
+
+void PaperPpa::step_check(int event) {
+  const std::size_t pos = grams_.size() - 1;
+  const std::size_t cmp_start =
+      pos_cur_ + (consecutive_repeats_ + 1) * size_;
+  if (pos + 1 < cmp_start + size_) return;  // "Not enough grams"
+
+  const std::string key = key_of(pos_cur_, size_);
+  if (window_equals(pos_cur_, cmp_start, size_)) {
+    ++consecutive_repeats_;
+    PatternEntry& entry = list_[key];
+    ++entry.frequency;
+    entry.positions.push_back(cmp_start);
+    log_.push_back({event, "consec", key, entry.frequency, cmp_start});
+    const auto needed = static_cast<std::uint32_t>(
+        cfg_.consecutive_appearances_to_detect - 1);
+    if (consecutive_repeats_ >= needed) {
+      entry.detected = true;
+      predicting_ = true;
+      max_size_ = static_cast<int>(size_);  // freeze maxPatternSize (l. 32)
+      predicted_key_ = key;
+      predicted_from_ = cmp_start + size_;
+      log_.push_back({event, "detect", key, entry.frequency, predicted_from_});
+    }
+    return;
+  }
+
+  // No consecutive repeat.
+  consecutive_repeats_ = 0;
+  if (last_add_matched_ && size_ < static_cast<std::size_t>(max_size_)) {
+    step_ = Step::Grow;  // enlarge the matched pattern next (Alg. 2 l. 11)
+  } else {
+    ++pos_cur_;
+    size_ = 2;
+    last_add_matched_ = false;
+    step_ = Step::Add;
+  }
+}
+
+void PaperPpa::step_grow(int event) {
+  const std::size_t pos = grams_.size() - 1;
+  if (pos < pos_cur_ + size_) return;  // grown window not visible yet
+
+  const std::string prefix_key = key_of(pos_cur_, size_);
+  const std::string grown_key = key_of(pos_cur_, size_ + 1);
+
+  // checkO (Alg. 2 l. 22): some previous occurrence of the prefix must
+  // extend to the identical grown pattern, otherwise the growth is bogus.
+  bool extendable = false;
+  if (const PatternEntry* prefix = list_.find(prefix_key)) {
+    for (const std::size_t occ : prefix->positions) {
+      if (occ == pos_cur_) continue;
+      if (window_equals(occ, pos_cur_, size_ + 1)) {
+        extendable = true;
+        break;
+      }
+    }
+  }
+
+  if (!extendable) {
+    // Alg. 2 l. 38: drop the candidate and restart from bi-grams.
+    log_.push_back({event, "remove", grown_key, 0, pos_cur_});
+    ++pos_cur_;
+    size_ = 2;
+    last_add_matched_ = false;
+    consecutive_repeats_ = 0;
+    step_ = Step::Add;
+    return;
+  }
+
+  PatternEntry& grown = list_[grown_key];
+  grown.grams.assign(
+      grams_.begin() + static_cast<std::ptrdiff_t>(pos_cur_),
+      grams_.begin() + static_cast<std::ptrdiff_t>(pos_cur_ + size_ + 1));
+  ++grown.frequency;
+  grown.positions.push_back(pos_cur_);
+  log_.push_back({event, "grow", grown_key, grown.frequency, pos_cur_});
+  if (PatternEntry* prefix = list_.find(prefix_key)) {
+    if (prefix->frequency > 0) --prefix->frequency;  // paper's decrement
+  }
+
+  size_ += 1;
+  consecutive_repeats_ = 0;
+  step_ = Step::Check;
+  // The walkthrough's event 17 performs the first consecutive check in the
+  // same invocation as the growth ("Add gram | Consecutive-yes").
+  step_check(event);
+}
+
+}  // namespace ibpower

@@ -1,0 +1,105 @@
+// PaperPpa — a reference implementation of the paper's Algorithm 2 with its
+// *literal* incremental bookkeeping, reproducing the Fig. 3 walkthrough
+// event by event (pattern-list insertions, frequencies, occurrence
+// positions, and the prediction flip at MPI event 21).
+//
+// The production detector (core/ppa.hpp) implements the same stated policy
+// through a periodicity formulation and fires one appearance earlier; this
+// class exists to validate that formulation against the paper's own
+// worked example and to measure the original algorithm's bookkeeping cost
+// (bench_micro). Tests assert both detectors find the same pattern on
+// periodic streams.
+//
+// Step semantics recovered from the Fig. 3 table (one PPA step per MPI
+// event once enough grams exist):
+//   ADD    read the bi-gram window at posCur, insert/match it in the
+//          pattern list ("Add pattern to PL" / "match detected").
+//   CHECK  compare the current window with its next expected occurrence
+//          ("Check consecutive"); a hit appends the occurrence position,
+//          bumps the frequency and consecutiveRepeats; the third
+//          consecutive appearance (consecutiveRepeats == 2) declares the
+//          pattern detected and freezes maxPatternSize.
+//   GROW   after a bi-gram match without consecutive repeats, append the
+//          next gram ("Add gram"), verify with checkO that the prefix's
+//          previous occurrences extend identically (else remove and fall
+//          back to bi-grams), decrement the prefix frequency, and continue
+//          checking the grown pattern.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/config.hpp"
+#include "core/gram.hpp"
+#include "util/hash_table.hpp"
+
+namespace ibpower {
+
+class PaperPpa {
+ public:
+  struct PatternEntry {
+    std::vector<GramId> grams;
+    std::uint32_t frequency{0};
+    std::vector<std::size_t> positions;
+    bool detected{false};
+  };
+
+  /// One row of the Fig. 3 "Insertions into Pattern List" table.
+  struct LogRow {
+    int mpi_event;           // 1-based MPI event index
+    std::string action;      // "add", "match", "grow", "consec", "detect"
+    std::string pattern;     // paper-style key, e.g. "41-41-41_10"
+    std::uint32_t frequency;
+    std::size_t position;    // occurrence position involved
+  };
+
+  PaperPpa(const PpaConfig& cfg, const GramInterner* interner);
+
+  /// Advance one MPI event. If the event closed a gram, pass it; the PPA
+  /// runs its per-event step either way (the paper invokes it per call).
+  /// Returns the predicted pattern key once prediction turns true.
+  std::optional<std::string> on_event(const std::optional<ClosedGram>& closed);
+
+  [[nodiscard]] bool predicting() const { return predicting_; }
+  [[nodiscard]] const std::vector<LogRow>& log() const { return log_; }
+  [[nodiscard]] const PatternEntry* find(const std::string& key) const;
+  [[nodiscard]] int max_pattern_size() const { return max_size_; }
+  /// Gram-array position the prediction starts from (valid once predicting).
+  [[nodiscard]] std::size_t predicted_from() const { return predicted_from_; }
+  [[nodiscard]] std::string predicted_key() const { return predicted_key_; }
+  [[nodiscard]] std::size_t grams_seen() const { return grams_.size(); }
+
+  /// Paper-style key for a gram window.
+  [[nodiscard]] std::string key_of(std::size_t start, std::size_t len) const;
+
+ private:
+  enum class Step : std::uint8_t { Add, Check, Grow };
+
+  void step_add(int event);
+  void step_check(int event);
+  void step_grow(int event);
+
+  [[nodiscard]] bool window_equals(std::size_t a, std::size_t b,
+                                   std::size_t len) const;
+
+  PpaConfig cfg_;
+  const GramInterner* interner_;
+  std::vector<GramId> grams_;
+  FlatHashMap<std::string, PatternEntry> list_;
+
+  Step step_{Step::Add};
+  std::size_t pos_cur_{0};
+  std::size_t size_{2};
+  std::uint32_t consecutive_repeats_{0};
+  bool last_add_matched_{false};
+  bool predicting_{false};
+  int max_size_;
+  int event_{0};
+  std::string predicted_key_;
+  std::size_t predicted_from_{0};
+  std::vector<LogRow> log_;
+};
+
+}  // namespace ibpower

@@ -1,0 +1,73 @@
+#include "network/fabric.hpp"
+
+namespace ibpower {
+
+Fabric::Fabric(const FabricConfig& cfg, int nodes_used)
+    : cfg_(cfg),
+      topo_(cfg.xgft),
+      nodes_used_(nodes_used),
+      route_rng_(cfg.routing_seed) {
+  IBP_EXPECTS(nodes_used > 0 && nodes_used <= topo_.num_nodes());
+  links_.reserve(static_cast<std::size_t>(topo_.num_links()));
+  for (int i = 0; i < topo_.num_links(); ++i) {
+    links_.push_back(std::make_unique<IbLink>(cfg.link));
+  }
+}
+
+SwitchId Fabric::pick_top(NodeId src, NodeId dst) {
+  const int ntop = topo_.num_top_switches();
+  if (cfg_.random_routing) {
+    return static_cast<SwitchId>(
+        route_rng_.uniform_below(static_cast<std::uint64_t>(ntop)));
+  }
+  // Deterministic destination-hash routing (D-mod-k style).
+  return static_cast<SwitchId>((src * 31 + dst) % ntop);
+}
+
+Fabric::TxResult Fabric::unicast(NodeId src, NodeId dst, Bytes bytes,
+                                 TimeNs ready) {
+  IBP_EXPECTS(src >= 0 && src < nodes_used_);
+  IBP_EXPECTS(dst >= 0 && dst < nodes_used_);
+  IBP_EXPECTS(src != dst);
+
+  const SwitchId top = pick_top(src, dst);
+  const std::vector<LinkId> path = topo_.route(src, dst, top);
+  // Channel direction per hop: Up on the source side, Down on the
+  // destination side (trunks: up-trunk carries Up, down-trunk Down).
+  TxResult result{};
+  TimeNs cursor = ready;
+  for (std::size_t h = 0; h < path.size(); ++h) {
+    const Direction dir =
+        h < path.size() / 2 ? Direction::Up : Direction::Down;
+    auto res = link(path[h]).reserve(dir, cursor, bytes);
+    result.power_penalty += res.power_delay;
+    if (h == 0) result.sender_free = res.end;
+    // Segment-level pipelining: the next hop can start once the first
+    // segment has crossed this link and the switch (hop latency).
+    const TimeNs first_segment =
+        link(path[h]).serialization_time(std::min(bytes, cfg_.segment_size));
+    cursor = res.start + first_segment + cfg_.hop_latency;
+    if (h + 1 == path.size()) {
+      result.delivery = res.end + cfg_.hop_latency;
+    }
+  }
+  result.delivery += cfg_.mpi_latency;
+  return result;
+}
+
+TimeNs Fabric::wake_node_link(NodeId node, TimeNs ready) {
+  auto res = node_link(node).reserve(Direction::Up, ready, 0);
+  return res.power_delay;
+}
+
+void Fabric::occupy_node_link(NodeId node, TimeNs begin, TimeNs end) {
+  auto& l = node_link(node);
+  l.occupy(Direction::Up, begin, end);
+  l.occupy(Direction::Down, begin, end);
+}
+
+void Fabric::finish(TimeNs end) {
+  for (auto& l : links_) l->finish(end);
+}
+
+}  // namespace ibpower

@@ -1,0 +1,82 @@
+// Fabric: topology + links + routing — the "Venus" role of the co-simulation.
+//
+// Message timing follows the Dimemas-style model of Table II: per-message
+// MPI latency (1 us), serialization at link bandwidth (40 Gb/s), per-switch
+// hop latency, segment-level pipelining across hops (segments stream through
+// switches, so a message occupies consecutive links in overlapping windows),
+// FIFO contention per link channel, and random routing across the top
+// switches (Table II: "Random routing").
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "network/ib_link.hpp"
+#include "network/topology.hpp"
+#include "util/rng.hpp"
+
+namespace ibpower {
+
+struct FabricConfig {
+  XgftParams xgft{};
+  LinkConfig link{};
+  TimeNs mpi_latency{TimeNs::from_us(std::int64_t{1})};  // Table II
+  TimeNs hop_latency{TimeNs{100}};                       // per switch, 100 ns
+  Bytes segment_size{2048};                              // Table II: 2 KB
+  bool random_routing{true};
+  std::uint64_t routing_seed{0x5eedu};
+};
+
+class Fabric {
+ public:
+  /// `nodes_used`: how many nodes the application occupies (1 MPI process
+  /// per node, §IV-A). Must fit in the topology.
+  Fabric(const FabricConfig& cfg, int nodes_used);
+
+  struct TxResult {
+    TimeNs sender_free{};   // injection finished on the source uplink
+    TimeNs delivery{};      // message fully received at the destination
+    TimeNs power_penalty{}; // lane-wake delay accumulated along the path
+  };
+
+  /// Route and time one message. `ready` is when the sender's data is ready
+  /// to inject.
+  TxResult unicast(NodeId src, NodeId dst, Bytes bytes, TimeNs ready);
+
+  /// Ensure a node's link is at full width at `ready` (used at collective
+  /// entry); returns the wake penalty (zero if already full width).
+  TimeNs wake_node_link(NodeId node, TimeNs ready);
+
+  /// Mark a node link busy in both directions (collective phases).
+  void occupy_node_link(NodeId node, TimeNs begin, TimeNs end);
+
+  [[nodiscard]] IbLink& node_link(NodeId node) {
+    return link(topo_.node_uplink(node));
+  }
+  [[nodiscard]] IbLink& link(LinkId id) {
+    IBP_EXPECTS(id >= 0 && id < static_cast<LinkId>(links_.size()));
+    return *links_[static_cast<std::size_t>(id)];
+  }
+  [[nodiscard]] const IbLink& link(LinkId id) const {
+    IBP_EXPECTS(id >= 0 && id < static_cast<LinkId>(links_.size()));
+    return *links_[static_cast<std::size_t>(id)];
+  }
+
+  [[nodiscard]] const FatTreeTopology& topology() const { return topo_; }
+  [[nodiscard]] int nodes_used() const { return nodes_used_; }
+  [[nodiscard]] const FabricConfig& config() const { return cfg_; }
+
+  /// Close all link timelines at the end of the execution.
+  void finish(TimeNs end);
+
+ private:
+  [[nodiscard]] SwitchId pick_top(NodeId src, NodeId dst);
+
+  FabricConfig cfg_;
+  FatTreeTopology topo_;
+  int nodes_used_;
+  std::vector<std::unique_ptr<IbLink>> links_;
+  Rng route_rng_;
+};
+
+}  // namespace ibpower

@@ -1,0 +1,205 @@
+#include "network/ib_link.hpp"
+
+#include <algorithm>
+
+#include "util/expect.hpp"
+
+namespace ibpower {
+
+IbLink::IbLink(LinkConfig cfg) : cfg_(cfg) {
+  IBP_EXPECTS(cfg.lanes >= 2);
+  IBP_EXPECTS(cfg.full_bandwidth_gbps > 0.0);
+  IBP_EXPECTS(cfg.t_react > TimeNs::zero());
+}
+
+TimeNs IbLink::serialization_time(Bytes bytes) const {
+  IBP_EXPECTS(bytes >= 0);
+  // bits / (Gbit/s) = ns.
+  const double ns =
+      static_cast<double>(bytes) * 8.0 / cfg_.full_bandwidth_gbps;
+  return TimeNs{static_cast<std::int64_t>(ns + 0.5)};
+}
+
+std::ptrdiff_t IbLink::segment_index(TimeNs t) const {
+  auto it = std::upper_bound(
+      segments_.begin(), segments_.end(), t,
+      [](TimeNs v, const ModeSegment& s) { return v < s.begin; });
+  return static_cast<std::ptrdiff_t>(it - segments_.begin()) - 1;
+}
+
+LinkPowerMode IbLink::mode_at(TimeNs t) const {
+  const std::ptrdiff_t i = segment_index(t);
+  return i < 0 ? LinkPowerMode::FullPower
+               : segments_[static_cast<std::size_t>(i)].mode;
+}
+
+void IbLink::append_mode(TimeNs t, LinkPowerMode mode) {
+  while (!segments_.empty() && segments_.back().begin >= t) {
+    segments_.pop_back();
+  }
+  const LinkPowerMode prev =
+      segments_.empty() ? LinkPowerMode::FullPower : segments_.back().mode;
+  if (prev != mode) segments_.push_back({t, mode});
+}
+
+void IbLink::request_low_power(TimeNs now, TimeNs duration) {
+  IBP_EXPECTS(!finished_);
+  IBP_EXPECTS(now >= TimeNs::zero());
+  if (duration <= cfg_.t_deact) return;  // nothing to gain
+  // Lanes cannot shut down while data is queued or in flight in either
+  // direction: deactivation waits for the wire to clear. The hardware
+  // timer's expiry stays at now + duration regardless.
+  const TimeNs react_at = now + duration;
+  const TimeNs start = max(now, max(avail_[0], avail_[1]));
+  if (start + cfg_.t_deact >= react_at) return;  // window consumed by traffic
+  ++low_power_requests_;
+
+  // If a previous low-power span is still scheduled (possible after a
+  // pattern mispredict whose subsequent calls never touched this link), the
+  // new request supersedes it from `start` on.
+  append_mode(start, LinkPowerMode::Transition);              // lanes shutting
+  append_mode(start + cfg_.t_deact, LinkPowerMode::LowPower); // 1 lane active
+  append_mode(react_at, LinkPowerMode::Transition);           // timer fired
+  append_mode(react_at + cfg_.t_react, LinkPowerMode::FullPower);
+}
+
+TimeNs IbLink::next_full_time(TimeNs t) const {
+  std::ptrdiff_t i = segment_index(t);
+  if (i < 0) return t;
+  auto idx = static_cast<std::size_t>(i);
+  if (segments_[idx].mode == LinkPowerMode::FullPower) return t;
+  for (++idx; idx < segments_.size(); ++idx) {
+    if (segments_[idx].mode == LinkPowerMode::FullPower) {
+      return segments_[idx].begin;
+    }
+  }
+  // No full-power segment scheduled after t: the schedule always ends in
+  // FullPower, so this means t is beyond the last segment — treat the link
+  // as needing a plain on-demand wake.
+  return t + cfg_.t_react;
+}
+
+IbLink::TxReservation IbLink::reserve(Direction dir, TimeNs ready,
+                                      Bytes bytes) {
+  IBP_EXPECTS(!finished_);
+  IBP_EXPECTS(ready >= TimeNs::zero());
+  const auto d = static_cast<std::size_t>(dir);
+  TimeNs ser = serialization_time(bytes);
+  TimeNs t = ready;
+  TimeNs penalty{};
+
+  const LinkPowerMode mode = mode_at(t);
+  if (mode != LinkPowerMode::FullPower) {
+    if (cfg_.transmit_at_reduced_width && mode == LinkPowerMode::LowPower) {
+      // Ablation: squeeze through the single active lane.
+      ser = ser * static_cast<std::int64_t>(cfg_.lanes);
+    } else {
+      const TimeNs scheduled = next_full_time(t);
+      TimeNs on_demand = TimeNs::max();
+      TimeNs wake_start{};
+      if (mode == LinkPowerMode::LowPower) {
+        wake_start = t;
+        on_demand = t + cfg_.t_react;
+      } else {
+        // Transition: if lanes are shutting down (next scheduled mode is
+        // LowPower), the wake can begin once deactivation completes; if
+        // they are already reactivating, just wait for it.
+        const std::ptrdiff_t i = segment_index(t);
+        const auto idx = static_cast<std::size_t>(i);
+        const bool deactivating =
+            idx + 1 < segments_.size() &&
+            segments_[idx + 1].mode == LinkPowerMode::LowPower;
+        if (deactivating) {
+          wake_start = segments_[idx + 1].begin;
+          on_demand = wake_start + cfg_.t_react;
+        }
+      }
+      const TimeNs full_at = min(scheduled, on_demand);
+      if (on_demand < scheduled) {
+        // Rewrite the schedule: cut the low-power span short and
+        // reactivate immediately (cancels the hardware timer).
+        append_mode(wake_start, LinkPowerMode::Transition);
+        append_mode(full_at, LinkPowerMode::FullPower);
+        ++on_demand_wakes_;
+      }
+      penalty = full_at - t;
+      wake_penalty_total_ += penalty;
+      t = full_at;
+    }
+  }
+
+  const TimeNs start = max(t, avail_[d]);
+  avail_[d] = start + ser;
+  busy_[d].add(start, start + ser);
+  defer_shutdown(start, start + ser);
+  return {start, start + ser, penalty};
+}
+
+void IbLink::defer_shutdown(TimeNs start, TimeNs end) {
+  // If a lane shutdown is scheduled to begin while this transmission is on
+  // the wire, push it back until the wire is clear (the timer expiry — the
+  // reactivation start — is hardware-fixed and does not move).
+  for (std::size_t i = 0; i < segments_.size(); ++i) {
+    if (segments_[i].begin <= start) continue;
+    if (segments_[i].begin >= end) break;
+    const bool shutting = segments_[i].mode == LinkPowerMode::Transition &&
+                          i + 1 < segments_.size() &&
+                          segments_[i + 1].mode == LinkPowerMode::LowPower;
+    if (!shutting) continue;
+    // Locate the scheduled reactivation start (timer expiry).
+    TimeNs react_at = TimeNs::max();
+    for (std::size_t j = i + 2; j < segments_.size(); ++j) {
+      if (segments_[j].mode == LinkPowerMode::Transition) {
+        react_at = segments_[j].begin;
+        break;
+      }
+    }
+    // Drop the old span and re-schedule the shortened one.
+    const TimeNs old_begin = segments_[i].begin;
+    while (!segments_.empty() && segments_.back().begin >= old_begin) {
+      segments_.pop_back();
+    }
+    if (react_at != TimeNs::max() && end + cfg_.t_deact < react_at) {
+      append_mode(end, LinkPowerMode::Transition);
+      append_mode(end + cfg_.t_deact, LinkPowerMode::LowPower);
+      append_mode(react_at, LinkPowerMode::Transition);
+      append_mode(react_at + cfg_.t_react, LinkPowerMode::FullPower);
+    }
+    break;  // at most one pending span can start inside the window
+  }
+}
+
+void IbLink::occupy(Direction dir, TimeNs begin, TimeNs end) {
+  IBP_EXPECTS(begin <= end);
+  const auto d = static_cast<std::size_t>(dir);
+  busy_[d].add(begin, end);
+  avail_[d] = max(avail_[d], end);
+}
+
+void IbLink::finish(TimeNs end) {
+  IBP_EXPECTS(!finished_);
+  finished_ = true;
+  end_time_ = end;
+}
+
+TimeNs IbLink::residency(LinkPowerMode mode) const {
+  IBP_EXPECTS(finished_);
+  TimeNs sum{};
+  for (std::size_t i = 0; i < segments_.size(); ++i) {
+    if (segments_[i].mode != mode) continue;
+    const TimeNs b = min(segments_[i].begin, end_time_);
+    const TimeNs e = i + 1 < segments_.size()
+                         ? min(segments_[i + 1].begin, end_time_)
+                         : end_time_;
+    if (e > b) sum += e - b;
+  }
+  if (mode == LinkPowerMode::FullPower) {
+    // Time before the first segment is full power.
+    const TimeNs first =
+        segments_.empty() ? end_time_ : min(segments_.front().begin, end_time_);
+    sum += first;
+  }
+  return sum;
+}
+
+}  // namespace ibpower

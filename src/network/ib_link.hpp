@@ -1,0 +1,129 @@
+// IB 4X link model with Width Reduction Power Saving (WRPS) lane control
+// and the paper's proposed hardware reactivation timer (Fig. 5).
+//
+// The link is full duplex (independent Up/Down channel occupancy) but the
+// lane width — and thus the power mode — is shared by both directions, as
+// on real IB links. Modes:
+//
+//   FullPower   all 4 lanes up (40 Gb/s)
+//   LowPower    1 lane up (connectivity preserved, §II-A), 43% power
+//   Transition  lanes shifting either way; the paper charges full power
+//
+// request_low_power(now, d) models the PMPI agent's WRPS call: lanes shut
+// down (deactivation overlapped with computation), the hardware timer is
+// programmed with d, and reactivation runs [now+d, now+d+Treact] so the
+// link is full width at now+d+Treact with no CPU involvement.
+//
+// A transmission finding the link not at full width triggers an *on-demand*
+// wake (the paper's timing-misprediction penalty): the message waits for
+// the earlier of the scheduled reactivation and now+Treact.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/pmpi_agent.hpp"  // LinkPowerPort
+#include "trace/mpi_event.hpp"
+#include "util/interval_set.hpp"
+#include "util/time_types.hpp"
+
+namespace ibpower {
+
+enum class LinkPowerMode : std::uint8_t {
+  FullPower = 0,
+  LowPower = 1,
+  Transition = 2,
+};
+
+enum class Direction : std::uint8_t { Up = 0, Down = 1 };
+
+struct LinkConfig {
+  int lanes{4};
+  double full_bandwidth_gbps{40.0};  // Table II: 40 Gbit/s 4X QDR
+  TimeNs t_react{TimeNs::from_us(std::int64_t{10})};
+  TimeNs t_deact{TimeNs::from_us(std::int64_t{10})};  // taken equal (§II)
+  /// Ablation: instead of waking on demand, transmit over the single active
+  /// lane at 1/lanes bandwidth while in low power.
+  bool transmit_at_reduced_width{false};
+};
+
+struct ModeSegment {
+  TimeNs begin{};
+  LinkPowerMode mode{LinkPowerMode::FullPower};
+};
+
+class IbLink final : public LinkPowerPort {
+ public:
+  explicit IbLink(LinkConfig cfg = {});
+
+  /// Wire serialization time at full width.
+  [[nodiscard]] TimeNs serialization_time(Bytes bytes) const;
+
+  // --- LinkPowerPort (driven by the owning rank's PmpiAgent) ---
+  void request_low_power(TimeNs now, TimeNs duration) override;
+
+  // --- Transmission (driven by the fabric) ---
+  struct TxReservation {
+    TimeNs start{};        // when data starts flowing
+    TimeNs end{};          // start + serialization
+    TimeNs power_delay{};  // waiting for lanes (0 when full width)
+  };
+  TxReservation reserve(Direction dir, TimeNs ready, Bytes bytes);
+
+  /// Occupy the channel without power interaction (used for modeling
+  /// collective phases on links that are known awake).
+  void occupy(Direction dir, TimeNs begin, TimeNs end);
+
+  /// Mode at time t (segments before the first record are FullPower).
+  [[nodiscard]] LinkPowerMode mode_at(TimeNs t) const;
+
+  /// Close the timeline at the end of the simulated execution.
+  void finish(TimeNs end_time);
+
+  [[nodiscard]] const std::vector<ModeSegment>& segments() const {
+    return segments_;
+  }
+  /// Total time spent in `mode` over [0, end_time]; requires finish().
+  [[nodiscard]] TimeNs residency(LinkPowerMode mode) const;
+  [[nodiscard]] TimeNs end_time() const { return end_time_; }
+
+  [[nodiscard]] const IntervalSet& busy(Direction dir) const {
+    return busy_[static_cast<std::size_t>(dir)];
+  }
+
+  [[nodiscard]] std::uint64_t low_power_requests() const {
+    return low_power_requests_;
+  }
+  [[nodiscard]] std::uint64_t on_demand_wakes() const {
+    return on_demand_wakes_;
+  }
+  [[nodiscard]] TimeNs wake_penalty_total() const {
+    return wake_penalty_total_;
+  }
+
+  [[nodiscard]] const LinkConfig& config() const { return cfg_; }
+
+ private:
+  /// Append a mode change, dropping any scheduled changes at or after `t`.
+  void append_mode(TimeNs t, LinkPowerMode mode);
+  /// Earliest time >= t at which the link is (or becomes) full width under
+  /// the current schedule.
+  [[nodiscard]] TimeNs next_full_time(TimeNs t) const;
+  /// Mode segment index covering t, or -1 if before all segments.
+  [[nodiscard]] std::ptrdiff_t segment_index(TimeNs t) const;
+  /// Push back a scheduled lane shutdown that would begin during the busy
+  /// window [start, end) — lanes cannot drop mid-transmission.
+  void defer_shutdown(TimeNs start, TimeNs end);
+
+  LinkConfig cfg_;
+  std::vector<ModeSegment> segments_;
+  TimeNs avail_[2]{};
+  IntervalSet busy_[2];
+  TimeNs end_time_{};
+  bool finished_{false};
+  std::uint64_t low_power_requests_{0};
+  std::uint64_t on_demand_wakes_{0};
+  TimeNs wake_penalty_total_{};
+};
+
+}  // namespace ibpower

@@ -1,0 +1,44 @@
+#include "network/topology.hpp"
+
+namespace ibpower {
+
+FatTreeTopology::FatTreeTopology(XgftParams params) : params_(params) {
+  IBP_EXPECTS(params.valid());
+}
+
+std::vector<LinkId> FatTreeTopology::route(NodeId src, NodeId dst,
+                                           SwitchId top) const {
+  IBP_EXPECTS(src != dst);
+  const SwitchId src_leaf = leaf_of(src);
+  const SwitchId dst_leaf = leaf_of(dst);
+  if (src_leaf == dst_leaf) {
+    return {node_uplink(src), node_uplink(dst)};
+  }
+  return {node_uplink(src), trunk_link(src_leaf, top), trunk_link(dst_leaf, top),
+          node_uplink(dst)};
+}
+
+std::vector<LinkId> FatTreeTopology::leaf_switch_ports(SwitchId leaf) const {
+  IBP_EXPECTS(leaf >= 0 && leaf < num_leaf_switches());
+  std::vector<LinkId> ports;
+  ports.reserve(static_cast<std::size_t>(params_.m1 + params_.w2));
+  for (int i = 0; i < params_.m1; ++i) {
+    ports.push_back(node_uplink(leaf * params_.m1 + i));
+  }
+  for (int t = 0; t < num_top_switches(); ++t) {
+    ports.push_back(trunk_link(leaf, t));
+  }
+  return ports;
+}
+
+std::vector<LinkId> FatTreeTopology::top_switch_ports(SwitchId top) const {
+  IBP_EXPECTS(top >= 0 && top < num_top_switches());
+  std::vector<LinkId> ports;
+  ports.reserve(static_cast<std::size_t>(params_.m2));
+  for (int l = 0; l < num_leaf_switches(); ++l) {
+    ports.push_back(trunk_link(l, top));
+  }
+  return ports;
+}
+
+}  // namespace ibpower

@@ -1,0 +1,95 @@
+// Extended Generalized Fat Tree (XGFT) topology — paper Table II:
+// XGFT(2; 18, 14; 1, 18).
+//
+// XGFT(h; m1..mh; w1..wh) notation (Öhring et al.): level-0 vertices are the
+// compute nodes; a level-l switch has m_l children and every level-(l-1)
+// vertex has w_l parents. For the paper's instance:
+//   nodes            = m1 * m2       = 18 * 14 = 252
+//   leaf switches    = m2            = 14 (18 node ports + 18 up ports — a
+//                                      36-port SX6036-class switch)
+//   top switches     = w1 * w2       = 18 (14 down ports each)
+//   links: 252 node-to-leaf + 14*18 = 252 leaf-to-top = 504 total
+//
+// Links are numbered: [0, nodes) are node uplinks (the links the PMPI agent
+// gates); [nodes, nodes + leaves*w2) are leaf-to-top trunks.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/expect.hpp"
+
+namespace ibpower {
+
+using NodeId = std::int32_t;
+using SwitchId = std::int32_t;
+using LinkId = std::int32_t;
+
+struct XgftParams {
+  int m1{18};  // nodes per leaf switch
+  int m2{14};  // leaf switches per top switch
+  int w1{1};   // parents per node
+  int w2{18};  // parents per leaf switch (= number of top switches / w1)
+
+  [[nodiscard]] bool valid() const {
+    return m1 > 0 && m2 > 0 && w1 == 1 && w2 > 0;
+  }
+};
+
+class FatTreeTopology {
+ public:
+  explicit FatTreeTopology(XgftParams params = {});
+
+  [[nodiscard]] const XgftParams& params() const { return params_; }
+  [[nodiscard]] int num_nodes() const { return params_.m1 * params_.m2; }
+  [[nodiscard]] int num_leaf_switches() const { return params_.m2; }
+  [[nodiscard]] int num_top_switches() const { return params_.w1 * params_.w2; }
+  [[nodiscard]] int num_links() const {
+    return num_nodes() + num_leaf_switches() * params_.w2;
+  }
+
+  /// Leaf switch a node hangs off.
+  [[nodiscard]] SwitchId leaf_of(NodeId node) const {
+    IBP_EXPECTS(node >= 0 && node < num_nodes());
+    return node / params_.m1;
+  }
+
+  /// The node's (single, w1 = 1) uplink to its leaf switch.
+  [[nodiscard]] LinkId node_uplink(NodeId node) const {
+    IBP_EXPECTS(node >= 0 && node < num_nodes());
+    return node;
+  }
+
+  /// Trunk link between a leaf switch and a top switch.
+  [[nodiscard]] LinkId trunk_link(SwitchId leaf, SwitchId top) const {
+    IBP_EXPECTS(leaf >= 0 && leaf < num_leaf_switches());
+    IBP_EXPECTS(top >= 0 && top < num_top_switches());
+    return num_nodes() + leaf * params_.w2 + top;
+  }
+
+  [[nodiscard]] bool is_node_link(LinkId link) const {
+    return link >= 0 && link < num_nodes();
+  }
+
+  /// Number of switch-to-switch hops between two nodes: 1 if they share a
+  /// leaf switch, 3 otherwise (leaf -> top -> leaf).
+  [[nodiscard]] int hop_count(NodeId a, NodeId b) const {
+    return leaf_of(a) == leaf_of(b) ? 1 : 3;
+  }
+
+  /// Links a message traverses from src to dst via top switch `top`
+  /// (ignored for same-leaf pairs). Order: src uplink, up-trunk, down-trunk,
+  /// dst uplink.
+  [[nodiscard]] std::vector<LinkId> route(NodeId src, NodeId dst,
+                                          SwitchId top) const;
+
+  /// Ports (link ids) of a leaf switch: its m1 node links + w2 trunks.
+  [[nodiscard]] std::vector<LinkId> leaf_switch_ports(SwitchId leaf) const;
+  /// Ports of a top switch: one trunk per leaf switch.
+  [[nodiscard]] std::vector<LinkId> top_switch_ports(SwitchId top) const;
+
+ private:
+  XgftParams params_;
+};
+
+}  // namespace ibpower

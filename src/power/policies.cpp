@@ -1,0 +1,81 @@
+#include "power/policies.hpp"
+
+#include <cmath>
+
+#include "util/expect.hpp"
+
+namespace ibpower {
+
+PolicyOutcome evaluate_oracle(const std::vector<TimeInterval>& idle_gaps,
+                              TimeNs exec, TimeNs t_react, TimeNs t_deact) {
+  IBP_EXPECTS(t_react > TimeNs::zero());
+  PolicyOutcome out;
+  out.exec_time = exec;
+  const TimeNs overhead = t_react + t_deact;
+  for (const auto& gap : idle_gaps) {
+    const TimeNs g = gap.duration();
+    if (g > overhead) {
+      out.low_power_time += g - overhead;
+      ++out.gated_gaps;
+    }
+  }
+  return out;
+}
+
+DvsOutcome evaluate_history_dvs(const IntervalSet& busy, TimeNs exec,
+                                const DvsConfig& cfg) {
+  IBP_EXPECTS(cfg.valid());
+  IBP_EXPECTS(exec > TimeNs::zero());
+  DvsOutcome out;
+  out.windows_at_step.assign(cfg.frequencies.size(), 0);
+
+  double energy = 0.0;  // in units of (full power) * ns
+  std::size_t step = 0;  // start at full speed (history empty)
+  TimeNs cursor{};
+  while (cursor < exec) {
+    const TimeNs end = min(cursor + cfg.window, exec);
+    const TimeNs busy_in_window = busy.overlap(cursor, end);
+    const double f = cfg.frequencies[step];
+    ++out.windows_at_step[step];
+
+    const auto span = static_cast<double>((end - cursor).ns);
+    energy += span * std::pow(f, cfg.power_exponent);
+    // Traffic stretched by the slower link: extra serialization time.
+    if (f < 1.0) {
+      out.stretch_total += TimeNs{static_cast<std::int64_t>(
+          static_cast<double>(busy_in_window.ns) * (1.0 / f - 1.0))};
+    }
+
+    // Choose next window's frequency from this window's utilization.
+    const double utilization =
+        span > 0.0 ? static_cast<double>(busy_in_window.ns) / span : 0.0;
+    step = 0;
+    for (std::size_t i = 0; i < cfg.thresholds.size(); ++i) {
+      if (utilization < cfg.thresholds[i]) step = i + 1;
+    }
+    cursor = end;
+  }
+  out.mean_power_fraction = energy / static_cast<double>(exec.ns);
+  return out;
+}
+
+PolicyOutcome evaluate_idle_timeout(const std::vector<TimeInterval>& idle_gaps,
+                                    TimeNs exec, TimeNs t_react, TimeNs t_deact,
+                                    TimeNs timeout) {
+  IBP_EXPECTS(t_react > TimeNs::zero());
+  IBP_EXPECTS(timeout >= TimeNs::zero());
+  PolicyOutcome out;
+  out.exec_time = exec;
+  for (const auto& gap : idle_gaps) {
+    const TimeNs g = gap.duration();
+    if (g > timeout + t_deact) {
+      out.low_power_time += g - timeout - t_deact;
+      ++out.gated_gaps;
+      ++out.wake_penalties;          // next use wakes on demand
+      out.wake_delay_total += t_react;
+    }
+  }
+  return out;
+}
+
+}  // namespace ibpower

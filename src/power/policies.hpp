@@ -1,0 +1,86 @@
+// Baseline link-power policies evaluated analytically over a link's busy
+// timeline (DESIGN.md decision: the PPA runs in the closed simulation loop;
+// these comparators post-process the baseline run's idle gaps).
+//
+//  * AlwaysOn      — the paper's power-unaware baseline (0% savings).
+//  * OracleGating  — upper bound: perfect future knowledge; gates every gap
+//                    longer than 2*Treact, wakes exactly on time, zero delay.
+//  * IdleTimeout   — hardware-style policy (cf. Alonso et al., Saravanan et
+//                    al.): lanes drop after the link has been idle for
+//                    `timeout`; the next use pays a full Treact on-demand
+//                    wake. Delay is reported but not fed back into the
+//                    schedule (documented approximation).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/interval_set.hpp"
+
+#include "util/time_types.hpp"
+
+namespace ibpower {
+
+struct PolicyOutcome {
+  TimeNs low_power_time{};
+  TimeNs exec_time{};
+  std::uint64_t gated_gaps{0};
+  std::uint64_t wake_penalties{0};
+  TimeNs wake_delay_total{};
+
+  [[nodiscard]] double low_residency() const {
+    return exec_time > TimeNs::zero() ? low_power_time / exec_time : 0.0;
+  }
+};
+
+/// Evaluate oracle gating over idle gaps of an execution of length `exec`.
+/// Each gap g > 2*Treact contributes g - Tdeact - Treact of low-power time
+/// (lanes drop after deactivation, rise exactly Treact before next use).
+[[nodiscard]] PolicyOutcome evaluate_oracle(
+    const std::vector<TimeInterval>& idle_gaps, TimeNs exec, TimeNs t_react,
+    TimeNs t_deact);
+
+/// Evaluate the idle-timeout policy: lanes drop `timeout` (+ Tdeact) after
+/// idle onset; the next use pays Treact.
+[[nodiscard]] PolicyOutcome evaluate_idle_timeout(
+    const std::vector<TimeInterval>& idle_gaps, TimeNs exec, TimeNs t_react,
+    TimeNs t_deact, TimeNs timeout);
+
+/// History-based link DVS (the related-work family of Shang et al., HPCA'03):
+/// time is cut into fixed windows; the utilization of window k selects the
+/// link frequency for window k+1 from a discrete ladder. Power scales
+/// ~quadratically with frequency (voltage tracks frequency); traffic in an
+/// under-clocked window is stretched by full/f, which is charged as delay.
+struct DvsConfig {
+  TimeNs window{TimeNs::from_ms(1.0)};
+  /// Frequency ladder as fractions of full speed, descending.
+  std::vector<double> frequencies{1.0, 0.75, 0.5, 0.25};
+  /// Utilization thresholds: ladder step i is chosen when the previous
+  /// window's utilization is below thresholds[i-1] (size = ladder - 1).
+  std::vector<double> thresholds{0.6, 0.3, 0.1};
+  /// Power exponent: P(f) ~ f^alpha relative to full power.
+  double power_exponent{2.0};
+
+  [[nodiscard]] bool valid() const {
+    return window > TimeNs::zero() && !frequencies.empty() &&
+           thresholds.size() + 1 == frequencies.size() &&
+           power_exponent >= 1.0;
+  }
+};
+
+struct DvsOutcome {
+  double mean_power_fraction{1.0};  // vs always-full-speed
+  TimeNs stretch_total{};           // serialization added by underclocking
+  std::vector<std::size_t> windows_at_step;  // histogram over the ladder
+
+  [[nodiscard]] double savings_pct() const {
+    return 100.0 * (1.0 - mean_power_fraction);
+  }
+};
+
+/// Evaluate history-based DVS over a link's busy intervals.
+[[nodiscard]] DvsOutcome evaluate_history_dvs(const IntervalSet& busy,
+                                              TimeNs exec,
+                                              const DvsConfig& cfg = {});
+
+}  // namespace ibpower

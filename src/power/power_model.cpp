@@ -1,0 +1,50 @@
+#include "power/power_model.hpp"
+
+#include "util/expect.hpp"
+
+namespace ibpower {
+
+LinkPowerSummary summarize_link(const IbLink& link,
+                                const PowerModelConfig& cfg) {
+  LinkPowerSummary s;
+  s.full_time = link.residency(LinkPowerMode::FullPower);
+  s.low_time = link.residency(LinkPowerMode::LowPower);
+  s.transition_time = link.residency(LinkPowerMode::Transition);
+  const TimeNs exec = link.end_time();
+  if (exec <= TimeNs::zero()) return s;
+
+  s.low_residency = s.low_time / exec;
+  // Transitions charged at full power (§III-B).
+  const double full_frac = (s.full_time + s.transition_time) / exec;
+  s.mean_power_fraction =
+      full_frac + cfg.low_power_fraction * s.low_residency;
+
+  double savings = (1.0 - s.mean_power_fraction);
+  if (cfg.weighting == PowerModelConfig::Weighting::LinkShareOfSwitch) {
+    savings *= cfg.link_share_of_switch;
+  }
+  s.savings_pct = 100.0 * savings;
+  s.energy_joules = cfg.port_nominal_watts * s.mean_power_fraction * exec.s();
+  return s;
+}
+
+FleetPowerSummary aggregate_power(const std::vector<const IbLink*>& ports,
+                                  const PowerModelConfig& cfg) {
+  FleetPowerSummary out;
+  if (ports.empty()) return out;
+  for (const IbLink* port : ports) {
+    IBP_EXPECTS(port != nullptr);
+    const LinkPowerSummary s = summarize_link(*port, cfg);
+    out.mean_low_residency += s.low_residency;
+    out.switch_savings_pct += s.savings_pct;
+    out.total_energy_joules += s.energy_joules;
+    out.baseline_energy_joules +=
+        cfg.port_nominal_watts * port->end_time().s();
+  }
+  const auto n = static_cast<double>(ports.size());
+  out.mean_low_residency /= n;
+  out.switch_savings_pct /= n;
+  return out;
+}
+
+}  // namespace ibpower

@@ -1,0 +1,63 @@
+// Switch/link power model (paper §II-A, §IV-B).
+//
+// Mellanox WRPS: a 4X QDR port running as 1X consumes 43% of nominal power;
+// the paper adopts that figure for its low-power mode and charges full power
+// during mode transitions. Savings are reported per IB switch relative to
+// the power-unaware always-on scheme.
+//
+// Two weighting schemes are provided (DESIGN.md decision #4):
+//  * GatedPorts (default, matches the paper's numbers): savings averaged
+//    over the node-facing ports the application uses — a port's saving is
+//    (1 - 0.43) * low-power residency fraction.
+//  * LinkShareOfSwitch (ablation): links are 64% of switch power (the IBM
+//    12X figure the intro cites); savings = 0.64 * (1-0.43) * residency.
+#pragma once
+
+#include <cstdint>
+
+#include "network/ib_link.hpp"
+#include "util/time_types.hpp"
+
+namespace ibpower {
+
+struct PowerModelConfig {
+  /// Low-power mode draw as a fraction of nominal (Mellanox SX6036: 43%).
+  double low_power_fraction{0.43};
+  /// Nominal per-port power in watts (used for absolute energy numbers;
+  /// relative savings do not depend on it). SX6036 class: ~4.2 W/port.
+  double port_nominal_watts{4.2};
+  /// Share of switch power attributable to links (IBM 8-port 12X: 64%).
+  double link_share_of_switch{0.64};
+
+  enum class Weighting : std::uint8_t { GatedPorts, LinkShareOfSwitch };
+  Weighting weighting{Weighting::GatedPorts};
+};
+
+/// Power/energy summary for one link (port) over a finished execution.
+struct LinkPowerSummary {
+  TimeNs full_time{};
+  TimeNs low_time{};
+  TimeNs transition_time{};
+  double low_residency{0.0};     // low_time / exec_time
+  double mean_power_fraction{1.0};  // vs always-on
+  double energy_joules{0.0};
+  double savings_pct{0.0};       // (1 - mean_power_fraction) * 100
+};
+
+[[nodiscard]] LinkPowerSummary summarize_link(const IbLink& link,
+                                              const PowerModelConfig& cfg);
+
+/// Aggregate savings over a set of (gated) ports, as the paper reports per
+/// IB switch: the mean over ports of per-port savings.
+struct FleetPowerSummary {
+  double mean_low_residency{0.0};
+  double switch_savings_pct{0.0};
+  double total_energy_joules{0.0};
+  double baseline_energy_joules{0.0};
+};
+
+[[nodiscard]] FleetPowerSummary aggregate_power(
+    const std::vector<const IbLink*>& gated_ports,
+    const PowerModelConfig& cfg);
+
+}  // namespace ibpower

@@ -1,0 +1,60 @@
+#include "power/switch_report.hpp"
+
+namespace ibpower {
+
+namespace {
+
+SwitchPowerRow summarize_switch(const Fabric& fabric,
+                                const PowerModelConfig& cfg, SwitchId id,
+                                bool is_leaf,
+                                const std::vector<LinkId>& ports) {
+  SwitchPowerRow row;
+  row.id = id;
+  row.is_leaf = is_leaf;
+  row.total_ports = static_cast<int>(ports.size());
+  double savings_sum_all = 0.0;
+  double savings_sum_active = 0.0;
+  double low_sum_active = 0.0;
+  for (const LinkId port : ports) {
+    const IbLink& link = fabric.link(port);
+    const LinkPowerSummary s = summarize_link(link, cfg);
+    savings_sum_all += s.savings_pct;
+    const bool active = !link.busy(Direction::Up).empty() ||
+                        !link.busy(Direction::Down).empty() ||
+                        link.low_power_requests() > 0;
+    if (active) {
+      ++row.active_ports;
+      savings_sum_active += s.savings_pct;
+      low_sum_active += s.low_residency;
+    }
+  }
+  if (row.total_ports > 0) {
+    row.savings_all_ports_pct = savings_sum_all / row.total_ports;
+  }
+  if (row.active_ports > 0) {
+    row.savings_active_ports_pct = savings_sum_active / row.active_ports;
+    row.mean_low_residency = low_sum_active / row.active_ports;
+  }
+  return row;
+}
+
+}  // namespace
+
+std::vector<SwitchPowerRow> switch_power_report(const Fabric& fabric,
+                                                const PowerModelConfig& cfg) {
+  const FatTreeTopology& topo = fabric.topology();
+  std::vector<SwitchPowerRow> rows;
+  rows.reserve(static_cast<std::size_t>(topo.num_leaf_switches() +
+                                        topo.num_top_switches()));
+  for (SwitchId leaf = 0; leaf < topo.num_leaf_switches(); ++leaf) {
+    rows.push_back(summarize_switch(fabric, cfg, leaf, true,
+                                    topo.leaf_switch_ports(leaf)));
+  }
+  for (SwitchId top = 0; top < topo.num_top_switches(); ++top) {
+    rows.push_back(
+        summarize_switch(fabric, cfg, top, false, topo.top_switch_ports(top)));
+  }
+  return rows;
+}
+
+}  // namespace ibpower

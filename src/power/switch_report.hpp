@@ -1,0 +1,31 @@
+// Per-switch power reporting: aggregates port mode residencies over the
+// fat tree's leaf and top switches, the way a datacenter operator would
+// read the savings (per-box), complementing the paper's per-gated-port
+// metric.
+#pragma once
+
+#include <vector>
+
+#include "network/fabric.hpp"
+#include "power/power_model.hpp"
+
+namespace ibpower {
+
+struct SwitchPowerRow {
+  SwitchId id{};
+  bool is_leaf{true};
+  int total_ports{0};
+  int active_ports{0};   // ports that saw any traffic or gating
+  /// Savings averaged over every physical port of the switch (unused ports
+  /// idle at full power and dilute the box-level number).
+  double savings_all_ports_pct{0.0};
+  /// Savings averaged over the active ports only (the paper's view).
+  double savings_active_ports_pct{0.0};
+  double mean_low_residency{0.0};  // over active ports
+};
+
+/// One row per switch in the fabric's topology.
+[[nodiscard]] std::vector<SwitchPowerRow> switch_power_report(
+    const Fabric& fabric, const PowerModelConfig& cfg);
+
+}  // namespace ibpower

@@ -1,0 +1,79 @@
+// Collective-operation cost models (Dimemas-style analytic costs).
+//
+// Collectives synchronize all ranks: completion = latest (effective) entry
+// plus the modeled cost. Costs use the classic tree/linear algorithm shapes:
+// logarithmic for rooted trees and allreduce, linear in P for personalized
+// all-to-all exchanges.
+#pragma once
+
+#include <cmath>
+
+#include "trace/mpi_event.hpp"
+#include "util/expect.hpp"
+#include "util/time_types.hpp"
+
+namespace ibpower {
+
+class CollectiveCostModel {
+ public:
+  /// `stage_latency`: per-software-stage latency (MPI latency + a path
+  /// traversal). `bandwidth_gbps`: link bandwidth for the serial term.
+  CollectiveCostModel(TimeNs stage_latency, double bandwidth_gbps)
+      : stage_latency_(stage_latency), bandwidth_gbps_(bandwidth_gbps) {
+    IBP_EXPECTS(stage_latency > TimeNs::zero());
+    IBP_EXPECTS(bandwidth_gbps > 0.0);
+  }
+
+  [[nodiscard]] TimeNs serialization(Bytes bytes) const {
+    const double ns = static_cast<double>(bytes) * 8.0 / bandwidth_gbps_;
+    return TimeNs{static_cast<std::int64_t>(ns + 0.5)};
+  }
+
+  /// Latency term scales with the tree depth (or P-1 for personalized
+  /// exchanges); the bandwidth term is ~2x one serialization, matching
+  /// pipelined/Rabenseifner-style algorithms rather than naive
+  /// store-and-forward trees (which would overcharge large payloads).
+  [[nodiscard]] TimeNs cost(MpiCall op, Bytes bytes, int nranks) const {
+    IBP_EXPECTS(nranks >= 1);
+    IBP_EXPECTS(is_collective(op));
+    if (nranks == 1) return stage_latency_;
+    const int stages = log2_ceil(nranks);
+    const TimeNs bw2 = serialization(bytes) * 2;
+    switch (op) {
+      case MpiCall::Barrier:
+        return stage_latency_ * stages;
+      case MpiCall::Bcast:
+      case MpiCall::Reduce:
+      case MpiCall::Scatter:
+      case MpiCall::Gather:
+        return stage_latency_ * stages + bw2;
+      case MpiCall::Allreduce:
+        // reduce-scatter + allgather phases.
+        return stage_latency_ * (2 * stages) + bw2;
+      case MpiCall::Allgather:
+      case MpiCall::ReduceScatter:
+      case MpiCall::Alltoall:
+        // Personalized exchange: latency linear in P.
+        return stage_latency_ * (nranks - 1) + bw2;
+      default:
+        IBP_ASSERT(false);
+        return TimeNs::zero();
+    }
+  }
+
+ private:
+  static int log2_ceil(int n) {
+    int stages = 0;
+    int cap = 1;
+    while (cap < n) {
+      cap <<= 1;
+      ++stages;
+    }
+    return stages;
+  }
+
+  TimeNs stage_latency_;
+  double bandwidth_gbps_;
+};
+
+}  // namespace ibpower

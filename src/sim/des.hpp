@@ -1,0 +1,69 @@
+// Minimal discrete-event simulation kernel.
+//
+// Deterministic: ties in time are broken by insertion order, so a replay is
+// reproducible bit-for-bit across runs and platforms.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "util/expect.hpp"
+#include "util/time_types.hpp"
+
+namespace ibpower {
+
+class EventQueue {
+ public:
+  using Callback = std::function<void()>;
+
+  void schedule(TimeNs t, Callback cb) {
+    IBP_EXPECTS(t >= now_);
+    heap_.push(Entry{t, seq_++, std::move(cb)});
+  }
+
+  [[nodiscard]] bool empty() const { return heap_.empty(); }
+  [[nodiscard]] TimeNs now() const { return now_; }
+  [[nodiscard]] std::uint64_t processed() const { return processed_; }
+
+  /// Pop and run the earliest event. Returns false when the queue is empty.
+  bool run_next() {
+    if (heap_.empty()) return false;
+    // Entry::cb is not touched by the comparator, so moving out of top() is
+    // safe; pop before running so the callback can schedule freely.
+    Entry entry = std::move(const_cast<Entry&>(heap_.top()));
+    heap_.pop();
+    IBP_ASSERT(entry.t >= now_);
+    now_ = entry.t;
+    ++processed_;
+    entry.cb();
+    return true;
+  }
+
+  /// Run until the queue drains.
+  void run() {
+    while (run_next()) {
+    }
+  }
+
+ private:
+  struct Entry {
+    TimeNs t;
+    std::uint64_t seq;
+    Callback cb;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.t != b.t) return a.t > b.t;
+      return a.seq > b.seq;
+    }
+  };
+
+  std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  TimeNs now_{};
+  std::uint64_t seq_{0};
+  std::uint64_t processed_{0};
+};
+
+}  // namespace ibpower

@@ -1,0 +1,79 @@
+// Experiment orchestration: baseline vs managed co-simulation runs and the
+// derived metrics every table/figure reproduction consumes.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "power/policies.hpp"
+#include "power/power_model.hpp"
+#include "sim/replay.hpp"
+#include "trace/idle_analysis.hpp"
+#include "trace/paraver.hpp"
+#include "workloads/app_model.hpp"
+
+namespace ibpower {
+
+struct ExperimentConfig {
+  std::string app{"alya"};
+  WorkloadParams workload{};
+  PpaConfig ppa{};
+  FabricConfig fabric{};
+  PowerModelConfig power{};
+  Bytes eager_threshold{32 * 1024};
+  bool record_call_timeline{false};
+};
+
+struct ExperimentResult {
+  TimeNs baseline_time{};
+  TimeNs managed_time{};
+  double time_increase_pct{0.0};
+  FleetPowerSummary power{};       // over the managed run's node uplinks
+  AgentStats agents{};             // summed over ranks
+  double hit_rate_pct{0.0};
+  IdleDistribution baseline_idle{};  // Table I input, baseline run
+  std::uint64_t on_demand_wakes{0};  // timing mispredictions (link level)
+  TimeNs wake_penalty_total{};
+  std::uint64_t mpi_calls{0};
+  std::uint64_t messages{0};
+};
+
+/// Generate the workload trace and run baseline + managed replays.
+[[nodiscard]] ExperimentResult run_experiment(const ExperimentConfig& cfg);
+
+/// Idle gaps of one node's uplink (busy union of both directions,
+/// complemented over [0, exec]).
+[[nodiscard]] std::vector<TimeInterval> node_link_idle_gaps(
+    const Fabric& fabric, NodeId node, TimeNs exec);
+
+/// Table I: idle-interval distribution aggregated over all used node
+/// uplinks of a finished run.
+[[nodiscard]] IdleDistribution aggregate_idle(const Fabric& fabric,
+                                              int nranks, TimeNs exec);
+
+/// Fig. 6: per-node-link power-mode timeline of a finished managed run.
+/// States use the LinkPowerMode enum values.
+[[nodiscard]] StateTimeline build_power_timeline(const Fabric& fabric,
+                                                 int nranks, TimeNs exec);
+
+/// Fig. 10 / Table III methodology: replay the *baseline* call timelines
+/// through prediction-only agents (no actuation) to score a GT value.
+/// Returns the aggregate MPI-call hit rate in percent.
+[[nodiscard]] double dry_run_hit_rate(
+    const std::vector<std::vector<MpiCallEvent>>& call_timelines,
+    const PpaConfig& ppa);
+
+struct GtSweepPoint {
+  TimeNs gt{};
+  double hit_rate_pct{0.0};
+};
+
+/// Sweep GT over `values` against one baseline run of `cfg`.
+[[nodiscard]] std::vector<GtSweepPoint> sweep_gt(const ExperimentConfig& cfg,
+                                                 const std::vector<TimeNs>& values);
+
+/// The grouping threshold our calibration selected per app/size (the
+/// analogue of the paper's Table III choices).
+[[nodiscard]] TimeNs default_gt(const std::string& app, int nranks);
+
+}  // namespace ibpower

@@ -1,0 +1,442 @@
+#include "sim/replay.hpp"
+
+#include <stdexcept>
+#include <string>
+
+namespace ibpower {
+
+ReplayEngine::ReplayEngine(const Trace* trace, const ReplayOptions& options)
+    : trace_(trace),
+      opt_(options),
+      coll_model_(options.fabric.mpi_latency + 4 * options.fabric.hop_latency,
+                  options.fabric.link.full_bandwidth_gbps) {
+  IBP_EXPECTS(trace != nullptr);
+  IBP_EXPECTS(trace->nranks() > 0);
+  fabric_ = std::make_unique<Fabric>(opt_.fabric,
+                                     static_cast<int>(trace->nranks()));
+  const auto n = static_cast<std::size_t>(trace->nranks());
+  ranks_.resize(n);
+  call_timelines_.resize(n);
+  if (opt_.enable_power_management) {
+    IBP_EXPECTS(opt_.ppa.valid());
+    agents_.reserve(n);
+    for (Rank r = 0; r < trace->nranks(); ++r) {
+      agents_.push_back(
+          std::make_unique<PmpiAgent>(opt_.ppa, &fabric_->node_link(r)));
+    }
+  }
+}
+
+ReplayEngine::Channel& ReplayEngine::channel(Rank src, Rank dst,
+                                             std::int32_t tag) {
+  auto& slot = channels_[channel_key(src, dst, tag)];
+  if (!slot) slot = std::make_unique<Channel>();
+  return *slot;
+}
+
+ReplayResult ReplayEngine::run() {
+  IBP_EXPECTS(!ran_);
+  ran_ = true;
+  for (Rank r = 0; r < trace_->nranks(); ++r) {
+    queue_.schedule(TimeNs::zero(), [this, r] { advance(r); });
+  }
+  queue_.run();
+
+  if (done_count_ != trace_->nranks()) {
+    std::string diag = "replay deadlock: ranks not finished:";
+    for (Rank r = 0; r < trace_->nranks(); ++r) {
+      const auto& st = ranks_[static_cast<std::size_t>(r)];
+      if (!st.done) {
+        diag += " r" + std::to_string(r) + "@pc" + std::to_string(st.pc);
+      }
+    }
+    throw std::runtime_error(diag);
+  }
+
+  ReplayResult result;
+  result.rank_finish.reserve(ranks_.size());
+  for (const auto& st : ranks_) {
+    result.rank_finish.push_back(st.now);
+    result.exec_time = max(result.exec_time, st.now);
+  }
+  for (const auto& agent : agents_) {
+    result.agent_total.merge(agent->stats());
+  }
+  result.events_processed = queue_.processed();
+  result.messages_sent = messages_;
+  fabric_->finish(result.exec_time);
+  return result;
+}
+
+void ReplayEngine::advance(Rank r) {
+  auto& st = ranks_[static_cast<std::size_t>(r)];
+  const auto& stream = trace_->stream(r);
+  if (st.pc >= stream.size()) {
+    if (!st.done) {
+      st.done = true;
+      ++done_count_;
+      if (opt_.enable_power_management) {
+        agents_[static_cast<std::size_t>(r)]->finish();
+      }
+    }
+    return;
+  }
+
+  const TraceRecord& rec = stream[st.pc];
+  if (const auto* c = std::get_if<ComputeRecord>(&rec)) {
+    do_compute(r, *c);
+    return;
+  }
+
+  // MPI call: interception + PPA overheads are charged before the call's
+  // network activity (the PMPI wrapper runs first).
+  const MpiCall call = call_of(rec);
+  const TimeNs enter = st.now;
+  TimeNs t = enter;
+  if (opt_.enable_power_management) {
+    t += agents_[static_cast<std::size_t>(r)]->on_call_enter(call, enter);
+  }
+
+  if (const auto* s = std::get_if<SendRecord>(&rec)) {
+    do_send(r, *s, enter, t);
+  } else if (const auto* v = std::get_if<RecvRecord>(&rec)) {
+    do_recv(r, *v, enter, t);
+  } else if (const auto* x = std::get_if<SendrecvRecord>(&rec)) {
+    do_sendrecv(r, *x, enter, t);
+  } else if (const auto* g = std::get_if<CollectiveRecord>(&rec)) {
+    do_collective(r, *g, enter, t);
+  } else if (const auto* is = std::get_if<IsendRecord>(&rec)) {
+    do_isend(r, *is, enter, t);
+  } else if (const auto* ir = std::get_if<IrecvRecord>(&rec)) {
+    do_irecv(r, *ir, enter, t);
+  } else if (const auto* w = std::get_if<WaitRecord>(&rec)) {
+    do_wait(r, *w, enter, t);
+  } else if (std::holds_alternative<WaitallRecord>(rec)) {
+    do_waitall(r, enter, t);
+  }
+}
+
+void ReplayEngine::do_compute(Rank r, const ComputeRecord& rec) {
+  auto& st = ranks_[static_cast<std::size_t>(r)];
+  ++st.pc;
+  const TimeNs wake = st.now + rec.duration;
+  queue_.schedule(wake, [this, r, wake] {
+    ranks_[static_cast<std::size_t>(r)].now = wake;
+    advance(r);
+  });
+}
+
+void ReplayEngine::finish_call(Rank r, MpiCall call, TimeNs enter,
+                               TimeNs exit) {
+  auto& st = ranks_[static_cast<std::size_t>(r)];
+  if (opt_.enable_power_management) {
+    agents_[static_cast<std::size_t>(r)]->on_call_exit(call, exit);
+  }
+  if (opt_.record_call_timeline) {
+    call_timelines_[static_cast<std::size_t>(r)].push_back(
+        {call, enter, exit});
+  }
+  ++st.pc;
+  queue_.schedule(exit, [this, r, exit] {
+    ranks_[static_cast<std::size_t>(r)].now = exit;
+    advance(r);
+  });
+}
+
+void ReplayEngine::resume_blocked_recv(const WaitingRecv& w, TimeNs exit) {
+  queue_.schedule(exit, [this, w, exit] {
+    finish_call(w.dst, w.call, w.enter, exit);
+  });
+}
+
+void ReplayEngine::satisfy_waiting(Channel& ch, TimeNs delivery) {
+  IBP_ASSERT(!ch.waiting.empty());
+  const WaitingRecv w = ch.waiting.front();
+  ch.waiting.pop_front();
+  if (w.nonblocking) {
+    complete_request(w.dst, w.request, max(w.min_exit, delivery));
+  } else {
+    resume_blocked_recv(w, max(w.min_exit, delivery));
+  }
+}
+
+void ReplayEngine::deliver_eager(Rank src, Rank dst, std::int32_t tag,
+                                 TimeNs delivery) {
+  Channel& ch = channel(src, dst, tag);
+  if (!ch.waiting.empty()) {
+    satisfy_waiting(ch, delivery);
+  } else {
+    ch.queue.push_back(ChannelMsg{false, delivery, 0, false, -1, 0});
+  }
+}
+
+void ReplayEngine::complete_request(Rank r, RequestId req, TimeNs when) {
+  auto& st = ranks_[static_cast<std::size_t>(r)];
+  st.pending_requests.erase(req);
+  st.completed_requests[req] = when;
+  if (st.blocked_in_wait) try_resume_wait(r);
+}
+
+void ReplayEngine::try_resume_wait(Rank r) {
+  auto& st = ranks_[static_cast<std::size_t>(r)];
+  IBP_ASSERT(st.blocked_in_wait);
+  TimeNs exit = st.wait_t;
+  if (st.wait_is_waitall) {
+    if (!st.pending_requests.empty()) return;
+    for (const auto& [req, when] : st.completed_requests) {
+      exit = max(exit, when);
+    }
+    st.completed_requests.clear();
+  } else {
+    const auto it = st.completed_requests.find(st.wait_request);
+    if (it == st.completed_requests.end()) return;
+    exit = max(exit, it->second);
+    st.completed_requests.erase(it);
+  }
+  st.blocked_in_wait = false;
+  finish_call(r, st.wait_is_waitall ? MpiCall::Waitall : MpiCall::Wait,
+              st.wait_enter, exit);
+}
+
+void ReplayEngine::do_send(Rank r, const SendRecord& rec, TimeNs enter,
+                           TimeNs t) {
+  ++messages_;
+  if (rec.bytes <= opt_.eager_threshold) {
+    const auto tx = fabric_->unicast(r, rec.peer, rec.bytes, t);
+    deliver_eager(r, rec.peer, rec.tag, tx.delivery);
+    finish_call(r, MpiCall::Send, enter, max(t, tx.sender_free));
+    return;
+  }
+
+  // Rendezvous: transfer begins once the receive is posted.
+  Channel& ch = channel(r, rec.peer, rec.tag);
+  if (!ch.waiting.empty()) {
+    const WaitingRecv w = ch.waiting.front();
+    ch.waiting.pop_front();
+    const auto tx = fabric_->unicast(r, rec.peer, rec.bytes, max(t, w.posted));
+    if (w.nonblocking) {
+      complete_request(w.dst, w.request, max(w.min_exit, tx.delivery));
+    } else {
+      resume_blocked_recv(w, max(w.min_exit, tx.delivery));
+    }
+    finish_call(r, MpiCall::Send, enter, max(t, tx.sender_free));
+  } else {
+    ch.queue.push_back(ChannelMsg{true, t, rec.bytes, false, r, 0});
+    // Sender stays blocked; the matching recv resumes it. Stash what we
+    // need in the channel entry; enter time is recoverable because the
+    // sender's pc still points at this record.
+    pending_send_enter_[channel_key(r, rec.peer, rec.tag)] = enter;
+  }
+}
+
+void ReplayEngine::do_isend(Rank r, const IsendRecord& rec, TimeNs enter,
+                            TimeNs t) {
+  ++messages_;
+  auto& st = ranks_[static_cast<std::size_t>(r)];
+  if (rec.bytes <= opt_.eager_threshold) {
+    const auto tx = fabric_->unicast(r, rec.peer, rec.bytes, t);
+    deliver_eager(r, rec.peer, rec.tag, tx.delivery);
+    st.completed_requests[rec.request] = max(t, tx.sender_free);
+    finish_call(r, MpiCall::Isend, enter, t);
+    return;
+  }
+  // Rendezvous Isend: if the receive is already posted, transfer now; the
+  // call still returns immediately and the request completes at injection.
+  Channel& ch = channel(r, rec.peer, rec.tag);
+  if (!ch.waiting.empty()) {
+    const WaitingRecv w = ch.waiting.front();
+    ch.waiting.pop_front();
+    const auto tx = fabric_->unicast(r, rec.peer, rec.bytes, max(t, w.posted));
+    if (w.nonblocking) {
+      complete_request(w.dst, w.request, max(w.min_exit, tx.delivery));
+    } else {
+      resume_blocked_recv(w, max(w.min_exit, tx.delivery));
+    }
+    st.completed_requests[rec.request] = max(t, tx.sender_free);
+  } else {
+    ch.queue.push_back(ChannelMsg{true, t, rec.bytes, true, r, rec.request});
+    st.pending_requests.insert(rec.request);
+  }
+  finish_call(r, MpiCall::Isend, enter, t);
+}
+
+void ReplayEngine::do_irecv(Rank r, const IrecvRecord& rec, TimeNs enter,
+                            TimeNs t) {
+  auto& st = ranks_[static_cast<std::size_t>(r)];
+  Channel& ch = channel(rec.peer, r, rec.tag);
+  if (!ch.queue.empty()) {
+    const ChannelMsg m = ch.queue.front();
+    ch.queue.pop_front();
+    if (!m.rendezvous) {
+      st.completed_requests[rec.request] = max(t, m.ready_or_delivery);
+    } else {
+      const auto tx =
+          fabric_->unicast(rec.peer, r, m.bytes, max(m.ready_or_delivery, t));
+      if (m.src_nonblocking) {
+        complete_request(m.src, m.src_request, tx.sender_free);
+      } else {
+        const auto key = channel_key(rec.peer, r, rec.tag);
+        const TimeNs send_enter = pending_send_enter_[key];
+        pending_send_enter_.erase(key);
+        const Rank src = rec.peer;
+        queue_.schedule(tx.sender_free, [this, src, send_enter, tx] {
+          finish_call(src, MpiCall::Send, send_enter, tx.sender_free);
+        });
+      }
+      st.completed_requests[rec.request] = max(t, tx.delivery);
+    }
+  } else {
+    ch.waiting.push_back(
+        WaitingRecv{r, MpiCall::Irecv, t, enter, t, true, rec.request});
+    st.pending_requests.insert(rec.request);
+  }
+  finish_call(r, MpiCall::Irecv, enter, t);
+}
+
+void ReplayEngine::do_wait(Rank r, const WaitRecord& rec, TimeNs enter,
+                           TimeNs t) {
+  auto& st = ranks_[static_cast<std::size_t>(r)];
+  const auto it = st.completed_requests.find(rec.request);
+  if (it != st.completed_requests.end()) {
+    const TimeNs exit = max(t, it->second);
+    st.completed_requests.erase(it);
+    finish_call(r, MpiCall::Wait, enter, exit);
+    return;
+  }
+  IBP_ASSERT(st.pending_requests.contains(rec.request));  // else trace bug
+  st.blocked_in_wait = true;
+  st.wait_is_waitall = false;
+  st.wait_request = rec.request;
+  st.wait_enter = enter;
+  st.wait_t = t;
+}
+
+void ReplayEngine::do_waitall(Rank r, TimeNs enter, TimeNs t) {
+  auto& st = ranks_[static_cast<std::size_t>(r)];
+  if (st.pending_requests.empty()) {
+    TimeNs exit = t;
+    for (const auto& [req, when] : st.completed_requests) {
+      exit = max(exit, when);
+    }
+    st.completed_requests.clear();
+    finish_call(r, MpiCall::Waitall, enter, exit);
+    return;
+  }
+  st.blocked_in_wait = true;
+  st.wait_is_waitall = true;
+  st.wait_enter = enter;
+  st.wait_t = t;
+}
+
+void ReplayEngine::do_recv(Rank r, const RecvRecord& rec, TimeNs enter,
+                           TimeNs t) {
+  Channel& ch = channel(rec.peer, r, rec.tag);
+  if (!ch.queue.empty()) {
+    const ChannelMsg m = ch.queue.front();
+    ch.queue.pop_front();
+    if (!m.rendezvous) {
+      finish_call(r, MpiCall::Recv, enter, max(t, m.ready_or_delivery));
+    } else {
+      const auto tx =
+          fabric_->unicast(rec.peer, r, m.bytes, max(m.ready_or_delivery, t));
+      if (m.src_nonblocking) {
+        complete_request(m.src, m.src_request, tx.sender_free);
+      } else {
+        // Resume the blocked sender.
+        const auto key = channel_key(rec.peer, r, rec.tag);
+        const TimeNs send_enter = pending_send_enter_[key];
+        pending_send_enter_.erase(key);
+        const Rank src = rec.peer;
+        queue_.schedule(tx.sender_free, [this, src, send_enter, tx] {
+          finish_call(src, MpiCall::Send, send_enter, tx.sender_free);
+        });
+      }
+      finish_call(r, MpiCall::Recv, enter, max(t, tx.delivery));
+    }
+    return;
+  }
+  ch.waiting.push_back(WaitingRecv{r, MpiCall::Recv, t, enter, t, false, 0});
+}
+
+void ReplayEngine::do_sendrecv(Rank r, const SendrecvRecord& rec, TimeNs enter,
+                               TimeNs t) {
+  ++messages_;
+  // Send half: always eager (MPI_Sendrecv cannot deadlock).
+  const auto tx = fabric_->unicast(r, rec.send_peer, rec.bytes, t);
+  deliver_eager(r, rec.send_peer, rec.tag, tx.delivery);
+  const TimeNs send_done = max(t, tx.sender_free);
+
+  // Recv half.
+  Channel& ch = channel(rec.recv_peer, r, rec.tag);
+  if (!ch.queue.empty()) {
+    const ChannelMsg m = ch.queue.front();
+    ch.queue.pop_front();
+    if (!m.rendezvous) {
+      finish_call(r, MpiCall::Sendrecv, enter,
+                  max(send_done, m.ready_or_delivery));
+      return;
+    }
+    // A large Isend can match a Sendrecv's receive half.
+    const auto rtx =
+        fabric_->unicast(rec.recv_peer, r, m.bytes, max(m.ready_or_delivery, t));
+    if (m.src_nonblocking) {
+      complete_request(m.src, m.src_request, rtx.sender_free);
+    } else {
+      const auto key = channel_key(rec.recv_peer, r, rec.tag);
+      const TimeNs send_enter = pending_send_enter_[key];
+      pending_send_enter_.erase(key);
+      const Rank src = rec.recv_peer;
+      queue_.schedule(rtx.sender_free, [this, src, send_enter, rtx] {
+        finish_call(src, MpiCall::Send, send_enter, rtx.sender_free);
+      });
+    }
+    finish_call(r, MpiCall::Sendrecv, enter, max(send_done, rtx.delivery));
+    return;
+  }
+  ch.waiting.push_back(
+      WaitingRecv{r, MpiCall::Sendrecv, t, enter, send_done, false, 0});
+}
+
+void ReplayEngine::do_collective(Rank r, const CollectiveRecord& rec,
+                                 TimeNs enter, TimeNs t) {
+  auto& st = ranks_[static_cast<std::size_t>(r)];
+  const auto k = static_cast<std::size_t>(st.coll_index++);
+  if (collectives_.size() <= k) collectives_.resize(k + 1);
+  CollectiveState& cs = collectives_[k];
+  if (cs.entered.empty()) {
+    cs.entered.assign(static_cast<std::size_t>(trace_->nranks()),
+                      TimeNs{-1});
+  }
+
+  // Ensure this rank's uplink is awake for the collective; a lane-wake
+  // penalty delays this rank's effective participation.
+  const TimeNs penalty = fabric_->wake_node_link(r, t);
+  const TimeNs eff = t + penalty;
+  cs.entered[static_cast<std::size_t>(r)] = eff;
+  cs.max_enter = max(cs.max_enter, eff);
+  ++cs.count;
+
+  if (cs.count == trace_->nranks()) {
+    const TimeNs completion =
+        cs.max_enter + coll_model_.cost(rec.call, rec.bytes,
+                                        static_cast<int>(trace_->nranks()));
+    for (Rank q = 0; q < trace_->nranks(); ++q) {
+      fabric_->occupy_node_link(q, cs.entered[static_cast<std::size_t>(q)],
+                                completion);
+    }
+    // All ranks (including r) exit at completion. Other ranks' enters were
+    // recorded when they blocked; we only know r's enter here, so each
+    // blocked rank stored its own via the pending list.
+    for (const auto& blocked : cs.blocked) {
+      queue_.schedule(completion, [this, blocked, completion, call = rec.call] {
+        finish_call(blocked.rank, call, blocked.enter, completion);
+      });
+    }
+    cs.blocked.clear();
+    finish_call(r, rec.call, enter, completion);
+  } else {
+    cs.blocked.push_back({r, enter});
+  }
+}
+
+}  // namespace ibpower

@@ -1,0 +1,186 @@
+// ReplayEngine — the Venus-Dimemas style co-simulation (paper §IV-A).
+//
+// The engine replays a Trace: computation bursts advance a rank's clock by
+// their recorded duration; communication is timed by the Fabric (network
+// model). With power management enabled, every rank runs a PmpiAgent bound
+// to its node uplink — exactly the paper's PMPI-layer deployment — whose
+// modeled software overheads and lane wake penalties feed back into the
+// simulated timeline, so the managed run's execution-time increase emerges
+// from the same closed loop the paper measures.
+//
+// Protocol model: small sends are eager (sender frees after injection;
+// message heads to the destination immediately), large sends rendezvous
+// (sender blocks until the receive is posted). MPI_Sendrecv's send half is
+// always eager, mirroring its deadlock-free semantics. Collectives
+// synchronize all ranks and complete max-entry + analytic cost later.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <set>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "core/pmpi_agent.hpp"
+#include "network/fabric.hpp"
+#include "sim/collectives.hpp"
+#include "sim/des.hpp"
+#include "trace/trace.hpp"
+#include "util/hash_table.hpp"
+
+namespace ibpower {
+
+struct ReplayOptions {
+  FabricConfig fabric{};
+  /// Enable the paper's mechanism (PmpiAgent per rank). When false the run
+  /// is the power-unaware baseline: no interception overheads, no gating.
+  bool enable_power_management{false};
+  PpaConfig ppa{};
+  /// Sends larger than this use the rendezvous protocol.
+  Bytes eager_threshold{32 * 1024};
+  /// Record per-rank MPI call events (needed for Paraver output and
+  /// call-level analyses; costs memory on large traces).
+  bool record_call_timeline{false};
+};
+
+struct ReplayResult {
+  TimeNs exec_time{};
+  std::vector<TimeNs> rank_finish;
+  AgentStats agent_total{};       // zeros for baseline runs
+  std::uint64_t events_processed{0};
+  std::uint64_t messages_sent{0};
+};
+
+class ReplayEngine {
+ public:
+  ReplayEngine(const Trace* trace, const ReplayOptions& options);
+
+  /// Runs the replay to completion. Throws std::runtime_error on deadlock
+  /// (malformed trace). Must be called exactly once.
+  ReplayResult run();
+
+  [[nodiscard]] Fabric& fabric() { return *fabric_; }
+  [[nodiscard]] const Fabric& fabric() const { return *fabric_; }
+  [[nodiscard]] const PmpiAgent* agent(Rank r) const {
+    const auto idx = static_cast<std::size_t>(r);
+    return idx < agents_.size() ? agents_[idx].get() : nullptr;
+  }
+  [[nodiscard]] const std::vector<MpiCallEvent>& call_timeline(Rank r) const {
+    return call_timelines_[static_cast<std::size_t>(r)];
+  }
+  [[nodiscard]] const ReplayOptions& options() const { return opt_; }
+
+ private:
+  // --- channel bookkeeping ---
+  struct ChannelMsg {
+    bool rendezvous{false};
+    TimeNs ready_or_delivery{};  // eager: delivery; rendezvous: sender ready
+    Bytes bytes{0};
+    // Rendezvous-from-Isend: the sender is not blocked; its request
+    // completes when the transfer is injected.
+    bool src_nonblocking{false};
+    Rank src{-1};
+    RequestId src_request{0};
+  };
+  struct WaitingRecv {
+    Rank dst{-1};
+    MpiCall call{MpiCall::None};
+    TimeNs posted{};
+    TimeNs enter{};
+    TimeNs min_exit{};
+    // Irecv: the rank is not blocked; the request completes on delivery.
+    bool nonblocking{false};
+    RequestId request{0};
+  };
+  struct Channel {
+    std::deque<ChannelMsg> queue;
+    std::deque<WaitingRecv> waiting;
+  };
+  struct BlockedRank {
+    Rank rank{-1};
+    TimeNs enter{};
+  };
+  struct CollectiveState {
+    int count{0};
+    TimeNs max_enter{};
+    std::vector<TimeNs> entered;
+    std::vector<BlockedRank> blocked;
+  };
+  struct RankState {
+    std::size_t pc{0};
+    TimeNs now{};
+    int coll_index{0};
+    bool done{false};
+    // Nonblocking-request bookkeeping.
+    std::map<RequestId, TimeNs> completed_requests;  // not yet retired
+    std::set<RequestId> pending_requests;            // completion unknown
+    bool blocked_in_wait{false};
+    bool wait_is_waitall{false};
+    RequestId wait_request{0};
+    TimeNs wait_enter{};
+    TimeNs wait_t{};  // post-overhead time inside the Wait
+  };
+
+  [[nodiscard]] static std::uint64_t channel_key(Rank src, Rank dst,
+                                                 std::int32_t tag) {
+    return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(src)) << 44) |
+           (static_cast<std::uint64_t>(static_cast<std::uint32_t>(dst)) << 24) |
+           static_cast<std::uint64_t>(static_cast<std::uint32_t>(tag) &
+                                      0xffffffu);
+  }
+
+  Channel& channel(Rank src, Rank dst, std::int32_t tag);
+
+  /// Execute the record at ranks_[r].pc; either finishes it (scheduling the
+  /// next advance) or leaves the rank blocked.
+  void advance(Rank r);
+
+  void do_compute(Rank r, const ComputeRecord& rec);
+  void do_send(Rank r, const SendRecord& rec, TimeNs enter, TimeNs t);
+  void do_recv(Rank r, const RecvRecord& rec, TimeNs enter, TimeNs t);
+  void do_sendrecv(Rank r, const SendrecvRecord& rec, TimeNs enter, TimeNs t);
+  void do_collective(Rank r, const CollectiveRecord& rec, TimeNs enter,
+                     TimeNs t);
+  void do_isend(Rank r, const IsendRecord& rec, TimeNs enter, TimeNs t);
+  void do_irecv(Rank r, const IrecvRecord& rec, TimeNs enter, TimeNs t);
+  void do_wait(Rank r, const WaitRecord& rec, TimeNs enter, TimeNs t);
+  void do_waitall(Rank r, TimeNs enter, TimeNs t);
+
+  /// Record that request `req` of rank `r` completes at `when`; resumes the
+  /// rank if it is blocked waiting on it.
+  void complete_request(Rank r, RequestId req, TimeNs when);
+  /// Try to finish a blocked Wait/Waitall; returns true if resumed.
+  void try_resume_wait(Rank r);
+  /// Pop the next waiting receive of a channel and satisfy it with an
+  /// arrival at `delivery` (blocking recvs resume; irecvs complete their
+  /// request).
+  void satisfy_waiting(Channel& ch, TimeNs delivery);
+
+  /// Deliver an eager message (wakes a waiting receiver or enqueues).
+  void deliver_eager(Rank src, Rank dst, std::int32_t tag, TimeNs delivery);
+
+  /// Complete an MPI call on rank r at `exit` and schedule the next record.
+  void finish_call(Rank r, MpiCall call, TimeNs enter, TimeNs exit);
+
+  /// Resume a receiver blocked in WaitingRecv at `exit`.
+  void resume_blocked_recv(const WaitingRecv& w, TimeNs exit);
+
+  const Trace* trace_;
+  ReplayOptions opt_;
+  std::unique_ptr<Fabric> fabric_;
+  CollectiveCostModel coll_model_;
+  EventQueue queue_;
+  std::vector<RankState> ranks_;
+  std::vector<std::unique_ptr<PmpiAgent>> agents_;
+  FlatHashMap<std::uint64_t, std::unique_ptr<Channel>> channels_;
+  FlatHashMap<std::uint64_t, TimeNs> pending_send_enter_;
+  std::vector<CollectiveState> collectives_;
+  std::vector<std::vector<MpiCallEvent>> call_timelines_;
+  int done_count_{0};
+  std::uint64_t messages_{0};
+  bool ran_{false};
+};
+
+}  // namespace ibpower

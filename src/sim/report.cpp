@@ -1,0 +1,90 @@
+#include "sim/report.hpp"
+
+#include <ostream>
+
+namespace ibpower {
+
+namespace {
+
+struct Field {
+  const char* name;
+  double (*get)(const LabelledResult&);
+};
+
+const Field kFields[] = {
+    {"displacement_pct",
+     [](const LabelledResult& r) { return 100.0 * r.displacement; }},
+    {"baseline_time_ms",
+     [](const LabelledResult& r) { return r.result.baseline_time.ms(); }},
+    {"managed_time_ms",
+     [](const LabelledResult& r) { return r.result.managed_time.ms(); }},
+    {"time_increase_pct",
+     [](const LabelledResult& r) { return r.result.time_increase_pct; }},
+    {"switch_savings_pct",
+     [](const LabelledResult& r) {
+       return r.result.power.switch_savings_pct;
+     }},
+    {"low_residency",
+     [](const LabelledResult& r) {
+       return r.result.power.mean_low_residency;
+     }},
+    {"hit_rate_pct",
+     [](const LabelledResult& r) { return r.result.hit_rate_pct; }},
+    {"mpi_calls",
+     [](const LabelledResult& r) {
+       return static_cast<double>(r.result.mpi_calls);
+     }},
+    {"pattern_mispredicts",
+     [](const LabelledResult& r) {
+       return static_cast<double>(r.result.agents.pattern_mispredicts);
+     }},
+    {"on_demand_wakes",
+     [](const LabelledResult& r) {
+       return static_cast<double>(r.result.on_demand_wakes);
+     }},
+    {"wake_penalty_ms",
+     [](const LabelledResult& r) { return r.result.wake_penalty_total.ms(); }},
+    {"reducible_idle_fraction",
+     [](const LabelledResult& r) {
+       return r.result.baseline_idle.reducible_time_fraction();
+     }},
+};
+
+}  // namespace
+
+std::string results_csv_header() {
+  std::string header = "app,nranks";
+  for (const Field& f : kFields) {
+    header += ',';
+    header += f.name;
+  }
+  return header;
+}
+
+void write_results_csv(std::ostream& os,
+                       const std::vector<LabelledResult>& results) {
+  os << results_csv_header() << "\n";
+  os.precision(10);
+  for (const auto& r : results) {
+    os << r.app << ',' << r.nranks;
+    for (const Field& f : kFields) os << ',' << f.get(r);
+    os << "\n";
+  }
+}
+
+void write_results_json(std::ostream& os,
+                        const std::vector<LabelledResult>& results) {
+  os.precision(10);
+  os << "[\n";
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const auto& r = results[i];
+    os << "  {\"app\": \"" << r.app << "\", \"nranks\": " << r.nranks;
+    for (const Field& f : kFields) {
+      os << ", \"" << f.name << "\": " << f.get(r);
+    }
+    os << "}" << (i + 1 < results.size() ? "," : "") << "\n";
+  }
+  os << "]\n";
+}
+
+}  // namespace ibpower

@@ -1,0 +1,32 @@
+// Machine-readable experiment reports (CSV and JSON) so results can feed
+// plotting pipelines without scraping the bench tables.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "sim/experiment.hpp"
+
+namespace ibpower {
+
+/// One labelled experiment outcome (a cell of the evaluation grid).
+struct LabelledResult {
+  std::string app;
+  int nranks{0};
+  double displacement{0.0};
+  ExperimentResult result;
+};
+
+/// CSV with one row per result; stable column order, header included.
+void write_results_csv(std::ostream& os,
+                       const std::vector<LabelledResult>& results);
+
+/// JSON array of objects mirroring the CSV columns.
+void write_results_json(std::ostream& os,
+                        const std::vector<LabelledResult>& results);
+
+/// The CSV header (exposed for tests and external parsers).
+[[nodiscard]] std::string results_csv_header();
+
+}  // namespace ibpower

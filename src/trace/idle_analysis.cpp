@@ -1,0 +1,44 @@
+#include "trace/idle_analysis.hpp"
+
+namespace ibpower {
+
+IdleDistribution classify_idle_durations(const std::vector<TimeNs>& durations,
+                                         IdleBucketEdges edges) {
+  IdleDistribution dist;
+  for (const TimeNs d : durations) {
+    if (d <= TimeNs::zero()) continue;
+    std::size_t b;
+    if (d < edges.short_edge) {
+      b = 0;
+    } else if (d < edges.long_edge) {
+      b = 1;
+    } else {
+      b = 2;
+    }
+    ++dist.buckets[b].count;
+    dist.buckets[b].idle_time += d;
+    ++dist.total_intervals;
+    dist.total_idle += d;
+  }
+  if (dist.total_intervals > 0) {
+    for (auto& bucket : dist.buckets) {
+      bucket.pct_intervals = 100.0 * static_cast<double>(bucket.count) /
+                             static_cast<double>(dist.total_intervals);
+      bucket.pct_idle_time =
+          dist.total_idle > TimeNs::zero()
+              ? 100.0 * (bucket.idle_time / dist.total_idle)
+              : 0.0;
+    }
+  }
+  return dist;
+}
+
+IdleDistribution classify_idle_intervals(
+    const std::vector<TimeInterval>& idle_intervals, IdleBucketEdges edges) {
+  std::vector<TimeNs> durations;
+  durations.reserve(idle_intervals.size());
+  for (const auto& iv : idle_intervals) durations.push_back(iv.duration());
+  return classify_idle_durations(durations, edges);
+}
+
+}  // namespace ibpower

@@ -1,0 +1,54 @@
+// Idle-interval distribution analysis — reproduces the paper's Table I.
+//
+// Given the idle intervals of a link over an execution, classify them into
+// the paper's three buckets (<20 us, 20–200 us, >200 us) and report, per
+// bucket, the interval count, the percentage of intervals, and the
+// percentage of accumulated idle time (the paper's "Exec. Time [%]" columns,
+// which sum to ~100% across the three buckets of each row).
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <vector>
+
+#include "util/time_types.hpp"
+
+namespace ibpower {
+
+struct IdleBucket {
+  std::size_t count{0};
+  TimeNs idle_time{};
+  double pct_intervals{0.0};
+  double pct_idle_time{0.0};
+};
+
+struct IdleDistribution {
+  // Bucket 0: Tidle < short_edge; 1: short_edge <= Tidle < long_edge;
+  // 2: Tidle >= long_edge.
+  std::array<IdleBucket, 3> buckets{};
+  std::size_t total_intervals{0};
+  TimeNs total_idle{};
+
+  /// Paper's power-saving candidacy claim: fraction of idle *time* in
+  /// intervals long enough to gate (>= short_edge).
+  [[nodiscard]] double reducible_time_fraction() const {
+    if (total_idle == TimeNs::zero()) return 0.0;
+    return (buckets[1].idle_time + buckets[2].idle_time) / total_idle;
+  }
+};
+
+/// Bucket edges used throughout the paper: 20 us (= 2 * Treact) and 200 us.
+struct IdleBucketEdges {
+  TimeNs short_edge{TimeNs::from_us(std::int64_t{20})};
+  TimeNs long_edge{TimeNs::from_us(std::int64_t{200})};
+};
+
+[[nodiscard]] IdleDistribution classify_idle_intervals(
+    const std::vector<TimeInterval>& idle_intervals,
+    IdleBucketEdges edges = {});
+
+/// Convenience overload for plain durations.
+[[nodiscard]] IdleDistribution classify_idle_durations(
+    const std::vector<TimeNs>& durations, IdleBucketEdges edges = {});
+
+}  // namespace ibpower

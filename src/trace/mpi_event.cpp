@@ -1,0 +1,73 @@
+#include "trace/mpi_event.hpp"
+
+namespace ibpower {
+
+const char* to_string(MpiCall call) {
+  switch (call) {
+    case MpiCall::None: return "none";
+    case MpiCall::Send: return "MPI_Send";
+    case MpiCall::Recv: return "MPI_Recv";
+    case MpiCall::Isend: return "MPI_Isend";
+    case MpiCall::Irecv: return "MPI_Irecv";
+    case MpiCall::Wait: return "MPI_Wait";
+    case MpiCall::Waitall: return "MPI_Waitall";
+    case MpiCall::Bcast: return "MPI_Bcast";
+    case MpiCall::Barrier: return "MPI_Barrier";
+    case MpiCall::Reduce: return "MPI_Reduce";
+    case MpiCall::Allreduce: return "MPI_Allreduce";
+    case MpiCall::Alltoall: return "MPI_Alltoall";
+    case MpiCall::Allgather: return "MPI_Allgather";
+    case MpiCall::Gather: return "MPI_Gather";
+    case MpiCall::Scatter: return "MPI_Scatter";
+    case MpiCall::ReduceScatter: return "MPI_Reduce_scatter";
+    case MpiCall::Sendrecv: return "MPI_Sendrecv";
+  }
+  return "MPI_unknown";
+}
+
+bool is_collective(MpiCall call) {
+  switch (call) {
+    case MpiCall::Bcast:
+    case MpiCall::Barrier:
+    case MpiCall::Reduce:
+    case MpiCall::Allreduce:
+    case MpiCall::Alltoall:
+    case MpiCall::Allgather:
+    case MpiCall::Gather:
+    case MpiCall::Scatter:
+    case MpiCall::ReduceScatter:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool is_p2p(MpiCall call) {
+  switch (call) {
+    case MpiCall::Send:
+    case MpiCall::Recv:
+    case MpiCall::Isend:
+    case MpiCall::Irecv:
+    case MpiCall::Sendrecv:
+      return true;
+    default:
+      return false;
+  }
+}
+
+MpiCall call_of(const TraceRecord& rec) {
+  struct Visitor {
+    MpiCall operator()(const ComputeRecord&) const { return MpiCall::None; }
+    MpiCall operator()(const SendRecord&) const { return MpiCall::Send; }
+    MpiCall operator()(const RecvRecord&) const { return MpiCall::Recv; }
+    MpiCall operator()(const SendrecvRecord&) const { return MpiCall::Sendrecv; }
+    MpiCall operator()(const CollectiveRecord& c) const { return c.call; }
+    MpiCall operator()(const IsendRecord&) const { return MpiCall::Isend; }
+    MpiCall operator()(const IrecvRecord&) const { return MpiCall::Irecv; }
+    MpiCall operator()(const WaitRecord&) const { return MpiCall::Wait; }
+    MpiCall operator()(const WaitallRecord&) const { return MpiCall::Waitall; }
+  };
+  return std::visit(Visitor{}, rec);
+}
+
+}  // namespace ibpower

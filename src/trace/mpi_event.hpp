@@ -1,0 +1,135 @@
+// MPI call identifiers and trace record types.
+//
+// The numeric values of MpiCall follow the Paraver/Dimemas "MPI call value"
+// convention the paper displays in Fig. 2: MPI_Allreduce = 10 and
+// MPI_Sendrecv = 41. Records are what a Dimemas-style replay engine consumes:
+// computation bursts and communication requests, with no wall-clock times —
+// times emerge from the simulation.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <variant>
+
+#include "util/time_types.hpp"
+
+namespace ibpower {
+
+using Rank = std::int32_t;
+using Bytes = std::int64_t;
+
+/// MPI call identifiers (subset used by the five workloads + tests).
+enum class MpiCall : std::uint16_t {
+  None = 0,
+  Send = 1,
+  Recv = 2,
+  Isend = 3,
+  Irecv = 4,
+  Wait = 5,
+  Waitall = 6,
+  Bcast = 7,
+  Barrier = 8,
+  Reduce = 9,
+  Allreduce = 10,  // paper Fig. 2: ID 10
+  Alltoall = 11,
+  Allgather = 12,
+  Gather = 13,
+  Scatter = 14,
+  ReduceScatter = 15,
+  Sendrecv = 41,  // paper Fig. 2: ID 41
+};
+
+[[nodiscard]] const char* to_string(MpiCall call);
+[[nodiscard]] bool is_collective(MpiCall call);
+[[nodiscard]] bool is_p2p(MpiCall call);
+
+/// Local computation burst between MPI calls.
+struct ComputeRecord {
+  TimeNs duration{};
+  friend bool operator==(const ComputeRecord&, const ComputeRecord&) = default;
+};
+
+/// Blocking send to `peer`.
+struct SendRecord {
+  Rank peer{};
+  Bytes bytes{};
+  std::int32_t tag{0};
+  friend bool operator==(const SendRecord&, const SendRecord&) = default;
+};
+
+/// Blocking receive from `peer`.
+struct RecvRecord {
+  Rank peer{};
+  Bytes bytes{};
+  std::int32_t tag{0};
+  friend bool operator==(const RecvRecord&, const RecvRecord&) = default;
+};
+
+/// Combined MPI_Sendrecv: send to `send_peer` while receiving from
+/// `recv_peer` (sizes equal, as in halo exchanges).
+struct SendrecvRecord {
+  Rank send_peer{};
+  Rank recv_peer{};
+  Bytes bytes{};
+  std::int32_t tag{0};
+  friend bool operator==(const SendrecvRecord&, const SendrecvRecord&) = default;
+};
+
+/// Collective over COMM_WORLD.
+struct CollectiveRecord {
+  MpiCall call{MpiCall::Allreduce};
+  Bytes bytes{};
+  friend bool operator==(const CollectiveRecord&, const CollectiveRecord&) = default;
+};
+
+/// Request handle for nonblocking operations, unique within a rank between
+/// the posting call and the Wait that retires it.
+using RequestId = std::int32_t;
+
+/// Nonblocking send: returns immediately; the transfer completes in the
+/// background and the matching WaitRecord (or WaitallRecord) retires it.
+struct IsendRecord {
+  Rank peer{};
+  Bytes bytes{};
+  std::int32_t tag{0};
+  RequestId request{0};
+  friend bool operator==(const IsendRecord&, const IsendRecord&) = default;
+};
+
+/// Nonblocking receive: posts the match immediately and returns.
+struct IrecvRecord {
+  Rank peer{};
+  Bytes bytes{};
+  std::int32_t tag{0};
+  RequestId request{0};
+  friend bool operator==(const IrecvRecord&, const IrecvRecord&) = default;
+};
+
+/// Blocks until the given request completes.
+struct WaitRecord {
+  RequestId request{0};
+  friend bool operator==(const WaitRecord&, const WaitRecord&) = default;
+};
+
+/// Blocks until every outstanding request of this rank completes.
+struct WaitallRecord {
+  friend bool operator==(const WaitallRecord&, const WaitallRecord&) = default;
+};
+
+using TraceRecord =
+    std::variant<ComputeRecord, SendRecord, RecvRecord, SendrecvRecord,
+                 CollectiveRecord, IsendRecord, IrecvRecord, WaitRecord,
+                 WaitallRecord>;
+
+/// The MPI call a record corresponds to (None for compute bursts).
+[[nodiscard]] MpiCall call_of(const TraceRecord& rec);
+
+/// One intercepted MPI call as seen by the PMPI layer during replay:
+/// the call id plus its entry/exit times on this rank.
+struct MpiCallEvent {
+  MpiCall call{MpiCall::None};
+  TimeNs enter{};
+  TimeNs exit{};
+};
+
+}  // namespace ibpower

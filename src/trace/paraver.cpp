@@ -1,0 +1,130 @@
+#include "trace/paraver.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <stdexcept>
+#include <istream>
+#include <ostream>
+
+#include "util/expect.hpp"
+
+namespace ibpower {
+
+void StateTimeline::add(std::int32_t row, TimeNs begin, TimeNs end,
+                        std::int32_t state) {
+  IBP_EXPECTS(row >= 0 && row < nrows_);
+  if (end <= begin) return;
+  records_.push_back({row, {begin, end}, state});
+}
+
+TimeNs StateTimeline::residency(std::int32_t row, std::int32_t state) const {
+  TimeNs sum{};
+  for (const auto& rec : records_) {
+    if (rec.row != row || rec.state != state) continue;
+    const TimeNs b = max(rec.span.begin, TimeNs::zero());
+    const TimeNs e = min(rec.span.end, duration_);
+    if (e > b) sum += e - b;
+  }
+  return sum;
+}
+
+void StateTimeline::write_prv(std::ostream& os,
+                              const std::string& app_name) const {
+  os << "#Paraver-like (ibpower:v1): duration_ns=" << duration_.ns
+     << ":rows=" << nrows_ << ":app=" << app_name << "\n";
+  std::vector<Record> sorted = records_;
+  std::sort(sorted.begin(), sorted.end(), [](const Record& a, const Record& b) {
+    if (a.span.begin != b.span.begin) return a.span.begin < b.span.begin;
+    return a.row < b.row;
+  });
+  for (const auto& rec : sorted) {
+    os << "1:" << rec.row << ':' << rec.span.begin.ns << ':' << rec.span.end.ns
+       << ':' << rec.state << "\n";
+  }
+}
+
+StateTimeline StateTimeline::read_prv(std::istream& is,
+                                      std::string* app_name_out) {
+  std::string header;
+  if (!std::getline(is, header) ||
+      header.rfind("#Paraver-like (ibpower:v1):", 0) != 0) {
+    throw std::runtime_error("prv: missing ibpower header");
+  }
+  std::int64_t duration_ns = -1;
+  std::int32_t rows = -1;
+  std::string app;
+  // Header fields after the fixed prefix: duration_ns=..:rows=..:app=..
+  // (start past the prefix so the ':' inside "(ibpower:v1)" is not split).
+  std::size_t pos = std::string("#Paraver-like (ibpower:v1)").size();
+  while (pos != std::string::npos) {
+    const std::size_t next = header.find(':', pos + 1);
+    std::string field = header.substr(
+        pos + 1, next == std::string::npos ? std::string::npos : next - pos - 1);
+    while (!field.empty() && field.front() == ' ') field.erase(0, 1);
+    if (field.rfind("duration_ns=", 0) == 0) {
+      duration_ns = std::stoll(field.substr(12));
+    } else if (field.rfind("rows=", 0) == 0) {
+      rows = static_cast<std::int32_t>(std::stol(field.substr(5)));
+    } else if (field.rfind("app=", 0) == 0) {
+      app = field.substr(4);
+    }
+    pos = next;
+  }
+  if (duration_ns < 0 || rows < 0) {
+    throw std::runtime_error("prv: header missing duration/rows");
+  }
+  if (app_name_out) *app_name_out = app;
+
+  StateTimeline timeline(rows, TimeNs{duration_ns});
+  std::string line;
+  int line_no = 1;
+  while (std::getline(is, line)) {
+    ++line_no;
+    if (line.empty() || line[0] == '#') continue;
+    std::int32_t kind = 0, row = 0, state = 0;
+    long long begin = 0, end = 0;
+    if (std::sscanf(line.c_str(), "%d:%d:%lld:%lld:%d", &kind, &row, &begin,
+                    &end, &state) != 5 ||
+        kind != 1 || row < 0 || row >= rows || begin > end) {
+      throw std::runtime_error("prv: bad record at line " +
+                               std::to_string(line_no));
+    }
+    timeline.add(row, TimeNs{begin}, TimeNs{end}, state);
+  }
+  return timeline;
+}
+
+void StateTimeline::render_ascii(
+    std::ostream& os, int width,
+    const std::map<std::int32_t, char>& glyphs) const {
+  IBP_EXPECTS(width > 0);
+  if (duration_ <= TimeNs::zero()) return;
+  for (std::int32_t row = 0; row < nrows_; ++row) {
+    std::string line(static_cast<std::size_t>(width), ' ');
+    // For each slice, pick the state with the largest coverage.
+    std::vector<TimeNs> best(static_cast<std::size_t>(width), TimeNs::zero());
+    for (const auto& rec : records_) {
+      if (rec.row != row) continue;
+      const double slice_ns =
+          static_cast<double>(duration_.ns) / static_cast<double>(width);
+      auto first = static_cast<int>(static_cast<double>(rec.span.begin.ns) / slice_ns);
+      auto last = static_cast<int>(static_cast<double>(rec.span.end.ns - 1) / slice_ns);
+      first = std::clamp(first, 0, width - 1);
+      last = std::clamp(last, 0, width - 1);
+      for (int sl = first; sl <= last; ++sl) {
+        const TimeNs sb{static_cast<std::int64_t>(slice_ns * sl)};
+        const TimeNs se{static_cast<std::int64_t>(slice_ns * (sl + 1))};
+        const TimeNs cover = min(rec.span.end, se) - max(rec.span.begin, sb);
+        if (cover > best[static_cast<std::size_t>(sl)]) {
+          best[static_cast<std::size_t>(sl)] = cover;
+          const auto it = glyphs.find(rec.state);
+          line[static_cast<std::size_t>(sl)] =
+              it != glyphs.end() ? it->second : '?';
+        }
+      }
+    }
+    os << (row < 10 ? " " : "") << row << " |" << line << "|\n";
+  }
+}
+
+}  // namespace ibpower

@@ -1,0 +1,64 @@
+// Paraver-style state timelines.
+//
+// The paper measures full-power vs low-power residency with the Paraver
+// visualizer (Fig. 6). We reproduce the measurement side: a StateTimeline
+// collects per-row (rank or link) state intervals; it can be written as a
+// Paraver-like .prv state-record file and rendered as an ASCII timeline for
+// terminal reports (bench_fig6_timeline).
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "util/time_types.hpp"
+
+namespace ibpower {
+
+class StateTimeline {
+ public:
+  struct Record {
+    std::int32_t row;   // rank / link id
+    TimeInterval span;
+    std::int32_t state;
+  };
+
+  StateTimeline(std::int32_t nrows, TimeNs duration)
+      : nrows_(nrows), duration_(duration) {}
+
+  void add(std::int32_t row, TimeNs begin, TimeNs end, std::int32_t state);
+
+  [[nodiscard]] std::int32_t nrows() const { return nrows_; }
+  [[nodiscard]] TimeNs duration() const { return duration_; }
+  void set_duration(TimeNs d) { duration_ = d; }
+  [[nodiscard]] const std::vector<Record>& records() const { return records_; }
+
+  /// Total time row spends in `state` (records are clipped to the timeline
+  /// duration).
+  [[nodiscard]] TimeNs residency(std::int32_t row, std::int32_t state) const;
+
+  /// Paraver-like .prv output: header + one state record per line
+  /// (`1:row:begin:end:state`, times in ns).
+  void write_prv(std::ostream& os, const std::string& app_name) const;
+
+  /// Parse a timeline previously written by write_prv. Throws
+  /// std::runtime_error on malformed input. `app_name_out` (optional)
+  /// receives the header's app field.
+  [[nodiscard]] static StateTimeline read_prv(std::istream& is,
+                                              std::string* app_name_out = nullptr);
+
+  /// ASCII rendering: one line per row, `width` characters across the
+  /// execution; each character shows the state covering the majority of its
+  /// time slice, mapped through `glyphs` (state -> char; missing -> '?').
+  void render_ascii(std::ostream& os, int width,
+                    const std::map<std::int32_t, char>& glyphs) const;
+
+ private:
+  std::int32_t nrows_;
+  TimeNs duration_;
+  std::vector<Record> records_;
+};
+
+}  // namespace ibpower

@@ -1,0 +1,79 @@
+#include "trace/profile.hpp"
+
+#include <ostream>
+
+namespace ibpower {
+
+namespace {
+
+std::size_t size_bucket(Bytes bytes) {
+  std::size_t bucket = 0;
+  while (bytes > 1 && bucket + 1 < 32) {
+    bytes >>= 1;
+    ++bucket;
+  }
+  return bucket;
+}
+
+}  // namespace
+
+TraceProfile profile_trace(const Trace& trace) {
+  TraceProfile p;
+  p.ranks = static_cast<std::size_t>(trace.nranks());
+  for (Rank r = 0; r < trace.nranks(); ++r) {
+    for (const auto& rec : trace.stream(r)) {
+      ++p.total_records;
+      if (const auto* c = std::get_if<ComputeRecord>(&rec)) {
+        p.total_compute += c->duration;
+        p.compute_burst_us.add(c->duration.us());
+        continue;
+      }
+      ++p.mpi_calls;
+      ++p.call_mix[call_of(rec)];
+      auto note_p2p = [&p](Bytes bytes) {
+        ++p.p2p_messages;
+        p.p2p_bytes_total += bytes;
+        ++p.size_histogram[size_bucket(bytes)];
+      };
+      if (const auto* s = std::get_if<SendRecord>(&rec)) {
+        note_p2p(s->bytes);
+      } else if (const auto* is = std::get_if<IsendRecord>(&rec)) {
+        note_p2p(is->bytes);
+      } else if (const auto* x = std::get_if<SendrecvRecord>(&rec)) {
+        note_p2p(x->bytes);
+      } else if (const auto* g = std::get_if<CollectiveRecord>(&rec)) {
+        ++p.collectives;
+        p.collective_bytes_total += g->bytes;
+        ++p.size_histogram[size_bucket(g->bytes)];
+      }
+    }
+  }
+  return p;
+}
+
+void print_profile(std::ostream& os, const TraceProfile& p) {
+  os << "ranks                : " << p.ranks << "\n";
+  os << "records              : " << p.total_records << " (" << p.mpi_calls
+     << " MPI calls, " << p.calls_per_rank() << " per rank)\n";
+  os << "compute              : " << to_string(p.total_compute) << " total, "
+     << p.compute_burst_us.mean() << "us mean burst (max "
+     << p.compute_burst_us.max() << "us)\n";
+  os << "p2p traffic          : " << p.p2p_messages << " messages, "
+     << static_cast<double>(p.p2p_bytes_total) / (1 << 20) << " MiB\n";
+  os << "collectives          : " << p.collectives << " ("
+     << static_cast<double>(p.collective_bytes_total) / (1 << 20)
+     << " MiB of per-rank payload)\n";
+  os << "call mix             :";
+  for (const auto& [call, count] : p.call_mix) {
+    os << ' ' << to_string(call) << "=" << count;
+  }
+  os << "\n";
+  os << "message sizes        :";
+  for (std::size_t b = 0; b < p.size_histogram.size(); ++b) {
+    if (p.size_histogram[b] == 0) continue;
+    os << " [" << (1u << b) << "B:" << p.size_histogram[b] << "]";
+  }
+  os << "\n";
+}
+
+}  // namespace ibpower

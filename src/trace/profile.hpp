@@ -1,0 +1,47 @@
+// Communication-profile analysis of a trace: the per-application
+// characterization the paper's §II motivates (compute/communication split,
+// call mix, message-size distribution, iteration regularity) — useful when
+// calibrating a synthetic model against a real application.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+
+#include "trace/trace.hpp"
+#include "util/stats.hpp"
+
+namespace ibpower {
+
+struct TraceProfile {
+  std::size_t ranks{0};
+  std::size_t total_records{0};
+  std::size_t mpi_calls{0};
+  TimeNs total_compute{};          // sum of recorded bursts, all ranks
+  StreamingStats compute_burst_us; // per-burst durations
+  Bytes p2p_bytes_total{0};
+  Bytes collective_bytes_total{0}; // per-rank payloads summed
+  std::size_t p2p_messages{0};
+  std::size_t collectives{0};
+  std::map<MpiCall, std::size_t> call_mix;
+  /// Message-size histogram in powers of two: bucket i covers
+  /// [2^i, 2^(i+1)) bytes, up to 2^31.
+  std::array<std::size_t, 32> size_histogram{};
+
+  [[nodiscard]] double mean_compute_burst_us() const {
+    return compute_burst_us.mean();
+  }
+  /// Average MPI calls per rank.
+  [[nodiscard]] double calls_per_rank() const {
+    return ranks ? static_cast<double>(mpi_calls) / static_cast<double>(ranks)
+                 : 0.0;
+  }
+};
+
+[[nodiscard]] TraceProfile profile_trace(const Trace& trace);
+
+/// Human-readable dump (used by `ibpower_cli stats`).
+void print_profile(std::ostream& os, const TraceProfile& profile);
+
+}  // namespace ibpower

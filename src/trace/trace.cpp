@@ -1,0 +1,164 @@
+#include "trace/trace.hpp"
+
+#include <map>
+#include <tuple>
+#include <sstream>
+#include <utility>
+
+namespace ibpower {
+
+std::size_t Trace::total_records() const {
+  std::size_t n = 0;
+  for (const auto& s : streams_) n += s.size();
+  return n;
+}
+
+std::size_t Trace::total_mpi_calls() const {
+  std::size_t n = 0;
+  for (const auto& s : streams_) {
+    for (const auto& rec : s) {
+      if (call_of(rec) != MpiCall::None) ++n;
+    }
+  }
+  return n;
+}
+
+std::string Trace::validate() const {
+  const Rank n = nranks();
+
+  // Point-to-point matching follows MPI's non-overtaking rule: within a
+  // channel (src, dst, tag) the ordered list of messages sent must equal
+  // the ordered list of messages expected; different tags are independent.
+  using ChannelKey = std::tuple<Rank, Rank, std::int32_t>;
+  std::map<ChannelKey, std::vector<Bytes>> sent, expected;
+  for (Rank r = 0; r < n; ++r) {
+    for (const auto& rec : stream(r)) {
+      if (const auto* s = std::get_if<SendRecord>(&rec)) {
+        if (s->peer < 0 || s->peer >= n || s->peer == r) {
+          return "rank " + std::to_string(r) + ": send to invalid peer " +
+                 std::to_string(s->peer);
+        }
+        sent[{r, s->peer, s->tag}].push_back(s->bytes);
+      } else if (const auto* v = std::get_if<RecvRecord>(&rec)) {
+        if (v->peer < 0 || v->peer >= n || v->peer == r) {
+          return "rank " + std::to_string(r) + ": recv from invalid peer " +
+                 std::to_string(v->peer);
+        }
+        expected[{v->peer, r, v->tag}].push_back(v->bytes);
+      } else if (const auto* x = std::get_if<SendrecvRecord>(&rec)) {
+        if (x->send_peer < 0 || x->send_peer >= n || x->recv_peer < 0 ||
+            x->recv_peer >= n) {
+          return "rank " + std::to_string(r) + ": sendrecv with invalid peer";
+        }
+        sent[{r, x->send_peer, x->tag}].push_back(x->bytes);
+        expected[{x->recv_peer, r, x->tag}].push_back(x->bytes);
+      } else if (const auto* is = std::get_if<IsendRecord>(&rec)) {
+        if (is->peer < 0 || is->peer >= n || is->peer == r) {
+          return "rank " + std::to_string(r) + ": isend to invalid peer";
+        }
+        sent[{r, is->peer, is->tag}].push_back(is->bytes);
+      } else if (const auto* ir = std::get_if<IrecvRecord>(&rec)) {
+        if (ir->peer < 0 || ir->peer >= n || ir->peer == r) {
+          return "rank " + std::to_string(r) + ": irecv from invalid peer";
+        }
+        expected[{ir->peer, r, ir->tag}].push_back(ir->bytes);
+      }
+    }
+  }
+
+  // Request discipline: a request id must be unique among this rank's
+  // outstanding requests, every Wait must reference an outstanding request,
+  // and nothing may remain outstanding at the end of the stream.
+  for (Rank r = 0; r < n; ++r) {
+    std::map<RequestId, bool> outstanding;
+    for (const auto& rec : stream(r)) {
+      bool is_post = false;
+      RequestId posted = 0;
+      if (const auto* is = std::get_if<IsendRecord>(&rec)) {
+        posted = is->request;
+        is_post = true;
+      } else if (const auto* ir = std::get_if<IrecvRecord>(&rec)) {
+        posted = ir->request;
+        is_post = true;
+      }
+      if (is_post) {
+        if (outstanding.contains(posted)) {
+          return "rank " + std::to_string(r) + ": request " +
+                 std::to_string(posted) + " reused while outstanding";
+        }
+        outstanding[posted] = true;
+      } else if (const auto* w = std::get_if<WaitRecord>(&rec)) {
+        if (!outstanding.erase(w->request)) {
+          return "rank " + std::to_string(r) + ": wait on unknown request " +
+                 std::to_string(w->request);
+        }
+      } else if (std::holds_alternative<WaitallRecord>(rec)) {
+        outstanding.clear();
+      }
+    }
+    if (!outstanding.empty()) {
+      return "rank " + std::to_string(r) + ": " +
+             std::to_string(outstanding.size()) +
+             " request(s) never waited on";
+    }
+  }
+  auto describe = [](const ChannelKey& key) {
+    std::ostringstream os;
+    os << "channel " << std::get<0>(key) << "->" << std::get<1>(key)
+       << " tag " << std::get<2>(key);
+    return os.str();
+  };
+  for (const auto& [channel, msgs] : sent) {
+    const auto it = expected.find(channel);
+    const std::size_t nexp = it == expected.end() ? 0 : it->second.size();
+    if (nexp != msgs.size()) {
+      std::ostringstream os;
+      os << describe(channel) << ": " << msgs.size() << " sends but " << nexp
+         << " recvs";
+      return os.str();
+    }
+    for (std::size_t i = 0; i < msgs.size(); ++i) {
+      if (msgs[i] != it->second[i]) {
+        std::ostringstream os;
+        os << describe(channel) << ": message " << i << " size mismatch";
+        return os.str();
+      }
+    }
+  }
+  for (const auto& [channel, msgs] : expected) {
+    if (!sent.contains(channel) && !msgs.empty()) {
+      return describe(channel) + ": recvs with no matching sends";
+    }
+  }
+
+  // Collective agreement: the ordered collective sequence must be the same
+  // on every rank (single-communicator model).
+  std::vector<CollectiveRecord> reference;
+  for (Rank r = 0; r < n; ++r) {
+    std::vector<CollectiveRecord> seq;
+    for (const auto& rec : stream(r)) {
+      if (const auto* c = std::get_if<CollectiveRecord>(&rec)) {
+        seq.push_back(*c);
+      }
+    }
+    if (r == 0) {
+      reference = std::move(seq);
+    } else if (seq.size() != reference.size()) {
+      std::ostringstream os;
+      os << "rank " << r << ": " << seq.size() << " collectives but rank 0 has "
+         << reference.size();
+      return os.str();
+    } else {
+      for (std::size_t i = 0; i < seq.size(); ++i) {
+        if (!(seq[i] == reference[i])) {
+          std::ostringstream os;
+          os << "rank " << r << ": collective " << i << " disagrees with rank 0";
+          return os.str();
+        }
+      }
+    }
+  }
+  return {};
+}
+
+}  // namespace ibpower

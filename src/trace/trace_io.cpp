@@ -1,0 +1,149 @@
+#include "trace/trace_io.hpp"
+
+#include <fstream>
+#include <sstream>
+
+namespace ibpower {
+
+void write_trace(std::ostream& os, const Trace& trace) {
+  os << "# ibpower trace v1\n";
+  os << "app " << trace.app_name() << "\n";
+  os << "ranks " << trace.nranks() << "\n";
+  for (Rank r = 0; r < trace.nranks(); ++r) {
+    os << "rank " << r << "\n";
+    for (const auto& rec : trace.stream(r)) {
+      std::visit(
+          [&os](const auto& v) {
+            using T = std::decay_t<decltype(v)>;
+            if constexpr (std::is_same_v<T, ComputeRecord>) {
+              os << "c " << v.duration.ns << "\n";
+            } else if constexpr (std::is_same_v<T, SendRecord>) {
+              os << "s " << v.peer << ' ' << v.bytes << ' ' << v.tag << "\n";
+            } else if constexpr (std::is_same_v<T, RecvRecord>) {
+              os << "r " << v.peer << ' ' << v.bytes << ' ' << v.tag << "\n";
+            } else if constexpr (std::is_same_v<T, SendrecvRecord>) {
+              os << "x " << v.send_peer << ' ' << v.recv_peer << ' ' << v.bytes
+                 << ' ' << v.tag << "\n";
+            } else if constexpr (std::is_same_v<T, CollectiveRecord>) {
+              os << "g " << static_cast<int>(v.call) << ' ' << v.bytes << "\n";
+            } else if constexpr (std::is_same_v<T, IsendRecord>) {
+              os << "i " << v.peer << ' ' << v.bytes << ' ' << v.tag << ' '
+                 << v.request << "\n";
+            } else if constexpr (std::is_same_v<T, IrecvRecord>) {
+              os << "j " << v.peer << ' ' << v.bytes << ' ' << v.tag << ' '
+                 << v.request << "\n";
+            } else if constexpr (std::is_same_v<T, WaitRecord>) {
+              os << "w " << v.request << "\n";
+            } else if constexpr (std::is_same_v<T, WaitallRecord>) {
+              os << "W\n";
+            }
+          },
+          rec);
+    }
+    os << "end\n";
+  }
+}
+
+namespace {
+
+[[noreturn]] void fail(int line_no, const std::string& what) {
+  throw TraceFormatError("trace line " + std::to_string(line_no) + ": " + what);
+}
+
+}  // namespace
+
+Trace read_trace(std::istream& is) {
+  std::string line;
+  int line_no = 0;
+  std::string app = "unknown";
+  Rank nranks = -1;
+  Rank current = -1;
+  Trace trace;
+  bool have_trace = false;
+
+  while (std::getline(is, line)) {
+    ++line_no;
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream ls(line);
+    std::string tok;
+    ls >> tok;
+    if (tok == "app") {
+      ls >> app;
+    } else if (tok == "ranks") {
+      if (!(ls >> nranks) || nranks <= 0) fail(line_no, "bad rank count");
+      trace = Trace(app, nranks);
+      have_trace = true;
+    } else if (tok == "rank") {
+      if (!have_trace) fail(line_no, "'rank' before 'ranks'");
+      if (!(ls >> current) || current < 0 || current >= nranks) {
+        fail(line_no, "bad rank id");
+      }
+    } else if (tok == "end") {
+      current = -1;
+    } else {
+      if (!have_trace || current < 0) fail(line_no, "record outside rank block");
+      if (tok == "c") {
+        std::int64_t ns;
+        if (!(ls >> ns) || ns < 0) fail(line_no, "bad compute burst");
+        trace.push(current, ComputeRecord{TimeNs{ns}});
+      } else if (tok == "s") {
+        SendRecord rec;
+        if (!(ls >> rec.peer >> rec.bytes >> rec.tag)) fail(line_no, "bad send");
+        trace.push(current, rec);
+      } else if (tok == "r") {
+        RecvRecord rec;
+        if (!(ls >> rec.peer >> rec.bytes >> rec.tag)) fail(line_no, "bad recv");
+        trace.push(current, rec);
+      } else if (tok == "x") {
+        SendrecvRecord rec;
+        if (!(ls >> rec.send_peer >> rec.recv_peer >> rec.bytes >> rec.tag)) {
+          fail(line_no, "bad sendrecv");
+        }
+        trace.push(current, rec);
+      } else if (tok == "g") {
+        int call;
+        CollectiveRecord rec;
+        if (!(ls >> call >> rec.bytes)) fail(line_no, "bad collective");
+        rec.call = static_cast<MpiCall>(call);
+        if (!is_collective(rec.call)) fail(line_no, "not a collective id");
+        trace.push(current, rec);
+      } else if (tok == "i") {
+        IsendRecord rec;
+        if (!(ls >> rec.peer >> rec.bytes >> rec.tag >> rec.request)) {
+          fail(line_no, "bad isend");
+        }
+        trace.push(current, rec);
+      } else if (tok == "j") {
+        IrecvRecord rec;
+        if (!(ls >> rec.peer >> rec.bytes >> rec.tag >> rec.request)) {
+          fail(line_no, "bad irecv");
+        }
+        trace.push(current, rec);
+      } else if (tok == "w") {
+        WaitRecord rec;
+        if (!(ls >> rec.request)) fail(line_no, "bad wait");
+        trace.push(current, rec);
+      } else if (tok == "W") {
+        trace.push(current, WaitallRecord{});
+      } else {
+        fail(line_no, "unknown record '" + tok + "'");
+      }
+    }
+  }
+  if (!have_trace) throw TraceFormatError("empty trace input");
+  return trace;
+}
+
+void write_trace_file(const std::string& path, const Trace& trace) {
+  std::ofstream os(path);
+  if (!os) throw TraceFormatError("cannot open for write: " + path);
+  write_trace(os, trace);
+}
+
+Trace read_trace_file(const std::string& path) {
+  std::ifstream is(path);
+  if (!is) throw TraceFormatError("cannot open for read: " + path);
+  return read_trace(is);
+}
+
+}  // namespace ibpower

@@ -1,0 +1,38 @@
+// Text (de)serialization of traces.
+//
+// The format is a minimal Dimemas-like line format so traces can be dumped,
+// inspected, hand-edited in tests, and re-loaded:
+//
+//   # ibpower trace v1
+//   app alya
+//   ranks 4
+//   rank 0
+//   c 1000000            <- compute burst, ns
+//   s 1 2048 0           <- send: dst bytes tag
+//   r 1 2048 0           <- recv: src bytes tag
+//   x 1 3 2048 0         <- sendrecv: send_to recv_from bytes tag
+//   g 10 8               <- collective: MpiCall id, bytes
+//   end
+#pragma once
+
+#include <iosfwd>
+#include <stdexcept>
+#include <string>
+
+#include "trace/trace.hpp"
+
+namespace ibpower {
+
+/// Thrown by read_trace on malformed input.
+class TraceFormatError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+void write_trace(std::ostream& os, const Trace& trace);
+[[nodiscard]] Trace read_trace(std::istream& is);
+
+void write_trace_file(const std::string& path, const Trace& trace);
+[[nodiscard]] Trace read_trace_file(const std::string& path);
+
+}  // namespace ibpower

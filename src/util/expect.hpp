@@ -1,0 +1,41 @@
+// Lightweight precondition / invariant checking in the spirit of the C++
+// Core Guidelines' Expects()/Ensures(). Checks are active in all build types
+// because the simulator's correctness arguments depend on them; each check is
+// a predictable branch and costs essentially nothing on the hot paths we use
+// it on.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace ibpower::detail {
+
+[[noreturn]] inline void contract_violation(const char* kind, const char* expr,
+                                            const char* file, int line) {
+  std::fprintf(stderr, "ibpower: %s violation: (%s) at %s:%d\n", kind, expr,
+               file, line);
+  std::abort();
+}
+
+}  // namespace ibpower::detail
+
+#define IBP_EXPECTS(cond)                                                  \
+  do {                                                                     \
+    if (!(cond))                                                           \
+      ::ibpower::detail::contract_violation("precondition", #cond,         \
+                                            __FILE__, __LINE__);           \
+  } while (0)
+
+#define IBP_ENSURES(cond)                                                  \
+  do {                                                                     \
+    if (!(cond))                                                           \
+      ::ibpower::detail::contract_violation("postcondition", #cond,        \
+                                            __FILE__, __LINE__);           \
+  } while (0)
+
+#define IBP_ASSERT(cond)                                                   \
+  do {                                                                     \
+    if (!(cond))                                                           \
+      ::ibpower::detail::contract_violation("invariant", #cond, __FILE__,  \
+                                            __LINE__);                     \
+  } while (0)

@@ -1,0 +1,78 @@
+#include "util/interval_set.hpp"
+
+#include <algorithm>
+
+namespace ibpower {
+
+void IntervalSet::add(TimeNs begin, TimeNs end) {
+  IBP_EXPECTS(begin <= end);
+  if (begin == end) return;
+
+  // Fast path: appending past the current tail.
+  if (intervals_.empty() || begin > intervals_.back().end) {
+    intervals_.push_back({begin, end});
+    return;
+  }
+  if (begin >= intervals_.back().begin) {  // merge with tail
+    intervals_.back().begin = std::min(intervals_.back().begin, begin);
+    intervals_.back().end = std::max(intervals_.back().end, end);
+    return;
+  }
+
+  // General path: locate the first interval whose end >= begin.
+  auto first = std::lower_bound(
+      intervals_.begin(), intervals_.end(), begin,
+      [](const TimeInterval& iv, TimeNs b) { return iv.end < b; });
+  if (first == intervals_.end() || end < first->begin) {
+    intervals_.insert(first, {begin, end});
+    return;
+  }
+  // Merge [first, last) into one interval.
+  auto last = std::upper_bound(
+      first, intervals_.end(), end,
+      [](TimeNs e, const TimeInterval& iv) { return e < iv.begin; });
+  first->begin = std::min(first->begin, begin);
+  first->end = std::max(std::prev(last)->end, end);
+  intervals_.erase(first + 1, last);
+}
+
+TimeNs IntervalSet::total() const {
+  TimeNs sum{};
+  for (const auto& iv : intervals_) sum += iv.duration();
+  return sum;
+}
+
+bool IntervalSet::contains(TimeNs t) const {
+  auto it = std::upper_bound(
+      intervals_.begin(), intervals_.end(), t,
+      [](TimeNs v, const TimeInterval& iv) { return v < iv.begin; });
+  if (it == intervals_.begin()) return false;
+  return std::prev(it)->contains(t);
+}
+
+std::vector<TimeInterval> IntervalSet::complement(TimeNs from, TimeNs to) const {
+  IBP_EXPECTS(from <= to);
+  std::vector<TimeInterval> gaps;
+  TimeNs cursor = from;
+  for (const auto& iv : intervals_) {
+    if (iv.end <= from) continue;
+    if (iv.begin >= to) break;
+    if (iv.begin > cursor) gaps.push_back({cursor, min(iv.begin, to)});
+    cursor = max(cursor, iv.end);
+    if (cursor >= to) break;
+  }
+  if (cursor < to) gaps.push_back({cursor, to});
+  return gaps;
+}
+
+TimeNs IntervalSet::overlap(TimeNs from, TimeNs to) const {
+  TimeNs sum{};
+  for (const auto& iv : intervals_) {
+    if (iv.end <= from) continue;
+    if (iv.begin >= to) break;
+    sum += min(iv.end, to) - max(iv.begin, from);
+  }
+  return sum;
+}
+
+}  // namespace ibpower

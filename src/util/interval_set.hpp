@@ -1,0 +1,47 @@
+// IntervalSet: a set of half-open time intervals with merging, complement
+// and total-duration queries. Link busy/idle tracking (Table I) and power
+// mode timelines (energy accounting, Fig. 6) are built on this.
+#pragma once
+
+#include <vector>
+
+#include "util/expect.hpp"
+#include "util/time_types.hpp"
+
+namespace ibpower {
+
+class IntervalSet {
+ public:
+  /// Add [begin, end); overlapping or touching intervals are merged.
+  /// Amortized O(1) when added in (mostly) increasing order, which is how
+  /// the simulator produces them; falls back to ordered insertion otherwise.
+  void add(TimeNs begin, TimeNs end);
+  void add(const TimeInterval& iv) { add(iv.begin, iv.end); }
+
+  [[nodiscard]] const std::vector<TimeInterval>& intervals() const {
+    return intervals_;
+  }
+  [[nodiscard]] bool empty() const { return intervals_.empty(); }
+  [[nodiscard]] std::size_t size() const { return intervals_.size(); }
+
+  /// Sum of all interval durations.
+  [[nodiscard]] TimeNs total() const;
+
+  /// True if t lies inside any interval.
+  [[nodiscard]] bool contains(TimeNs t) const;
+
+  /// Gaps between intervals, clipped to the window [from, to).
+  /// This yields exactly the link *idle* intervals when *this* holds the
+  /// link *busy* intervals over an execution of duration [from, to).
+  [[nodiscard]] std::vector<TimeInterval> complement(TimeNs from, TimeNs to) const;
+
+  /// Total overlap between this set and the window [from, to).
+  [[nodiscard]] TimeNs overlap(TimeNs from, TimeNs to) const;
+
+  void clear() { intervals_.clear(); }
+
+ private:
+  std::vector<TimeInterval> intervals_;  // sorted, disjoint, non-touching
+};
+
+}  // namespace ibpower

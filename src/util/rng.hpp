@@ -1,0 +1,142 @@
+// Deterministic, seedable random number generation for workload synthesis.
+//
+// We use xoshiro256** (public-domain algorithm by Blackman & Vigna) rather
+// than std::mt19937 because it is faster, has a tiny state, and — critically
+// for reproducible experiments — its output is fully specified here, so a
+// standard-library change can never silently alter the generated traces.
+#pragma once
+
+#include <cstdint>
+#include <cmath>
+
+#include "util/expect.hpp"
+
+namespace ibpower {
+
+namespace detail {
+/// splitmix64: used to expand a 64-bit seed into xoshiro state.
+constexpr std::uint64_t splitmix64(std::uint64_t& x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+}  // namespace detail
+
+/// xoshiro256** PRNG. Satisfies std::uniform_random_bit_generator.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x1b9ab3f0d1cULL) { reseed(seed); }
+
+  void reseed(std::uint64_t seed) {
+    std::uint64_t x = seed;
+    for (auto& word : state_) word = detail::splitmix64(x);
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~0ULL; }
+
+  result_type operator()() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform01() {
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) {
+    IBP_EXPECTS(lo <= hi);
+    return lo + (hi - lo) * uniform01();
+  }
+
+  /// Uniform integer in [0, n). n must be > 0. Uses Lemire's method.
+  std::uint64_t uniform_below(std::uint64_t n) {
+    IBP_EXPECTS(n > 0);
+    // Rejection-free for our purposes: bias is < 2^-64 * n, negligible for
+    // workload synthesis; we still do one rejection round for cleanliness.
+    __uint128_t m = static_cast<__uint128_t>((*this)()) * n;
+    auto lo = static_cast<std::uint64_t>(m);
+    if (lo < n) {
+      const std::uint64_t threshold = (0 - n) % n;
+      while (lo < threshold) {
+        m = static_cast<__uint128_t>((*this)()) * n;
+        lo = static_cast<std::uint64_t>(m);
+      }
+    }
+    return static_cast<std::uint64_t>(m >> 64);
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) {
+    IBP_EXPECTS(lo <= hi);
+    const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
+    return lo + static_cast<std::int64_t>(uniform_below(span));
+  }
+
+  /// True with probability p.
+  bool bernoulli(double p) { return uniform01() < p; }
+
+  /// Standard normal via Marsaglia polar method.
+  double normal(double mean = 0.0, double stddev = 1.0) {
+    if (have_spare_) {
+      have_spare_ = false;
+      return mean + stddev * spare_;
+    }
+    double u, v, s;
+    do {
+      u = uniform(-1.0, 1.0);
+      v = uniform(-1.0, 1.0);
+      s = u * u + v * v;
+    } while (s >= 1.0 || s == 0.0);
+    const double mul = std::sqrt(-2.0 * std::log(s) / s);
+    spare_ = v * mul;
+    have_spare_ = true;
+    return mean + stddev * u * mul;
+  }
+
+  /// Log-normal with given *linear-space* median and sigma of underlying
+  /// normal. Heavy-tailed interval jitter in the workload models uses this.
+  double lognormal(double median, double sigma) {
+    IBP_EXPECTS(median > 0.0);
+    return median * std::exp(sigma * normal());
+  }
+
+  /// Exponential with given mean.
+  double exponential(double mean) {
+    IBP_EXPECTS(mean > 0.0);
+    double u;
+    do { u = uniform01(); } while (u == 0.0);
+    return -mean * std::log(u);
+  }
+
+  /// Split off an independent child stream (for per-rank generators).
+  Rng split() {
+    Rng child(0);
+    for (auto& word : child.state_) word = (*this)();
+    return child;
+  }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t state_[4]{};
+  double spare_{0.0};
+  bool have_spare_{false};
+};
+
+}  // namespace ibpower

@@ -1,0 +1,18 @@
+#include "util/stats.hpp"
+
+namespace ibpower {
+
+double percentile(std::vector<double> samples, double p) {
+  IBP_EXPECTS(p >= 0.0 && p <= 100.0);
+  if (samples.empty()) return 0.0;
+  std::sort(samples.begin(), samples.end());
+  if (p <= 0.0) return samples.front();
+  const auto n = samples.size();
+  // Nearest-rank: smallest index i with 100*(i+1)/n >= p.
+  auto rank = static_cast<std::size_t>(
+      std::ceil(p / 100.0 * static_cast<double>(n)));
+  rank = std::min(std::max<std::size_t>(rank, 1), n);
+  return samples[rank - 1];
+}
+
+}  // namespace ibpower

@@ -1,0 +1,71 @@
+// Streaming and batch statistics used throughout the evaluation harness.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <vector>
+
+#include "util/expect.hpp"
+
+namespace ibpower {
+
+/// Welford streaming accumulator: mean/variance/min/max without storing
+/// samples. Used for per-rank and per-link aggregate metrics.
+class StreamingStats {
+ public:
+  void add(double x) {
+    ++n_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+    min_ = n_ == 1 ? x : std::min(min_, x);
+    max_ = n_ == 1 ? x : std::max(max_, x);
+    sum_ += x;
+  }
+
+  void merge(const StreamingStats& o) {
+    if (o.n_ == 0) return;
+    if (n_ == 0) { *this = o; return; }
+    const auto n1 = static_cast<double>(n_);
+    const auto n2 = static_cast<double>(o.n_);
+    const double delta = o.mean_ - mean_;
+    const double total = n1 + n2;
+    m2_ += o.m2_ + delta * delta * n1 * n2 / total;
+    mean_ = (n1 * mean_ + n2 * o.mean_) / total;
+    n_ += o.n_;
+    min_ = std::min(min_, o.min_);
+    max_ = std::max(max_, o.max_);
+    sum_ += o.sum_;
+  }
+
+  [[nodiscard]] std::size_t count() const { return n_; }
+  [[nodiscard]] double mean() const { return n_ ? mean_ : 0.0; }
+  [[nodiscard]] double sum() const { return sum_; }
+  [[nodiscard]] double min() const { return n_ ? min_ : 0.0; }
+  [[nodiscard]] double max() const { return n_ ? max_ : 0.0; }
+  [[nodiscard]] double variance() const {
+    return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+  }
+  [[nodiscard]] double stddev() const { return std::sqrt(variance()); }
+
+ private:
+  std::size_t n_{0};
+  double mean_{0.0};
+  double m2_{0.0};
+  double min_{0.0};
+  double max_{0.0};
+  double sum_{0.0};
+};
+
+/// Batch percentile over a copy of the samples (nearest-rank definition).
+[[nodiscard]] double percentile(std::vector<double> samples, double p);
+
+/// Relative difference |a-b| / max(|a|,|b|, eps); convenience for tests that
+/// compare reproduced numbers against expected bands.
+[[nodiscard]] inline double rel_diff(double a, double b, double eps = 1e-12) {
+  const double denom = std::max({std::fabs(a), std::fabs(b), eps});
+  return std::fabs(a - b) / denom;
+}
+
+}  // namespace ibpower

@@ -1,0 +1,88 @@
+#include "util/table_printer.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <ostream>
+
+namespace ibpower {
+
+TablePrinter::TablePrinter(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {}
+
+void TablePrinter::add_row(std::vector<std::string> cells) {
+  cells.resize(headers_.size());
+  rows_.push_back(Row{std::move(cells), pending_separator_});
+  pending_separator_ = false;
+}
+
+void TablePrinter::add_separator() { pending_separator_ = true; }
+
+void TablePrinter::print(std::ostream& os) const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.cells.size(); ++c) {
+      widths[c] = std::max(widths[c], row.cells[c].size());
+    }
+  }
+
+  auto print_rule = [&] {
+    os << '+';
+    for (auto w : widths) {
+      for (std::size_t i = 0; i < w + 2; ++i) os << '-';
+      os << '+';
+    }
+    os << '\n';
+  };
+  auto print_cells = [&](const std::vector<std::string>& cells) {
+    os << '|';
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      os << ' ' << cells[c];
+      for (std::size_t i = cells[c].size(); i < widths[c] + 1; ++i) os << ' ';
+      os << '|';
+    }
+    os << '\n';
+  };
+
+  print_rule();
+  print_cells(headers_);
+  print_rule();
+  for (const auto& row : rows_) {
+    if (row.separator_before) print_rule();
+    print_cells(row.cells);
+  }
+  print_rule();
+}
+
+std::string TablePrinter::fmt(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", precision, v);
+  return buf;
+}
+
+std::string TablePrinter::pct(double v, int precision) {
+  return fmt(v, precision) + "%";
+}
+
+void print_report_banner(std::ostream& os, const std::string& title) {
+  os << "================================================================\n"
+     << " ibpower — " << title << "\n"
+     << " Reproduction of Dickov et al., \"Software-Managed Power\n"
+     << " Reduction in Infiniband Links\", ICPP 2014\n"
+     << "----------------------------------------------------------------\n"
+     << " Simulated system (paper Table II):\n"
+     << "   Simulator            Dimemas-Venus style trace-driven co-sim\n"
+     << "   Connectivity         XGFT(2;18,14;1,18)\n"
+     << "   Topology             extended generalized fat tree, 2 levels\n"
+     << "   Switch technology    InfiniBand 4X QDR\n"
+     << "   Network bandwidth    40 Gbit/s (10 Gbit/s in 1X low-power)\n"
+     << "   Segment size         2 KB\n"
+     << "   MPI latency          1 us\n"
+     << "   Lane reactivation    Treact = 10 us\n"
+     << "   Low-power draw       43% of nominal (Mellanox WRPS)\n"
+     << "================================================================\n";
+}
+
+}  // namespace ibpower

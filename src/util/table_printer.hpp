@@ -1,0 +1,48 @@
+// Fixed-width table rendering for the benchmark harnesses, so every bench
+// binary prints rows in the same visual style as the paper's tables.
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace ibpower {
+
+/// Collects rows of cells and prints them with aligned columns.
+///
+///   TablePrinter t({"App", "N", "Savings [%]"});
+///   t.add_row({"GROMACS", "8", "32.8"});
+///   t.print(std::cout);
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  void add_row(std::vector<std::string> cells);
+  /// Inserts a horizontal separator line before the next row.
+  void add_separator();
+
+  void print(std::ostream& os) const;
+
+  [[nodiscard]] std::size_t row_count() const { return rows_.size(); }
+
+  /// Format helpers used by every bench target.
+  static std::string fmt(double v, int precision = 2);
+  static std::string pct(double v, int precision = 2);
+
+ private:
+  struct Row {
+    std::vector<std::string> cells;
+    bool separator_before{false};
+  };
+
+  std::vector<std::string> headers_;
+  std::vector<Row> rows_;
+  bool pending_separator_{false};
+};
+
+/// Prints the standard simulation-parameter header (the paper's Table II)
+/// at the top of a bench report.
+void print_report_banner(std::ostream& os, const std::string& title);
+
+}  // namespace ibpower

@@ -1,0 +1,25 @@
+#include "util/time_types.hpp"
+
+#include <cstdio>
+
+namespace ibpower {
+
+std::string to_string(TimeNs t) {
+  char buf[48];
+  const double ns = static_cast<double>(t.ns);
+  if (t.ns < 0) {
+    return "-" + to_string(TimeNs{-t.ns});
+  }
+  if (t.ns < 1000) {
+    std::snprintf(buf, sizeof buf, "%lldns", static_cast<long long>(t.ns));
+  } else if (t.ns < 1000000) {
+    std::snprintf(buf, sizeof buf, "%.3gus", ns / 1e3);
+  } else if (t.ns < 1000000000) {
+    std::snprintf(buf, sizeof buf, "%.4gms", ns / 1e6);
+  } else {
+    std::snprintf(buf, sizeof buf, "%.5gs", ns / 1e9);
+  }
+  return buf;
+}
+
+}  // namespace ibpower

@@ -1,0 +1,47 @@
+#include "workloads/apps.hpp"
+#include "workloads/scaling.hpp"
+
+namespace ibpower {
+
+// Calibration targets (paper): hit ~93% at all sizes; the LOWEST savings of
+// the five apps (14.5% at 8 ranks -> 2.3% at 128, disp 1%). ALYA's pattern
+// is perfectly regular (Fig. 2: 41-41-41, 10, 10) but the app is
+// communication/wait-bound: heavy field collectives plus strong cross-rank
+// imbalance mean most link-idle time sits *inside* MPI calls (blocked in
+// the allreduce), where the PMPI agent cannot gate — which is exactly how a
+// 93% call hit rate coexists with small savings.
+Trace AlyaModel::generate(const WorkloadParams& p) const {
+  TraceEmitter em(name(), p);
+  const ScalingHelper sc(p, 8, /*alpha=*/1.15);
+
+  const double g_assembly = sc.comp_us(2400.0);  // before the halo triplet
+  const double g_solver1 = sc.comp_us(1000.0);   // between halos & allreduce
+  const double g_solver2 = sc.comp_us(800.0);   // between the 2 allreduces
+  const double imbalance = 0.15;                // FEM partition imbalance
+  const Bytes halo = sc.msg_bytes(48 * 1024);
+  const Bytes field = 8192 * 1024;  // residual/field reduction payload
+  // Rare convergence-check iterations add a third allreduce (pattern break).
+  const double p_extra_reduce = 0.015;
+
+  for (int it = 0; it < p.iterations; ++it) {
+    const bool extra = em.master_rng().bernoulli(p_extra_reduce);
+
+    em.compute_all(g_assembly, imbalance);
+    // Fig. 2: three MPI_Sendrecv grouped into one gram (gaps << GT).
+    for (int k = 0; k < 3; ++k) {
+      em.sendrecv_ring(halo, /*shift=*/k + 1, /*tag=*/k);
+      if (k < 2) em.compute_all(2.0, 0.05);
+    }
+    em.compute_all(g_solver1, imbalance);
+    em.collective(MpiCall::Allreduce, field);
+    em.compute_all(g_solver2, imbalance);
+    em.collective(MpiCall::Allreduce, field);
+    if (extra) {
+      em.compute_all(12.0, 0.05);
+      em.collective(MpiCall::Allreduce, 64);
+    }
+  }
+  return em.take();
+}
+
+}  // namespace ibpower

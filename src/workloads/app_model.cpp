@@ -1,0 +1,94 @@
+#include "workloads/app_model.hpp"
+
+#include <algorithm>
+
+#include "util/expect.hpp"
+
+namespace ibpower {
+
+TraceEmitter::TraceEmitter(std::string app_name, const WorkloadParams& params)
+    : params_(params),
+      trace_(std::move(app_name), params.nranks),
+      master_(params.seed) {
+  IBP_EXPECTS(params.valid());
+  rank_rng_.reserve(static_cast<std::size_t>(params.nranks));
+  Rng seeder(params.seed ^ 0x9e3779b97f4a7c15ULL);
+  for (int r = 0; r < params.nranks; ++r) {
+    rank_rng_.push_back(seeder.split());
+  }
+}
+
+void TraceEmitter::compute_all(double mean_us, double sigma) {
+  for (Rank r = 0; r < params_.nranks; ++r) compute(r, mean_us, sigma);
+}
+
+void TraceEmitter::compute(Rank r, double mean_us, double sigma) {
+  IBP_EXPECTS(mean_us >= 0.0);
+  if (mean_us <= 0.0) return;
+  auto& rng = rank_rng_[static_cast<std::size_t>(r)];
+  const double us =
+      sigma > 0.0 ? rng.lognormal(mean_us, sigma) : mean_us;
+  trace_.push(r, ComputeRecord{TimeNs::from_us(us)});
+}
+
+void TraceEmitter::sendrecv_ring(Bytes bytes, int shift, std::int32_t tag) {
+  const int n = params_.nranks;
+  IBP_EXPECTS(shift % n != 0);
+  for (Rank r = 0; r < n; ++r) {
+    const Rank to = static_cast<Rank>(((r + shift) % n + n) % n);
+    const Rank from = static_cast<Rank>(((r - shift) % n + n) % n);
+    trace_.push(r, SendrecvRecord{to, from, bytes, tag});
+  }
+}
+
+void TraceEmitter::sendrecv_grid(int gx, int gy, int axis, Bytes bytes,
+                                 std::int32_t tag) {
+  IBP_EXPECTS(gx * gy == params_.nranks);
+  IBP_EXPECTS(axis == 0 || axis == 1);
+  for (Rank r = 0; r < params_.nranks; ++r) {
+    const int i = r % gx;
+    const int j = r / gx;
+    Rank to, from;
+    if (axis == 0) {
+      to = static_cast<Rank>(((i + 1) % gx) + j * gx);
+      from = static_cast<Rank>(((i - 1 + gx) % gx) + j * gx);
+    } else {
+      to = static_cast<Rank>(i + ((j + 1) % gy) * gx);
+      from = static_cast<Rank>(i + ((j - 1 + gy) % gy) * gx);
+    }
+    if (to == r) continue;  // degenerate 1-wide axis
+    trace_.push(r, SendrecvRecord{to, from, bytes, tag});
+  }
+}
+
+void TraceEmitter::collective(MpiCall op, Bytes bytes) {
+  IBP_EXPECTS(is_collective(op));
+  for (Rank r = 0; r < params_.nranks; ++r) {
+    trace_.push(r, CollectiveRecord{op, bytes});
+  }
+}
+
+void TraceEmitter::pipelined_sweep(int gx, int gy, int axis, Bytes bytes,
+                                   double cell_us, int stages,
+                                   std::int32_t tag) {
+  IBP_EXPECTS(gx * gy == params_.nranks);
+  IBP_EXPECTS(axis == 0 || axis == 1);
+  IBP_EXPECTS(stages >= 1);
+  for (Rank r = 0; r < params_.nranks; ++r) {
+    const int i = r % gx;
+    const int j = r / gx;
+    const int pos = axis == 0 ? i : j;
+    const int extent = axis == 0 ? gx : gy;
+    const Rank prev = axis == 0 ? static_cast<Rank>((i - 1) + j * gx)
+                                : static_cast<Rank>(i + (j - 1) * gx);
+    const Rank next = axis == 0 ? static_cast<Rank>((i + 1) + j * gx)
+                                : static_cast<Rank>(i + (j + 1) * gx);
+    for (int s = 0; s < stages; ++s) {
+      if (pos > 0) trace_.push(r, RecvRecord{prev, bytes, tag + s});
+      compute(r, cell_us, 0.02);
+      if (pos + 1 < extent) trace_.push(r, SendRecord{next, bytes, tag + s});
+    }
+  }
+}
+
+}  // namespace ibpower

@@ -1,0 +1,110 @@
+// Synthetic SPMD application models.
+//
+// These stand in for the paper's production traces (GROMACS, ALYA, WRF,
+// NAS BT, NAS MG captured on MareNostrum) — see DESIGN.md §2. Each model
+// emits the per-rank record streams a Dimemas-style replay consumes, and is
+// calibrated against the paper's published per-app characterization:
+//   * idle-interval distribution shape (Table I),
+//   * MPI-call pattern regularity / hit-rate band (Table III),
+//   * strong-scaling decline of compute share (Figs. 7-9).
+// The PPA observes only MPI call ids and inter-call gaps, so matching those
+// marginals exercises the same code paths as the original traces.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "trace/trace.hpp"
+#include "util/rng.hpp"
+
+namespace ibpower {
+
+struct WorkloadParams {
+  int nranks{16};
+  int iterations{80};
+  std::uint64_t seed{42};
+  /// Problem-size multiplier (1.0 = the calibrated default).
+  double scale{1.0};
+  /// false: strong scaling (total work fixed, the paper's setup);
+  /// true: weak scaling (per-rank work fixed, the paper's future-work
+  /// hypothesis — §VI expects larger savings here).
+  bool weak_scaling{false};
+
+  [[nodiscard]] bool valid() const {
+    return nranks >= 2 && iterations >= 1 && scale > 0.0;
+  }
+};
+
+class AppModel {
+ public:
+  virtual ~AppModel() = default;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  /// Whether this model supports the given process count (NAS BT requires
+  /// squares).
+  [[nodiscard]] virtual bool supports(int nranks) const {
+    return nranks >= 2;
+  }
+
+  /// Process counts the paper evaluates this app at.
+  [[nodiscard]] virtual std::vector<int> paper_process_counts() const {
+    return {8, 16, 32, 64, 128};
+  }
+
+  [[nodiscard]] virtual Trace generate(const WorkloadParams& params) const = 0;
+};
+
+/// Helper the app models share: per-rank jittered compute bursts and common
+/// communication motifs, emitted consistently across ranks so the trace
+/// validates (matching sends/recvs, identical collective sequences).
+class TraceEmitter {
+ public:
+  TraceEmitter(std::string app_name, const WorkloadParams& params);
+
+  [[nodiscard]] Trace take() { return std::move(trace_); }
+  [[nodiscard]] int nranks() const { return params_.nranks; }
+  [[nodiscard]] Rng& master_rng() { return master_; }
+  /// Direct access for motifs the helpers do not cover (e.g. nonblocking
+  /// exchanges); the caller keeps the cross-rank matching discipline.
+  [[nodiscard]] Trace& raw_trace() { return trace_; }
+
+  /// Lognormally jittered compute burst on every rank (mean in us).
+  void compute_all(double mean_us, double sigma = 0.03);
+  /// Compute burst on one rank.
+  void compute(Rank r, double mean_us, double sigma = 0.03);
+
+  /// Ring halo exchange: every rank Sendrecv's to (r+shift) mod n while
+  /// receiving from (r-shift) mod n.
+  void sendrecv_ring(Bytes bytes, int shift = 1, std::int32_t tag = 0);
+
+  /// 2D-grid halo along rows (axis 0) or columns (axis 1) of a gx-by-gy
+  /// process grid, as a ring within each row/column.
+  void sendrecv_grid(int gx, int gy, int axis, Bytes bytes,
+                     std::int32_t tag = 0);
+
+  /// Collective on all ranks.
+  void collective(MpiCall op, Bytes bytes);
+
+  /// Pipelined dependency chain within each row/column of a gx-by-gy grid,
+  /// repeated `stages` times: per stage, rank (i,j) receives the boundary
+  /// line from its predecessor, computes `cell_us`, and sends to its
+  /// successor. Models NAS BT's solver sweeps: the fill/drain wait is spent
+  /// blocked *inside* MPI_Recv and grows with the grid side, which is what
+  /// erodes gateable idle under strong scaling.
+  void pipelined_sweep(int gx, int gy, int axis, Bytes bytes, double cell_us,
+                       int stages = 1, std::int32_t tag = 0);
+
+ private:
+  WorkloadParams params_;
+  Trace trace_;
+  Rng master_;
+  std::vector<Rng> rank_rng_;
+};
+
+/// Factory: "gromacs", "alya", "wrf", "nas_bt", "nas_mg".
+[[nodiscard]] std::unique_ptr<AppModel> make_app(const std::string& name);
+[[nodiscard]] std::vector<std::string> app_names();
+
+}  // namespace ibpower

@@ -1,0 +1,75 @@
+#include <cmath>
+
+#include "workloads/apps.hpp"
+#include "workloads/scaling.hpp"
+
+namespace ibpower {
+
+bool NasLuModel::supports(int nranks) const {
+  if (nranks < 4) return false;
+  const int q = static_cast<int>(std::lround(std::sqrt(nranks)));
+  return q * q == nranks;
+}
+
+// NAS LU (SSOR): per iteration, two diagonal wavefront sweeps (lower and
+// upper triangular) across the 2D process grid — each rank receives the
+// pencil boundaries from its west and north neighbours, relaxes, and
+// forwards east/south using nonblocking sends — followed by a halo
+// exchange of the RHS and a residual allreduce. The wavefront gives LU the
+// same strong-scaling MPI growth as BT with a different (and equally
+// learnable) per-rank call pattern.
+Trace NasLuModel::generate(const WorkloadParams& p) const {
+  IBP_EXPECTS(supports(p.nranks));
+  TraceEmitter em(name(), p);
+  const ScalingHelper sc(p, 9, /*alpha=*/1.7);
+  const int q = static_cast<int>(std::lround(std::sqrt(p.nranks)));
+
+  const double g_rhs = sc.comp_us(5200.0);  // SSOR local relaxation
+  const double cell_us = 10.0;              // per-wavefront-step work
+  const Bytes pencil = 2 * 1024;            // wavefront boundary line
+  const Bytes halo = sc.msg_bytes(96 * 1024);
+  Trace& trace = em.raw_trace();
+
+  auto wavefront = [&](bool forward, std::int32_t tag) {
+    // Diagonal dependency over real grid coordinates: the forward sweep
+    // flows from (i-1,j)/(i,j-1) into (i,j); the backward sweep reverses.
+    const int di = forward ? 1 : -1;
+    auto rank_of = [&](int x, int y) { return static_cast<Rank>(x + y * q); };
+    for (Rank r = 0; r < p.nranks; ++r) {
+      const int i = r % q;
+      const int j = r / q;
+      const bool has_up_i = forward ? i > 0 : i < q - 1;
+      const bool has_up_j = forward ? j > 0 : j < q - 1;
+      const bool has_down_i = forward ? i < q - 1 : i > 0;
+      const bool has_down_j = forward ? j < q - 1 : j > 0;
+      // Receive from the upstream neighbours (blocking: true dependency).
+      if (has_up_i) trace.push(r, RecvRecord{rank_of(i - di, j), pencil, tag});
+      if (has_up_j) {
+        trace.push(r, RecvRecord{rank_of(i, j - di), pencil, tag + 1});
+      }
+      em.compute(r, cell_us, 0.03);
+      // Forward downstream with nonblocking sends, retired together.
+      if (has_down_i) {
+        trace.push(r, IsendRecord{rank_of(i + di, j), pencil, tag, 1});
+      }
+      if (has_down_j) {
+        trace.push(r, IsendRecord{rank_of(i, j + di), pencil, tag + 1, 2});
+      }
+      if (has_down_i || has_down_j) trace.push(r, WaitallRecord{});
+    }
+  };
+
+  for (int it = 0; it < p.iterations; ++it) {
+    em.compute_all(g_rhs, 0.06);
+    wavefront(true, it * 10);    // lower-triangular sweep
+    em.compute_all(sc.comp_us(400.0), 0.05);
+    wavefront(false, it * 10 + 4);  // upper-triangular sweep
+    em.compute_all(sc.comp_us(600.0), 0.05);
+    em.sendrecv_grid(q, q, it % 2, halo, it * 10 + 8);
+    em.compute_all(2.0, 0.05);
+    em.collective(MpiCall::Allreduce, 40);
+  }
+  return em.take();
+}
+
+}  // namespace ibpower

@@ -1,0 +1,80 @@
+#include <cmath>
+
+#include "workloads/apps.hpp"
+#include "workloads/scaling.hpp"
+
+namespace ibpower {
+
+// Calibration targets (paper): hit 70-79%; savings 27.7% at 8 ranks, 3.7%
+// at 128 (disp 1%); Table I shows an unusually thick 20-200 us interval
+// band, and the chosen grouping threshold is large (GT ~300 us, 150 us at
+// 128 ranks). The V-cycle's inter-level gaps span from far below to near
+// the grouping threshold: one restriction gap sits just under GT, so
+// jitter occasionally splits the V-cycle gram and mispredicts the pattern
+// (capping the hit rate); coarse-level data redistribution costs grow
+// linearly with P (latency-bound exchanges), eroding savings at scale.
+Trace NasMgModel::generate(const WorkloadParams& p) const {
+  TraceEmitter em(name(), p);
+  const ScalingHelper sc(p, 8, /*alpha=*/1.15);
+
+  const double g_smooth = sc.comp_us(10400.0);  // fine-grid smoothing (gated)
+  // The near-threshold restriction gap tracks the per-size GT choice
+  // (Table III analogue): ~77% of GT, with enough jitter to flip over it
+  // occasionally.
+  const double near_gt_gap = (p.nranks >= 128 ? 115.0 : 230.0) * p.scale;
+  const double gap_sigma = 0.18;
+  // Remaining inter-level gaps: small medians with heavy log-normal tails
+  // (sigma 0.55). This is why MG *needs* a large GT (paper Table III):
+  // any small threshold sits inside this gap mass and splits the V-cycle
+  // gram differently every iteration, destroying predictability; ~300 us
+  // sits above nearly all of it.
+  const double mid_sigma = 0.55;
+  // Coarse-level gaps shrink more slowly than the smoothing phase
+  // (~sqrt of the strong-scaling factor) but must stay clearly below the
+  // per-size GT so the only near-threshold gap is the calibrated one above.
+  const double mid_scale =
+      p.scale * (p.weak_scaling
+                     ? 1.0
+                     : std::sqrt(8.0 / static_cast<double>(p.nranks)));
+  const double down_gap[2] = {55.0 * mid_scale, 28.0 * mid_scale};
+  const double up_gap[3] = {25.0 * mid_scale, 60.0 * mid_scale,
+                            95.0 * mid_scale};
+  const double imbalance = 0.20;
+  const double coarse_solve = sc.comp_us(180.0);
+  const Bytes halo_fine = sc.msg_bytes(24 * 1024);
+  const Bytes redist = 64 * 1024;  // coarse-level redistribution payload
+
+  auto level_halo = [&](int level, std::int32_t tag) {
+    // Two pulses per level with tiny gaps (Table I's <20 us intervals).
+    const Bytes bytes = std::max<Bytes>(halo_fine >> (2 * level), 256);
+    em.sendrecv_ring(bytes, 1 + level, tag);
+    em.compute_all(1.0, 0.08);
+    em.sendrecv_ring(bytes, -(1 + level), tag + 1);
+  };
+
+  for (int it = 0; it < p.iterations; ++it) {
+    em.compute_all(g_smooth, imbalance);
+    level_halo(0, 0);
+    // Restriction path.
+    em.compute_all(near_gt_gap, gap_sigma);
+    level_halo(1, 10);
+    for (int lev = 0; lev < 2; ++lev) {
+      em.compute_all(down_gap[lev], mid_sigma);
+      level_halo(lev + 2, 10 * (lev + 2));
+    }
+    // Coarsest level: solve + latency-bound data redistribution (cost grows
+    // ~linearly with P — what erodes MG's savings under strong scaling).
+    em.compute_all(coarse_solve, gap_sigma);
+    em.collective(MpiCall::Alltoall, redist);
+    em.collective(MpiCall::Allreduce, 8);
+    em.collective(MpiCall::Alltoall, redist);
+    // Prolongation path.
+    for (int lev = 0; lev < 3; ++lev) {
+      em.compute_all(up_gap[lev], mid_sigma);
+      level_halo(2 - lev, 10 * (lev + 4));
+    }
+  }
+  return em.take();
+}
+
+}  // namespace ibpower

@@ -1,0 +1,24 @@
+#include "workloads/app_model.hpp"
+
+#include <stdexcept>
+
+#include "workloads/apps.hpp"
+
+namespace ibpower {
+
+std::unique_ptr<AppModel> make_app(const std::string& name) {
+  if (name == "gromacs") return std::make_unique<GromacsModel>();
+  if (name == "alya") return std::make_unique<AlyaModel>();
+  if (name == "wrf") return std::make_unique<WrfModel>();
+  if (name == "nas_bt") return std::make_unique<NasBtModel>();
+  if (name == "nas_mg") return std::make_unique<NasMgModel>();
+  if (name == "nas_lu") return std::make_unique<NasLuModel>();
+  throw std::invalid_argument("unknown app model: " + name);
+}
+
+std::vector<std::string> app_names() {
+  // The paper's five, plus nas_lu (beyond-paper, not in the evaluation grid).
+  return {"gromacs", "alya", "wrf", "nas_bt", "nas_mg", "nas_lu"};
+}
+
+}  // namespace ibpower

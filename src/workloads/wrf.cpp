@@ -1,0 +1,62 @@
+#include <algorithm>
+#include <cmath>
+
+#include "workloads/apps.hpp"
+#include "workloads/scaling.hpp"
+
+namespace ibpower {
+
+// Calibration targets (paper): hit 25-33% — the lowest of the five —
+// while savings are still high at small scale (38% at 8 ranks, disp 1%),
+// collapsing fast to ~4% at 128; ~94% of idle intervals are < 20 us
+// (Table I). Reconciliation mechanism (DESIGN.md): perturbed timesteps
+// (radiation/nesting phases) carry *long bursts of small halo exchanges*,
+// so they dominate the MPI call count — dragging the call-level hit rate
+// down and producing the tiny intervals — while clean timesteps' large
+// physics gaps still get gated.
+Trace WrfModel::generate(const WorkloadParams& p) const {
+  TraceEmitter em(name(), p);
+  const ScalingHelper sc(p, 8, /*alpha=*/2.0);
+  int gx, gy;
+  grid_factor(p.nranks, &gx, &gy);
+
+  const double g_physics = sc.comp_us(10400.0);  // microphysics / dynamics
+  const double g_minor = sc.comp_us(9000.0);     // minor tendency phase
+  const double imbalance = 0.12;
+  const Bytes halo = sc.msg_bytes(12 * 1024);
+  const double p_perturbed = 0.35;              // radiation / nesting steps
+  // Burst length shrinks with per-rank column count under strong scaling.
+  const int burst_extra = std::max(
+      8, static_cast<int>(32.0 * (p.weak_scaling
+                                      ? 1.0
+                                      : std::cbrt(8.0 / static_cast<double>(
+                                                            p.nranks)))));
+
+  for (int it = 0; it < p.iterations; ++it) {
+    const bool perturbed = em.master_rng().bernoulli(p_perturbed);
+
+    em.compute_all(g_physics, imbalance);
+    // Regular halo gram: 4 alternating x/y exchanges with tiny gaps.
+    for (int k = 0; k < 4; ++k) {
+      em.sendrecv_grid(gx, gy, k % 2, halo, k);
+      if (k < 3) em.compute_all(1.2, 0.08);
+    }
+    if (perturbed) {
+      // Long small-message burst: boundary/radiation column exchanges.
+      em.compute_all(3.0, 0.05);
+      for (int k = 0; k < burst_extra; ++k) {
+        em.sendrecv_grid(gx, gy, k % 2, halo / 4, 100 + k);
+        if (k + 1 < burst_extra) em.compute_all(0.8, 0.10);
+      }
+    }
+    // Spectral-transform transpose: latency grows ~linearly with P, part
+    // of what erodes WRF's savings at scale.
+    em.compute_all(2.5, 0.05);
+    em.collective(MpiCall::Alltoall, 256 * 1024);
+    em.compute_all(g_minor, imbalance);
+    em.collective(MpiCall::Allreduce, 8);
+  }
+  return em.take();
+}
+
+}  // namespace ibpower

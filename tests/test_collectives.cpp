@@ -1,0 +1,70 @@
+#include "sim/collectives.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ibpower {
+namespace {
+
+using namespace ibpower::literals;
+
+const CollectiveCostModel kModel(1_us, 40.0);
+
+TEST(Collectives, SingleRankIsCheap) {
+  EXPECT_EQ(kModel.cost(MpiCall::Allreduce, 1024, 1), 1_us);
+}
+
+TEST(Collectives, BarrierLogarithmic) {
+  EXPECT_EQ(kModel.cost(MpiCall::Barrier, 0, 2), 1_us);
+  EXPECT_EQ(kModel.cost(MpiCall::Barrier, 0, 8), 3_us);
+  EXPECT_EQ(kModel.cost(MpiCall::Barrier, 0, 9), 4_us);  // ceil(log2 9) = 4
+  EXPECT_EQ(kModel.cost(MpiCall::Barrier, 0, 128), 7_us);
+}
+
+TEST(Collectives, AllreduceIsBcastPlusExtraLatencyStages) {
+  // allreduce = 2*stages*lat + 2*ser; bcast = stages*lat + 2*ser.
+  const TimeNs bcast = kModel.cost(MpiCall::Bcast, 4096, 16);
+  const TimeNs allreduce = kModel.cost(MpiCall::Allreduce, 4096, 16);
+  EXPECT_EQ(allreduce - bcast, 1_us * 4);
+}
+
+TEST(Collectives, BandwidthTermIndependentOfRanks) {
+  // Pipelined algorithms: payload term does not multiply with tree depth.
+  const Bytes big = 1 << 20;
+  const TimeNs c16 = kModel.cost(MpiCall::Allreduce, big, 16);
+  const TimeNs c128 = kModel.cost(MpiCall::Allreduce, big, 128);
+  // Only the latency term grows: 2*(7-4) stages * 1us.
+  EXPECT_EQ(c128 - c16, 1_us * 6);
+}
+
+TEST(Collectives, AlltoallLatencyLinearInRanks) {
+  const TimeNs small = kModel.cost(MpiCall::Alltoall, 1024, 8);
+  const TimeNs large = kModel.cost(MpiCall::Alltoall, 1024, 64);
+  EXPECT_EQ(small, 1_us * 7 + TimeNs{205} * 2);
+  EXPECT_EQ(large, 1_us * 63 + TimeNs{205} * 2);
+}
+
+TEST(Collectives, CostGrowsWithBytes) {
+  EXPECT_LT(kModel.cost(MpiCall::Allreduce, 8, 16),
+            kModel.cost(MpiCall::Allreduce, 1 << 20, 16));
+}
+
+TEST(Collectives, CostGrowsWithRanks) {
+  for (const MpiCall op : {MpiCall::Allreduce, MpiCall::Bcast,
+                           MpiCall::Alltoall, MpiCall::Barrier}) {
+    EXPECT_LE(kModel.cost(op, 4096, 8), kModel.cost(op, 4096, 128))
+        << to_string(op);
+  }
+}
+
+TEST(Collectives, SerializationMatchesBandwidth) {
+  // 40 Gb/s -> 5 bytes per ns.
+  EXPECT_EQ(kModel.serialization(4000), TimeNs{800});
+}
+
+TEST(Collectives, GatherScatterSymmetry) {
+  EXPECT_EQ(kModel.cost(MpiCall::Gather, 2048, 32),
+            kModel.cost(MpiCall::Scatter, 2048, 32));
+}
+
+}  // namespace
+}  // namespace ibpower

@@ -1,0 +1,203 @@
+// Configuration-knob coverage: every PpaConfig field must actually change
+// behaviour the way the paper describes, and ExperimentConfig must keep the
+// agent and the link model consistent.
+#include <gtest/gtest.h>
+
+#include "core/pmpi_agent.hpp"
+#include "sim/experiment.hpp"
+
+namespace ibpower {
+namespace {
+
+using namespace ibpower::literals;
+
+constexpr MpiCall SR = MpiCall::Sendrecv;
+constexpr MpiCall AR = MpiCall::Allreduce;
+
+PpaConfig base_config() {
+  PpaConfig cfg;
+  cfg.grouping_threshold = 20_us;
+  cfg.t_react = 10_us;
+  cfg.interception_overhead = TimeNs::zero();
+  cfg.ppa_invocation_overhead = TimeNs::zero();
+  return cfg;
+}
+
+struct CountingPort final : LinkPowerPort {
+  int requests{0};
+  TimeNs last_duration{};
+  void request_low_power(TimeNs, TimeNs duration) override {
+    ++requests;
+    last_duration = duration;
+  }
+};
+
+int calls_until_armed(const PpaConfig& cfg, int max_iterations = 30) {
+  PmpiAgent agent(cfg, nullptr);
+  TimeNs t{};
+  int calls = 0;
+  for (int it = 0; it < max_iterations; ++it) {
+    for (const auto& [c, gap] :
+         std::initializer_list<std::pair<MpiCall, TimeNs>>{
+             {SR, 150_us}, {AR, 100_us}}) {
+      t += gap;
+      ++calls;
+      (void)agent.on_call_enter(c, t);
+      t += 1_us;
+      agent.on_call_exit(c, t);
+      if (agent.predicting()) return calls;
+    }
+  }
+  return -1;
+}
+
+TEST(ConfigKnobs, ConsecutiveAppearancesThreshold) {
+  PpaConfig two = base_config();
+  two.consecutive_appearances_to_detect = 2;
+  PpaConfig four = base_config();
+  four.consecutive_appearances_to_detect = 4;
+  const int at2 = calls_until_armed(two);
+  const int at3 = calls_until_armed(base_config());
+  const int at4 = calls_until_armed(four);
+  ASSERT_GT(at2, 0);
+  ASSERT_GT(at3, 0);
+  ASSERT_GT(at4, 0);
+  EXPECT_LT(at2, at3);
+  EXPECT_LT(at3, at4);
+  // One more appearance = one more period (2 grams = 2 calls).
+  EXPECT_EQ(at3 - at2, 2);
+  EXPECT_EQ(at4 - at3, 2);
+}
+
+TEST(ConfigKnobs, DisplacementScalesSafetyMargin) {
+  for (const double disp : {0.01, 0.10, 0.30}) {
+    PpaConfig cfg = base_config();
+    cfg.displacement_factor = disp;
+    CountingPort port;
+    PmpiAgent agent(cfg, &port);
+    TimeNs t{};
+    for (int it = 0; it < 10; ++it) {
+      for (const auto& [c, gap] :
+           std::initializer_list<std::pair<MpiCall, TimeNs>>{
+               {SR, 150_us}, {AR, 100_us}}) {
+        t += gap;
+        (void)agent.on_call_enter(c, t);
+        t += 1_us;
+        agent.on_call_exit(c, t);
+      }
+    }
+    ASSERT_GT(port.requests, 0) << disp;
+    // Request durations are G - (G*disp + Treact) for G in {150, 100}us.
+    const TimeNs expected_150 = 150_us - 150_us * disp - 10_us;
+    const TimeNs expected_100 = 100_us - 100_us * disp - 10_us;
+    EXPECT_TRUE(port.last_duration == expected_150 ||
+                port.last_duration == expected_100)
+        << "disp " << disp << ": " << to_string(port.last_duration);
+  }
+}
+
+TEST(ConfigKnobs, MinLowPowerSuppressesSmallWindows) {
+  PpaConfig cfg = base_config();
+  cfg.min_low_power_duration = 200_us;  // bigger than any predicted window
+  CountingPort port;
+  PmpiAgent agent(cfg, &port);
+  TimeNs t{};
+  for (int it = 0; it < 10; ++it) {
+    for (const auto& [c, gap] :
+         std::initializer_list<std::pair<MpiCall, TimeNs>>{
+             {SR, 150_us}, {AR, 100_us}}) {
+      t += gap;
+      (void)agent.on_call_enter(c, t);
+      t += 1_us;
+      agent.on_call_exit(c, t);
+    }
+  }
+  EXPECT_TRUE(agent.predicting());  // prediction still works
+  EXPECT_EQ(port.requests, 0);      // but nothing worth gating
+}
+
+TEST(ConfigKnobs, EwmaTracksDriftFasterThanMean) {
+  // Feed a boundary whose gap drifts from 100us to 300us; the EWMA estimate
+  // must end much closer to 300us than the running mean.
+  auto final_estimate = [](double alpha) {
+    GapEstimate est;
+    for (int i = 0; i < 50; ++i) est.observe(100_us, alpha);
+    for (int i = 0; i < 10; ++i) est.observe(300_us, alpha);
+    return est.mean();
+  };
+  const TimeNs mean = final_estimate(0.0);
+  const TimeNs ewma = final_estimate(0.5);
+  EXPECT_LT(mean, 150_us);
+  EXPECT_GT(ewma, 280_us);
+}
+
+TEST(ConfigKnobs, MaxPatternGramsBoundsDetection) {
+  // A period-6 gram stream cannot be detected when the search is capped at
+  // 4 grams (and 6 is not reducible).
+  PpaConfig capped = base_config();
+  capped.max_pattern_grams = 4;
+  GramInterner interner;
+  PatternDetector detector(capped, &interner);
+  const MpiCall calls[6] = {SR, AR, MpiCall::Bcast, SR, SR, AR};
+  std::vector<GramId> block;
+  for (const MpiCall c : calls) block.push_back(interner.intern({c}));
+  bool armed = false;
+  for (int i = 0; i < 120; ++i) {
+    ClosedGram g;
+    g.id = block[static_cast<std::size_t>(i % 6)];
+    g.position = static_cast<std::size_t>(i);
+    g.preceding_idle = 100_us;
+    if (detector.observe(g)) armed = true;
+  }
+  EXPECT_FALSE(armed);
+
+  PpaConfig roomy = base_config();
+  roomy.max_pattern_grams = 8;
+  PatternDetector detector2(roomy, &interner);
+  for (int i = 0; i < 120 && !armed; ++i) {
+    ClosedGram g;
+    g.id = block[static_cast<std::size_t>(i % 6)];
+    g.position = static_cast<std::size_t>(i);
+    g.preceding_idle = 100_us;
+    if (detector2.observe(g)) armed = true;
+  }
+  EXPECT_TRUE(armed);
+}
+
+TEST(ConfigKnobs, ExperimentSyncsTreactIntoLinkModel) {
+  ExperimentConfig cfg;
+  cfg.app = "alya";
+  cfg.workload.nranks = 4;
+  cfg.workload.iterations = 15;
+  cfg.ppa.t_react = 40_us;
+  cfg.ppa.grouping_threshold = 80_us;  // >= 2 * Treact
+  cfg.ppa.min_low_power_duration = 40_us;
+  // If the link model kept the default 10us Treact while the agent assumed
+  // 40us, wake penalties would be systematically mis-sized; the experiment
+  // runner must propagate it. (This is a regression test: the run completes
+  // with sane, bounded slowdown.)
+  const auto r = run_experiment(cfg);
+  EXPECT_GT(r.power.switch_savings_pct, 0.0);
+  EXPECT_LT(r.time_increase_pct, 5.0);
+}
+
+TEST(ConfigKnobs, InvalidConfigsRejected) {
+  PpaConfig cfg = base_config();
+  cfg.displacement_factor = 1.5;
+  EXPECT_FALSE(cfg.valid());
+  cfg = base_config();
+  cfg.consecutive_appearances_to_detect = 1;
+  EXPECT_FALSE(cfg.valid());
+  cfg = base_config();
+  cfg.min_pattern_grams = 1;
+  EXPECT_FALSE(cfg.valid());
+  cfg = base_config();
+  cfg.gap_ewma_alpha = 2.0;
+  EXPECT_FALSE(cfg.valid());
+  cfg = base_config();
+  cfg.max_pattern_grams = cfg.min_pattern_grams - 1;
+  EXPECT_FALSE(cfg.valid());
+}
+
+}  // namespace
+}  // namespace ibpower

@@ -1,0 +1,91 @@
+#include "sim/des.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace ibpower {
+namespace {
+
+using namespace ibpower::literals;
+
+TEST(EventQueue, RunsInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule(30_us, [&] { order.push_back(3); });
+  q.schedule(10_us, [&] { order.push_back(1); });
+  q.schedule(20_us, [&] { order.push_back(2); });
+  q.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(q.now(), 30_us);
+  EXPECT_EQ(q.processed(), 3u);
+}
+
+TEST(EventQueue, TiesBreakByInsertionOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    q.schedule(5_us, [&order, i] { order.push_back(i); });
+  }
+  q.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(EventQueue, CallbacksCanSchedule) {
+  EventQueue q;
+  int fired = 0;
+  q.schedule(1_us, [&] {
+    ++fired;
+    q.schedule(2_us, [&] {
+      ++fired;
+      q.schedule(3_us, [&] { ++fired; });
+    });
+  });
+  q.run();
+  EXPECT_EQ(fired, 3);
+  EXPECT_EQ(q.now(), 3_us);
+}
+
+TEST(EventQueue, SchedulingAtNowIsAllowed) {
+  EventQueue q;
+  bool ran = false;
+  q.schedule(5_us, [&] { q.schedule(5_us, [&] { ran = true; }); });
+  q.run();
+  EXPECT_TRUE(ran);
+}
+
+TEST(EventQueue, RunNextSteps) {
+  EventQueue q;
+  q.schedule(1_us, [] {});
+  q.schedule(2_us, [] {});
+  EXPECT_TRUE(q.run_next());
+  EXPECT_EQ(q.now(), 1_us);
+  EXPECT_TRUE(q.run_next());
+  EXPECT_FALSE(q.run_next());
+}
+
+TEST(EventQueue, EmptyQueue) {
+  EventQueue q;
+  EXPECT_TRUE(q.empty());
+  EXPECT_FALSE(q.run_next());
+  EXPECT_EQ(q.now(), TimeNs::zero());
+}
+
+TEST(EventQueue, ManyEventsStressOrder) {
+  EventQueue q;
+  TimeNs last{-1};
+  bool monotonic = true;
+  for (int i = 0; i < 10000; ++i) {
+    const TimeNs t{(i * 7919) % 10007};
+    q.schedule(t, [&, t] {
+      if (t < last) monotonic = false;
+      last = t;
+    });
+  }
+  q.run();
+  EXPECT_TRUE(monotonic);
+  EXPECT_EQ(q.processed(), 10000u);
+}
+
+}  // namespace
+}  // namespace ibpower

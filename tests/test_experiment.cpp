@@ -1,0 +1,139 @@
+#include "sim/experiment.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ibpower {
+namespace {
+
+using namespace ibpower::literals;
+
+ExperimentConfig small_config(const std::string& app, int nranks) {
+  ExperimentConfig cfg;
+  cfg.app = app;
+  cfg.workload.nranks = nranks;
+  cfg.workload.iterations = 25;
+  cfg.ppa.grouping_threshold = default_gt(app, nranks);
+  cfg.ppa.displacement_factor = 0.10;
+  cfg.fabric.random_routing = false;
+  return cfg;
+}
+
+TEST(Experiment, AlyaSmokeRun) {
+  const auto r = run_experiment(small_config("alya", 8));
+  EXPECT_GT(r.baseline_time, TimeNs::zero());
+  EXPECT_GT(r.managed_time, TimeNs::zero());
+  EXPECT_GT(r.power.switch_savings_pct, 0.0);
+  EXPECT_LT(r.power.switch_savings_pct, 57.0);
+  EXPECT_GT(r.hit_rate_pct, 50.0);
+  EXPECT_LT(r.time_increase_pct, 5.0);
+  EXPECT_GT(r.mpi_calls, 0u);
+  EXPECT_EQ(r.agents.total_calls, r.mpi_calls);
+}
+
+TEST(Experiment, BaselineIdleDistributionPopulated) {
+  const auto r = run_experiment(small_config("alya", 8));
+  EXPECT_GT(r.baseline_idle.total_intervals, 0u);
+  EXPECT_GT(r.baseline_idle.reducible_time_fraction(), 0.5);
+}
+
+TEST(Experiment, InvalidRankCountThrows) {
+  EXPECT_THROW((void)run_experiment(small_config("nas_bt", 8)),
+               std::invalid_argument);
+}
+
+TEST(Experiment, NodeLinkIdleGapsCoverExecution) {
+  const ExperimentConfig cfg = small_config("alya", 4);
+  const auto app = make_app(cfg.app);
+  const Trace trace = app->generate(cfg.workload);
+  ReplayOptions opt;
+  opt.fabric = cfg.fabric;
+  ReplayEngine engine(&trace, opt);
+  const auto rr = engine.run();
+
+  const auto gaps = node_link_idle_gaps(engine.fabric(), 0, rr.exec_time);
+  TimeNs idle{};
+  for (const auto& gap : gaps) idle += gap.duration();
+  const auto& link = engine.fabric().node_link(0);
+  IntervalSet busy;
+  for (const auto& iv : link.busy(Direction::Up).intervals()) busy.add(iv);
+  for (const auto& iv : link.busy(Direction::Down).intervals()) busy.add(iv);
+  EXPECT_EQ(idle + busy.total(), rr.exec_time);
+}
+
+TEST(Experiment, PowerTimelineMatchesResidency) {
+  const ExperimentConfig cfg = small_config("alya", 4);
+  const auto app = make_app(cfg.app);
+  const Trace trace = app->generate(cfg.workload);
+  ReplayOptions opt;
+  opt.fabric = cfg.fabric;
+  opt.enable_power_management = true;
+  opt.ppa = cfg.ppa;
+  ReplayEngine engine(&trace, opt);
+  const auto rr = engine.run();
+
+  const StateTimeline tl =
+      build_power_timeline(engine.fabric(), 4, rr.exec_time);
+  for (NodeId n = 0; n < 4; ++n) {
+    const auto& link = engine.fabric().node_link(n);
+    EXPECT_EQ(tl.residency(n, static_cast<int>(LinkPowerMode::LowPower)),
+              link.residency(LinkPowerMode::LowPower))
+        << "node " << n;
+    // Timeline covers the full execution.
+    const TimeNs total =
+        tl.residency(n, 0) + tl.residency(n, 1) + tl.residency(n, 2);
+    EXPECT_EQ(total, rr.exec_time);
+  }
+}
+
+TEST(Experiment, GtSweepProducesPoints) {
+  ExperimentConfig cfg = small_config("gromacs", 8);
+  cfg.workload.iterations = 15;
+  const auto points = sweep_gt(cfg, {20_us, 50_us, 100_us});
+  ASSERT_EQ(points.size(), 3u);
+  for (const auto& p : points) {
+    EXPECT_GE(p.hit_rate_pct, 0.0);
+    EXPECT_LE(p.hit_rate_pct, 100.0);
+    EXPECT_GE(p.gt, 20_us);
+  }
+}
+
+TEST(Experiment, GtClampedToTwiceTreact) {
+  ExperimentConfig cfg = small_config("alya", 4);
+  cfg.workload.iterations = 8;
+  const auto points = sweep_gt(cfg, {1_us});
+  ASSERT_EQ(points.size(), 1u);
+  EXPECT_EQ(points[0].gt, 20_us);
+}
+
+TEST(Experiment, DryRunHitRateMatchesManagedBallpark) {
+  // Dry-run prediction over baseline timelines should roughly agree with
+  // the closed-loop hit rate for a regular app.
+  ExperimentConfig cfg = small_config("alya", 8);
+  cfg.workload.iterations = 40;
+  const auto r = run_experiment(cfg);
+
+  const auto app = make_app(cfg.app);
+  const Trace trace = app->generate(cfg.workload);
+  ReplayOptions opt;
+  opt.fabric = cfg.fabric;
+  opt.record_call_timeline = true;
+  ReplayEngine engine(&trace, opt);
+  (void)engine.run();
+  std::vector<std::vector<MpiCallEvent>> timelines;
+  for (Rank rk = 0; rk < trace.nranks(); ++rk) {
+    timelines.push_back(engine.call_timeline(rk));
+  }
+  const double dry = dry_run_hit_rate(timelines, cfg.ppa);
+  EXPECT_NEAR(dry, r.hit_rate_pct, 15.0);
+}
+
+TEST(Experiment, DefaultGtRespectsLowerBound) {
+  for (const auto& app : app_names()) {
+    for (const int n : {8, 9, 16, 32, 64, 100, 128}) {
+      EXPECT_GE(default_gt(app, n), 20_us) << app << " " << n;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ibpower

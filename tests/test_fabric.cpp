@@ -1,0 +1,117 @@
+#include "network/fabric.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ibpower {
+namespace {
+
+using namespace ibpower::literals;
+
+FabricConfig test_config() {
+  FabricConfig cfg;
+  cfg.random_routing = false;  // deterministic for tests
+  return cfg;
+}
+
+TEST(Fabric, UnicastSameLeafLatency) {
+  Fabric fabric(test_config(), 8);
+  const auto tx = fabric.unicast(0, 1, 2048, 0_us);
+  // Path: 2 links; delivery = last start + ser + hop + mpi latency.
+  EXPECT_GT(tx.delivery, 1_us);         // at least MPI latency
+  EXPECT_LT(tx.delivery, 10_us);        // small message, short path
+  EXPECT_EQ(tx.power_penalty, TimeNs::zero());
+  EXPECT_EQ(tx.sender_free, TimeNs{410});
+}
+
+TEST(Fabric, CrossLeafSlowerThanSameLeaf) {
+  Fabric fabric(test_config(), 40);
+  const auto near = fabric.unicast(0, 1, 2048, 0_us);
+  const auto far = fabric.unicast(2, 30, 2048, 0_us);  // different leaves
+  EXPECT_GT(far.delivery - 0_us, near.delivery - 0_us);
+}
+
+TEST(Fabric, DeliveryScalesWithSize) {
+  Fabric fabric(test_config(), 8);
+  const auto small = fabric.unicast(0, 1, 2048, 0_us);
+  const auto big = fabric.unicast(2, 3, 1 << 20, 0_us);
+  EXPECT_GT(big.delivery.ns - big.sender_free.ns, 0);
+  EXPECT_GT(big.sender_free, small.sender_free);
+}
+
+TEST(Fabric, BusyRecordedOnNodeLinks) {
+  Fabric fabric(test_config(), 8);
+  fabric.unicast(0, 1, 4096, 10_us);
+  EXPECT_FALSE(fabric.node_link(0).busy(Direction::Up).empty());
+  EXPECT_FALSE(fabric.node_link(1).busy(Direction::Down).empty());
+  EXPECT_TRUE(fabric.node_link(2).busy(Direction::Up).empty());
+}
+
+TEST(Fabric, PowerPenaltyPropagates) {
+  Fabric fabric(test_config(), 8);
+  fabric.node_link(0).request_low_power(0_us, 1_ms);
+  const auto tx = fabric.unicast(0, 1, 2048, 100_us);
+  EXPECT_EQ(tx.power_penalty, 10_us);  // on-demand wake of the source uplink
+}
+
+TEST(Fabric, WakeNodeLink) {
+  Fabric fabric(test_config(), 8);
+  EXPECT_EQ(fabric.wake_node_link(3, 50_us), TimeNs::zero());
+  fabric.node_link(3).request_low_power(100_us, 1_ms);
+  EXPECT_EQ(fabric.wake_node_link(3, 200_us), 10_us);
+  // After the wake the link is full power again.
+  EXPECT_EQ(fabric.wake_node_link(3, 300_us), TimeNs::zero());
+}
+
+TEST(Fabric, OccupyNodeLinkBothDirections) {
+  Fabric fabric(test_config(), 8);
+  fabric.occupy_node_link(2, 10_us, 20_us);
+  EXPECT_EQ(fabric.node_link(2).busy(Direction::Up).total(), 10_us);
+  EXPECT_EQ(fabric.node_link(2).busy(Direction::Down).total(), 10_us);
+}
+
+TEST(Fabric, RandomRoutingSpreadsTrunks) {
+  FabricConfig cfg;
+  cfg.random_routing = true;
+  Fabric fabric(cfg, 252);
+  for (int i = 0; i < 200; ++i) {
+    fabric.unicast(0, 200, 2048, TimeNs::from_us(std::int64_t{i * 10}));
+  }
+  // Count distinct up-trunks of leaf 0 that saw traffic.
+  int used = 0;
+  const auto& topo = fabric.topology();
+  for (int t = 0; t < topo.num_top_switches(); ++t) {
+    if (!fabric.link(topo.trunk_link(0, t)).busy(Direction::Up).empty()) {
+      ++used;
+    }
+  }
+  EXPECT_GT(used, 10);  // random routing uses many trunks
+}
+
+TEST(Fabric, DeterministicRoutingIsStable) {
+  Fabric f1(test_config(), 252), f2(test_config(), 252);
+  const auto a = f1.unicast(0, 200, 2048, 0_us);
+  const auto b = f2.unicast(0, 200, 2048, 0_us);
+  EXPECT_EQ(a.delivery, b.delivery);
+}
+
+TEST(Fabric, FinishClosesAllLinks) {
+  Fabric fabric(test_config(), 4);
+  fabric.unicast(0, 1, 2048, 0_us);
+  fabric.finish(1_ms);
+  EXPECT_EQ(fabric.node_link(0).end_time(), 1_ms);
+  EXPECT_EQ(fabric.link(fabric.topology().num_links() - 1).end_time(), 1_ms);
+}
+
+TEST(Fabric, SegmentPipeliningBeatsStoreAndForward) {
+  // Large message across leaves: delivery should reflect one serialization
+  // plus per-hop segment offsets, not 4 full serializations.
+  Fabric fabric(test_config(), 40);
+  const Bytes big = 1 << 20;  // ser = ~210us
+  const auto tx = fabric.unicast(0, 30, big, 0_us);
+  const TimeNs one_ser = fabric.node_link(0).serialization_time(big);
+  EXPECT_LT(tx.delivery, one_ser + one_ser);  // far less than 2 sers
+  EXPECT_GT(tx.delivery, one_ser);
+}
+
+}  // namespace
+}  // namespace ibpower

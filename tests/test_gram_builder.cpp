@@ -1,0 +1,131 @@
+#include "core/gram_builder.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ibpower {
+namespace {
+
+using namespace ibpower::literals;
+
+constexpr MpiCall SR = MpiCall::Sendrecv;
+constexpr MpiCall AR = MpiCall::Allreduce;
+
+class GramBuilderTest : public ::testing::Test {
+ protected:
+  GramInterner interner_;
+  GramBuilder builder_{20_us, &interner_};
+  TimeNs t_{};
+
+  // Feed a call lasting `dur` after an idle gap of `gap`.
+  std::optional<ClosedGram> call(MpiCall c, TimeNs gap, TimeNs dur = 1_us) {
+    t_ += gap;
+    auto closed = builder_.on_call_enter(c, t_);
+    t_ += dur;
+    builder_.on_call_exit(t_);
+    return closed;
+  }
+};
+
+TEST_F(GramBuilderTest, FirstCallOpensGramWithoutClosing) {
+  EXPECT_FALSE(call(SR, 0_us).has_value());
+  EXPECT_EQ(builder_.open_calls().size(), 1u);
+  EXPECT_EQ(builder_.closed_count(), 0u);
+}
+
+TEST_F(GramBuilderTest, CloseGapsGroupCalls) {
+  call(SR, 0_us);
+  call(SR, 5_us);   // < GT: groups
+  call(SR, 19_us);  // < GT: groups
+  EXPECT_EQ(builder_.open_calls().size(), 3u);
+  EXPECT_EQ(builder_.closed_count(), 0u);
+}
+
+TEST_F(GramBuilderTest, DistantCallClosesGram) {
+  call(SR, 0_us);
+  call(SR, 2_us);
+  const auto closed = call(AR, 50_us);  // >= GT: closes [SR, SR]
+  ASSERT_TRUE(closed.has_value());
+  EXPECT_EQ(closed->n_calls, 2u);
+  EXPECT_EQ(closed->position, 0u);
+  EXPECT_EQ(interner_.calls_of(closed->id),
+            (std::vector<MpiCall>{SR, SR}));
+  EXPECT_EQ(builder_.open_calls().size(), 1u);  // the AR
+}
+
+TEST_F(GramBuilderTest, GapExactlyAtThresholdCloses) {
+  call(SR, 0_us);
+  const auto closed = call(SR, 20_us);  // == GT closes (Alg. 1: < GT groups)
+  EXPECT_TRUE(closed.has_value());
+}
+
+TEST_F(GramBuilderTest, PrecedingIdleRecorded) {
+  call(SR, 0_us);
+  call(AR, 100_us);            // closes gram 0
+  const auto g1 = call(SR, 70_us);  // closes gram 1 ([AR])
+  ASSERT_TRUE(g1.has_value());
+  EXPECT_EQ(g1->preceding_idle, 100_us);
+  EXPECT_EQ(g1->n_calls, 1u);
+}
+
+TEST_F(GramBuilderTest, GramTimesSpanFirstEnterToLastExit) {
+  call(SR, 0_us, 2_us);   // [0, 2]
+  call(SR, 5_us, 3_us);   // [7, 10]
+  const auto closed = call(AR, 90_us);
+  ASSERT_TRUE(closed.has_value());
+  EXPECT_EQ(closed->begin, 0_us);
+  EXPECT_EQ(closed->end, 10_us);
+}
+
+TEST_F(GramBuilderTest, FlushClosesOpenGram) {
+  call(SR, 0_us);
+  call(SR, 2_us);
+  const auto closed = builder_.flush();
+  ASSERT_TRUE(closed.has_value());
+  EXPECT_EQ(closed->n_calls, 2u);
+  EXPECT_FALSE(builder_.flush().has_value());  // now empty
+}
+
+TEST_F(GramBuilderTest, PositionsIncrease) {
+  call(SR, 0_us);
+  const auto g0 = call(AR, 50_us);
+  const auto g1 = call(SR, 50_us);
+  const auto g2 = call(AR, 50_us);
+  ASSERT_TRUE(g0 && g1 && g2);
+  EXPECT_EQ(g0->position, 0u);
+  EXPECT_EQ(g1->position, 1u);
+  EXPECT_EQ(g2->position, 2u);
+  EXPECT_EQ(builder_.closed_count(), 3u);
+}
+
+TEST_F(GramBuilderTest, IdenticalContentsShareGramId) {
+  call(SR, 0_us);
+  call(SR, 2_us);
+  const auto a = call(AR, 50_us);  // closes [SR,SR]
+  const auto b = call(SR, 50_us);  // closes [AR]
+  call(SR, 2_us);
+  const auto c = call(AR, 50_us);  // closes [SR,SR] again
+  ASSERT_TRUE(a && b && c);
+  EXPECT_EQ(a->id, c->id);
+  EXPECT_NE(a->id, b->id);
+}
+
+TEST(GramInterner, ToStringMatchesPaperNotation) {
+  GramInterner interner;
+  const GramId id = interner.intern({SR, SR, SR});
+  EXPECT_EQ(interner.to_string(id), "41-41-41");
+  const GramId id2 = interner.intern({AR});
+  EXPECT_EQ(interner.to_string(id2), "10");
+}
+
+TEST(GramInterner, InternIsIdempotent) {
+  GramInterner interner;
+  const GramId a = interner.intern({SR, AR});
+  const GramId b = interner.intern({SR, AR});
+  const GramId c = interner.intern({AR, SR});
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+  EXPECT_EQ(interner.size(), 2u);
+}
+
+}  // namespace
+}  // namespace ibpower

@@ -1,0 +1,152 @@
+#include "util/hash_table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace ibpower {
+namespace {
+
+TEST(FlatHashMap, InsertFindBasic) {
+  FlatHashMap<int, std::string> m;
+  m.insert_or_assign(1, "one");
+  m.insert_or_assign(2, "two");
+  ASSERT_NE(m.find(1), nullptr);
+  EXPECT_EQ(*m.find(1), "one");
+  EXPECT_EQ(*m.find(2), "two");
+  EXPECT_EQ(m.find(3), nullptr);
+  EXPECT_EQ(m.size(), 2u);
+}
+
+TEST(FlatHashMap, InsertOrAssignOverwrites) {
+  FlatHashMap<int, int> m;
+  m.insert_or_assign(7, 1);
+  m.insert_or_assign(7, 2);
+  EXPECT_EQ(m.size(), 1u);
+  EXPECT_EQ(*m.find(7), 2);
+}
+
+TEST(FlatHashMap, SubscriptDefaultConstructs) {
+  FlatHashMap<int, int> m;
+  EXPECT_EQ(m[42], 0);
+  m[42] = 9;
+  EXPECT_EQ(*m.find(42), 9);
+}
+
+TEST(FlatHashMap, EraseBasic) {
+  FlatHashMap<int, int> m;
+  for (int i = 0; i < 10; ++i) m.insert_or_assign(i, i * i);
+  EXPECT_TRUE(m.erase(5));
+  EXPECT_FALSE(m.erase(5));
+  EXPECT_EQ(m.find(5), nullptr);
+  EXPECT_EQ(m.size(), 9u);
+  for (int i = 0; i < 10; ++i) {
+    if (i == 5) continue;
+    ASSERT_NE(m.find(i), nullptr) << i;
+    EXPECT_EQ(*m.find(i), i * i);
+  }
+}
+
+TEST(FlatHashMap, GrowsThroughRehash) {
+  FlatHashMap<int, int> m;
+  for (int i = 0; i < 10000; ++i) m.insert_or_assign(i, i + 1);
+  EXPECT_EQ(m.size(), 10000u);
+  for (int i = 0; i < 10000; ++i) {
+    ASSERT_NE(m.find(i), nullptr) << i;
+    EXPECT_EQ(*m.find(i), i + 1);
+  }
+}
+
+TEST(FlatHashMap, MoveOnlyValues) {
+  FlatHashMap<int, std::unique_ptr<int>> m;
+  m[1] = std::make_unique<int>(11);
+  m[2] = std::make_unique<int>(22);
+  for (int i = 3; i < 100; ++i) m[i] = std::make_unique<int>(i);
+  ASSERT_NE(m.find(1), nullptr);
+  EXPECT_EQ(**m.find(1), 11);
+  EXPECT_TRUE(m.erase(1));
+  EXPECT_EQ(m.find(1), nullptr);
+}
+
+TEST(FlatHashMap, VectorKeys) {
+  struct SeqHash {
+    std::uint64_t operator()(const std::vector<int>& v) const {
+      return fnv1a(v.data(), v.size() * sizeof(int));
+    }
+  };
+  FlatHashMap<std::vector<int>, int, SeqHash> m;
+  m.insert_or_assign({1, 2, 3}, 1);
+  m.insert_or_assign({1, 2, 4}, 2);
+  ASSERT_NE(m.find({1, 2, 3}), nullptr);
+  EXPECT_EQ(*m.find({1, 2, 3}), 1);
+  EXPECT_EQ(*m.find({1, 2, 4}), 2);
+  EXPECT_EQ(m.find({1, 2}), nullptr);
+}
+
+TEST(FlatHashMap, ForEachVisitsAll) {
+  FlatHashMap<int, int> m;
+  for (int i = 0; i < 50; ++i) m.insert_or_assign(i, 1);
+  int sum = 0;
+  m.for_each([&](int key, int value) { sum += key * value; });
+  EXPECT_EQ(sum, 49 * 50 / 2);
+}
+
+TEST(FlatHashMap, ClearResets) {
+  FlatHashMap<int, int> m;
+  for (int i = 0; i < 10; ++i) m.insert_or_assign(i, i);
+  m.clear();
+  EXPECT_TRUE(m.empty());
+  EXPECT_EQ(m.find(3), nullptr);
+  m.insert_or_assign(3, 33);
+  EXPECT_EQ(*m.find(3), 33);
+}
+
+TEST(FlatHashMap, ReserveAvoidsIntermediateRehash) {
+  FlatHashMap<int, int> m;
+  m.reserve(1000);
+  const std::size_t cap = m.capacity();
+  for (int i = 0; i < 1000; ++i) m.insert_or_assign(i, i);
+  EXPECT_EQ(m.capacity(), cap);
+}
+
+// Property: behaves identically to std::unordered_map under a random
+// insert/erase/find workload (this is the uthash-replacement guarantee).
+class FlatHashMapProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(FlatHashMapProperty, MatchesUnorderedMap) {
+  Rng rng(GetParam());
+  FlatHashMap<std::uint64_t, std::uint64_t> m;
+  std::unordered_map<std::uint64_t, std::uint64_t> ref;
+  for (int step = 0; step < 20000; ++step) {
+    const std::uint64_t key = rng.uniform_below(500);  // force collisions
+    const double action = rng.uniform01();
+    if (action < 0.5) {
+      const std::uint64_t value = rng();
+      m.insert_or_assign(key, value);
+      ref[key] = value;
+    } else if (action < 0.75) {
+      EXPECT_EQ(m.erase(key), ref.erase(key) > 0);
+    } else {
+      const auto* found = m.find(key);
+      const auto it = ref.find(key);
+      if (it == ref.end()) {
+        EXPECT_EQ(found, nullptr);
+      } else {
+        ASSERT_NE(found, nullptr);
+        EXPECT_EQ(*found, it->second);
+      }
+    }
+    ASSERT_EQ(m.size(), ref.size());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomSeeds, FlatHashMapProperty,
+                         ::testing::Values(11, 22, 33, 44, 55));
+
+}  // namespace
+}  // namespace ibpower

@@ -1,0 +1,228 @@
+#include "network/ib_link.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ibpower {
+namespace {
+
+using namespace ibpower::literals;
+
+LinkConfig test_config() {
+  LinkConfig cfg;
+  cfg.t_react = 10_us;
+  cfg.t_deact = 10_us;
+  cfg.full_bandwidth_gbps = 40.0;
+  return cfg;
+}
+
+TEST(IbLink, SerializationTime) {
+  IbLink link(test_config());
+  // 40 Gb/s = 5 bytes/ns: 2 KB -> 409.6 ns.
+  EXPECT_EQ(link.serialization_time(2048), TimeNs{410});
+  EXPECT_EQ(link.serialization_time(0), TimeNs::zero());
+  // 1 MB -> 209715.2 ns.
+  EXPECT_EQ(link.serialization_time(1 << 20), TimeNs{209715});
+}
+
+TEST(IbLink, FullPowerByDefault) {
+  IbLink link(test_config());
+  EXPECT_EQ(link.mode_at(0_us), LinkPowerMode::FullPower);
+  EXPECT_EQ(link.mode_at(1_s), LinkPowerMode::FullPower);
+}
+
+TEST(IbLink, RequestSchedulesFullCycle) {
+  IbLink link(test_config());
+  link.request_low_power(100_us, 80_us);
+  EXPECT_EQ(link.mode_at(99_us), LinkPowerMode::FullPower);
+  EXPECT_EQ(link.mode_at(105_us), LinkPowerMode::Transition);  // deactivating
+  EXPECT_EQ(link.mode_at(111_us), LinkPowerMode::LowPower);
+  EXPECT_EQ(link.mode_at(179_us), LinkPowerMode::LowPower);
+  EXPECT_EQ(link.mode_at(185_us), LinkPowerMode::Transition);  // timer fired
+  EXPECT_EQ(link.mode_at(191_us), LinkPowerMode::FullPower);
+}
+
+TEST(IbLink, TinyRequestIgnored) {
+  IbLink link(test_config());
+  link.request_low_power(0_us, 10_us);  // <= t_deact: nothing to gain
+  EXPECT_EQ(link.mode_at(5_us), LinkPowerMode::FullPower);
+  EXPECT_EQ(link.low_power_requests(), 0u);
+}
+
+TEST(IbLink, ReserveAtFullPowerNoPenalty) {
+  IbLink link(test_config());
+  const auto res = link.reserve(Direction::Up, 50_us, 2048);
+  EXPECT_EQ(res.start, 50_us);
+  EXPECT_EQ(res.power_delay, TimeNs::zero());
+  EXPECT_EQ(res.end, 50_us + TimeNs{410});
+}
+
+TEST(IbLink, FifoContentionPerDirection) {
+  IbLink link(test_config());
+  const auto a = link.reserve(Direction::Up, 0_us, 1 << 20);
+  const auto b = link.reserve(Direction::Up, 0_us, 2048);
+  EXPECT_EQ(b.start, a.end);  // queued behind
+  const auto c = link.reserve(Direction::Down, 0_us, 2048);
+  EXPECT_EQ(c.start, 0_us);  // full duplex: other direction free
+}
+
+TEST(IbLink, OnDemandWakeFromLowPower) {
+  IbLink link(test_config());
+  link.request_low_power(0_us, 1_ms);  // low until 1ms, full at 1.01ms
+  // A message at 100us can't wait for the timer: wake now, pay Treact.
+  const auto res = link.reserve(Direction::Up, 100_us, 2048);
+  EXPECT_EQ(res.power_delay, 10_us);
+  EXPECT_EQ(res.start, 110_us);
+  EXPECT_EQ(link.on_demand_wakes(), 1u);
+  // Schedule was rewritten: full power after the wake.
+  EXPECT_EQ(link.mode_at(120_us), LinkPowerMode::FullPower);
+  EXPECT_EQ(link.mode_at(105_us), LinkPowerMode::Transition);
+}
+
+TEST(IbLink, ScheduledWakeCloseEnoughIsWaitedFor) {
+  IbLink link(test_config());
+  link.request_low_power(0_us, 100_us);  // full again at 110us
+  // At 105us the scheduled reactivation (110us) beats on-demand (115us).
+  const auto res = link.reserve(Direction::Up, 105_us, 2048);
+  EXPECT_EQ(res.start, 110_us);
+  EXPECT_EQ(res.power_delay, 5_us);
+  EXPECT_EQ(link.on_demand_wakes(), 0u);
+}
+
+TEST(IbLink, WakeDuringDeactivationWaitsForIt) {
+  IbLink link(test_config());
+  link.request_low_power(0_us, 1_ms);
+  // At 5us lanes are still shutting down; wake can only start at 10us.
+  const auto res = link.reserve(Direction::Up, 5_us, 2048);
+  EXPECT_EQ(res.start, 20_us);  // 10 (deact end) + 10 (react)
+  EXPECT_EQ(res.power_delay, 15_us);
+}
+
+TEST(IbLink, ReserveDuringReactivationWaits) {
+  IbLink link(test_config());
+  link.request_low_power(0_us, 100_us);
+  // 105us is inside the scheduled reactivation [100, 110].
+  const auto res = link.reserve(Direction::Up, 105_us, 2048);
+  EXPECT_EQ(res.start, 110_us);
+  EXPECT_EQ(res.power_delay, 5_us);
+  EXPECT_EQ(link.on_demand_wakes(), 0u);
+}
+
+TEST(IbLink, TransmitAtReducedWidthAblation) {
+  LinkConfig cfg = test_config();
+  cfg.transmit_at_reduced_width = true;
+  IbLink link(cfg);
+  link.request_low_power(0_us, 1_ms);
+  const auto res = link.reserve(Direction::Up, 100_us, 2048);
+  EXPECT_EQ(res.power_delay, TimeNs::zero());
+  EXPECT_EQ(res.start, 100_us);
+  EXPECT_EQ(res.end - res.start, TimeNs{410} * 4);  // 1 of 4 lanes
+  EXPECT_EQ(link.mode_at(200_us), LinkPowerMode::LowPower);  // stayed low
+}
+
+TEST(IbLink, ResidencyAccounting) {
+  IbLink link(test_config());
+  link.request_low_power(100_us, 80_us);  // trans 10, low 70, trans 10
+  link.finish(300_us);
+  EXPECT_EQ(link.residency(LinkPowerMode::LowPower), 70_us);
+  EXPECT_EQ(link.residency(LinkPowerMode::Transition), 20_us);
+  EXPECT_EQ(link.residency(LinkPowerMode::FullPower), 300_us - 90_us);
+}
+
+TEST(IbLink, ResidencySumsToEndTime) {
+  IbLink link(test_config());
+  link.request_low_power(50_us, 100_us);
+  link.request_low_power(400_us, 200_us);
+  link.finish(1_ms);
+  const TimeNs sum = link.residency(LinkPowerMode::FullPower) +
+                     link.residency(LinkPowerMode::LowPower) +
+                     link.residency(LinkPowerMode::Transition);
+  EXPECT_EQ(sum, 1_ms);
+}
+
+TEST(IbLink, NewRequestSupersedesPendingSchedule) {
+  IbLink link(test_config());
+  link.request_low_power(0_us, 500_us);
+  // Owner asks again while the first span is still active.
+  link.request_low_power(200_us, 100_us);
+  EXPECT_EQ(link.mode_at(205_us), LinkPowerMode::Transition);
+  EXPECT_EQ(link.mode_at(250_us), LinkPowerMode::LowPower);
+  EXPECT_EQ(link.mode_at(311_us), LinkPowerMode::FullPower);
+  EXPECT_EQ(link.mode_at(450_us), LinkPowerMode::FullPower);  // old span gone
+}
+
+TEST(IbLink, BusyRecording) {
+  IbLink link(test_config());
+  link.reserve(Direction::Up, 0_us, 2048);
+  link.reserve(Direction::Up, 100_us, 2048);
+  link.occupy(Direction::Down, 50_us, 60_us);
+  EXPECT_EQ(link.busy(Direction::Up).size(), 2u);
+  EXPECT_EQ(link.busy(Direction::Down).total(), 10_us);
+  link.finish(200_us);
+}
+
+TEST(IbLink, LowPowerRequestCounted) {
+  IbLink link(test_config());
+  link.request_low_power(0_us, 100_us);
+  link.request_low_power(500_us, 100_us);
+  EXPECT_EQ(link.low_power_requests(), 2u);
+}
+
+TEST(IbLink, RequestDefersPastInFlightTraffic) {
+  // Lanes cannot shut down while data is queued: a request issued during a
+  // long transmission starts deactivating only once the wire is clear.
+  IbLink link(test_config());
+  const auto res = link.reserve(Direction::Down, 0_us, 4 << 20);  // ~840us
+  link.request_low_power(10_us, 2_ms);
+  EXPECT_EQ(link.mode_at(res.end - 1_ns), LinkPowerMode::FullPower);
+  EXPECT_EQ(link.mode_at(res.end + 5_us), LinkPowerMode::Transition);
+  EXPECT_EQ(link.mode_at(res.end + 15_us), LinkPowerMode::LowPower);
+  // Timer expiry unchanged: reactivation begins at 10us + 2ms.
+  EXPECT_EQ(link.mode_at(2_ms + 10_us + 5_us), LinkPowerMode::Transition);
+}
+
+TEST(IbLink, RequestConsumedByTrafficIsDropped) {
+  IbLink link(test_config());
+  (void)link.reserve(Direction::Up, 0_us, 4 << 20);  // busy until ~840us
+  link.request_low_power(10_us, 500_us);  // window ends before wire clears
+  EXPECT_EQ(link.low_power_requests(), 0u);
+  EXPECT_EQ(link.mode_at(400_us), LinkPowerMode::FullPower);
+}
+
+TEST(IbLink, ReserveDefersScheduledShutdown) {
+  // A transmission that is on the wire when a scheduled shutdown would
+  // begin pushes the shutdown back; the timer expiry stays fixed.
+  IbLink link(test_config());
+  link.request_low_power(100_us, 1_ms);  // shutdown at 100us, timer at 1.1ms
+  // Long message starting at 50us is still flowing at 100us.
+  const auto res = link.reserve(Direction::Up, 50_us, 1 << 20);  // ~210us
+  EXPECT_EQ(res.power_delay, TimeNs::zero());
+  EXPECT_EQ(link.mode_at(150_us), LinkPowerMode::FullPower);  // deferred
+  EXPECT_EQ(link.mode_at(res.end + 15_us), LinkPowerMode::LowPower);
+  // Reactivation still at the original timer expiry.
+  EXPECT_EQ(link.mode_at(100_us + 1_ms + 5_us), LinkPowerMode::Transition);
+  EXPECT_EQ(link.mode_at(100_us + 1_ms + 15_us), LinkPowerMode::FullPower);
+}
+
+TEST(IbLink, ReserveCancelsShutdownWhenWindowTooSmall) {
+  IbLink link(test_config());
+  link.request_low_power(100_us, 130_us);  // low span [110, 230), react 240
+  // Message occupies the wire until past most of the span.
+  (void)link.reserve(Direction::Up, 90_us, 1 << 20);  // ends ~300us
+  // The whole span is gone: no low power at any point.
+  for (const auto t : {120_us, 200_us, 260_us, 400_us}) {
+    EXPECT_NE(link.mode_at(t), LinkPowerMode::LowPower) << to_string(t);
+  }
+}
+
+TEST(IbLink, OccupyBlocksLaterRequests) {
+  IbLink link(test_config());
+  link.occupy(Direction::Down, 0_us, 500_us);  // collective phase
+  link.request_low_power(100_us, 200_us);      // window inside the occupancy
+  EXPECT_EQ(link.low_power_requests(), 0u);
+  link.request_low_power(100_us, 800_us);      // extends past it
+  EXPECT_EQ(link.mode_at(400_us), LinkPowerMode::FullPower);
+  EXPECT_EQ(link.mode_at(600_us), LinkPowerMode::LowPower);
+}
+
+}  // namespace
+}  // namespace ibpower

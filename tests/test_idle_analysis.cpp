@@ -1,0 +1,82 @@
+#include "trace/idle_analysis.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ibpower {
+namespace {
+
+using namespace ibpower::literals;
+
+TEST(IdleAnalysis, ClassifiesIntoPaperBuckets) {
+  const std::vector<TimeNs> durations = {
+      5_us, 10_us, 19_us,          // bucket 0: < 20us
+      20_us, 100_us, 199_us,       // bucket 1: 20-200us
+      200_us, 1_ms,                // bucket 2: >= 200us
+  };
+  const IdleDistribution d = classify_idle_durations(durations);
+  EXPECT_EQ(d.buckets[0].count, 3u);
+  EXPECT_EQ(d.buckets[1].count, 3u);
+  EXPECT_EQ(d.buckets[2].count, 2u);
+  EXPECT_EQ(d.total_intervals, 8u);
+  EXPECT_EQ(d.total_idle, 5_us + 10_us + 19_us + 20_us + 100_us + 199_us +
+                              200_us + 1_ms);
+}
+
+TEST(IdleAnalysis, PercentagesSumTo100) {
+  const std::vector<TimeNs> durations = {1_us, 50_us, 500_us, 2_us, 300_us};
+  const IdleDistribution d = classify_idle_durations(durations);
+  double pct_count = 0.0, pct_time = 0.0;
+  for (const auto& b : d.buckets) {
+    pct_count += b.pct_intervals;
+    pct_time += b.pct_idle_time;
+  }
+  EXPECT_NEAR(pct_count, 100.0, 1e-9);
+  EXPECT_NEAR(pct_time, 100.0, 1e-9);
+}
+
+TEST(IdleAnalysis, EmptyInput) {
+  const IdleDistribution d = classify_idle_durations({});
+  EXPECT_EQ(d.total_intervals, 0u);
+  EXPECT_EQ(d.total_idle, TimeNs::zero());
+  EXPECT_DOUBLE_EQ(d.reducible_time_fraction(), 0.0);
+}
+
+TEST(IdleAnalysis, ZeroAndNegativeDurationsIgnored) {
+  const IdleDistribution d =
+      classify_idle_durations({TimeNs::zero(), TimeNs{-5}, 30_us});
+  EXPECT_EQ(d.total_intervals, 1u);
+  EXPECT_EQ(d.buckets[1].count, 1u);
+}
+
+TEST(IdleAnalysis, ReducibleFractionMatchesPaperClaim) {
+  // Long intervals dominate idle time even when tiny intervals dominate the
+  // count — the paper's Table I core observation.
+  std::vector<TimeNs> durations(1000, 2_us);  // 2ms total
+  durations.push_back(500_ms);
+  const IdleDistribution d = classify_idle_durations(durations);
+  EXPECT_GT(d.buckets[0].pct_intervals, 99.0);
+  EXPECT_GT(d.reducible_time_fraction(), 0.99);
+}
+
+TEST(IdleAnalysis, CustomEdges) {
+  IdleBucketEdges edges;
+  edges.short_edge = 50_us;
+  edges.long_edge = 500_us;
+  const IdleDistribution d =
+      classify_idle_durations({40_us, 60_us, 600_us}, edges);
+  EXPECT_EQ(d.buckets[0].count, 1u);
+  EXPECT_EQ(d.buckets[1].count, 1u);
+  EXPECT_EQ(d.buckets[2].count, 1u);
+}
+
+TEST(IdleAnalysis, IntervalOverloadMatchesDurations) {
+  std::vector<TimeInterval> intervals = {{0_us, 10_us}, {20_us, 320_us}};
+  const IdleDistribution a = classify_idle_intervals(intervals);
+  const IdleDistribution b = classify_idle_durations({10_us, 300_us});
+  EXPECT_EQ(a.buckets[0].count, b.buckets[0].count);
+  EXPECT_EQ(a.buckets[2].count, b.buckets[2].count);
+  EXPECT_EQ(a.total_idle, b.total_idle);
+}
+
+}  // namespace
+}  // namespace ibpower

@@ -1,0 +1,125 @@
+// Cross-module integration tests asserting the paper's qualitative results
+// (the shapes DESIGN.md §4 commits to), on reduced iteration counts so the
+// suite stays fast.
+#include <gtest/gtest.h>
+
+#include "power/policies.hpp"
+#include "sim/experiment.hpp"
+
+namespace ibpower {
+namespace {
+
+using namespace ibpower::literals;
+
+ExperimentConfig config(const std::string& app, int nranks,
+                        double displacement = 0.01) {
+  ExperimentConfig cfg;
+  cfg.app = app;
+  cfg.workload.nranks = nranks;
+  cfg.workload.iterations = 30;
+  cfg.ppa.grouping_threshold = default_gt(app, nranks);
+  cfg.ppa.displacement_factor = displacement;
+  cfg.fabric.random_routing = false;
+  return cfg;
+}
+
+TEST(Integration, SavingsDeclineUnderStrongScaling) {
+  // Figs. 7-9: strong scaling erodes savings for every app.
+  for (const char* app : {"alya", "wrf"}) {
+    const auto small = run_experiment(config(app, 8));
+    const auto large = run_experiment(config(app, 64));
+    EXPECT_GT(small.power.switch_savings_pct,
+              large.power.switch_savings_pct)
+        << app;
+  }
+}
+
+TEST(Integration, SmallerDisplacementSavesMore) {
+  // Fig. 7 vs Fig. 9: displacement 1% saves more than 10%.
+  const auto d01 = run_experiment(config("alya", 8, 0.01));
+  const auto d10 = run_experiment(config("alya", 8, 0.10));
+  EXPECT_GE(d01.power.switch_savings_pct, d10.power.switch_savings_pct);
+}
+
+TEST(Integration, ExecutionTimeIncreaseSmall) {
+  // Paper: average increase ~1%; we allow a 3% ceiling per app here.
+  for (const char* app : {"alya", "gromacs", "nas_mg"}) {
+    const auto r = run_experiment(config(app, 8));
+    EXPECT_LT(r.time_increase_pct, 3.0) << app;
+    EXPECT_GE(r.time_increase_pct, -0.5) << app;
+  }
+}
+
+TEST(Integration, RegularAppsPredictBetterThanIrregular) {
+  // Table III ordering: NAS BT / ALYA >> WRF.
+  auto bt_cfg = config("nas_bt", 9);
+  const auto bt = run_experiment(bt_cfg);
+  const auto alya = run_experiment(config("alya", 8));
+  const auto wrf = run_experiment(config("wrf", 8));
+  EXPECT_GT(bt.hit_rate_pct, 85.0);
+  EXPECT_GT(alya.hit_rate_pct, 85.0);
+  EXPECT_LT(wrf.hit_rate_pct, alya.hit_rate_pct);
+}
+
+TEST(Integration, IdleTimeDominatedByLongIntervals) {
+  // Table I: intervals >= 20us carry > 99% of idle time.
+  for (const char* app : {"alya", "gromacs", "wrf"}) {
+    const auto r = run_experiment(config(app, 8));
+    EXPECT_GT(r.baseline_idle.reducible_time_fraction(), 0.95) << app;
+  }
+}
+
+TEST(Integration, WrfIdleIntervalCountsMostlyTiny) {
+  // Table I WRF row: ~94% of intervals below 20us.
+  const auto r = run_experiment(config("wrf", 16));
+  EXPECT_GT(r.baseline_idle.buckets[0].pct_intervals, 60.0);
+}
+
+TEST(Integration, OracleUpperBoundsPpa) {
+  const ExperimentConfig cfg = config("alya", 8);
+  const auto r = run_experiment(cfg);
+
+  // Oracle over the baseline idle gaps of every node link.
+  const auto app = make_app(cfg.app);
+  const Trace trace = app->generate(cfg.workload);
+  ReplayOptions opt;
+  opt.fabric = cfg.fabric;
+  ReplayEngine engine(&trace, opt);
+  const auto rr = engine.run();
+  double oracle_low = 0.0;
+  for (NodeId n = 0; n < cfg.workload.nranks; ++n) {
+    const auto gaps = node_link_idle_gaps(engine.fabric(), n, rr.exec_time);
+    const auto out = evaluate_oracle(gaps, rr.exec_time, cfg.ppa.t_react,
+                                     cfg.ppa.t_react);
+    oracle_low += out.low_residency();
+  }
+  oracle_low /= cfg.workload.nranks;
+  EXPECT_GE(oracle_low + 1e-9, r.power.mean_low_residency);
+}
+
+TEST(Integration, WeakScalingRetainsSavings) {
+  // §VI: the mechanism should hold up better under weak scaling.
+  ExperimentConfig strong = config("alya", 64);
+  ExperimentConfig weak = config("alya", 64);
+  weak.workload.weak_scaling = true;
+  const auto s = run_experiment(strong);
+  const auto w = run_experiment(weak);
+  EXPECT_GT(w.power.switch_savings_pct, s.power.switch_savings_pct);
+}
+
+TEST(Integration, TimingMispredictsBounded) {
+  const auto r = run_experiment(config("alya", 8));
+  // Wake penalties exist but must be rare relative to power requests.
+  EXPECT_LT(r.on_demand_wakes, r.agents.power_requests);
+}
+
+TEST(Integration, DeterministicResults) {
+  const auto a = run_experiment(config("gromacs", 8));
+  const auto b = run_experiment(config("gromacs", 8));
+  EXPECT_EQ(a.managed_time, b.managed_time);
+  EXPECT_DOUBLE_EQ(a.power.switch_savings_pct, b.power.switch_savings_pct);
+  EXPECT_DOUBLE_EQ(a.hit_rate_pct, b.hit_rate_pct);
+}
+
+}  // namespace
+}  // namespace ibpower

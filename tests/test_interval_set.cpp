@@ -1,0 +1,162 @@
+#include "util/interval_set.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace ibpower {
+namespace {
+
+using namespace ibpower::literals;
+
+TEST(IntervalSet, AddDisjointInOrder) {
+  IntervalSet s;
+  s.add(0_us, 10_us);
+  s.add(20_us, 30_us);
+  ASSERT_EQ(s.size(), 2u);
+  EXPECT_EQ(s.total(), 20_us);
+}
+
+TEST(IntervalSet, MergesOverlapping) {
+  IntervalSet s;
+  s.add(0_us, 10_us);
+  s.add(5_us, 15_us);
+  ASSERT_EQ(s.size(), 1u);
+  EXPECT_EQ(s.intervals()[0], (TimeInterval{0_us, 15_us}));
+}
+
+TEST(IntervalSet, MergesTouching) {
+  IntervalSet s;
+  s.add(0_us, 10_us);
+  s.add(10_us, 20_us);
+  ASSERT_EQ(s.size(), 1u);
+  EXPECT_EQ(s.total(), 20_us);
+}
+
+TEST(IntervalSet, EmptyAddIsNoop) {
+  IntervalSet s;
+  s.add(5_us, 5_us);
+  EXPECT_TRUE(s.empty());
+}
+
+TEST(IntervalSet, OutOfOrderInsertion) {
+  IntervalSet s;
+  s.add(20_us, 30_us);
+  s.add(0_us, 10_us);
+  s.add(12_us, 15_us);
+  ASSERT_EQ(s.size(), 3u);
+  EXPECT_EQ(s.intervals()[0].begin, 0_us);
+  EXPECT_EQ(s.intervals()[1].begin, 12_us);
+  EXPECT_EQ(s.intervals()[2].begin, 20_us);
+}
+
+TEST(IntervalSet, OutOfOrderMergeSpanningSeveral) {
+  IntervalSet s;
+  s.add(0_us, 5_us);
+  s.add(10_us, 15_us);
+  s.add(20_us, 25_us);
+  s.add(3_us, 22_us);  // bridges all three
+  ASSERT_EQ(s.size(), 1u);
+  EXPECT_EQ(s.intervals()[0], (TimeInterval{0_us, 25_us}));
+}
+
+TEST(IntervalSet, Contains) {
+  IntervalSet s;
+  s.add(10_us, 20_us);
+  EXPECT_TRUE(s.contains(10_us));
+  EXPECT_TRUE(s.contains(19_us));
+  EXPECT_FALSE(s.contains(20_us));
+  EXPECT_FALSE(s.contains(5_us));
+}
+
+TEST(IntervalSet, ComplementBasics) {
+  IntervalSet s;
+  s.add(10_us, 20_us);
+  s.add(30_us, 40_us);
+  const auto gaps = s.complement(0_us, 50_us);
+  ASSERT_EQ(gaps.size(), 3u);
+  EXPECT_EQ(gaps[0], (TimeInterval{0_us, 10_us}));
+  EXPECT_EQ(gaps[1], (TimeInterval{20_us, 30_us}));
+  EXPECT_EQ(gaps[2], (TimeInterval{40_us, 50_us}));
+}
+
+TEST(IntervalSet, ComplementOfEmptyIsWindow) {
+  IntervalSet s;
+  const auto gaps = s.complement(5_us, 15_us);
+  ASSERT_EQ(gaps.size(), 1u);
+  EXPECT_EQ(gaps[0], (TimeInterval{5_us, 15_us}));
+}
+
+TEST(IntervalSet, ComplementClipsToWindow) {
+  IntervalSet s;
+  s.add(0_us, 10_us);
+  s.add(90_us, 200_us);
+  const auto gaps = s.complement(5_us, 100_us);
+  ASSERT_EQ(gaps.size(), 1u);
+  EXPECT_EQ(gaps[0], (TimeInterval{10_us, 90_us}));
+}
+
+TEST(IntervalSet, ComplementPlusSetCoversWindow) {
+  IntervalSet s;
+  s.add(10_us, 20_us);
+  s.add(40_us, 60_us);
+  const TimeNs window = 100_us;
+  const auto gaps = s.complement(0_us, window);
+  TimeNs covered = s.overlap(0_us, window);
+  for (const auto& gap : gaps) covered += gap.duration();
+  EXPECT_EQ(covered, window);
+}
+
+TEST(IntervalSet, Overlap) {
+  IntervalSet s;
+  s.add(10_us, 20_us);
+  s.add(30_us, 40_us);
+  EXPECT_EQ(s.overlap(0_us, 100_us), 20_us);
+  EXPECT_EQ(s.overlap(15_us, 35_us), 10_us);
+  EXPECT_EQ(s.overlap(20_us, 30_us), 0_us);
+}
+
+// Property test: IntervalSet against a brute-force boolean timeline.
+class IntervalSetProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(IntervalSetProperty, MatchesBruteForce) {
+  Rng rng(GetParam());
+  constexpr int kHorizon = 2000;
+  std::vector<bool> covered(kHorizon, false);
+  IntervalSet s;
+  for (int k = 0; k < 60; ++k) {
+    const auto a = static_cast<std::int64_t>(rng.uniform_below(kHorizon));
+    const auto len = static_cast<std::int64_t>(rng.uniform_below(100));
+    const std::int64_t b = std::min<std::int64_t>(a + len, kHorizon);
+    s.add(TimeNs{a}, TimeNs{b});
+    for (std::int64_t i = a; i < b; ++i) covered[static_cast<std::size_t>(i)] = true;
+  }
+  // Total matches.
+  const auto expected_total = static_cast<std::int64_t>(
+      std::count(covered.begin(), covered.end(), true));
+  EXPECT_EQ(s.total().ns, expected_total);
+  // Point membership matches on a sample grid.
+  for (int i = 0; i < kHorizon; i += 7) {
+    EXPECT_EQ(s.contains(TimeNs{i}), covered[static_cast<std::size_t>(i)])
+        << "at " << i;
+  }
+  // Intervals are sorted, disjoint, non-touching.
+  const auto& ivs = s.intervals();
+  for (std::size_t i = 1; i < ivs.size(); ++i) {
+    EXPECT_LT(ivs[i - 1].end, ivs[i].begin);
+  }
+  // Complement is exact.
+  const auto gaps = s.complement(TimeNs{0}, TimeNs{kHorizon});
+  TimeNs gap_total{};
+  for (const auto& gap : gaps) gap_total += gap.duration();
+  EXPECT_EQ(gap_total.ns + expected_total, kHorizon);
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomSeeds, IntervalSetProperty,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34, 55, 89));
+
+}  // namespace
+}  // namespace ibpower

@@ -1,0 +1,88 @@
+// Property tests of the IbLink lane state machine under randomized
+// interleavings of power requests and transmissions.
+#include <gtest/gtest.h>
+
+#include "network/ib_link.hpp"
+#include "util/rng.hpp"
+
+namespace ibpower {
+namespace {
+
+using namespace ibpower::literals;
+
+class LinkProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(LinkProperty, RandomOpsKeepInvariants) {
+  Rng rng(GetParam());
+  IbLink link;
+  TimeNs t{};
+  TimeNs last_busy_end[2] = {};
+
+  for (int op = 0; op < 400; ++op) {
+    t += TimeNs::from_us(rng.uniform(1.0, 200.0));
+    if (rng.bernoulli(0.3)) {
+      link.request_low_power(t, TimeNs::from_us(rng.uniform(5.0, 500.0)));
+    } else {
+      const auto dir = rng.bernoulli(0.5) ? Direction::Up : Direction::Down;
+      const Bytes bytes = 1 << (6 + rng.uniform_below(14));
+      const auto res = link.reserve(dir, t, bytes);
+      // Causality: data never flows before it is ready.
+      EXPECT_GE(res.start, t);
+      EXPECT_EQ(res.end - res.start, link.serialization_time(bytes));
+      // Wake penalty is bounded by the reactivation time plus any residual
+      // deactivation that must finish first.
+      EXPECT_LE(res.power_delay, 2 * link.config().t_react);
+      // FIFO per direction.
+      EXPECT_GE(res.start, last_busy_end[static_cast<int>(dir)]);
+      last_busy_end[static_cast<int>(dir)] = res.end;
+    }
+  }
+
+  const TimeNs end = t + 1_ms;
+  link.finish(end);
+
+  // Mode segments are strictly ordered and alternate (no two consecutive
+  // segments share a mode).
+  const auto& segs = link.segments();
+  for (std::size_t i = 1; i < segs.size(); ++i) {
+    EXPECT_LT(segs[i - 1].begin, segs[i].begin);
+    EXPECT_NE(segs[i - 1].mode, segs[i].mode);
+  }
+
+  // Residencies partition the execution.
+  const TimeNs sum = link.residency(LinkPowerMode::FullPower) +
+                     link.residency(LinkPowerMode::LowPower) +
+                     link.residency(LinkPowerMode::Transition);
+  EXPECT_EQ(sum, end);
+
+  // Busy intervals are disjoint within a direction (IntervalSet invariant)
+  // and no transmission overlaps a low-power span: data only flows at full
+  // width in the default configuration.
+  for (const Direction dir : {Direction::Up, Direction::Down}) {
+    for (const auto& iv : link.busy(dir).intervals()) {
+      // Sample the mode at a few points inside the busy window.
+      for (const TimeNs probe :
+           {iv.begin, iv.begin + TimeNs{(iv.end - iv.begin).ns / 2}}) {
+        EXPECT_NE(link.mode_at(probe), LinkPowerMode::LowPower)
+            << "transmission during low power at " << to_string(probe);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LinkProperty,
+                         ::testing::Range<std::uint64_t>(100, 112));
+
+TEST(LinkProperty, ReducedWidthAblationAllowsLowPowerTransmission) {
+  LinkConfig cfg;
+  cfg.transmit_at_reduced_width = true;
+  IbLink link(cfg);
+  link.request_low_power(0_us, 10_ms);
+  const auto res = link.reserve(Direction::Up, 1_ms, 4096);
+  EXPECT_EQ(res.power_delay, TimeNs::zero());
+  EXPECT_EQ(link.mode_at(1_ms), LinkPowerMode::LowPower);
+  link.finish(20_ms);
+}
+
+}  // namespace
+}  // namespace ibpower

@@ -1,0 +1,119 @@
+#include "trace/paraver.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace ibpower {
+namespace {
+
+using namespace ibpower::literals;
+
+TEST(StateTimeline, ResidencyComputation) {
+  StateTimeline tl(2, 100_us);
+  tl.add(0, 0_us, 40_us, 1);
+  tl.add(0, 40_us, 100_us, 0);
+  tl.add(1, 10_us, 30_us, 1);
+  EXPECT_EQ(tl.residency(0, 1), 40_us);
+  EXPECT_EQ(tl.residency(0, 0), 60_us);
+  EXPECT_EQ(tl.residency(1, 1), 20_us);
+  EXPECT_EQ(tl.residency(1, 0), TimeNs::zero());
+}
+
+TEST(StateTimeline, ResidencyClipsToDuration) {
+  StateTimeline tl(1, 50_us);
+  tl.add(0, 40_us, 80_us, 2);
+  EXPECT_EQ(tl.residency(0, 2), 10_us);
+}
+
+TEST(StateTimeline, EmptySpansIgnored) {
+  StateTimeline tl(1, 50_us);
+  tl.add(0, 10_us, 10_us, 1);
+  EXPECT_TRUE(tl.records().empty());
+}
+
+TEST(StateTimeline, PrvOutputSortedAndComplete) {
+  StateTimeline tl(2, 100_us);
+  tl.add(1, 50_us, 60_us, 2);
+  tl.add(0, 0_us, 40_us, 1);
+  std::ostringstream os;
+  tl.write_prv(os, "demo");
+  const std::string out = os.str();
+  EXPECT_NE(out.find("duration_ns=100000"), std::string::npos);
+  EXPECT_NE(out.find("app=demo"), std::string::npos);
+  // Sorted by begin: rank 0 record first.
+  const auto p0 = out.find("1:0:0:40000:1");
+  const auto p1 = out.find("1:1:50000:60000:2");
+  ASSERT_NE(p0, std::string::npos);
+  ASSERT_NE(p1, std::string::npos);
+  EXPECT_LT(p0, p1);
+}
+
+TEST(StateTimeline, AsciiRenderMajorityState) {
+  StateTimeline tl(1, 100_us);
+  tl.add(0, 0_us, 50_us, 0);
+  tl.add(0, 50_us, 100_us, 1);
+  std::ostringstream os;
+  tl.render_ascii(os, 10, {{0, '.'}, {1, '#'}});
+  const std::string line = os.str();
+  EXPECT_NE(line.find("....."), std::string::npos);
+  EXPECT_NE(line.find("#####"), std::string::npos);
+}
+
+TEST(StateTimeline, AsciiRenderUnknownStateGlyph) {
+  StateTimeline tl(1, 10_us);
+  tl.add(0, 0_us, 10_us, 42);
+  std::ostringstream os;
+  tl.render_ascii(os, 4, {{0, '.'}});
+  EXPECT_NE(os.str().find("????"), std::string::npos);
+}
+
+TEST(StateTimeline, PrvRoundTrip) {
+  StateTimeline tl(3, 500_us);
+  tl.add(0, 0_us, 200_us, 0);
+  tl.add(0, 200_us, 500_us, 1);
+  tl.add(2, 100_us, 150_us, 2);
+  std::ostringstream os;
+  tl.write_prv(os, "demo");
+
+  std::istringstream is(os.str());
+  std::string app;
+  const StateTimeline loaded = StateTimeline::read_prv(is, &app);
+  EXPECT_EQ(app, "demo");
+  EXPECT_EQ(loaded.nrows(), 3);
+  EXPECT_EQ(loaded.duration(), 500_us);
+  EXPECT_EQ(loaded.records().size(), tl.records().size());
+  for (int row = 0; row < 3; ++row) {
+    for (int state = 0; state < 3; ++state) {
+      EXPECT_EQ(loaded.residency(row, state), tl.residency(row, state))
+          << row << "/" << state;
+    }
+  }
+}
+
+TEST(StateTimeline, ReadPrvRejectsGarbage) {
+  std::istringstream no_header("1:0:0:10:1\n");
+  EXPECT_THROW(StateTimeline::read_prv(no_header), std::runtime_error);
+
+  std::istringstream bad_record(
+      "#Paraver-like (ibpower:v1): duration_ns=100:rows=1:app=x\nnot-a-record\n");
+  EXPECT_THROW(StateTimeline::read_prv(bad_record), std::runtime_error);
+
+  std::istringstream bad_row(
+      "#Paraver-like (ibpower:v1): duration_ns=100:rows=1:app=x\n1:5:0:10:1\n");
+  EXPECT_THROW(StateTimeline::read_prv(bad_row), std::runtime_error);
+}
+
+TEST(StateTimeline, MultiRowRender) {
+  StateTimeline tl(3, 30_us);
+  for (int r = 0; r < 3; ++r) tl.add(r, 0_us, 30_us, r);
+  std::ostringstream os;
+  tl.render_ascii(os, 6, {{0, 'a'}, {1, 'b'}, {2, 'c'}});
+  const std::string out = os.str();
+  EXPECT_NE(out.find("aaaaaa"), std::string::npos);
+  EXPECT_NE(out.find("bbbbbb"), std::string::npos);
+  EXPECT_NE(out.find("cccccc"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ibpower

@@ -1,0 +1,199 @@
+// End-to-end tests of the per-rank agent: gram formation -> PPA -> power
+// mode control -> WRPS requests on a mock link port.
+#include "core/pmpi_agent.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace ibpower {
+namespace {
+
+using namespace ibpower::literals;
+
+constexpr MpiCall SR = MpiCall::Sendrecv;
+constexpr MpiCall AR = MpiCall::Allreduce;
+
+struct MockPort final : LinkPowerPort {
+  struct Request {
+    TimeNs now;
+    TimeNs duration;
+  };
+  std::vector<Request> requests;
+  void request_low_power(TimeNs now, TimeNs duration) override {
+    requests.push_back({now, duration});
+  }
+};
+
+PpaConfig test_config() {
+  PpaConfig cfg;
+  cfg.grouping_threshold = 20_us;
+  cfg.t_react = 10_us;
+  cfg.displacement_factor = 0.10;
+  cfg.interception_overhead = TimeNs::zero();  // keep timing exact here
+  cfg.ppa_invocation_overhead = TimeNs::zero();
+  return cfg;
+}
+
+class AgentDriver {
+ public:
+  explicit AgentDriver(const PpaConfig& cfg, LinkPowerPort* port)
+      : agent_(cfg, port) {}
+
+  void call(MpiCall c, TimeNs gap, TimeNs dur = 1_us) {
+    t_ += gap;
+    const TimeNs ovh = agent_.on_call_enter(c, t_);
+    t_ += ovh + dur;
+    agent_.on_call_exit(c, t_);
+  }
+
+  void alya_iteration(TimeNs g0 = 200_us, TimeNs g1 = 100_us,
+                      TimeNs g2 = 80_us) {
+    call(SR, g0);
+    call(SR, 2_us);
+    call(SR, 2_us);
+    call(AR, g1);
+    call(AR, g2);
+  }
+
+  PmpiAgent agent_;
+  TimeNs t_{};
+};
+
+TEST(PmpiAgent, DetectsAndIssuesPowerRequests) {
+  MockPort port;
+  AgentDriver d(test_config(), &port);
+  for (int it = 0; it < 10; ++it) d.alya_iteration();
+  d.agent_.finish();
+
+  const AgentStats& stats = d.agent_.stats();
+  EXPECT_EQ(stats.total_calls, 50u);
+  EXPECT_GE(stats.arms, 1u);
+  EXPECT_EQ(stats.pattern_mispredicts, 0u);
+  EXPECT_GT(stats.power_requests, 0u);
+  ASSERT_FALSE(port.requests.empty());
+
+  // Requests must match Alg. 3 for the three boundaries (100, 80, 200 us
+  // with 10% displacement and Treact = 10us).
+  std::vector<TimeNs> expected = {
+      100_us - 10_us - 10_us,  // 80us
+      80_us - 8_us - 10_us,    // 62us
+      200_us - 20_us - 10_us,  // 170us
+  };
+  for (std::size_t i = 0; i < port.requests.size(); ++i) {
+    const TimeNs dur = port.requests[i].duration;
+    EXPECT_TRUE(dur == expected[0] || dur == expected[1] || dur == expected[2])
+        << "request " << i << " = " << to_string(dur);
+  }
+}
+
+TEST(PmpiAgent, HitRateHighForRegularStream) {
+  MockPort port;
+  AgentDriver d(test_config(), &port);
+  for (int it = 0; it < 100; ++it) d.alya_iteration();
+  d.agent_.finish();
+  // 5 calls/iter; scanning takes ~3 iterations; everything after is hit.
+  EXPECT_GT(d.agent_.stats().hit_rate_pct(), 90.0);
+}
+
+TEST(PmpiAgent, NoRequestsWithoutPattern) {
+  MockPort port;
+  AgentDriver d(test_config(), &port);
+  // Thue-Morse: cube-free, so never 3 consecutive repeats.
+  for (int i = 0; i < 100; ++i) {
+    const int parity = __builtin_popcount(static_cast<unsigned>(i)) & 1;
+    d.call(parity ? SR : AR, 100_us);
+  }
+  d.agent_.finish();
+  EXPECT_EQ(d.agent_.stats().arms, 0u);
+  EXPECT_TRUE(port.requests.empty());
+}
+
+TEST(PmpiAgent, MispredictStopsRequestsUntilRearm) {
+  MockPort port;
+  AgentDriver d(test_config(), &port);
+  for (int it = 0; it < 6; ++it) d.alya_iteration();
+  ASSERT_GE(d.agent_.stats().arms, 1u);
+  const auto requests_before = port.requests.size();
+
+  // Divergent phase: pattern mispredict.
+  for (int k = 0; k < 4; ++k) d.call(MpiCall::Bcast, 300_us);
+  EXPECT_EQ(d.agent_.stats().pattern_mispredicts, 1u);
+  const auto requests_during = port.requests.size();
+  // At most the already-armed boundary request could have fired at the
+  // first divergent call; after that, nothing.
+  EXPECT_LE(requests_during - requests_before, 1u);
+
+  // Pattern reappears: re-arm on first appearance, requests resume.
+  for (int it = 0; it < 3; ++it) d.alya_iteration();
+  d.agent_.finish();
+  EXPECT_GE(d.agent_.stats().arms, 2u);
+  EXPECT_GT(port.requests.size(), requests_during);
+}
+
+TEST(PmpiAgent, OverheadChargedPerCall) {
+  PpaConfig cfg = test_config();
+  cfg.interception_overhead = 1_us;
+  cfg.ppa_invocation_overhead = 16_us;
+  MockPort port;
+  AgentDriver d(cfg, &port);
+  for (int it = 0; it < 4; ++it) d.alya_iteration();
+  d.agent_.finish();
+  const AgentStats& stats = d.agent_.stats();
+  EXPECT_EQ(stats.total_calls, 20u);
+  // Every call pays interception; PPA scans add 16us each.
+  const TimeNs expected = 1_us * 20 +
+                          16_us * static_cast<std::int64_t>(
+                                      stats.ppa_scan_invocations);
+  EXPECT_EQ(stats.modeled_overhead_total, expected);
+  EXPECT_GT(stats.ppa_scan_invocations, 0u);
+}
+
+TEST(PmpiAgent, PpaScansStopWhilePredicting) {
+  MockPort port;
+  AgentDriver d(test_config(), &port);
+  for (int it = 0; it < 6; ++it) d.alya_iteration();
+  const auto scans_at_arm = d.agent_.stats().ppa_scan_invocations;
+  for (int it = 0; it < 20; ++it) d.alya_iteration();
+  d.agent_.finish();
+  // No further scanning once the controller is active.
+  EXPECT_EQ(d.agent_.stats().ppa_scan_invocations, scans_at_arm);
+}
+
+TEST(PmpiAgent, RequestsCarryExitTimestamps) {
+  MockPort port;
+  AgentDriver d(test_config(), &port);
+  for (int it = 0; it < 10; ++it) d.alya_iteration();
+  ASSERT_FALSE(port.requests.empty());
+  for (std::size_t i = 1; i < port.requests.size(); ++i) {
+    EXPECT_GT(port.requests[i].now, port.requests[i - 1].now);
+  }
+}
+
+TEST(PmpiAgent, DryRunWithoutPortIsSafe) {
+  AgentDriver d(test_config(), nullptr);
+  for (int it = 0; it < 10; ++it) d.alya_iteration();
+  d.agent_.finish();
+  EXPECT_GT(d.agent_.stats().power_requests, 0u);  // counted, not actuated
+}
+
+TEST(PmpiAgent, StatsMergeAddsFields) {
+  AgentStats a, b;
+  a.total_calls = 10;
+  a.predicted_calls = 5;
+  b.total_calls = 30;
+  b.predicted_calls = 25;
+  a.merge(b);
+  EXPECT_EQ(a.total_calls, 40u);
+  EXPECT_EQ(a.predicted_calls, 30u);
+  EXPECT_DOUBLE_EQ(a.hit_rate_pct(), 75.0);
+}
+
+TEST(PmpiAgent, RejectsInvalidConfig) {
+  PpaConfig cfg = test_config();
+  cfg.grouping_threshold = 5_us;  // < 2 * Treact
+  EXPECT_FALSE(cfg.valid());
+}
+
+}  // namespace
+}  // namespace ibpower

@@ -1,0 +1,140 @@
+#include "power/policies.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ibpower {
+namespace {
+
+using namespace ibpower::literals;
+
+const std::vector<TimeInterval> kGaps = {
+    {0_us, 5_us},        // 5us: too short for anything
+    {100_us, 150_us},    // 50us
+    {200_us, 1200_us},   // 1ms
+};
+
+TEST(Policies, OracleGatesOnlyProfitableGaps) {
+  const auto out = evaluate_oracle(kGaps, 2_ms, 10_us, 10_us);
+  EXPECT_EQ(out.gated_gaps, 2u);
+  // (50-20) + (1000-20) us
+  EXPECT_EQ(out.low_power_time, 30_us + 980_us);
+  EXPECT_EQ(out.wake_penalties, 0u);
+  EXPECT_EQ(out.wake_delay_total, TimeNs::zero());
+}
+
+TEST(Policies, OracleLowResidency) {
+  const auto out = evaluate_oracle(kGaps, 2_ms, 10_us, 10_us);
+  EXPECT_NEAR(out.low_residency(), (30.0 + 980.0) / 2000.0, 1e-9);
+}
+
+TEST(Policies, OracleExactBoundaryNotGated) {
+  // A gap of exactly 2*Treact gains nothing.
+  const std::vector<TimeInterval> gaps = {{0_us, 20_us}};
+  const auto out = evaluate_oracle(gaps, 1_ms, 10_us, 10_us);
+  EXPECT_EQ(out.gated_gaps, 0u);
+}
+
+TEST(Policies, IdleTimeoutGatesAfterTimeout) {
+  const auto out = evaluate_idle_timeout(kGaps, 2_ms, 10_us, 10_us, 100_us);
+  // Only the 1ms gap exceeds timeout + deact: low = 1000 - 100 - 10.
+  EXPECT_EQ(out.gated_gaps, 1u);
+  EXPECT_EQ(out.low_power_time, 890_us);
+  EXPECT_EQ(out.wake_penalties, 1u);
+  EXPECT_EQ(out.wake_delay_total, 10_us);
+}
+
+TEST(Policies, IdleTimeoutZeroTimeoutStillPaysDeact) {
+  const auto out = evaluate_idle_timeout(kGaps, 2_ms, 10_us, 10_us, 0_us);
+  EXPECT_EQ(out.gated_gaps, 2u);
+  EXPECT_EQ(out.low_power_time, 40_us + 990_us);
+  EXPECT_EQ(out.wake_delay_total, 20_us);
+}
+
+TEST(Policies, OracleBeatsTimeoutInLowPowerTime) {
+  for (const auto timeout : {0_us, 50_us, 100_us}) {
+    const auto oracle = evaluate_oracle(kGaps, 2_ms, 10_us, 10_us);
+    const auto to = evaluate_idle_timeout(kGaps, 2_ms, 10_us, 10_us, timeout);
+    // Oracle never pays wake delays; with timeout 0 the timeout policy can
+    // briefly gate more low-power time but pays wake penalties.
+    EXPECT_EQ(oracle.wake_delay_total, TimeNs::zero());
+    EXPECT_GE(oracle.low_power_time + oracle.wake_delay_total + 20_us * 2,
+              to.low_power_time);
+  }
+}
+
+TEST(Policies, EmptyGaps) {
+  const auto oracle = evaluate_oracle({}, 1_ms, 10_us, 10_us);
+  EXPECT_EQ(oracle.low_power_time, TimeNs::zero());
+  EXPECT_DOUBLE_EQ(oracle.low_residency(), 0.0);
+}
+
+// ---- history-based DVS (Shang et al. family) ----
+
+TEST(HistoryDvs, IdleLinkSinksToLowestFrequency) {
+  IntervalSet busy;  // never used
+  const auto out = evaluate_history_dvs(busy, TimeNs::from_ms(50.0));
+  // First window at full speed, everything after at the ladder bottom.
+  EXPECT_EQ(out.windows_at_step[0], 1u);
+  EXPECT_EQ(out.windows_at_step[3], 49u);
+  // Mean power ~ 0.25^2 for 49/50 windows.
+  EXPECT_NEAR(out.mean_power_fraction, (1.0 + 49 * 0.0625) / 50.0, 1e-9);
+  EXPECT_EQ(out.stretch_total, TimeNs::zero());
+}
+
+TEST(HistoryDvs, SaturatedLinkStaysAtFullSpeed) {
+  IntervalSet busy;
+  busy.add(TimeNs::zero(), TimeNs::from_ms(50.0));
+  const auto out = evaluate_history_dvs(busy, TimeNs::from_ms(50.0));
+  EXPECT_DOUBLE_EQ(out.mean_power_fraction, 1.0);
+  EXPECT_EQ(out.stretch_total, TimeNs::zero());
+  EXPECT_EQ(out.windows_at_step[0], 50u);
+}
+
+TEST(HistoryDvs, BurstAfterIdleWindowGetsStretched) {
+  // Idle first window drops the frequency; the burst in window 2 is
+  // stretched by full/f - 1.
+  IntervalSet busy;
+  busy.add(TimeNs::from_ms(1.2), TimeNs::from_ms(1.7));  // 0.5ms busy
+  const auto out = evaluate_history_dvs(busy, TimeNs::from_ms(3.0));
+  // Window 0 idle -> window 1 at 0.25: stretch = 0.5ms * 3 = 1.5ms.
+  EXPECT_EQ(out.stretch_total, TimeNs::from_ms(1.5));
+  EXPECT_LT(out.mean_power_fraction, 1.0);
+}
+
+TEST(HistoryDvs, ThresholdLadder) {
+  DvsConfig cfg;
+  cfg.window = TimeNs::from_ms(1.0);
+  IntervalSet busy;
+  // Window 0: 50% utilization -> step 1 (0.75) for window 1.
+  busy.add(TimeNs::zero(), TimeNs::from_us(500.0));
+  // Window 1: 20% utilization -> step 2 (0.5) for window 2.
+  busy.add(TimeNs::from_ms(1.0), TimeNs::from_ms(1.2));
+  // Window 2: 5% -> step 3 (0.25).
+  busy.add(TimeNs::from_ms(2.0), TimeNs::from_ms(2.05));
+  const auto out = evaluate_history_dvs(busy, TimeNs::from_ms(4.0), cfg);
+  EXPECT_EQ(out.windows_at_step[0], 1u);  // window 0 (no history)
+  EXPECT_EQ(out.windows_at_step[1], 1u);  // window 1
+  EXPECT_EQ(out.windows_at_step[2], 1u);  // window 2
+  EXPECT_EQ(out.windows_at_step[3], 1u);  // window 3
+}
+
+TEST(HistoryDvs, PowerExponentMatters) {
+  IntervalSet busy;
+  DvsConfig linear;
+  linear.power_exponent = 1.0;
+  DvsConfig cubic;
+  cubic.power_exponent = 3.0;
+  const auto lin = evaluate_history_dvs(busy, TimeNs::from_ms(20.0), linear);
+  const auto cub = evaluate_history_dvs(busy, TimeNs::from_ms(20.0), cubic);
+  EXPECT_GT(lin.mean_power_fraction, cub.mean_power_fraction);
+}
+
+TEST(HistoryDvs, ConfigValidation) {
+  DvsConfig cfg;
+  EXPECT_TRUE(cfg.valid());
+  cfg.thresholds.pop_back();
+  EXPECT_FALSE(cfg.valid());
+}
+
+}  // namespace
+}  // namespace ibpower

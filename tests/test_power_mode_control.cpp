@@ -1,0 +1,185 @@
+#include "core/power_mode_control.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ibpower {
+namespace {
+
+using namespace ibpower::literals;
+using Verdict = PowerModeController::Verdict;
+
+constexpr MpiCall SR = MpiCall::Sendrecv;
+constexpr MpiCall AR = MpiCall::Allreduce;
+
+class PowerModeControlTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    cfg_.grouping_threshold = 20_us;
+    cfg_.t_react = 10_us;
+    cfg_.displacement_factor = 0.10;
+    cfg_.min_low_power_duration = 10_us;
+
+    // Pattern: [41,41,41], [10], [10]; gaps 100us, 80us, wrap 200us.
+    const GramId triplet = interner_.intern({SR, SR, SR});
+    const GramId single = interner_.intern({AR});
+    bool created;
+    pid_ = patterns_.find_or_create({triplet, single, single}, &created);
+    PatternInfo& info = patterns_[pid_];
+    info.gap_after[0].observe(100_us, 0.0);
+    info.gap_after[1].observe(80_us, 0.0);
+    info.gap_after[2].observe(200_us, 0.0);
+    patterns_.mark_detected(pid_);
+  }
+
+  PowerModeController make() { return PowerModeController(cfg_, &interner_); }
+
+  PpaConfig cfg_;
+  GramInterner interner_;
+  PatternList patterns_;
+  PatternId pid_{};
+};
+
+TEST_F(PowerModeControlTest, ArmVerifiesFirstCall) {
+  auto ctl = make();
+  EXPECT_FALSE(ctl.arm(&patterns_, pid_, AR));  // pattern starts with SR
+  EXPECT_FALSE(ctl.active());
+  EXPECT_TRUE(ctl.arm(&patterns_, pid_, SR));
+  EXPECT_TRUE(ctl.active());
+  EXPECT_EQ(ctl.pattern_id(), pid_);
+}
+
+TEST_F(PowerModeControlTest, WalksFullAppearanceAndEmitsRequests) {
+  auto ctl = make();
+  ASSERT_TRUE(ctl.arm(&patterns_, pid_, SR));
+
+  // Arming consumed SR #1. Its exit: gram not complete yet.
+  EXPECT_FALSE(ctl.on_call_exit().has_value());
+  // SR #2, #3 inside the gram (gaps < GT).
+  EXPECT_EQ(ctl.on_call_enter(SR, 2_us), Verdict::Ok);
+  EXPECT_FALSE(ctl.on_call_exit().has_value());
+  EXPECT_EQ(ctl.on_call_enter(SR, 2_us), Verdict::Ok);
+  // Gram 0 complete at this exit: request for the 100us boundary.
+  const auto req0 = ctl.on_call_exit();
+  ASSERT_TRUE(req0.has_value());
+  EXPECT_EQ(req0->predicted_idle, 100_us);
+  // safety = 100*0.10 + 10 = 20us -> low duration 80us.
+  EXPECT_EQ(req0->low_power_duration, 80_us);
+
+  // AR arrives after a real gap.
+  EXPECT_EQ(ctl.on_call_enter(AR, 100_us), Verdict::Ok);
+  const auto req1 = ctl.on_call_exit();
+  ASSERT_TRUE(req1.has_value());
+  EXPECT_EQ(req1->predicted_idle, 80_us);
+  EXPECT_EQ(req1->low_power_duration, 80_us - 8_us - 10_us);
+
+  // Second AR; its boundary is the wrap gap (200us).
+  EXPECT_EQ(ctl.on_call_enter(AR, 80_us), Verdict::Ok);
+  const auto req2 = ctl.on_call_exit();
+  ASSERT_TRUE(req2.has_value());
+  EXPECT_EQ(req2->predicted_idle, 200_us);
+  EXPECT_EQ(req2->low_power_duration, 200_us - 20_us - 10_us);
+
+  // Wraps to gram 0 again.
+  EXPECT_EQ(ctl.on_call_enter(SR, 200_us), Verdict::Ok);
+  EXPECT_TRUE(ctl.active());
+}
+
+TEST_F(PowerModeControlTest, WrongCallIsMispredict) {
+  auto ctl = make();
+  ASSERT_TRUE(ctl.arm(&patterns_, pid_, SR));
+  EXPECT_EQ(ctl.on_call_enter(AR, 2_us), Verdict::Mispredict);
+  EXPECT_FALSE(ctl.active());
+}
+
+TEST_F(PowerModeControlTest, UnexpectedGapMidGramIsMispredict) {
+  auto ctl = make();
+  ASSERT_TRUE(ctl.arm(&patterns_, pid_, SR));
+  // Second SR should be < GT away; a large gap breaks the gram structure.
+  EXPECT_EQ(ctl.on_call_enter(SR, 50_us), Verdict::Mispredict);
+  EXPECT_FALSE(ctl.active());
+}
+
+TEST_F(PowerModeControlTest, MissingGapAtBoundaryIsMispredict) {
+  auto ctl = make();
+  ASSERT_TRUE(ctl.arm(&patterns_, pid_, SR));
+  (void)ctl.on_call_exit();
+  ASSERT_EQ(ctl.on_call_enter(SR, 2_us), Verdict::Ok);
+  ASSERT_EQ(ctl.on_call_enter(SR, 2_us), Verdict::Ok);
+  (void)ctl.on_call_exit();
+  // AR expected after >= GT, but arrives grouped.
+  EXPECT_EQ(ctl.on_call_enter(AR, 5_us), Verdict::Mispredict);
+}
+
+TEST_F(PowerModeControlTest, ObservedGapsUpdateEstimates) {
+  cfg_.gap_ewma_alpha = 0.0;  // running mean
+  auto ctl = make();
+  ASSERT_TRUE(ctl.arm(&patterns_, pid_, SR));
+  (void)ctl.on_call_exit();
+  ASSERT_EQ(ctl.on_call_enter(SR, 2_us), Verdict::Ok);
+  ASSERT_EQ(ctl.on_call_enter(SR, 2_us), Verdict::Ok);
+  (void)ctl.on_call_exit();
+  // Boundary 0 observed at 140us: mean of {100, 140} = 120.
+  ASSERT_EQ(ctl.on_call_enter(AR, 140_us), Verdict::Ok);
+  EXPECT_EQ(patterns_[pid_].gap_after[0].mean(), 120_us);
+}
+
+TEST_F(PowerModeControlTest, BorderlinePredictionEmitted) {
+  // Boundary-1 gap of 25us: safety = 2.5 + 10 -> low = 12.5us >= 10us min.
+  PatternInfo& info = patterns_[pid_];
+  info.gap_after[1] = GapEstimate{};
+  info.gap_after[1].observe(25_us, 0.0);
+  auto ctl = make();
+  ASSERT_TRUE(ctl.arm(&patterns_, pid_, SR));
+  (void)ctl.on_call_exit();
+  ASSERT_EQ(ctl.on_call_enter(SR, 2_us), Verdict::Ok);
+  ASSERT_EQ(ctl.on_call_enter(SR, 2_us), Verdict::Ok);
+  (void)ctl.on_call_exit();
+  ASSERT_EQ(ctl.on_call_enter(AR, 100_us), Verdict::Ok);
+  const auto req = ctl.on_call_exit();
+  ASSERT_TRUE(req.has_value());
+  EXPECT_EQ(req->low_power_duration, 25_us - 2500_ns - 10_us);
+}
+
+TEST_F(PowerModeControlTest, TooShortPredictionSuppressed) {
+  // Boundary-1 gap of 20us: low = 20 - 2 - 10 = 8us < 10us min: no request.
+  PatternInfo& info = patterns_[pid_];
+  info.gap_after[1] = GapEstimate{};
+  info.gap_after[1].observe(20_us, 0.0);
+  auto ctl = make();
+  ASSERT_TRUE(ctl.arm(&patterns_, pid_, SR));
+  (void)ctl.on_call_exit();
+  ASSERT_EQ(ctl.on_call_enter(SR, 2_us), Verdict::Ok);
+  ASSERT_EQ(ctl.on_call_enter(SR, 2_us), Verdict::Ok);
+  (void)ctl.on_call_exit();
+  ASSERT_EQ(ctl.on_call_enter(AR, 100_us), Verdict::Ok);
+  EXPECT_FALSE(ctl.on_call_exit().has_value());
+  // The controller still advances: the next expected gram is the second AR.
+  ASSERT_EQ(ctl.on_call_enter(AR, 20_us), Verdict::Ok);
+  EXPECT_TRUE(ctl.active());
+}
+
+TEST_F(PowerModeControlTest, DisarmStopsActivity) {
+  auto ctl = make();
+  ASSERT_TRUE(ctl.arm(&patterns_, pid_, SR));
+  ctl.disarm();
+  EXPECT_FALSE(ctl.active());
+  EXPECT_FALSE(ctl.on_call_exit().has_value());
+}
+
+TEST_F(PowerModeControlTest, SingleCallGramArmsWithBoundaryPending) {
+  // Pattern of two single-call grams: [10], [41].
+  bool created;
+  const PatternId pid2 = patterns_.find_or_create(
+      {interner_.intern({AR}), interner_.intern({SR})}, &created);
+  patterns_[pid2].gap_after[0].observe(60_us, 0.0);
+  patterns_[pid2].gap_after[1].observe(90_us, 0.0);
+  auto ctl = make();
+  ASSERT_TRUE(ctl.arm(&patterns_, pid2, AR));
+  // The arming call alone completes gram 0: its exit must emit a request.
+  const auto req = ctl.on_call_exit();
+  ASSERT_TRUE(req.has_value());
+  EXPECT_EQ(req->predicted_idle, 60_us);
+}
+
+}  // namespace
+}  // namespace ibpower

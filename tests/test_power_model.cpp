@@ -1,0 +1,100 @@
+#include "power/power_model.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ibpower {
+namespace {
+
+using namespace ibpower::literals;
+
+IbLink make_link_with_low(TimeNs low_start, TimeNs low_request,
+                          TimeNs end) {
+  IbLink link;
+  link.request_low_power(low_start, low_request);
+  link.finish(end);
+  return link;
+}
+
+TEST(PowerModel, AlwaysOnLinkHasZeroSavings) {
+  IbLink link;
+  link.finish(1_ms);
+  const auto s = summarize_link(link, PowerModelConfig{});
+  EXPECT_DOUBLE_EQ(s.savings_pct, 0.0);
+  EXPECT_DOUBLE_EQ(s.mean_power_fraction, 1.0);
+  EXPECT_DOUBLE_EQ(s.low_residency, 0.0);
+}
+
+TEST(PowerModel, FullyGatedLinkApproaches57PercentSavings) {
+  // Low power = 43% of nominal: savings cap = 57%.
+  IbLink link;
+  link.request_low_power(0_us, TimeNs::from_ms(100.0));
+  link.finish(TimeNs::from_ms(100.0));
+  const auto s = summarize_link(link, PowerModelConfig{});
+  EXPECT_GT(s.savings_pct, 56.0);  // transitions shave a little
+  EXPECT_LT(s.savings_pct, 57.0);
+}
+
+TEST(PowerModel, HalfLowPowerIsHalfOfCap) {
+  IbLink link;
+  // Low residency: request d=510us => low spans [10,510) = 500us of 1ms.
+  link.request_low_power(0_us, 510_us);
+  link.finish(1_ms);
+  const auto s = summarize_link(link, PowerModelConfig{});
+  EXPECT_NEAR(s.low_residency, 0.5, 1e-9);
+  EXPECT_NEAR(s.savings_pct, 57.0 * 0.5, 1e-6);
+}
+
+TEST(PowerModel, TransitionsChargedAtFullPower) {
+  IbLink link;
+  link.request_low_power(0_us, 110_us);  // 10 deact + 100 low + 10 react
+  link.finish(120_us);
+  const auto s = summarize_link(link, PowerModelConfig{});
+  EXPECT_EQ(s.transition_time, 20_us);
+  EXPECT_EQ(s.low_time, 100_us);
+  // power fraction = (20/120) * 1.0 + (100/120) * 0.43
+  EXPECT_NEAR(s.mean_power_fraction, 20.0 / 120 + 0.43 * 100 / 120, 1e-9);
+}
+
+TEST(PowerModel, LinkShareWeightingScalesSavings) {
+  PowerModelConfig cfg;
+  cfg.weighting = PowerModelConfig::Weighting::LinkShareOfSwitch;
+  IbLink link = make_link_with_low(0_us, 510_us, 1_ms);
+  const auto s = summarize_link(link, cfg);
+  EXPECT_NEAR(s.savings_pct, 0.64 * 57.0 * 0.5, 1e-6);
+}
+
+TEST(PowerModel, EnergyMatchesMeanPower) {
+  PowerModelConfig cfg;
+  cfg.port_nominal_watts = 4.2;
+  IbLink link;
+  link.finish(1_s);
+  const auto s = summarize_link(link, cfg);
+  EXPECT_NEAR(s.energy_joules, 4.2, 1e-9);  // 4.2 W for 1 s, always on
+}
+
+TEST(PowerModel, AggregateAveragesOverPorts) {
+  IbLink gated = make_link_with_low(0_us, 510_us, 1_ms);  // 50% low
+  IbLink idle_on;
+  idle_on.finish(1_ms);
+  const std::vector<const IbLink*> ports{&gated, &idle_on};
+  const auto fleet = aggregate_power(ports, PowerModelConfig{});
+  EXPECT_NEAR(fleet.mean_low_residency, 0.25, 1e-9);
+  EXPECT_NEAR(fleet.switch_savings_pct, 57.0 * 0.25, 1e-6);
+  EXPECT_GT(fleet.baseline_energy_joules, fleet.total_energy_joules);
+}
+
+TEST(PowerModel, AggregateEmpty) {
+  const auto fleet = aggregate_power({}, PowerModelConfig{});
+  EXPECT_DOUBLE_EQ(fleet.switch_savings_pct, 0.0);
+}
+
+TEST(PowerModel, CustomLowPowerFraction) {
+  PowerModelConfig cfg;
+  cfg.low_power_fraction = 0.25;  // deeper sleep ablation
+  IbLink link = make_link_with_low(0_us, 510_us, 1_ms);
+  const auto s = summarize_link(link, cfg);
+  EXPECT_NEAR(s.savings_pct, 75.0 * 0.5, 1e-6);
+}
+
+}  // namespace
+}  // namespace ibpower

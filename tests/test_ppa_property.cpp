@@ -1,0 +1,133 @@
+// Property tests of the pattern-prediction algorithm on randomized
+// periodic streams.
+#include <gtest/gtest.h>
+
+#include "core/gram_builder.hpp"
+#include "core/pmpi_agent.hpp"
+#include "core/ppa.hpp"
+#include "util/rng.hpp"
+
+namespace ibpower {
+namespace {
+
+using namespace ibpower::literals;
+
+PpaConfig prop_config() {
+  PpaConfig cfg;
+  cfg.grouping_threshold = 20_us;
+  cfg.t_react = 10_us;
+  cfg.interception_overhead = TimeNs::zero();
+  cfg.ppa_invocation_overhead = TimeNs::zero();
+  return cfg;
+}
+
+const MpiCall kCalls[] = {MpiCall::Send,   MpiCall::Recv,     MpiCall::Bcast,
+                          MpiCall::Reduce, MpiCall::Sendrecv, MpiCall::Allreduce,
+                          MpiCall::Gather, MpiCall::Barrier};
+
+struct StreamSpec {
+  int period;             // grams per pattern appearance
+  std::vector<MpiCall> gram_first_call;  // one call per gram (single-call grams)
+};
+
+StreamSpec random_spec(Rng& rng) {
+  StreamSpec spec;
+  spec.period = 2 + static_cast<int>(rng.uniform_below(6));  // 2..7
+  for (int i = 0; i < spec.period; ++i) {
+    spec.gram_first_call.push_back(kCalls[rng.uniform_below(8)]);
+  }
+  // A constant sequence would collapse to a shorter period; force at least
+  // two distinct calls for periods > 1 (otherwise smallest-L wins, which is
+  // also correct but harder to assert on).
+  spec.gram_first_call[0] = MpiCall::Sendrecv;
+  spec.gram_first_call[static_cast<std::size_t>(spec.period - 1)] =
+      MpiCall::Allreduce;
+  return spec;
+}
+
+class PpaStreamProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(PpaStreamProperty, PeriodicStreamsArePredicted) {
+  Rng rng(GetParam());
+  const StreamSpec spec = random_spec(rng);
+
+  PmpiAgent agent(prop_config(), nullptr);
+  TimeNs t{};
+  const int appearances = 30;
+  for (int a = 0; a < appearances; ++a) {
+    for (const MpiCall c : spec.gram_first_call) {
+      t += TimeNs::from_us(rng.uniform(60.0, 70.0));  // gaps >> GT
+      (void)agent.on_call_enter(c, t);
+      t += 1_us;
+      agent.on_call_exit(c, t);
+    }
+  }
+  agent.finish();
+
+  const AgentStats& s = agent.stats();
+  EXPECT_GE(s.arms, 1u) << "period " << spec.period;
+  EXPECT_EQ(s.pattern_mispredicts, 0u);
+  // Detection takes at most consecutive_appearances_to_detect + 1
+  // appearances (the detected period may be a rotation/divisor of the
+  // spec's); everything after must be predicted.
+  const auto total = static_cast<double>(s.total_calls);
+  EXPECT_GT(s.hit_rate_pct(), 100.0 * (total - 8.0 * spec.period) / total);
+
+  // The detected pattern's length divides (or equals) the spec period.
+  ASSERT_FALSE(agent.detector().patterns().detected_ids().empty());
+  const PatternInfo& info = agent.detector().patterns()
+      [agent.detector().patterns().detected_ids().front()];
+  EXPECT_EQ(spec.period % static_cast<int>(info.length()), 0)
+      << "detected length " << info.length() << " vs period " << spec.period;
+}
+
+TEST_P(PpaStreamProperty, NoisyStreamsKeepStatsSane) {
+  Rng rng(GetParam() ^ 0xabcdef);
+  PmpiAgent agent(prop_config(), nullptr);
+  TimeNs t{};
+  for (int i = 0; i < 3000; ++i) {
+    const MpiCall c = kCalls[rng.uniform_below(8)];
+    t += TimeNs::from_us(rng.bernoulli(0.5) ? rng.uniform(0.5, 15.0)
+                                            : rng.uniform(25.0, 500.0));
+    (void)agent.on_call_enter(c, t);
+    t += TimeNs::from_us(rng.uniform(0.5, 5.0));
+    agent.on_call_exit(c, t);
+  }
+  agent.finish();
+  const AgentStats& s = agent.stats();
+  EXPECT_EQ(s.total_calls, 3000u);
+  EXPECT_LE(s.predicted_calls, s.total_calls);
+  EXPECT_LE(s.pattern_mispredicts, s.arms + 1);
+  EXPECT_LE(s.power_requests, s.total_calls);
+  EXPECT_GE(s.requested_low_power_total, TimeNs::zero());
+}
+
+TEST_P(PpaStreamProperty, GapEstimatesBracketObservations) {
+  Rng rng(GetParam() ^ 0x777);
+  PmpiAgent agent(prop_config(), nullptr);
+  TimeNs t{};
+  const double lo = 80.0, hi = 120.0;
+  for (int a = 0; a < 40; ++a) {
+    for (const MpiCall c : {MpiCall::Sendrecv, MpiCall::Allreduce}) {
+      t += TimeNs::from_us(rng.uniform(lo, hi));
+      (void)agent.on_call_enter(c, t);
+      t += 1_us;
+      agent.on_call_exit(c, t);
+    }
+  }
+  agent.finish();
+  for (const PatternId id : agent.detector().patterns().detected_ids()) {
+    const PatternInfo& info = agent.detector().patterns()[id];
+    for (const GapEstimate& est : info.gap_after) {
+      if (!est.has_value()) continue;
+      EXPECT_GE(est.mean(), TimeNs::from_us(lo - 1.0));
+      EXPECT_LE(est.mean(), TimeNs::from_us(hi + 2.0));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PpaStreamProperty,
+                         ::testing::Range<std::uint64_t>(1, 17));
+
+}  // namespace
+}  // namespace ibpower

@@ -1,0 +1,93 @@
+#include "trace/profile.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "workloads/app_model.hpp"
+
+namespace ibpower {
+namespace {
+
+using namespace ibpower::literals;
+
+TEST(Profile, CountsRecordsByKind) {
+  Trace t("demo", 2);
+  t.push(0, ComputeRecord{100_us});
+  t.push(0, SendRecord{1, 2048, 0});
+  t.push(1, RecvRecord{0, 2048, 0});
+  t.push(0, CollectiveRecord{MpiCall::Allreduce, 64});
+  t.push(1, CollectiveRecord{MpiCall::Allreduce, 64});
+  const TraceProfile p = profile_trace(t);
+  EXPECT_EQ(p.ranks, 2u);
+  EXPECT_EQ(p.total_records, 5u);
+  EXPECT_EQ(p.mpi_calls, 4u);
+  EXPECT_EQ(p.p2p_messages, 1u);
+  EXPECT_EQ(p.p2p_bytes_total, 2048);
+  EXPECT_EQ(p.collectives, 2u);
+  EXPECT_EQ(p.collective_bytes_total, 128);
+  EXPECT_EQ(p.call_mix.at(MpiCall::Send), 1u);
+  EXPECT_EQ(p.call_mix.at(MpiCall::Allreduce), 2u);
+  EXPECT_EQ(p.total_compute, 100_us);
+}
+
+TEST(Profile, SizeHistogramBuckets) {
+  Trace t("demo", 2);
+  t.push(0, SendRecord{1, 1024, 0});   // bucket 10
+  t.push(0, SendRecord{1, 1025, 1});   // bucket 10
+  t.push(0, SendRecord{1, 2048, 2});   // bucket 11
+  for (int tag = 0; tag < 3; ++tag) {
+    t.push(1, RecvRecord{0, tag == 2 ? 2048 : (tag == 0 ? 1024 : 1025), tag});
+  }
+  const TraceProfile p = profile_trace(t);
+  EXPECT_EQ(p.size_histogram[10], 2u);
+  EXPECT_EQ(p.size_histogram[11], 1u);
+}
+
+TEST(Profile, NonblockingSendsCounted) {
+  Trace t("demo", 2);
+  t.push(0, IsendRecord{1, 4096, 0, 1});
+  t.push(0, WaitRecord{1});
+  t.push(1, IrecvRecord{0, 4096, 0, 1});
+  t.push(1, WaitRecord{1});
+  const TraceProfile p = profile_trace(t);
+  EXPECT_EQ(p.p2p_messages, 1u);  // isend counts; irecv/waits do not
+  EXPECT_EQ(p.mpi_calls, 4u);
+  EXPECT_EQ(p.call_mix.at(MpiCall::Wait), 2u);
+}
+
+TEST(Profile, RealWorkloadsProfileSanely) {
+  for (const auto& name : app_names()) {
+    const auto app = make_app(name);
+    WorkloadParams params;
+    params.nranks = (name == "nas_bt" || name == "nas_lu") ? 9 : 8;
+    params.iterations = 5;
+    const TraceProfile p = profile_trace(app->generate(params));
+    EXPECT_GT(p.mpi_calls, 0u) << name;
+    EXPECT_GT(p.total_compute, TimeNs::zero()) << name;
+    EXPECT_GT(p.p2p_messages, 0u) << name;
+    EXPECT_GT(p.collectives, 0u) << name;
+    // Paper call ids present where expected.
+    if (name == "alya") {
+      EXPECT_GT(p.call_mix.at(MpiCall::Sendrecv), 0u);
+      EXPECT_GT(p.call_mix.at(MpiCall::Allreduce), 0u);
+    }
+  }
+}
+
+TEST(Profile, PrintContainsKeyLines) {
+  const auto app = make_app("alya");
+  WorkloadParams params;
+  params.nranks = 4;
+  params.iterations = 3;
+  const TraceProfile p = profile_trace(app->generate(params));
+  std::ostringstream os;
+  print_profile(os, p);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("ranks"), std::string::npos);
+  EXPECT_NE(out.find("MPI_Sendrecv="), std::string::npos);
+  EXPECT_NE(out.find("message sizes"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ibpower

@@ -1,0 +1,317 @@
+#include "sim/replay.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ibpower {
+namespace {
+
+using namespace ibpower::literals;
+
+ReplayOptions base_options() {
+  ReplayOptions opt;
+  opt.fabric.random_routing = false;
+  return opt;
+}
+
+TEST(Replay, ComputeOnlyTraceFinishesAtBurstSum) {
+  Trace t("demo", 2);
+  t.push(0, ComputeRecord{100_us});
+  t.push(0, ComputeRecord{50_us});
+  t.push(1, ComputeRecord{20_us});
+  ReplayEngine engine(&t, base_options());
+  const auto rr = engine.run();
+  EXPECT_EQ(rr.rank_finish[0], 150_us);
+  EXPECT_EQ(rr.rank_finish[1], 20_us);
+  EXPECT_EQ(rr.exec_time, 150_us);
+}
+
+TEST(Replay, EagerSendRecvTiming) {
+  Trace t("demo", 2);
+  t.push(0, ComputeRecord{100_us});
+  t.push(0, SendRecord{1, 2048, 0});
+  t.push(1, RecvRecord{0, 2048, 0});
+  ReplayEngine engine(&t, base_options());
+  const auto rr = engine.run();
+  // Sender: 100us + injection (410ns).
+  EXPECT_EQ(rr.rank_finish[0], 100_us + TimeNs{410});
+  // Receiver blocked from 0 until delivery (> 101us).
+  EXPECT_GT(rr.rank_finish[1], 101_us);
+  EXPECT_LT(rr.rank_finish[1], 105_us);
+  EXPECT_EQ(rr.messages_sent, 1u);
+}
+
+TEST(Replay, RecvAfterArrivalDoesNotBlock) {
+  Trace t("demo", 2);
+  t.push(0, SendRecord{1, 2048, 0});
+  t.push(1, ComputeRecord{1_ms});
+  t.push(1, RecvRecord{0, 2048, 0});
+  ReplayEngine engine(&t, base_options());
+  const auto rr = engine.run();
+  // Message arrived long before the recv posts: recv is (nearly) instant.
+  EXPECT_EQ(rr.rank_finish[1], 1_ms);
+}
+
+TEST(Replay, RendezvousSenderWaitsForReceiver) {
+  const Bytes big = 1 << 20;  // above eager threshold
+  Trace t("demo", 2);
+  t.push(0, SendRecord{1, big, 0});
+  t.push(1, ComputeRecord{500_us});
+  t.push(1, RecvRecord{0, big, 0});
+  ReplayEngine engine(&t, base_options());
+  const auto rr = engine.run();
+  // Sender cannot finish before the recv posts at 500us.
+  EXPECT_GT(rr.rank_finish[0], 500_us);
+  // Transfer: ~210us serialization after 500us.
+  EXPECT_GT(rr.rank_finish[1], 700_us);
+  EXPECT_LT(rr.rank_finish[1], 730_us);
+}
+
+TEST(Replay, RendezvousReceiverWaitsForSender) {
+  const Bytes big = 1 << 20;
+  Trace t("demo", 2);
+  t.push(0, ComputeRecord{500_us});
+  t.push(0, SendRecord{1, big, 0});
+  t.push(1, RecvRecord{0, big, 0});
+  ReplayEngine engine(&t, base_options());
+  const auto rr = engine.run();
+  EXPECT_GT(rr.rank_finish[1], 700_us);
+}
+
+TEST(Replay, SendrecvRingCompletes) {
+  Trace t("demo", 4);
+  for (Rank r = 0; r < 4; ++r) {
+    t.push(r, ComputeRecord{TimeNs::from_us(std::int64_t(10 * (r + 1)))});
+    t.push(r, SendrecvRecord{(r + 1) % 4, (r + 3) % 4, 4096, 0});
+  }
+  ASSERT_EQ(t.validate(), "");
+  ReplayEngine engine(&t, base_options());
+  const auto rr = engine.run();
+  // Ring dependency: rank r receives from r-1, so only ranks downstream of
+  // the slowest sender (rank 3, 40us) wait for it: rank 0 recvs from 3.
+  EXPECT_GT(rr.rank_finish[0], 40_us);
+  EXPECT_GT(rr.rank_finish[3], 40_us);  // own compute
+  // Ranks 1 and 2 receive from faster upstream peers and finish earlier.
+  EXPECT_LT(rr.rank_finish[1], 30_us);
+  EXPECT_GT(rr.rank_finish[1], 20_us);
+}
+
+TEST(Replay, CollectiveSynchronizesRanks) {
+  Trace t("demo", 3);
+  t.push(0, ComputeRecord{10_us});
+  t.push(1, ComputeRecord{200_us});
+  t.push(2, ComputeRecord{50_us});
+  for (Rank r = 0; r < 3; ++r) {
+    t.push(r, CollectiveRecord{MpiCall::Allreduce, 8});
+  }
+  ReplayEngine engine(&t, base_options());
+  const auto rr = engine.run();
+  // All leave together, after the slowest entry (200us) + cost.
+  EXPECT_EQ(rr.rank_finish[0], rr.rank_finish[1]);
+  EXPECT_EQ(rr.rank_finish[1], rr.rank_finish[2]);
+  EXPECT_GT(rr.rank_finish[0], 200_us);
+}
+
+TEST(Replay, ConsecutiveCollectivesKeepOrder) {
+  Trace t("demo", 2);
+  for (int k = 0; k < 5; ++k) {
+    for (Rank r = 0; r < 2; ++r) {
+      t.push(r, CollectiveRecord{MpiCall::Barrier, 0});
+    }
+  }
+  ReplayEngine engine(&t, base_options());
+  const auto rr = engine.run();
+  EXPECT_GT(rr.exec_time, TimeNs::zero());
+}
+
+TEST(Replay, DeadlockDetected) {
+  Trace t("demo", 2);
+  t.push(0, RecvRecord{1, 2048, 0});  // nobody sends
+  t.push(1, ComputeRecord{10_us});
+  ReplayEngine engine(&t, base_options());
+  EXPECT_THROW(engine.run(), std::runtime_error);
+}
+
+TEST(Replay, CollectiveDeadlockDetected) {
+  Trace t("demo", 2);
+  t.push(0, CollectiveRecord{MpiCall::Barrier, 0});
+  // Rank 1 never joins.
+  t.push(1, ComputeRecord{10_us});
+  ReplayEngine engine(&t, base_options());
+  EXPECT_THROW(engine.run(), std::runtime_error);
+}
+
+TEST(Replay, CallTimelineRecorded) {
+  Trace t("demo", 2);
+  t.push(0, ComputeRecord{10_us});
+  t.push(0, SendRecord{1, 2048, 0});
+  t.push(1, RecvRecord{0, 2048, 0});
+  ReplayOptions opt = base_options();
+  opt.record_call_timeline = true;
+  ReplayEngine engine(&t, opt);
+  (void)engine.run();
+  ASSERT_EQ(engine.call_timeline(0).size(), 1u);
+  EXPECT_EQ(engine.call_timeline(0)[0].call, MpiCall::Send);
+  EXPECT_EQ(engine.call_timeline(0)[0].enter, 10_us);
+  ASSERT_EQ(engine.call_timeline(1).size(), 1u);
+  EXPECT_EQ(engine.call_timeline(1)[0].call, MpiCall::Recv);
+}
+
+TEST(Replay, BusyIntervalsRecordedForIdleAnalysis) {
+  Trace t("demo", 2);
+  t.push(0, ComputeRecord{100_us});
+  t.push(0, SendRecord{1, 2048, 0});
+  t.push(1, RecvRecord{0, 2048, 0});
+  ReplayEngine engine(&t, base_options());
+  const auto rr = engine.run();
+  const auto& link0 = engine.fabric().node_link(0);
+  EXPECT_FALSE(link0.busy(Direction::Up).empty());
+  EXPECT_EQ(link0.end_time(), rr.exec_time);
+}
+
+TEST(Replay, ManagedRunGatesRegularTrace) {
+  // ALYA-like: long compute + small comm, highly periodic.
+  Trace t("demo", 4);
+  for (int it = 0; it < 30; ++it) {
+    for (Rank r = 0; r < 4; ++r) {
+      t.push(r, ComputeRecord{300_us});
+      t.push(r, SendrecvRecord{(r + 1) % 4, (r + 3) % 4, 4096, 0});
+    }
+    for (Rank r = 0; r < 4; ++r) {
+      t.push(r, ComputeRecord{100_us});
+      t.push(r, CollectiveRecord{MpiCall::Allreduce, 8});
+    }
+  }
+  ASSERT_EQ(t.validate(), "");
+
+  ReplayOptions baseline = base_options();
+  ReplayEngine base_engine(&t, baseline);
+  const auto base = base_engine.run();
+
+  ReplayOptions managed = base_options();
+  managed.enable_power_management = true;
+  managed.ppa.grouping_threshold = 20_us;
+  ReplayEngine engine(&t, managed);
+  const auto run = engine.run();
+
+  EXPECT_GE(run.agent_total.arms, 4u);  // every rank armed
+  EXPECT_GT(run.agent_total.power_requests, 0u);
+  TimeNs low_total{};
+  for (Rank r = 0; r < 4; ++r) {
+    low_total += engine.fabric().node_link(r).residency(LinkPowerMode::LowPower);
+  }
+  EXPECT_GT(low_total, 4 * 1_ms);  // substantial gating
+  // Execution-time increase stays small (paper: ~1%); allow 5% here.
+  const double increase =
+      (static_cast<double>(run.exec_time.ns) -
+       static_cast<double>(base.exec_time.ns)) /
+      static_cast<double>(base.exec_time.ns);
+  EXPECT_LT(increase, 0.05);
+  EXPECT_GE(increase, -0.001);
+}
+
+TEST(Replay, TagsKeepChannelsIndependent) {
+  // Two messages with different tags, received in the opposite order.
+  Trace t("demo", 2);
+  t.push(0, SendRecord{1, 2048, /*tag=*/1});
+  t.push(0, ComputeRecord{10_us});
+  t.push(0, SendRecord{1, 2048, /*tag=*/2});
+  t.push(1, RecvRecord{0, 2048, /*tag=*/2});
+  t.push(1, RecvRecord{0, 2048, /*tag=*/1});
+  ASSERT_EQ(t.validate(), "");
+  ReplayEngine engine(&t, base_options());
+  const auto rr = engine.run();
+  // Tag 2 arrives later (sent at 10us); the first recv must wait for it.
+  EXPECT_GT(rr.rank_finish[1], 10_us);
+}
+
+TEST(Replay, SameTagFifoOrder) {
+  // Two same-tag messages of different sizes: matching is FIFO per channel.
+  Trace t("demo", 2);
+  t.push(0, SendRecord{1, 2048, 0});
+  t.push(0, SendRecord{1, 4096, 0});
+  t.push(1, RecvRecord{0, 2048, 0});
+  t.push(1, RecvRecord{0, 4096, 0});
+  ASSERT_EQ(t.validate(), "");
+  ReplayEngine engine(&t, base_options());
+  EXPECT_NO_THROW(engine.run());
+}
+
+TEST(Replay, OverheadsDelayManagedRun) {
+  // A compute-only-ish trace with a few calls: managed time must exceed
+  // baseline by at least the interception overheads on the critical path.
+  Trace t("demo", 2);
+  for (int i = 0; i < 10; ++i) {
+    t.push(0, ComputeRecord{100_us});
+    t.push(0, SendRecord{1, 2048, 0});
+    t.push(1, RecvRecord{0, 2048, 0});
+    t.push(1, ComputeRecord{1_us});
+  }
+  ReplayOptions base_opt = base_options();
+  ReplayEngine base_engine(&t, base_opt);
+  const auto base = base_engine.run();
+
+  ReplayOptions managed = base_options();
+  managed.enable_power_management = true;
+  managed.ppa.grouping_threshold = 20_us;
+  managed.ppa.interception_overhead = 1_us;
+  managed.ppa.ppa_invocation_overhead = TimeNs::zero();
+  ReplayEngine engine(&t, managed);
+  const auto run = engine.run();
+  // Rank 0's 10 sends each pay >= 1us on its critical path.
+  EXPECT_GE(run.exec_time - base.exec_time, 10_us);
+}
+
+TEST(Replay, WakePenaltyHitsLateMessage) {
+  // Rank 0 computes long enough that its link is gated by the agent, then
+  // an unpredicted early message (pattern break) pays a wake penalty.
+  Trace t("demo", 2);
+  for (int i = 0; i < 12; ++i) {
+    t.push(0, ComputeRecord{500_us});
+    t.push(0, SendRecord{1, 2048, 0});
+    t.push(1, RecvRecord{0, 2048, 0});
+  }
+  // Break the pattern: a much earlier send.
+  t.push(0, ComputeRecord{40_us});
+  t.push(0, SendRecord{1, 2048, 0});
+  t.push(1, RecvRecord{0, 2048, 0});
+  ReplayOptions managed = base_options();
+  managed.enable_power_management = true;
+  managed.ppa.grouping_threshold = 20_us;
+  managed.ppa.interception_overhead = TimeNs::zero();
+  managed.ppa.ppa_invocation_overhead = TimeNs::zero();
+  ReplayEngine engine(&t, managed);
+  (void)engine.run();
+  EXPECT_GE(engine.fabric().node_link(0).on_demand_wakes(), 1u);
+  EXPECT_GT(engine.fabric().node_link(0).wake_penalty_total(), TimeNs::zero());
+}
+
+TEST(Replay, CollectiveWakePenaltyDelaysParticipation) {
+  // A rank whose link is asleep at collective entry pays the wake before
+  // joining; everyone still leaves together.
+  Trace t("demo", 2);
+  t.push(0, ComputeRecord{100_us});
+  t.push(1, ComputeRecord{100_us});
+  for (Rank r = 0; r < 2; ++r) {
+    t.push(r, CollectiveRecord{MpiCall::Barrier, 0});
+  }
+  ReplayOptions opt = base_options();
+  ReplayEngine engine(&t, opt);
+  // Put rank 0's link to sleep manually before running: simulate by a
+  // pre-scheduled low-power span covering the collective entry.
+  engine.fabric().node_link(0).request_low_power(0_us, 1_ms);
+  const auto rr = engine.run();
+  EXPECT_EQ(rr.rank_finish[0], rr.rank_finish[1]);
+  EXPECT_GT(rr.rank_finish[0], 110_us);  // 100us + wake 10us + cost
+}
+
+TEST(Replay, BaselineRunHasNoAgents) {
+  Trace t("demo", 2);
+  t.push(0, ComputeRecord{10_us});
+  ReplayEngine engine(&t, base_options());
+  const auto rr = engine.run();
+  EXPECT_EQ(rr.agent_total.total_calls, 0u);
+  EXPECT_EQ(engine.agent(0), nullptr);
+}
+
+}  // namespace
+}  // namespace ibpower

@@ -1,0 +1,83 @@
+#include "sim/report.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace ibpower {
+namespace {
+
+std::vector<LabelledResult> sample_results() {
+  LabelledResult a;
+  a.app = "alya";
+  a.nranks = 8;
+  a.displacement = 0.01;
+  a.result.baseline_time = TimeNs::from_ms(100.0);
+  a.result.managed_time = TimeNs::from_ms(101.0);
+  a.result.time_increase_pct = 1.0;
+  a.result.power.switch_savings_pct = 17.5;
+  a.result.hit_rate_pct = 95.0;
+  a.result.mpi_calls = 1234;
+  LabelledResult b;
+  b.app = "wrf";
+  b.nranks = 64;
+  b.displacement = 0.10;
+  b.result.power.switch_savings_pct = 12.25;
+  return {a, b};
+}
+
+TEST(Report, CsvHasHeaderAndOneRowPerResult) {
+  std::ostringstream os;
+  write_results_csv(os, sample_results());
+  std::istringstream lines(os.str());
+  std::string line;
+  int count = 0;
+  while (std::getline(lines, line)) ++count;
+  EXPECT_EQ(count, 3);  // header + 2 rows
+  EXPECT_EQ(os.str().substr(0, results_csv_header().size()),
+            results_csv_header());
+}
+
+TEST(Report, CsvColumnsLineUp) {
+  std::ostringstream os;
+  write_results_csv(os, sample_results());
+  std::istringstream lines(os.str());
+  std::string header, row;
+  std::getline(lines, header);
+  std::getline(lines, row);
+  const auto commas = [](const std::string& s) {
+    return std::count(s.begin(), s.end(), ',');
+  };
+  EXPECT_EQ(commas(header), commas(row));
+  EXPECT_NE(row.find("alya,8"), std::string::npos);
+  EXPECT_NE(row.find("17.5"), std::string::npos);
+}
+
+TEST(Report, EmptyCsvStillHasHeader) {
+  std::ostringstream os;
+  write_results_csv(os, {});
+  EXPECT_EQ(os.str(), results_csv_header() + "\n");
+}
+
+TEST(Report, JsonIsWellFormedEnough) {
+  std::ostringstream os;
+  write_results_json(os, sample_results());
+  const std::string out = os.str();
+  EXPECT_EQ(out.front(), '[');
+  EXPECT_EQ(out[out.size() - 2], ']');
+  EXPECT_EQ(std::count(out.begin(), out.end(), '{'), 2);
+  EXPECT_EQ(std::count(out.begin(), out.end(), '}'), 2);
+  EXPECT_NE(out.find("\"app\": \"wrf\""), std::string::npos);
+  EXPECT_NE(out.find("\"switch_savings_pct\": 12.25"), std::string::npos);
+  // Exactly one separating comma between the two objects.
+  EXPECT_NE(out.find("},\n"), std::string::npos);
+}
+
+TEST(Report, JsonEmptyArray) {
+  std::ostringstream os;
+  write_results_json(os, {});
+  EXPECT_EQ(os.str(), "[\n]\n");
+}
+
+}  // namespace
+}  // namespace ibpower

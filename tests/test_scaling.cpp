@@ -1,0 +1,74 @@
+#include "workloads/scaling.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ibpower {
+namespace {
+
+WorkloadParams params(int nranks, bool weak = false, double scale = 1.0) {
+  WorkloadParams p;
+  p.nranks = nranks;
+  p.weak_scaling = weak;
+  p.scale = scale;
+  return p;
+}
+
+TEST(ScalingHelper, StrongScalingAtReferenceIsIdentity) {
+  const ScalingHelper sc(params(8), 8, 1.3);
+  EXPECT_DOUBLE_EQ(sc.comp_us(100.0), 100.0);
+  EXPECT_EQ(sc.msg_bytes(4096), 4096);
+}
+
+TEST(ScalingHelper, StrongScalingShrinksWithAlpha) {
+  const ScalingHelper linear(params(64), 8, 1.0);
+  const ScalingHelper super(params(64), 8, 1.5);
+  EXPECT_DOUBLE_EQ(linear.comp_us(800.0), 100.0);  // (8/64)^1 = 1/8
+  EXPECT_LT(super.comp_us(800.0), 100.0);          // superlinear erosion
+  EXPECT_NEAR(super.comp_us(800.0), 800.0 * std::pow(0.125, 1.5), 1e-9);
+}
+
+TEST(ScalingHelper, WeakScalingIgnoresRanks) {
+  const ScalingHelper a(params(8, true), 8, 1.5);
+  const ScalingHelper b(params(128, true), 8, 1.5);
+  EXPECT_DOUBLE_EQ(a.comp_us(100.0), b.comp_us(100.0));
+  EXPECT_EQ(a.msg_bytes(4096), b.msg_bytes(4096));
+}
+
+TEST(ScalingHelper, ScaleMultiplier) {
+  const ScalingHelper sc(params(8, false, 2.5), 8, 1.0);
+  EXPECT_DOUBLE_EQ(sc.comp_us(100.0), 250.0);
+}
+
+TEST(ScalingHelper, MessageSurfaceScaling) {
+  const ScalingHelper sc(params(64), 8, 1.0);
+  // (8/64)^(2/3) = 0.25
+  EXPECT_EQ(sc.msg_bytes(40960), 10240);
+}
+
+TEST(ScalingHelper, MessageFloor) {
+  const ScalingHelper sc(params(128), 8, 1.0);
+  EXPECT_GE(sc.msg_bytes(256), 64);
+}
+
+TEST(GridFactor, NearSquare) {
+  int gx = 0, gy = 0;
+  grid_factor(16, &gx, &gy);
+  EXPECT_EQ(gx, 4);
+  EXPECT_EQ(gy, 4);
+  grid_factor(8, &gx, &gy);
+  EXPECT_EQ(gx * gy, 8);
+  EXPECT_GE(gx, gy);
+  grid_factor(128, &gx, &gy);
+  EXPECT_EQ(gx, 16);
+  EXPECT_EQ(gy, 8);
+}
+
+TEST(GridFactor, PrimeDegeneratesToLine) {
+  int gx = 0, gy = 0;
+  grid_factor(13, &gx, &gy);
+  EXPECT_EQ(gx, 13);
+  EXPECT_EQ(gy, 1);
+}
+
+}  // namespace
+}  // namespace ibpower

@@ -1,0 +1,83 @@
+#include "util/stats.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ibpower {
+namespace {
+
+TEST(StreamingStats, EmptyDefaults) {
+  StreamingStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+}
+
+TEST(StreamingStats, SingleValue) {
+  StreamingStats s;
+  s.add(5.0);
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.min(), 5.0);
+  EXPECT_DOUBLE_EQ(s.max(), 5.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+}
+
+TEST(StreamingStats, KnownMoments) {
+  StreamingStats s;
+  for (const double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);  // sample variance
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(StreamingStats, MergeEqualsCombinedStream) {
+  StreamingStats a, b, combined;
+  for (int i = 0; i < 100; ++i) {
+    const double x = i * 0.37;
+    combined.add(x);
+    (i % 2 == 0 ? a : b).add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), combined.count());
+  EXPECT_NEAR(a.mean(), combined.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), combined.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(a.min(), combined.min());
+  EXPECT_DOUBLE_EQ(a.max(), combined.max());
+}
+
+TEST(StreamingStats, MergeWithEmpty) {
+  StreamingStats a, b;
+  a.add(1.0);
+  a.add(3.0);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 2u);
+  b.merge(a);
+  EXPECT_EQ(b.count(), 2u);
+  EXPECT_DOUBLE_EQ(b.mean(), 2.0);
+}
+
+TEST(Percentile, NearestRank) {
+  std::vector<double> v{15, 20, 35, 40, 50};
+  EXPECT_DOUBLE_EQ(percentile(v, 30), 20);
+  EXPECT_DOUBLE_EQ(percentile(v, 40), 20);
+  EXPECT_DOUBLE_EQ(percentile(v, 50), 35);
+  EXPECT_DOUBLE_EQ(percentile(v, 100), 50);
+  EXPECT_DOUBLE_EQ(percentile(v, 0), 15);
+}
+
+TEST(Percentile, Empty) { EXPECT_DOUBLE_EQ(percentile({}, 50), 0.0); }
+
+TEST(Percentile, UnsortedInput) {
+  EXPECT_DOUBLE_EQ(percentile({9, 1, 5}, 50), 5);
+}
+
+TEST(RelDiff, Basics) {
+  EXPECT_DOUBLE_EQ(rel_diff(10.0, 10.0), 0.0);
+  EXPECT_NEAR(rel_diff(10.0, 11.0), 1.0 / 11.0, 1e-12);
+  EXPECT_DOUBLE_EQ(rel_diff(0.0, 0.0), 0.0);
+}
+
+}  // namespace
+}  // namespace ibpower

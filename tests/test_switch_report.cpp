@@ -1,0 +1,88 @@
+#include "power/switch_report.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/experiment.hpp"
+#include "sim/replay.hpp"
+
+namespace ibpower {
+namespace {
+
+using namespace ibpower::literals;
+
+TEST(SwitchReport, CoversWholeTopology) {
+  Fabric fabric(FabricConfig{}, 8);
+  fabric.finish(1_ms);
+  const auto rows = switch_power_report(fabric, PowerModelConfig{});
+  const auto& topo = fabric.topology();
+  ASSERT_EQ(rows.size(), static_cast<std::size_t>(topo.num_leaf_switches() +
+                                                  topo.num_top_switches()));
+  int leaves = 0, tops = 0;
+  for (const auto& row : rows) {
+    (row.is_leaf ? leaves : tops) += 1;
+    EXPECT_EQ(row.total_ports, row.is_leaf ? 36 : 14);
+  }
+  EXPECT_EQ(leaves, topo.num_leaf_switches());
+  EXPECT_EQ(tops, topo.num_top_switches());
+}
+
+TEST(SwitchReport, IdleFabricHasZeroSavings) {
+  Fabric fabric(FabricConfig{}, 8);
+  fabric.finish(1_ms);
+  for (const auto& row : switch_power_report(fabric, PowerModelConfig{})) {
+    EXPECT_DOUBLE_EQ(row.savings_all_ports_pct, 0.0);
+    EXPECT_EQ(row.active_ports, 0);
+  }
+}
+
+TEST(SwitchReport, GatedNodePortsShowUpOnLeafSwitch) {
+  Fabric fabric(FabricConfig{}, 8);
+  // Gate the links of the first 8 nodes (all on leaf switch 0).
+  for (NodeId n = 0; n < 8; ++n) {
+    fabric.node_link(n).request_low_power(0_us, 900_us);
+  }
+  fabric.finish(1_ms);
+  const auto rows = switch_power_report(fabric, PowerModelConfig{});
+  const auto& leaf0 = rows[0];
+  ASSERT_TRUE(leaf0.is_leaf);
+  EXPECT_EQ(leaf0.active_ports, 8);
+  EXPECT_GT(leaf0.savings_active_ports_pct, 40.0);
+  // Diluted over all 36 physical ports.
+  EXPECT_NEAR(leaf0.savings_all_ports_pct,
+              leaf0.savings_active_ports_pct * 8.0 / 36.0, 1e-9);
+  // Top switches saw nothing.
+  for (const auto& row : rows) {
+    if (!row.is_leaf) {
+      EXPECT_DOUBLE_EQ(row.savings_all_ports_pct, 0.0);
+    }
+  }
+}
+
+TEST(SwitchReport, ManagedRunProducesLeafSavings) {
+  // Full pipeline: managed ALYA run, then the per-switch view.
+  ExperimentConfig cfg;
+  cfg.app = "alya";
+  cfg.workload.nranks = 8;
+  cfg.workload.iterations = 25;
+  cfg.ppa.grouping_threshold = default_gt(cfg.app, 8);
+  const auto app = make_app(cfg.app);
+  const Trace trace = app->generate(cfg.workload);
+  ReplayOptions opt;
+  opt.enable_power_management = true;
+  opt.ppa = cfg.ppa;
+  ReplayEngine engine(&trace, opt);
+  (void)engine.run();
+
+  const auto rows = switch_power_report(engine.fabric(), PowerModelConfig{});
+  // All 8 ranks sit on leaf 0 (18 nodes per leaf).
+  EXPECT_GT(rows[0].savings_active_ports_pct, 1.0);
+  EXPECT_GT(rows[0].mean_low_residency, 0.0);
+  // Trunks were used (cross-node traffic does not leave leaf 0 though,
+  // since all ranks share it) - verify no spurious savings anywhere.
+  for (std::size_t i = 1; i < rows.size(); ++i) {
+    EXPECT_LE(rows[i].savings_all_ports_pct, rows[0].savings_all_ports_pct);
+  }
+}
+
+}  // namespace
+}  // namespace ibpower

@@ -1,0 +1,71 @@
+#include "util/table_printer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace ibpower {
+namespace {
+
+TEST(TablePrinter, AlignsColumns) {
+  TablePrinter t({"App", "Value"});
+  t.add_row({"GROMACS", "1"});
+  t.add_row({"x", "123456"});
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  // All lines have equal width.
+  std::istringstream lines(out);
+  std::string line;
+  std::size_t width = 0;
+  while (std::getline(lines, line)) {
+    if (width == 0) width = line.size();
+    EXPECT_EQ(line.size(), width) << line;
+  }
+  EXPECT_NE(out.find("GROMACS"), std::string::npos);
+  EXPECT_NE(out.find("123456"), std::string::npos);
+}
+
+TEST(TablePrinter, SeparatorInserted) {
+  TablePrinter t({"A"});
+  t.add_row({"1"});
+  t.add_separator();
+  t.add_row({"2"});
+  std::ostringstream os;
+  t.print(os);
+  // Rules: top, under header, separator, bottom = 4 lines starting with '+'.
+  int rules = 0;
+  std::istringstream lines(os.str());
+  std::string line;
+  while (std::getline(lines, line)) {
+    if (!line.empty() && line[0] == '+') ++rules;
+  }
+  EXPECT_EQ(rules, 4);
+}
+
+TEST(TablePrinter, ShortRowsPadded) {
+  TablePrinter t({"A", "B", "C"});
+  t.add_row({"only one"});
+  std::ostringstream os;
+  t.print(os);
+  EXPECT_EQ(t.row_count(), 1u);
+}
+
+TEST(TablePrinter, FmtHelpers) {
+  EXPECT_EQ(TablePrinter::fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(TablePrinter::fmt(3.0, 0), "3");
+  EXPECT_EQ(TablePrinter::pct(12.345, 1), "12.3%");
+}
+
+TEST(TablePrinter, BannerMentionsTableII) {
+  std::ostringstream os;
+  print_report_banner(os, "test");
+  const std::string out = os.str();
+  EXPECT_NE(out.find("XGFT(2;18,14;1,18)"), std::string::npos);
+  EXPECT_NE(out.find("40 Gbit/s"), std::string::npos);
+  EXPECT_NE(out.find("Treact = 10 us"), std::string::npos);
+  EXPECT_NE(out.find("43%"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ibpower

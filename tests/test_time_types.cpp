@@ -1,0 +1,85 @@
+#include "util/time_types.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ibpower {
+namespace {
+
+using namespace ibpower::literals;
+
+TEST(TimeNs, LiteralsAndConversions) {
+  EXPECT_EQ((1_us).ns, 1000);
+  EXPECT_EQ((1_ms).ns, 1000000);
+  EXPECT_EQ((1_s).ns, 1000000000);
+  EXPECT_EQ(TimeNs::from_us(std::int64_t{20}).ns, 20000);
+  EXPECT_DOUBLE_EQ((1500_ns).us(), 1.5);
+  EXPECT_DOUBLE_EQ((2500_us).ms(), 2.5);
+  EXPECT_DOUBLE_EQ((1_s).s(), 1.0);
+}
+
+TEST(TimeNs, FromUsRoundsToNearest) {
+  EXPECT_EQ(TimeNs::from_us(0.0004).ns, 0);
+  EXPECT_EQ(TimeNs::from_us(0.0006).ns, 1);
+  EXPECT_EQ(TimeNs::from_us(1.2345).ns, 1235);  // 1234.5 ns rounds up
+}
+
+TEST(TimeNs, Arithmetic) {
+  EXPECT_EQ((3_us + 2_us).ns, 5000);
+  EXPECT_EQ((3_us - 5_us).ns, -2000);
+  EXPECT_EQ((3_us * std::int64_t{4}).ns, 12000);
+  EXPECT_EQ((3_us * 4).ns, 12000);
+  EXPECT_EQ((4 * 3_us).ns, 12000);
+  EXPECT_DOUBLE_EQ(6_us / 3_us, 2.0);
+}
+
+TEST(TimeNs, ScaleByDoubleRoundsToNearest) {
+  EXPECT_EQ((100_us * 0.1).ns, 10000);
+  EXPECT_EQ((TimeNs{3} * 0.5).ns, 2);  // 1.5 + 0.5 = 2
+  EXPECT_EQ((1_ms * 0.0001).ns, 100);
+}
+
+TEST(TimeNs, Comparisons) {
+  EXPECT_LT(1_us, 2_us);
+  EXPECT_LE(2_us, 2_us);
+  EXPECT_GT(1_ms, 999_us);
+  EXPECT_EQ(min(3_us, 4_us), 3_us);
+  EXPECT_EQ(max(3_us, 4_us), 4_us);
+}
+
+TEST(TimeNs, ClampNonnegative) {
+  EXPECT_EQ(clamp_nonnegative(TimeNs{-5}), TimeNs::zero());
+  EXPECT_EQ(clamp_nonnegative(5_ns), 5_ns);
+}
+
+TEST(TimeNs, ToString) {
+  EXPECT_EQ(to_string(500_ns), "500ns");
+  EXPECT_EQ(to_string(1500_ns), "1.5us");
+  EXPECT_EQ(to_string(TimeNs::from_ms(2.5)), "2.5ms");
+  EXPECT_EQ(to_string(TimeNs{0} - TimeNs{1500}), "-1.5us");
+}
+
+TEST(TimeInterval, DurationAndContains) {
+  const TimeInterval iv{10_us, 20_us};
+  EXPECT_EQ(iv.duration(), 10_us);
+  EXPECT_FALSE(iv.empty());
+  EXPECT_TRUE(iv.contains(10_us));
+  EXPECT_TRUE(iv.contains(19_us));
+  EXPECT_FALSE(iv.contains(20_us));  // half-open
+  EXPECT_FALSE(iv.contains(9_us));
+}
+
+TEST(TimeInterval, Overlaps) {
+  const TimeInterval a{0_us, 10_us};
+  EXPECT_TRUE(a.overlaps({5_us, 15_us}));
+  EXPECT_FALSE(a.overlaps({10_us, 15_us}));  // touching is not overlapping
+  EXPECT_TRUE(a.overlaps({0_us, 1_us}));
+}
+
+TEST(TimeInterval, EmptyInterval) {
+  const TimeInterval e{5_us, 5_us};
+  EXPECT_TRUE(e.empty());
+  EXPECT_EQ(e.duration(), TimeNs::zero());
+}
+
+}  // namespace
+}  // namespace ibpower

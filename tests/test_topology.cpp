@@ -1,0 +1,88 @@
+#include "network/topology.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace ibpower {
+namespace {
+
+TEST(Topology, PaperInstanceDimensions) {
+  // XGFT(2; 18, 14; 1, 18) — Table II.
+  const FatTreeTopology topo;
+  EXPECT_EQ(topo.num_nodes(), 252);
+  EXPECT_EQ(topo.num_leaf_switches(), 14);
+  EXPECT_EQ(topo.num_top_switches(), 18);
+  EXPECT_EQ(topo.num_links(), 252 + 14 * 18);
+}
+
+TEST(Topology, LeafAssignment) {
+  const FatTreeTopology topo;
+  EXPECT_EQ(topo.leaf_of(0), 0);
+  EXPECT_EQ(topo.leaf_of(17), 0);
+  EXPECT_EQ(topo.leaf_of(18), 1);
+  EXPECT_EQ(topo.leaf_of(251), 13);
+}
+
+TEST(Topology, LinkIdsDisjoint) {
+  const FatTreeTopology topo;
+  std::set<LinkId> ids;
+  for (int n = 0; n < topo.num_nodes(); ++n) {
+    ids.insert(topo.node_uplink(n));
+  }
+  for (int l = 0; l < topo.num_leaf_switches(); ++l) {
+    for (int t = 0; t < topo.num_top_switches(); ++t) {
+      ids.insert(topo.trunk_link(l, t));
+    }
+  }
+  EXPECT_EQ(static_cast<int>(ids.size()), topo.num_links());
+  for (const LinkId id : ids) {
+    EXPECT_GE(id, 0);
+    EXPECT_LT(id, topo.num_links());
+  }
+}
+
+TEST(Topology, IsNodeLink) {
+  const FatTreeTopology topo;
+  EXPECT_TRUE(topo.is_node_link(topo.node_uplink(100)));
+  EXPECT_FALSE(topo.is_node_link(topo.trunk_link(0, 0)));
+}
+
+TEST(Topology, SameLeafRoute) {
+  const FatTreeTopology topo;
+  const auto path = topo.route(0, 5, /*top=*/3);
+  ASSERT_EQ(path.size(), 2u);
+  EXPECT_EQ(path[0], topo.node_uplink(0));
+  EXPECT_EQ(path[1], topo.node_uplink(5));
+  EXPECT_EQ(topo.hop_count(0, 5), 1);
+}
+
+TEST(Topology, CrossLeafRoute) {
+  const FatTreeTopology topo;
+  const auto path = topo.route(0, 20, /*top=*/7);
+  ASSERT_EQ(path.size(), 4u);
+  EXPECT_EQ(path[0], topo.node_uplink(0));
+  EXPECT_EQ(path[1], topo.trunk_link(0, 7));
+  EXPECT_EQ(path[2], topo.trunk_link(1, 7));
+  EXPECT_EQ(path[3], topo.node_uplink(20));
+  EXPECT_EQ(topo.hop_count(0, 20), 3);
+}
+
+TEST(Topology, LeafSwitchPortCountIsSx6036Class) {
+  const FatTreeTopology topo;
+  // 18 node ports + 18 up ports = 36 ports (SX6036).
+  EXPECT_EQ(topo.leaf_switch_ports(0).size(), 36u);
+  EXPECT_EQ(topo.top_switch_ports(0).size(), 14u);
+}
+
+TEST(Topology, CustomParams) {
+  const FatTreeTopology topo(XgftParams{4, 3, 1, 2});
+  EXPECT_EQ(topo.num_nodes(), 12);
+  EXPECT_EQ(topo.num_leaf_switches(), 3);
+  EXPECT_EQ(topo.num_top_switches(), 2);
+  const auto path = topo.route(0, 11, 1);
+  ASSERT_EQ(path.size(), 4u);
+}
+
+}  // namespace
+}  // namespace ibpower

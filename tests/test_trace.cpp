@@ -1,0 +1,130 @@
+#include "trace/trace.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ibpower {
+namespace {
+
+using namespace ibpower::literals;
+
+TEST(Trace, BasicAccounting) {
+  Trace t("demo", 2);
+  t.push(0, ComputeRecord{10_us});
+  t.push(0, SendRecord{1, 1024, 0});
+  t.push(1, RecvRecord{0, 1024, 0});
+  t.push(0, CollectiveRecord{MpiCall::Barrier, 0});
+  t.push(1, CollectiveRecord{MpiCall::Barrier, 0});
+  EXPECT_EQ(t.nranks(), 2);
+  EXPECT_EQ(t.total_records(), 5u);
+  EXPECT_EQ(t.total_mpi_calls(), 4u);
+  EXPECT_EQ(t.app_name(), "demo");
+}
+
+TEST(Trace, ValidAcceptsMatchedP2P) {
+  Trace t("demo", 2);
+  t.push(0, SendRecord{1, 2048, 7});
+  t.push(1, RecvRecord{0, 2048, 7});
+  EXPECT_EQ(t.validate(), "");
+}
+
+TEST(Trace, ValidateCatchesUnmatchedSend) {
+  Trace t("demo", 2);
+  t.push(0, SendRecord{1, 2048, 7});
+  EXPECT_NE(t.validate(), "");
+}
+
+TEST(Trace, ValidateCatchesUnmatchedRecv) {
+  Trace t("demo", 2);
+  t.push(1, RecvRecord{0, 2048, 7});
+  EXPECT_NE(t.validate(), "");
+}
+
+TEST(Trace, ValidateCatchesSizeMismatch) {
+  Trace t("demo", 2);
+  t.push(0, SendRecord{1, 2048, 7});
+  t.push(1, RecvRecord{0, 4096, 7});
+  EXPECT_NE(t.validate(), "");
+}
+
+TEST(Trace, ValidateCatchesTagMismatch) {
+  Trace t("demo", 2);
+  t.push(0, SendRecord{1, 2048, 7});
+  t.push(1, RecvRecord{0, 2048, 8});
+  EXPECT_NE(t.validate(), "");
+}
+
+TEST(Trace, ValidateCatchesInvalidPeer) {
+  Trace t("demo", 2);
+  t.push(0, SendRecord{5, 2048, 0});
+  EXPECT_NE(t.validate(), "");
+  Trace t2("demo", 2);
+  t2.push(0, SendRecord{0, 2048, 0});  // self-send
+  EXPECT_NE(t2.validate(), "");
+}
+
+TEST(Trace, ValidateSendrecvMutualRing) {
+  Trace t("demo", 3);
+  for (Rank r = 0; r < 3; ++r) {
+    const Rank to = (r + 1) % 3;
+    const Rank from = (r + 2) % 3;
+    t.push(r, SendrecvRecord{to, from, 512, 0});
+  }
+  EXPECT_EQ(t.validate(), "");
+}
+
+TEST(Trace, ValidateCatchesBrokenSendrecvRing) {
+  Trace t("demo", 3);
+  t.push(0, SendrecvRecord{1, 2, 512, 0});
+  t.push(1, SendrecvRecord{2, 0, 512, 0});
+  // Rank 2 missing: its expected recv/sends unmatched.
+  EXPECT_NE(t.validate(), "");
+}
+
+TEST(Trace, ValidateCollectiveAgreement) {
+  Trace t("demo", 2);
+  t.push(0, CollectiveRecord{MpiCall::Allreduce, 8});
+  t.push(1, CollectiveRecord{MpiCall::Allreduce, 8});
+  EXPECT_EQ(t.validate(), "");
+  t.push(0, CollectiveRecord{MpiCall::Barrier, 0});
+  EXPECT_NE(t.validate(), "");  // rank 1 lacks the barrier
+  t.push(1, CollectiveRecord{MpiCall::Bcast, 0});
+  EXPECT_NE(t.validate(), "");  // disagreeing ops
+}
+
+TEST(Trace, ValidateCollectiveSizeAgreement) {
+  Trace t("demo", 2);
+  t.push(0, CollectiveRecord{MpiCall::Allreduce, 8});
+  t.push(1, CollectiveRecord{MpiCall::Allreduce, 16});
+  EXPECT_NE(t.validate(), "");
+}
+
+TEST(MpiEvent, CallOfRecords) {
+  EXPECT_EQ(call_of(ComputeRecord{1_us}), MpiCall::None);
+  EXPECT_EQ(call_of(SendRecord{1, 8, 0}), MpiCall::Send);
+  EXPECT_EQ(call_of(RecvRecord{1, 8, 0}), MpiCall::Recv);
+  EXPECT_EQ(call_of(SendrecvRecord{1, 2, 8, 0}), MpiCall::Sendrecv);
+  EXPECT_EQ(call_of(CollectiveRecord{MpiCall::Allreduce, 8}),
+            MpiCall::Allreduce);
+}
+
+TEST(MpiEvent, PaperCallIds) {
+  // Fig. 2 of the paper relies on these numeric ids.
+  EXPECT_EQ(static_cast<int>(MpiCall::Allreduce), 10);
+  EXPECT_EQ(static_cast<int>(MpiCall::Sendrecv), 41);
+}
+
+TEST(MpiEvent, Classification) {
+  EXPECT_TRUE(is_collective(MpiCall::Allreduce));
+  EXPECT_TRUE(is_collective(MpiCall::Barrier));
+  EXPECT_FALSE(is_collective(MpiCall::Send));
+  EXPECT_TRUE(is_p2p(MpiCall::Sendrecv));
+  EXPECT_FALSE(is_p2p(MpiCall::Bcast));
+}
+
+TEST(MpiEvent, Names) {
+  EXPECT_STREQ(to_string(MpiCall::Sendrecv), "MPI_Sendrecv");
+  EXPECT_STREQ(to_string(MpiCall::Allreduce), "MPI_Allreduce");
+}
+
+}  // namespace
+}  // namespace ibpower

@@ -1,0 +1,96 @@
+#include "trace/trace_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace ibpower {
+namespace {
+
+using namespace ibpower::literals;
+
+Trace sample_trace() {
+  Trace t("sample", 3);
+  t.push(0, ComputeRecord{123_us});
+  t.push(0, SendRecord{1, 2048, 5});
+  t.push(1, RecvRecord{0, 2048, 5});
+  t.push(2, ComputeRecord{7_us});
+  for (Rank r = 0; r < 3; ++r) {
+    t.push(r, SendrecvRecord{(r + 1) % 3, (r + 2) % 3, 512, 1});
+    t.push(r, CollectiveRecord{MpiCall::Allreduce, 8});
+  }
+  return t;
+}
+
+TEST(TraceIo, RoundTripPreservesEverything) {
+  const Trace original = sample_trace();
+  std::stringstream ss;
+  write_trace(ss, original);
+  const Trace loaded = read_trace(ss);
+
+  EXPECT_EQ(loaded.app_name(), original.app_name());
+  ASSERT_EQ(loaded.nranks(), original.nranks());
+  for (Rank r = 0; r < original.nranks(); ++r) {
+    ASSERT_EQ(loaded.stream(r).size(), original.stream(r).size()) << r;
+    for (std::size_t i = 0; i < original.stream(r).size(); ++i) {
+      EXPECT_EQ(loaded.stream(r)[i], original.stream(r)[i])
+          << "rank " << r << " record " << i;
+    }
+  }
+}
+
+TEST(TraceIo, RoundTripValidity) {
+  std::stringstream ss;
+  write_trace(ss, sample_trace());
+  EXPECT_EQ(read_trace(ss).validate(), "");
+}
+
+TEST(TraceIo, ReadRejectsEmpty) {
+  std::stringstream ss("# just a comment\n");
+  EXPECT_THROW(read_trace(ss), TraceFormatError);
+}
+
+TEST(TraceIo, ReadRejectsRecordOutsideRank) {
+  std::stringstream ss("app x\nranks 2\nc 100\n");
+  EXPECT_THROW(read_trace(ss), TraceFormatError);
+}
+
+TEST(TraceIo, ReadRejectsBadRankId) {
+  std::stringstream ss("app x\nranks 2\nrank 5\nend\n");
+  EXPECT_THROW(read_trace(ss), TraceFormatError);
+}
+
+TEST(TraceIo, ReadRejectsUnknownRecord) {
+  std::stringstream ss("app x\nranks 1\nrank 0\nz 1 2 3\nend\n");
+  EXPECT_THROW(read_trace(ss), TraceFormatError);
+}
+
+TEST(TraceIo, ReadRejectsNegativeCompute) {
+  std::stringstream ss("app x\nranks 1\nrank 0\nc -5\nend\n");
+  EXPECT_THROW(read_trace(ss), TraceFormatError);
+}
+
+TEST(TraceIo, ReadRejectsNonCollectiveId) {
+  // 1 is MPI_Send: not a collective.
+  std::stringstream ss("app x\nranks 1\nrank 0\ng 1 8\nend\n");
+  EXPECT_THROW(read_trace(ss), TraceFormatError);
+}
+
+TEST(TraceIo, SkipsCommentsAndBlankLines) {
+  std::stringstream ss(
+      "# header\n\napp demo\nranks 1\n# mid comment\nrank 0\nc 42\nend\n");
+  const Trace t = read_trace(ss);
+  ASSERT_EQ(t.stream(0).size(), 1u);
+  EXPECT_EQ(std::get<ComputeRecord>(t.stream(0)[0]).duration, TimeNs{42});
+}
+
+TEST(TraceIo, FileRoundTrip) {
+  const std::string path = ::testing::TempDir() + "/ibpower_trace_test.txt";
+  write_trace_file(path, sample_trace());
+  const Trace loaded = read_trace_file(path);
+  EXPECT_EQ(loaded.total_records(), sample_trace().total_records());
+  EXPECT_THROW(read_trace_file("/nonexistent/path/x.txt"), TraceFormatError);
+}
+
+}  // namespace
+}  // namespace ibpower

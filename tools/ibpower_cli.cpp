@@ -1,0 +1,348 @@
+// ibpower command-line driver.
+//
+// Subcommands:
+//   gen     generate a workload trace to a file
+//   replay  replay a trace file (baseline or managed) and report metrics
+//   run     generate + baseline + managed in one go (experiment)
+//   sweep   grouping-threshold sweep (Fig. 10 / Table III methodology)
+//   apps    list the built-in application models
+//
+// Examples:
+//   ibpower_cli run --app gromacs --ranks 16 --iterations 100 --disp 1
+//   ibpower_cli gen --app alya --ranks 8 --out alya8.trace
+//   ibpower_cli replay --trace alya8.trace --managed --gt 24
+//   ibpower_cli sweep --app nas_mg --ranks 16
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <map>
+#include <string>
+
+#include <fstream>
+
+#include "sim/experiment.hpp"
+#include "sim/report.hpp"
+#include "trace/profile.hpp"
+#include "trace/trace_io.hpp"
+#include "workloads/apps.hpp"
+
+namespace {
+
+using namespace ibpower;
+
+struct Args {
+  std::map<std::string, std::string> kv;
+
+  [[nodiscard]] std::string get(const std::string& key,
+                                const std::string& fallback = "") const {
+    const auto it = kv.find(key);
+    return it == kv.end() ? fallback : it->second;
+  }
+  [[nodiscard]] int geti(const std::string& key, int fallback) const {
+    const auto it = kv.find(key);
+    return it == kv.end() ? fallback : std::stoi(it->second);
+  }
+  [[nodiscard]] double getd(const std::string& key, double fallback) const {
+    const auto it = kv.find(key);
+    return it == kv.end() ? fallback : std::stod(it->second);
+  }
+  [[nodiscard]] bool has(const std::string& key) const {
+    return kv.contains(key);
+  }
+};
+
+Args parse(int argc, char** argv, int from) {
+  Args args;
+  for (int i = from; i < argc; ++i) {
+    std::string key = argv[i];
+    if (key.rfind("--", 0) != 0) continue;
+    key = key.substr(2);
+    if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      args.kv[key] = argv[++i];
+    } else {
+      args.kv[key] = "1";
+    }
+  }
+  return args;
+}
+
+WorkloadParams workload_from(const Args& args) {
+  WorkloadParams p;
+  p.nranks = args.geti("ranks", 16);
+  p.iterations = args.geti("iterations", 100);
+  p.seed = static_cast<std::uint64_t>(args.geti("seed", 42));
+  p.scale = args.getd("scale", 1.0);
+  p.weak_scaling = args.has("weak");
+  return p;
+}
+
+PpaConfig ppa_from(const Args& args, const std::string& app, int nranks) {
+  PpaConfig ppa;
+  ppa.grouping_threshold =
+      args.has("gt") ? TimeNs::from_us(args.getd("gt", 20.0))
+                     : default_gt(app, nranks);
+  ppa.displacement_factor = args.getd("disp", 1.0) / 100.0;
+  ppa.t_react = TimeNs::from_us(args.getd("treact", 10.0));
+  ppa.grouping_threshold = max(ppa.grouping_threshold, 2 * ppa.t_react);
+  return ppa;
+}
+
+void print_result(const ExperimentResult& r) {
+  std::printf("baseline time        : %s\n", to_string(r.baseline_time).c_str());
+  std::printf("managed time         : %s (%+.3f%%)\n",
+              to_string(r.managed_time).c_str(), r.time_increase_pct);
+  std::printf("switch power savings : %.2f%%\n", r.power.switch_savings_pct);
+  std::printf("low-power residency  : %.1f%%\n",
+              100.0 * r.power.mean_low_residency);
+  std::printf("MPI call hit rate    : %.1f%%\n", r.hit_rate_pct);
+  std::printf("pattern mispredicts  : %llu\n",
+              static_cast<unsigned long long>(r.agents.pattern_mispredicts));
+  std::printf("on-demand lane wakes : %llu (penalty %s)\n",
+              static_cast<unsigned long long>(r.on_demand_wakes),
+              to_string(r.wake_penalty_total).c_str());
+  std::printf("reducible idle time  : %.1f%% of idle\n",
+              100.0 * r.baseline_idle.reducible_time_fraction());
+}
+
+int cmd_apps() {
+  for (const auto& name : app_names()) {
+    const auto app = make_app(name);
+    std::printf("%-10s sizes:", name.c_str());
+    for (const int n : app->paper_process_counts()) std::printf(" %d", n);
+    std::printf("\n");
+  }
+  return 0;
+}
+
+int cmd_gen(const Args& args) {
+  const std::string app_name = args.get("app", "alya");
+  const std::string out = args.get("out", app_name + ".trace");
+  const auto app = make_app(app_name);
+  const WorkloadParams params = workload_from(args);
+  if (!app->supports(params.nranks)) {
+    std::fprintf(stderr, "%s does not support %d ranks\n", app_name.c_str(),
+                 params.nranks);
+    return 1;
+  }
+  const Trace trace = app->generate(params);
+  write_trace_file(out, trace);
+  std::printf("wrote %s: %d ranks, %zu records, %zu MPI calls\n", out.c_str(),
+              trace.nranks(), trace.total_records(), trace.total_mpi_calls());
+  return 0;
+}
+
+int cmd_replay(const Args& args) {
+  const std::string path = args.get("trace");
+  if (path.empty()) {
+    std::fprintf(stderr, "replay: --trace <file> required\n");
+    return 1;
+  }
+  const Trace trace = read_trace_file(path);
+  const std::string problem = trace.validate();
+  if (!problem.empty()) {
+    std::fprintf(stderr, "invalid trace: %s\n", problem.c_str());
+    return 1;
+  }
+
+  ReplayOptions opt;
+  opt.enable_power_management = args.has("managed");
+  if (opt.enable_power_management) {
+    opt.ppa = ppa_from(args, trace.app_name(), trace.nranks());
+  }
+  ReplayEngine engine(&trace, opt);
+  const ReplayResult rr = engine.run();
+  std::printf("exec time    : %s\n", to_string(rr.exec_time).c_str());
+  std::printf("messages     : %llu\n",
+              static_cast<unsigned long long>(rr.messages_sent));
+  std::printf("sim events   : %llu\n",
+              static_cast<unsigned long long>(rr.events_processed));
+  if (opt.enable_power_management) {
+    std::vector<const IbLink*> ports;
+    for (NodeId n = 0; n < trace.nranks(); ++n) {
+      ports.push_back(
+          &engine.fabric().link(engine.fabric().topology().node_uplink(n)));
+    }
+    const auto fleet = aggregate_power(ports, PowerModelConfig{});
+    std::printf("savings      : %.2f%%\n", fleet.switch_savings_pct);
+    std::printf("hit rate     : %.1f%%\n", rr.agent_total.hit_rate_pct());
+  }
+  return 0;
+}
+
+int cmd_run(const Args& args) {
+  ExperimentConfig cfg;
+  cfg.app = args.get("app", "alya");
+  cfg.workload = workload_from(args);
+  cfg.ppa = ppa_from(args, cfg.app, cfg.workload.nranks);
+  std::printf("%s @ %d ranks, %d iterations, GT %s, displacement %.1f%%\n\n",
+              cfg.app.c_str(), cfg.workload.nranks, cfg.workload.iterations,
+              to_string(cfg.ppa.grouping_threshold).c_str(),
+              100.0 * cfg.ppa.displacement_factor);
+  print_result(run_experiment(cfg));
+  return 0;
+}
+
+int cmd_sweep(const Args& args) {
+  ExperimentConfig cfg;
+  cfg.app = args.get("app", "nas_mg");
+  cfg.workload = workload_from(args);
+  cfg.ppa = ppa_from(args, cfg.app, cfg.workload.nranks);
+  std::vector<TimeNs> gts;
+  for (const int us : {20, 24, 30, 40, 60, 90, 130, 200, 300, 400}) {
+    gts.push_back(TimeNs::from_us(static_cast<std::int64_t>(us)));
+  }
+  for (const auto& point : sweep_gt(cfg, gts)) {
+    std::printf("GT %-8s hit %6.2f%%  %s\n", to_string(point.gt).c_str(),
+                point.hit_rate_pct,
+                std::string(static_cast<std::size_t>(point.hit_rate_pct / 2),
+                            '#')
+                    .c_str());
+  }
+  return 0;
+}
+
+int cmd_inspect(const Args& args) {
+  // Dry-run the predictor over a baseline replay and dump every detected
+  // pattern the way the paper prints them (Fig. 3), per rank 0.
+  ExperimentConfig cfg;
+  cfg.app = args.get("app", "alya");
+  cfg.workload = workload_from(args);
+  cfg.ppa = ppa_from(args, cfg.app, cfg.workload.nranks);
+
+  const auto app = make_app(cfg.app);
+  const Trace trace = app->generate(cfg.workload);
+  ReplayOptions opt;
+  opt.record_call_timeline = true;
+  ReplayEngine engine(&trace, opt);
+  (void)engine.run();
+
+  std::printf("%s @ %d ranks, GT %s — rank 0 pattern analysis\n\n",
+              cfg.app.c_str(), cfg.workload.nranks,
+              to_string(cfg.ppa.grouping_threshold).c_str());
+
+  PmpiAgent agent(cfg.ppa, nullptr);
+  for (const auto& ev : engine.call_timeline(0)) {
+    (void)agent.on_call_enter(ev.call, ev.enter);
+    agent.on_call_exit(ev.call, ev.exit);
+  }
+  agent.finish();
+
+  const auto& detector = agent.detector();
+  std::printf("grams observed        : %zu (%zu distinct)\n",
+              detector.gram_count(), agent.interner().size());
+  std::printf("patterns in list      : %zu\n", detector.patterns().size());
+  std::printf("detected patterns     : %zu\n",
+              detector.patterns().detected_ids().size());
+  std::printf("MPI call hit rate     : %.1f%%\n",
+              agent.stats().hit_rate_pct());
+  std::printf("pattern mispredicts   : %llu\n\n",
+              static_cast<unsigned long long>(
+                  agent.stats().pattern_mispredicts));
+
+  for (const PatternId id : detector.patterns().detected_ids()) {
+    const PatternInfo& info = detector.patterns()[id];
+    std::printf("pattern: ");
+    for (std::size_t g = 0; g < info.grams.size(); ++g) {
+      std::printf("%s%s", g ? "_" : "",
+                  agent.interner().to_string(info.grams[g]).c_str());
+    }
+    std::printf("\n  length %zu grams, %u MPI calls/appearance, seen %u times\n",
+                info.length(), info.n_mpi_calls, info.frequency);
+    for (std::size_t b = 0; b < info.gap_after.size(); ++b) {
+      if (!info.gap_after[b].has_value()) continue;
+      std::printf("  gap after gram %zu: %s (n=%llu)%s\n", b,
+                  to_string(info.gap_after[b].mean()).c_str(),
+                  static_cast<unsigned long long>(info.gap_after[b].samples()),
+                  b + 1 == info.gap_after.size() ? "  [wrap]" : "");
+    }
+  }
+  return 0;
+}
+
+int cmd_stats(const Args& args) {
+  // Profile a trace file or a generated workload.
+  Trace trace;
+  if (args.has("trace")) {
+    trace = read_trace_file(args.get("trace"));
+  } else {
+    const auto app = make_app(args.get("app", "alya"));
+    trace = app->generate(workload_from(args));
+  }
+  print_profile(std::cout, profile_trace(trace));
+  return 0;
+}
+
+int cmd_grid(const Args& args) {
+  // Run the paper's full evaluation grid and export machine-readable rows.
+  const double disp = args.getd("disp", 1.0) / 100.0;
+  const int iterations = args.geti("iterations", 60);
+  const std::string out = args.get("out", "results.csv");
+  const bool json = out.size() > 5 && out.substr(out.size() - 5) == ".json";
+
+  std::vector<LabelledResult> rows;
+  for (const auto& name : app_names()) {
+    const auto app = make_app(name);
+    for (const int nranks : app->paper_process_counts()) {
+      ExperimentConfig cfg;
+      cfg.app = name;
+      cfg.workload.nranks = nranks;
+      cfg.workload.iterations = iterations;
+      cfg.workload.weak_scaling = args.has("weak");
+      cfg.ppa.grouping_threshold = default_gt(name, nranks);
+      cfg.ppa.displacement_factor = disp;
+      LabelledResult row;
+      row.app = name;
+      row.nranks = nranks;
+      row.displacement = disp;
+      row.result = run_experiment(cfg);
+      std::printf("%-10s %4d  savings %6.2f%%  incr %6.3f%%  hit %5.1f%%\n",
+                  name.c_str(), nranks, row.result.power.switch_savings_pct,
+                  row.result.time_increase_pct, row.result.hit_rate_pct);
+      rows.push_back(std::move(row));
+    }
+  }
+  std::ofstream os(out);
+  if (!os) {
+    std::fprintf(stderr, "cannot write %s\n", out.c_str());
+    return 1;
+  }
+  if (json) {
+    write_results_json(os, rows);
+  } else {
+    write_results_csv(os, rows);
+  }
+  std::printf("wrote %s (%zu rows)\n", out.c_str(), rows.size());
+  return 0;
+}
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: ibpower_cli <gen|replay|run|sweep|grid|inspect|stats|apps> [--key value]\n"
+               "  common: --app NAME --ranks N --iterations N --seed N\n"
+               "          --scale X --weak --gt US --disp PCT --treact US\n"
+               "  gen:    --out FILE          replay: --trace FILE [--managed]\n"
+               "  grid:   --out FILE.csv|.json  (full paper evaluation grid)\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string cmd = argv[1];
+  const Args args = parse(argc, argv, 2);
+  try {
+    if (cmd == "apps") return cmd_apps();
+    if (cmd == "gen") return cmd_gen(args);
+    if (cmd == "replay") return cmd_replay(args);
+    if (cmd == "run") return cmd_run(args);
+    if (cmd == "sweep") return cmd_sweep(args);
+    if (cmd == "grid") return cmd_grid(args);
+    if (cmd == "inspect") return cmd_inspect(args);
+    if (cmd == "stats") return cmd_stats(args);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  return usage();
+}
