@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_table3.cpp" "bench/CMakeFiles/bench_table3.dir/bench_table3.cpp.o" "gcc" "bench/CMakeFiles/bench_table3.dir/bench_table3.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/ibpower_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/ibpower_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/network/CMakeFiles/ibpower_network.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/ibpower_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/ibpower_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/ibpower_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ibpower_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

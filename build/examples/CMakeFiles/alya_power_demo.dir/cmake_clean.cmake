@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/alya_power_demo.dir/alya_power_demo.cpp.o"
+  "CMakeFiles/alya_power_demo.dir/alya_power_demo.cpp.o.d"
+  "alya_power_demo"
+  "alya_power_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/alya_power_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

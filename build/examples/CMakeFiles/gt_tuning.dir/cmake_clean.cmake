@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gt_tuning.dir/gt_tuning.cpp.o"
+  "CMakeFiles/gt_tuning.dir/gt_tuning.cpp.o.d"
+  "gt_tuning"
+  "gt_tuning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gt_tuning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

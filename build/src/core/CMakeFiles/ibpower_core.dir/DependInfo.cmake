@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/gram.cpp" "src/core/CMakeFiles/ibpower_core.dir/gram.cpp.o" "gcc" "src/core/CMakeFiles/ibpower_core.dir/gram.cpp.o.d"
+  "/root/repo/src/core/gram_builder.cpp" "src/core/CMakeFiles/ibpower_core.dir/gram_builder.cpp.o" "gcc" "src/core/CMakeFiles/ibpower_core.dir/gram_builder.cpp.o.d"
+  "/root/repo/src/core/pattern.cpp" "src/core/CMakeFiles/ibpower_core.dir/pattern.cpp.o" "gcc" "src/core/CMakeFiles/ibpower_core.dir/pattern.cpp.o.d"
+  "/root/repo/src/core/pmpi_agent.cpp" "src/core/CMakeFiles/ibpower_core.dir/pmpi_agent.cpp.o" "gcc" "src/core/CMakeFiles/ibpower_core.dir/pmpi_agent.cpp.o.d"
+  "/root/repo/src/core/power_mode_control.cpp" "src/core/CMakeFiles/ibpower_core.dir/power_mode_control.cpp.o" "gcc" "src/core/CMakeFiles/ibpower_core.dir/power_mode_control.cpp.o.d"
+  "/root/repo/src/core/ppa.cpp" "src/core/CMakeFiles/ibpower_core.dir/ppa.cpp.o" "gcc" "src/core/CMakeFiles/ibpower_core.dir/ppa.cpp.o.d"
+  "/root/repo/src/core/ppa_paper.cpp" "src/core/CMakeFiles/ibpower_core.dir/ppa_paper.cpp.o" "gcc" "src/core/CMakeFiles/ibpower_core.dir/ppa_paper.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/ibpower_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/ibpower_trace.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ibpower_core.dir/gram.cpp.o"
+  "CMakeFiles/ibpower_core.dir/gram.cpp.o.d"
+  "CMakeFiles/ibpower_core.dir/gram_builder.cpp.o"
+  "CMakeFiles/ibpower_core.dir/gram_builder.cpp.o.d"
+  "CMakeFiles/ibpower_core.dir/pattern.cpp.o"
+  "CMakeFiles/ibpower_core.dir/pattern.cpp.o.d"
+  "CMakeFiles/ibpower_core.dir/pmpi_agent.cpp.o"
+  "CMakeFiles/ibpower_core.dir/pmpi_agent.cpp.o.d"
+  "CMakeFiles/ibpower_core.dir/power_mode_control.cpp.o"
+  "CMakeFiles/ibpower_core.dir/power_mode_control.cpp.o.d"
+  "CMakeFiles/ibpower_core.dir/ppa.cpp.o"
+  "CMakeFiles/ibpower_core.dir/ppa.cpp.o.d"
+  "CMakeFiles/ibpower_core.dir/ppa_paper.cpp.o"
+  "CMakeFiles/ibpower_core.dir/ppa_paper.cpp.o.d"
+  "libibpower_core.a"
+  "libibpower_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ibpower_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

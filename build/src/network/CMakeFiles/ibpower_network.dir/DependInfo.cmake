@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/network/fabric.cpp" "src/network/CMakeFiles/ibpower_network.dir/fabric.cpp.o" "gcc" "src/network/CMakeFiles/ibpower_network.dir/fabric.cpp.o.d"
+  "/root/repo/src/network/ib_link.cpp" "src/network/CMakeFiles/ibpower_network.dir/ib_link.cpp.o" "gcc" "src/network/CMakeFiles/ibpower_network.dir/ib_link.cpp.o.d"
+  "/root/repo/src/network/topology.cpp" "src/network/CMakeFiles/ibpower_network.dir/topology.cpp.o" "gcc" "src/network/CMakeFiles/ibpower_network.dir/topology.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/ibpower_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/ibpower_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/ibpower_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ibpower_network.dir/fabric.cpp.o"
+  "CMakeFiles/ibpower_network.dir/fabric.cpp.o.d"
+  "CMakeFiles/ibpower_network.dir/ib_link.cpp.o"
+  "CMakeFiles/ibpower_network.dir/ib_link.cpp.o.d"
+  "CMakeFiles/ibpower_network.dir/topology.cpp.o"
+  "CMakeFiles/ibpower_network.dir/topology.cpp.o.d"
+  "libibpower_network.a"
+  "libibpower_network.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ibpower_network.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/power/policies.cpp" "src/power/CMakeFiles/ibpower_power.dir/policies.cpp.o" "gcc" "src/power/CMakeFiles/ibpower_power.dir/policies.cpp.o.d"
+  "/root/repo/src/power/power_model.cpp" "src/power/CMakeFiles/ibpower_power.dir/power_model.cpp.o" "gcc" "src/power/CMakeFiles/ibpower_power.dir/power_model.cpp.o.d"
+  "/root/repo/src/power/switch_report.cpp" "src/power/CMakeFiles/ibpower_power.dir/switch_report.cpp.o" "gcc" "src/power/CMakeFiles/ibpower_power.dir/switch_report.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/ibpower_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/network/CMakeFiles/ibpower_network.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/ibpower_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/ibpower_trace.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

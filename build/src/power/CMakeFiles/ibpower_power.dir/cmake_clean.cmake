@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ibpower_power.dir/policies.cpp.o"
+  "CMakeFiles/ibpower_power.dir/policies.cpp.o.d"
+  "CMakeFiles/ibpower_power.dir/power_model.cpp.o"
+  "CMakeFiles/ibpower_power.dir/power_model.cpp.o.d"
+  "CMakeFiles/ibpower_power.dir/switch_report.cpp.o"
+  "CMakeFiles/ibpower_power.dir/switch_report.cpp.o.d"
+  "libibpower_power.a"
+  "libibpower_power.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ibpower_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libibpower_power.a"
+)

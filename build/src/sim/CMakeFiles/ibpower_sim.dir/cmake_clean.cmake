@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ibpower_sim.dir/experiment.cpp.o"
+  "CMakeFiles/ibpower_sim.dir/experiment.cpp.o.d"
+  "CMakeFiles/ibpower_sim.dir/replay.cpp.o"
+  "CMakeFiles/ibpower_sim.dir/replay.cpp.o.d"
+  "CMakeFiles/ibpower_sim.dir/report.cpp.o"
+  "CMakeFiles/ibpower_sim.dir/report.cpp.o.d"
+  "libibpower_sim.a"
+  "libibpower_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ibpower_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

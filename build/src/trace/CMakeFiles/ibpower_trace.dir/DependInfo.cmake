@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/trace/idle_analysis.cpp" "src/trace/CMakeFiles/ibpower_trace.dir/idle_analysis.cpp.o" "gcc" "src/trace/CMakeFiles/ibpower_trace.dir/idle_analysis.cpp.o.d"
+  "/root/repo/src/trace/mpi_event.cpp" "src/trace/CMakeFiles/ibpower_trace.dir/mpi_event.cpp.o" "gcc" "src/trace/CMakeFiles/ibpower_trace.dir/mpi_event.cpp.o.d"
+  "/root/repo/src/trace/paraver.cpp" "src/trace/CMakeFiles/ibpower_trace.dir/paraver.cpp.o" "gcc" "src/trace/CMakeFiles/ibpower_trace.dir/paraver.cpp.o.d"
+  "/root/repo/src/trace/profile.cpp" "src/trace/CMakeFiles/ibpower_trace.dir/profile.cpp.o" "gcc" "src/trace/CMakeFiles/ibpower_trace.dir/profile.cpp.o.d"
+  "/root/repo/src/trace/trace.cpp" "src/trace/CMakeFiles/ibpower_trace.dir/trace.cpp.o" "gcc" "src/trace/CMakeFiles/ibpower_trace.dir/trace.cpp.o.d"
+  "/root/repo/src/trace/trace_io.cpp" "src/trace/CMakeFiles/ibpower_trace.dir/trace_io.cpp.o" "gcc" "src/trace/CMakeFiles/ibpower_trace.dir/trace_io.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/ibpower_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

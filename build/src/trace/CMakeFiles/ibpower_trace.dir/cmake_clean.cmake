@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ibpower_trace.dir/idle_analysis.cpp.o"
+  "CMakeFiles/ibpower_trace.dir/idle_analysis.cpp.o.d"
+  "CMakeFiles/ibpower_trace.dir/mpi_event.cpp.o"
+  "CMakeFiles/ibpower_trace.dir/mpi_event.cpp.o.d"
+  "CMakeFiles/ibpower_trace.dir/paraver.cpp.o"
+  "CMakeFiles/ibpower_trace.dir/paraver.cpp.o.d"
+  "CMakeFiles/ibpower_trace.dir/profile.cpp.o"
+  "CMakeFiles/ibpower_trace.dir/profile.cpp.o.d"
+  "CMakeFiles/ibpower_trace.dir/trace.cpp.o"
+  "CMakeFiles/ibpower_trace.dir/trace.cpp.o.d"
+  "CMakeFiles/ibpower_trace.dir/trace_io.cpp.o"
+  "CMakeFiles/ibpower_trace.dir/trace_io.cpp.o.d"
+  "libibpower_trace.a"
+  "libibpower_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ibpower_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

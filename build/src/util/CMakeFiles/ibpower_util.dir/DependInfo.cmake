@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/util/interval_set.cpp" "src/util/CMakeFiles/ibpower_util.dir/interval_set.cpp.o" "gcc" "src/util/CMakeFiles/ibpower_util.dir/interval_set.cpp.o.d"
+  "/root/repo/src/util/stats.cpp" "src/util/CMakeFiles/ibpower_util.dir/stats.cpp.o" "gcc" "src/util/CMakeFiles/ibpower_util.dir/stats.cpp.o.d"
+  "/root/repo/src/util/table_printer.cpp" "src/util/CMakeFiles/ibpower_util.dir/table_printer.cpp.o" "gcc" "src/util/CMakeFiles/ibpower_util.dir/table_printer.cpp.o.d"
+  "/root/repo/src/util/time_types.cpp" "src/util/CMakeFiles/ibpower_util.dir/time_types.cpp.o" "gcc" "src/util/CMakeFiles/ibpower_util.dir/time_types.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ibpower_util.dir/interval_set.cpp.o"
+  "CMakeFiles/ibpower_util.dir/interval_set.cpp.o.d"
+  "CMakeFiles/ibpower_util.dir/stats.cpp.o"
+  "CMakeFiles/ibpower_util.dir/stats.cpp.o.d"
+  "CMakeFiles/ibpower_util.dir/table_printer.cpp.o"
+  "CMakeFiles/ibpower_util.dir/table_printer.cpp.o.d"
+  "CMakeFiles/ibpower_util.dir/time_types.cpp.o"
+  "CMakeFiles/ibpower_util.dir/time_types.cpp.o.d"
+  "libibpower_util.a"
+  "libibpower_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ibpower_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/alya.cpp" "src/workloads/CMakeFiles/ibpower_workloads.dir/alya.cpp.o" "gcc" "src/workloads/CMakeFiles/ibpower_workloads.dir/alya.cpp.o.d"
+  "/root/repo/src/workloads/app_model.cpp" "src/workloads/CMakeFiles/ibpower_workloads.dir/app_model.cpp.o" "gcc" "src/workloads/CMakeFiles/ibpower_workloads.dir/app_model.cpp.o.d"
+  "/root/repo/src/workloads/gromacs.cpp" "src/workloads/CMakeFiles/ibpower_workloads.dir/gromacs.cpp.o" "gcc" "src/workloads/CMakeFiles/ibpower_workloads.dir/gromacs.cpp.o.d"
+  "/root/repo/src/workloads/nas_bt.cpp" "src/workloads/CMakeFiles/ibpower_workloads.dir/nas_bt.cpp.o" "gcc" "src/workloads/CMakeFiles/ibpower_workloads.dir/nas_bt.cpp.o.d"
+  "/root/repo/src/workloads/nas_lu.cpp" "src/workloads/CMakeFiles/ibpower_workloads.dir/nas_lu.cpp.o" "gcc" "src/workloads/CMakeFiles/ibpower_workloads.dir/nas_lu.cpp.o.d"
+  "/root/repo/src/workloads/nas_mg.cpp" "src/workloads/CMakeFiles/ibpower_workloads.dir/nas_mg.cpp.o" "gcc" "src/workloads/CMakeFiles/ibpower_workloads.dir/nas_mg.cpp.o.d"
+  "/root/repo/src/workloads/registry.cpp" "src/workloads/CMakeFiles/ibpower_workloads.dir/registry.cpp.o" "gcc" "src/workloads/CMakeFiles/ibpower_workloads.dir/registry.cpp.o.d"
+  "/root/repo/src/workloads/wrf.cpp" "src/workloads/CMakeFiles/ibpower_workloads.dir/wrf.cpp.o" "gcc" "src/workloads/CMakeFiles/ibpower_workloads.dir/wrf.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/ibpower_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/ibpower_trace.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ibpower_workloads.dir/alya.cpp.o"
+  "CMakeFiles/ibpower_workloads.dir/alya.cpp.o.d"
+  "CMakeFiles/ibpower_workloads.dir/app_model.cpp.o"
+  "CMakeFiles/ibpower_workloads.dir/app_model.cpp.o.d"
+  "CMakeFiles/ibpower_workloads.dir/gromacs.cpp.o"
+  "CMakeFiles/ibpower_workloads.dir/gromacs.cpp.o.d"
+  "CMakeFiles/ibpower_workloads.dir/nas_bt.cpp.o"
+  "CMakeFiles/ibpower_workloads.dir/nas_bt.cpp.o.d"
+  "CMakeFiles/ibpower_workloads.dir/nas_lu.cpp.o"
+  "CMakeFiles/ibpower_workloads.dir/nas_lu.cpp.o.d"
+  "CMakeFiles/ibpower_workloads.dir/nas_mg.cpp.o"
+  "CMakeFiles/ibpower_workloads.dir/nas_mg.cpp.o.d"
+  "CMakeFiles/ibpower_workloads.dir/registry.cpp.o"
+  "CMakeFiles/ibpower_workloads.dir/registry.cpp.o.d"
+  "CMakeFiles/ibpower_workloads.dir/wrf.cpp.o"
+  "CMakeFiles/ibpower_workloads.dir/wrf.cpp.o.d"
+  "libibpower_workloads.a"
+  "libibpower_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ibpower_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_config_knobs.dir/test_config_knobs.cpp.o"
+  "CMakeFiles/test_config_knobs.dir/test_config_knobs.cpp.o.d"
+  "test_config_knobs"
+  "test_config_knobs.pdb"
+  "test_config_knobs[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_config_knobs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

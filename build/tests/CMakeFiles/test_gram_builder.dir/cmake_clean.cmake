@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_gram_builder.dir/test_gram_builder.cpp.o"
+  "CMakeFiles/test_gram_builder.dir/test_gram_builder.cpp.o.d"
+  "test_gram_builder"
+  "test_gram_builder.pdb"
+  "test_gram_builder[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_gram_builder.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

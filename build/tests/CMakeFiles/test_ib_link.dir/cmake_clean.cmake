@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ib_link.dir/test_ib_link.cpp.o"
+  "CMakeFiles/test_ib_link.dir/test_ib_link.cpp.o.d"
+  "test_ib_link"
+  "test_ib_link.pdb"
+  "test_ib_link[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ib_link.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_idle_analysis.dir/test_idle_analysis.cpp.o"
+  "CMakeFiles/test_idle_analysis.dir/test_idle_analysis.cpp.o.d"
+  "test_idle_analysis"
+  "test_idle_analysis.pdb"
+  "test_idle_analysis[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_idle_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_link_power_property.dir/test_link_power_property.cpp.o"
+  "CMakeFiles/test_link_power_property.dir/test_link_power_property.cpp.o.d"
+  "test_link_power_property"
+  "test_link_power_property.pdb"
+  "test_link_power_property[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_link_power_property.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

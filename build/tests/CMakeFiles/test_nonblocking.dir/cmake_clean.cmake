@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_nonblocking.dir/test_nonblocking.cpp.o"
+  "CMakeFiles/test_nonblocking.dir/test_nonblocking.cpp.o.d"
+  "test_nonblocking"
+  "test_nonblocking.pdb"
+  "test_nonblocking[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_nonblocking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

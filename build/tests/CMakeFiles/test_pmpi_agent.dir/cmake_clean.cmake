@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pmpi_agent.dir/test_pmpi_agent.cpp.o"
+  "CMakeFiles/test_pmpi_agent.dir/test_pmpi_agent.cpp.o.d"
+  "test_pmpi_agent"
+  "test_pmpi_agent.pdb"
+  "test_pmpi_agent[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pmpi_agent.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

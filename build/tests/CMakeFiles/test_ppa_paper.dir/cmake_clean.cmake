@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ppa_paper.dir/test_ppa_paper.cpp.o"
+  "CMakeFiles/test_ppa_paper.dir/test_ppa_paper.cpp.o.d"
+  "test_ppa_paper"
+  "test_ppa_paper.pdb"
+  "test_ppa_paper[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ppa_paper.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

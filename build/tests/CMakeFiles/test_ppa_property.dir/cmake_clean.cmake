@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ppa_property.dir/test_ppa_property.cpp.o"
+  "CMakeFiles/test_ppa_property.dir/test_ppa_property.cpp.o.d"
+  "test_ppa_property"
+  "test_ppa_property.pdb"
+  "test_ppa_property[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ppa_property.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_property_replay.dir/test_property_replay.cpp.o"
+  "CMakeFiles/test_property_replay.dir/test_property_replay.cpp.o.d"
+  "test_property_replay"
+  "test_property_replay.pdb"
+  "test_property_replay[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_property_replay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_switch_report.dir/test_switch_report.cpp.o"
+  "CMakeFiles/test_switch_report.dir/test_switch_report.cpp.o.d"
+  "test_switch_report"
+  "test_switch_report.pdb"
+  "test_switch_report[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_switch_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_time_types.dir/test_time_types.cpp.o"
+  "CMakeFiles/test_time_types.dir/test_time_types.cpp.o.d"
+  "test_time_types"
+  "test_time_types.pdb"
+  "test_time_types[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_time_types.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ibpower_cli.dir/ibpower_cli.cpp.o"
+  "CMakeFiles/ibpower_cli.dir/ibpower_cli.cpp.o.d"
+  "ibpower_cli"
+  "ibpower_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ibpower_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
