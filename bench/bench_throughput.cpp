@@ -1,0 +1,149 @@
+// Simulation-throughput benchmark over the paper's 25-cell evaluation grid.
+//
+// Runs the full grid through ParallelExperimentRunner at several thread
+// counts (default 1/2/4/8), reports wall-clock, events/sec and messages/sec
+// per cell, verifies that every parallel result is bit-identical to the
+// serial one, and emits machine-readable BENCH_throughput.json with rows
+//   {cell, nranks, wall_ms, events_per_sec, messages_per_sec, jobs}
+// — the perf trajectory baseline for future PRs.
+//
+// Usage: bench_throughput [--jobs-list 1,2,4,8] [--jobs N] [--iterations N]
+//                         [--quick] [--out BENCH_throughput.json]
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "sim/parallel.hpp"
+
+namespace {
+
+using namespace ibpower;
+using namespace ibpower::bench;
+
+std::vector<unsigned> jobs_list_from_args(int argc, char** argv) {
+  std::string spec = "1,2,4,8";
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::string(argv[i]) == "--jobs-list") spec = argv[i + 1];
+    if (std::string(argv[i]) == "--jobs") spec = argv[i + 1];
+  }
+  std::vector<unsigned> jobs;
+  std::size_t pos = 0;
+  while (pos < spec.size()) {
+    std::size_t next = spec.find(',', pos);
+    if (next == std::string::npos) next = spec.size();
+    const int v = std::stoi(spec.substr(pos, next - pos));
+    if (v > 0) jobs.push_back(static_cast<unsigned>(v));
+    pos = next + 1;
+  }
+  return jobs.empty() ? std::vector<unsigned>{1} : jobs;
+}
+
+std::string out_from_args(int argc, char** argv) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::string(argv[i]) == "--out") return argv[i + 1];
+  }
+  return "BENCH_throughput.json";
+}
+
+struct Row {
+  std::string cell;
+  int nranks;
+  double wall_ms;
+  double events_per_sec;
+  double messages_per_sec;
+  unsigned jobs;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int iterations = iterations_from_args(argc, argv, 60);
+  const std::vector<unsigned> jobs_list = jobs_list_from_args(argc, argv);
+  const std::string out = out_from_args(argc, argv);
+
+  const auto cells = paper_grid();
+  std::vector<ExperimentConfig> cfgs;
+  cfgs.reserve(cells.size());
+  for (const auto& cell : cells) {
+    cfgs.push_back(cell_config(cell, 0.01, iterations));
+  }
+
+  std::vector<Row> rows;
+  std::vector<ExperimentResult> reference;  // jobs == 1 results
+  double wall_ms_1 = 0.0;
+  bool all_identical = true;
+
+  for (const unsigned jobs : jobs_list) {
+    ParallelExperimentRunner runner(jobs);
+    const auto t0 = std::chrono::steady_clock::now();
+    const std::vector<ExperimentResult> results = runner.run_all(cfgs);
+    const double wall_ms =
+        std::chrono::duration<double, std::milli>(
+            std::chrono::steady_clock::now() - t0)
+            .count();
+
+    if (reference.empty()) {
+      reference = results;
+      if (jobs == 1) wall_ms_1 = wall_ms;
+    } else {
+      for (std::size_t i = 0; i < results.size(); ++i) {
+        if (!bit_identical(results[i], reference[i])) {
+          all_identical = false;
+          std::fprintf(stderr, "DETERMINISM VIOLATION: cell %s/%d at jobs=%u\n",
+                       cells[i].app, cells[i].nranks, jobs);
+        }
+      }
+    }
+
+    const auto& work = runner.last_cell_work_ms();
+    std::uint64_t total_events = 0;
+    std::uint64_t total_messages = 0;
+    for (std::size_t i = 0; i < results.size(); ++i) {
+      total_events += results[i].sim_events;
+      total_messages += results[i].messages;
+      const double cell_s = work[i] / 1e3;
+      rows.push_back(Row{
+          std::string(cells[i].app), cells[i].nranks, work[i],
+          cell_s > 0.0 ? static_cast<double>(results[i].sim_events) / cell_s
+                       : 0.0,
+          cell_s > 0.0 ? static_cast<double>(results[i].messages) / cell_s
+                       : 0.0,
+          jobs});
+    }
+
+    const double speedup = wall_ms_1 > 0.0 ? wall_ms_1 / wall_ms : 1.0;
+    std::printf(
+        "jobs %2u: wall %8.1f ms  work %8.1f ms  %6.2fx vs jobs=1  "
+        "%.2fM events/s  %.2fM msgs/s\n",
+        jobs, wall_ms, runner.last_total_work_ms(), speedup,
+        static_cast<double>(total_events) / wall_ms / 1e3,
+        static_cast<double>(total_messages) / wall_ms / 1e3);
+  }
+
+  std::printf("determinism: parallel results %s serial reference\n",
+              all_identical ? "bit-identical to" : "DIFFER FROM");
+
+  std::ofstream os(out);
+  if (!os) {
+    std::fprintf(stderr, "cannot write %s\n", out.c_str());
+    return 1;
+  }
+  os << "[\n";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const Row& r = rows[i];
+    char buf[256];
+    std::snprintf(buf, sizeof(buf),
+                  "  {\"cell\": \"%s\", \"nranks\": %d, \"wall_ms\": %.3f, "
+                  "\"events_per_sec\": %.1f, \"messages_per_sec\": %.1f, "
+                  "\"jobs\": %u}%s\n",
+                  r.cell.c_str(), r.nranks, r.wall_ms, r.events_per_sec,
+                  r.messages_per_sec, r.jobs, i + 1 < rows.size() ? "," : "");
+    os << buf;
+  }
+  os << "]\n";
+  std::printf("wrote %s (%zu rows)\n", out.c_str(), rows.size());
+  return all_identical ? 0 : 1;
+}

@@ -31,7 +31,7 @@ Fabric::TxResult Fabric::unicast(NodeId src, NodeId dst, Bytes bytes,
   IBP_EXPECTS(src != dst);
 
   const SwitchId top = pick_top(src, dst);
-  const std::vector<LinkId> path = topo_.route(src, dst, top);
+  const FatTreeTopology::RoutePath path = topo_.route(src, dst, top);
   // Channel direction per hop: Up on the source side, Down on the
   // destination side (trunks: up-trunk carries Up, down-trunk Down).
   TxResult result{};

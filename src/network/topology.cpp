@@ -6,18 +6,6 @@ FatTreeTopology::FatTreeTopology(XgftParams params) : params_(params) {
   IBP_EXPECTS(params.valid());
 }
 
-std::vector<LinkId> FatTreeTopology::route(NodeId src, NodeId dst,
-                                           SwitchId top) const {
-  IBP_EXPECTS(src != dst);
-  const SwitchId src_leaf = leaf_of(src);
-  const SwitchId dst_leaf = leaf_of(dst);
-  if (src_leaf == dst_leaf) {
-    return {node_uplink(src), node_uplink(dst)};
-  }
-  return {node_uplink(src), trunk_link(src_leaf, top), trunk_link(dst_leaf, top),
-          node_uplink(dst)};
-}
-
 std::vector<LinkId> FatTreeTopology::leaf_switch_ports(SwitchId leaf) const {
   IBP_EXPECTS(leaf >= 0 && leaf < num_leaf_switches());
   std::vector<LinkId> ports;

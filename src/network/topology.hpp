@@ -14,6 +14,7 @@
 // gates); [nodes, nodes + leaves*w2) are leaf-to-top trunks.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <vector>
 
@@ -77,11 +78,38 @@ class FatTreeTopology {
     return leaf_of(a) == leaf_of(b) ? 1 : 3;
   }
 
+  /// A route is at most 4 links (uplink, up-trunk, down-trunk, uplink), so
+  /// it lives inline — unicast() runs once per message and must not
+  /// allocate.
+  struct RoutePath {
+    std::array<LinkId, 4> links{};
+    int count{0};
+
+    [[nodiscard]] std::size_t size() const {
+      return static_cast<std::size_t>(count);
+    }
+    [[nodiscard]] LinkId operator[](std::size_t i) const {
+      IBP_ASSERT(i < size());
+      return links[i];
+    }
+    [[nodiscard]] const LinkId* begin() const { return links.data(); }
+    [[nodiscard]] const LinkId* end() const { return links.data() + count; }
+  };
+
   /// Links a message traverses from src to dst via top switch `top`
   /// (ignored for same-leaf pairs). Order: src uplink, up-trunk, down-trunk,
   /// dst uplink.
-  [[nodiscard]] std::vector<LinkId> route(NodeId src, NodeId dst,
-                                          SwitchId top) const;
+  [[nodiscard]] RoutePath route(NodeId src, NodeId dst, SwitchId top) const {
+    IBP_EXPECTS(src != dst);
+    const SwitchId src_leaf = leaf_of(src);
+    const SwitchId dst_leaf = leaf_of(dst);
+    if (src_leaf == dst_leaf) {
+      return RoutePath{{node_uplink(src), node_uplink(dst), 0, 0}, 2};
+    }
+    return RoutePath{{node_uplink(src), trunk_link(src_leaf, top),
+                      trunk_link(dst_leaf, top), node_uplink(dst)},
+                     4};
+  }
 
   /// Ports (link ids) of a leaf switch: its m1 node links + w2 trunks.
   [[nodiscard]] std::vector<LinkId> leaf_switch_ports(SwitchId leaf) const;

@@ -2,38 +2,56 @@
 //
 // Deterministic: ties in time are broken by insertion order, so a replay is
 // reproducible bit-for-bit across runs and platforms.
+//
+// Hot-path design: callbacks are InplaceCallback (small-buffer, no heap
+// allocation for captures that fit 48 bytes — every ReplayEngine capture
+// does), and the priority queue is an explicit vector-backed binary heap so
+// pops never move out of a const reference and the backing store can be
+// reserve()d up front.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
-#include <functional>
-#include <queue>
 #include <vector>
 
 #include "util/expect.hpp"
+#include "util/inplace_callback.hpp"
 #include "util/time_types.hpp"
 
 namespace ibpower {
 
 class EventQueue {
  public:
-  using Callback = std::function<void()>;
+  using Callback = InplaceCallback<48>;
+
+  /// Pre-size the heap; scheduling below this many outstanding events never
+  /// reallocates (and with inline callbacks never allocates at all).
+  void reserve(std::size_t events) { heap_.reserve(events); }
 
   void schedule(TimeNs t, Callback cb) {
     IBP_EXPECTS(t >= now_);
-    heap_.push(Entry{t, seq_++, std::move(cb)});
+    heap_.push_back(Entry{t, seq_++, std::move(cb)});
+    sift_up(heap_.size() - 1);
   }
 
   [[nodiscard]] bool empty() const { return heap_.empty(); }
+  [[nodiscard]] std::size_t size() const { return heap_.size(); }
   [[nodiscard]] TimeNs now() const { return now_; }
   [[nodiscard]] std::uint64_t processed() const { return processed_; }
 
   /// Pop and run the earliest event. Returns false when the queue is empty.
   bool run_next() {
     if (heap_.empty()) return false;
-    // Entry::cb is not touched by the comparator, so moving out of top() is
-    // safe; pop before running so the callback can schedule freely.
-    Entry entry = std::move(const_cast<Entry&>(heap_.top()));
-    heap_.pop();
+    // Pop into a local before running so the callback can schedule freely
+    // (which may reallocate the heap).
+    Entry entry = std::move(heap_.front());
+    if (heap_.size() > 1) {
+      heap_.front() = std::move(heap_.back());
+      heap_.pop_back();
+      sift_down(0);
+    } else {
+      heap_.pop_back();
+    }
     IBP_ASSERT(entry.t >= now_);
     now_ = entry.t;
     ++processed_;
@@ -53,14 +71,39 @@ class EventQueue {
     std::uint64_t seq;
     Callback cb;
   };
-  struct Later {
-    bool operator()(const Entry& a, const Entry& b) const {
-      if (a.t != b.t) return a.t > b.t;
-      return a.seq > b.seq;
-    }
-  };
 
-  std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  [[nodiscard]] static bool earlier(const Entry& a, const Entry& b) {
+    if (a.t != b.t) return a.t < b.t;
+    return a.seq < b.seq;
+  }
+
+  // Hole-based sifts: one move per level instead of a three-move swap.
+  void sift_up(std::size_t i) {
+    Entry e = std::move(heap_[i]);
+    while (i > 0) {
+      const std::size_t parent = (i - 1) / 2;
+      if (!earlier(e, heap_[parent])) break;
+      heap_[i] = std::move(heap_[parent]);
+      i = parent;
+    }
+    heap_[i] = std::move(e);
+  }
+
+  void sift_down(std::size_t i) {
+    const std::size_t n = heap_.size();
+    Entry e = std::move(heap_[i]);
+    while (true) {
+      std::size_t child = 2 * i + 1;
+      if (child >= n) break;
+      if (child + 1 < n && earlier(heap_[child + 1], heap_[child])) ++child;
+      if (!earlier(heap_[child], e)) break;
+      heap_[i] = std::move(heap_[child]);
+      i = child;
+    }
+    heap_[i] = std::move(e);
+  }
+
+  std::vector<Entry> heap_;
   TimeNs now_{};
   std::uint64_t seq_{0};
   std::uint64_t processed_{0};

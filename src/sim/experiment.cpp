@@ -1,6 +1,8 @@
 #include "sim/experiment.hpp"
 
+#include <cstring>
 #include <stdexcept>
+#include <type_traits>
 
 namespace ibpower {
 
@@ -48,63 +50,86 @@ StateTimeline build_power_timeline(const Fabric& fabric, int nranks,
   return timeline;
 }
 
-ExperimentResult run_experiment(const ExperimentConfig& rawcfg) {
-  ExperimentConfig cfg = rawcfg;
+ExperimentConfig normalize_config(const ExperimentConfig& cfg) {
+  ExperimentConfig out = cfg;
   // Single source of truth for the reactivation time: the agent's Treact is
   // the hardware lane-shift latency, so the link model must agree with it.
-  cfg.fabric.link.t_react = cfg.ppa.t_react;
-  cfg.fabric.link.t_deact = cfg.ppa.t_react;  // taken equal (paper §II)
+  out.fabric.link.t_react = out.ppa.t_react;
+  out.fabric.link.t_deact = out.ppa.t_react;  // taken equal (paper §II)
+  return out;
+}
 
+Trace generate_experiment_trace(const ExperimentConfig& cfg) {
   const auto app = make_app(cfg.app);
   if (!app->supports(cfg.workload.nranks)) {
     throw std::invalid_argument(cfg.app + " does not support nranks=" +
                                 std::to_string(cfg.workload.nranks));
   }
-  const Trace trace = app->generate(cfg.workload);
+  return app->generate(cfg.workload);
+}
 
+BaselineLegResult run_baseline_leg(const ExperimentConfig& cfg,
+                                   const Trace& trace) {
+  // Baseline: power-unaware, always-on links.
+  ReplayOptions opt;
+  opt.fabric = cfg.fabric;
+  opt.enable_power_management = false;
+  opt.eager_threshold = cfg.eager_threshold;
+  ReplayEngine engine(&trace, opt);
+  const ReplayResult rr = engine.run();
+  BaselineLegResult leg;
+  leg.time = rr.exec_time;
+  leg.idle = aggregate_idle(engine.fabric(), cfg.workload.nranks, rr.exec_time);
+  leg.events = rr.events_processed;
+  return leg;
+}
+
+ManagedLegResult run_managed_leg(const ExperimentConfig& cfg,
+                                 const Trace& trace) {
+  // Managed: the paper's mechanism in the loop.
+  ReplayOptions opt;
+  opt.fabric = cfg.fabric;
+  opt.enable_power_management = true;
+  opt.ppa = cfg.ppa;
+  opt.eager_threshold = cfg.eager_threshold;
+  opt.record_call_timeline = cfg.record_call_timeline;
+  ReplayEngine engine(&trace, opt);
+  const ReplayResult rr = engine.run();
+  ManagedLegResult leg;
+  leg.time = rr.exec_time;
+  leg.agents = rr.agent_total;
+  leg.messages = rr.messages_sent;
+  leg.hit_rate_pct = rr.agent_total.hit_rate_pct();
+  leg.events = rr.events_processed;
+
+  std::vector<const IbLink*> ports;
+  ports.reserve(static_cast<std::size_t>(cfg.workload.nranks));
+  for (NodeId n = 0; n < cfg.workload.nranks; ++n) {
+    const IbLink& link =
+        engine.fabric().link(engine.fabric().topology().node_uplink(n));
+    ports.push_back(&link);
+    leg.on_demand_wakes += link.on_demand_wakes();
+    leg.wake_penalty_total += link.wake_penalty_total();
+  }
+  leg.power = aggregate_power(ports, cfg.power);
+  return leg;
+}
+
+ExperimentResult combine_legs(const Trace& trace,
+                              const BaselineLegResult& baseline,
+                              const ManagedLegResult& managed) {
   ExperimentResult result;
   result.mpi_calls = trace.total_mpi_calls();
-
-  // Baseline: power-unaware, always-on links.
-  {
-    ReplayOptions opt;
-    opt.fabric = cfg.fabric;
-    opt.enable_power_management = false;
-    opt.eager_threshold = cfg.eager_threshold;
-    ReplayEngine engine(&trace, opt);
-    const ReplayResult rr = engine.run();
-    result.baseline_time = rr.exec_time;
-    result.baseline_idle =
-        aggregate_idle(engine.fabric(), cfg.workload.nranks, rr.exec_time);
-  }
-
-  // Managed: the paper's mechanism in the loop.
-  {
-    ReplayOptions opt;
-    opt.fabric = cfg.fabric;
-    opt.enable_power_management = true;
-    opt.ppa = cfg.ppa;
-    opt.eager_threshold = cfg.eager_threshold;
-    opt.record_call_timeline = cfg.record_call_timeline;
-    ReplayEngine engine(&trace, opt);
-    const ReplayResult rr = engine.run();
-    result.managed_time = rr.exec_time;
-    result.agents = rr.agent_total;
-    result.messages = rr.messages_sent;
-    result.hit_rate_pct = rr.agent_total.hit_rate_pct();
-
-    std::vector<const IbLink*> ports;
-    ports.reserve(static_cast<std::size_t>(cfg.workload.nranks));
-    for (NodeId n = 0; n < cfg.workload.nranks; ++n) {
-      const IbLink& link =
-          engine.fabric().link(engine.fabric().topology().node_uplink(n));
-      ports.push_back(&link);
-      result.on_demand_wakes += link.on_demand_wakes();
-      result.wake_penalty_total += link.wake_penalty_total();
-    }
-    result.power = aggregate_power(ports, cfg.power);
-  }
-
+  result.baseline_time = baseline.time;
+  result.baseline_idle = baseline.idle;
+  result.managed_time = managed.time;
+  result.agents = managed.agents;
+  result.messages = managed.messages;
+  result.hit_rate_pct = managed.hit_rate_pct;
+  result.on_demand_wakes = managed.on_demand_wakes;
+  result.wake_penalty_total = managed.wake_penalty_total;
+  result.power = managed.power;
+  result.sim_events = baseline.events + managed.events;
   if (result.baseline_time > TimeNs::zero()) {
     result.time_increase_pct =
         100.0 *
@@ -113,6 +138,43 @@ ExperimentResult run_experiment(const ExperimentConfig& rawcfg) {
         static_cast<double>(result.baseline_time.ns);
   }
   return result;
+}
+
+ExperimentResult run_experiment(const ExperimentConfig& rawcfg) {
+  const ExperimentConfig cfg = normalize_config(rawcfg);
+  const Trace trace = generate_experiment_trace(cfg);
+  const BaselineLegResult baseline = run_baseline_leg(cfg, trace);
+  const ManagedLegResult managed = run_managed_leg(cfg, trace);
+  return combine_legs(trace, baseline, managed);
+}
+
+namespace {
+
+template <class T>
+bool bits_equal(const T& a, const T& b) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  return std::memcmp(&a, &b, sizeof(T)) == 0;
+}
+
+}  // namespace
+
+bool bit_identical(const ExperimentResult& a, const ExperimentResult& b) {
+  // Field-by-field (not whole-struct) memcmp so padding bytes can never
+  // produce a false mismatch.
+  return bits_equal(a.baseline_time, b.baseline_time) &&
+         bits_equal(a.managed_time, b.managed_time) &&
+         bits_equal(a.time_increase_pct, b.time_increase_pct) &&
+         bits_equal(a.power, b.power) && bits_equal(a.agents, b.agents) &&
+         bits_equal(a.hit_rate_pct, b.hit_rate_pct) &&
+         bits_equal(a.baseline_idle.buckets, b.baseline_idle.buckets) &&
+         bits_equal(a.baseline_idle.total_intervals,
+                    b.baseline_idle.total_intervals) &&
+         bits_equal(a.baseline_idle.total_idle, b.baseline_idle.total_idle) &&
+         bits_equal(a.on_demand_wakes, b.on_demand_wakes) &&
+         bits_equal(a.wake_penalty_total, b.wake_penalty_total) &&
+         bits_equal(a.mpi_calls, b.mpi_calls) &&
+         bits_equal(a.messages, b.messages) &&
+         bits_equal(a.sim_events, b.sim_events);
 }
 
 double dry_run_hit_rate(
@@ -131,11 +193,8 @@ double dry_run_hit_rate(
   return total.hit_rate_pct();
 }
 
-std::vector<GtSweepPoint> sweep_gt(const ExperimentConfig& cfg,
-                                   const std::vector<TimeNs>& values) {
-  const auto app = make_app(cfg.app);
-  const Trace trace = app->generate(cfg.workload);
-
+std::vector<std::vector<MpiCallEvent>> baseline_call_timelines(
+    const ExperimentConfig& cfg, const Trace& trace) {
   ReplayOptions opt;
   opt.fabric = cfg.fabric;
   opt.enable_power_management = false;
@@ -149,13 +208,25 @@ std::vector<GtSweepPoint> sweep_gt(const ExperimentConfig& cfg,
   for (Rank r = 0; r < trace.nranks(); ++r) {
     timelines.push_back(engine.call_timeline(r));
   }
+  return timelines;
+}
+
+GtSweepPoint score_gt(const std::vector<std::vector<MpiCallEvent>>& timelines,
+                      const PpaConfig& base_ppa, TimeNs gt) {
+  PpaConfig ppa = base_ppa;
+  ppa.grouping_threshold = max(gt, 2 * ppa.t_react);
+  return {ppa.grouping_threshold, dry_run_hit_rate(timelines, ppa)};
+}
+
+std::vector<GtSweepPoint> sweep_gt(const ExperimentConfig& cfg,
+                                   const std::vector<TimeNs>& values) {
+  const Trace trace = generate_experiment_trace(cfg);
+  const auto timelines = baseline_call_timelines(cfg, trace);
 
   std::vector<GtSweepPoint> points;
   points.reserve(values.size());
   for (const TimeNs gt : values) {
-    PpaConfig ppa = cfg.ppa;
-    ppa.grouping_threshold = max(gt, 2 * ppa.t_react);
-    points.push_back({ppa.grouping_threshold, dry_run_hit_rate(timelines, ppa)});
+    points.push_back(score_gt(timelines, cfg.ppa, gt));
   }
   return points;
 }

@@ -36,10 +36,74 @@ struct ExperimentResult {
   TimeNs wake_penalty_total{};
   std::uint64_t mpi_calls{0};
   std::uint64_t messages{0};
+  std::uint64_t sim_events{0};  // DES events, baseline + managed replays
 };
 
 /// Generate the workload trace and run baseline + managed replays.
 [[nodiscard]] ExperimentResult run_experiment(const ExperimentConfig& cfg);
+
+/// Bitwise equality of every field — the determinism contract between the
+/// serial path and ParallelExperimentRunner (doubles compared by bits, not
+/// by value, so even rounding differences would be caught).
+[[nodiscard]] bool bit_identical(const ExperimentResult& a,
+                                 const ExperimentResult& b);
+
+// --- Decomposed legs of run_experiment ------------------------------------
+//
+// The parallel experiment runner (sim/parallel.hpp) schedules these as
+// independent tasks: the baseline and managed replays of one experiment
+// share only the immutable Trace, so they can run concurrently and still
+// combine into a result bit-identical to run_experiment's.
+
+/// Copy of `cfg` with the Treact propagated into the link model (the single
+/// source of truth rule run_experiment applies). Legs require a normalized
+/// config.
+[[nodiscard]] ExperimentConfig normalize_config(const ExperimentConfig& cfg);
+
+/// Generate the workload trace for a (normalized) config. Throws
+/// std::invalid_argument when the app does not support cfg.workload.nranks.
+[[nodiscard]] Trace generate_experiment_trace(const ExperimentConfig& cfg);
+
+struct BaselineLegResult {
+  TimeNs time{};
+  IdleDistribution idle{};
+  std::uint64_t events{0};
+};
+
+struct ManagedLegResult {
+  TimeNs time{};
+  AgentStats agents{};
+  double hit_rate_pct{0.0};
+  FleetPowerSummary power{};
+  std::uint64_t on_demand_wakes{0};
+  TimeNs wake_penalty_total{};
+  std::uint64_t messages{0};
+  std::uint64_t events{0};
+};
+
+[[nodiscard]] BaselineLegResult run_baseline_leg(const ExperimentConfig& cfg,
+                                                 const Trace& trace);
+[[nodiscard]] ManagedLegResult run_managed_leg(const ExperimentConfig& cfg,
+                                               const Trace& trace);
+[[nodiscard]] ExperimentResult combine_legs(const Trace& trace,
+                                            const BaselineLegResult& baseline,
+                                            const ManagedLegResult& managed);
+
+struct GtSweepPoint {
+  TimeNs gt{};
+  double hit_rate_pct{0.0};
+};
+
+/// One baseline replay recording per-rank call timelines (the shared input
+/// of every GT dry run in a sweep).
+[[nodiscard]] std::vector<std::vector<MpiCallEvent>> baseline_call_timelines(
+    const ExperimentConfig& cfg, const Trace& trace);
+
+/// Score one GT value against prerecorded baseline timelines (clamps GT to
+/// >= 2*Treact exactly like sweep_gt).
+[[nodiscard]] GtSweepPoint score_gt(
+    const std::vector<std::vector<MpiCallEvent>>& timelines,
+    const PpaConfig& base_ppa, TimeNs gt);
 
 /// Idle gaps of one node's uplink (busy union of both directions,
 /// complemented over [0, exec]).
@@ -62,11 +126,6 @@ struct ExperimentResult {
 [[nodiscard]] double dry_run_hit_rate(
     const std::vector<std::vector<MpiCallEvent>>& call_timelines,
     const PpaConfig& ppa);
-
-struct GtSweepPoint {
-  TimeNs gt{};
-  double hit_rate_pct{0.0};
-};
 
 /// Sweep GT over `values` against one baseline run of `cfg`.
 [[nodiscard]] std::vector<GtSweepPoint> sweep_gt(const ExperimentConfig& cfg,

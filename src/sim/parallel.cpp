@@ -1,0 +1,132 @@
+#include "sim/parallel.hpp"
+
+#include <chrono>
+#include <future>
+#include <utility>
+
+namespace ibpower {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double ms_since(Clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - t0).count();
+}
+
+}  // namespace
+
+double ParallelExperimentRunner::last_total_work_ms() const {
+  double total = 0.0;
+  for (const double ms : cell_work_ms_) total += ms;
+  return total;
+}
+
+ExperimentResult ParallelExperimentRunner::run(const ExperimentConfig& rawcfg) {
+  const ExperimentConfig cfg = normalize_config(rawcfg);
+  const auto t0 = Clock::now();
+  const Trace trace = generate_experiment_trace(cfg);
+  const double gen_ms = ms_since(t0);
+
+  // The two legs only read `cfg` and `trace`; both outlive the futures.
+  double base_ms = 0.0;
+  double managed_ms = 0.0;
+  auto baseline = pool_.submit([&cfg, &trace, &base_ms] {
+    const auto leg0 = Clock::now();
+    BaselineLegResult leg = run_baseline_leg(cfg, trace);
+    base_ms = ms_since(leg0);
+    return leg;
+  });
+  auto managed = pool_.submit([&cfg, &trace, &managed_ms] {
+    const auto leg0 = Clock::now();
+    ManagedLegResult leg = run_managed_leg(cfg, trace);
+    managed_ms = ms_since(leg0);
+    return leg;
+  });
+  const BaselineLegResult b = baseline.get();
+  const ManagedLegResult m = managed.get();
+
+  cell_work_ms_.assign(1, gen_ms + base_ms + managed_ms);
+  return combine_legs(trace, b, m);
+}
+
+std::vector<ExperimentResult> ParallelExperimentRunner::run_all(
+    const std::vector<ExperimentConfig>& rawcfgs) {
+  const std::size_t n = rawcfgs.size();
+  std::vector<ExperimentConfig> cfgs;
+  cfgs.reserve(n);
+  for (const auto& cfg : rawcfgs) cfgs.push_back(normalize_config(cfg));
+
+  // Each task writes only its own slot of these vectors: no shared mutable
+  // state, no locks needed.
+  cell_work_ms_.assign(n, 0.0);
+  std::vector<double> leg_ms(2 * n, 0.0);
+  std::vector<double> gen_ms(n, 0.0);
+
+  // Phase 1: generate every trace in parallel.
+  std::vector<std::future<Trace>> gen;
+  gen.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    gen.push_back(pool_.submit([&cfgs, &gen_ms, i] {
+      const auto t0 = Clock::now();
+      Trace trace = generate_experiment_trace(cfgs[i]);
+      gen_ms[i] = ms_since(t0);
+      return trace;
+    }));
+  }
+  std::vector<Trace> traces;
+  traces.reserve(n);
+  for (auto& f : gen) traces.push_back(f.get());
+
+  // Phase 2: 2N independent replay legs.
+  std::vector<std::future<BaselineLegResult>> baselines;
+  std::vector<std::future<ManagedLegResult>> manageds;
+  baselines.reserve(n);
+  manageds.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    baselines.push_back(pool_.submit([&cfgs, &traces, &leg_ms, i] {
+      const auto t0 = Clock::now();
+      BaselineLegResult leg = run_baseline_leg(cfgs[i], traces[i]);
+      leg_ms[2 * i] = ms_since(t0);
+      return leg;
+    }));
+    manageds.push_back(pool_.submit([&cfgs, &traces, &leg_ms, i] {
+      const auto t0 = Clock::now();
+      ManagedLegResult leg = run_managed_leg(cfgs[i], traces[i]);
+      leg_ms[2 * i + 1] = ms_since(t0);
+      return leg;
+    }));
+  }
+
+  // Gather in submission order — output order is the input order.
+  std::vector<ExperimentResult> results;
+  results.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const BaselineLegResult b = baselines[i].get();
+    const ManagedLegResult m = manageds[i].get();
+    results.push_back(combine_legs(traces[i], b, m));
+    cell_work_ms_[i] = gen_ms[i] + leg_ms[2 * i] + leg_ms[2 * i + 1];
+  }
+  return results;
+}
+
+std::vector<GtSweepPoint> ParallelExperimentRunner::sweep_gt(
+    const ExperimentConfig& cfg, const std::vector<TimeNs>& values) {
+  const auto t0 = Clock::now();
+  const Trace trace = generate_experiment_trace(cfg);
+  const auto timelines = baseline_call_timelines(cfg, trace);
+
+  std::vector<std::future<GtSweepPoint>> futures;
+  futures.reserve(values.size());
+  for (const TimeNs gt : values) {
+    futures.push_back(pool_.submit(
+        [&timelines, &cfg, gt] { return score_gt(timelines, cfg.ppa, gt); }));
+  }
+  std::vector<GtSweepPoint> points;
+  points.reserve(values.size());
+  for (auto& f : futures) points.push_back(f.get());
+  cell_work_ms_.assign(1, ms_since(t0));
+  return points;
+}
+
+}  // namespace ibpower

@@ -1,0 +1,56 @@
+// ParallelExperimentRunner — fans independent replays out over a ThreadPool.
+//
+// Determinism contract (DESIGN.md §7): parallelism exists only *across*
+// independent EventQueues — the two legs of one experiment, the cells of a
+// grid, the dry runs of a GT sweep. One replay never shares mutable state
+// with another (each constructs its own Fabric, agents and queue; the Trace
+// is shared read-only), and results are gathered in submission order, so
+// every output is bit-identical to the serial run_experiment / sweep_gt
+// paths at any thread count.
+#pragma once
+
+#include <vector>
+
+#include "sim/experiment.hpp"
+#include "util/thread_pool.hpp"
+
+namespace ibpower {
+
+class ParallelExperimentRunner {
+ public:
+  explicit ParallelExperimentRunner(
+      unsigned jobs = ThreadPool::default_concurrency())
+      : pool_(jobs) {}
+
+  [[nodiscard]] unsigned jobs() const { return pool_.size(); }
+
+  /// run_experiment with the baseline and managed replays in parallel.
+  /// Must not be called from inside the pool's own workers.
+  [[nodiscard]] ExperimentResult run(const ExperimentConfig& cfg);
+
+  /// Run many experiments concurrently; result i corresponds to cfgs[i].
+  /// Phase 1 generates all traces in parallel, phase 2 runs each cell's two
+  /// replay legs as independent tasks (2N tasks for N cells).
+  [[nodiscard]] std::vector<ExperimentResult> run_all(
+      const std::vector<ExperimentConfig>& cfgs);
+
+  /// sweep_gt with the per-GT dry runs fanned out (one baseline replay,
+  /// then |values| independent prediction-only scoring tasks).
+  [[nodiscard]] std::vector<GtSweepPoint> sweep_gt(
+      const ExperimentConfig& cfg, const std::vector<TimeNs>& values);
+
+  /// Per-cell task time (trace generation + both replay legs, ms) of the
+  /// most recent run()/run_all(), in submission order. Summed across cells
+  /// this is the serial-equivalent work; divided by observed wall-clock it
+  /// yields the effective speedup.
+  [[nodiscard]] const std::vector<double>& last_cell_work_ms() const {
+    return cell_work_ms_;
+  }
+  [[nodiscard]] double last_total_work_ms() const;
+
+ private:
+  ThreadPool pool_;
+  std::vector<double> cell_work_ms_;
+};
+
+}  // namespace ibpower

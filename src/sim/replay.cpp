@@ -37,6 +37,10 @@ ReplayEngine::Channel& ReplayEngine::channel(Rank src, Rank dst,
 ReplayResult ReplayEngine::run() {
   IBP_EXPECTS(!ran_);
   ran_ = true;
+  // At any instant the queue holds at most ~one event per rank (advance /
+  // resume / collective-release), so this reserve makes scheduling
+  // allocation-free for the whole replay.
+  queue_.reserve(2 * static_cast<std::size_t>(trace_->nranks()) + 16);
   for (Rank r = 0; r < trace_->nranks(); ++r) {
     queue_.schedule(TimeNs::zero(), [this, r] { advance(r); });
   }
@@ -144,8 +148,13 @@ void ReplayEngine::finish_call(Rank r, MpiCall call, TimeNs enter,
 }
 
 void ReplayEngine::resume_blocked_recv(const WaitingRecv& w, TimeNs exit) {
-  queue_.schedule(exit, [this, w, exit] {
-    finish_call(w.dst, w.call, w.enter, exit);
+  // Capture only the three WaitingRecv fields finish_call needs — the full
+  // struct would push the capture past the inline-callback capacity.
+  const Rank dst = w.dst;
+  const MpiCall call = w.call;
+  const TimeNs enter = w.enter;
+  queue_.schedule(exit, [this, dst, call, enter, exit] {
+    finish_call(dst, call, enter, exit);
   });
 }
 
@@ -173,7 +182,7 @@ void ReplayEngine::deliver_eager(Rank src, Rank dst, std::int32_t tag,
 void ReplayEngine::complete_request(Rank r, RequestId req, TimeNs when) {
   auto& st = ranks_[static_cast<std::size_t>(r)];
   st.pending_requests.erase(req);
-  st.completed_requests[req] = when;
+  st.completed_requests.insert_or_assign(req, when);
   if (st.blocked_in_wait) try_resume_wait(r);
 }
 
@@ -183,15 +192,14 @@ void ReplayEngine::try_resume_wait(Rank r) {
   TimeNs exit = st.wait_t;
   if (st.wait_is_waitall) {
     if (!st.pending_requests.empty()) return;
-    for (const auto& [req, when] : st.completed_requests) {
-      exit = max(exit, when);
-    }
+    st.completed_requests.for_each(
+        [&exit](RequestId, TimeNs when) { exit = max(exit, when); });
     st.completed_requests.clear();
   } else {
-    const auto it = st.completed_requests.find(st.wait_request);
-    if (it == st.completed_requests.end()) return;
-    exit = max(exit, it->second);
-    st.completed_requests.erase(it);
+    const TimeNs* when = st.completed_requests.find(st.wait_request);
+    if (when == nullptr) return;
+    exit = max(exit, *when);
+    st.completed_requests.erase(st.wait_request);
   }
   st.blocked_in_wait = false;
   finish_call(r, st.wait_is_waitall ? MpiCall::Waitall : MpiCall::Wait,
@@ -236,7 +244,7 @@ void ReplayEngine::do_isend(Rank r, const IsendRecord& rec, TimeNs enter,
   if (rec.bytes <= opt_.eager_threshold) {
     const auto tx = fabric_->unicast(r, rec.peer, rec.bytes, t);
     deliver_eager(r, rec.peer, rec.tag, tx.delivery);
-    st.completed_requests[rec.request] = max(t, tx.sender_free);
+    st.completed_requests.insert_or_assign(rec.request, max(t, tx.sender_free));
     finish_call(r, MpiCall::Isend, enter, t);
     return;
   }
@@ -252,7 +260,7 @@ void ReplayEngine::do_isend(Rank r, const IsendRecord& rec, TimeNs enter,
     } else {
       resume_blocked_recv(w, max(w.min_exit, tx.delivery));
     }
-    st.completed_requests[rec.request] = max(t, tx.sender_free);
+    st.completed_requests.insert_or_assign(rec.request, max(t, tx.sender_free));
   } else {
     ch.queue.push_back(ChannelMsg{true, t, rec.bytes, true, r, rec.request});
     st.pending_requests.insert(rec.request);
@@ -268,7 +276,8 @@ void ReplayEngine::do_irecv(Rank r, const IrecvRecord& rec, TimeNs enter,
     const ChannelMsg m = ch.queue.front();
     ch.queue.pop_front();
     if (!m.rendezvous) {
-      st.completed_requests[rec.request] = max(t, m.ready_or_delivery);
+      st.completed_requests.insert_or_assign(rec.request,
+                                             max(t, m.ready_or_delivery));
     } else {
       const auto tx =
           fabric_->unicast(rec.peer, r, m.bytes, max(m.ready_or_delivery, t));
@@ -283,7 +292,7 @@ void ReplayEngine::do_irecv(Rank r, const IrecvRecord& rec, TimeNs enter,
           finish_call(src, MpiCall::Send, send_enter, tx.sender_free);
         });
       }
-      st.completed_requests[rec.request] = max(t, tx.delivery);
+      st.completed_requests.insert_or_assign(rec.request, max(t, tx.delivery));
     }
   } else {
     ch.waiting.push_back(
@@ -296,10 +305,9 @@ void ReplayEngine::do_irecv(Rank r, const IrecvRecord& rec, TimeNs enter,
 void ReplayEngine::do_wait(Rank r, const WaitRecord& rec, TimeNs enter,
                            TimeNs t) {
   auto& st = ranks_[static_cast<std::size_t>(r)];
-  const auto it = st.completed_requests.find(rec.request);
-  if (it != st.completed_requests.end()) {
-    const TimeNs exit = max(t, it->second);
-    st.completed_requests.erase(it);
+  if (const TimeNs* when = st.completed_requests.find(rec.request)) {
+    const TimeNs exit = max(t, *when);
+    st.completed_requests.erase(rec.request);
     finish_call(r, MpiCall::Wait, enter, exit);
     return;
   }
@@ -315,9 +323,8 @@ void ReplayEngine::do_waitall(Rank r, TimeNs enter, TimeNs t) {
   auto& st = ranks_[static_cast<std::size_t>(r)];
   if (st.pending_requests.empty()) {
     TimeNs exit = t;
-    for (const auto& [req, when] : st.completed_requests) {
-      exit = max(exit, when);
-    }
+    st.completed_requests.for_each(
+        [&exit](RequestId, TimeNs when) { exit = max(exit, when); });
     st.completed_requests.clear();
     finish_call(r, MpiCall::Waitall, enter, exit);
     return;

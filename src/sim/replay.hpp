@@ -15,12 +15,12 @@
 // synchronize all ranks and complete max-entry + analytic cost later.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <deque>
-#include <map>
-#include <set>
 #include <memory>
 #include <optional>
+#include <utility>
 #include <vector>
 
 #include "core/pmpi_agent.hpp"
@@ -108,14 +108,84 @@ class ReplayEngine {
     std::vector<TimeNs> entered;
     std::vector<BlockedRank> blocked;
   };
+  // Sorted-vector request bookkeeping. A rank has at most a handful of
+  // outstanding nonblocking requests, so contiguous storage with binary
+  // search beats node-based std::map/std::set: no allocation per
+  // insert/erase once the small vectors have grown, and iteration order
+  // stays ascending-by-id (identical to the std::map semantics it
+  // replaces, so results are bit-identical).
+  class RequestMap {
+   public:
+    void insert_or_assign(RequestId id, TimeNs when) {
+      const auto it = lower_bound(id);
+      if (it != entries_.end() && it->first == id) {
+        it->second = when;
+      } else {
+        entries_.insert(it, {id, when});
+      }
+    }
+    [[nodiscard]] const TimeNs* find(RequestId id) const {
+      const auto it = lower_bound(id);
+      return it != entries_.end() && it->first == id ? &it->second : nullptr;
+    }
+    bool erase(RequestId id) {
+      const auto it = lower_bound(id);
+      if (it == entries_.end() || it->first != id) return false;
+      entries_.erase(it);
+      return true;
+    }
+    void clear() { entries_.clear(); }
+    [[nodiscard]] bool empty() const { return entries_.empty(); }
+    /// Visit entries in ascending id order.
+    template <class Fn>
+    void for_each(Fn&& fn) const {
+      for (const auto& [id, when] : entries_) fn(id, when);
+    }
+
+   private:
+    using Entries = std::vector<std::pair<RequestId, TimeNs>>;
+    [[nodiscard]] Entries::iterator lower_bound(RequestId id) {
+      return std::lower_bound(
+          entries_.begin(), entries_.end(), id,
+          [](const auto& e, RequestId v) { return e.first < v; });
+    }
+    [[nodiscard]] Entries::const_iterator lower_bound(RequestId id) const {
+      return std::lower_bound(
+          entries_.begin(), entries_.end(), id,
+          [](const auto& e, RequestId v) { return e.first < v; });
+    }
+    Entries entries_;
+  };
+
+  class RequestSet {
+   public:
+    void insert(RequestId id) {
+      const auto it = std::lower_bound(ids_.begin(), ids_.end(), id);
+      if (it == ids_.end() || *it != id) ids_.insert(it, id);
+    }
+    bool erase(RequestId id) {
+      const auto it = std::lower_bound(ids_.begin(), ids_.end(), id);
+      if (it == ids_.end() || *it != id) return false;
+      ids_.erase(it);
+      return true;
+    }
+    [[nodiscard]] bool contains(RequestId id) const {
+      return std::binary_search(ids_.begin(), ids_.end(), id);
+    }
+    [[nodiscard]] bool empty() const { return ids_.empty(); }
+
+   private:
+    std::vector<RequestId> ids_;
+  };
+
   struct RankState {
     std::size_t pc{0};
     TimeNs now{};
     int coll_index{0};
     bool done{false};
     // Nonblocking-request bookkeeping.
-    std::map<RequestId, TimeNs> completed_requests;  // not yet retired
-    std::set<RequestId> pending_requests;            // completion unknown
+    RequestMap completed_requests;  // not yet retired
+    RequestSet pending_requests;    // completion unknown
     bool blocked_in_wait{false};
     bool wait_is_waitall{false};
     RequestId wait_request{0};

@@ -1,0 +1,139 @@
+// InplaceCallback: a move-only `void()` callable with a small-buffer store.
+//
+// The DES kernel schedules millions of events per replay; with
+// std::function<void()> every capture larger than libstdc++'s tiny SBO
+// (two pointers) costs a heap allocation + deallocation per event.
+// InplaceCallback stores any nothrow-movable callable of up to `Capacity`
+// bytes directly inside the event-queue entry, so scheduling allocates
+// nothing. Oversized callables still work via a heap fallback, keeping the
+// API total — but every hot-path capture in ReplayEngine fits inline
+// (test_des.cpp pins this with a counting allocator).
+#pragma once
+
+#include <cstddef>
+#include <cstring>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+#include "util/expect.hpp"
+
+namespace ibpower {
+
+template <std::size_t Capacity = 48>
+class InplaceCallback {
+ public:
+  static constexpr std::size_t capacity = Capacity;
+
+  /// True when a callable of type F is stored inline (no heap allocation).
+  template <class F>
+  static constexpr bool stores_inline() {
+    using Fn = std::decay_t<F>;
+    return sizeof(Fn) <= Capacity &&
+           alignof(Fn) <= alignof(std::max_align_t) &&
+           std::is_nothrow_move_constructible_v<Fn>;
+  }
+
+  InplaceCallback() noexcept = default;
+
+  template <class F,
+            class = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, InplaceCallback> &&
+                std::is_invocable_r_v<void, std::decay_t<F>&>>>
+  InplaceCallback(F&& f) {  // NOLINT(google-explicit-constructor)
+    using Fn = std::decay_t<F>;
+    if constexpr (stores_inline<F>()) {
+      ::new (static_cast<void*>(buf_)) Fn(std::forward<F>(f));
+      vt_ = &InlineOps<Fn>::vtable;
+    } else {
+      ::new (static_cast<void*>(buf_)) Fn*(new Fn(std::forward<F>(f)));
+      vt_ = &HeapOps<Fn>::vtable;
+    }
+  }
+
+  InplaceCallback(InplaceCallback&& o) noexcept {
+    steal(o);
+  }
+
+  InplaceCallback& operator=(InplaceCallback&& o) noexcept {
+    if (this != &o) {
+      reset();
+      steal(o);
+    }
+    return *this;
+  }
+
+  InplaceCallback(const InplaceCallback&) = delete;
+  InplaceCallback& operator=(const InplaceCallback&) = delete;
+
+  ~InplaceCallback() { reset(); }
+
+  void reset() noexcept {
+    if (vt_ != nullptr) {
+      if (!vt_->trivial) vt_->destroy(buf_);
+      vt_ = nullptr;
+    }
+  }
+
+  [[nodiscard]] explicit operator bool() const noexcept {
+    return vt_ != nullptr;
+  }
+
+  void operator()() {
+    IBP_ASSERT(vt_ != nullptr);
+    vt_->invoke(buf_);
+  }
+
+ private:
+  struct VTable {
+    void (*invoke)(void*);
+    void (*relocate)(void* src, void* dst) noexcept;  // move + destroy src
+    void (*destroy)(void*) noexcept;
+    // Trivially copyable + destructible payloads move by memcpy and skip
+    // destruction entirely — the heap sifts in EventQueue move entries
+    // constantly, and nearly every ReplayEngine capture qualifies.
+    bool trivial;
+  };
+
+  template <class Fn>
+  struct InlineOps {
+    static constexpr bool is_trivial = std::is_trivially_copyable_v<Fn> &&
+                                       std::is_trivially_destructible_v<Fn>;
+    static void invoke(void* p) { (*static_cast<Fn*>(p))(); }
+    static void relocate(void* src, void* dst) noexcept {
+      auto* f = static_cast<Fn*>(src);
+      ::new (dst) Fn(std::move(*f));
+      f->~Fn();
+    }
+    static void destroy(void* p) noexcept { static_cast<Fn*>(p)->~Fn(); }
+    static constexpr VTable vtable{&invoke, &relocate, &destroy, is_trivial};
+  };
+
+  template <class Fn>
+  struct HeapOps {
+    static Fn*& ptr(void* p) { return *static_cast<Fn**>(p); }
+    static void invoke(void* p) { (*ptr(p))(); }
+    static void relocate(void* src, void* dst) noexcept {
+      ::new (dst) Fn*(ptr(src));
+    }
+    static void destroy(void* p) noexcept { delete ptr(p); }
+    static constexpr VTable vtable{&invoke, &relocate, &destroy, false};
+  };
+
+  void steal(InplaceCallback& o) noexcept {
+    if (o.vt_ != nullptr) {
+      if (o.vt_->trivial) {
+        std::memcpy(buf_, o.buf_, Capacity);
+      } else {
+        o.vt_->relocate(o.buf_, buf_);
+      }
+      vt_ = o.vt_;
+      o.vt_ = nullptr;
+    }
+  }
+
+  alignas(std::max_align_t) unsigned char buf_[Capacity];
+  const VTable* vt_{nullptr};
+};
+
+}  // namespace ibpower

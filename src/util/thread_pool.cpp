@@ -1,0 +1,52 @@
+#include "util/thread_pool.hpp"
+
+#include "util/expect.hpp"
+
+namespace ibpower {
+
+ThreadPool::ThreadPool(unsigned threads) {
+  const unsigned n = threads == 0 ? 1 : threads;
+  workers_.reserve(n);
+  for (unsigned i = 0; i < n; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+unsigned ThreadPool::default_concurrency() {
+  const unsigned hc = std::thread::hardware_concurrency();
+  return hc == 0 ? 1 : hc;
+}
+
+void ThreadPool::enqueue(Task task) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    IBP_EXPECTS(!stop_);
+    queue_.push_back(std::move(task));
+  }
+  cv_.notify_one();
+}
+
+void ThreadPool::worker_loop() {
+  while (true) {
+    Task task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stop_ set and nothing left to drain
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();  // exceptions are captured by the packaged_task wrapper
+  }
+}
+
+}  // namespace ibpower

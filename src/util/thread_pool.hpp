@@ -1,0 +1,76 @@
+// ThreadPool: a fixed-size, work-stealing-free FIFO thread pool.
+//
+// Design goals (see DESIGN.md §7):
+//  - Determinism-friendly: one shared FIFO queue, tasks start in submission
+//    order, and callers gather futures in submission order — so any fan-out
+//    of *independent* tasks produces output identical to the serial loop,
+//    regardless of thread count or scheduling.
+//  - Exception-transparent: a throwing task surfaces through its
+//    std::future exactly like a direct call would.
+//  - N=1 degrades to a serial executor on a single worker thread, which is
+//    also how the pool behaves on single-core machines.
+//
+// Tasks must not block on futures of tasks submitted *after* them (FIFO
+// ordering makes waiting on earlier tasks safe, later ones can deadlock).
+// The parallel experiment runner only submits leaf work, so this never
+// arises there.
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "util/inplace_callback.hpp"
+
+namespace ibpower {
+
+class ThreadPool {
+ public:
+  /// Spawns max(1, threads) workers.
+  explicit ThreadPool(unsigned threads = default_concurrency());
+
+  /// Joins all workers after draining the queue.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] unsigned size() const {
+    return static_cast<unsigned>(workers_.size());
+  }
+
+  /// hardware_concurrency, clamped to at least 1.
+  [[nodiscard]] static unsigned default_concurrency();
+
+  /// Enqueue a nullary callable; its result (or exception) arrives through
+  /// the returned future.
+  template <class F>
+  auto submit(F&& fn) -> std::future<std::invoke_result_t<std::decay_t<F>&>> {
+    using R = std::invoke_result_t<std::decay_t<F>&>;
+    std::packaged_task<R()> task(std::forward<F>(fn));
+    std::future<R> fut = task.get_future();
+    enqueue(Task([t = std::move(task)]() mutable { t(); }));
+    return fut;
+  }
+
+ private:
+  // packaged_task is a couple of pointers; 64 bytes keeps every submit
+  // allocation-free beyond the packaged_task's own shared state.
+  using Task = InplaceCallback<64>;
+
+  void enqueue(Task task);
+  void worker_loop();
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<Task> queue_;
+  bool stop_{false};
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace ibpower

@@ -2,7 +2,37 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <cstdint>
+#include <cstdlib>
+#include <memory>
+#include <new>
+#include <utility>
 #include <vector>
+
+#include "util/inplace_callback.hpp"
+
+// Counting allocator: replace global operator new so the no-allocation
+// scheduling guarantee of the DES hot path is pinned by a test rather than
+// a heaptrack spot check.
+namespace {
+std::atomic<std::uint64_t> g_alloc_count{0};
+}  // namespace
+
+void* operator new(std::size_t size) {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t size) {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
 
 namespace ibpower {
 namespace {
@@ -69,6 +99,83 @@ TEST(EventQueue, EmptyQueue) {
   EXPECT_TRUE(q.empty());
   EXPECT_FALSE(q.run_next());
   EXPECT_EQ(q.now(), TimeNs::zero());
+}
+
+TEST(EventQueue, ReservedSchedulingDoesNotAllocate) {
+  EventQueue q;
+  q.reserve(1024);
+  int sink = 0;
+  const std::int64_t x = 1, y = 2, z = 3;  // 32-byte capture, fits inline
+  const std::uint64_t before = g_alloc_count.load();
+  for (int i = 0; i < 1000; ++i) {
+    q.schedule(TimeNs{i}, [&sink, x, y, z] {
+      sink += static_cast<int>(x + y + z);
+    });
+  }
+  q.run();
+  const std::uint64_t after = g_alloc_count.load();
+  EXPECT_EQ(after - before, 0u)
+      << "scheduling/running 1000 reserved events should not touch the heap";
+  EXPECT_EQ(sink, 6000);
+}
+
+TEST(InplaceCallback, SmallCapturesStoreInline) {
+  struct Small {
+    std::int64_t a[6];
+    void operator()() const {}
+  };
+  static_assert(EventQueue::Callback::stores_inline<Small>());
+  struct Big {
+    std::int64_t a[7];
+    void operator()() const {}
+  };
+  static_assert(!EventQueue::Callback::stores_inline<Big>());
+}
+
+TEST(InplaceCallback, OversizedCapturesFallBackToHeap) {
+  std::int64_t big[8] = {1, 2, 3, 4, 5, 6, 7, 8};
+  std::int64_t sum = 0;
+  InplaceCallback<48> cb = [big, &sum] {
+    for (const std::int64_t v : big) sum += v;
+  };
+  cb();
+  EXPECT_EQ(sum, 36);
+}
+
+TEST(InplaceCallback, MoveTransfersOwnership) {
+  int fired = 0;
+  InplaceCallback<48> a = [&fired] { ++fired; };
+  InplaceCallback<48> b = std::move(a);
+  EXPECT_FALSE(static_cast<bool>(a));
+  EXPECT_TRUE(static_cast<bool>(b));
+  b();
+  EXPECT_EQ(fired, 1);
+  a = std::move(b);
+  EXPECT_FALSE(static_cast<bool>(b));
+  a();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(InplaceCallback, MoveOnlyCaptureRunsAndDestroys) {
+  auto p = std::make_unique<int>(5);
+  int got = 0;
+  {
+    InplaceCallback<48> cb = [p = std::move(p), &got] { got = *p; };
+    cb();
+  }
+  EXPECT_EQ(got, 5);
+}
+
+TEST(EventQueue, InterleavedScheduleAndRunNextKeepsOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule(TimeNs{10}, [&] { order.push_back(1); });
+  q.schedule(TimeNs{30}, [&] { order.push_back(3); });
+  EXPECT_TRUE(q.run_next());
+  q.schedule(TimeNs{20}, [&] { order.push_back(2); });
+  q.schedule(TimeNs{40}, [&] { order.push_back(4); });
+  q.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3, 4}));
 }
 
 TEST(EventQueue, ManyEventsStressOrder) {

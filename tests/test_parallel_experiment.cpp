@@ -1,0 +1,103 @@
+// Determinism contract: ParallelExperimentRunner must produce results
+// bit-identical to the serial run_experiment / sweep_gt paths, at any
+// thread count, on every repeat.
+#include "sim/parallel.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace ibpower {
+namespace {
+
+ExperimentConfig small_config(const std::string& app, int nranks) {
+  ExperimentConfig cfg;
+  cfg.app = app;
+  cfg.workload.nranks = nranks;
+  cfg.workload.iterations = 6;
+  cfg.workload.seed = 42;
+  cfg.ppa.grouping_threshold = default_gt(app, nranks);
+  cfg.ppa.displacement_factor = 0.01;
+  return cfg;
+}
+
+TEST(ParallelExperiment, RunMatchesSerialAcrossRepeats) {
+  const ExperimentConfig cfg = small_config("alya", 8);
+  const ExperimentResult serial = run_experiment(cfg);
+  EXPECT_TRUE(bit_identical(serial, run_experiment(cfg)));  // serial is stable
+
+  ParallelExperimentRunner runner(4);
+  for (int repeat = 0; repeat < 3; ++repeat) {
+    const ExperimentResult parallel = runner.run(cfg);
+    EXPECT_TRUE(bit_identical(serial, parallel))
+        << "repeat " << repeat << " diverged from serial";
+  }
+}
+
+TEST(ParallelExperiment, RunAllMatchesSerialLoop) {
+  // A mixed slice of the paper grid, including the nonblocking-heavy apps.
+  std::vector<ExperimentConfig> cfgs;
+  cfgs.push_back(small_config("alya", 8));
+  cfgs.push_back(small_config("gromacs", 8));
+  cfgs.push_back(small_config("wrf", 8));
+  cfgs.push_back(small_config("nas_bt", 9));
+  cfgs.push_back(small_config("nas_mg", 8));
+
+  std::vector<ExperimentResult> serial;
+  serial.reserve(cfgs.size());
+  for (const auto& cfg : cfgs) serial.push_back(run_experiment(cfg));
+
+  ParallelExperimentRunner runner(4);
+  const std::vector<ExperimentResult> parallel = runner.run_all(cfgs);
+  ASSERT_EQ(parallel.size(), serial.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_TRUE(bit_identical(serial[i], parallel[i]))
+        << cfgs[i].app << "/" << cfgs[i].workload.nranks;
+  }
+  ASSERT_EQ(runner.last_cell_work_ms().size(), cfgs.size());
+  EXPECT_GT(runner.last_total_work_ms(), 0.0);
+}
+
+TEST(ParallelExperiment, SingleJobDegenerateCaseMatches) {
+  const ExperimentConfig cfg = small_config("gromacs", 8);
+  const ExperimentResult serial = run_experiment(cfg);
+  ParallelExperimentRunner runner(1);
+  EXPECT_TRUE(bit_identical(serial, runner.run(cfg)));
+}
+
+TEST(ParallelExperiment, SweepGtMatchesSerial) {
+  const ExperimentConfig cfg = small_config("nas_mg", 8);
+  std::vector<TimeNs> values;
+  for (const int us : {20, 40, 90, 200, 300}) {
+    values.push_back(TimeNs::from_us(static_cast<std::int64_t>(us)));
+  }
+  const std::vector<GtSweepPoint> serial = sweep_gt(cfg, values);
+
+  ParallelExperimentRunner runner(4);
+  for (int repeat = 0; repeat < 3; ++repeat) {
+    const std::vector<GtSweepPoint> parallel = runner.sweep_gt(cfg, values);
+    ASSERT_EQ(parallel.size(), serial.size());
+    for (std::size_t i = 0; i < serial.size(); ++i) {
+      EXPECT_EQ(parallel[i].gt, serial[i].gt);
+      EXPECT_EQ(parallel[i].hit_rate_pct, serial[i].hit_rate_pct);
+    }
+  }
+}
+
+TEST(ParallelExperiment, UnsupportedRankCountPropagatesAsException) {
+  ExperimentConfig cfg = small_config("nas_bt", 9);
+  cfg.workload.nranks = 10;  // not a square — nas_bt rejects it
+  ParallelExperimentRunner runner(2);
+  EXPECT_THROW((void)runner.run(cfg), std::invalid_argument);
+  EXPECT_THROW((void)runner.run_all({cfg}), std::invalid_argument);
+}
+
+TEST(ParallelExperiment, SimEventsPopulated) {
+  const ExperimentResult r = run_experiment(small_config("alya", 8));
+  EXPECT_GT(r.sim_events, 0u);
+  EXPECT_GT(r.mpi_calls, 0u);
+}
+
+}  // namespace
+}  // namespace ibpower

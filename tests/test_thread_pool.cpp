@@ -1,0 +1,109 @@
+#include "util/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <stdexcept>
+#include <vector>
+
+namespace ibpower {
+namespace {
+
+TEST(ThreadPool, ResultsGatherInSubmissionOrder) {
+  ThreadPool pool(4);
+  std::vector<std::future<int>> futures;
+  for (int i = 0; i < 100; ++i) {
+    futures.push_back(pool.submit([i] { return i * i; }));
+  }
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(futures[static_cast<std::size_t>(i)].get(), i * i);
+  }
+}
+
+TEST(ThreadPool, SingleThreadExecutesInFifoOrder) {
+  // With one worker the shared FIFO queue is a strict serial executor.
+  ThreadPool pool(1);
+  std::vector<int> order;
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 50; ++i) {
+    futures.push_back(pool.submit([&order, i] { order.push_back(i); }));
+  }
+  for (auto& f : futures) f.get();
+  ASSERT_EQ(order.size(), 50u);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+  }
+}
+
+TEST(ThreadPool, ExceptionPropagatesThroughFuture) {
+  ThreadPool pool(2);
+  auto ok = pool.submit([] { return 7; });
+  auto bad = pool.submit(
+      []() -> int { throw std::runtime_error("task failed"); });
+  EXPECT_EQ(ok.get(), 7);
+  EXPECT_THROW(
+      {
+        try {
+          (void)bad.get();
+        } catch (const std::runtime_error& e) {
+          EXPECT_STREQ(e.what(), "task failed");
+          throw;
+        }
+      },
+      std::runtime_error);
+}
+
+TEST(ThreadPool, ThrowingTaskDoesNotKillWorkers) {
+  ThreadPool pool(1);
+  auto bad = pool.submit([] { throw std::runtime_error("boom"); });
+  EXPECT_THROW(bad.get(), std::runtime_error);
+  // The worker that ran the throwing task must still serve new tasks.
+  auto after = pool.submit([] { return 42; });
+  EXPECT_EQ(after.get(), 42);
+}
+
+TEST(ThreadPool, ZeroRequestedThreadsDegradesToOne) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.size(), 1u);
+  EXPECT_EQ(pool.submit([] { return 3; }).get(), 3);
+}
+
+TEST(ThreadPool, DefaultConcurrencyIsAtLeastOne) {
+  EXPECT_GE(ThreadPool::default_concurrency(), 1u);
+}
+
+TEST(ThreadPool, MoveOnlyTaskCaptures) {
+  ThreadPool pool(2);
+  auto ptr = std::make_unique<int>(99);
+  auto fut = pool.submit([p = std::move(ptr)] { return *p; });
+  EXPECT_EQ(fut.get(), 99);
+}
+
+TEST(ThreadPool, ManyConcurrentTasksAllRun) {
+  ThreadPool pool(4);
+  std::atomic<int> sum{0};
+  std::vector<std::future<void>> futures;
+  for (int i = 1; i <= 1000; ++i) {
+    futures.push_back(pool.submit([&sum, i] {
+      sum.fetch_add(i, std::memory_order_relaxed);
+    }));
+  }
+  for (auto& f : futures) f.get();
+  EXPECT_EQ(sum.load(), 1000 * 1001 / 2);
+}
+
+TEST(ThreadPool, DestructorDrainsQueue) {
+  std::atomic<int> ran{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 200; ++i) {
+      (void)pool.submit([&ran] { ran.fetch_add(1); });
+    }
+  }  // ~ThreadPool joins after the queue drains
+  EXPECT_EQ(ran.load(), 200);
+}
+
+}  // namespace
+}  // namespace ibpower

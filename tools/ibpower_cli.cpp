@@ -12,6 +12,7 @@
 //   ibpower_cli gen --app alya --ranks 8 --out alya8.trace
 //   ibpower_cli replay --trace alya8.trace --managed --gt 24
 //   ibpower_cli sweep --app nas_mg --ranks 16
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <iostream>
@@ -21,6 +22,7 @@
 #include <fstream>
 
 #include "sim/experiment.hpp"
+#include "sim/parallel.hpp"
 #include "sim/report.hpp"
 #include "trace/profile.hpp"
 #include "trace/trace_io.hpp"
@@ -74,6 +76,27 @@ WorkloadParams workload_from(const Args& args) {
   p.scale = args.getd("scale", 1.0);
   p.weak_scaling = args.has("weak");
   return p;
+}
+
+unsigned jobs_from(const Args& args) {
+  const int jobs =
+      args.geti("jobs", static_cast<int>(ThreadPool::default_concurrency()));
+  return jobs <= 0 ? 1u : static_cast<unsigned>(jobs);
+}
+
+/// One-line speedup summary for a finished parallel run: serial-equivalent
+/// work vs observed wall-clock.
+void print_speedup(const ParallelExperimentRunner& runner, double wall_ms) {
+  const double work_ms = runner.last_total_work_ms();
+  std::printf("jobs %u: wall %.1f ms, work %.1f ms, speedup %.2fx\n",
+              runner.jobs(), wall_ms, work_ms,
+              wall_ms > 0.0 ? work_ms / wall_ms : 1.0);
+}
+
+double ms_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - t0)
+      .count();
 }
 
 PpaConfig ppa_from(const Args& args, const std::string& app, int nranks) {
@@ -178,7 +201,10 @@ int cmd_run(const Args& args) {
               cfg.app.c_str(), cfg.workload.nranks, cfg.workload.iterations,
               to_string(cfg.ppa.grouping_threshold).c_str(),
               100.0 * cfg.ppa.displacement_factor);
-  print_result(run_experiment(cfg));
+  ParallelExperimentRunner runner(jobs_from(args));
+  const auto t0 = std::chrono::steady_clock::now();
+  print_result(runner.run(cfg));
+  print_speedup(runner, ms_since(t0));
   return 0;
 }
 
@@ -191,7 +217,8 @@ int cmd_sweep(const Args& args) {
   for (const int us : {20, 24, 30, 40, 60, 90, 130, 200, 300, 400}) {
     gts.push_back(TimeNs::from_us(static_cast<std::int64_t>(us)));
   }
-  for (const auto& point : sweep_gt(cfg, gts)) {
+  ParallelExperimentRunner runner(jobs_from(args));
+  for (const auto& point : runner.sweep_gt(cfg, gts)) {
     std::printf("GT %-8s hit %6.2f%%  %s\n", to_string(point.gt).c_str(),
                 point.hit_rate_pct,
                 std::string(static_cast<std::size_t>(point.hit_rate_pct / 2),
@@ -279,6 +306,7 @@ int cmd_grid(const Args& args) {
   const std::string out = args.get("out", "results.csv");
   const bool json = out.size() > 5 && out.substr(out.size() - 5) == ".json";
 
+  std::vector<ExperimentConfig> cfgs;
   std::vector<LabelledResult> rows;
   for (const auto& name : app_names()) {
     const auto app = make_app(name);
@@ -290,17 +318,27 @@ int cmd_grid(const Args& args) {
       cfg.workload.weak_scaling = args.has("weak");
       cfg.ppa.grouping_threshold = default_gt(name, nranks);
       cfg.ppa.displacement_factor = disp;
+      cfgs.push_back(std::move(cfg));
       LabelledResult row;
       row.app = name;
       row.nranks = nranks;
       row.displacement = disp;
-      row.result = run_experiment(cfg);
-      std::printf("%-10s %4d  savings %6.2f%%  incr %6.3f%%  hit %5.1f%%\n",
-                  name.c_str(), nranks, row.result.power.switch_savings_pct,
-                  row.result.time_increase_pct, row.result.hit_rate_pct);
       rows.push_back(std::move(row));
     }
   }
+
+  ParallelExperimentRunner runner(jobs_from(args));
+  const auto t0 = std::chrono::steady_clock::now();
+  const std::vector<ExperimentResult> results = runner.run_all(cfgs);
+  const double wall_ms = ms_since(t0);
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    rows[i].result = results[i];
+    std::printf("%-10s %4d  savings %6.2f%%  incr %6.3f%%  hit %5.1f%%\n",
+                rows[i].app.c_str(), rows[i].nranks,
+                rows[i].result.power.switch_savings_pct,
+                rows[i].result.time_increase_pct, rows[i].result.hit_rate_pct);
+  }
+  print_speedup(runner, wall_ms);
   std::ofstream os(out);
   if (!os) {
     std::fprintf(stderr, "cannot write %s\n", out.c_str());
@@ -320,6 +358,7 @@ int usage() {
                "usage: ibpower_cli <gen|replay|run|sweep|grid|inspect|stats|apps> [--key value]\n"
                "  common: --app NAME --ranks N --iterations N --seed N\n"
                "          --scale X --weak --gt US --disp PCT --treact US\n"
+               "          --jobs N (parallel replays; default: all cores)\n"
                "  gen:    --out FILE          replay: --trace FILE [--managed]\n"
                "  grid:   --out FILE.csv|.json  (full paper evaluation grid)\n");
   return 2;
