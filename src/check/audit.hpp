@@ -1,0 +1,45 @@
+// Compile-time-gated invariant-audit hooks.
+//
+// IBP_AUDIT(stmt) places an auditing statement on an engine hot path. In
+// normal builds the macro expands to nothing — zero code, zero branches, so
+// release throughput (bench_micro) is untouched. Configuring with
+// -DIBPOWER_AUDIT=ON defines IBPOWER_AUDIT_ENABLED project-wide and the
+// statements compile in; the ASan/UBSan CI job and fuzz-harness builds use
+// that mode.
+//
+// Hook sites report violations through IBP_AUDIT_FAIL (printf + abort, like
+// util/expect.hpp) so a fuzzing run dies at the first broken invariant with
+// a usable message. The *post-run* auditors in check/invariant_auditor.hpp
+// are independent of this macro: they walk finished engine state in every
+// build and return diagnostics as strings (the Trace::validate() idiom).
+#pragma once
+
+#if defined(IBPOWER_AUDIT_ENABLED)
+
+#include <cstdio>
+#include <cstdlib>
+
+#define IBP_AUDIT(...)      \
+  do {                      \
+    __VA_ARGS__;            \
+  } while (0)
+
+#define IBP_AUDIT_FAIL(msg)                                               \
+  do {                                                                    \
+    std::fprintf(stderr, "ibpower: audit violation: %s at %s:%d\n", msg,  \
+                 __FILE__, __LINE__);                                     \
+    std::abort();                                                         \
+  } while (0)
+
+#define IBP_AUDIT_CHECK(cond)                     \
+  do {                                            \
+    if (!(cond)) IBP_AUDIT_FAIL(#cond);           \
+  } while (0)
+
+#else
+
+#define IBP_AUDIT(...) ((void)0)
+#define IBP_AUDIT_FAIL(msg) ((void)0)
+#define IBP_AUDIT_CHECK(cond) ((void)0)
+
+#endif

@@ -1,0 +1,104 @@
+#include "check/invariant_auditor.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <limits>
+#include <string>
+
+namespace ibpower {
+
+namespace {
+
+std::string fmt_double(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+}  // namespace
+
+std::string audit_link_schedule(const IbLink& link) {
+  if (std::string err = link.validate_schedule(); !err.empty()) {
+    return "link schedule: " + err;
+  }
+  const TimeNs exec = link.end_time();
+  if (exec < TimeNs::zero()) {
+    return "link exec time is negative";
+  }
+  const TimeNs sum = link.residency(LinkPowerMode::FullPower) +
+                     link.residency(LinkPowerMode::LowPower) +
+                     link.residency(LinkPowerMode::Transition);
+  if (sum != exec) {
+    return "link mode residencies sum to " + std::to_string(sum.ns) +
+           " ns but exec time is " + std::to_string(exec.ns) + " ns";
+  }
+  return {};
+}
+
+std::string audit_energy_closure(const IbLink& link,
+                                 const PowerModelConfig& cfg) {
+  const TimeNs exec = link.end_time();
+  if (exec <= TimeNs::zero()) return {};
+
+  // Independent integration: walk the raw mode segments (not residency())
+  // and accumulate power-weighted nanoseconds. Transitions are charged at
+  // full power, matching the paper (§III-B).
+  double weighted_ns = 0.0;
+  TimeNs cursor = TimeNs::zero();
+  LinkPowerMode mode = LinkPowerMode::FullPower;
+  const auto flush = [&](TimeNs until) {
+    const TimeNs e = min(until, exec);
+    if (e > cursor) {
+      const double frac =
+          mode == LinkPowerMode::LowPower ? cfg.low_power_fraction : 1.0;
+      weighted_ns += frac * static_cast<double>((e - cursor).ns);
+      cursor = e;
+    }
+  };
+  for (const ModeSegment& seg : link.segments()) {
+    flush(seg.begin);
+    cursor = max(cursor, min(seg.begin, exec));
+    mode = seg.mode;
+  }
+  flush(exec);
+
+  const double integrated = cfg.port_nominal_watts * weighted_ns * 1e-9;
+  const LinkPowerSummary s = summarize_link(link, cfg);
+  const double reported = s.energy_joules;
+  // Ulp-scaled tolerance: the two computations differ only in summation
+  // order, so agreement within a few ulps of the larger magnitude (plus a
+  // tiny absolute floor for near-zero energies) is required.
+  const double tol = std::max(std::fabs(integrated), std::fabs(reported)) *
+                         std::numeric_limits<double>::epsilon() * 8.0 +
+                     1e-12;
+  if (std::fabs(integrated - reported) > tol) {
+    return "energy closure violated: segment-walk integration gives " +
+           fmt_double(integrated) + " J but summarize_link reports " +
+           fmt_double(reported) + " J";
+  }
+
+  const double max_savings = (1.0 - cfg.low_power_fraction) * 100.0;
+  if (s.savings_pct < -1e-9 || s.savings_pct > max_savings + 1e-9) {
+    return "savings " + fmt_double(s.savings_pct) + "% outside [0, " +
+           fmt_double(max_savings) + "]%";
+  }
+  return {};
+}
+
+std::string audit_replay(const ReplayEngine& engine,
+                         const PowerModelConfig& cfg) {
+  if (std::string err = engine.audit_drain(); !err.empty()) return err;
+  const Fabric& fabric = engine.fabric();
+  for (NodeId n = 0; n < fabric.nodes_used(); ++n) {
+    const IbLink& link = fabric.link(fabric.topology().node_uplink(n));
+    if (std::string err = audit_link_schedule(link); !err.empty()) {
+      return "node " + std::to_string(n) + " uplink: " + err;
+    }
+    if (std::string err = audit_energy_closure(link, cfg); !err.empty()) {
+      return "node " + std::to_string(n) + " uplink: " + err;
+    }
+  }
+  return {};
+}
+
+}  // namespace ibpower

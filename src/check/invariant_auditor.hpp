@@ -1,0 +1,44 @@
+// InvariantAuditor — post-run whole-system invariant checks (check/).
+//
+// These are the always-compiled companions of the inline IBP_AUDIT hooks in
+// audit.hpp: free functions that inspect a *finished* simulation and return
+// an empty string when every invariant holds, else a description of the
+// first violation (the Trace::validate() idiom). tools/fuzz_replay runs
+// them after every replay in every build; audit builds additionally run the
+// cheap per-mutation subsets inline.
+//
+// Invariant catalog (DESIGN.md §8):
+//   * link-mode state machine legality — IbLink::validate_schedule()
+//   * mode residencies partition [0, exec] exactly (integer nanoseconds)
+//   * energy-accounting closure — an independent segment-walk integration
+//     of the mode timeline reproduces summarize_link()'s energy within an
+//     ulp-scaled tolerance
+//   * replay drain — message conservation, request discipline, rank
+//     completion, non-negative idle intervals (ReplayEngine::audit_drain())
+#pragma once
+
+#include <string>
+
+#include "network/ib_link.hpp"
+#include "power/power_model.hpp"
+#include "sim/replay.hpp"
+
+namespace ibpower {
+
+/// Audits one link's mode schedule and residency accounting. The link must
+/// be finished (finish() called) so residencies are defined.
+[[nodiscard]] std::string audit_link_schedule(const IbLink& link);
+
+/// Energy-accounting closure: integrates power over the mode timeline
+/// independently of residency() and compares against summarize_link()'s
+/// energy_joules within a few ulps (scaled tolerance). Also checks the
+/// reported savings stay within [0, (1 - low_power_fraction) * 100].
+[[nodiscard]] std::string audit_energy_closure(const IbLink& link,
+                                               const PowerModelConfig& cfg);
+
+/// Full post-run audit of a finished replay: drain invariants plus the two
+/// link audits above over every used node uplink.
+[[nodiscard]] std::string audit_replay(const ReplayEngine& engine,
+                                       const PowerModelConfig& cfg = {});
+
+}  // namespace ibpower

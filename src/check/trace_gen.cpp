@@ -1,0 +1,211 @@
+#include "check/trace_gen.hpp"
+
+#include <algorithm>
+#include <iterator>
+
+#include "util/expect.hpp"
+
+namespace ibpower {
+
+GramStreamGenerator::GramStreamGenerator(const GramStreamConfig& cfg) {
+  IBP_EXPECTS(cfg.vocab >= 1);
+  IBP_EXPECTS(cfg.period_len >= 1);
+  IBP_EXPECTS(cfg.periods >= 1);
+  IBP_EXPECTS(cfg.noise_prob >= 0.0 && cfg.noise_prob <= 1.0);
+  IBP_EXPECTS(cfg.idle_median > TimeNs::zero());
+  Rng rng(cfg.seed);
+
+  // Vocabulary: gram i is i+1 consecutive MPI_Sendrecv calls — distinct
+  // contents, so the interner assigns dense distinct ids.
+  std::vector<GramId> vocab;
+  vocab.reserve(static_cast<std::size_t>(cfg.vocab));
+  for (int i = 0; i < cfg.vocab; ++i) {
+    const std::vector<MpiCall> calls(static_cast<std::size_t>(i) + 1,
+                                     MpiCall::Sendrecv);
+    vocab.push_back(interner_.intern(calls));
+  }
+
+  period_.reserve(static_cast<std::size_t>(cfg.period_len));
+  if (cfg.distinct_period) {
+    IBP_EXPECTS(cfg.vocab >= cfg.period_len);
+    // Fisher-Yates prefix: the first period_len entries of a shuffled
+    // vocabulary — pairwise distinct by construction.
+    std::vector<GramId> pool = vocab;
+    for (int i = 0; i < cfg.period_len; ++i) {
+      const auto j = static_cast<std::size_t>(i) +
+                     static_cast<std::size_t>(rng.uniform_below(
+                         static_cast<std::uint64_t>(cfg.vocab - i)));
+      std::swap(pool[static_cast<std::size_t>(i)], pool[j]);
+      period_.push_back(pool[static_cast<std::size_t>(i)]);
+    }
+  } else {
+    for (int i = 0; i < cfg.period_len; ++i) {
+      period_.push_back(
+          vocab[static_cast<std::size_t>(
+              rng.uniform_below(static_cast<std::uint64_t>(cfg.vocab)))]);
+    }
+  }
+
+  const std::size_t total = static_cast<std::size_t>(cfg.period_len) *
+                            static_cast<std::size_t>(cfg.periods);
+  grams_.reserve(total);
+  TimeNs t{};
+  for (std::size_t p = 0; p < total; ++p) {
+    GramId id = period_[p % period_.size()];
+    if (cfg.noise_prob > 0.0 && rng.bernoulli(cfg.noise_prob)) {
+      const GramId sub = vocab[static_cast<std::size_t>(
+          rng.uniform_below(static_cast<std::uint64_t>(cfg.vocab)))];
+      noisy_ = noisy_ || sub != id;
+      id = sub;
+    }
+    const double median = static_cast<double>(cfg.idle_median.ns);
+    const double idle_ns =
+        cfg.idle_jitter_sigma > 0.0
+            ? rng.lognormal(median, cfg.idle_jitter_sigma)
+            : median;
+    const TimeNs idle{std::max<std::int64_t>(
+        1, static_cast<std::int64_t>(idle_ns + 0.5))};
+    const auto n_calls =
+        static_cast<std::uint32_t>(interner_.calls_of(id).size());
+    ClosedGram g;
+    g.id = id;
+    g.position = p;
+    g.preceding_idle = idle;
+    g.begin = t + idle;
+    g.end = g.begin + TimeNs::from_us(std::int64_t{1}) *
+                          static_cast<std::int64_t>(n_calls);
+    g.n_calls = n_calls;
+    t = g.end;
+    grams_.push_back(g);
+  }
+}
+
+namespace {
+
+enum class PhaseKind : std::uint8_t {
+  SendrecvRing,
+  Collective,
+  PairedSendRecv,
+  IsendIrecvWaitall,
+};
+
+struct Phase {
+  PhaseKind kind{PhaseKind::SendrecvRing};
+  MpiCall coll{MpiCall::Allreduce};
+  Bytes bytes{0};
+  std::int32_t tag{0};
+};
+
+Phase random_phase(Rng& rng, const SyntheticTraceConfig& cfg,
+                   std::int32_t tag) {
+  Phase ph;
+  ph.kind = static_cast<PhaseKind>(rng.uniform_below(4));
+  ph.bytes = rng.uniform_int(cfg.min_bytes, cfg.max_bytes);
+  ph.tag = tag;
+  if (ph.kind == PhaseKind::Collective) {
+    static constexpr MpiCall kColls[] = {MpiCall::Allreduce, MpiCall::Barrier,
+                                         MpiCall::Bcast, MpiCall::Alltoall,
+                                         MpiCall::Allgather};
+    ph.coll = kColls[rng.uniform_below(std::size(kColls))];
+    if (ph.coll == MpiCall::Barrier) ph.bytes = 0;
+  }
+  return ph;
+}
+
+void emit_phase(Trace& tr, const Phase& ph, Rank nranks) {
+  switch (ph.kind) {
+    case PhaseKind::SendrecvRing:
+      for (Rank r = 0; r < nranks; ++r) {
+        tr.push(r, SendrecvRecord{(r + 1) % nranks,
+                                  (r + nranks - 1) % nranks, ph.bytes,
+                                  ph.tag});
+      }
+      break;
+    case PhaseKind::Collective:
+      for (Rank r = 0; r < nranks; ++r) {
+        tr.push(r, CollectiveRecord{ph.coll, ph.bytes});
+      }
+      break;
+    case PhaseKind::PairedSendRecv:
+      // Lower rank sends first, higher rank receives first: deadlock-free
+      // under both the eager and the rendezvous protocol. An odd trailing
+      // rank sits the phase out.
+      for (Rank r = 0; r + 1 < nranks; r += 2) {
+        tr.push(r, SendRecord{r + 1, ph.bytes, ph.tag});
+        tr.push(r, RecvRecord{r + 1, ph.bytes, ph.tag});
+        tr.push(r + 1, RecvRecord{r, ph.bytes, ph.tag});
+        tr.push(r + 1, SendRecord{r, ph.bytes, ph.tag});
+      }
+      break;
+    case PhaseKind::IsendIrecvWaitall:
+      for (Rank r = 0; r < nranks; ++r) {
+        tr.push(r, IrecvRecord{(r + nranks - 1) % nranks, ph.bytes, ph.tag,
+                               RequestId{1}});
+        tr.push(r, IsendRecord{(r + 1) % nranks, ph.bytes, ph.tag,
+                               RequestId{2}});
+        tr.push(r, WaitallRecord{});
+      }
+      break;
+  }
+}
+
+}  // namespace
+
+Trace generate_trace(const SyntheticTraceConfig& cfg) {
+  IBP_EXPECTS(cfg.nranks >= 2);
+  IBP_EXPECTS(cfg.phases_per_iteration >= 1);
+  IBP_EXPECTS(cfg.iterations >= 1);
+  IBP_EXPECTS(cfg.min_bytes >= 0 && cfg.min_bytes <= cfg.max_bytes);
+  IBP_EXPECTS(cfg.compute_median > TimeNs::zero());
+
+  Rng structure(cfg.seed);
+  // Independent per-rank jitter streams, split deterministically so the
+  // structure draws above are unaffected by nranks.
+  Rng jitter_root(cfg.seed ^ 0x9e3779b97f4a7c15ULL);
+  std::vector<Rng> jitter;
+  jitter.reserve(static_cast<std::size_t>(cfg.nranks));
+  for (Rank r = 0; r < cfg.nranks; ++r) jitter.push_back(jitter_root.split());
+
+  // The repeating unit: a fixed phase sequence chosen once per trace.
+  std::vector<Phase> phases;
+  phases.reserve(static_cast<std::size_t>(cfg.phases_per_iteration));
+  for (int i = 0; i < cfg.phases_per_iteration; ++i) {
+    phases.push_back(random_phase(structure, cfg, i));
+  }
+
+  Trace tr("fuzz", cfg.nranks);
+  const auto push_compute = [&](Rank r) {
+    const double median = static_cast<double>(cfg.compute_median.ns);
+    const double ns =
+        cfg.compute_jitter_sigma > 0.0
+            ? jitter[static_cast<std::size_t>(r)].lognormal(
+                  median, cfg.compute_jitter_sigma)
+            : median;
+    tr.push(r, ComputeRecord{TimeNs{std::max<std::int64_t>(
+                   1000, static_cast<std::int64_t>(ns + 0.5))}});
+  };
+  const auto emit_with_compute = [&](const Phase& ph) {
+    for (Rank r = 0; r < cfg.nranks; ++r) push_compute(r);
+    emit_phase(tr, ph, cfg.nranks);
+  };
+
+  for (int it = 0; it < cfg.iterations; ++it) {
+    // Noise: occasionally wedge a one-off phase between the periodic ones
+    // (identical on every rank, so the trace stays valid).
+    int noise_slot = -1;
+    Phase noise_phase;
+    if (cfg.noise_prob > 0.0 && structure.bernoulli(cfg.noise_prob)) {
+      noise_slot = static_cast<int>(structure.uniform_int(
+          0, cfg.phases_per_iteration));
+      noise_phase = random_phase(structure, cfg, 900 + it);
+    }
+    for (int p = 0; p < cfg.phases_per_iteration; ++p) {
+      if (p == noise_slot) emit_with_compute(noise_phase);
+      emit_with_compute(phases[static_cast<std::size_t>(p)]);
+    }
+    if (noise_slot == cfg.phases_per_iteration) emit_with_compute(noise_phase);
+  }
+  return tr;
+}
+
+}  // namespace ibpower

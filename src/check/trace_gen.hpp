@@ -1,0 +1,91 @@
+// Seeded random generators for the differential test harness (check/).
+//
+// Two generators, both deterministic functions of their seed:
+//
+//  * GramStreamGenerator — synthetic closed-gram streams for the PPA
+//    differential oracle: a random periodic unit of interned grams repeated
+//    a configurable number of times, with optional per-position noise
+//    substitutions and jittered inter-gram idle gaps.
+//
+//  * generate_trace — synthetic MPI traces for replay fuzzing: a fixed
+//    per-iteration phase sequence (sendrecv rings, collectives, paired
+//    blocking sends, isend/irecv+waitall) repeated with jittered compute
+//    bursts. Every generated trace is deadlock-free by construction and
+//    passes Trace::validate(); a unit test enforces this over many seeds.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/gram.hpp"
+#include "trace/trace.hpp"
+#include "util/rng.hpp"
+
+namespace ibpower {
+
+struct GramStreamConfig {
+  std::uint64_t seed{1};
+  /// Distinct gram contents available to the period.
+  int vocab{4};
+  /// Grams per period (the repeating unit's length).
+  int period_len{4};
+  /// Sample the period without replacement (requires vocab >= period_len):
+  /// pairwise-distinct grams give the PPA differential oracle its strong
+  /// identical-detection guarantee (DESIGN.md §8).
+  bool distinct_period{false};
+  /// Number of period repetitions emitted.
+  int periods{12};
+  /// Per-position probability of replacing the periodic gram with a random
+  /// vocabulary gram (breaks periodicity; differential content checks only
+  /// apply at zero noise).
+  double noise_prob{0.0};
+  /// Median idle gap preceding each gram and its lognormal jitter sigma.
+  TimeNs idle_median{TimeNs::from_us(std::int64_t{200})};
+  double idle_jitter_sigma{0.0};
+};
+
+/// Generates the whole stream up front; owns the interner the grams refer
+/// to (detectors take `&interner()`).
+class GramStreamGenerator {
+ public:
+  explicit GramStreamGenerator(const GramStreamConfig& cfg);
+
+  [[nodiscard]] const GramInterner& interner() const { return interner_; }
+  [[nodiscard]] const std::vector<ClosedGram>& grams() const {
+    return grams_;
+  }
+  /// The periodic unit the stream repeats (before noise).
+  [[nodiscard]] const std::vector<GramId>& period() const { return period_; }
+  /// True when at least one noise substitution was applied.
+  [[nodiscard]] bool noisy() const { return noisy_; }
+
+ private:
+  GramInterner interner_;
+  std::vector<GramId> period_;
+  std::vector<ClosedGram> grams_;
+  bool noisy_{false};
+};
+
+struct SyntheticTraceConfig {
+  std::uint64_t seed{1};
+  Rank nranks{8};
+  /// Communication phases per iteration (the period the PPA should find).
+  int phases_per_iteration{4};
+  /// Iterations (period repetitions).
+  int iterations{10};
+  /// Median compute burst between phases and its lognormal jitter sigma.
+  TimeNs compute_median{TimeNs::from_us(std::int64_t{300})};
+  double compute_jitter_sigma{0.15};
+  /// Per-iteration probability of inserting a one-off extra phase (noise
+  /// event breaking strict periodicity; still deadlock-free).
+  double noise_prob{0.0};
+  /// Message size range; spans eager and rendezvous protocols when the
+  /// upper bound exceeds the replay engine's eager threshold.
+  Bytes min_bytes{256};
+  Bytes max_bytes{64 * 1024};
+};
+
+/// Deterministic synthetic trace; always valid per Trace::validate().
+[[nodiscard]] Trace generate_trace(const SyntheticTraceConfig& cfg);
+
+}  // namespace ibpower

@@ -144,6 +144,18 @@ void PaperPpa::step_grow(int event) {
       }
     }
   }
+  if (!extendable) {
+    // The prefix entry of a multi-step growth chain was itself created by
+    // the previous grow and records only the position it grew at, so its
+    // occurrence list alone dead-ends every chain after one gram (patterns
+    // longer than three grams could never be detected). The gram array is
+    // the authoritative record of previous occurrences — scan it for an
+    // earlier appearance of the grown window before declaring the growth
+    // bogus.
+    for (std::size_t q = 0; q < pos_cur_ && !extendable; ++q) {
+      extendable = window_equals(q, pos_cur_, size_ + 1);
+    }
+  }
 
   if (!extendable) {
     // Alg. 2 l. 38: drop the candidate and restart from bi-grams.

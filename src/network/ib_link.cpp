@@ -1,7 +1,9 @@
 #include "network/ib_link.hpp"
 
 #include <algorithm>
+#include <string>
 
+#include "check/audit.hpp"
 #include "util/expect.hpp"
 
 namespace ibpower {
@@ -61,6 +63,8 @@ void IbLink::request_low_power(TimeNs now, TimeNs duration) {
   append_mode(start + cfg_.t_deact, LinkPowerMode::LowPower); // 1 lane active
   append_mode(react_at, LinkPowerMode::Transition);           // timer fired
   append_mode(react_at + cfg_.t_react, LinkPowerMode::FullPower);
+  IBP_AUDIT(if (const std::string err = validate_schedule(); !err.empty())
+                IBP_AUDIT_FAIL(err.c_str()));
 }
 
 TimeNs IbLink::next_full_time(TimeNs t) const {
@@ -132,6 +136,8 @@ IbLink::TxReservation IbLink::reserve(Direction dir, TimeNs ready,
   avail_[d] = start + ser;
   busy_[d].add(start, start + ser);
   defer_shutdown(start, start + ser);
+  IBP_AUDIT(if (const std::string err = validate_schedule(); !err.empty())
+                IBP_AUDIT_FAIL(err.c_str()));
   return {start, start + ser, penalty};
 }
 
@@ -180,6 +186,53 @@ void IbLink::finish(TimeNs end) {
   IBP_EXPECTS(!finished_);
   finished_ = true;
   end_time_ = end;
+}
+
+std::string IbLink::validate_schedule() const {
+  const auto name = [](LinkPowerMode m) {
+    switch (m) {
+      case LinkPowerMode::FullPower: return "FullPower";
+      case LinkPowerMode::LowPower: return "LowPower";
+      case LinkPowerMode::Transition: return "Transition";
+    }
+    return "?";
+  };
+  LinkPowerMode prev = LinkPowerMode::FullPower;  // implicit initial mode
+  TimeNs prev_begin = TimeNs{-1};
+  for (std::size_t i = 0; i < segments_.size(); ++i) {
+    const ModeSegment& seg = segments_[i];
+    if (seg.begin < TimeNs::zero()) {
+      return "segment " + std::to_string(i) + " begins before t=0";
+    }
+    if (seg.begin <= prev_begin) {
+      return "segment " + std::to_string(i) +
+             " begin not strictly increasing (timer monotonicity)";
+    }
+    if (seg.mode == prev) {
+      return "segment " + std::to_string(i) + " repeats mode " +
+             name(seg.mode);
+    }
+    // Legal state-machine edges only: lanes always pass through Transition.
+    const bool legal =
+        (prev == LinkPowerMode::FullPower &&
+         seg.mode == LinkPowerMode::Transition) ||
+        (prev == LinkPowerMode::Transition &&
+         (seg.mode == LinkPowerMode::LowPower ||
+          seg.mode == LinkPowerMode::FullPower)) ||
+        (prev == LinkPowerMode::LowPower &&
+         seg.mode == LinkPowerMode::Transition);
+    if (!legal) {
+      return "illegal mode edge " + std::string(name(prev)) + " -> " +
+             name(seg.mode) + " at segment " + std::to_string(i);
+    }
+    prev = seg.mode;
+    prev_begin = seg.begin;
+  }
+  if (!segments_.empty() && prev != LinkPowerMode::FullPower) {
+    return "schedule does not end at FullPower (ends " + std::string(name(prev)) +
+           ")";
+  }
+  return {};
 }
 
 TimeNs IbLink::residency(LinkPowerMode mode) const {

@@ -20,6 +20,7 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "core/pmpi_agent.hpp"  // LinkPowerPort
@@ -102,6 +103,15 @@ class IbLink final : public LinkPowerPort {
   }
 
   [[nodiscard]] const LinkConfig& config() const { return cfg_; }
+
+  /// Invariant audit of the mode schedule (check/ subsystem): segment begin
+  /// times strictly increasing, no same-mode adjacency, every transition
+  /// follows a legal state-machine edge (FullPower -> Transition ->
+  /// {LowPower, FullPower}, LowPower -> Transition), and the schedule ends
+  /// at FullPower. Returns an empty string when valid, else a description
+  /// of the first violation (the Trace::validate() idiom). Audit builds
+  /// (-DIBPOWER_AUDIT=ON) run this after every schedule mutation.
+  [[nodiscard]] std::string validate_schedule() const;
 
  private:
   /// Append a mode change, dropping any scheduled changes at or after `t`.

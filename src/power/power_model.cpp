@@ -1,5 +1,6 @@
 #include "power/power_model.hpp"
 
+#include "check/audit.hpp"
 #include "util/expect.hpp"
 
 namespace ibpower {
@@ -25,6 +26,19 @@ LinkPowerSummary summarize_link(const IbLink& link,
   }
   s.savings_pct = 100.0 * savings;
   s.energy_joules = cfg.port_nominal_watts * s.mean_power_fraction * exec.s();
+  // Energy-accounting closure: the three mode residencies partition [0, exec]
+  // exactly (integer nanoseconds — no tolerance needed), and the resulting
+  // mean power fraction must land in [low_power_fraction, 1].
+  IBP_AUDIT({
+    const TimeNs resid = s.full_time + s.low_time + s.transition_time;
+    if (resid != exec) {
+      IBP_AUDIT_FAIL("link mode residencies do not sum to exec time");
+    }
+    if (s.mean_power_fraction < cfg.low_power_fraction - 1e-9 ||
+        s.mean_power_fraction > 1.0 + 1e-9) {
+      IBP_AUDIT_FAIL("mean power fraction outside [low_power_fraction, 1]");
+    }
+  });
   return s;
 }
 

@@ -14,6 +14,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "check/audit.hpp"
 #include "util/expect.hpp"
 #include "util/inplace_callback.hpp"
 #include "util/time_types.hpp"
@@ -32,6 +33,7 @@ class EventQueue {
     IBP_EXPECTS(t >= now_);
     heap_.push_back(Entry{t, seq_++, std::move(cb)});
     sift_up(heap_.size() - 1);
+    IBP_AUDIT(audit_verify_heap());
   }
 
   [[nodiscard]] bool empty() const { return heap_.empty(); }
@@ -52,6 +54,8 @@ class EventQueue {
     } else {
       heap_.pop_back();
     }
+    IBP_AUDIT(audit_verify_heap());
+    // Simulated time is monotone: no event may run before the current time.
     IBP_ASSERT(entry.t >= now_);
     now_ = entry.t;
     ++processed_;
@@ -102,6 +106,21 @@ class EventQueue {
     }
     heap_[i] = std::move(e);
   }
+
+#if defined(IBPOWER_AUDIT_ENABLED)
+  /// Audit builds only: full heap-order and time-monotonicity verification
+  /// after every mutation (O(n); compiled out entirely otherwise).
+  void audit_verify_heap() const {
+    for (std::size_t i = 1; i < heap_.size(); ++i) {
+      if (earlier(heap_[i], heap_[(i - 1) / 2])) {
+        IBP_AUDIT_FAIL("EventQueue heap order violated");
+      }
+    }
+    if (!heap_.empty() && heap_.front().t < now_) {
+      IBP_AUDIT_FAIL("EventQueue head is in the past");
+    }
+  }
+#endif
 
   std::vector<Entry> heap_;
   TimeNs now_{};

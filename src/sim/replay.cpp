@@ -3,6 +3,8 @@
 #include <stdexcept>
 #include <string>
 
+#include "check/audit.hpp"
+
 namespace ibpower {
 
 ReplayEngine::ReplayEngine(const Trace* trace, const ReplayOptions& options)
@@ -69,7 +71,77 @@ ReplayResult ReplayEngine::run() {
   result.events_processed = queue_.processed();
   result.messages_sent = messages_;
   fabric_->finish(result.exec_time);
+  IBP_AUDIT(if (const std::string err = audit_drain(); !err.empty())
+                IBP_AUDIT_FAIL(err.c_str()));
   return result;
+}
+
+std::string ReplayEngine::audit_drain() const {
+  if (!ran_) return "replay audit: run() has not been called";
+  if (done_count_ != trace_->nranks()) {
+    return "replay audit: " +
+           std::to_string(trace_->nranks() - done_count_) +
+           " rank(s) not done at drain";
+  }
+  // Message conservation: a message still queued (or a receive still
+  // waiting) at drain means a send was never consumed — or consumed twice,
+  // leaving a later receive unmatched.
+  std::string err;
+  channels_.for_each([&err](std::uint64_t key, const auto& ch) {
+    if (!err.empty() || !ch) return;
+    if (!ch->queue.empty()) {
+      err = "replay audit: " + std::to_string(ch->queue.size()) +
+            " in-flight message(s) at drain on channel key " +
+            std::to_string(key);
+    } else if (!ch->waiting.empty()) {
+      err = "replay audit: " + std::to_string(ch->waiting.size()) +
+            " receive(s) still waiting at drain on channel key " +
+            std::to_string(key);
+    }
+  });
+  if (!err.empty()) return err;
+  bool stranded_sender = false;
+  pending_send_enter_.for_each(
+      [&stranded_sender](std::uint64_t, TimeNs) { stranded_sender = true; });
+  if (stranded_sender) {
+    return "replay audit: rendezvous sender never resumed at drain";
+  }
+  for (Rank r = 0; r < trace_->nranks(); ++r) {
+    const auto& st = ranks_[static_cast<std::size_t>(r)];
+    if (!st.done) {
+      return "replay audit: rank " + std::to_string(r) + " not done";
+    }
+    if (st.blocked_in_wait) {
+      return "replay audit: rank " + std::to_string(r) +
+             " still blocked in Wait at drain";
+    }
+    if (!st.pending_requests.empty()) {
+      return "replay audit: rank " + std::to_string(r) +
+             " has pending request(s) at drain";
+    }
+    if (!st.completed_requests.empty()) {
+      return "replay audit: rank " + std::to_string(r) +
+             " has unretired completed request(s) at drain";
+    }
+    if (st.now < TimeNs::zero()) {
+      return "replay audit: rank " + std::to_string(r) +
+             " finished at negative time";
+    }
+    // Non-negative idle intervals: enter/exit pairs are ordered and the gap
+    // between consecutive calls on a rank never goes backwards.
+    const auto& timeline = call_timelines_[static_cast<std::size_t>(r)];
+    for (std::size_t i = 0; i < timeline.size(); ++i) {
+      if (timeline[i].exit < timeline[i].enter) {
+        return "replay audit: rank " + std::to_string(r) + " call " +
+               std::to_string(i) + " exits before it enters";
+      }
+      if (i > 0 && timeline[i].enter < timeline[i - 1].exit) {
+        return "replay audit: rank " + std::to_string(r) + " call " +
+               std::to_string(i) + " begins a negative idle interval";
+      }
+    }
+  }
+  return {};
 }
 
 void ReplayEngine::advance(Rank r) {
@@ -133,6 +205,9 @@ void ReplayEngine::do_compute(Rank r, const ComputeRecord& rec) {
 void ReplayEngine::finish_call(Rank r, MpiCall call, TimeNs enter,
                                TimeNs exit) {
   auto& st = ranks_[static_cast<std::size_t>(r)];
+  // Calls occupy non-negative spans and never complete in this rank's past.
+  IBP_AUDIT_CHECK(exit >= enter && enter >= TimeNs::zero());
+  IBP_AUDIT_CHECK(exit >= st.now);
   if (opt_.enable_power_management) {
     agents_[static_cast<std::size_t>(r)]->on_call_exit(call, exit);
   }

@@ -72,6 +72,17 @@ class ReplayEngine {
   }
   [[nodiscard]] const ReplayOptions& options() const { return opt_; }
 
+  /// Post-run invariant audit (check/ subsystem): message conservation
+  /// (every send consumed by exactly one recv — all channel queues and
+  /// waiting lists drained), request discipline (no pending or unretired
+  /// completed requests, nobody blocked in Wait), every rank done, and —
+  /// when the call timeline was recorded — per-rank call monotonicity with
+  /// non-negative idle intervals. Returns an empty string when all
+  /// invariants hold, else a description of the first violation. Audit
+  /// builds (-DIBPOWER_AUDIT=ON) run this automatically at the end of
+  /// run(); tools/fuzz_replay runs it in every build.
+  [[nodiscard]] std::string audit_drain() const;
+
  private:
   // --- channel bookkeeping ---
   struct ChannelMsg {

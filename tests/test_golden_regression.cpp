@@ -1,0 +1,83 @@
+// Golden regression pinning the Fig. 9 reproduction (displacement 1%) at
+// the paper grid's smallest sizes with reduced iterations, so the full
+// experiment pipeline — workload generation, baseline + managed replay,
+// PPA, power-mode control, power model — is guarded end to end by ctest.
+//
+// The bands are centered on the values measured at the time this test was
+// written (seed 42, 30 iterations; the pipeline is deterministic, so the
+// slack only absorbs deliberate small model refinements). A change that
+// moves a cell outside its band is a real behavior change and must update
+// the band knowingly. EXPERIMENTS.md tracks the full-grid counterpart.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "sim/experiment.hpp"
+#include "workloads/app_model.hpp"
+
+namespace ibpower {
+namespace {
+
+struct GoldenCell {
+  const char* app;
+  int nranks;
+  double savings_pct;   // measured at 30 iterations, displacement 1%
+  double savings_band;  // +/- tolerance (percentage points)
+};
+
+// Paper Fig. 9a smallest-size ordering for reference: NAS BT 51.3,
+// WRF 38.1, GROMACS 36.0, NAS MG 27.7, ALYA 14.5.
+constexpr GoldenCell kGolden[] = {
+    {"gromacs", 8, 33.66, 1.5},
+    {"alya", 8, 15.96, 1.5},
+    {"wrf", 8, 26.90, 1.5},
+    {"nas_bt", 9, 43.79, 1.5},
+    {"nas_mg", 8, 16.75, 1.5},
+};
+
+ExperimentResult run_cell(const GoldenCell& cell) {
+  ExperimentConfig cfg;
+  cfg.app = cell.app;
+  cfg.workload.nranks = cell.nranks;
+  cfg.workload.iterations = 30;
+  cfg.workload.seed = 42;
+  cfg.ppa.grouping_threshold = default_gt(cell.app, cell.nranks);
+  cfg.ppa.displacement_factor = 0.01;
+  return run_experiment(cfg);
+}
+
+TEST(GoldenRegression, Fig9SmallSizeSavingsWithinBands) {
+  double nas_bt = 0.0, alya = 0.0;
+  for (const GoldenCell& cell : kGolden) {
+    const ExperimentResult r = run_cell(cell);
+    const double savings = r.power.switch_savings_pct;
+    EXPECT_NEAR(savings, cell.savings_pct, cell.savings_band) << cell.app;
+    // Hard physical bounds regardless of band drift.
+    EXPECT_GT(savings, 0.0) << cell.app;
+    EXPECT_LT(savings, 57.0) << cell.app;  // (1 - 0.43) * 100 ceiling
+    // Managed runs may only slow the application down, and at displacement
+    // 1% the paper reports sub-percent increases across the board.
+    EXPECT_GE(r.time_increase_pct, 0.0) << cell.app;
+    EXPECT_LT(r.time_increase_pct, 5.0) << cell.app;
+    EXPECT_GT(r.hit_rate_pct, 0.0) << cell.app;
+    if (std::string(cell.app) == "nas_bt") nas_bt = savings;
+    if (std::string(cell.app) == "alya") alya = savings;
+  }
+  // Fig. 9 shape: NAS BT saves the most at the smallest size, ALYA is near
+  // the bottom (its savings are the paper's smallest-app column).
+  for (const GoldenCell& cell : kGolden) {
+    if (std::string(cell.app) == "nas_bt") continue;
+    EXPECT_LT(cell.savings_pct, nas_bt) << cell.app;
+  }
+  EXPECT_LT(alya, 20.0);
+}
+
+TEST(GoldenRegression, Fig9CellIsDeterministic) {
+  // The band test above is only meaningful because reruns are bit-stable.
+  const ExperimentResult a = run_cell(kGolden[1]);
+  const ExperimentResult b = run_cell(kGolden[1]);
+  EXPECT_TRUE(bit_identical(a, b));
+}
+
+}  // namespace
+}  // namespace ibpower

@@ -1,0 +1,106 @@
+// Tests for the check/ subsystem's post-run invariant auditors. The
+// positive direction (clean runs audit clean) is exercised over every link
+// lifecycle the public API can produce — idle, gated, on-demand woken —
+// and over full baseline/managed replays of a synthetic trace; the
+// negative direction uses the one violation reachable without poking
+// internals: auditing a replay that never ran.
+#include "check/invariant_auditor.hpp"
+
+#include <gtest/gtest.h>
+
+#include "check/trace_gen.hpp"
+
+namespace ibpower {
+namespace {
+
+using namespace ibpower::literals;
+
+TEST(InvariantAuditor, IdleFinishedLinkAuditsClean) {
+  IbLink link;
+  link.finish(1_ms);
+  EXPECT_EQ(audit_link_schedule(link), "");
+  EXPECT_EQ(audit_energy_closure(link, PowerModelConfig{}), "");
+  // No gating: the whole execution is FullPower residency.
+  EXPECT_EQ(link.residency(LinkPowerMode::FullPower), 1_ms);
+  EXPECT_EQ(summarize_link(link, PowerModelConfig{}).savings_pct, 0.0);
+}
+
+TEST(InvariantAuditor, GatedLinkAuditsClean) {
+  IbLink link;
+  link.request_low_power(100_us, 500_us);
+  // Finish well after the scheduled reactivation so the schedule ends at
+  // FullPower (t_react defaults to 10 us).
+  link.finish(1_ms);
+  ASSERT_EQ(audit_link_schedule(link), "");
+  EXPECT_EQ(audit_energy_closure(link, PowerModelConfig{}), "");
+  const LinkPowerSummary s = summarize_link(link, PowerModelConfig{});
+  EXPECT_GT(s.savings_pct, 0.0);
+  EXPECT_LE(s.savings_pct, 57.0);  // (1 - 0.43) * 100
+  // Residency partition, the invariant audit_link_schedule enforces.
+  EXPECT_EQ(link.residency(LinkPowerMode::FullPower) +
+                link.residency(LinkPowerMode::LowPower) +
+                link.residency(LinkPowerMode::Transition),
+            1_ms);
+}
+
+TEST(InvariantAuditor, OnDemandWokenLinkAuditsClean) {
+  IbLink link;
+  link.request_low_power(0_us, 2_ms);
+  // Transmit mid-gate: the message triggers an on-demand wake, splicing an
+  // early Transition -> FullPower edge into the schedule.
+  const auto res = link.reserve(Direction::Up, 500_us, Bytes{65536});
+  EXPECT_GT(res.power_delay, TimeNs::zero());
+  EXPECT_EQ(link.on_demand_wakes(), 1u);
+  link.finish(3_ms);
+  EXPECT_EQ(audit_link_schedule(link), "");
+  EXPECT_EQ(audit_energy_closure(link, PowerModelConfig{}), "");
+}
+
+TEST(InvariantAuditor, EnergyClosureHoldsAcrossLowPowerFractions) {
+  IbLink link;
+  link.request_low_power(50_us, 300_us);
+  link.finish(2_ms);
+  for (const double frac : {0.2, 0.43, 0.9}) {
+    PowerModelConfig cfg;
+    cfg.low_power_fraction = frac;
+    EXPECT_EQ(audit_energy_closure(link, cfg), "") << "fraction " << frac;
+  }
+}
+
+TEST(InvariantAuditor, UnranReplayIsFlagged) {
+  SyntheticTraceConfig tcfg;
+  tcfg.seed = 5;
+  tcfg.nranks = 4;
+  tcfg.iterations = 2;
+  const Trace trace = generate_trace(tcfg);
+  const ReplayEngine engine(&trace, ReplayOptions{});
+  const std::string err = audit_replay(engine);
+  EXPECT_NE(err.find("run() has not been called"), std::string::npos) << err;
+}
+
+TEST(InvariantAuditor, BaselineAndManagedReplaysAuditClean) {
+  SyntheticTraceConfig tcfg;
+  tcfg.seed = 17;
+  tcfg.nranks = 8;
+  tcfg.phases_per_iteration = 3;
+  tcfg.iterations = 8;
+  const Trace trace = generate_trace(tcfg);
+  ASSERT_EQ(trace.validate(), "");
+
+  ReplayOptions base;
+  base.fabric.random_routing = false;
+  base.enable_power_management = false;
+  base.record_call_timeline = true;
+  ReplayOptions managed = base;
+  managed.enable_power_management = true;
+
+  for (const ReplayOptions& opt : {base, managed}) {
+    ReplayEngine engine(&trace, opt);
+    (void)engine.run();
+    EXPECT_EQ(audit_replay(engine, PowerModelConfig{}), "")
+        << (opt.enable_power_management ? "managed" : "baseline");
+  }
+}
+
+}  // namespace
+}  // namespace ibpower

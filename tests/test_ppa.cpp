@@ -250,6 +250,36 @@ TEST(Ppa, MarkDetectedIsIdempotent) {
   EXPECT_TRUE(pl[a].detected);
 }
 
+TEST(Ppa, SingleRepeatedGramDetectsDoubledGram) {
+  // Degenerate stream: one gram repeated forever. The minimal period is 1,
+  // but bi-grams are the smallest candidates, so the resolved behavior
+  // (pinned here and in test_ppa_paper.cpp, where PaperPpa agrees exactly)
+  // is the doubled gram [A, A], fired at the sixth gram — the earliest
+  // point where the bi-gram has appeared three times back-to-back.
+  GramInterner interner;
+  PatternDetector det(test_config(), &interner);
+  const GramId A = interner.intern({SR});
+  std::optional<PatternId> armed;
+  int armed_at = -1;
+  for (int i = 0; i < 12; ++i) {
+    ClosedGram g;
+    g.id = A;
+    g.position = static_cast<std::size_t>(i);
+    g.preceding_idle = 100_us;
+    if (auto id = det.observe(g); id && !armed) {
+      armed = id;
+      armed_at = i;
+      det.set_scanning(false);
+    }
+  }
+  ASSERT_TRUE(armed.has_value());
+  EXPECT_EQ(armed_at, 5);
+  const PatternInfo& info = det.patterns()[*armed];
+  ASSERT_EQ(info.length(), 2u);
+  EXPECT_EQ(info.grams[0], A);
+  EXPECT_EQ(info.grams[1], A);
+}
+
 TEST(GapEstimate, RunningMean) {
   GapEstimate est;
   est.observe(100_us, 0.0);

@@ -204,6 +204,98 @@ TEST(PaperPpa, CheckORejectsNonExtendablePattern) {
   EXPECT_TRUE(removed);
 }
 
+TEST(PaperPpa, SingleRepeatedGramAgreesWithProduction) {
+  // Degenerate stream A A A A ... (minimal period 1). Resolved behavior,
+  // pinned here: both implementations detect the doubled gram [A, A] at the
+  // sixth gram — the earliest point where the bi-gram has appeared three
+  // times back-to-back. No divergence on this stream.
+  GramInterner interner;
+  PaperPpa paper(paper_config(), &interner);
+  PatternDetector production(paper_config(), &interner);
+  const GramId A = interner.intern({SR});
+
+  int paper_at = -1, production_at = -1;
+  std::string paper_key;
+  std::optional<PatternId> production_id;
+  for (int i = 0; i < 12; ++i) {
+    ClosedGram g;
+    g.id = A;
+    g.position = static_cast<std::size_t>(i);
+    g.preceding_idle = 100_us;
+    if (auto k = paper.on_event(g); k && paper_at < 0) {
+      paper_key = *k;
+      paper_at = i;
+    }
+    if (production.scanning()) {
+      if (auto id = production.observe(g); id) {
+        production_id = id;
+        production_at = i;
+        production.set_scanning(false);
+      }
+    }
+  }
+  EXPECT_EQ(paper_at, 5);
+  EXPECT_EQ(production_at, 5);
+  EXPECT_EQ(paper_key, "41_41");
+  ASSERT_TRUE(production_id.has_value());
+  const PatternInfo& info = production.patterns()[*production_id];
+  ASSERT_EQ(info.length(), 2u);
+  EXPECT_EQ(info.grams[0], A);
+  EXPECT_EQ(info.grams[1], A);
+}
+
+TEST(PaperPpa, GrowthChainDetectsFullDistinctPeriod) {
+  // A B C D A B C D ... with four pairwise-distinct grams. Each growth step
+  // creates the grown entry with only the position it grew at, so checkO's
+  // occurrence list dead-ends after one added gram; the content-scan
+  // fallback over the gram array is what lets the chain reach the full
+  // period. Pins that the literal Algorithm 2 detects patterns longer than
+  // three grams at all, and the exact timing: the paper implementation
+  // fires at gram 15 (fourth appearance fully visible), the production
+  // periodicity formulation one appearance earlier at gram 11.
+  GramInterner interner;
+  PaperPpa paper(paper_config(), &interner);
+  PatternDetector production(paper_config(), &interner);
+  const GramId period[] = {
+      interner.intern({MpiCall::Send}), interner.intern({MpiCall::Recv}),
+      interner.intern({MpiCall::Bcast}), interner.intern({AR})};
+
+  int paper_at = -1, production_at = -1;
+  std::string paper_key;
+  std::optional<PatternId> production_id;
+  for (int i = 0; i < 40; ++i) {
+    ClosedGram g;
+    g.id = period[static_cast<std::size_t>(i % 4)];
+    g.position = static_cast<std::size_t>(i);
+    g.preceding_idle = 100_us;
+    if (auto k = paper.on_event(g); k && paper_at < 0) {
+      paper_key = *k;
+      paper_at = i;
+    }
+    if (production.scanning()) {
+      if (auto id = production.observe(g); id) {
+        production_id = id;
+        production_at = i;
+        production.set_scanning(false);
+      }
+    }
+  }
+  EXPECT_EQ(paper_at, 15);
+  EXPECT_EQ(production_at, 11);
+
+  // Both detect the full period, same content (paper's key is unrotated).
+  std::string expect_key;
+  for (const GramId id : period) {
+    if (!expect_key.empty()) expect_key += '_';
+    expect_key += interner.to_string(id);
+  }
+  EXPECT_EQ(paper_key, expect_key);
+  ASSERT_TRUE(production_id.has_value());
+  const PatternInfo& info = production.patterns()[*production_id];
+  ASSERT_EQ(info.length(), 4u);
+  for (std::size_t i = 0; i < 4; ++i) EXPECT_EQ(info.grams[i], period[i]);
+}
+
 // Differential property: the two Algorithm-2 implementations agree on
 // random noise-free periodic gram streams (same predicted pattern content,
 // possibly rotated; production fires no later).

@@ -1,0 +1,83 @@
+// Round-trip test for the Paraver-like .prv timeline format against the
+// checked-in Fig. 6 fixture: parse -> serialize -> re-parse must be the
+// identity, and re-serialization must be byte-stable. Guards both
+// directions of the format against silent drift (the fixture is also what
+// bench_fig6_timeline regenerates).
+#include "trace/paraver.hpp"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+#include <string>
+
+namespace ibpower {
+namespace {
+
+const char* fixture_path() {
+  return IBPOWER_REPO_DIR "/fig6_gromacs16.prv";
+}
+
+void expect_same_timeline(const StateTimeline& a, const StateTimeline& b) {
+  EXPECT_EQ(a.nrows(), b.nrows());
+  EXPECT_EQ(a.duration(), b.duration());
+  ASSERT_EQ(a.records().size(), b.records().size());
+  for (std::size_t i = 0; i < a.records().size(); ++i) {
+    const StateTimeline::Record& ra = a.records()[i];
+    const StateTimeline::Record& rb = b.records()[i];
+    EXPECT_EQ(ra.row, rb.row) << "record " << i;
+    EXPECT_EQ(ra.span.begin, rb.span.begin) << "record " << i;
+    EXPECT_EQ(ra.span.end, rb.span.end) << "record " << i;
+    EXPECT_EQ(ra.state, rb.state) << "record " << i;
+  }
+}
+
+TEST(PrvRoundtrip, Fig6FixtureParses) {
+  std::ifstream in(fixture_path());
+  ASSERT_TRUE(in.is_open()) << fixture_path();
+  std::string app;
+  const StateTimeline tl = StateTimeline::read_prv(in, &app);
+  EXPECT_EQ(app, "gromacs");
+  EXPECT_EQ(tl.nrows(), 16);
+  EXPECT_EQ(tl.duration().ns, 186623805);
+  EXPECT_FALSE(tl.records().empty());
+}
+
+TEST(PrvRoundtrip, ParseSerializeReparseIsIdentity) {
+  std::ifstream in(fixture_path());
+  ASSERT_TRUE(in.is_open()) << fixture_path();
+  std::string app;
+  const StateTimeline first = StateTimeline::read_prv(in, &app);
+
+  std::ostringstream out1;
+  first.write_prv(out1, app);
+  std::istringstream back1(out1.str());
+  std::string app2;
+  const StateTimeline second = StateTimeline::read_prv(back1, &app2);
+  EXPECT_EQ(app2, app);
+  expect_same_timeline(first, second);
+
+  // Serialization is byte-stable across round trips.
+  std::ostringstream out2;
+  second.write_prv(out2, app2);
+  EXPECT_EQ(out1.str(), out2.str());
+}
+
+TEST(PrvRoundtrip, ResidencySurvivesRoundTrip) {
+  std::ifstream in(fixture_path());
+  ASSERT_TRUE(in.is_open()) << fixture_path();
+  const StateTimeline first = StateTimeline::read_prv(in);
+  std::ostringstream out;
+  first.write_prv(out, "gromacs");
+  std::istringstream back(out.str());
+  const StateTimeline second = StateTimeline::read_prv(back);
+  for (std::int32_t row = 0; row < first.nrows(); ++row) {
+    for (const std::int32_t state : {0, 1, 2}) {
+      EXPECT_EQ(first.residency(row, state), second.residency(row, state))
+          << "row " << row << " state " << state;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ibpower

@@ -1,0 +1,137 @@
+// Tests for the check/ subsystem's seeded random generators: gram streams
+// for the PPA differential oracle and synthetic MPI traces for replay
+// fuzzing. The load-bearing properties are determinism (a seed fully
+// reproduces a failure) and structural validity (every generated trace is
+// deadlock-free per Trace::validate()).
+#include "check/trace_gen.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace ibpower {
+namespace {
+
+TEST(GramStream, DeterministicForSeed) {
+  GramStreamConfig cfg;
+  cfg.seed = 7;
+  cfg.noise_prob = 0.2;
+  cfg.idle_jitter_sigma = 0.3;
+  const GramStreamGenerator a(cfg);
+  const GramStreamGenerator b(cfg);
+  ASSERT_EQ(a.grams().size(), b.grams().size());
+  ASSERT_EQ(a.period(), b.period());
+  EXPECT_EQ(a.noisy(), b.noisy());
+  for (std::size_t i = 0; i < a.grams().size(); ++i) {
+    EXPECT_EQ(a.grams()[i].id, b.grams()[i].id);
+    EXPECT_EQ(a.grams()[i].position, b.grams()[i].position);
+    EXPECT_EQ(a.grams()[i].begin, b.grams()[i].begin);
+    EXPECT_EQ(a.grams()[i].end, b.grams()[i].end);
+    EXPECT_EQ(a.grams()[i].preceding_idle, b.grams()[i].preceding_idle);
+  }
+}
+
+TEST(GramStream, NoiseFreeStreamIsExactlyPeriodic) {
+  GramStreamConfig cfg;
+  cfg.seed = 11;
+  cfg.period_len = 5;
+  cfg.vocab = 3;
+  cfg.periods = 9;
+  const GramStreamGenerator gen(cfg);
+  EXPECT_FALSE(gen.noisy());
+  ASSERT_EQ(gen.period().size(), 5u);
+  ASSERT_EQ(gen.grams().size(), 45u);
+  TimeNs prev_end = TimeNs::zero();
+  for (std::size_t i = 0; i < gen.grams().size(); ++i) {
+    const ClosedGram& g = gen.grams()[i];
+    EXPECT_EQ(g.id, gen.period()[i % 5]);
+    EXPECT_EQ(g.position, i);
+    // Timeline sanity: positive idle, non-overlapping ordered grams.
+    EXPECT_GT(g.preceding_idle, TimeNs::zero());
+    EXPECT_EQ(g.begin, prev_end + g.preceding_idle);
+    EXPECT_GT(g.end, g.begin);
+    prev_end = g.end;
+  }
+}
+
+TEST(GramStream, DistinctPeriodIsPairwiseDistinct) {
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    GramStreamConfig cfg;
+    cfg.seed = seed;
+    cfg.vocab = 6;
+    cfg.period_len = 5;
+    cfg.distinct_period = true;
+    const GramStreamGenerator gen(cfg);
+    const std::set<GramId> unique(gen.period().begin(), gen.period().end());
+    EXPECT_EQ(unique.size(), gen.period().size()) << "seed " << seed;
+  }
+}
+
+TEST(GramStream, NoiseSubstitutionsSetTheNoisyFlag) {
+  GramStreamConfig cfg;
+  cfg.seed = 3;
+  cfg.vocab = 4;
+  cfg.noise_prob = 1.0;  // every position redrawn; some differ w.h.p.
+  const GramStreamGenerator gen(cfg);
+  EXPECT_TRUE(gen.noisy());
+  // noisy() means at least one position deviates from the period.
+  bool deviates = false;
+  for (std::size_t i = 0; i < gen.grams().size() && !deviates; ++i) {
+    deviates = gen.grams()[i].id != gen.period()[i % gen.period().size()];
+  }
+  EXPECT_TRUE(deviates);
+}
+
+TEST(TraceGen, DeterministicForSeed) {
+  SyntheticTraceConfig cfg;
+  cfg.seed = 42;
+  cfg.nranks = 6;
+  cfg.noise_prob = 0.3;
+  const Trace a = generate_trace(cfg);
+  const Trace b = generate_trace(cfg);
+  ASSERT_EQ(a.nranks(), b.nranks());
+  for (Rank r = 0; r < a.nranks(); ++r) {
+    EXPECT_EQ(a.stream(r), b.stream(r)) << "rank " << r;
+  }
+}
+
+TEST(TraceGen, GeneratedTracesAlwaysValidate) {
+  // The replay fuzzer leans on this: every seed must yield a structurally
+  // valid, deadlock-free trace across rank counts, phase mixes, and noise.
+  for (std::uint64_t seed = 1; seed <= 40; ++seed) {
+    SyntheticTraceConfig cfg;
+    cfg.seed = seed;
+    cfg.nranks = static_cast<Rank>(2 + seed % 9);
+    cfg.phases_per_iteration = static_cast<int>(1 + seed % 5);
+    cfg.iterations = 4;
+    cfg.noise_prob = (seed % 3 == 0) ? 0.5 : 0.0;
+    const Trace tr = generate_trace(cfg);
+    EXPECT_EQ(tr.validate(), "") << "seed " << seed;
+    EXPECT_GT(tr.total_mpi_calls(), 0u) << "seed " << seed;
+  }
+}
+
+TEST(TraceGen, StructureIndependentOfRankCount) {
+  // The per-iteration phase sequence is drawn before any per-rank jitter,
+  // so two traces differing only in nranks share the same phase kinds —
+  // checked via the rank-0 MPI call sequence prefix shape (call count per
+  // iteration is rank-count-invariant for ring/collective phases).
+  SyntheticTraceConfig small;
+  small.seed = 9;
+  small.nranks = 4;
+  small.compute_jitter_sigma = 0.0;
+  SyntheticTraceConfig big = small;
+  big.nranks = 12;
+  const Trace a = generate_trace(small);
+  const Trace b = generate_trace(big);
+  // Compare rank-0 record type sequences (payload peers differ by design).
+  const auto& sa = a.stream(0);
+  const auto& sb = b.stream(0);
+  ASSERT_EQ(sa.size(), sb.size());
+  for (std::size_t i = 0; i < sa.size(); ++i) {
+    EXPECT_EQ(sa[i].index(), sb[i].index()) << "record " << i;
+  }
+}
+
+}  // namespace
+}  // namespace ibpower
