@@ -35,10 +35,10 @@ std::string audit_link_schedule(const IbLink& link) {
   return {};
 }
 
-std::string audit_energy_closure(const IbLink& link,
-                                 const PowerModelConfig& cfg) {
+double integrate_link_energy(const IbLink& link,
+                             const PowerModelConfig& cfg) {
   const TimeNs exec = link.end_time();
-  if (exec <= TimeNs::zero()) return {};
+  if (exec <= TimeNs::zero()) return 0.0;
 
   // Independent integration: walk the raw mode segments (not residency())
   // and accumulate power-weighted nanoseconds. Transitions are charged at
@@ -62,7 +62,15 @@ std::string audit_energy_closure(const IbLink& link,
   }
   flush(exec);
 
-  const double integrated = cfg.port_nominal_watts * weighted_ns * 1e-9;
+  return cfg.port_nominal_watts * weighted_ns * 1e-9;
+}
+
+std::string audit_energy_closure(const IbLink& link,
+                                 const PowerModelConfig& cfg) {
+  const TimeNs exec = link.end_time();
+  if (exec <= TimeNs::zero()) return {};
+
+  const double integrated = integrate_link_energy(link, cfg);
   const LinkPowerSummary s = summarize_link(link, cfg);
   const double reported = s.energy_joules;
   // Ulp-scaled tolerance: the two computations differ only in summation

@@ -29,8 +29,15 @@ namespace ibpower {
 /// be finished (finish() called) so residencies are defined.
 [[nodiscard]] std::string audit_link_schedule(const IbLink& link);
 
-/// Energy-accounting closure: integrates power over the mode timeline
-/// independently of residency() and compares against summarize_link()'s
+/// The auditor's independent energy integration: a segment walk over the
+/// link's mode timeline accumulating power-weighted nanoseconds (transitions
+/// charged at full power, §III-B), scaled to joules. Exposed so the obs/
+/// telemetry layer and its tests can assert bit-equality against the audit
+/// arithmetic — same walk, same accumulation order, identical doubles.
+[[nodiscard]] double integrate_link_energy(const IbLink& link,
+                                           const PowerModelConfig& cfg);
+
+/// Energy-accounting closure: integrate_link_energy() vs summarize_link()'s
 /// energy_joules within a few ulps (scaled tolerance). Also checks the
 /// reported savings stay within [0, (1 - low_power_fraction) * 100].
 [[nodiscard]] std::string audit_energy_closure(const IbLink& link,

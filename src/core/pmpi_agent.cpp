@@ -30,6 +30,7 @@ TimeNs PmpiAgent::on_call_enter(MpiCall call, TimeNs enter) {
   IBP_EXPECTS(call != MpiCall::None);
   ++stats_.total_calls;
   const TimeNs gap = any_call_ ? enter - last_exit_ : TimeNs::zero();
+  if (any_call_) prediction_telemetry_.on_next_call_gap(gap);
   any_call_ = true;
 
   const bool was_active = controller_.active();
@@ -89,6 +90,7 @@ void PmpiAgent::on_call_exit(MpiCall call, TimeNs exit) {
     if (auto request = controller_.on_call_exit()) {
       ++stats_.power_requests;
       stats_.requested_low_power_total += request->low_power_duration;
+      prediction_telemetry_.on_power_request(request->predicted_idle);
       if (port_ != nullptr) {
         port_->request_low_power(exit, request->low_power_duration);
       }

@@ -21,6 +21,7 @@
 #include "core/pattern.hpp"
 #include "core/power_mode_control.hpp"
 #include "core/ppa.hpp"
+#include "obs/counters.hpp"
 #include "util/time_types.hpp"
 
 namespace ibpower {
@@ -59,6 +60,8 @@ struct AgentStats {
   }
 
   void merge(const AgentStats& o);
+
+  friend bool operator==(const AgentStats&, const AgentStats&) = default;
 };
 
 class PmpiAgent {
@@ -79,6 +82,11 @@ class PmpiAgent {
   void finish();
 
   [[nodiscard]] const AgentStats& stats() const { return stats_; }
+  /// Predicted-vs-actual idle telemetry (obs/). Pure counting — never
+  /// affects the simulated timeline.
+  [[nodiscard]] const obs::PredictionTelemetry& prediction_telemetry() const {
+    return prediction_telemetry_;
+  }
   [[nodiscard]] const PatternDetector& detector() const { return detector_; }
   [[nodiscard]] const GramInterner& interner() const { return interner_; }
   [[nodiscard]] const PowerModeController& controller() const {
@@ -95,6 +103,7 @@ class PmpiAgent {
   PatternDetector detector_;
   PowerModeController controller_;
   AgentStats stats_;
+  obs::PredictionTelemetry prediction_telemetry_;
   TimeNs last_exit_{};
   bool any_call_{false};
 };

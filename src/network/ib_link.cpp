@@ -8,6 +8,15 @@
 
 namespace ibpower {
 
+const char* link_mode_name(LinkPowerMode mode) {
+  switch (mode) {
+    case LinkPowerMode::FullPower: return "FullPower";
+    case LinkPowerMode::LowPower: return "LowPower";
+    case LinkPowerMode::Transition: return "Transition";
+  }
+  return "?";
+}
+
 IbLink::IbLink(LinkConfig cfg) : cfg_(cfg) {
   IBP_EXPECTS(cfg.lanes >= 2);
   IBP_EXPECTS(cfg.full_bandwidth_gbps > 0.0);
@@ -189,14 +198,7 @@ void IbLink::finish(TimeNs end) {
 }
 
 std::string IbLink::validate_schedule() const {
-  const auto name = [](LinkPowerMode m) {
-    switch (m) {
-      case LinkPowerMode::FullPower: return "FullPower";
-      case LinkPowerMode::LowPower: return "LowPower";
-      case LinkPowerMode::Transition: return "Transition";
-    }
-    return "?";
-  };
+  const auto name = link_mode_name;
   LinkPowerMode prev = LinkPowerMode::FullPower;  // implicit initial mode
   TimeNs prev_begin = TimeNs{-1};
   for (std::size_t i = 0; i < segments_.size(); ++i) {

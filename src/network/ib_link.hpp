@@ -36,6 +36,10 @@ enum class LinkPowerMode : std::uint8_t {
   Transition = 2,
 };
 
+/// Stable human-readable mode name ("FullPower"/"LowPower"/"Transition");
+/// used by schedule diagnostics and the obs exporters.
+[[nodiscard]] const char* link_mode_name(LinkPowerMode mode);
+
 enum class Direction : std::uint8_t { Up = 0, Down = 1 };
 
 struct LinkConfig {

@@ -1,0 +1,196 @@
+#include "obs/collect.hpp"
+
+#include "check/invariant_auditor.hpp"
+#include "network/fabric.hpp"
+
+namespace ibpower::obs {
+
+namespace {
+
+LinkMetrics collect_link(std::int32_t id, const IbLink& link,
+                         const PowerModelConfig& cfg) {
+  LinkMetrics m;
+  m.link = id;
+  m.exec = link.end_time();
+  m.events.reserve(link.segments().size());
+  for (const ModeSegment& seg : link.segments()) {
+    m.events.push_back({seg.begin, seg.mode});
+    if (seg.mode == LinkPowerMode::Transition) ++m.transitions;
+  }
+
+  // Residency from the copied event log — same clamped walk the auditor's
+  // energy integration uses, independent of IbLink::residency()'s
+  // per-mode passes.
+  TimeNs cursor = TimeNs::zero();
+  LinkPowerMode mode = LinkPowerMode::FullPower;
+  const auto flush = [&](TimeNs until) {
+    const TimeNs e = min(until, m.exec);
+    if (e > cursor) {
+      m.residency[static_cast<std::size_t>(mode)] += e - cursor;
+      cursor = e;
+    }
+  };
+  for (const ModeEvent& ev : m.events) {
+    flush(ev.at);
+    cursor = max(cursor, min(ev.at, m.exec));
+    mode = ev.mode;
+  }
+  flush(m.exec);
+
+  m.low_power_requests = link.low_power_requests();
+  m.on_demand_wakes = link.on_demand_wakes();
+  m.wake_penalty_total = link.wake_penalty_total();
+  m.energy_joules = integrate_link_energy(link, cfg);
+  m.savings_pct = summarize_link(link, cfg).savings_pct;
+  return m;
+}
+
+}  // namespace
+
+ReplayMetrics collect_replay_metrics(const ReplayEngine& engine,
+                                     const ReplayResult& result,
+                                     const PowerModelConfig& cfg) {
+  ReplayMetrics m;
+  m.managed = engine.options().enable_power_management;
+  m.exec_time = result.exec_time;
+  m.events_processed = result.events_processed;
+  m.messages_sent = result.messages_sent;
+  m.drain = result.drain;
+
+  const Fabric& fabric = engine.fabric();
+  m.links.reserve(static_cast<std::size_t>(fabric.nodes_used()));
+  for (NodeId n = 0; n < fabric.nodes_used(); ++n) {
+    const IbLink& link = fabric.link(fabric.topology().node_uplink(n));
+    m.links.push_back(collect_link(n, link, cfg));
+  }
+
+  if (m.managed) {
+    m.ranks.reserve(static_cast<std::size_t>(fabric.nodes_used()));
+    for (Rank r = 0; r < fabric.nodes_used(); ++r) {
+      const PmpiAgent* agent = engine.agent(r);
+      if (agent == nullptr) break;
+      RankMetrics rm;
+      rm.rank = r;
+      rm.stats = agent->stats();
+      rm.prediction = agent->prediction_telemetry();
+      rm.active_at_end = agent->predicting();
+      m.ranks.push_back(rm);
+    }
+  }
+  return m;
+}
+
+namespace {
+
+std::string link_err(const LinkMetrics& l, const std::string& what) {
+  return "link " + std::to_string(l.link) + ": " + what;
+}
+
+std::string validate_link(const LinkMetrics& l) {
+  if (l.exec < TimeNs::zero()) return link_err(l, "negative exec time");
+  TimeNs prev{-1};
+  std::uint64_t transitions = 0;
+  for (std::size_t i = 0; i < l.events.size(); ++i) {
+    const ModeEvent& ev = l.events[i];
+    if (ev.at < TimeNs::zero()) {
+      return link_err(l, "event " + std::to_string(i) + " before t=0");
+    }
+    if (ev.at <= prev) {
+      return link_err(l, "event " + std::to_string(i) +
+                             " not strictly ordered");
+    }
+    prev = ev.at;
+    if (ev.mode == LinkPowerMode::Transition) ++transitions;
+  }
+  if (transitions != l.transitions) {
+    return link_err(l, "transition count " + std::to_string(l.transitions) +
+                           " does not match event log (" +
+                           std::to_string(transitions) + ")");
+  }
+  const TimeNs sum = l.residency[0] + l.residency[1] + l.residency[2];
+  if (sum != l.exec) {
+    return link_err(l, "residencies sum to " + std::to_string(sum.ns) +
+                           " ns but exec is " + std::to_string(l.exec.ns) +
+                           " ns");
+  }
+  for (std::size_t i = 0; i < 3; ++i) {
+    if (l.residency[i] < TimeNs::zero()) {
+      return link_err(l, "negative residency for mode " + std::to_string(i));
+    }
+  }
+  return {};
+}
+
+std::string rank_err(const RankMetrics& r, const std::string& what) {
+  return "rank " + std::to_string(r.rank) + ": " + what;
+}
+
+std::string validate_rank(const RankMetrics& r) {
+  const auto& p = r.prediction;
+  if (p.predicted_idle.samples !=
+      p.actual_idle.samples + (p.awaiting_actual ? 1 : 0)) {
+    return rank_err(r, "prediction-sample conservation violated: " +
+                           std::to_string(p.predicted_idle.samples) +
+                           " predicted vs " +
+                           std::to_string(p.actual_idle.samples) +
+                           " actual, awaiting=" +
+                           std::to_string(p.awaiting_actual));
+  }
+  if (p.predicted_idle.samples != r.stats.power_requests) {
+    return rank_err(r, "predicted-idle samples != power_requests");
+  }
+  for (const IdleHistogram* h : {&p.predicted_idle, &p.actual_idle}) {
+    std::uint64_t sum = 0;
+    for (const std::uint64_t c : h->counts) sum += c;
+    if (sum != h->samples) {
+      return rank_err(r, "histogram bucket sum != samples");
+    }
+  }
+  if (r.stats.arms !=
+      r.stats.pattern_mispredicts + (r.active_at_end ? 1 : 0)) {
+    return rank_err(r, "arms conservation violated: arms=" +
+                           std::to_string(r.stats.arms) + " mispredicts=" +
+                           std::to_string(r.stats.pattern_mispredicts) +
+                           " active_at_end=" +
+                           std::to_string(r.active_at_end));
+  }
+  if (r.stats.predicted_calls + r.stats.pattern_mispredicts >
+      r.stats.total_calls) {
+    return rank_err(r, "predicted + mispredicted calls exceed total calls");
+  }
+  return {};
+}
+
+}  // namespace
+
+std::string validate_metrics(const ReplayMetrics& m) {
+  for (const LinkMetrics& l : m.links) {
+    if (std::string err = validate_link(l); !err.empty()) return err;
+  }
+  if (!m.managed && !m.ranks.empty()) {
+    return "baseline snapshot carries rank telemetry";
+  }
+  for (const RankMetrics& r : m.ranks) {
+    if (std::string err = validate_rank(r); !err.empty()) return err;
+  }
+  const ReplayDrainStats& d = m.drain;
+  if (d.messages_enqueued != d.messages_matched) {
+    return "drain: enqueued " + std::to_string(d.messages_enqueued) +
+           " != matched " + std::to_string(d.messages_matched);
+  }
+  if (d.recvs_waited != d.recvs_satisfied) {
+    return "drain: waited " + std::to_string(d.recvs_waited) +
+           " != satisfied " + std::to_string(d.recvs_satisfied);
+  }
+  if (d.rendezvous_blocked != d.rendezvous_resumed) {
+    return "drain: rendezvous blocked " +
+           std::to_string(d.rendezvous_blocked) + " != resumed " +
+           std::to_string(d.rendezvous_resumed);
+  }
+  if (d.sends_eager + d.sends_rendezvous != m.messages_sent) {
+    return "drain: eager + rendezvous sends != messages_sent";
+  }
+  return {};
+}
+
+}  // namespace ibpower::obs

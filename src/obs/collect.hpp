@@ -1,0 +1,40 @@
+// Telemetry collection + self-validation (obs/).
+//
+// collect_replay_metrics walks a *finished* engine (the argument a
+// ReplayProbe receives) and snapshots everything the exporters need. The
+// collection is deliberately redundant with the sim layer's own accounting:
+// residencies are recomputed from the copied mode-event log rather than read
+// from IbLink::residency(), and energy uses the check/ auditor's own
+// integration, so the metrics-vs-auditor test suite can demand bit-equality
+// instead of tolerances.
+//
+// validate_metrics is the telemetry tier of tools/fuzz_replay: structural
+// invariants any well-formed snapshot must satisfy, returned as an empty
+// string on success (the Trace::validate() idiom).
+#pragma once
+
+#include <string>
+
+#include "obs/metrics.hpp"
+#include "power/power_model.hpp"
+#include "sim/replay.hpp"
+
+namespace ibpower::obs {
+
+/// Snapshot telemetry from a finished replay. Safe to call from a
+/// ReplayProbe on a pool worker: reads only the engine, writes only the
+/// returned value.
+[[nodiscard]] ReplayMetrics collect_replay_metrics(const ReplayEngine& engine,
+                                                   const ReplayResult& result,
+                                                   const PowerModelConfig& cfg);
+
+/// Structural invariants of a snapshot (fuzz tier `telemetry`):
+///  * per link: events strictly ordered, first event not before 0, none past
+///    exec; residencies partition [0, exec]; transition count matches the
+///    event log
+///  * per rank: prediction-sample conservation, arms conservation
+///  * drain conservation (the ReplayDrainStats contract)
+/// Returns "" when all hold, else a description of the first violation.
+[[nodiscard]] std::string validate_metrics(const ReplayMetrics& m);
+
+}  // namespace ibpower::obs

@@ -1,0 +1,100 @@
+// Hot-path telemetry primitives (obs/).
+//
+// This header is deliberately leaf-level — it depends only on the strong
+// time types — so the core engines (PmpiAgent) can embed these counters
+// without the core library depending on the obs library. Everything here is
+// plain counting: no allocation, no branching beyond the increment itself,
+// and no effect on simulated time, so instrumented and uninstrumented runs
+// produce bit-identical results.
+//
+// The heavier telemetry machinery (collection from finished engines, the
+// exporters, the instrumented experiment runner) lives in the obs library
+// proper (obs/metrics.hpp, obs/collect.hpp, obs/exporters.hpp).
+#pragma once
+
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+
+#include "util/time_types.hpp"
+
+namespace ibpower::obs {
+
+/// Power-of-two duration histogram: bucket i counts durations in
+/// [2^i, 2^(i+1)) nanoseconds (bucket 0 additionally absorbs <= 1 ns).
+/// 48 buckets cover up to ~3.3 simulated days, far beyond any replay.
+struct IdleHistogram {
+  static constexpr std::size_t kBuckets = 48;
+
+  std::uint64_t counts[kBuckets]{};
+  std::uint64_t samples{0};
+  TimeNs total{};
+
+  [[nodiscard]] static constexpr std::size_t bucket_of(TimeNs d) {
+    if (d.ns <= 1) return 0;
+    const auto width =
+        static_cast<std::size_t>(std::bit_width(static_cast<std::uint64_t>(d.ns)));
+    return width - 1 < kBuckets ? width - 1 : kBuckets - 1;
+  }
+
+  /// Inclusive lower edge of bucket i, in nanoseconds.
+  [[nodiscard]] static constexpr std::int64_t bucket_floor_ns(std::size_t i) {
+    return i == 0 ? 0 : std::int64_t{1} << i;
+  }
+
+  constexpr void observe(TimeNs d) {
+    ++counts[bucket_of(d)];
+    ++samples;
+    total += max(d, TimeNs::zero());
+  }
+
+  constexpr void merge(const IdleHistogram& o) {
+    for (std::size_t i = 0; i < kBuckets; ++i) counts[i] += o.counts[i];
+    samples += o.samples;
+    total += o.total;
+  }
+
+  [[nodiscard]] constexpr TimeNs mean() const {
+    return samples == 0
+               ? TimeNs::zero()
+               : TimeNs{total.ns / static_cast<std::int64_t>(samples)};
+  }
+
+  friend bool operator==(const IdleHistogram&, const IdleHistogram&) = default;
+};
+
+/// Per-rank predicted-vs-actual idle telemetry (paper Fig. 10 ground truth).
+///
+/// Every WRPS power request records its predicted idle gap; the gap observed
+/// at the *next* MPI call entry on the same rank is that prediction's actual
+/// outcome. Conservation invariant (checked by validate_metrics):
+///   predicted_idle.samples == actual_idle.samples + (awaiting_actual ? 1 : 0)
+struct PredictionTelemetry {
+  IdleHistogram predicted_idle;
+  IdleHistogram actual_idle;
+  /// A power request was issued and its actual idle gap has not yet been
+  /// observed (true at end-of-run when the last request trails the stream).
+  bool awaiting_actual{false};
+
+  constexpr void on_power_request(TimeNs predicted) {
+    predicted_idle.observe(predicted);
+    awaiting_actual = true;
+  }
+
+  constexpr void on_next_call_gap(TimeNs gap) {
+    if (!awaiting_actual) return;
+    actual_idle.observe(gap);
+    awaiting_actual = false;
+  }
+
+  constexpr void merge(const PredictionTelemetry& o) {
+    predicted_idle.merge(o.predicted_idle);
+    actual_idle.merge(o.actual_idle);
+    awaiting_actual = awaiting_actual || o.awaiting_actual;
+  }
+
+  friend bool operator==(const PredictionTelemetry&,
+                         const PredictionTelemetry&) = default;
+};
+
+}  // namespace ibpower::obs

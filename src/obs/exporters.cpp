@@ -1,0 +1,168 @@
+#include "obs/exporters.hpp"
+
+#include <cstdio>
+#include <ostream>
+
+#include "network/ib_link.hpp"
+
+namespace ibpower::obs {
+
+namespace {
+
+// %.17g round-trips every double exactly and is locale-independent —
+// identical bytes for identical bits, the property the determinism tests
+// rely on.
+std::string fmt_double(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+/// Walk one link's event log into clipped, gap-free mode intervals —
+/// exactly the build_power_timeline() walk, so the rebuilt timeline is
+/// byte-compatible with the live-fabric one.
+template <class Fn>
+void for_each_mode_interval(const LinkMetrics& l, Fn&& fn) {
+  TimeNs cursor = TimeNs::zero();
+  LinkPowerMode mode = LinkPowerMode::FullPower;
+  for (const ModeEvent& ev : l.events) {
+    const TimeNs b = min(ev.at, l.exec);
+    if (b > cursor) fn(cursor, b, mode);
+    cursor = b;
+    mode = ev.mode;
+  }
+  if (cursor < l.exec) fn(cursor, l.exec, mode);
+}
+
+void write_histogram_json(std::ostream& os, const IdleHistogram& h) {
+  os << "{\"samples\": " << h.samples << ", \"total_ns\": " << h.total.ns
+     << ", \"mean_ns\": " << h.mean().ns << ", \"buckets\": [";
+  bool first = true;
+  for (std::size_t i = 0; i < IdleHistogram::kBuckets; ++i) {
+    if (h.counts[i] == 0) continue;
+    if (!first) os << ", ";
+    first = false;
+    os << "[" << IdleHistogram::bucket_floor_ns(i) << ", " << h.counts[i]
+       << "]";
+  }
+  os << "]}";
+}
+
+void write_drain_json(std::ostream& os, const ReplayDrainStats& d) {
+  os << "{\"channels_created\": " << d.channels_created
+     << ", \"sends_eager\": " << d.sends_eager
+     << ", \"sends_rendezvous\": " << d.sends_rendezvous
+     << ", \"messages_enqueued\": " << d.messages_enqueued
+     << ", \"messages_matched\": " << d.messages_matched
+     << ", \"recvs_waited\": " << d.recvs_waited
+     << ", \"recvs_satisfied\": " << d.recvs_satisfied
+     << ", \"rendezvous_blocked\": " << d.rendezvous_blocked
+     << ", \"rendezvous_resumed\": " << d.rendezvous_resumed << "}";
+}
+
+void write_link_json(std::ostream& os, const LinkMetrics& l) {
+  os << "{\"link\": " << l.link << ", \"exec_ns\": " << l.exec.ns
+     << ", \"residency_full_ns\": " << l.residency[0].ns
+     << ", \"residency_low_ns\": " << l.residency[1].ns
+     << ", \"residency_transition_ns\": " << l.residency[2].ns
+     << ", \"mode_events\": " << l.events.size()
+     << ", \"transitions\": " << l.transitions
+     << ", \"low_power_requests\": " << l.low_power_requests
+     << ", \"on_demand_wakes\": " << l.on_demand_wakes
+     << ", \"wake_penalty_ns\": " << l.wake_penalty_total.ns
+     << ", \"energy_joules\": " << fmt_double(l.energy_joules)
+     << ", \"savings_pct\": " << fmt_double(l.savings_pct) << "}";
+}
+
+void write_rank_json(std::ostream& os, const RankMetrics& r) {
+  const AgentStats& s = r.stats;
+  os << "{\"rank\": " << r.rank << ", \"total_calls\": " << s.total_calls
+     << ", \"predicted_calls\": " << s.predicted_calls
+     << ", \"pattern_mispredicts\": " << s.pattern_mispredicts
+     << ", \"arms\": " << s.arms << ", \"arm_failures\": " << s.arm_failures
+     << ", \"grams_closed\": " << s.grams_closed
+     << ", \"ppa_scan_invocations\": " << s.ppa_scan_invocations
+     << ", \"power_requests\": " << s.power_requests
+     << ", \"requested_low_power_ns\": " << s.requested_low_power_total.ns
+     << ", \"modeled_overhead_ns\": " << s.modeled_overhead_total.ns
+     << ", \"hit_rate_pct\": " << fmt_double(s.hit_rate_pct())
+     << ", \"active_at_end\": " << (r.active_at_end ? "true" : "false")
+     << ", \"predicted_idle\": ";
+  write_histogram_json(os, r.prediction.predicted_idle);
+  os << ", \"actual_idle\": ";
+  write_histogram_json(os, r.prediction.actual_idle);
+  os << "}";
+}
+
+void write_replay_json(std::ostream& os, const ReplayMetrics& m) {
+  os << "{\"managed\": " << (m.managed ? "true" : "false")
+     << ", \"exec_time_ns\": " << m.exec_time.ns
+     << ", \"events_processed\": " << m.events_processed
+     << ", \"messages_sent\": " << m.messages_sent << ", \"drain\": ";
+  write_drain_json(os, m.drain);
+  os << ", \"links\": [";
+  for (std::size_t i = 0; i < m.links.size(); ++i) {
+    if (i != 0) os << ", ";
+    write_link_json(os, m.links[i]);
+  }
+  os << "], \"ranks\": [";
+  for (std::size_t i = 0; i < m.ranks.size(); ++i) {
+    if (i != 0) os << ", ";
+    write_rank_json(os, m.ranks[i]);
+  }
+  os << "]}";
+}
+
+}  // namespace
+
+void write_metrics_json(std::ostream& os,
+                        const std::vector<CellMetrics>& cells) {
+  os << "{\"schema\": \"ibpower-metrics:v1\",\n\"cells\": [\n";
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    const CellMetrics& c = cells[i];
+    os << "{\"app\": \"" << c.app << "\", \"nranks\": " << c.nranks
+       << ", \"displacement_pct\": " << fmt_double(100.0 * c.displacement)
+       << ",\n \"baseline\": ";
+    write_replay_json(os, c.baseline);
+    os << ",\n \"managed\": ";
+    write_replay_json(os, c.managed);
+    os << "}" << (i + 1 < cells.size() ? "," : "") << "\n";
+  }
+  os << "]}\n";
+}
+
+std::string link_series_csv_header() {
+  return "link,seq,begin_ns,end_ns,mode,mode_name";
+}
+
+void write_link_series_csv(std::ostream& os, const ReplayMetrics& m) {
+  os << link_series_csv_header() << "\n";
+  for (const LinkMetrics& l : m.links) {
+    std::int64_t seq = 0;
+    for_each_mode_interval(
+        l, [&](TimeNs begin, TimeNs end, LinkPowerMode mode) {
+          os << l.link << ',' << seq++ << ',' << begin.ns << ',' << end.ns
+             << ',' << static_cast<int>(mode) << ',' << link_mode_name(mode)
+             << "\n";
+        });
+  }
+}
+
+StateTimeline power_state_timeline(const ReplayMetrics& m) {
+  StateTimeline timeline(static_cast<std::int32_t>(m.links.size()),
+                         m.exec_time);
+  for (const LinkMetrics& l : m.links) {
+    for_each_mode_interval(
+        l, [&](TimeNs begin, TimeNs end, LinkPowerMode mode) {
+          timeline.add(l.link, begin, end, static_cast<std::int32_t>(mode));
+        });
+  }
+  return timeline;
+}
+
+void write_power_prv(std::ostream& os, const ReplayMetrics& m,
+                     const std::string& app_name) {
+  power_state_timeline(m).write_prv(os, app_name);
+}
+
+}  // namespace ibpower::obs

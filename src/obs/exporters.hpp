@@ -1,0 +1,46 @@
+// Telemetry exporters (obs/).
+//
+// Three sinks over the metrics snapshots, all byte-deterministic for a given
+// input (doubles printed with %.17g, integers exactly, fixed key order) so
+// the determinism tests can compare whole files across --jobs settings:
+//
+//  * write_metrics_json  — "ibpower-metrics:v1" snapshot of a cell list,
+//    the machine-readable companion of the BENCH_*.json report flow
+//  * write_link_series_csv — per-link power-mode time series (one row per
+//    mode interval, clipped to the execution window)
+//  * power_state_timeline / write_power_prv — the Fig. 6 Paraver view,
+//    rebuilt from telemetry alone and written through the same
+//    StateTimeline::write_prv path as trace/paraver.cpp
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "trace/paraver.hpp"
+
+namespace ibpower::obs {
+
+/// JSON metrics snapshot: {"schema": "ibpower-metrics:v1", "cells": [...]}.
+void write_metrics_json(std::ostream& os,
+                        const std::vector<CellMetrics>& cells);
+
+/// CSV header of write_link_series_csv (exposed for tests and parsers).
+[[nodiscard]] std::string link_series_csv_header();
+
+/// Per-link power-mode time series of one leg:
+/// link,seq,begin_ns,end_ns,mode,mode_name — seq numbering the link's
+/// intervals from 0, intervals clipped to [0, exec] and gap-free.
+void write_link_series_csv(std::ostream& os, const ReplayMetrics& m);
+
+/// Rebuild the Fig. 6 power-state timeline (one row per link, states are
+/// LinkPowerMode values) from a telemetry snapshot. Byte-compatible with
+/// build_power_timeline() run on the live fabric.
+[[nodiscard]] StateTimeline power_state_timeline(const ReplayMetrics& m);
+
+/// power_state_timeline written as a Paraver-like .prv file.
+void write_power_prv(std::ostream& os, const ReplayMetrics& m,
+                     const std::string& app_name);
+
+}  // namespace ibpower::obs

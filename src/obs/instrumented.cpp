@@ -1,0 +1,74 @@
+#include "obs/instrumented.hpp"
+
+#include "obs/collect.hpp"
+
+namespace ibpower::obs {
+
+namespace {
+
+/// Probe pair filling one cell's telemetry slots. The PowerModelConfig is
+/// captured by value: probes run on pool workers after the caller's loop
+/// has moved on.
+LegProbes collecting_probes(PowerModelConfig power, ReplayMetrics* baseline,
+                            ReplayMetrics* managed) {
+  LegProbes probes;
+  probes.baseline = [power, baseline](const ReplayEngine& engine,
+                                      const ReplayResult& rr) {
+    *baseline = collect_replay_metrics(engine, rr, power);
+  };
+  probes.managed = [power, managed](const ReplayEngine& engine,
+                                    const ReplayResult& rr) {
+    *managed = collect_replay_metrics(engine, rr, power);
+  };
+  return probes;
+}
+
+}  // namespace
+
+InstrumentedResult run_instrumented_experiment(const ExperimentConfig& rawcfg) {
+  const ExperimentConfig cfg = normalize_config(rawcfg);
+  const Trace trace = generate_experiment_trace(cfg);
+
+  InstrumentedResult out;
+  const LegProbes probes =
+      collecting_probes(cfg.power, &out.baseline, &out.managed);
+  const BaselineLegResult baseline =
+      run_baseline_leg(cfg, trace, probes.baseline);
+  const ManagedLegResult managed = run_managed_leg(cfg, trace, probes.managed);
+  out.result = combine_legs(trace, baseline, managed);
+  return out;
+}
+
+std::vector<InstrumentedResult> run_instrumented_grid(
+    ParallelExperimentRunner& runner,
+    const std::vector<ExperimentConfig>& cfgs) {
+  const std::size_t n = cfgs.size();
+  std::vector<InstrumentedResult> out(n);
+
+  // Per-cell probe slots: each probe writes only its own cell's snapshot,
+  // results are gathered in submission order by run_all — the telemetry
+  // inherits the determinism contract of the uninstrumented path.
+  std::vector<LegProbes> probes;
+  probes.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    probes.push_back(collecting_probes(cfgs[i].power, &out[i].baseline,
+                                       &out[i].managed));
+  }
+
+  std::vector<ExperimentResult> results = runner.run_all(cfgs, probes);
+  for (std::size_t i = 0; i < n; ++i) out[i].result = results[i];
+  return out;
+}
+
+CellMetrics make_cell_metrics(const ExperimentConfig& cfg,
+                              const InstrumentedResult& r) {
+  CellMetrics cell;
+  cell.app = cfg.app;
+  cell.nranks = cfg.workload.nranks;
+  cell.displacement = cfg.ppa.displacement_factor;
+  cell.baseline = r.baseline;
+  cell.managed = r.managed;
+  return cell;
+}
+
+}  // namespace ibpower::obs

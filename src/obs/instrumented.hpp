@@ -1,0 +1,40 @@
+// Instrumented experiment runners (obs/).
+//
+// The glue between the sim layer's ReplayProbe hook and the telemetry
+// snapshots: run an experiment (or a grid of them) exactly as the
+// uninstrumented paths do, additionally collecting a ReplayMetrics snapshot
+// per leg. The serial and parallel variants run the identical leg functions
+// with the identical probes, so their results AND their telemetry are
+// bit-identical at any --jobs setting (per-cell slots, gathered in
+// submission order — DESIGN.md §7).
+#pragma once
+
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "sim/experiment.hpp"
+#include "sim/parallel.hpp"
+
+namespace ibpower::obs {
+
+struct InstrumentedResult {
+  ExperimentResult result;
+  ReplayMetrics baseline;
+  ReplayMetrics managed;
+};
+
+/// run_experiment plus telemetry, serially on the calling thread.
+[[nodiscard]] InstrumentedResult run_instrumented_experiment(
+    const ExperimentConfig& cfg);
+
+/// runner.run_all plus telemetry; result i corresponds to cfgs[i]. Each
+/// cell's probes write only that cell's preallocated slot, so output is
+/// independent of the runner's thread count.
+[[nodiscard]] std::vector<InstrumentedResult> run_instrumented_grid(
+    ParallelExperimentRunner& runner, const std::vector<ExperimentConfig>& cfgs);
+
+/// Package an instrumented cell with its grid coordinates for export.
+[[nodiscard]] CellMetrics make_cell_metrics(const ExperimentConfig& cfg,
+                                            const InstrumentedResult& r);
+
+}  // namespace ibpower::obs

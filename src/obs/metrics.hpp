@@ -1,0 +1,89 @@
+// Telemetry data model (obs/).
+//
+// Plain-value snapshots of a finished replay, collected by obs/collect.hpp
+// from an engine the sim layer hands to a ReplayProbe. Everything here is
+// copyable, comparable with defaulted operator== (the determinism tests
+// compare whole snapshots across thread counts), and independent of the
+// engine that produced it — exporters and tests never touch live sim state.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/pmpi_agent.hpp"
+#include "network/ib_link.hpp"
+#include "obs/counters.hpp"
+#include "sim/replay.hpp"
+#include "util/time_types.hpp"
+
+namespace ibpower::obs {
+
+/// One power-mode change of one link: the link enters `mode` at `at` and
+/// stays there until the next event (or end of execution).
+struct ModeEvent {
+  TimeNs at{};
+  LinkPowerMode mode{LinkPowerMode::FullPower};
+
+  friend bool operator==(const ModeEvent&, const ModeEvent&) = default;
+};
+
+/// Per-link power-state telemetry over one finished replay.
+struct LinkMetrics {
+  std::int32_t link{0};  // row id == node id (the node's uplink)
+  TimeNs exec{};
+  /// Power-state transition log (copied mode segments, ascending `at`).
+  std::vector<ModeEvent> events;
+  /// Residency per LinkPowerMode value, recomputed by collect_replay_metrics
+  /// from `events` — independently of IbLink::residency(). Partitions
+  /// [0, exec] exactly (integer ns).
+  TimeNs residency[3]{};
+  std::uint64_t transitions{0};  // entries into Transition mode
+  std::uint64_t low_power_requests{0};
+  std::uint64_t on_demand_wakes{0};
+  TimeNs wake_penalty_total{};
+  /// Energy by the auditor's own integration (integrate_link_energy) —
+  /// bit-equal to the check/ recomputation by construction.
+  double energy_joules{0.0};
+  double savings_pct{0.0};  // summarize_link's reported savings
+
+  friend bool operator==(const LinkMetrics&, const LinkMetrics&) = default;
+};
+
+/// Per-rank prediction telemetry (managed runs only).
+struct RankMetrics {
+  std::int32_t rank{0};
+  AgentStats stats{};
+  PredictionTelemetry prediction{};
+  /// Controller still armed when the run ended. Conservation:
+  ///   stats.arms == stats.pattern_mispredicts + (active_at_end ? 1 : 0)
+  bool active_at_end{false};
+
+  friend bool operator==(const RankMetrics&, const RankMetrics&) = default;
+};
+
+/// Telemetry roll-up of one replay leg (baseline or managed).
+struct ReplayMetrics {
+  bool managed{false};
+  TimeNs exec_time{};
+  std::uint64_t events_processed{0};
+  std::uint64_t messages_sent{0};
+  ReplayDrainStats drain{};
+  std::vector<LinkMetrics> links;  // one per used node uplink, by node id
+  std::vector<RankMetrics> ranks;  // empty for baseline legs
+
+  friend bool operator==(const ReplayMetrics&, const ReplayMetrics&) = default;
+};
+
+/// Both legs of one experiment cell, with its grid coordinates.
+struct CellMetrics {
+  std::string app;
+  int nranks{0};
+  double displacement{0.0};
+  ReplayMetrics baseline;
+  ReplayMetrics managed;
+
+  friend bool operator==(const CellMetrics&, const CellMetrics&) = default;
+};
+
+}  // namespace ibpower::obs

@@ -69,7 +69,8 @@ Trace generate_experiment_trace(const ExperimentConfig& cfg) {
 }
 
 BaselineLegResult run_baseline_leg(const ExperimentConfig& cfg,
-                                   const Trace& trace) {
+                                   const Trace& trace,
+                                   const ReplayProbe& probe) {
   // Baseline: power-unaware, always-on links.
   ReplayOptions opt;
   opt.fabric = cfg.fabric;
@@ -81,11 +82,13 @@ BaselineLegResult run_baseline_leg(const ExperimentConfig& cfg,
   leg.time = rr.exec_time;
   leg.idle = aggregate_idle(engine.fabric(), cfg.workload.nranks, rr.exec_time);
   leg.events = rr.events_processed;
+  if (probe) probe(engine, rr);
   return leg;
 }
 
 ManagedLegResult run_managed_leg(const ExperimentConfig& cfg,
-                                 const Trace& trace) {
+                                 const Trace& trace,
+                                 const ReplayProbe& probe) {
   // Managed: the paper's mechanism in the loop.
   ReplayOptions opt;
   opt.fabric = cfg.fabric;
@@ -112,6 +115,7 @@ ManagedLegResult run_managed_leg(const ExperimentConfig& cfg,
     leg.wake_penalty_total += link.wake_penalty_total();
   }
   leg.power = aggregate_power(ports, cfg.power);
+  if (probe) probe(engine, rr);
   return leg;
 }
 

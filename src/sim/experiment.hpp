@@ -2,6 +2,7 @@
 // derived metrics every table/figure reproduction consumes.
 #pragma once
 
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -64,6 +65,21 @@ struct ExperimentResult {
 /// std::invalid_argument when the app does not support cfg.workload.nranks.
 [[nodiscard]] Trace generate_experiment_trace(const ExperimentConfig& cfg);
 
+/// Observation hook invoked with the finished engine (links closed, audits
+/// run) just before a leg discards it. The obs/ telemetry layer hangs off
+/// this: the sim layer never names the metrics types, so sim stays free of
+/// any obs dependency and an empty probe costs one bool test per leg.
+/// Probes run on whatever thread executes the leg (the pool worker under
+/// ParallelExperimentRunner), so a probe must only touch state owned by its
+/// own cell — the per-task-local-buffer discipline of DESIGN.md §7.
+using ReplayProbe = std::function<void(const ReplayEngine&, const ReplayResult&)>;
+
+/// Per-cell probe pair for the decomposed legs.
+struct LegProbes {
+  ReplayProbe baseline;
+  ReplayProbe managed;
+};
+
 struct BaselineLegResult {
   TimeNs time{};
   IdleDistribution idle{};
@@ -82,9 +98,11 @@ struct ManagedLegResult {
 };
 
 [[nodiscard]] BaselineLegResult run_baseline_leg(const ExperimentConfig& cfg,
-                                                 const Trace& trace);
+                                                 const Trace& trace,
+                                                 const ReplayProbe& probe = {});
 [[nodiscard]] ManagedLegResult run_managed_leg(const ExperimentConfig& cfg,
-                                               const Trace& trace);
+                                               const Trace& trace,
+                                               const ReplayProbe& probe = {});
 [[nodiscard]] ExperimentResult combine_legs(const Trace& trace,
                                             const BaselineLegResult& baseline,
                                             const ManagedLegResult& managed);

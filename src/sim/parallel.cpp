@@ -2,6 +2,7 @@
 
 #include <chrono>
 #include <future>
+#include <stdexcept>
 #include <utility>
 
 namespace ibpower {
@@ -22,24 +23,27 @@ double ParallelExperimentRunner::last_total_work_ms() const {
   return total;
 }
 
-ExperimentResult ParallelExperimentRunner::run(const ExperimentConfig& rawcfg) {
+ExperimentResult ParallelExperimentRunner::run(const ExperimentConfig& rawcfg,
+                                               const LegProbes& probes) {
   const ExperimentConfig cfg = normalize_config(rawcfg);
   const auto t0 = Clock::now();
   const Trace trace = generate_experiment_trace(cfg);
   const double gen_ms = ms_since(t0);
 
-  // The two legs only read `cfg` and `trace`; both outlive the futures.
+  // The two legs only read `cfg`, `trace` and `probes`; all outlive the
+  // futures. Probes execute inside the leg on the worker thread and must
+  // only write caller-owned per-leg storage (see parallel.hpp).
   double base_ms = 0.0;
   double managed_ms = 0.0;
-  auto baseline = pool_.submit([&cfg, &trace, &base_ms] {
+  auto baseline = pool_.submit([&cfg, &trace, &probes, &base_ms] {
     const auto leg0 = Clock::now();
-    BaselineLegResult leg = run_baseline_leg(cfg, trace);
+    BaselineLegResult leg = run_baseline_leg(cfg, trace, probes.baseline);
     base_ms = ms_since(leg0);
     return leg;
   });
-  auto managed = pool_.submit([&cfg, &trace, &managed_ms] {
+  auto managed = pool_.submit([&cfg, &trace, &probes, &managed_ms] {
     const auto leg0 = Clock::now();
-    ManagedLegResult leg = run_managed_leg(cfg, trace);
+    ManagedLegResult leg = run_managed_leg(cfg, trace, probes.managed);
     managed_ms = ms_since(leg0);
     return leg;
   });
@@ -51,8 +55,13 @@ ExperimentResult ParallelExperimentRunner::run(const ExperimentConfig& rawcfg) {
 }
 
 std::vector<ExperimentResult> ParallelExperimentRunner::run_all(
-    const std::vector<ExperimentConfig>& rawcfgs) {
+    const std::vector<ExperimentConfig>& rawcfgs,
+    const std::vector<LegProbes>& probes) {
   const std::size_t n = rawcfgs.size();
+  if (!probes.empty() && probes.size() != n) {
+    throw std::invalid_argument(
+        "run_all: probes must be empty or match cfgs.size()");
+  }
   std::vector<ExperimentConfig> cfgs;
   cfgs.reserve(n);
   for (const auto& cfg : rawcfgs) cfgs.push_back(normalize_config(cfg));
@@ -84,15 +93,17 @@ std::vector<ExperimentResult> ParallelExperimentRunner::run_all(
   baselines.reserve(n);
   manageds.reserve(n);
   for (std::size_t i = 0; i < n; ++i) {
-    baselines.push_back(pool_.submit([&cfgs, &traces, &leg_ms, i] {
+    baselines.push_back(pool_.submit([&cfgs, &traces, &probes, &leg_ms, i] {
       const auto t0 = Clock::now();
-      BaselineLegResult leg = run_baseline_leg(cfgs[i], traces[i]);
+      BaselineLegResult leg = run_baseline_leg(
+          cfgs[i], traces[i], probes.empty() ? ReplayProbe{} : probes[i].baseline);
       leg_ms[2 * i] = ms_since(t0);
       return leg;
     }));
-    manageds.push_back(pool_.submit([&cfgs, &traces, &leg_ms, i] {
+    manageds.push_back(pool_.submit([&cfgs, &traces, &probes, &leg_ms, i] {
       const auto t0 = Clock::now();
-      ManagedLegResult leg = run_managed_leg(cfgs[i], traces[i]);
+      ManagedLegResult leg = run_managed_leg(
+          cfgs[i], traces[i], probes.empty() ? ReplayProbe{} : probes[i].managed);
       leg_ms[2 * i + 1] = ms_since(t0);
       return leg;
     }));

@@ -26,13 +26,30 @@ class ParallelExperimentRunner {
 
   /// run_experiment with the baseline and managed replays in parallel.
   /// Must not be called from inside the pool's own workers.
-  [[nodiscard]] ExperimentResult run(const ExperimentConfig& cfg);
+  [[nodiscard]] ExperimentResult run(const ExperimentConfig& cfg) {
+    return run(cfg, LegProbes{});
+  }
+
+  /// As run(), additionally invoking the cell's probes with each finished
+  /// engine (obs/ telemetry collection). Probes execute on pool workers;
+  /// they must write only caller-owned, per-cell storage (DESIGN.md §7) so
+  /// the gathered output is bit-identical at any thread count.
+  [[nodiscard]] ExperimentResult run(const ExperimentConfig& cfg,
+                                     const LegProbes& probes);
 
   /// Run many experiments concurrently; result i corresponds to cfgs[i].
   /// Phase 1 generates all traces in parallel, phase 2 runs each cell's two
   /// replay legs as independent tasks (2N tasks for N cells).
   [[nodiscard]] std::vector<ExperimentResult> run_all(
-      const std::vector<ExperimentConfig>& cfgs);
+      const std::vector<ExperimentConfig>& cfgs) {
+    return run_all(cfgs, {});
+  }
+
+  /// As run_all() with per-cell probes; `probes` must be empty or match
+  /// cfgs.size(). Same task-local-buffer discipline as run() with probes.
+  [[nodiscard]] std::vector<ExperimentResult> run_all(
+      const std::vector<ExperimentConfig>& cfgs,
+      const std::vector<LegProbes>& probes);
 
   /// sweep_gt with the per-GT dry runs fanned out (one baseline replay,
   /// then |values| independent prediction-only scoring tasks).

@@ -32,7 +32,10 @@ ReplayEngine::ReplayEngine(const Trace* trace, const ReplayOptions& options)
 ReplayEngine::Channel& ReplayEngine::channel(Rank src, Rank dst,
                                              std::int32_t tag) {
   auto& slot = channels_[channel_key(src, dst, tag)];
-  if (!slot) slot = std::make_unique<Channel>();
+  if (!slot) {
+    slot = std::make_unique<Channel>();
+    ++drain_.channels_created;
+  }
   return *slot;
 }
 
@@ -70,6 +73,7 @@ ReplayResult ReplayEngine::run() {
   }
   result.events_processed = queue_.processed();
   result.messages_sent = messages_;
+  result.drain = drain_;
   fabric_->finish(result.exec_time);
   IBP_AUDIT(if (const std::string err = audit_drain(); !err.empty())
                 IBP_AUDIT_FAIL(err.c_str()));
@@ -140,6 +144,35 @@ std::string ReplayEngine::audit_drain() const {
                std::to_string(i) + " begins a negative idle interval";
       }
     }
+  }
+  // Drain-statistics conservation: the always-compiled telemetry counters
+  // (drain_stats()) must agree with the drained-channel state verified
+  // above — every enqueued message matched, every parked receive satisfied,
+  // every blocked rendezvous sender resumed, and the protocol split summing
+  // to the message count. This keeps release-build telemetry and the audit
+  // recomputation in lockstep in every build mode.
+  if (drain_.messages_enqueued != drain_.messages_matched) {
+    return "replay audit: drain stats: " +
+           std::to_string(drain_.messages_enqueued) +
+           " message(s) enqueued but " +
+           std::to_string(drain_.messages_matched) + " matched";
+  }
+  if (drain_.recvs_waited != drain_.recvs_satisfied) {
+    return "replay audit: drain stats: " + std::to_string(drain_.recvs_waited) +
+           " receive(s) parked but " + std::to_string(drain_.recvs_satisfied) +
+           " satisfied";
+  }
+  if (drain_.rendezvous_blocked != drain_.rendezvous_resumed) {
+    return "replay audit: drain stats: " +
+           std::to_string(drain_.rendezvous_blocked) +
+           " rendezvous sender(s) blocked but " +
+           std::to_string(drain_.rendezvous_resumed) + " resumed";
+  }
+  if (drain_.sends_eager + drain_.sends_rendezvous != messages_) {
+    return "replay audit: drain stats: protocol split " +
+           std::to_string(drain_.sends_eager) + "+" +
+           std::to_string(drain_.sends_rendezvous) +
+           " does not sum to message count " + std::to_string(messages_);
   }
   return {};
 }
@@ -237,6 +270,7 @@ void ReplayEngine::satisfy_waiting(Channel& ch, TimeNs delivery) {
   IBP_ASSERT(!ch.waiting.empty());
   const WaitingRecv w = ch.waiting.front();
   ch.waiting.pop_front();
+  ++drain_.recvs_satisfied;
   if (w.nonblocking) {
     complete_request(w.dst, w.request, max(w.min_exit, delivery));
   } else {
@@ -251,6 +285,7 @@ void ReplayEngine::deliver_eager(Rank src, Rank dst, std::int32_t tag,
     satisfy_waiting(ch, delivery);
   } else {
     ch.queue.push_back(ChannelMsg{false, delivery, 0, false, -1, 0});
+    ++drain_.messages_enqueued;
   }
 }
 
@@ -285,6 +320,7 @@ void ReplayEngine::do_send(Rank r, const SendRecord& rec, TimeNs enter,
                            TimeNs t) {
   ++messages_;
   if (rec.bytes <= opt_.eager_threshold) {
+    ++drain_.sends_eager;
     const auto tx = fabric_->unicast(r, rec.peer, rec.bytes, t);
     deliver_eager(r, rec.peer, rec.tag, tx.delivery);
     finish_call(r, MpiCall::Send, enter, max(t, tx.sender_free));
@@ -292,10 +328,12 @@ void ReplayEngine::do_send(Rank r, const SendRecord& rec, TimeNs enter,
   }
 
   // Rendezvous: transfer begins once the receive is posted.
+  ++drain_.sends_rendezvous;
   Channel& ch = channel(r, rec.peer, rec.tag);
   if (!ch.waiting.empty()) {
     const WaitingRecv w = ch.waiting.front();
     ch.waiting.pop_front();
+    ++drain_.recvs_satisfied;
     const auto tx = fabric_->unicast(r, rec.peer, rec.bytes, max(t, w.posted));
     if (w.nonblocking) {
       complete_request(w.dst, w.request, max(w.min_exit, tx.delivery));
@@ -305,6 +343,8 @@ void ReplayEngine::do_send(Rank r, const SendRecord& rec, TimeNs enter,
     finish_call(r, MpiCall::Send, enter, max(t, tx.sender_free));
   } else {
     ch.queue.push_back(ChannelMsg{true, t, rec.bytes, false, r, 0});
+    ++drain_.messages_enqueued;
+    ++drain_.rendezvous_blocked;
     // Sender stays blocked; the matching recv resumes it. Stash what we
     // need in the channel entry; enter time is recoverable because the
     // sender's pc still points at this record.
@@ -317,6 +357,7 @@ void ReplayEngine::do_isend(Rank r, const IsendRecord& rec, TimeNs enter,
   ++messages_;
   auto& st = ranks_[static_cast<std::size_t>(r)];
   if (rec.bytes <= opt_.eager_threshold) {
+    ++drain_.sends_eager;
     const auto tx = fabric_->unicast(r, rec.peer, rec.bytes, t);
     deliver_eager(r, rec.peer, rec.tag, tx.delivery);
     st.completed_requests.insert_or_assign(rec.request, max(t, tx.sender_free));
@@ -325,10 +366,12 @@ void ReplayEngine::do_isend(Rank r, const IsendRecord& rec, TimeNs enter,
   }
   // Rendezvous Isend: if the receive is already posted, transfer now; the
   // call still returns immediately and the request completes at injection.
+  ++drain_.sends_rendezvous;
   Channel& ch = channel(r, rec.peer, rec.tag);
   if (!ch.waiting.empty()) {
     const WaitingRecv w = ch.waiting.front();
     ch.waiting.pop_front();
+    ++drain_.recvs_satisfied;
     const auto tx = fabric_->unicast(r, rec.peer, rec.bytes, max(t, w.posted));
     if (w.nonblocking) {
       complete_request(w.dst, w.request, max(w.min_exit, tx.delivery));
@@ -338,6 +381,7 @@ void ReplayEngine::do_isend(Rank r, const IsendRecord& rec, TimeNs enter,
     st.completed_requests.insert_or_assign(rec.request, max(t, tx.sender_free));
   } else {
     ch.queue.push_back(ChannelMsg{true, t, rec.bytes, true, r, rec.request});
+    ++drain_.messages_enqueued;
     st.pending_requests.insert(rec.request);
   }
   finish_call(r, MpiCall::Isend, enter, t);
@@ -350,6 +394,7 @@ void ReplayEngine::do_irecv(Rank r, const IrecvRecord& rec, TimeNs enter,
   if (!ch.queue.empty()) {
     const ChannelMsg m = ch.queue.front();
     ch.queue.pop_front();
+    ++drain_.messages_matched;
     if (!m.rendezvous) {
       st.completed_requests.insert_or_assign(rec.request,
                                              max(t, m.ready_or_delivery));
@@ -362,6 +407,7 @@ void ReplayEngine::do_irecv(Rank r, const IrecvRecord& rec, TimeNs enter,
         const auto key = channel_key(rec.peer, r, rec.tag);
         const TimeNs send_enter = pending_send_enter_[key];
         pending_send_enter_.erase(key);
+        ++drain_.rendezvous_resumed;
         const Rank src = rec.peer;
         queue_.schedule(tx.sender_free, [this, src, send_enter, tx] {
           finish_call(src, MpiCall::Send, send_enter, tx.sender_free);
@@ -372,6 +418,7 @@ void ReplayEngine::do_irecv(Rank r, const IrecvRecord& rec, TimeNs enter,
   } else {
     ch.waiting.push_back(
         WaitingRecv{r, MpiCall::Irecv, t, enter, t, true, rec.request});
+    ++drain_.recvs_waited;
     st.pending_requests.insert(rec.request);
   }
   finish_call(r, MpiCall::Irecv, enter, t);
@@ -416,6 +463,7 @@ void ReplayEngine::do_recv(Rank r, const RecvRecord& rec, TimeNs enter,
   if (!ch.queue.empty()) {
     const ChannelMsg m = ch.queue.front();
     ch.queue.pop_front();
+    ++drain_.messages_matched;
     if (!m.rendezvous) {
       finish_call(r, MpiCall::Recv, enter, max(t, m.ready_or_delivery));
     } else {
@@ -428,6 +476,7 @@ void ReplayEngine::do_recv(Rank r, const RecvRecord& rec, TimeNs enter,
         const auto key = channel_key(rec.peer, r, rec.tag);
         const TimeNs send_enter = pending_send_enter_[key];
         pending_send_enter_.erase(key);
+        ++drain_.rendezvous_resumed;
         const Rank src = rec.peer;
         queue_.schedule(tx.sender_free, [this, src, send_enter, tx] {
           finish_call(src, MpiCall::Send, send_enter, tx.sender_free);
@@ -438,11 +487,13 @@ void ReplayEngine::do_recv(Rank r, const RecvRecord& rec, TimeNs enter,
     return;
   }
   ch.waiting.push_back(WaitingRecv{r, MpiCall::Recv, t, enter, t, false, 0});
+  ++drain_.recvs_waited;
 }
 
 void ReplayEngine::do_sendrecv(Rank r, const SendrecvRecord& rec, TimeNs enter,
                                TimeNs t) {
   ++messages_;
+  ++drain_.sends_eager;
   // Send half: always eager (MPI_Sendrecv cannot deadlock).
   const auto tx = fabric_->unicast(r, rec.send_peer, rec.bytes, t);
   deliver_eager(r, rec.send_peer, rec.tag, tx.delivery);
@@ -453,6 +504,7 @@ void ReplayEngine::do_sendrecv(Rank r, const SendrecvRecord& rec, TimeNs enter,
   if (!ch.queue.empty()) {
     const ChannelMsg m = ch.queue.front();
     ch.queue.pop_front();
+    ++drain_.messages_matched;
     if (!m.rendezvous) {
       finish_call(r, MpiCall::Sendrecv, enter,
                   max(send_done, m.ready_or_delivery));
@@ -467,6 +519,7 @@ void ReplayEngine::do_sendrecv(Rank r, const SendrecvRecord& rec, TimeNs enter,
       const auto key = channel_key(rec.recv_peer, r, rec.tag);
       const TimeNs send_enter = pending_send_enter_[key];
       pending_send_enter_.erase(key);
+      ++drain_.rendezvous_resumed;
       const Rank src = rec.recv_peer;
       queue_.schedule(rtx.sender_free, [this, src, send_enter, rtx] {
         finish_call(src, MpiCall::Send, send_enter, rtx.sender_free);
@@ -477,6 +530,7 @@ void ReplayEngine::do_sendrecv(Rank r, const SendrecvRecord& rec, TimeNs enter,
   }
   ch.waiting.push_back(
       WaitingRecv{r, MpiCall::Sendrecv, t, enter, send_done, false, 0});
+  ++drain_.recvs_waited;
 }
 
 void ReplayEngine::do_collective(Rank r, const CollectiveRecord& rec,

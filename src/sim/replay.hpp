@@ -45,12 +45,35 @@ struct ReplayOptions {
   bool record_call_timeline{false};
 };
 
+/// Always-compiled channel/rendezvous bookkeeping counters. These used to be
+/// observable only indirectly through the audit-build drain checks; they are
+/// now first-class telemetry so release builds can report them too (obs/).
+/// Conservation contract at drain (a finished, non-deadlocked replay):
+///   messages_enqueued  == messages_matched
+///   recvs_waited       == recvs_satisfied
+///   rendezvous_blocked == rendezvous_resumed
+struct ReplayDrainStats {
+  std::uint64_t channels_created{0};
+  std::uint64_t sends_eager{0};        // eager-protocol sends (incl. isend)
+  std::uint64_t sends_rendezvous{0};   // rendezvous-protocol sends (incl. isend)
+  std::uint64_t messages_enqueued{0};  // parked in a channel queue
+  std::uint64_t messages_matched{0};   // consumed from a channel queue
+  std::uint64_t recvs_waited{0};       // receives parked on a channel
+  std::uint64_t recvs_satisfied{0};    // parked receives completed
+  std::uint64_t rendezvous_blocked{0};  // blocking senders parked
+  std::uint64_t rendezvous_resumed{0};  // parked senders resumed
+
+  friend bool operator==(const ReplayDrainStats&,
+                         const ReplayDrainStats&) = default;
+};
+
 struct ReplayResult {
   TimeNs exec_time{};
   std::vector<TimeNs> rank_finish;
   AgentStats agent_total{};       // zeros for baseline runs
   std::uint64_t events_processed{0};
   std::uint64_t messages_sent{0};
+  ReplayDrainStats drain{};
 };
 
 class ReplayEngine {
@@ -71,6 +94,7 @@ class ReplayEngine {
     return call_timelines_[static_cast<std::size_t>(r)];
   }
   [[nodiscard]] const ReplayOptions& options() const { return opt_; }
+  [[nodiscard]] const ReplayDrainStats& drain_stats() const { return drain_; }
 
   /// Post-run invariant audit (check/ subsystem): message conservation
   /// (every send consumed by exactly one recv — all channel queues and
@@ -261,6 +285,7 @@ class ReplayEngine {
   std::vector<std::vector<MpiCallEvent>> call_timelines_;
   int done_count_{0};
   std::uint64_t messages_{0};
+  ReplayDrainStats drain_;
   bool ran_{false};
 };
 

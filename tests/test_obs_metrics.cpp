@@ -1,0 +1,275 @@
+// Metrics-vs-auditor lockdown (obs/): the telemetry layer is only
+// trustworthy if it reproduces the check/ subsystem's independent
+// recomputations exactly — residencies equal to the integer partition the
+// auditor verifies, energies bit-equal to integrate_link_energy, counters
+// conserved. These tests pin that contract on seeded synthetic traces and
+// on full experiment cells, alongside unit coverage of the histogram
+// primitives.
+#include "obs/collect.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <limits>
+
+#include "check/invariant_auditor.hpp"
+#include "check/trace_gen.hpp"
+#include "obs/instrumented.hpp"
+
+namespace ibpower {
+namespace {
+
+using obs::IdleHistogram;
+using obs::PredictionTelemetry;
+
+// --- histogram primitives -------------------------------------------------
+
+TEST(IdleHistogram, BucketEdges) {
+  EXPECT_EQ(IdleHistogram::bucket_of(TimeNs{-5}), 0u);
+  EXPECT_EQ(IdleHistogram::bucket_of(TimeNs{0}), 0u);
+  EXPECT_EQ(IdleHistogram::bucket_of(TimeNs{1}), 0u);
+  EXPECT_EQ(IdleHistogram::bucket_of(TimeNs{2}), 1u);
+  EXPECT_EQ(IdleHistogram::bucket_of(TimeNs{3}), 1u);
+  EXPECT_EQ(IdleHistogram::bucket_of(TimeNs{4}), 2u);
+  EXPECT_EQ(IdleHistogram::bucket_of(TimeNs{7}), 2u);
+  EXPECT_EQ(IdleHistogram::bucket_of(TimeNs{8}), 3u);
+  // Power-of-two lower edges are inclusive.
+  for (std::size_t i = 1; i + 1 < IdleHistogram::kBuckets; ++i) {
+    const TimeNs edge{IdleHistogram::bucket_floor_ns(i)};
+    EXPECT_EQ(IdleHistogram::bucket_of(edge), i) << "bucket " << i;
+    EXPECT_EQ(IdleHistogram::bucket_of(TimeNs{edge.ns - 1}), i - 1)
+        << "bucket " << i;
+  }
+  // Everything past the last edge saturates into the final bucket.
+  EXPECT_EQ(IdleHistogram::bucket_of(TimeNs{std::numeric_limits<std::int64_t>::max()}),
+            IdleHistogram::kBuckets - 1);
+}
+
+TEST(IdleHistogram, ObserveMergeMean) {
+  IdleHistogram a;
+  a.observe(TimeNs{100});
+  a.observe(TimeNs{300});
+  EXPECT_EQ(a.samples, 2u);
+  EXPECT_EQ(a.total.ns, 400);
+  EXPECT_EQ(a.mean().ns, 200);
+
+  IdleHistogram b;
+  b.observe(TimeNs{100});
+  b.merge(a);
+  EXPECT_EQ(b.samples, 3u);
+  EXPECT_EQ(b.total.ns, 500);
+  std::uint64_t bucket_sum = 0;
+  for (const std::uint64_t c : b.counts) bucket_sum += c;
+  EXPECT_EQ(bucket_sum, b.samples);
+
+  EXPECT_EQ(IdleHistogram{}.mean(), TimeNs::zero());
+}
+
+TEST(PredictionTelemetry, SampleConservation) {
+  PredictionTelemetry t;
+  // A gap with no preceding request is not an "actual" observation.
+  t.on_next_call_gap(TimeNs{50});
+  EXPECT_EQ(t.actual_idle.samples, 0u);
+
+  t.on_power_request(TimeNs{1000});
+  EXPECT_TRUE(t.awaiting_actual);
+  t.on_next_call_gap(TimeNs{900});
+  EXPECT_FALSE(t.awaiting_actual);
+  t.on_power_request(TimeNs{1000});  // trails the stream
+
+  EXPECT_EQ(t.predicted_idle.samples, 2u);
+  EXPECT_EQ(t.actual_idle.samples, 1u);
+  EXPECT_EQ(t.predicted_idle.samples,
+            t.actual_idle.samples + (t.awaiting_actual ? 1u : 0u));
+}
+
+// --- metrics vs auditor on seeded replays ---------------------------------
+
+obs::ReplayMetrics replay_and_collect(const Trace& trace, bool managed,
+                                      const PowerModelConfig& power) {
+  ReplayOptions opt;
+  opt.fabric.random_routing = false;
+  opt.enable_power_management = managed;
+  if (managed) {
+    opt.ppa.displacement_factor = 0.01;
+    opt.fabric.link.t_react = opt.ppa.t_react;
+    opt.fabric.link.t_deact = opt.ppa.t_react;
+  }
+  ReplayEngine engine(&trace, opt);
+  const ReplayResult rr = engine.run();
+  EXPECT_EQ(audit_replay(engine, power), "");
+  return obs::collect_replay_metrics(engine, rr, power);
+}
+
+TEST(ObsMetrics, ResidencyAndEnergyBitEqualToAuditor) {
+  const PowerModelConfig power;
+  for (const std::uint64_t seed : {1u, 7u, 23u, 91u}) {
+    SyntheticTraceConfig tcfg;
+    tcfg.seed = seed;
+    tcfg.nranks = 6;
+    tcfg.iterations = 8;
+    const Trace trace = generate_trace(tcfg);
+
+    ReplayOptions opt;
+    opt.fabric.random_routing = false;
+    opt.enable_power_management = true;
+    opt.ppa.displacement_factor = 0.01;
+    opt.fabric.link.t_react = opt.ppa.t_react;
+    opt.fabric.link.t_deact = opt.ppa.t_react;
+    ReplayEngine engine(&trace, opt);
+    const ReplayResult rr = engine.run();
+    ASSERT_EQ(audit_replay(engine, power), "") << "seed " << seed;
+
+    const obs::ReplayMetrics m =
+        obs::collect_replay_metrics(engine, rr, power);
+    EXPECT_EQ(obs::validate_metrics(m), "") << "seed " << seed;
+    ASSERT_EQ(m.links.size(), static_cast<std::size_t>(tcfg.nranks));
+
+    for (const obs::LinkMetrics& lm : m.links) {
+      const IbLink& link = engine.fabric().link(
+          engine.fabric().topology().node_uplink(lm.link));
+      // Residencies: telemetry's event-log walk vs IbLink's per-mode
+      // passes — integer nanoseconds, exact equality.
+      EXPECT_EQ(lm.residency[0], link.residency(LinkPowerMode::FullPower));
+      EXPECT_EQ(lm.residency[1], link.residency(LinkPowerMode::LowPower));
+      EXPECT_EQ(lm.residency[2], link.residency(LinkPowerMode::Transition));
+      EXPECT_EQ(lm.residency[0] + lm.residency[1] + lm.residency[2], lm.exec);
+      // Energy: bit-equal to the auditor's independent integration.
+      const double audited = integrate_link_energy(link, power);
+      EXPECT_EQ(std::memcmp(&lm.energy_joules, &audited, sizeof(double)), 0)
+          << "seed " << seed << " link " << lm.link;
+      EXPECT_EQ(lm.low_power_requests, link.low_power_requests());
+      EXPECT_EQ(lm.on_demand_wakes, link.on_demand_wakes());
+    }
+  }
+}
+
+TEST(ObsMetrics, PredictionCountersConserved) {
+  SyntheticTraceConfig tcfg;
+  tcfg.seed = 3;
+  tcfg.nranks = 8;
+  tcfg.iterations = 10;
+  const Trace trace = generate_trace(tcfg);
+  const PowerModelConfig power;
+  const obs::ReplayMetrics m = replay_and_collect(trace, true, power);
+
+  ASSERT_FALSE(m.ranks.empty());
+  AgentStats total;
+  std::uint64_t power_requests = 0;
+  for (const obs::RankMetrics& r : m.ranks) {
+    // Detected/armed/hit/miss/relaunch conservation per rank: every arm is
+    // ended by exactly one mispredict (which relaunches the PPA) unless the
+    // controller is still active at end of run.
+    EXPECT_EQ(r.stats.arms,
+              r.stats.pattern_mispredicts + (r.active_at_end ? 1u : 0u))
+        << "rank " << r.rank;
+    // Hit + miss never exceed the interception count.
+    EXPECT_LE(r.stats.predicted_calls + r.stats.pattern_mispredicts,
+              r.stats.total_calls)
+        << "rank " << r.rank;
+    // Every power request contributed one predicted-idle sample.
+    EXPECT_EQ(r.prediction.predicted_idle.samples, r.stats.power_requests);
+    EXPECT_EQ(r.prediction.predicted_idle.samples,
+              r.prediction.actual_idle.samples +
+                  (r.prediction.awaiting_actual ? 1u : 0u))
+        << "rank " << r.rank;
+    total.merge(r.stats);
+    power_requests += r.stats.power_requests;
+  }
+  // The link-side request counters must account for every agent request.
+  std::uint64_t link_requests = 0;
+  for (const obs::LinkMetrics& lm : m.links) {
+    link_requests += lm.low_power_requests;
+  }
+  EXPECT_EQ(link_requests, power_requests);
+  EXPECT_GT(total.total_calls, 0u);
+}
+
+TEST(ObsMetrics, BaselineSnapshotIsPowerInert) {
+  SyntheticTraceConfig tcfg;
+  tcfg.seed = 11;
+  tcfg.nranks = 4;
+  const Trace trace = generate_trace(tcfg);
+  const PowerModelConfig power;
+  const obs::ReplayMetrics m = replay_and_collect(trace, false, power);
+
+  EXPECT_FALSE(m.managed);
+  EXPECT_TRUE(m.ranks.empty());
+  for (const obs::LinkMetrics& lm : m.links) {
+    EXPECT_TRUE(lm.events.empty());
+    EXPECT_EQ(lm.residency[0], lm.exec);  // always full power
+    EXPECT_EQ(lm.residency[1], TimeNs::zero());
+    EXPECT_EQ(lm.transitions, 0u);
+    EXPECT_EQ(lm.low_power_requests, 0u);
+    EXPECT_EQ(lm.savings_pct, 0.0);
+  }
+}
+
+// --- instrumented experiments --------------------------------------------
+
+TEST(ObsMetrics, InstrumentedExperimentAgreesWithResult) {
+  ExperimentConfig cfg;
+  cfg.app = "alya";
+  cfg.workload.nranks = 8;
+  cfg.workload.iterations = 6;
+  cfg.ppa.grouping_threshold = default_gt(cfg.app, cfg.workload.nranks);
+  cfg.ppa.displacement_factor = 0.01;
+
+  const obs::InstrumentedResult inst = obs::run_instrumented_experiment(cfg);
+  EXPECT_TRUE(bit_identical(inst.result, run_experiment(cfg)));
+  EXPECT_EQ(obs::validate_metrics(inst.baseline), "");
+  EXPECT_EQ(obs::validate_metrics(inst.managed), "");
+
+  // The telemetry roll-up reproduces the experiment's own aggregates.
+  EXPECT_EQ(inst.baseline.exec_time, inst.result.baseline_time);
+  EXPECT_EQ(inst.managed.exec_time, inst.result.managed_time);
+  EXPECT_EQ(inst.managed.messages_sent, inst.result.messages);
+  EXPECT_EQ(inst.baseline.events_processed + inst.managed.events_processed,
+            inst.result.sim_events);
+
+  AgentStats total;
+  for (const obs::RankMetrics& r : inst.managed.ranks) total.merge(r.stats);
+  EXPECT_EQ(total, inst.result.agents);
+
+  std::uint64_t wakes = 0;
+  TimeNs penalty{};
+  for (const obs::LinkMetrics& lm : inst.managed.links) {
+    wakes += lm.on_demand_wakes;
+    penalty += lm.wake_penalty_total;
+  }
+  EXPECT_EQ(wakes, inst.result.on_demand_wakes);
+  EXPECT_EQ(penalty, inst.result.wake_penalty_total);
+}
+
+TEST(ObsMetrics, ValidateMetricsFlagsCorruption) {
+  SyntheticTraceConfig tcfg;
+  tcfg.seed = 5;
+  tcfg.nranks = 4;
+  const Trace trace = generate_trace(tcfg);
+  const PowerModelConfig power;
+  obs::ReplayMetrics m = replay_and_collect(trace, true, power);
+  ASSERT_EQ(obs::validate_metrics(m), "");
+
+  obs::ReplayMetrics broken = m;
+  ASSERT_FALSE(broken.links.empty());
+  broken.links[0].residency[0] += TimeNs{1};  // break the partition
+  EXPECT_NE(obs::validate_metrics(broken), "");
+
+  broken = m;
+  broken.drain.messages_matched += 1;  // break drain conservation
+  EXPECT_NE(obs::validate_metrics(broken), "");
+
+  broken = m;
+  ASSERT_FALSE(broken.ranks.empty());
+  broken.ranks[0].stats.arms += 1;  // break arms conservation
+  EXPECT_NE(obs::validate_metrics(broken), "");
+
+  if (!m.links.empty() && m.links[0].events.size() >= 2) {
+    broken = m;
+    std::swap(broken.links[0].events[0], broken.links[0].events[1]);
+    EXPECT_NE(obs::validate_metrics(broken), "");
+  }
+}
+
+}  // namespace
+}  // namespace ibpower

@@ -5,8 +5,12 @@
 
 #include <gtest/gtest.h>
 
+#include <sstream>
 #include <string>
 #include <vector>
+
+#include "obs/exporters.hpp"
+#include "obs/instrumented.hpp"
 
 namespace ibpower {
 namespace {
@@ -91,6 +95,78 @@ TEST(ParallelExperiment, UnsupportedRankCountPropagatesAsException) {
   ParallelExperimentRunner runner(2);
   EXPECT_THROW((void)runner.run(cfg), std::invalid_argument);
   EXPECT_THROW((void)runner.run_all({cfg}), std::invalid_argument);
+}
+
+/// Render a cell list through every telemetry sink into one byte string.
+std::string telemetry_bytes(const std::vector<ExperimentConfig>& cfgs,
+                            const std::vector<obs::InstrumentedResult>& inst) {
+  std::vector<obs::CellMetrics> cells;
+  cells.reserve(inst.size());
+  for (std::size_t i = 0; i < inst.size(); ++i) {
+    cells.push_back(obs::make_cell_metrics(cfgs[i], inst[i]));
+  }
+  std::ostringstream os;
+  obs::write_metrics_json(os, cells);
+  for (const obs::CellMetrics& cell : cells) {
+    obs::write_link_series_csv(os, cell.managed);
+    obs::write_power_prv(os, cell.managed, cell.app);
+  }
+  return os.str();
+}
+
+TEST(ParallelExperiment, TelemetryBytesIdenticalAcrossJobCounts) {
+  // Satellite determinism contract: JSON, CSV and .prv exports must be
+  // byte-identical between --jobs 1 and --jobs 8 (per-cell probe slots,
+  // gathered in submission order).
+  std::vector<ExperimentConfig> cfgs;
+  cfgs.push_back(small_config("alya", 8));
+  cfgs.push_back(small_config("gromacs", 8));
+  cfgs.push_back(small_config("nas_mg", 8));
+  cfgs.push_back(small_config("wrf", 8));
+
+  ParallelExperimentRunner serial_runner(1);
+  const std::vector<obs::InstrumentedResult> serial =
+      obs::run_instrumented_grid(serial_runner, cfgs);
+  const std::string serial_bytes = telemetry_bytes(cfgs, serial);
+  EXPECT_FALSE(serial_bytes.empty());
+
+  ParallelExperimentRunner parallel_runner(8);
+  for (int repeat = 0; repeat < 2; ++repeat) {
+    const std::vector<obs::InstrumentedResult> parallel =
+        obs::run_instrumented_grid(parallel_runner, cfgs);
+    ASSERT_EQ(parallel.size(), serial.size());
+    for (std::size_t i = 0; i < serial.size(); ++i) {
+      EXPECT_TRUE(bit_identical(serial[i].result, parallel[i].result))
+          << cfgs[i].app;
+      EXPECT_EQ(serial[i].baseline, parallel[i].baseline) << cfgs[i].app;
+      EXPECT_EQ(serial[i].managed, parallel[i].managed) << cfgs[i].app;
+    }
+    EXPECT_EQ(telemetry_bytes(cfgs, parallel), serial_bytes)
+        << "repeat " << repeat;
+  }
+}
+
+TEST(ParallelExperiment, InstrumentedRunMatchesUninstrumented) {
+  // The probe hook must be observation-only: the instrumented grid's
+  // results stay bit-identical to the probe-free paths.
+  const ExperimentConfig cfg = small_config("alya", 8);
+  const ExperimentResult plain = run_experiment(cfg);
+  ParallelExperimentRunner runner(4);
+  const std::vector<obs::InstrumentedResult> inst =
+      obs::run_instrumented_grid(runner, {cfg});
+  ASSERT_EQ(inst.size(), 1u);
+  EXPECT_TRUE(bit_identical(plain, inst[0].result));
+  const obs::InstrumentedResult serial = obs::run_instrumented_experiment(cfg);
+  EXPECT_TRUE(bit_identical(plain, serial.result));
+  EXPECT_EQ(serial.baseline, inst[0].baseline);
+  EXPECT_EQ(serial.managed, inst[0].managed);
+}
+
+TEST(ParallelExperiment, RunAllRejectsMismatchedProbeCount) {
+  ParallelExperimentRunner runner(2);
+  const std::vector<ExperimentConfig> cfgs{small_config("alya", 8)};
+  const std::vector<LegProbes> probes(2);
+  EXPECT_THROW((void)runner.run_all(cfgs, probes), std::invalid_argument);
 }
 
 TEST(ParallelExperiment, SimEventsPopulated) {

@@ -19,8 +19,13 @@
 //    * per-switch savings lie in [0, 100]%
 //    * managed execution time >= baseline (deterministic routing — see
 //      DESIGN.md §8 for why this requires random_routing = false)
+//    * telemetry tier (obs/): the collected ReplayMetrics snapshot passes
+//      validate_metrics (ordered event logs, residency partition, counter
+//      conservation), its residencies match IbLink::residency() exactly and
+//      its energies are bit-equal to the auditor's integration
 //    * re-running both legs concurrently on a ThreadPool reproduces the
-//      serial results bit-for-bit (the DESIGN.md §7 determinism contract)
+//      serial results — and the serial telemetry snapshots — bit-for-bit
+//      (the DESIGN.md §7 determinism contract)
 //
 // Exit status 0 with a one-line summary when every seed passes; on the
 // first failure, prints the seed and violation and exits 1.
@@ -38,6 +43,7 @@
 #include "check/trace_gen.hpp"
 #include "core/ppa.hpp"
 #include "core/ppa_paper.hpp"
+#include "obs/collect.hpp"
 #include "power/power_model.hpp"
 #include "sim/replay.hpp"
 #include "util/rng.hpp"
@@ -258,7 +264,47 @@ struct LegOutcome {
   double energy_joules{0.0};
   double savings_pct{0.0};
   std::string audit;
+  obs::ReplayMetrics metrics;
+  std::string telemetry;  // telemetry-tier violation, "" when clean
 };
+
+/// Telemetry tier: structural validation of the snapshot plus bit-equality
+/// of its residencies and energies against the live link's accounting and
+/// the auditor's independent integration.
+std::string check_telemetry(const ReplayEngine& engine,
+                            const obs::ReplayMetrics& metrics,
+                            const PowerModelConfig& power, int nranks) {
+  if (std::string err = obs::validate_metrics(metrics); !err.empty()) {
+    return err;
+  }
+  if (metrics.links.size() != static_cast<std::size_t>(nranks)) {
+    return "snapshot covers " + std::to_string(metrics.links.size()) +
+           " links, expected " + std::to_string(nranks);
+  }
+  for (const obs::LinkMetrics& lm : metrics.links) {
+    const IbLink& link =
+        engine.fabric().link(engine.fabric().topology().node_uplink(lm.link));
+    for (const LinkPowerMode mode :
+         {LinkPowerMode::FullPower, LinkPowerMode::LowPower,
+          LinkPowerMode::Transition}) {
+      const TimeNs ours = lm.residency[static_cast<std::size_t>(mode)];
+      const TimeNs theirs = link.residency(mode);
+      if (ours != theirs) {
+        return "link " + std::to_string(lm.link) + " telemetry residency[" +
+               link_mode_name(mode) + "] = " + std::to_string(ours.ns) +
+               " ns but IbLink::residency gives " +
+               std::to_string(theirs.ns) + " ns";
+      }
+    }
+    const double audited = integrate_link_energy(link, power);
+    if (std::memcmp(&lm.energy_joules, &audited, sizeof(double)) != 0) {
+      return "link " + std::to_string(lm.link) +
+             " telemetry energy is not bit-equal to the auditor's "
+             "integration";
+    }
+  }
+  return {};
+}
 
 LegOutcome run_leg(const Trace& trace, const ReplayOptions& opt,
                    const PowerModelConfig& power, int nranks) {
@@ -277,6 +323,8 @@ LegOutcome run_leg(const Trace& trace, const ReplayOptions& opt,
   out.energy_joules = fleet.total_energy_joules;
   out.savings_pct = fleet.switch_savings_pct;
   out.audit = audit_replay(engine, power);
+  out.metrics = obs::collect_replay_metrics(engine, rr, power);
+  out.telemetry = check_telemetry(engine, out.metrics, power, nranks);
   return out;
 }
 
@@ -320,8 +368,10 @@ std::optional<Failure> run_replay_metamorphic(std::uint64_t seed, Rng& rng) {
   const int nranks = tcfg.nranks;
   const LegOutcome b = run_leg(trace, base, power, nranks);
   if (!b.audit.empty()) return fail("baseline audit: " + b.audit);
+  if (!b.telemetry.empty()) return fail("baseline telemetry: " + b.telemetry);
   const LegOutcome m = run_leg(trace, managed, power, nranks);
   if (!m.audit.empty()) return fail("managed audit: " + m.audit);
+  if (!m.telemetry.empty()) return fail("managed telemetry: " + m.telemetry);
 
   if (m.exec < b.exec) {
     return fail("managed run finished earlier than baseline (" +
@@ -358,6 +408,10 @@ std::optional<Failure> run_replay_metamorphic(std::uint64_t seed, Rng& rng) {
       !bits_equal(pb.energy_joules, b.energy_joules) ||
       !bits_equal(pm.energy_joules, m.energy_joules)) {
     return fail("parallel re-run diverged from the serial results");
+  }
+  if (pb.metrics != b.metrics || pm.metrics != m.metrics) {
+    return fail("parallel re-run telemetry diverged from the serial "
+                "snapshots");
   }
 
   if (g_verbose) {

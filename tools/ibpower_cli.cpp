@@ -21,6 +21,9 @@
 
 #include <fstream>
 
+#include "obs/collect.hpp"
+#include "obs/exporters.hpp"
+#include "obs/instrumented.hpp"
 #include "sim/experiment.hpp"
 #include "sim/parallel.hpp"
 #include "sim/report.hpp"
@@ -127,6 +130,45 @@ void print_result(const ExperimentResult& r) {
               100.0 * r.baseline_idle.reducible_time_fraction());
 }
 
+/// Telemetry sinks shared by run/replay/grid: --metrics-out FILE.json gets
+/// the ibpower-metrics:v1 snapshot, --timeline-out FILE.prv the managed
+/// power-state timeline (first cell for grids). Returns 0 on success.
+int export_telemetry(const Args& args, const std::vector<obs::CellMetrics>& cells) {
+  if (const std::string path = args.get("metrics-out"); !path.empty()) {
+    std::ofstream os(path);
+    if (!os) {
+      std::fprintf(stderr, "cannot write %s\n", path.c_str());
+      return 1;
+    }
+    obs::write_metrics_json(os, cells);
+    std::printf("wrote %s (metrics, %zu cells)\n", path.c_str(), cells.size());
+  }
+  if (const std::string path = args.get("timeline-out"); !path.empty()) {
+    if (cells.empty()) {
+      std::fprintf(stderr, "no cells to write a timeline for\n");
+      return 1;
+    }
+    std::ofstream os(path);
+    if (!os) {
+      std::fprintf(stderr, "cannot write %s\n", path.c_str());
+      return 1;
+    }
+    const obs::CellMetrics& cell = cells.front();
+    // A baseline-only replay has no managed leg; fall back to its
+    // (always-full-power) baseline timeline.
+    const obs::ReplayMetrics& leg =
+        cell.managed.links.empty() ? cell.baseline : cell.managed;
+    obs::write_power_prv(os, leg, cell.app);
+    std::printf("wrote %s (power-state timeline, %zu links)\n", path.c_str(),
+                leg.links.size());
+  }
+  return 0;
+}
+
+[[nodiscard]] bool wants_telemetry(const Args& args) {
+  return args.has("metrics-out") || args.has("timeline-out");
+}
+
 int cmd_apps() {
   for (const auto& name : app_names()) {
     const auto app = make_app(name);
@@ -174,6 +216,18 @@ int cmd_replay(const Args& args) {
   }
   ReplayEngine engine(&trace, opt);
   const ReplayResult rr = engine.run();
+  if (wants_telemetry(args)) {
+    obs::CellMetrics cell;
+    cell.app = trace.app_name();
+    cell.nranks = trace.nranks();
+    cell.displacement = opt.ppa.displacement_factor;
+    obs::ReplayMetrics m =
+        obs::collect_replay_metrics(engine, rr, PowerModelConfig{});
+    (m.managed ? cell.managed : cell.baseline) = std::move(m);
+    if (const int rc = export_telemetry(args, {std::move(cell)}); rc != 0) {
+      return rc;
+    }
+  }
   std::printf("exec time    : %s\n", to_string(rr.exec_time).c_str());
   std::printf("messages     : %llu\n",
               static_cast<unsigned long long>(rr.messages_sent));
@@ -203,6 +257,13 @@ int cmd_run(const Args& args) {
               100.0 * cfg.ppa.displacement_factor);
   ParallelExperimentRunner runner(jobs_from(args));
   const auto t0 = std::chrono::steady_clock::now();
+  if (wants_telemetry(args)) {
+    const std::vector<obs::InstrumentedResult> inst =
+        obs::run_instrumented_grid(runner, {cfg});
+    print_result(inst[0].result);
+    print_speedup(runner, ms_since(t0));
+    return export_telemetry(args, {obs::make_cell_metrics(cfg, inst[0])});
+  }
   print_result(runner.run(cfg));
   print_speedup(runner, ms_since(t0));
   return 0;
@@ -329,7 +390,20 @@ int cmd_grid(const Args& args) {
 
   ParallelExperimentRunner runner(jobs_from(args));
   const auto t0 = std::chrono::steady_clock::now();
-  const std::vector<ExperimentResult> results = runner.run_all(cfgs);
+  std::vector<ExperimentResult> results;
+  std::vector<obs::CellMetrics> cells;
+  if (wants_telemetry(args)) {
+    const std::vector<obs::InstrumentedResult> inst =
+        obs::run_instrumented_grid(runner, cfgs);
+    results.reserve(inst.size());
+    cells.reserve(inst.size());
+    for (std::size_t i = 0; i < inst.size(); ++i) {
+      results.push_back(inst[i].result);
+      cells.push_back(obs::make_cell_metrics(cfgs[i], inst[i]));
+    }
+  } else {
+    results = runner.run_all(cfgs);
+  }
   const double wall_ms = ms_since(t0);
   for (std::size_t i = 0; i < rows.size(); ++i) {
     rows[i].result = results[i];
@@ -350,7 +424,7 @@ int cmd_grid(const Args& args) {
     write_results_csv(os, rows);
   }
   std::printf("wrote %s (%zu rows)\n", out.c_str(), rows.size());
-  return 0;
+  return export_telemetry(args, cells);
 }
 
 int usage() {
@@ -360,7 +434,9 @@ int usage() {
                "          --scale X --weak --gt US --disp PCT --treact US\n"
                "          --jobs N (parallel replays; default: all cores)\n"
                "  gen:    --out FILE          replay: --trace FILE [--managed]\n"
-               "  grid:   --out FILE.csv|.json  (full paper evaluation grid)\n");
+               "  grid:   --out FILE.csv|.json  (full paper evaluation grid)\n"
+               "  telemetry (run/replay/grid): --metrics-out FILE.json\n"
+               "          --timeline-out FILE.prv (managed power-state view)\n");
   return 2;
 }
 
