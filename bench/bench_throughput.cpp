@@ -4,15 +4,25 @@
 // counts (default 1/2/4/8), reports wall-clock, events/sec and messages/sec
 // per cell, verifies that every parallel result is bit-identical to the
 // serial one, and emits machine-readable BENCH_throughput.json with rows
-//   {cell, nranks, wall_ms, events_per_sec, messages_per_sec, jobs}
-// — the perf trajectory baseline for future PRs.
+//   {cell, nranks, wall_ms, gen_ms, base_ms, managed_ms,
+//    events_per_sec, messages_per_sec, jobs}
+// — the perf trajectory baseline for future PRs. wall_ms is replay work
+// only (base + managed legs); trace generation is reported separately in
+// gen_ms and charged once per distinct trace (sharers show 0).
 //
 // Usage: bench_throughput [--jobs-list 1,2,4,8] [--jobs N] [--iterations N]
-//                         [--quick] [--out BENCH_throughput.json]
+//                         [--quick] [--smoke] [--cells app:nranks,...]
+//                         [--out BENCH_throughput.json]
+//
+// --smoke restricts the run to one small cell per application at jobs=1 —
+// the CI perf gate compares its events_per_sec against the committed
+// BENCH_baseline.json (tools/check_bench_regression.py).
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <fstream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "bench_common.hpp"
@@ -23,8 +33,17 @@ namespace {
 using namespace ibpower;
 using namespace ibpower::bench;
 
+bool has_flag(int argc, char** argv, const char* flag) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == flag) return true;
+  }
+  return false;
+}
+
 std::vector<unsigned> jobs_list_from_args(int argc, char** argv) {
-  std::string spec = "1,2,4,8";
+  // The smoke gate only needs the serial number; a full sweep on a busy
+  // shared CI runner would just add noise.
+  std::string spec = has_flag(argc, argv, "--smoke") ? "1" : "1,2,4,8";
   for (int i = 1; i + 1 < argc; ++i) {
     if (std::string(argv[i]) == "--jobs-list") spec = argv[i + 1];
     if (std::string(argv[i]) == "--jobs") spec = argv[i + 1];
@@ -48,10 +67,52 @@ std::string out_from_args(int argc, char** argv) {
   return "BENCH_throughput.json";
 }
 
+int repeats_from_args(int argc, char** argv) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::string(argv[i]) == "--repeats") return std::stoi(argv[i + 1]);
+  }
+  // Smoke cells are a few ms each; best-of-5 keeps scheduler noise out of
+  // the CI regression gate.
+  return has_flag(argc, argv, "--smoke") ? 5 : 1;
+}
+
+// "--cells gromacs:128,alya:64" restricts the grid; app names must match
+// the registry. Used by profiling runs that need one cell in isolation.
+std::vector<GridCell> cells_from_args(int argc, char** argv,
+                                      std::vector<GridCell> fallback) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::string(argv[i]) != "--cells") continue;
+    static std::vector<std::string> names;  // keeps GridCell::app alive
+    std::vector<GridCell> cells;
+    std::string spec = argv[i + 1];
+    // SSO strings keep their bytes inside the object, so the vector must
+    // never reallocate once a c_str() has been handed out.
+    names.reserve(spec.size());
+    std::size_t pos = 0;
+    while (pos < spec.size()) {
+      std::size_t next = spec.find(',', pos);
+      if (next == std::string::npos) next = spec.size();
+      const std::string item = spec.substr(pos, next - pos);
+      const std::size_t colon = item.find(':');
+      if (colon != std::string::npos) {
+        names.push_back(item.substr(0, colon));
+        cells.push_back(
+            {names.back().c_str(), std::stoi(item.substr(colon + 1))});
+      }
+      pos = next + 1;
+    }
+    if (!cells.empty()) return cells;
+  }
+  return fallback;
+}
+
 struct Row {
   std::string cell;
   int nranks;
-  double wall_ms;
+  double wall_ms;     // replay work: base_ms + managed_ms
+  double gen_ms;      // trace generation, charged to the owning cell only
+  double base_ms;
+  double managed_ms;
   double events_per_sec;
   double messages_per_sec;
   unsigned jobs;
@@ -60,67 +121,128 @@ struct Row {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const int iterations = iterations_from_args(argc, argv, 60);
+  // Smoke cells run longer (more app iterations) than the default grid so
+  // each cell takes ~10ms instead of ~2ms: relative timer/scheduler noise
+  // shrinks with cell length, which the 20% CI gate tolerance relies on.
+  const int iterations = iterations_from_args(
+      argc, argv, has_flag(argc, argv, "--smoke") ? 240 : 60);
   const std::vector<unsigned> jobs_list = jobs_list_from_args(argc, argv);
   const std::string out = out_from_args(argc, argv);
 
-  const auto cells = paper_grid();
+  auto cells = paper_grid();
+  if (has_flag(argc, argv, "--smoke")) {
+    // One small cell per application: enough to catch a hot-path
+    // regression, small enough for a CI gate.
+    cells = {{"gromacs", 16}, {"alya", 16}, {"wrf", 16},
+             {"nas_bt", 16},  {"nas_mg", 16}};
+  }
+  cells = cells_from_args(argc, argv, std::move(cells));
   std::vector<ExperimentConfig> cfgs;
   cfgs.reserve(cells.size());
   for (const auto& cell : cells) {
     cfgs.push_back(cell_config(cell, 0.01, iterations));
   }
 
-  std::vector<Row> rows;
-  std::vector<ExperimentResult> reference;  // jobs == 1 results
-  double wall_ms_1 = 0.0;
+  // Per-jobs-level best observations. Repeats iterate over the *whole*
+  // jobs sweep (outer loop) rather than hammering one level N times in a
+  // row: a transient background-load spike then costs one sweep pass and
+  // is discarded by the per-level min instead of poisoning a single level,
+  // which is what used to make the recorded 1->8 curve non-monotone.
+  struct LevelBest {
+    std::vector<ExperimentResult> results;
+    double wall_ms = 0.0;
+    std::vector<double> work, gen, base, managed;
+    bool have = false;
+  };
+  std::vector<LevelBest> levels(jobs_list.size());
+  std::vector<ExperimentResult> reference;  // first level's results
   bool all_identical = true;
 
-  for (const unsigned jobs : jobs_list) {
-    ParallelExperimentRunner runner(jobs);
-    const auto t0 = std::chrono::steady_clock::now();
-    const std::vector<ExperimentResult> results = runner.run_all(cfgs);
-    const double wall_ms =
-        std::chrono::duration<double, std::milli>(
-            std::chrono::steady_clock::now() - t0)
-            .count();
-
-    if (reference.empty()) {
-      reference = results;
-      if (jobs == 1) wall_ms_1 = wall_ms;
-    } else {
-      for (std::size_t i = 0; i < results.size(); ++i) {
-        if (!bit_identical(results[i], reference[i])) {
-          all_identical = false;
-          std::fprintf(stderr, "DETERMINISM VIOLATION: cell %s/%d at jobs=%u\n",
-                       cells[i].app, cells[i].nranks, jobs);
+  const int repeats = repeats_from_args(argc, argv);
+  for (int rep = 0; rep < repeats; ++rep) {
+    for (std::size_t k = 0; k < jobs_list.size(); ++k) {
+      // ABBA scheduling: odd passes visit the levels in reverse so slow
+      // drift in host load cannot systematically favor one end of the
+      // sweep.
+      const std::size_t li = (rep % 2 == 0) ? k : jobs_list.size() - 1 - k;
+      ParallelExperimentRunner runner(jobs_list[li]);
+      const auto t0 = std::chrono::steady_clock::now();
+      std::vector<ExperimentResult> run = runner.run_all(cfgs);
+      const double ms =
+          std::chrono::duration<double, std::milli>(
+              std::chrono::steady_clock::now() - t0)
+              .count();
+      LevelBest& best = levels[li];
+      if (!best.have) {
+        best.have = true;
+        best.results = std::move(run);
+        best.wall_ms = ms;
+        best.work = runner.last_cell_work_ms();
+        best.gen = runner.last_cell_gen_ms();
+        best.base = runner.last_cell_base_ms();
+        best.managed = runner.last_cell_managed_ms();
+        if (reference.empty()) {
+          reference = best.results;
+        } else {
+          for (std::size_t i = 0; i < best.results.size(); ++i) {
+            if (!bit_identical(best.results[i], reference[i])) {
+              all_identical = false;
+              std::fprintf(stderr,
+                           "DETERMINISM VIOLATION: cell %s/%d at jobs=%u\n",
+                           cells[i].app, cells[i].nranks, jobs_list[li]);
+            }
+          }
         }
+        continue;
+      }
+      best.wall_ms = std::min(best.wall_ms, ms);
+      // Keep the fastest observation per cell (results are bit-identical
+      // across repeats, so only the timings differ).
+      for (std::size_t i = 0; i < best.work.size(); ++i) {
+        if (runner.last_cell_work_ms()[i] < best.work[i]) {
+          best.work[i] = runner.last_cell_work_ms()[i];
+          best.base[i] = runner.last_cell_base_ms()[i];
+          best.managed[i] = runner.last_cell_managed_ms()[i];
+        }
+        best.gen[i] = std::min(best.gen[i], runner.last_cell_gen_ms()[i]);
       }
     }
+  }
 
-    const auto& work = runner.last_cell_work_ms();
+  std::vector<Row> rows;
+  const double wall_ms_1 = levels.front().wall_ms;
+  for (std::size_t li = 0; li < jobs_list.size(); ++li) {
+    const LevelBest& best = levels[li];
+    const unsigned jobs = jobs_list[li];
     std::uint64_t total_events = 0;
     std::uint64_t total_messages = 0;
-    for (std::size_t i = 0; i < results.size(); ++i) {
-      total_events += results[i].sim_events;
-      total_messages += results[i].messages;
-      const double cell_s = work[i] / 1e3;
+    double total_work = 0.0;
+    double total_gen = 0.0;
+    for (std::size_t i = 0; i < best.results.size(); ++i) {
+      total_events += best.results[i].sim_events;
+      total_messages += best.results[i].messages;
+      total_work += best.work[i];
+      total_gen += best.gen[i];
+      const double cell_s = best.work[i] / 1e3;
       rows.push_back(Row{
-          std::string(cells[i].app), cells[i].nranks, work[i],
-          cell_s > 0.0 ? static_cast<double>(results[i].sim_events) / cell_s
-                       : 0.0,
-          cell_s > 0.0 ? static_cast<double>(results[i].messages) / cell_s
-                       : 0.0,
+          std::string(cells[i].app), cells[i].nranks, best.work[i],
+          best.gen[i], best.base[i], best.managed[i],
+          cell_s > 0.0
+              ? static_cast<double>(best.results[i].sim_events) / cell_s
+              : 0.0,
+          cell_s > 0.0
+              ? static_cast<double>(best.results[i].messages) / cell_s
+              : 0.0,
           jobs});
     }
 
-    const double speedup = wall_ms_1 > 0.0 ? wall_ms_1 / wall_ms : 1.0;
+    const double speedup = wall_ms_1 > 0.0 ? wall_ms_1 / best.wall_ms : 1.0;
     std::printf(
-        "jobs %2u: wall %8.1f ms  work %8.1f ms  %6.2fx vs jobs=1  "
-        "%.2fM events/s  %.2fM msgs/s\n",
-        jobs, wall_ms, runner.last_total_work_ms(), speedup,
-        static_cast<double>(total_events) / wall_ms / 1e3,
-        static_cast<double>(total_messages) / wall_ms / 1e3);
+        "jobs %2u: wall %8.1f ms  work %8.1f ms  gen %6.1f ms  "
+        "%6.2fx vs jobs=1  %.2fM events/s  %.2fM msgs/s\n",
+        jobs, best.wall_ms, total_work, total_gen, speedup,
+        static_cast<double>(total_events) / best.wall_ms / 1e3,
+        static_cast<double>(total_messages) / best.wall_ms / 1e3);
   }
 
   std::printf("determinism: parallel results %s serial reference\n",
@@ -134,13 +256,15 @@ int main(int argc, char** argv) {
   os << "[\n";
   for (std::size_t i = 0; i < rows.size(); ++i) {
     const Row& r = rows[i];
-    char buf[256];
+    char buf[320];
     std::snprintf(buf, sizeof(buf),
                   "  {\"cell\": \"%s\", \"nranks\": %d, \"wall_ms\": %.3f, "
+                  "\"gen_ms\": %.3f, \"base_ms\": %.3f, \"managed_ms\": %.3f, "
                   "\"events_per_sec\": %.1f, \"messages_per_sec\": %.1f, "
                   "\"jobs\": %u}%s\n",
-                  r.cell.c_str(), r.nranks, r.wall_ms, r.events_per_sec,
-                  r.messages_per_sec, r.jobs, i + 1 < rows.size() ? "," : "");
+                  r.cell.c_str(), r.nranks, r.wall_ms, r.gen_ms, r.base_ms,
+                  r.managed_ms, r.events_per_sec, r.messages_per_sec, r.jobs,
+                  i + 1 < rows.size() ? "," : "");
     os << buf;
   }
   os << "]\n";

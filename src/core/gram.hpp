@@ -34,6 +34,13 @@ class GramInterner {
   /// Returns the id for `calls`, creating it if unseen.
   GramId intern(const std::vector<MpiCall>& calls);
 
+  /// Forget every interned gram but keep the index table allocation
+  /// (reset-and-reuse protocol). Previously returned ids become invalid.
+  void clear() {
+    index_.clear_retain();
+    contents_.clear();
+  }
+
   /// Content lookup (valid for any id previously returned by intern()).
   [[nodiscard]] const std::vector<MpiCall>& calls_of(GramId id) const;
 

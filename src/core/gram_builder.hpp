@@ -25,6 +25,17 @@ class GramBuilder {
     IBP_EXPECTS(grouping_threshold > TimeNs::zero());
   }
 
+  /// Return to the freshly-constructed state for a new grouping threshold,
+  /// keeping the open-gram buffer (reset-and-reuse protocol).
+  void reset(TimeNs grouping_threshold) {
+    IBP_EXPECTS(grouping_threshold > TimeNs::zero());
+    gt_ = grouping_threshold;
+    open_calls_.clear();
+    open_begin_ = open_end_ = open_preceding_idle_ = last_exit_ = TimeNs{};
+    any_call_ = in_call_ = false;
+    next_position_ = 0;
+  }
+
   /// Feed one intercepted MPI call at its entry. If the gap since the
   /// previous call's exit is >= GT, the previous gram closes and is
   /// returned. Closure is decided at *entry* so the PPA can react before the

@@ -97,6 +97,14 @@ class PatternList {
   }
   void mark_detected(PatternId id);
 
+  /// Forget every pattern but keep the index table allocation
+  /// (reset-and-reuse protocol). Previously returned ids become invalid.
+  void clear() {
+    store_.clear();
+    index_.clear_retain();
+    detected_.clear();
+  }
+
  private:
   struct SeqHash {
     std::uint64_t operator()(const std::vector<GramId>& v) const {

@@ -26,6 +26,20 @@ PmpiAgent::PmpiAgent(const PpaConfig& cfg, LinkPowerPort* port)
   IBP_EXPECTS(cfg.valid());
 }
 
+void PmpiAgent::reset(const PpaConfig& cfg, LinkPowerPort* port) {
+  IBP_EXPECTS(cfg.valid());
+  cfg_ = cfg;
+  port_ = port;
+  interner_.clear();
+  grams_.reset(cfg.grouping_threshold);
+  detector_.reset(cfg);
+  controller_.reset(cfg);
+  stats_ = AgentStats{};
+  prediction_telemetry_ = obs::PredictionTelemetry{};
+  last_exit_ = TimeNs{};
+  any_call_ = false;
+}
+
 TimeNs PmpiAgent::on_call_enter(MpiCall call, TimeNs enter) {
   IBP_EXPECTS(call != MpiCall::None);
   ++stats_.total_calls;

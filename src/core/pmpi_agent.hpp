@@ -69,6 +69,12 @@ class PmpiAgent {
   /// `port` may be null for prediction-only (dry) runs.
   PmpiAgent(const PpaConfig& cfg, LinkPowerPort* port);
 
+  /// Return to the freshly-constructed state for (cfg, port) while keeping
+  /// the interner/detector/pattern buffers — the reset-and-reuse protocol
+  /// that lets a per-worker agent pool run cell after cell without
+  /// reallocating its learning structures.
+  void reset(const PpaConfig& cfg, LinkPowerPort* port);
+
   /// Intercept an MPI call at its entry (simulated or wall time). Returns
   /// the modeled software overhead (interception + PPA work, §IV-D) the
   /// caller should charge to this rank's timeline.

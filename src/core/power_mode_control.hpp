@@ -38,6 +38,17 @@ class PowerModeController {
   [[nodiscard]] PatternId pattern_id() const { return pattern_id_; }
   void disarm();
 
+  /// Return to the freshly-constructed state for `cfg` (reset-and-reuse
+  /// protocol). The interner binding is unchanged.
+  void reset(const PpaConfig& cfg) {
+    cfg_ = cfg;
+    pattern_ = nullptr;
+    pattern_id_ = kInvalidPattern;
+    gram_idx_ = 0;
+    call_idx_ = 0;
+    boundary_pending_ = false;
+  }
+
   enum class Verdict : std::uint8_t { Ok, Mispredict };
 
   /// Verify one MPI call entry against the pattern. `gap` is the idle time

@@ -12,6 +12,19 @@ PatternDetector::PatternDetector(const PpaConfig& cfg,
   match_run_.assign(static_cast<std::size_t>(max_len_) + 1, 0);
 }
 
+void PatternDetector::reset(const PpaConfig& cfg) {
+  IBP_EXPECTS(cfg.valid());
+  cfg_ = cfg;
+  patterns_.clear();
+  history_.clear();
+  max_len_ = cfg.max_pattern_grams;
+  match_run_.assign(static_cast<std::size_t>(max_len_) + 1, 0);
+  frozen_ = false;
+  scanning_ = true;
+  invocations_ = 0;
+  ops_ = 0;
+}
+
 std::optional<PatternId> PatternDetector::observe(const ClosedGram& gram) {
   IBP_EXPECTS(history_.size() < cfg_.max_gram_history);
   history_.push_back({gram.id, gram.preceding_idle});

@@ -34,6 +34,11 @@ class PatternDetector {
  public:
   PatternDetector(const PpaConfig& cfg, const GramInterner* interner);
 
+  /// Return to the freshly-constructed state for `cfg`, keeping the history
+  /// and pattern-table buffers (reset-and-reuse protocol). The interner
+  /// binding is unchanged; the caller clears the interner in lockstep.
+  void reset(const PpaConfig& cfg);
+
   /// Feed the next closed gram. Always updates the (cheap) periodicity run
   /// counters; performs pattern-list work and may return a pattern to arm
   /// only while scanning is enabled.

@@ -14,6 +14,23 @@ Fabric::Fabric(const FabricConfig& cfg, int nodes_used)
   }
 }
 
+void Fabric::reset(const FabricConfig& cfg, int nodes_used) {
+  if (!(cfg.xgft == cfg_.xgft)) {
+    topo_ = FatTreeTopology(cfg.xgft);
+    links_.clear();
+    links_.reserve(static_cast<std::size_t>(topo_.num_links()));
+    for (int i = 0; i < topo_.num_links(); ++i) {
+      links_.push_back(std::make_unique<IbLink>(cfg.link));
+    }
+  } else {
+    for (auto& l : links_) l->reset(cfg.link);
+  }
+  IBP_EXPECTS(nodes_used > 0 && nodes_used <= topo_.num_nodes());
+  cfg_ = cfg;
+  nodes_used_ = nodes_used;
+  route_rng_.reseed(cfg.routing_seed);
+}
+
 SwitchId Fabric::pick_top(NodeId src, NodeId dst) {
   const int ntop = topo_.num_top_switches();
   if (cfg_.random_routing) {

@@ -33,6 +33,13 @@ class Fabric {
   /// per node, §IV-A). Must fit in the topology.
   Fabric(const FabricConfig& cfg, int nodes_used);
 
+  /// Return to the freshly-constructed state for (cfg, nodes_used) while
+  /// keeping every link's buffers (reset-and-reuse protocol, DESIGN.md §7).
+  /// Rebuilds the topology and link array only when the topology shape
+  /// actually changed; for the common same-shape case (GT sweeps, repeated
+  /// cells) this performs zero allocations.
+  void reset(const FabricConfig& cfg, int nodes_used);
+
   struct TxResult {
     TimeNs sender_free{};   // injection finished on the source uplink
     TimeNs delivery{};      // message fully received at the destination

@@ -23,6 +23,22 @@ IbLink::IbLink(LinkConfig cfg) : cfg_(cfg) {
   IBP_EXPECTS(cfg.t_react > TimeNs::zero());
 }
 
+void IbLink::reset(const LinkConfig& cfg) {
+  IBP_EXPECTS(cfg.lanes >= 2);
+  IBP_EXPECTS(cfg.full_bandwidth_gbps > 0.0);
+  IBP_EXPECTS(cfg.t_react > TimeNs::zero());
+  cfg_ = cfg;
+  segments_.clear();
+  avail_[0] = avail_[1] = TimeNs{};
+  busy_[0].clear();
+  busy_[1].clear();
+  end_time_ = TimeNs{};
+  finished_ = false;
+  low_power_requests_ = 0;
+  on_demand_wakes_ = 0;
+  wake_penalty_total_ = TimeNs{};
+}
+
 TimeNs IbLink::serialization_time(Bytes bytes) const {
   IBP_EXPECTS(bytes >= 0);
   // bits / (Gbit/s) = ns.
@@ -154,8 +170,17 @@ void IbLink::defer_shutdown(TimeNs start, TimeNs end) {
   // If a lane shutdown is scheduled to begin while this transmission is on
   // the wire, push it back until the wire is clear (the timer expiry — the
   // reactivation start — is hardware-fixed and does not move).
-  for (std::size_t i = 0; i < segments_.size(); ++i) {
-    if (segments_[i].begin <= start) continue;
+  //
+  // Transmissions land at or near the schedule tail, so almost every call
+  // finds no segment past `start`; locate the first candidate by binary
+  // search instead of walking the whole mode history (which grows with the
+  // run and made this the hottest link-layer function at 128 ranks).
+  if (segments_.empty() || segments_.back().begin <= start) return;
+  const auto first = std::upper_bound(
+      segments_.begin(), segments_.end(), start,
+      [](TimeNs v, const ModeSegment& s) { return v < s.begin; });
+  for (auto i = static_cast<std::size_t>(first - segments_.begin());
+       i < segments_.size(); ++i) {
     if (segments_[i].begin >= end) break;
     const bool shutting = segments_[i].mode == LinkPowerMode::Transition &&
                           i + 1 < segments_.size() &&

@@ -61,6 +61,11 @@ class IbLink final : public LinkPowerPort {
  public:
   explicit IbLink(LinkConfig cfg = {});
 
+  /// Return to the freshly-constructed state for `cfg` while keeping the
+  /// segment/busy-interval buffers (reset-and-reuse protocol, DESIGN.md §7):
+  /// a link reset between replays reaches steady-state zero allocation.
+  void reset(const LinkConfig& cfg);
+
   /// Wire serialization time at full width.
   [[nodiscard]] TimeNs serialization_time(Bytes bytes) const;
 

@@ -35,6 +35,8 @@ struct XgftParams {
   [[nodiscard]] bool valid() const {
     return m1 > 0 && m2 > 0 && w1 == 1 && w2 > 0;
   }
+
+  friend bool operator==(const XgftParams&, const XgftParams&) = default;
 };
 
 class FatTreeTopology {

@@ -8,12 +8,28 @@ namespace ibpower {
 
 std::vector<TimeInterval> node_link_idle_gaps(const Fabric& fabric,
                                               NodeId node, TimeNs exec) {
+  // Up and Down busy lists are each already sorted and disjoint, so the
+  // union's complement falls out of one two-pointer sweep. (Building a
+  // merged IntervalSet first was quadratic: every Down interval interleaved
+  // among the Up ones pays a tail memmove.)
   const IbLink& link =
       fabric.link(fabric.topology().node_uplink(node));
-  IntervalSet busy;
-  for (const auto& iv : link.busy(Direction::Up).intervals()) busy.add(iv);
-  for (const auto& iv : link.busy(Direction::Down).intervals()) busy.add(iv);
-  return busy.complement(TimeNs::zero(), exec);
+  const auto& up = link.busy(Direction::Up).intervals();
+  const auto& down = link.busy(Direction::Down).intervals();
+  std::vector<TimeInterval> gaps;
+  TimeNs cursor{};
+  std::size_t i = 0;
+  std::size_t j = 0;
+  while (cursor < exec && (i < up.size() || j < down.size())) {
+    const TimeInterval& iv =
+        (j >= down.size() || (i < up.size() && up[i].begin <= down[j].begin))
+            ? up[i++]
+            : down[j++];
+    if (iv.begin > cursor) gaps.push_back({cursor, min(iv.begin, exec)});
+    cursor = max(cursor, iv.end);
+  }
+  if (cursor < exec) gaps.push_back({cursor, exec});
+  return gaps;
 }
 
 IdleDistribution aggregate_idle(const Fabric& fabric, int nranks,
@@ -70,13 +86,14 @@ Trace generate_experiment_trace(const ExperimentConfig& cfg) {
 
 BaselineLegResult run_baseline_leg(const ExperimentConfig& cfg,
                                    const Trace& trace,
-                                   const ReplayProbe& probe) {
+                                   const ReplayProbe& probe,
+                                   ReplayMemory* memory) {
   // Baseline: power-unaware, always-on links.
   ReplayOptions opt;
   opt.fabric = cfg.fabric;
   opt.enable_power_management = false;
   opt.eager_threshold = cfg.eager_threshold;
-  ReplayEngine engine(&trace, opt);
+  ReplayEngine engine(&trace, opt, memory);
   const ReplayResult rr = engine.run();
   BaselineLegResult leg;
   leg.time = rr.exec_time;
@@ -88,7 +105,8 @@ BaselineLegResult run_baseline_leg(const ExperimentConfig& cfg,
 
 ManagedLegResult run_managed_leg(const ExperimentConfig& cfg,
                                  const Trace& trace,
-                                 const ReplayProbe& probe) {
+                                 const ReplayProbe& probe,
+                                 ReplayMemory* memory) {
   // Managed: the paper's mechanism in the loop.
   ReplayOptions opt;
   opt.fabric = cfg.fabric;
@@ -96,7 +114,7 @@ ManagedLegResult run_managed_leg(const ExperimentConfig& cfg,
   opt.ppa = cfg.ppa;
   opt.eager_threshold = cfg.eager_threshold;
   opt.record_call_timeline = cfg.record_call_timeline;
-  ReplayEngine engine(&trace, opt);
+  ReplayEngine engine(&trace, opt, memory);
   const ReplayResult rr = engine.run();
   ManagedLegResult leg;
   leg.time = rr.exec_time;
@@ -198,19 +216,21 @@ double dry_run_hit_rate(
 }
 
 std::vector<std::vector<MpiCallEvent>> baseline_call_timelines(
-    const ExperimentConfig& cfg, const Trace& trace) {
+    const ExperimentConfig& cfg, const Trace& trace, ReplayMemory* memory) {
   ReplayOptions opt;
   opt.fabric = cfg.fabric;
   opt.enable_power_management = false;
   opt.eager_threshold = cfg.eager_threshold;
   opt.record_call_timeline = true;
-  ReplayEngine engine(&trace, opt);
+  ReplayEngine engine(&trace, opt, memory);
   (void)engine.run();
 
   std::vector<std::vector<MpiCallEvent>> timelines;
   timelines.reserve(static_cast<std::size_t>(trace.nranks()));
   for (Rank r = 0; r < trace.nranks(); ++r) {
-    timelines.push_back(engine.call_timeline(r));
+    // Copy out of the engine's arena: the spans die with the workspace.
+    const auto tl = engine.call_timeline(r);
+    timelines.emplace_back(tl.begin(), tl.end());
   }
   return timelines;
 }

@@ -97,12 +97,17 @@ struct ManagedLegResult {
   std::uint64_t events{0};
 };
 
+/// `memory` is an optional reusable ReplayMemory workspace (the parallel
+/// runner passes each worker's own); null means the engine allocates a
+/// private one, exactly as before.
 [[nodiscard]] BaselineLegResult run_baseline_leg(const ExperimentConfig& cfg,
                                                  const Trace& trace,
-                                                 const ReplayProbe& probe = {});
+                                                 const ReplayProbe& probe = {},
+                                                 ReplayMemory* memory = nullptr);
 [[nodiscard]] ManagedLegResult run_managed_leg(const ExperimentConfig& cfg,
                                                const Trace& trace,
-                                               const ReplayProbe& probe = {});
+                                               const ReplayProbe& probe = {},
+                                               ReplayMemory* memory = nullptr);
 [[nodiscard]] ExperimentResult combine_legs(const Trace& trace,
                                             const BaselineLegResult& baseline,
                                             const ManagedLegResult& managed);
@@ -113,9 +118,11 @@ struct GtSweepPoint {
 };
 
 /// One baseline replay recording per-rank call timelines (the shared input
-/// of every GT dry run in a sweep).
+/// of every GT dry run in a sweep). The returned timelines are owned copies
+/// — safe to keep after `memory` is reused.
 [[nodiscard]] std::vector<std::vector<MpiCallEvent>> baseline_call_timelines(
-    const ExperimentConfig& cfg, const Trace& trace);
+    const ExperimentConfig& cfg, const Trace& trace,
+    ReplayMemory* memory = nullptr);
 
 /// Score one GT value against prerecorded baseline timelines (clamps GT to
 /// >= 2*Treact exactly like sweep_gt).

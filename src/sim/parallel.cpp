@@ -1,5 +1,6 @@
 #include "sim/parallel.hpp"
 
+#include <algorithm>
 #include <chrono>
 #include <future>
 #include <stdexcept>
@@ -17,40 +18,75 @@ double ms_since(Clock::time_point t0) {
 
 }  // namespace
 
+ParallelExperimentRunner::ParallelExperimentRunner(unsigned jobs)
+    : pool_(std::min(jobs == 0 ? 1u : jobs, ThreadPool::default_concurrency())) {
+  worker_memory_.reserve(pool_.size());
+  for (unsigned i = 0; i < pool_.size(); ++i) {
+    worker_memory_.push_back(std::make_unique<ReplayMemory>());
+  }
+}
+
+ReplayMemory* ParallelExperimentRunner::worker_memory() const {
+  const int idx = ThreadPool::current_worker_index();
+  if (idx < 0 || static_cast<std::size_t>(idx) >= worker_memory_.size()) {
+    return nullptr;
+  }
+  return worker_memory_[static_cast<std::size_t>(idx)].get();
+}
+
 double ParallelExperimentRunner::last_total_work_ms() const {
   double total = 0.0;
   for (const double ms : cell_work_ms_) total += ms;
   return total;
 }
 
+double ParallelExperimentRunner::last_total_gen_ms() const {
+  double total = 0.0;
+  for (const double ms : cell_gen_ms_) total += ms;
+  return total;
+}
+
 ExperimentResult ParallelExperimentRunner::run(const ExperimentConfig& rawcfg,
                                                const LegProbes& probes) {
   const ExperimentConfig cfg = normalize_config(rawcfg);
-  const auto t0 = Clock::now();
-  const Trace trace = generate_experiment_trace(cfg);
-  const double gen_ms = ms_since(t0);
+
+  // Trace generation runs on the pool like every other unit of work.
+  double gen_ms = 0.0;
+  auto gen = pool_.submit([&cfg, &gen_ms] {
+    const auto t0 = Clock::now();
+    Trace trace = generate_experiment_trace(cfg);
+    gen_ms = ms_since(t0);
+    return trace;
+  });
+  const Trace trace = gen.get();
 
   // The two legs only read `cfg`, `trace` and `probes`; all outlive the
   // futures. Probes execute inside the leg on the worker thread and must
-  // only write caller-owned per-leg storage (see parallel.hpp).
+  // only write caller-owned per-leg storage (see parallel.hpp). Each leg
+  // borrows its worker's ReplayMemory.
   double base_ms = 0.0;
   double managed_ms = 0.0;
-  auto baseline = pool_.submit([&cfg, &trace, &probes, &base_ms] {
+  auto baseline = pool_.submit([this, &cfg, &trace, &probes, &base_ms] {
     const auto leg0 = Clock::now();
-    BaselineLegResult leg = run_baseline_leg(cfg, trace, probes.baseline);
+    BaselineLegResult leg =
+        run_baseline_leg(cfg, trace, probes.baseline, worker_memory());
     base_ms = ms_since(leg0);
     return leg;
   });
-  auto managed = pool_.submit([&cfg, &trace, &probes, &managed_ms] {
+  auto managed = pool_.submit([this, &cfg, &trace, &probes, &managed_ms] {
     const auto leg0 = Clock::now();
-    ManagedLegResult leg = run_managed_leg(cfg, trace, probes.managed);
+    ManagedLegResult leg =
+        run_managed_leg(cfg, trace, probes.managed, worker_memory());
     managed_ms = ms_since(leg0);
     return leg;
   });
   const BaselineLegResult b = baseline.get();
   const ManagedLegResult m = managed.get();
 
-  cell_work_ms_.assign(1, gen_ms + base_ms + managed_ms);
+  cell_gen_ms_.assign(1, gen_ms);
+  cell_base_ms_.assign(1, base_ms);
+  cell_managed_ms_.assign(1, managed_ms);
+  cell_work_ms_.assign(1, base_ms + managed_ms);
   return combine_legs(trace, b, m);
 }
 
@@ -66,45 +102,70 @@ std::vector<ExperimentResult> ParallelExperimentRunner::run_all(
   cfgs.reserve(n);
   for (const auto& cfg : rawcfgs) cfgs.push_back(normalize_config(cfg));
 
+  // Trace sharing: cells with the same (app, workload) — a parameter sweep
+  // over PPA/fabric settings — replay one read-only Trace instead of
+  // regenerating it per cell. `trace_of[i]` maps cell i to its trace slot;
+  // generation cost is charged to the first cell of each slot.
+  std::vector<std::size_t> trace_of(n, 0);
+  std::vector<std::size_t> owner_cell;  // slot -> generating cell
+  for (std::size_t i = 0; i < n; ++i) {
+    std::size_t slot = owner_cell.size();
+    for (std::size_t s = 0; s < owner_cell.size(); ++s) {
+      const auto& o = cfgs[owner_cell[s]];
+      if (o.app == cfgs[i].app && o.workload == cfgs[i].workload) {
+        slot = s;
+        break;
+      }
+    }
+    if (slot == owner_cell.size()) owner_cell.push_back(i);
+    trace_of[i] = slot;
+  }
+
   // Each task writes only its own slot of these vectors: no shared mutable
   // state, no locks needed.
+  cell_gen_ms_.assign(n, 0.0);
+  cell_base_ms_.assign(n, 0.0);
+  cell_managed_ms_.assign(n, 0.0);
   cell_work_ms_.assign(n, 0.0);
-  std::vector<double> leg_ms(2 * n, 0.0);
-  std::vector<double> gen_ms(n, 0.0);
 
-  // Phase 1: generate every trace in parallel.
+  // Phase 1: generate every distinct trace in parallel.
+  const std::size_t ntraces = owner_cell.size();
   std::vector<std::future<Trace>> gen;
-  gen.reserve(n);
-  for (std::size_t i = 0; i < n; ++i) {
-    gen.push_back(pool_.submit([&cfgs, &gen_ms, i] {
+  gen.reserve(ntraces);
+  for (std::size_t s = 0; s < ntraces; ++s) {
+    const std::size_t cell = owner_cell[s];
+    gen.push_back(pool_.submit([this, &cfgs, cell] {
       const auto t0 = Clock::now();
-      Trace trace = generate_experiment_trace(cfgs[i]);
-      gen_ms[i] = ms_since(t0);
+      Trace trace = generate_experiment_trace(cfgs[cell]);
+      cell_gen_ms_[cell] = ms_since(t0);
       return trace;
     }));
   }
   std::vector<Trace> traces;
-  traces.reserve(n);
+  traces.reserve(ntraces);
   for (auto& f : gen) traces.push_back(f.get());
 
-  // Phase 2: 2N independent replay legs.
+  // Phase 2: 2N independent replay legs against the shared traces.
   std::vector<std::future<BaselineLegResult>> baselines;
   std::vector<std::future<ManagedLegResult>> manageds;
   baselines.reserve(n);
   manageds.reserve(n);
   for (std::size_t i = 0; i < n; ++i) {
-    baselines.push_back(pool_.submit([&cfgs, &traces, &probes, &leg_ms, i] {
+    const Trace& trace = traces[trace_of[i]];
+    baselines.push_back(pool_.submit([this, &cfgs, &trace, &probes, i] {
       const auto t0 = Clock::now();
       BaselineLegResult leg = run_baseline_leg(
-          cfgs[i], traces[i], probes.empty() ? ReplayProbe{} : probes[i].baseline);
-      leg_ms[2 * i] = ms_since(t0);
+          cfgs[i], trace, probes.empty() ? ReplayProbe{} : probes[i].baseline,
+          worker_memory());
+      cell_base_ms_[i] = ms_since(t0);
       return leg;
     }));
-    manageds.push_back(pool_.submit([&cfgs, &traces, &probes, &leg_ms, i] {
+    manageds.push_back(pool_.submit([this, &cfgs, &trace, &probes, i] {
       const auto t0 = Clock::now();
       ManagedLegResult leg = run_managed_leg(
-          cfgs[i], traces[i], probes.empty() ? ReplayProbe{} : probes[i].managed);
-      leg_ms[2 * i + 1] = ms_since(t0);
+          cfgs[i], trace, probes.empty() ? ReplayProbe{} : probes[i].managed,
+          worker_memory());
+      cell_managed_ms_[i] = ms_since(t0);
       return leg;
     }));
   }
@@ -115,28 +176,56 @@ std::vector<ExperimentResult> ParallelExperimentRunner::run_all(
   for (std::size_t i = 0; i < n; ++i) {
     const BaselineLegResult b = baselines[i].get();
     const ManagedLegResult m = manageds[i].get();
-    results.push_back(combine_legs(traces[i], b, m));
-    cell_work_ms_[i] = gen_ms[i] + leg_ms[2 * i] + leg_ms[2 * i + 1];
+    results.push_back(combine_legs(traces[trace_of[i]], b, m));
+    cell_work_ms_[i] = cell_base_ms_[i] + cell_managed_ms_[i];
   }
   return results;
 }
 
 std::vector<GtSweepPoint> ParallelExperimentRunner::sweep_gt(
     const ExperimentConfig& cfg, const std::vector<TimeNs>& values) {
-  const auto t0 = Clock::now();
-  const Trace trace = generate_experiment_trace(cfg);
-  const auto timelines = baseline_call_timelines(cfg, trace);
+  // Generation and the single baseline replay run on the pool so the
+  // replay borrows a worker's ReplayMemory.
+  double gen_ms = 0.0;
+  auto gen = pool_.submit([&cfg, &gen_ms] {
+    const auto t0 = Clock::now();
+    Trace trace = generate_experiment_trace(cfg);
+    gen_ms = ms_since(t0);
+    return trace;
+  });
+  const Trace trace = gen.get();
 
+  double base_ms = 0.0;
+  auto tl = pool_.submit([this, &cfg, &trace, &base_ms] {
+    const auto t0 = Clock::now();
+    auto timelines = baseline_call_timelines(cfg, trace, worker_memory());
+    base_ms = ms_since(t0);
+    return timelines;
+  });
+  const auto timelines = tl.get();
+
+  std::vector<double> score_ms(values.size(), 0.0);
   std::vector<std::future<GtSweepPoint>> futures;
   futures.reserve(values.size());
-  for (const TimeNs gt : values) {
-    futures.push_back(pool_.submit(
-        [&timelines, &cfg, gt] { return score_gt(timelines, cfg.ppa, gt); }));
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    const TimeNs gt = values[i];
+    futures.push_back(pool_.submit([&timelines, &cfg, &score_ms, gt, i] {
+      const auto t0 = Clock::now();
+      GtSweepPoint p = score_gt(timelines, cfg.ppa, gt);
+      score_ms[i] = ms_since(t0);
+      return p;
+    }));
   }
   std::vector<GtSweepPoint> points;
   points.reserve(values.size());
   for (auto& f : futures) points.push_back(f.get());
-  cell_work_ms_.assign(1, ms_since(t0));
+
+  double scoring = 0.0;
+  for (const double ms : score_ms) scoring += ms;
+  cell_gen_ms_.assign(1, gen_ms);
+  cell_base_ms_.assign(1, base_ms);
+  cell_managed_ms_.assign(1, scoring);
+  cell_work_ms_.assign(1, base_ms + scoring);
   return points;
 }
 

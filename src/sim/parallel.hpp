@@ -3,24 +3,43 @@
 // Determinism contract (DESIGN.md §7): parallelism exists only *across*
 // independent EventQueues — the two legs of one experiment, the cells of a
 // grid, the dry runs of a GT sweep. One replay never shares mutable state
-// with another (each constructs its own Fabric, agents and queue; the Trace
+// with another (each borrows its worker's private ReplayMemory; the Trace
 // is shared read-only), and results are gathered in submission order, so
 // every output is bit-identical to the serial run_experiment / sweep_gt
 // paths at any thread count.
+//
+// Memory layout (DESIGN.md §7, "Memory architecture"): the runner owns one
+// ReplayMemory per pool worker. A leg task asks the pool which worker it is
+// on and borrows that worker's workspace — no locking, since tasks with the
+// same worker index never run concurrently. Across cells a worker reuses
+// its arena, event queue, fabric and agents (reset-and-reuse), so grid
+// sweeps stop hammering the global allocator from every thread — the
+// contention that previously made --jobs 2 *slower* than --jobs 1.
+//
+// Work layout: trace generation also runs on the pool, and cells whose
+// (app, workload) coincide — a GT sweep grid — share one generated Trace
+// read-only instead of regenerating it per cell.
 #pragma once
 
+#include <memory>
 #include <vector>
 
 #include "sim/experiment.hpp"
+#include "sim/replay_memory.hpp"
 #include "util/thread_pool.hpp"
 
 namespace ibpower {
 
 class ParallelExperimentRunner {
  public:
+  /// `jobs` is a performance knob, not a semantic one: results are
+  /// bit-identical at any worker count, so the runner clamps the pool to
+  /// the hardware concurrency. Replays are CPU-bound — oversubscribed
+  /// workers only multiply workspace footprint (cache/TLB pressure from
+  /// extra per-worker arenas) and scheduler churn, which is how `--jobs 8`
+  /// on a small host used to run *slower* than `--jobs 1`.
   explicit ParallelExperimentRunner(
-      unsigned jobs = ThreadPool::default_concurrency())
-      : pool_(jobs) {}
+      unsigned jobs = ThreadPool::default_concurrency());
 
   [[nodiscard]] unsigned jobs() const { return pool_.size(); }
 
@@ -38,8 +57,9 @@ class ParallelExperimentRunner {
                                      const LegProbes& probes);
 
   /// Run many experiments concurrently; result i corresponds to cfgs[i].
-  /// Phase 1 generates all traces in parallel, phase 2 runs each cell's two
-  /// replay legs as independent tasks (2N tasks for N cells).
+  /// Phase 1 generates every *distinct* (app, workload) trace once, in
+  /// parallel; phase 2 runs each cell's two replay legs as independent
+  /// tasks (2N tasks for N cells) against the shared read-only traces.
   [[nodiscard]] std::vector<ExperimentResult> run_all(
       const std::vector<ExperimentConfig>& cfgs) {
     return run_all(cfgs, {});
@@ -56,18 +76,48 @@ class ParallelExperimentRunner {
   [[nodiscard]] std::vector<GtSweepPoint> sweep_gt(
       const ExperimentConfig& cfg, const std::vector<TimeNs>& values);
 
-  /// Per-cell task time (trace generation + both replay legs, ms) of the
-  /// most recent run()/run_all(), in submission order. Summed across cells
-  /// this is the serial-equivalent work; divided by observed wall-clock it
-  /// yields the effective speedup.
+  // --- cost accounting of the most recent run()/run_all()/sweep_gt() ---
+  //
+  // Reported per cell, in submission order, and *separately* per phase:
+  // trace generation is bookkept apart from replay-leg work so the
+  // efficiency numbers bench_throughput derives are not skewed by cells
+  // that merely shared an already-generated trace (a shared trace is
+  // charged to the cell that generated it; sharers report 0 gen ms).
+
+  /// Replay work per cell: baseline + managed leg time (ms). Summed across
+  /// cells this is the serial-equivalent replay work; divided by observed
+  /// wall-clock it yields the effective speedup.
   [[nodiscard]] const std::vector<double>& last_cell_work_ms() const {
     return cell_work_ms_;
   }
+  /// Trace-generation time per cell (ms; 0 for cells that shared a trace).
+  [[nodiscard]] const std::vector<double>& last_cell_gen_ms() const {
+    return cell_gen_ms_;
+  }
+  /// Baseline-leg time per cell (ms).
+  [[nodiscard]] const std::vector<double>& last_cell_base_ms() const {
+    return cell_base_ms_;
+  }
+  /// Managed-leg time per cell (ms).
+  [[nodiscard]] const std::vector<double>& last_cell_managed_ms() const {
+    return cell_managed_ms_;
+  }
   [[nodiscard]] double last_total_work_ms() const;
+  [[nodiscard]] double last_total_gen_ms() const;
 
  private:
+  /// The calling task's worker workspace (null when called off-pool, which
+  /// makes the legs fall back to a private workspace).
+  [[nodiscard]] ReplayMemory* worker_memory() const;
+
   ThreadPool pool_;
+  // One workspace per pool worker, indexed by ThreadPool worker index.
+  // unique_ptr keeps addresses stable and the workspaces uncopied.
+  std::vector<std::unique_ptr<ReplayMemory>> worker_memory_;
   std::vector<double> cell_work_ms_;
+  std::vector<double> cell_gen_ms_;
+  std::vector<double> cell_base_ms_;
+  std::vector<double> cell_managed_ms_;
 };
 
 }  // namespace ibpower

@@ -1,5 +1,6 @@
 #include "sim/replay.hpp"
 
+#include <new>
 #include <stdexcept>
 #include <string>
 
@@ -7,36 +8,76 @@
 
 namespace ibpower {
 
-ReplayEngine::ReplayEngine(const Trace* trace, const ReplayOptions& options)
+ReplayEngine::ReplayEngine(const Trace* trace, const ReplayOptions& options,
+                           ReplayMemory* memory)
     : trace_(trace),
       opt_(options),
       coll_model_(options.fabric.mpi_latency + 4 * options.fabric.hop_latency,
                   options.fabric.link.full_bandwidth_gbps) {
   IBP_EXPECTS(trace != nullptr);
   IBP_EXPECTS(trace->nranks() > 0);
-  fabric_ = std::make_unique<Fabric>(opt_.fabric,
-                                     static_cast<int>(trace->nranks()));
+  if (memory == nullptr) {
+    owned_memory_ = std::make_unique<ReplayMemory>();
+    memory = owned_memory_.get();
+  }
+  mem_ = memory;
+  mem_->begin_run();
+  arena_ = &mem_->arena();
+  queue_ = &mem_->queue();
+  fabric_ = &mem_->acquire_fabric(opt_.fabric,
+                                  static_cast<int>(trace->nranks()));
+
   const auto n = static_cast<std::size_t>(trace->nranks());
-  ranks_.resize(n);
-  call_timelines_.resize(n);
+  ranks_ = arena_->allocate_array<RankState>(n);
+  call_timelines_ = arena_->allocate_array<ArenaVector<MpiCallEvent>>(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    new (ranks_ + i) RankState{};
+    ranks_[i].completed_requests.attach(arena_);
+    ranks_[i].pending_requests.attach(arena_);
+    new (call_timelines_ + i) ArenaVector<MpiCallEvent>(arena_);
+    if (opt_.record_call_timeline) {
+      // Every MPI call in the stream produces at most one event, so this
+      // reserve makes timeline recording bump-free for the whole replay.
+      call_timelines_[i].reserve(
+          trace_->stream(static_cast<Rank>(i)).size());
+    }
+  }
+  collectives_.attach(arena_);
+
+  agents_ = nullptr;
   if (opt_.enable_power_management) {
     IBP_EXPECTS(opt_.ppa.valid());
-    agents_.reserve(n);
+    agents_count_ = n;
+    agents_ = arena_->allocate_array<PmpiAgent*>(n);
     for (Rank r = 0; r < trace->nranks(); ++r) {
-      agents_.push_back(
-          std::make_unique<PmpiAgent>(opt_.ppa, &fabric_->node_link(r)));
+      agents_[static_cast<std::size_t>(r)] = &mem_->acquire_agent(
+          static_cast<std::size_t>(r), opt_.ppa, &fabric_->node_link(r));
     }
   }
 }
 
 ReplayEngine::Channel& ReplayEngine::channel(Rank src, Rank dst,
                                              std::int32_t tag) {
-  auto& slot = channels_[channel_key(src, dst, tag)];
-  if (!slot) {
-    slot = std::make_unique<Channel>();
+  Channel& ch = mem_->channels()[channel_key(src, dst, tag)];
+  if (!ch.live) {
+    ch.live = true;
+    ch.queue.attach(arena_);
+    ch.waiting.attach(arena_);
     ++drain_.channels_created;
   }
-  return *slot;
+  return ch;
+}
+
+void ReplayEngine::throw_deadlock() const {
+  std::string diag = "replay deadlock: ranks not finished:";
+  for (Rank r = 0; r < trace_->nranks(); ++r) {
+    const auto& st = ranks_[static_cast<std::size_t>(r)];
+    if (!st.done) {
+      diag += " r" + std::to_string(r) + "@pc" + std::to_string(st.pc);
+      if (st.blocked_in_wait) diag += "(wait)";
+    }
+  }
+  throw std::runtime_error(diag);
 }
 
 ReplayResult ReplayEngine::run() {
@@ -45,33 +86,25 @@ ReplayResult ReplayEngine::run() {
   // At any instant the queue holds at most ~one event per rank (advance /
   // resume / collective-release), so this reserve makes scheduling
   // allocation-free for the whole replay.
-  queue_.reserve(2 * static_cast<std::size_t>(trace_->nranks()) + 16);
+  queue_->reserve(2 * static_cast<std::size_t>(trace_->nranks()) + 16);
   for (Rank r = 0; r < trace_->nranks(); ++r) {
-    queue_.schedule(TimeNs::zero(), [this, r] { advance(r); });
+    queue_->schedule(TimeNs::zero(), [this, r] { advance(r); });
   }
-  queue_.run();
+  queue_->run();
 
-  if (done_count_ != trace_->nranks()) {
-    std::string diag = "replay deadlock: ranks not finished:";
-    for (Rank r = 0; r < trace_->nranks(); ++r) {
-      const auto& st = ranks_[static_cast<std::size_t>(r)];
-      if (!st.done) {
-        diag += " r" + std::to_string(r) + "@pc" + std::to_string(st.pc);
-      }
-    }
-    throw std::runtime_error(diag);
-  }
+  if (done_count_ != trace_->nranks()) throw_deadlock();
 
   ReplayResult result;
-  result.rank_finish.reserve(ranks_.size());
-  for (const auto& st : ranks_) {
+  result.rank_finish.reserve(static_cast<std::size_t>(trace_->nranks()));
+  for (Rank r = 0; r < trace_->nranks(); ++r) {
+    const auto& st = ranks_[static_cast<std::size_t>(r)];
     result.rank_finish.push_back(st.now);
     result.exec_time = max(result.exec_time, st.now);
   }
-  for (const auto& agent : agents_) {
-    result.agent_total.merge(agent->stats());
+  for (std::size_t i = 0; i < agents_count_; ++i) {
+    result.agent_total.merge(agents_[i]->stats());
   }
-  result.events_processed = queue_.processed();
+  result.events_processed = queue_->processed();
   result.messages_sent = messages_;
   result.drain = drain_;
   fabric_->finish(result.exec_time);
@@ -91,21 +124,21 @@ std::string ReplayEngine::audit_drain() const {
   // waiting) at drain means a send was never consumed — or consumed twice,
   // leaving a later receive unmatched.
   std::string err;
-  channels_.for_each([&err](std::uint64_t key, const auto& ch) {
-    if (!err.empty() || !ch) return;
-    if (!ch->queue.empty()) {
-      err = "replay audit: " + std::to_string(ch->queue.size()) +
+  mem_->channels().for_each([&err](std::uint64_t key, const Channel& ch) {
+    if (!err.empty() || !ch.live) return;
+    if (!ch.queue.empty()) {
+      err = "replay audit: " + std::to_string(ch.queue.size()) +
             " in-flight message(s) at drain on channel key " +
             std::to_string(key);
-    } else if (!ch->waiting.empty()) {
-      err = "replay audit: " + std::to_string(ch->waiting.size()) +
+    } else if (!ch.waiting.empty()) {
+      err = "replay audit: " + std::to_string(ch.waiting.size()) +
             " receive(s) still waiting at drain on channel key " +
             std::to_string(key);
     }
   });
   if (!err.empty()) return err;
   bool stranded_sender = false;
-  pending_send_enter_.for_each(
+  mem_->pending_send_enter().for_each(
       [&stranded_sender](std::uint64_t, TimeNs) { stranded_sender = true; });
   if (stranded_sender) {
     return "replay audit: rendezvous sender never resumed at drain";
@@ -206,22 +239,21 @@ void ReplayEngine::advance(Rank r) {
     t += agents_[static_cast<std::size_t>(r)]->on_call_enter(call, enter);
   }
 
-  if (const auto* s = std::get_if<SendRecord>(&rec)) {
-    do_send(r, *s, enter, t);
-  } else if (const auto* v = std::get_if<RecvRecord>(&rec)) {
-    do_recv(r, *v, enter, t);
-  } else if (const auto* x = std::get_if<SendrecvRecord>(&rec)) {
-    do_sendrecv(r, *x, enter, t);
-  } else if (const auto* g = std::get_if<CollectiveRecord>(&rec)) {
-    do_collective(r, *g, enter, t);
-  } else if (const auto* is = std::get_if<IsendRecord>(&rec)) {
-    do_isend(r, *is, enter, t);
-  } else if (const auto* ir = std::get_if<IrecvRecord>(&rec)) {
-    do_irecv(r, *ir, enter, t);
-  } else if (const auto* w = std::get_if<WaitRecord>(&rec)) {
-    do_wait(r, *w, enter, t);
-  } else if (std::holds_alternative<WaitallRecord>(rec)) {
-    do_waitall(r, enter, t);
+  // Single jump on the alternative index instead of a serial get_if chain —
+  // this dispatch runs once per trace record and showed up in the 128-rank
+  // profile. The get_if results cannot be null: the index picked the case.
+  switch (rec.index()) {
+    case 1: do_send(r, *std::get_if<SendRecord>(&rec), enter, t); break;
+    case 2: do_recv(r, *std::get_if<RecvRecord>(&rec), enter, t); break;
+    case 3: do_sendrecv(r, *std::get_if<SendrecvRecord>(&rec), enter, t); break;
+    case 4:
+      do_collective(r, *std::get_if<CollectiveRecord>(&rec), enter, t);
+      break;
+    case 5: do_isend(r, *std::get_if<IsendRecord>(&rec), enter, t); break;
+    case 6: do_irecv(r, *std::get_if<IrecvRecord>(&rec), enter, t); break;
+    case 7: do_wait(r, *std::get_if<WaitRecord>(&rec), enter, t); break;
+    case 8: do_waitall(r, enter, t); break;
+    default: break;  // index 0 (compute) handled above
   }
 }
 
@@ -229,7 +261,7 @@ void ReplayEngine::do_compute(Rank r, const ComputeRecord& rec) {
   auto& st = ranks_[static_cast<std::size_t>(r)];
   ++st.pc;
   const TimeNs wake = st.now + rec.duration;
-  queue_.schedule(wake, [this, r, wake] {
+  queue_->schedule(wake, [this, r, wake] {
     ranks_[static_cast<std::size_t>(r)].now = wake;
     advance(r);
   });
@@ -249,7 +281,7 @@ void ReplayEngine::finish_call(Rank r, MpiCall call, TimeNs enter,
         {call, enter, exit});
   }
   ++st.pc;
-  queue_.schedule(exit, [this, r, exit] {
+  queue_->schedule(exit, [this, r, exit] {
     ranks_[static_cast<std::size_t>(r)].now = exit;
     advance(r);
   });
@@ -261,7 +293,7 @@ void ReplayEngine::resume_blocked_recv(const WaitingRecv& w, TimeNs exit) {
   const Rank dst = w.dst;
   const MpiCall call = w.call;
   const TimeNs enter = w.enter;
-  queue_.schedule(exit, [this, dst, call, enter, exit] {
+  queue_->schedule(exit, [this, dst, call, enter, exit] {
     finish_call(dst, call, enter, exit);
   });
 }
@@ -348,7 +380,7 @@ void ReplayEngine::do_send(Rank r, const SendRecord& rec, TimeNs enter,
     // Sender stays blocked; the matching recv resumes it. Stash what we
     // need in the channel entry; enter time is recoverable because the
     // sender's pc still points at this record.
-    pending_send_enter_[channel_key(r, rec.peer, rec.tag)] = enter;
+    mem_->pending_send_enter()[channel_key(r, rec.peer, rec.tag)] = enter;
   }
 }
 
@@ -405,11 +437,11 @@ void ReplayEngine::do_irecv(Rank r, const IrecvRecord& rec, TimeNs enter,
         complete_request(m.src, m.src_request, tx.sender_free);
       } else {
         const auto key = channel_key(rec.peer, r, rec.tag);
-        const TimeNs send_enter = pending_send_enter_[key];
-        pending_send_enter_.erase(key);
+        const TimeNs send_enter = mem_->pending_send_enter()[key];
+        mem_->pending_send_enter().erase(key);
         ++drain_.rendezvous_resumed;
         const Rank src = rec.peer;
-        queue_.schedule(tx.sender_free, [this, src, send_enter, tx] {
+        queue_->schedule(tx.sender_free, [this, src, send_enter, tx] {
           finish_call(src, MpiCall::Send, send_enter, tx.sender_free);
         });
       }
@@ -474,11 +506,11 @@ void ReplayEngine::do_recv(Rank r, const RecvRecord& rec, TimeNs enter,
       } else {
         // Resume the blocked sender.
         const auto key = channel_key(rec.peer, r, rec.tag);
-        const TimeNs send_enter = pending_send_enter_[key];
-        pending_send_enter_.erase(key);
+        const TimeNs send_enter = mem_->pending_send_enter()[key];
+        mem_->pending_send_enter().erase(key);
         ++drain_.rendezvous_resumed;
         const Rank src = rec.peer;
-        queue_.schedule(tx.sender_free, [this, src, send_enter, tx] {
+        queue_->schedule(tx.sender_free, [this, src, send_enter, tx] {
           finish_call(src, MpiCall::Send, send_enter, tx.sender_free);
         });
       }
@@ -517,11 +549,11 @@ void ReplayEngine::do_sendrecv(Rank r, const SendrecvRecord& rec, TimeNs enter,
       complete_request(m.src, m.src_request, rtx.sender_free);
     } else {
       const auto key = channel_key(rec.recv_peer, r, rec.tag);
-      const TimeNs send_enter = pending_send_enter_[key];
-      pending_send_enter_.erase(key);
+      const TimeNs send_enter = mem_->pending_send_enter()[key];
+      mem_->pending_send_enter().erase(key);
       ++drain_.rendezvous_resumed;
       const Rank src = rec.recv_peer;
-      queue_.schedule(rtx.sender_free, [this, src, send_enter, rtx] {
+      queue_->schedule(rtx.sender_free, [this, src, send_enter, rtx] {
         finish_call(src, MpiCall::Send, send_enter, rtx.sender_free);
       });
     }
@@ -536,12 +568,17 @@ void ReplayEngine::do_sendrecv(Rank r, const SendrecvRecord& rec, TimeNs enter,
 void ReplayEngine::do_collective(Rank r, const CollectiveRecord& rec,
                                  TimeNs enter, TimeNs t) {
   auto& st = ranks_[static_cast<std::size_t>(r)];
+  const auto n = static_cast<std::size_t>(trace_->nranks());
   const auto k = static_cast<std::size_t>(st.coll_index++);
-  if (collectives_.size() <= k) collectives_.resize(k + 1);
+  while (collectives_.size() <= k) {
+    CollectiveState fresh{};
+    fresh.blocked.attach(arena_);
+    collectives_.push_back(fresh);
+  }
   CollectiveState& cs = collectives_[k];
-  if (cs.entered.empty()) {
-    cs.entered.assign(static_cast<std::size_t>(trace_->nranks()),
-                      TimeNs{-1});
+  if (cs.entered == nullptr) {
+    cs.entered = arena_->allocate_array<TimeNs>(n);
+    for (std::size_t i = 0; i < n; ++i) cs.entered[i] = TimeNs{-1};
   }
 
   // Ensure this rank's uplink is awake for the collective; a lane-wake
@@ -564,7 +601,7 @@ void ReplayEngine::do_collective(Rank r, const CollectiveRecord& rec,
     // recorded when they blocked; we only know r's enter here, so each
     // blocked rank stored its own via the pending list.
     for (const auto& blocked : cs.blocked) {
-      queue_.schedule(completion, [this, blocked, completion, call = rec.call] {
+      queue_->schedule(completion, [this, blocked, completion, call = rec.call] {
         finish_call(blocked.rank, call, blocked.enter, completion);
       });
     }

@@ -13,13 +13,22 @@
 // (sender blocks until the receive is posted). MPI_Sendrecv's send half is
 // always eager, mirroring its deadlock-free semantics. Collectives
 // synchronize all ranks and complete max-entry + analytic cost later.
+//
+// Memory story (DESIGN.md §7): all mutable replay state — rank states,
+// channel rings, waiting-recv lists, request bookkeeping, collective entry
+// arrays and call timelines — is carved from a MonotonicArena owned by a
+// ReplayMemory workspace. The engine either borrows a caller-provided
+// workspace (the parallel runner gives each worker its own, reused across
+// cells) or owns a private one. At steady state a replay performs zero heap
+// allocations on its hot path; the event queue, fabric and agents are
+// likewise recycled through ReplayMemory's reset-and-reuse protocol.
 #pragma once
 
 #include <algorithm>
 #include <cstdint>
-#include <deque>
 #include <memory>
 #include <optional>
+#include <span>
 #include <utility>
 #include <vector>
 
@@ -27,7 +36,9 @@
 #include "network/fabric.hpp"
 #include "sim/collectives.hpp"
 #include "sim/des.hpp"
+#include "sim/replay_memory.hpp"
 #include "trace/trace.hpp"
+#include "util/arena.hpp"
 #include "util/hash_table.hpp"
 
 namespace ibpower {
@@ -78,7 +89,12 @@ struct ReplayResult {
 
 class ReplayEngine {
  public:
-  ReplayEngine(const Trace* trace, const ReplayOptions& options);
+  /// `memory` is an optional reusable workspace (per-worker in the parallel
+  /// runner). When null the engine owns a private one. Constructing an
+  /// engine borrows the workspace exclusively and invalidates anything a
+  /// previous borrower handed out (call-timeline spans in particular).
+  explicit ReplayEngine(const Trace* trace, const ReplayOptions& options,
+                        ReplayMemory* memory = nullptr);
 
   /// Runs the replay to completion. Throws std::runtime_error on deadlock
   /// (malformed trace). Must be called exactly once.
@@ -88,10 +104,13 @@ class ReplayEngine {
   [[nodiscard]] const Fabric& fabric() const { return *fabric_; }
   [[nodiscard]] const PmpiAgent* agent(Rank r) const {
     const auto idx = static_cast<std::size_t>(r);
-    return idx < agents_.size() ? agents_[idx].get() : nullptr;
+    return idx < agents_count_ ? agents_[idx] : nullptr;
   }
-  [[nodiscard]] const std::vector<MpiCallEvent>& call_timeline(Rank r) const {
-    return call_timelines_[static_cast<std::size_t>(r)];
+  /// View of rank r's recorded call events. Arena-backed: valid until the
+  /// engine's ReplayMemory is borrowed by the next engine (copy out to keep).
+  [[nodiscard]] std::span<const MpiCallEvent> call_timeline(Rank r) const {
+    const auto& tl = call_timelines_[static_cast<std::size_t>(r)];
+    return {tl.data(), tl.size()};
   }
   [[nodiscard]] const ReplayOptions& options() const { return opt_; }
   [[nodiscard]] const ReplayDrainStats& drain_stats() const { return drain_; }
@@ -108,31 +127,10 @@ class ReplayEngine {
   [[nodiscard]] std::string audit_drain() const;
 
  private:
-  // --- channel bookkeeping ---
-  struct ChannelMsg {
-    bool rendezvous{false};
-    TimeNs ready_or_delivery{};  // eager: delivery; rendezvous: sender ready
-    Bytes bytes{0};
-    // Rendezvous-from-Isend: the sender is not blocked; its request
-    // completes when the transfer is injected.
-    bool src_nonblocking{false};
-    Rank src{-1};
-    RequestId src_request{0};
-  };
-  struct WaitingRecv {
-    Rank dst{-1};
-    MpiCall call{MpiCall::None};
-    TimeNs posted{};
-    TimeNs enter{};
-    TimeNs min_exit{};
-    // Irecv: the rank is not blocked; the request completes on delivery.
-    bool nonblocking{false};
-    RequestId request{0};
-  };
-  struct Channel {
-    std::deque<ChannelMsg> queue;
-    std::deque<WaitingRecv> waiting;
-  };
+  using ChannelMsg = ReplayChannelMsg;
+  using WaitingRecv = ReplayWaitingRecv;
+  using Channel = ReplayChannel;
+
   struct BlockedRank {
     Rank rank{-1};
     TimeNs enter{};
@@ -140,33 +138,40 @@ class ReplayEngine {
   struct CollectiveState {
     int count{0};
     TimeNs max_enter{};
-    std::vector<TimeNs> entered;
-    std::vector<BlockedRank> blocked;
+    TimeNs* entered{nullptr};  // arena array, nranks wide, lazily filled
+    ArenaVector<BlockedRank> blocked;
   };
-  // Sorted-vector request bookkeeping. A rank has at most a handful of
-  // outstanding nonblocking requests, so contiguous storage with binary
-  // search beats node-based std::map/std::set: no allocation per
-  // insert/erase once the small vectors have grown, and iteration order
-  // stays ascending-by-id (identical to the std::map semantics it
-  // replaces, so results are bit-identical).
+  // Sorted-array request bookkeeping, carved from the arena. A rank has at
+  // most a handful of outstanding nonblocking requests, so contiguous
+  // storage with binary search beats node-based std::map/std::set: no
+  // allocation per insert/erase once the small arrays have grown, and
+  // iteration order stays ascending-by-id (identical to the std::map
+  // semantics it replaces, so results are bit-identical).
+  struct ReqEntry {
+    RequestId id{0};
+    TimeNs when{};
+  };
   class RequestMap {
    public:
+    void attach(MonotonicArena* arena) { entries_.attach(arena); }
     void insert_or_assign(RequestId id, TimeNs when) {
-      const auto it = lower_bound(id);
-      if (it != entries_.end() && it->first == id) {
-        it->second = when;
+      const std::size_t pos = lower_bound(id);
+      if (pos < entries_.size() && entries_[pos].id == id) {
+        entries_[pos].when = when;
       } else {
-        entries_.insert(it, {id, when});
+        entries_.insert_at(pos, {id, when});
       }
     }
     [[nodiscard]] const TimeNs* find(RequestId id) const {
-      const auto it = lower_bound(id);
-      return it != entries_.end() && it->first == id ? &it->second : nullptr;
+      const std::size_t pos = lower_bound(id);
+      return pos < entries_.size() && entries_[pos].id == id
+                 ? &entries_[pos].when
+                 : nullptr;
     }
     bool erase(RequestId id) {
-      const auto it = lower_bound(id);
-      if (it == entries_.end() || it->first != id) return false;
-      entries_.erase(it);
+      const std::size_t pos = lower_bound(id);
+      if (pos >= entries_.size() || entries_[pos].id != id) return false;
+      entries_.erase_at(pos);
       return true;
     }
     void clear() { entries_.clear(); }
@@ -174,34 +179,33 @@ class ReplayEngine {
     /// Visit entries in ascending id order.
     template <class Fn>
     void for_each(Fn&& fn) const {
-      for (const auto& [id, when] : entries_) fn(id, when);
+      for (const auto& e : entries_) fn(e.id, e.when);
     }
 
    private:
-    using Entries = std::vector<std::pair<RequestId, TimeNs>>;
-    [[nodiscard]] Entries::iterator lower_bound(RequestId id) {
-      return std::lower_bound(
-          entries_.begin(), entries_.end(), id,
-          [](const auto& e, RequestId v) { return e.first < v; });
+    [[nodiscard]] std::size_t lower_bound(RequestId id) const {
+      return static_cast<std::size_t>(
+          std::lower_bound(
+              entries_.begin(), entries_.end(), id,
+              [](const ReqEntry& e, RequestId v) { return e.id < v; }) -
+          entries_.begin());
     }
-    [[nodiscard]] Entries::const_iterator lower_bound(RequestId id) const {
-      return std::lower_bound(
-          entries_.begin(), entries_.end(), id,
-          [](const auto& e, RequestId v) { return e.first < v; });
-    }
-    Entries entries_;
+    ArenaVector<ReqEntry> entries_;
   };
 
   class RequestSet {
    public:
+    void attach(MonotonicArena* arena) { ids_.attach(arena); }
     void insert(RequestId id) {
       const auto it = std::lower_bound(ids_.begin(), ids_.end(), id);
-      if (it == ids_.end() || *it != id) ids_.insert(it, id);
+      if (it == ids_.end() || *it != id) {
+        ids_.insert_at(static_cast<std::size_t>(it - ids_.begin()), id);
+      }
     }
     bool erase(RequestId id) {
       const auto it = std::lower_bound(ids_.begin(), ids_.end(), id);
       if (it == ids_.end() || *it != id) return false;
-      ids_.erase(it);
+      ids_.erase_at(static_cast<std::size_t>(it - ids_.begin()));
       return true;
     }
     [[nodiscard]] bool contains(RequestId id) const {
@@ -210,7 +214,7 @@ class ReplayEngine {
     [[nodiscard]] bool empty() const { return ids_.empty(); }
 
    private:
-    std::vector<RequestId> ids_;
+    ArenaVector<RequestId> ids_;
   };
 
   struct RankState {
@@ -272,17 +276,23 @@ class ReplayEngine {
   /// Resume a receiver blocked in WaitingRecv at `exit`.
   void resume_blocked_recv(const WaitingRecv& w, TimeNs exit);
 
+  /// Cold path: build the deadlock diagnostic and throw. Kept out of run()
+  /// so no diagnostic state is assembled unless the replay actually failed.
+  [[noreturn]] void throw_deadlock() const;
+
   const Trace* trace_;
   ReplayOptions opt_;
-  std::unique_ptr<Fabric> fabric_;
+  std::unique_ptr<ReplayMemory> owned_memory_;  // only when none was passed
+  ReplayMemory* mem_;
+  Fabric* fabric_;           // owned by *mem_
   CollectiveCostModel coll_model_;
-  EventQueue queue_;
-  std::vector<RankState> ranks_;
-  std::vector<std::unique_ptr<PmpiAgent>> agents_;
-  FlatHashMap<std::uint64_t, std::unique_ptr<Channel>> channels_;
-  FlatHashMap<std::uint64_t, TimeNs> pending_send_enter_;
-  std::vector<CollectiveState> collectives_;
-  std::vector<std::vector<MpiCallEvent>> call_timelines_;
+  EventQueue* queue_;        // owned by *mem_
+  MonotonicArena* arena_;    // owned by *mem_
+  RankState* ranks_;         // arena array [nranks]
+  PmpiAgent** agents_;       // arena array [agents_count_], owned by *mem_
+  std::size_t agents_count_{0};
+  ArenaVector<CollectiveState> collectives_;
+  ArenaVector<MpiCallEvent>* call_timelines_;  // arena array [nranks]
   int done_count_{0};
   std::uint64_t messages_{0};
   ReplayDrainStats drain_;

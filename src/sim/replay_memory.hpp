@@ -1,0 +1,136 @@
+// ReplayMemory — the per-worker reusable workspace behind ReplayEngine.
+//
+// A replay's mutable world (event queue, fabric, agents, channel maps and
+// every arena-backed container) used to be constructed and torn down per
+// replay: `make_unique` per cell, heap churn per message. ReplayMemory owns
+// all of it and hands it to one ReplayEngine at a time via a
+// reset-and-reuse protocol (DESIGN.md §7, "Memory architecture"):
+//
+//   ReplayMemory mem;                       // one per ThreadPool worker
+//   for (cell : cells) {
+//     ReplayEngine engine(&trace, opt, &mem);  // resets + borrows mem
+//     engine.run();
+//   }
+//
+// After the first replay has established the peak footprint, every later
+// replay of comparable size performs (near-)zero heap allocations: the
+// arena bumps within its retained slab, the event queue and hash tables
+// keep their buffers, the fabric resets its links in place, and agents keep
+// their learning-structure capacity. Workers never share a ReplayMemory, so
+// parallel cells stop contending on the global allocator — the root cause
+// of the jobs>1 throughput collapse this design removes.
+//
+// Exactly one engine may borrow a ReplayMemory at a time; the engine (and
+// every pointer into the workspace, e.g. call-timeline spans) is
+// invalidated when the next engine borrows it.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/pmpi_agent.hpp"
+#include "network/fabric.hpp"
+#include "sim/des.hpp"
+#include "util/arena.hpp"
+#include "util/hash_table.hpp"
+#include "util/time_types.hpp"
+
+namespace ibpower {
+
+// --- replay channel bookkeeping (arena-backed) -----------------------------
+
+struct ReplayChannelMsg {
+  bool rendezvous{false};
+  TimeNs ready_or_delivery{};  // eager: delivery; rendezvous: sender ready
+  Bytes bytes{0};
+  // Rendezvous-from-Isend: the sender is not blocked; its request
+  // completes when the transfer is injected.
+  bool src_nonblocking{false};
+  Rank src{-1};
+  RequestId src_request{0};
+};
+
+struct ReplayWaitingRecv {
+  Rank dst{-1};
+  MpiCall call{MpiCall::None};
+  TimeNs posted{};
+  TimeNs enter{};
+  TimeNs min_exit{};
+  // Irecv: the rank is not blocked; the request completes on delivery.
+  bool nonblocking{false};
+  RequestId request{0};
+};
+
+struct ReplayChannel {
+  ArenaQueue<ReplayChannelMsg> queue;
+  ArenaQueue<ReplayWaitingRecv> waiting;
+  bool live{false};  // set when first touched by a replay
+};
+
+class ReplayMemory {
+ public:
+  ReplayMemory() = default;
+  ReplayMemory(const ReplayMemory&) = delete;
+  ReplayMemory& operator=(const ReplayMemory&) = delete;
+
+  /// Start a new borrow: recycles the arena and empties queue and channel
+  /// maps while keeping all capacity. Called by ReplayEngine's constructor.
+  void begin_run() {
+    arena_.reset();
+    queue_.reset_for_reuse();
+    channels_.clear_retain();
+    pending_send_enter_.clear_retain();
+  }
+
+  [[nodiscard]] MonotonicArena& arena() { return arena_; }
+  [[nodiscard]] EventQueue& queue() { return queue_; }
+  [[nodiscard]] FlatHashMap<std::uint64_t, ReplayChannel>& channels() {
+    return channels_;
+  }
+  [[nodiscard]] const FlatHashMap<std::uint64_t, ReplayChannel>& channels()
+      const {
+    return channels_;
+  }
+  [[nodiscard]] FlatHashMap<std::uint64_t, TimeNs>& pending_send_enter() {
+    return pending_send_enter_;
+  }
+  [[nodiscard]] const FlatHashMap<std::uint64_t, TimeNs>& pending_send_enter()
+      const {
+    return pending_send_enter_;
+  }
+
+  /// The reusable fabric: constructed on first use, reset in place after —
+  /// zero allocations when the topology shape is unchanged.
+  [[nodiscard]] Fabric& acquire_fabric(const FabricConfig& cfg, int nodes) {
+    if (!fabric_) {
+      fabric_ = std::make_unique<Fabric>(cfg, nodes);
+    } else {
+      fabric_->reset(cfg, nodes);
+    }
+    return *fabric_;
+  }
+
+  /// The reusable agent pool: agent `i` is constructed once and reset for
+  /// each new (cfg, port) binding; its learning structures keep capacity.
+  [[nodiscard]] PmpiAgent& acquire_agent(std::size_t i, const PpaConfig& cfg,
+                                         LinkPowerPort* port) {
+    while (agents_.size() <= i) agents_.push_back(nullptr);
+    if (!agents_[i]) {
+      agents_[i] = std::make_unique<PmpiAgent>(cfg, port);
+    } else {
+      agents_[i]->reset(cfg, port);
+    }
+    return *agents_[i];
+  }
+
+ private:
+  MonotonicArena arena_;
+  EventQueue queue_;
+  FlatHashMap<std::uint64_t, ReplayChannel> channels_;
+  FlatHashMap<std::uint64_t, TimeNs> pending_send_enter_;
+  std::unique_ptr<Fabric> fabric_;
+  std::vector<std::unique_ptr<PmpiAgent>> agents_;
+};
+
+}  // namespace ibpower

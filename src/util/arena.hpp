@@ -1,0 +1,267 @@
+// MonotonicArena: per-run bump allocation for the replay engine's hot state.
+//
+// The replay hot path used to heap-allocate per message (channel deques),
+// per recorded call (timeline push_back) and per collective (entered
+// vectors). An arena replaces all of that with pointer bumps into a few
+// large blocks: allocation is an add + compare, deallocation is free, and
+// reset() recycles the peak footprint so a reused arena reaches a steady
+// state where a full replay performs *zero* heap allocations
+// (tests/test_replay_noalloc.cpp pins this).
+//
+// Lifetime rules (DESIGN.md §7, "Memory architecture"):
+//  - The arena outlives every container carved from it; reset() invalidates
+//    all of them at once. Containers never free — memory is reclaimed only
+//    by reset().
+//  - reset() retains capacity: after the first run has established the peak
+//    footprint, later runs bump within the already-held blocks. If a run
+//    spilled into overflow blocks, reset() coalesces them into one block so
+//    the steady state is a single allocation-free slab.
+//  - Element types must be trivially copyable/destructible (enforced below):
+//    the arena never runs destructors.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <type_traits>
+#include <vector>
+
+#include "util/expect.hpp"
+
+namespace ibpower {
+
+class MonotonicArena {
+ public:
+  MonotonicArena() = default;
+  explicit MonotonicArena(std::size_t initial_bytes) {
+    if (initial_bytes > 0) add_block(initial_bytes);
+  }
+
+  MonotonicArena(const MonotonicArena&) = delete;
+  MonotonicArena& operator=(const MonotonicArena&) = delete;
+
+  /// Bump-allocate `bytes` aligned to `align` (a power of two).
+  void* allocate(std::size_t bytes, std::size_t align) {
+    IBP_ASSERT((align & (align - 1)) == 0);
+    if (bytes == 0) bytes = 1;
+    std::size_t off = (offset_ + align - 1) & ~(align - 1);
+    if (cur_ >= blocks_.size() || off + bytes > blocks_[cur_].size) {
+      grow(bytes, align);
+      off = (offset_ + align - 1) & ~(align - 1);
+    }
+    offset_ = off + bytes;
+    high_water_ = used_before_cur_ + offset_ > high_water_
+                      ? used_before_cur_ + offset_
+                      : high_water_;
+    return blocks_[cur_].data.get() + off;
+  }
+
+  /// Typed array allocation; elements are NOT constructed.
+  template <class T>
+  [[nodiscard]] T* allocate_array(std::size_t n) {
+    static_assert(std::is_trivially_copyable_v<T> &&
+                  std::is_trivially_destructible_v<T>);
+    return static_cast<T*>(allocate(n * sizeof(T), alignof(T)));
+  }
+
+  /// Recycle all memory. Every pointer previously handed out becomes
+  /// invalid. Keeps capacity; coalesces multi-block runs into one slab so a
+  /// reused arena stops allocating once its peak footprint is known.
+  void reset() {
+    if (blocks_.size() > 1) {
+      // One slab sized for the observed peak (plus headroom for jitter).
+      const std::size_t want = high_water_ + high_water_ / 4;
+      blocks_.clear();
+      add_block(want);
+    }
+    cur_ = 0;
+    offset_ = 0;
+    used_before_cur_ = 0;
+  }
+
+  /// Bytes currently handed out (since construction or the last reset()).
+  [[nodiscard]] std::size_t bytes_used() const {
+    return used_before_cur_ + offset_;
+  }
+  /// Total bytes held across blocks.
+  [[nodiscard]] std::size_t bytes_capacity() const {
+    std::size_t total = 0;
+    for (const auto& b : blocks_) total += b.size;
+    return total;
+  }
+  [[nodiscard]] std::size_t block_count() const { return blocks_.size(); }
+
+ private:
+  struct Block {
+    std::unique_ptr<std::byte[]> data;
+    std::size_t size{0};
+  };
+
+  static constexpr std::size_t kMinBlock = 64 * 1024;
+
+  void add_block(std::size_t bytes) {
+    const std::size_t size = bytes < kMinBlock ? kMinBlock : bytes;
+    blocks_.push_back(Block{std::make_unique<std::byte[]>(size), size});
+  }
+
+  void grow(std::size_t bytes, std::size_t align) {
+    // Move past any remaining blocks that fit, else append a new one that
+    // doubles total capacity (classic geometric growth).
+    if (cur_ < blocks_.size()) used_before_cur_ += blocks_[cur_].size;
+    ++cur_;
+    while (cur_ < blocks_.size() && blocks_[cur_].size < bytes + align) {
+      used_before_cur_ += blocks_[cur_].size;
+      ++cur_;
+    }
+    if (cur_ >= blocks_.size()) {
+      const std::size_t want = bytes + align > bytes_capacity()
+                                   ? bytes + align
+                                   : bytes_capacity();
+      add_block(want);
+      cur_ = blocks_.size() - 1;
+    }
+    offset_ = 0;
+  }
+
+  std::vector<Block> blocks_;
+  std::size_t cur_{0};
+  std::size_t offset_{0};
+  std::size_t used_before_cur_{0};
+  std::size_t high_water_{0};
+};
+
+/// Growable array carved from a MonotonicArena. Trivial element types only;
+/// growth leaks the old buffer into the arena (reclaimed at arena reset),
+/// which is the whole point: no free lists, no per-push heap traffic.
+template <class T>
+class ArenaVector {
+  static_assert(std::is_trivially_copyable_v<T> &&
+                std::is_trivially_destructible_v<T>);
+
+ public:
+  ArenaVector() = default;
+  explicit ArenaVector(MonotonicArena* arena) : arena_(arena) {}
+
+  void attach(MonotonicArena* arena) {
+    arena_ = arena;
+    data_ = nullptr;
+    size_ = cap_ = 0;
+  }
+
+  void reserve(std::size_t n) {
+    if (n > cap_) grow_to(n);
+  }
+
+  void push_back(const T& v) {
+    if (size_ == cap_) grow_to(cap_ == 0 ? 8 : cap_ * 2);
+    data_[size_++] = v;
+  }
+
+  /// Insert before `pos` (for the sorted-vector request bookkeeping).
+  void insert_at(std::size_t pos, const T& v) {
+    IBP_ASSERT(pos <= size_);
+    if (size_ == cap_) grow_to(cap_ == 0 ? 8 : cap_ * 2);
+    std::memmove(data_ + pos + 1, data_ + pos, (size_ - pos) * sizeof(T));
+    data_[pos] = v;
+    ++size_;
+  }
+
+  void erase_at(std::size_t pos) {
+    IBP_ASSERT(pos < size_);
+    std::memmove(data_ + pos, data_ + pos + 1,
+                 (size_ - pos - 1) * sizeof(T));
+    --size_;
+  }
+
+  void clear() { size_ = 0; }
+
+  [[nodiscard]] T& operator[](std::size_t i) {
+    IBP_ASSERT(i < size_);
+    return data_[i];
+  }
+  [[nodiscard]] const T& operator[](std::size_t i) const {
+    IBP_ASSERT(i < size_);
+    return data_[i];
+  }
+  [[nodiscard]] std::size_t size() const { return size_; }
+  [[nodiscard]] bool empty() const { return size_ == 0; }
+  [[nodiscard]] T* data() { return data_; }
+  [[nodiscard]] const T* data() const { return data_; }
+  [[nodiscard]] T* begin() { return data_; }
+  [[nodiscard]] T* end() { return data_ + size_; }
+  [[nodiscard]] const T* begin() const { return data_; }
+  [[nodiscard]] const T* end() const { return data_ + size_; }
+
+ private:
+  void grow_to(std::size_t n) {
+    IBP_ASSERT(arena_ != nullptr);
+    T* fresh = arena_->allocate_array<T>(n);
+    if (size_ > 0) std::memcpy(fresh, data_, size_ * sizeof(T));
+    data_ = fresh;
+    cap_ = n;
+  }
+
+  MonotonicArena* arena_{nullptr};
+  T* data_{nullptr};
+  std::size_t size_{0};
+  std::size_t cap_{0};
+};
+
+/// FIFO ring buffer carved from a MonotonicArena (channel message queues and
+/// waiting-receive lists: push_back + pop_front + front).
+template <class T>
+class ArenaQueue {
+  static_assert(std::is_trivially_copyable_v<T> &&
+                std::is_trivially_destructible_v<T>);
+
+ public:
+  ArenaQueue() = default;
+
+  void attach(MonotonicArena* arena) {
+    arena_ = arena;
+    data_ = nullptr;
+    head_ = size_ = cap_ = 0;
+  }
+
+  void push_back(const T& v) {
+    if (size_ == cap_) grow();
+    data_[(head_ + size_) & (cap_ - 1)] = v;
+    ++size_;
+  }
+
+  [[nodiscard]] const T& front() const {
+    IBP_ASSERT(size_ > 0);
+    return data_[head_];
+  }
+
+  void pop_front() {
+    IBP_ASSERT(size_ > 0);
+    head_ = (head_ + 1) & (cap_ - 1);
+    --size_;
+  }
+
+  [[nodiscard]] bool empty() const { return size_ == 0; }
+  [[nodiscard]] std::size_t size() const { return size_; }
+
+ private:
+  void grow() {
+    IBP_ASSERT(arena_ != nullptr);
+    const std::size_t newcap = cap_ == 0 ? 8 : cap_ * 2;  // power of two
+    T* fresh = arena_->allocate_array<T>(newcap);
+    for (std::size_t i = 0; i < size_; ++i) {
+      fresh[i] = data_[(head_ + i) & (cap_ - 1)];
+    }
+    data_ = fresh;
+    head_ = 0;
+    cap_ = newcap;
+  }
+
+  MonotonicArena* arena_{nullptr};
+  T* data_{nullptr};
+  std::size_t head_{0};
+  std::size_t size_{0};
+  std::size_t cap_{0};
+};
+
+}  // namespace ibpower

@@ -6,6 +6,7 @@
 // std::unordered_map and bench_micro quantifies the difference.
 #pragma once
 
+#include <algorithm>
 #include <cstddef>
 #include <cstdint>
 #include <functional>
@@ -58,6 +59,16 @@ class FlatHashMap {
   void clear() {
     slots_.clear();
     meta_.clear();
+    size_ = 0;
+  }
+
+  /// Empty the map but keep the table allocation (reset-and-reuse
+  /// protocol): the next fill up to the previous size never rehashes.
+  void clear_retain() {
+    for (std::size_t i = 0; i < slots_.size(); ++i) {
+      if (meta_[i] != kEmpty) slots_[i] = Slot{};
+    }
+    std::fill(meta_.begin(), meta_.end(), kEmpty);
     size_ = 0;
   }
 

@@ -4,11 +4,16 @@
 
 namespace ibpower {
 
+namespace {
+// -1 off-pool; workers stamp their index before entering the loop.
+thread_local int tl_worker_index = -1;
+}  // namespace
+
 ThreadPool::ThreadPool(unsigned threads) {
   const unsigned n = threads == 0 ? 1 : threads;
   workers_.reserve(n);
   for (unsigned i = 0; i < n; ++i) {
-    workers_.emplace_back([this] { worker_loop(); });
+    workers_.emplace_back([this, i] { worker_loop(i); });
   }
 }
 
@@ -26,6 +31,8 @@ unsigned ThreadPool::default_concurrency() {
   return hc == 0 ? 1 : hc;
 }
 
+int ThreadPool::current_worker_index() { return tl_worker_index; }
+
 void ThreadPool::enqueue(Task task) {
   {
     std::lock_guard<std::mutex> lock(mu_);
@@ -35,7 +42,8 @@ void ThreadPool::enqueue(Task task) {
   cv_.notify_one();
 }
 
-void ThreadPool::worker_loop() {
+void ThreadPool::worker_loop(unsigned index) {
+  tl_worker_index = static_cast<int>(index);
   while (true) {
     Task task;
     {

@@ -47,6 +47,12 @@ class ThreadPool {
   /// hardware_concurrency, clamped to at least 1.
   [[nodiscard]] static unsigned default_concurrency();
 
+  /// Index of the pool worker running the current thread, in [0, size()),
+  /// or -1 off-pool. Lets tasks pick up per-worker state (e.g. the parallel
+  /// experiment runner's per-worker ReplayMemory) without any locking: two
+  /// tasks with the same index can never run concurrently.
+  [[nodiscard]] static int current_worker_index();
+
   /// Enqueue a nullary callable; its result (or exception) arrives through
   /// the returned future.
   template <class F>
@@ -64,7 +70,7 @@ class ThreadPool {
   using Task = InplaceCallback<64>;
 
   void enqueue(Task task);
-  void worker_loop();
+  void worker_loop(unsigned index);
 
   std::mutex mu_;
   std::condition_variable cv_;

@@ -34,6 +34,12 @@ struct WorkloadParams {
   [[nodiscard]] bool valid() const {
     return nranks >= 2 && iterations >= 1 && scale > 0.0;
   }
+
+  /// Trace generation is a pure function of (app, params); equality is what
+  /// lets the parallel runner share one generated Trace across grid cells
+  /// that differ only in PPA/fabric/power settings.
+  friend bool operator==(const WorkloadParams&,
+                         const WorkloadParams&) = default;
 };
 
 class AppModel {

@@ -5,6 +5,7 @@
 #include <atomic>
 #include <cstdint>
 #include <cstdlib>
+#include <functional>
 #include <memory>
 #include <new>
 #include <utility>
@@ -176,6 +177,83 @@ TEST(EventQueue, InterleavedScheduleAndRunNextKeepsOrder) {
   q.schedule(TimeNs{40}, [&] { order.push_back(4); });
   q.run();
   EXPECT_EQ(order, (std::vector<int>{1, 2, 3, 4}));
+}
+
+TEST(EventQueue, FastPathDemotionKeepsOrder) {
+  // Exercise the one-element `next` buffer: schedule a future event (takes
+  // the fast path), then repeatedly schedule earlier events that must
+  // demote the previous minimum into the heap — order must be unchanged.
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule(TimeNs{50}, [&] { order.push_back(50); });
+  q.schedule(TimeNs{40}, [&] { order.push_back(40); });  // demotes 50
+  q.schedule(TimeNs{30}, [&] { order.push_back(30); });  // demotes 40
+  q.schedule(TimeNs{45}, [&] { order.push_back(45); });  // plain heap push
+  q.schedule(TimeNs{30}, [&] { order.push_back(31); });  // tie: keeps order
+  q.run();
+  EXPECT_EQ(order, (std::vector<int>{30, 31, 40, 45, 50}));
+}
+
+TEST(EventQueue, ScheduleAtNowPopNextChains) {
+  // The dominant replay pattern: each callback schedules the next event at
+  // the current time, which must ride the O(1) fast path and still
+  // interleave correctly with later heap entries.
+  EventQueue q;
+  std::vector<int> order;
+  int depth = 0;
+  q.schedule(TimeNs{100}, [&] { order.push_back(-1); });
+  std::function<void()> chain = [&] {
+    order.push_back(depth);
+    if (++depth < 5) q.schedule(q.now(), [&] { chain(); });
+  };
+  q.schedule(TimeNs{10}, [&] { chain(); });
+  q.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4, -1}));
+  EXPECT_EQ(q.now(), TimeNs{100});
+}
+
+TEST(EventQueue, ResetForReuseClearsStateKeepsDeterminism) {
+  EventQueue q;
+  std::vector<int> first;
+  q.schedule(TimeNs{2}, [&] { first.push_back(2); });
+  q.schedule(TimeNs{1}, [&] { first.push_back(1); });
+  q.run();
+  EXPECT_EQ(q.processed(), 2u);
+
+  q.reset_for_reuse();
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.now(), TimeNs::zero());
+  EXPECT_EQ(q.processed(), 0u);
+
+  // Identical schedule sequence after reset produces the identical run —
+  // seq restarts, so tie-breaking cannot depend on prior use.
+  std::vector<int> again;
+  q.schedule(TimeNs{5}, [&] { again.push_back(0); });
+  q.schedule(TimeNs{5}, [&] { again.push_back(1); });
+  q.schedule(TimeNs{3}, [&] { again.push_back(2); });
+  q.run();
+  EXPECT_EQ(again, (std::vector<int>{2, 0, 1}));
+}
+
+TEST(EventQueue, ReusedQueueDoesNotAllocate) {
+  EventQueue q;
+  for (int warm = 0; warm < 2; ++warm) {
+    for (int i = 0; i < 500; ++i) {
+      q.schedule(TimeNs{i}, [] {});
+    }
+    q.run();
+    q.reset_for_reuse();
+  }
+  const std::uint64_t before = g_alloc_count.load();
+  int sink = 0;
+  for (int i = 0; i < 500; ++i) {
+    q.schedule(TimeNs{i}, [&sink] { ++sink; });
+  }
+  q.run();
+  const std::uint64_t after = g_alloc_count.load();
+  EXPECT_EQ(after - before, 0u)
+      << "a reused queue must keep heap/slab/free-list capacity";
+  EXPECT_EQ(sink, 500);
 }
 
 TEST(EventQueue, ManyEventsStressOrder) {

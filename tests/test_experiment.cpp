@@ -121,7 +121,8 @@ TEST(Experiment, DryRunHitRateMatchesManagedBallpark) {
   (void)engine.run();
   std::vector<std::vector<MpiCallEvent>> timelines;
   for (Rank rk = 0; rk < trace.nranks(); ++rk) {
-    timelines.push_back(engine.call_timeline(rk));
+    const auto tl = engine.call_timeline(rk);
+    timelines.emplace_back(tl.begin(), tl.end());
   }
   const double dry = dry_run_hit_rate(timelines, cfg.ppa);
   EXPECT_NEAR(dry, r.hit_rate_pct, 15.0);

@@ -89,6 +89,59 @@ TEST(ParallelExperiment, SweepGtMatchesSerial) {
   }
 }
 
+TEST(ParallelExperiment, SharedTraceGridBitIdenticalJobs1Vs8) {
+  // The shared-trace path: cells with identical (app, workload) but
+  // different GT values replay one generated Trace. Results must be
+  // bit-identical between --jobs 1 and --jobs 8, and identical to the
+  // serial loop that regenerates the trace per cell.
+  std::vector<ExperimentConfig> cfgs;
+  for (const int gt_us : {20, 60, 150, 400}) {
+    ExperimentConfig cfg = small_config("alya", 8);
+    cfg.ppa.grouping_threshold =
+        TimeNs::from_us(static_cast<std::int64_t>(gt_us));
+    cfgs.push_back(cfg);
+  }
+  cfgs.push_back(small_config("nas_mg", 8));  // a second trace slot
+  cfgs.push_back(small_config("alya", 8));    // shares slot 0's trace
+
+  std::vector<ExperimentResult> serial;
+  serial.reserve(cfgs.size());
+  for (const auto& cfg : cfgs) serial.push_back(run_experiment(cfg));
+
+  ParallelExperimentRunner one(1);
+  ParallelExperimentRunner eight(8);
+  const std::vector<ExperimentResult> r1 = one.run_all(cfgs);
+  const std::vector<ExperimentResult> r8 = eight.run_all(cfgs);
+  ASSERT_EQ(r1.size(), cfgs.size());
+  ASSERT_EQ(r8.size(), cfgs.size());
+  for (std::size_t i = 0; i < cfgs.size(); ++i) {
+    EXPECT_TRUE(bit_identical(serial[i], r1[i])) << "cell " << i << " jobs=1";
+    EXPECT_TRUE(bit_identical(r1[i], r8[i])) << "cell " << i << " jobs=8";
+  }
+
+  // Generation cost is charged once per distinct trace; sharers report 0.
+  ASSERT_EQ(one.last_cell_gen_ms().size(), cfgs.size());
+  EXPECT_GT(one.last_cell_gen_ms()[0], 0.0);
+  EXPECT_GT(one.last_cell_gen_ms()[4], 0.0);
+  EXPECT_EQ(one.last_cell_gen_ms()[1], 0.0);
+  EXPECT_EQ(one.last_cell_gen_ms()[5], 0.0);
+}
+
+TEST(ParallelExperiment, CostAccountingSeparatesGenFromLegWork) {
+  const ExperimentConfig cfg = small_config("alya", 8);
+  ParallelExperimentRunner runner(2);
+  (void)runner.run(cfg);
+  ASSERT_EQ(runner.last_cell_work_ms().size(), 1u);
+  ASSERT_EQ(runner.last_cell_gen_ms().size(), 1u);
+  ASSERT_EQ(runner.last_cell_base_ms().size(), 1u);
+  ASSERT_EQ(runner.last_cell_managed_ms().size(), 1u);
+  // Leg work excludes generation, and the breakdown sums to the total.
+  EXPECT_GT(runner.last_total_gen_ms(), 0.0);
+  EXPECT_DOUBLE_EQ(
+      runner.last_cell_work_ms()[0],
+      runner.last_cell_base_ms()[0] + runner.last_cell_managed_ms()[0]);
+}
+
 TEST(ParallelExperiment, UnsupportedRankCountPropagatesAsException) {
   ExperimentConfig cfg = small_config("nas_bt", 9);
   cfg.workload.nranks = 10;  // not a square — nas_bt rejects it

@@ -1,0 +1,62 @@
+#!/usr/bin/env python3
+"""Perf gate for the CI smoke benchmark.
+
+Compares a freshly generated bench_throughput JSON against the committed
+baseline, keyed on (cell, nranks, jobs). Fails (exit 1) if any cell's
+events_per_sec dropped by more than the tolerance (default 20%).
+
+Usage: check_bench_regression.py BASELINE.json CURRENT.json [--tolerance 0.20]
+"""
+import argparse
+import json
+import sys
+
+
+def load_rows(path):
+    with open(path) as f:
+        rows = json.load(f)
+    return {(r["cell"], r["nranks"], r.get("jobs", 1)): r for r in rows}
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("baseline")
+    ap.add_argument("current")
+    ap.add_argument("--tolerance", type=float, default=0.20,
+                    help="allowed fractional drop in events_per_sec")
+    args = ap.parse_args()
+
+    baseline = load_rows(args.baseline)
+    current = load_rows(args.current)
+
+    missing = sorted(set(baseline) - set(current))
+    if missing:
+        print(f"FAIL: {len(missing)} baseline cells absent from current run:")
+        for key in missing:
+            print(f"  {key[0]}/{key[1]} jobs={key[2]}")
+        return 1
+
+    failures = []
+    for key in sorted(baseline):
+        base_eps = baseline[key]["events_per_sec"]
+        cur_eps = current[key]["events_per_sec"]
+        ratio = cur_eps / base_eps if base_eps > 0 else 1.0
+        status = "ok"
+        if ratio < 1.0 - args.tolerance:
+            status = "REGRESSION"
+            failures.append(key)
+        print(f"{key[0]:>10}/{key[1]:<4} jobs={key[2]}: "
+              f"{base_eps/1e6:7.2f}M -> {cur_eps/1e6:7.2f}M events/s "
+              f"({(ratio - 1.0) * 100.0:+6.1f}%)  {status}")
+
+    if failures:
+        print(f"\nFAIL: {len(failures)} cell(s) regressed more than "
+              f"{args.tolerance * 100.0:.0f}% vs baseline")
+        return 1
+    print(f"\nPASS: all {len(baseline)} cells within "
+          f"{args.tolerance * 100.0:.0f}% of baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
