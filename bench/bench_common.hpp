@@ -42,16 +42,28 @@ inline const char* pretty_app(const std::string& app) {
   return app.c_str();
 }
 
-/// Standard experiment configuration for a grid cell.
+/// Standard experiment configuration for a grid cell. A "+trunk" suffix on
+/// the app name ("gromacs+trunk") selects the whole-fabric configuration —
+/// consolidating routing plus the trunk idle-timeout policy — so the bench
+/// grid can carry trunk-subsystem cells under distinct regression keys.
 inline ExperimentConfig cell_config(const GridCell& cell,
                                     double displacement = 0.01,
                                     int iterations = 100) {
   ExperimentConfig cfg;
-  cfg.app = cell.app;
+  std::string app = cell.app;
+  if (const std::size_t plus = app.find('+'); plus != std::string::npos) {
+    const std::string variant = app.substr(plus + 1);
+    app.resize(plus);
+    if (variant == "trunk") {
+      cfg.fabric.routing.strategy = RoutingStrategy::Consolidate;
+      cfg.fabric.trunk.kind = TrunkPolicyKind::Timeout;
+    }
+  }
+  cfg.app = app;
   cfg.workload.nranks = cell.nranks;
   cfg.workload.iterations = iterations;
   cfg.workload.seed = 42;
-  cfg.ppa.grouping_threshold = default_gt(cell.app, cell.nranks);
+  cfg.ppa.grouping_threshold = default_gt(app, cell.nranks);
   cfg.ppa.displacement_factor = displacement;
   return cfg;
 }

@@ -132,9 +132,11 @@ int main(int argc, char** argv) {
   auto cells = paper_grid();
   if (has_flag(argc, argv, "--smoke")) {
     // One small cell per application: enough to catch a hot-path
-    // regression, small enough for a CI gate.
-    cells = {{"gromacs", 16}, {"alya", 16}, {"wrf", 16},
-             {"nas_bt", 16},  {"nas_mg", 16}};
+    // regression, small enough for a CI gate. The "+trunk" cell exercises
+    // the whole-fabric configuration (consolidating routing + trunk sleep)
+    // at full scale so a slowdown in the trunk hot path is gated too.
+    cells = {{"gromacs", 16},       {"alya", 16},   {"wrf", 16},
+             {"nas_bt", 16},        {"nas_mg", 16}, {"gromacs+trunk", 128}};
   }
   cells = cells_from_args(argc, argv, std::move(cells));
   std::vector<ExperimentConfig> cfgs;

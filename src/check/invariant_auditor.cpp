@@ -97,13 +97,21 @@ std::string audit_replay(const ReplayEngine& engine,
                          const PowerModelConfig& cfg) {
   if (std::string err = engine.audit_drain(); !err.empty()) return err;
   const Fabric& fabric = engine.fabric();
-  for (NodeId n = 0; n < fabric.nodes_used(); ++n) {
-    const IbLink& link = fabric.link(fabric.topology().node_uplink(n));
+  const FatTreeTopology& topo = fabric.topology();
+  // Every link in the fabric — node uplinks *and* trunks — must carry a
+  // valid schedule, a partitioning residency, and a closed energy integral.
+  // Trunks matter even with the sleep policy off (they must then show a
+  // trivially always-on schedule).
+  for (LinkId l = 0; l < topo.num_links(); ++l) {
+    const std::string where =
+        topo.is_node_link(l) ? "node " + std::to_string(l) + " uplink"
+                             : "trunk " + std::to_string(l);
+    const IbLink& link = fabric.link(l);
     if (std::string err = audit_link_schedule(link); !err.empty()) {
-      return "node " + std::to_string(n) + " uplink: " + err;
+      return where + ": " + err;
     }
     if (std::string err = audit_energy_closure(link, cfg); !err.empty()) {
-      return "node " + std::to_string(n) + " uplink: " + err;
+      return where + ": " + err;
     }
   }
   return {};

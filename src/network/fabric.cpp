@@ -6,12 +6,16 @@ Fabric::Fabric(const FabricConfig& cfg, int nodes_used)
     : cfg_(cfg),
       topo_(cfg.xgft),
       nodes_used_(nodes_used),
-      route_rng_(cfg.routing_seed) {
+      routing_(make_routing_engine(cfg.routing.strategy)),
+      routing_strategy_(cfg.routing.strategy) {
   IBP_EXPECTS(nodes_used > 0 && nodes_used <= topo_.num_nodes());
   links_.reserve(static_cast<std::size_t>(topo_.num_links()));
   for (int i = 0; i < topo_.num_links(); ++i) {
     links_.push_back(std::make_unique<IbLink>(cfg.link));
   }
+  routing_->reset(topo_, cfg.routing);
+  trunks_.reset(cfg.trunk, num_trunks());
+  arm_trunks();
 }
 
 void Fabric::reset(const FabricConfig& cfg, int nodes_used) {
@@ -28,17 +32,21 @@ void Fabric::reset(const FabricConfig& cfg, int nodes_used) {
   IBP_EXPECTS(nodes_used > 0 && nodes_used <= topo_.num_nodes());
   cfg_ = cfg;
   nodes_used_ = nodes_used;
-  route_rng_.reseed(cfg.routing_seed);
+  if (cfg.routing.strategy != routing_strategy_) {
+    routing_ = make_routing_engine(cfg.routing.strategy);
+    routing_strategy_ = cfg.routing.strategy;
+  }
+  routing_->reset(topo_, cfg.routing);
+  trunks_.reset(cfg.trunk, num_trunks());
+  arm_trunks();
 }
 
-SwitchId Fabric::pick_top(NodeId src, NodeId dst) {
-  const int ntop = topo_.num_top_switches();
-  if (cfg_.random_routing) {
-    return static_cast<SwitchId>(
-        route_rng_.uniform_below(static_cast<std::uint64_t>(ntop)));
+void Fabric::arm_trunks() {
+  if (!trunks_.enabled()) return;
+  const LinkId first = topo_.num_nodes();
+  for (int t = 0; t < num_trunks(); ++t) {
+    trunks_.arm(link(first + t), static_cast<std::size_t>(t));
   }
-  // Deterministic destination-hash routing (D-mod-k style).
-  return static_cast<SwitchId>((src * 31 + dst) % ntop);
 }
 
 Fabric::TxResult Fabric::unicast(NodeId src, NodeId dst, Bytes bytes,
@@ -47,7 +55,10 @@ Fabric::TxResult Fabric::unicast(NodeId src, NodeId dst, Bytes bytes,
   IBP_EXPECTS(dst >= 0 && dst < nodes_used_);
   IBP_EXPECTS(src != dst);
 
-  const SwitchId top = pick_top(src, dst);
+  // The engine is consulted even for same-leaf pairs (where route() ignores
+  // the result) so RandomRouting's draw stream matches the historical
+  // behavior byte-for-byte.
+  const SwitchId top = routing_->pick_top(src, dst, bytes, ready);
   const FatTreeTopology::RoutePath path = topo_.route(src, dst, top);
   // Channel direction per hop: Up on the source side, Down on the
   // destination side (trunks: up-trunk carries Up, down-trunk Down).
@@ -59,6 +70,17 @@ Fabric::TxResult Fabric::unicast(NodeId src, NodeId dst, Bytes bytes,
     auto res = link(path[h]).reserve(dir, cursor, bytes);
     result.power_penalty += res.power_delay;
     if (h == 0) result.sender_free = res.end;
+    if (path.size() == 4 && (h == 1 || h == 2)) {
+      // Trunk hop: feed the reservation back to the router's load counters
+      // and restart the trunk's idle timer behind the transmission.
+      const SwitchId leaf = h == 1 ? topo_.leaf_of(src) : topo_.leaf_of(dst);
+      routing_->on_trunk_reserved(leaf, top, res.end);
+      if (trunks_.enabled()) {
+        trunks_.on_reserved(
+            link(path[h]),
+            static_cast<std::size_t>(path[h] - topo_.num_nodes()), res);
+      }
+    }
     // Segment-level pipelining: the next hop can start once the first
     // segment has crossed this link and the switch (hop latency).
     const TimeNs first_segment =

@@ -4,16 +4,24 @@
 // MPI latency (1 us), serialization at link bandwidth (40 Gb/s), per-switch
 // hop latency, segment-level pipelining across hops (segments stream through
 // switches, so a message occupies consecutive links in overlapping windows),
-// FIFO contention per link channel, and random routing across the top
-// switches (Table II: "Random routing").
+// FIFO contention per link channel, and a pluggable RoutingEngine choosing
+// the top switch per message (random — Table II's default — dmodk, or the
+// power-aware consolidating router; network/routing.hpp).
+//
+// Trunk links additionally run a switch-local sleep policy
+// (power/trunk_policy.hpp): the fabric arms each trunk's idle timer at
+// construction/reset and restarts it after every trunk reservation, so cold
+// trunks sleep autonomously and messages that hit a sleeping trunk pay the
+// wake penalty on the message path.
 #pragma once
 
 #include <memory>
 #include <vector>
 
 #include "network/ib_link.hpp"
+#include "network/routing.hpp"
 #include "network/topology.hpp"
-#include "util/rng.hpp"
+#include "power/trunk_policy.hpp"
 
 namespace ibpower {
 
@@ -23,8 +31,8 @@ struct FabricConfig {
   TimeNs mpi_latency{TimeNs::from_us(std::int64_t{1})};  // Table II
   TimeNs hop_latency{TimeNs{100}};                       // per switch, 100 ns
   Bytes segment_size{2048};                              // Table II: 2 KB
-  bool random_routing{true};
-  std::uint64_t routing_seed{0x5eedu};
+  RoutingConfig routing{};
+  TrunkPolicyConfig trunk{};
 };
 
 class Fabric {
@@ -36,8 +44,9 @@ class Fabric {
   /// Return to the freshly-constructed state for (cfg, nodes_used) while
   /// keeping every link's buffers (reset-and-reuse protocol, DESIGN.md §7).
   /// Rebuilds the topology and link array only when the topology shape
-  /// actually changed; for the common same-shape case (GT sweeps, repeated
-  /// cells) this performs zero allocations.
+  /// actually changed; the routing engine is re-created only when the
+  /// strategy changed. For the common same-shape same-strategy case (GT
+  /// sweeps, repeated cells) this performs zero allocations.
   void reset(const FabricConfig& cfg, int nodes_used);
 
   struct TxResult {
@@ -72,18 +81,27 @@ class Fabric {
   [[nodiscard]] const FatTreeTopology& topology() const { return topo_; }
   [[nodiscard]] int nodes_used() const { return nodes_used_; }
   [[nodiscard]] const FabricConfig& config() const { return cfg_; }
+  [[nodiscard]] const TrunkSleepController& trunk_controller() const {
+    return trunks_;
+  }
 
   /// Close all link timelines at the end of the execution.
   void finish(TimeNs end);
 
  private:
-  [[nodiscard]] SwitchId pick_top(NodeId src, NodeId dst);
+  [[nodiscard]] int num_trunks() const {
+    return topo_.num_links() - topo_.num_nodes();
+  }
+  /// Start every trunk's idle timer (never-used trunks sleep too).
+  void arm_trunks();
 
   FabricConfig cfg_;
   FatTreeTopology topo_;
   int nodes_used_;
   std::vector<std::unique_ptr<IbLink>> links_;
-  Rng route_rng_;
+  std::unique_ptr<RoutingEngine> routing_;
+  RoutingStrategy routing_strategy_{RoutingStrategy::Random};
+  TrunkSleepController trunks_;
 };
 
 }  // namespace ibpower

@@ -92,6 +92,43 @@ void IbLink::request_low_power(TimeNs now, TimeNs duration) {
                 IBP_AUDIT_FAIL(err.c_str()));
 }
 
+void IbLink::program_idle_shutdown(TimeNs idle_timeout, TimeNs reactivate_at) {
+  IBP_EXPECTS(!finished_);
+  IBP_EXPECTS(idle_timeout > TimeNs::zero());
+  // The timer restarts whenever the wire clears; with both channels'
+  // reservations already recorded, the current idle period begins here.
+  const TimeNs idle_from = max(avail_[0], avail_[1]);
+  IBP_EXPECTS(reactivate_at > idle_from);
+  // Everything scheduled from the idle point on belongs to the stale timer
+  // (the previous arm of this policy, or a shutdown defer_shutdown pushed
+  // behind the last transmission) and is superseded — but evaluate the
+  // guards *before* erasing so an early return leaves a valid schedule.
+  const auto stale = std::lower_bound(
+      segments_.begin(), segments_.end(), idle_from,
+      [](const ModeSegment& s, TimeNs v) { return s.begin < v; });
+  const LinkPowerMode cur = stale == segments_.begin()
+                                ? LinkPowerMode::FullPower
+                                : std::prev(stale)->mode;
+  if (cur == LinkPowerMode::Transition) return;  // lane shift in progress
+  const TimeNs start = idle_from + idle_timeout;
+  if (cur == LinkPowerMode::FullPower &&
+      start + cfg_.t_deact >= reactivate_at) {
+    return;  // sleep window cannot fit
+  }
+  segments_.erase(stale, segments_.end());
+  if (cur == LinkPowerMode::FullPower) {
+    append_mode(start, LinkPowerMode::Transition);           // timer fired
+    append_mode(start + cfg_.t_deact, LinkPowerMode::LowPower);
+    ++low_power_requests_;
+  }
+  // Already LowPower (reduced-width ablation keeps transmitting without
+  // waking): just extend the sleep to the new reactivation point.
+  append_mode(reactivate_at, LinkPowerMode::Transition);
+  append_mode(reactivate_at + cfg_.t_react, LinkPowerMode::FullPower);
+  IBP_AUDIT(if (const std::string err = validate_schedule(); !err.empty())
+                IBP_AUDIT_FAIL(err.c_str()));
+}
+
 TimeNs IbLink::next_full_time(TimeNs t) const {
   std::ptrdiff_t i = segment_index(t);
   if (i < 0) return t;

@@ -72,6 +72,16 @@ class IbLink final : public LinkPowerPort {
   // --- LinkPowerPort (driven by the owning rank's PmpiAgent) ---
   void request_low_power(TimeNs now, TimeNs duration) override;
 
+  /// Switch-local hardware idle timer (trunk sleep policies,
+  /// power/trunk_policy.hpp): (re)program the link to shut its lanes down
+  /// `idle_timeout` after the wire last clears, staying low until the
+  /// reactivation scheduled at `reactivate_at` — or until a transmission
+  /// forces an on-demand wake, whichever comes first. Each call restarts
+  /// the timer: any previously programmed shutdown/reactivation from the
+  /// current idle point onward is superseded. No-op while a lane shift is
+  /// in progress or when the sleep window cannot fit.
+  void program_idle_shutdown(TimeNs idle_timeout, TimeNs reactivate_at);
+
   // --- Transmission (driven by the fabric) ---
   struct TxReservation {
     TimeNs start{};        // when data starts flowing

@@ -1,0 +1,117 @@
+#include "network/routing.hpp"
+
+namespace ibpower {
+
+const char* routing_strategy_name(RoutingStrategy s) {
+  switch (s) {
+    case RoutingStrategy::Random: return "random";
+    case RoutingStrategy::Dmodk: return "dmodk";
+    case RoutingStrategy::Consolidate: return "consolidate";
+  }
+  return "?";
+}
+
+bool parse_routing_strategy(const std::string& name, RoutingStrategy& out) {
+  if (name == "random") {
+    out = RoutingStrategy::Random;
+  } else if (name == "dmodk") {
+    out = RoutingStrategy::Dmodk;
+  } else if (name == "consolidate") {
+    out = RoutingStrategy::Consolidate;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+// --- RandomRouting ---------------------------------------------------------
+
+void RandomRouting::reset(const FatTreeTopology& topo,
+                          const RoutingConfig& cfg) {
+  ntop_ = topo.num_top_switches();
+  rng_.reseed(cfg.seed);
+}
+
+SwitchId RandomRouting::pick_top(NodeId src, NodeId dst, Bytes bytes,
+                                 TimeNs ready) {
+  (void)src;
+  (void)dst;
+  (void)bytes;
+  (void)ready;
+  return static_cast<SwitchId>(
+      rng_.uniform_below(static_cast<std::uint64_t>(ntop_)));
+}
+
+// --- DmodkRouting ----------------------------------------------------------
+
+void DmodkRouting::reset(const FatTreeTopology& topo,
+                         const RoutingConfig& cfg) {
+  ntop_ = topo.num_top_switches();
+  hash_ = cfg.dmodk_hash;
+}
+
+SwitchId DmodkRouting::pick_top(NodeId src, NodeId dst, Bytes bytes,
+                                TimeNs ready) {
+  (void)bytes;
+  (void)ready;
+  if (hash_) return static_cast<SwitchId>((src * 31 + dst) % ntop_);
+  return static_cast<SwitchId>(dst % ntop_);
+}
+
+// --- ConsolidatingRouting --------------------------------------------------
+
+void ConsolidatingRouting::reset(const FatTreeTopology& topo,
+                                 const RoutingConfig& cfg) {
+  ntop_ = topo.num_top_switches();
+  nodes_per_leaf_ = topo.params().m1;
+  spill_ = cfg.spill_threshold;
+  const auto n = static_cast<std::size_t>(topo.num_leaf_switches()) *
+                 static_cast<std::size_t>(ntop_);
+  // assign() reuses the buffer when the shape is unchanged (no allocation).
+  busy_.assign(n, TimeNs{});
+}
+
+SwitchId ConsolidatingRouting::pick_top(NodeId src, NodeId dst, Bytes bytes,
+                                        TimeNs ready) {
+  (void)bytes;
+  const SwitchId src_leaf = src / nodes_per_leaf_;
+  const SwitchId dst_leaf = dst / nodes_per_leaf_;
+  // First top switch in the prefix whose pair of trunks can absorb the
+  // message within the spill threshold; when all are backlogged, the least
+  // backlogged one (lowest index wins ties — keeps the prefix minimal).
+  SwitchId best = 0;
+  TimeNs best_backlog = TimeNs::max();
+  for (SwitchId top = 0; top < ntop_; ++top) {
+    const TimeNs horizon =
+        max(busy_until(src_leaf, top), busy_until(dst_leaf, top));
+    const TimeNs backlog = clamp_nonnegative(horizon - ready);
+    if (backlog <= spill_) return top;
+    if (backlog < best_backlog) {
+      best_backlog = backlog;
+      best = top;
+    }
+  }
+  return best;
+}
+
+void ConsolidatingRouting::on_trunk_reserved(SwitchId leaf, SwitchId top,
+                                             TimeNs busy_until) {
+  TimeNs& slot = busy_[static_cast<std::size_t>(leaf) *
+                           static_cast<std::size_t>(ntop_) +
+                       static_cast<std::size_t>(top)];
+  slot = max(slot, busy_until);
+}
+
+// --- factory ---------------------------------------------------------------
+
+std::unique_ptr<RoutingEngine> make_routing_engine(RoutingStrategy strategy) {
+  switch (strategy) {
+    case RoutingStrategy::Random: return std::make_unique<RandomRouting>();
+    case RoutingStrategy::Dmodk: return std::make_unique<DmodkRouting>();
+    case RoutingStrategy::Consolidate:
+      return std::make_unique<ConsolidatingRouting>();
+  }
+  return std::make_unique<RandomRouting>();
+}
+
+}  // namespace ibpower

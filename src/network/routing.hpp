@@ -1,0 +1,147 @@
+// Pluggable top-switch routing strategies (the "RoutingEngine" seam).
+//
+// Fabric::unicast needs one decision per cross-leaf message: which of the
+// w1*w2 top switches carries it. The paper evaluates random routing
+// (Table II); D-mod-k is the standard deterministic alternative for fat
+// trees; and a power-aware *consolidating* router deliberately packs
+// traffic onto a minimal prefix of top switches so the remaining trunks
+// accumulate the long idle periods the trunk sleep policies
+// (power/trunk_policy.hpp) need.
+//
+// Contract notes:
+//  * The engine is consulted once per unicast — including same-leaf pairs,
+//    whose result is ignored by route(). RandomRouting relies on this to
+//    keep its draw sequence (and therefore every simulated timestamp)
+//    byte-identical to the historical Fabric::pick_top behavior.
+//  * reset() returns the engine to its freshly-constructed state for a
+//    (topology, config) pair while keeping buffer capacity — the
+//    reset-and-reuse protocol of DESIGN.md §7. Steady-state replays make
+//    zero allocations through this interface.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "network/topology.hpp"
+#include "trace/mpi_event.hpp"  // Bytes
+#include "util/rng.hpp"
+#include "util/time_types.hpp"
+
+namespace ibpower {
+
+enum class RoutingStrategy : std::uint8_t {
+  Random = 0,       // uniform over top switches (Table II, the default)
+  Dmodk = 1,        // destination-mod-k: dst % ntop (or the legacy hash)
+  Consolidate = 2,  // minimal-prefix packing with a spill threshold
+};
+
+/// Stable name ("random"/"dmodk"/"consolidate") for CLI/report output.
+[[nodiscard]] const char* routing_strategy_name(RoutingStrategy s);
+/// Parse a CLI spelling; returns false (and leaves `out` alone) on an
+/// unknown name.
+[[nodiscard]] bool parse_routing_strategy(const std::string& name,
+                                          RoutingStrategy& out);
+
+struct RoutingConfig {
+  RoutingStrategy strategy{RoutingStrategy::Random};
+  /// Seed for RandomRouting's draw stream (ignored by the others).
+  std::uint64_t seed{0x5eedu};
+  /// Dmodk variant: use the legacy (src*31 + dst) % ntop hash instead of
+  /// the true destination-mod-k. Kept as a documented ablation — it spreads
+  /// same-destination flows across trunks, which true D-mod-k does not.
+  bool dmodk_hash{false};
+  /// Consolidate: a top switch absorbs another flow while its trunk backlog
+  /// beyond the message's ready time stays within this threshold; beyond
+  /// it the router spills to the next top switch in the prefix.
+  TimeNs spill_threshold{TimeNs::from_us(std::int64_t{50})};
+
+  friend bool operator==(const RoutingConfig&, const RoutingConfig&) = default;
+};
+
+class RoutingEngine {
+ public:
+  virtual ~RoutingEngine() = default;
+
+  /// Return to the freshly-constructed state for (topo, cfg); called by
+  /// Fabric's constructor and reset(). Must not allocate when the topology
+  /// shape is unchanged.
+  virtual void reset(const FatTreeTopology& topo, const RoutingConfig& cfg) = 0;
+
+  /// The top switch carrying a src -> dst message of `bytes` ready at
+  /// `ready`. Called once per unicast, same-leaf pairs included (result
+  /// ignored there).
+  virtual SwitchId pick_top(NodeId src, NodeId dst, Bytes bytes,
+                            TimeNs ready) = 0;
+
+  /// Feedback after Fabric reserves the trunk between `leaf` and `top`:
+  /// the channel is busy until `busy_until`. Load-aware engines update
+  /// their per-trunk counters here; stateless ones ignore it.
+  virtual void on_trunk_reserved(SwitchId leaf, SwitchId top,
+                                 TimeNs busy_until) {
+    (void)leaf;
+    (void)top;
+    (void)busy_until;
+  }
+};
+
+/// Table II random routing: one uniform draw per unicast from a private
+/// xoshiro stream seeded with cfg.seed — byte-identical to the historical
+/// hard-coded branch under the same seed.
+class RandomRouting final : public RoutingEngine {
+ public:
+  void reset(const FatTreeTopology& topo, const RoutingConfig& cfg) override;
+  SwitchId pick_top(NodeId src, NodeId dst, Bytes bytes, TimeNs ready) override;
+
+ private:
+  Rng rng_{0x5eedu};
+  int ntop_{1};
+};
+
+/// Destination-mod-k: every flow to the same destination shares a trunk,
+/// so per-destination traffic concentrates (the property the old
+/// (src*31+dst) hash destroyed — that variant survives behind dmodk_hash).
+class DmodkRouting final : public RoutingEngine {
+ public:
+  void reset(const FatTreeTopology& topo, const RoutingConfig& cfg) override;
+  SwitchId pick_top(NodeId src, NodeId dst, Bytes bytes, TimeNs ready) override;
+
+ private:
+  int ntop_{1};
+  bool hash_{false};
+};
+
+/// Power-aware consolidation: keep a per-trunk busy-until horizon (the load
+/// counter) fed back from actual reservations, and route each message to
+/// the lowest-indexed top switch whose up- and down-trunk backlog beyond
+/// the message's ready time is within the spill threshold. Traffic packs
+/// onto a minimal prefix of top switches; the rest go cold and their
+/// trunks sleep (power/trunk_policy.hpp). Fully deterministic.
+class ConsolidatingRouting final : public RoutingEngine {
+ public:
+  void reset(const FatTreeTopology& topo, const RoutingConfig& cfg) override;
+  SwitchId pick_top(NodeId src, NodeId dst, Bytes bytes, TimeNs ready) override;
+  void on_trunk_reserved(SwitchId leaf, SwitchId top,
+                         TimeNs busy_until) override;
+
+ private:
+  [[nodiscard]] TimeNs busy_until(SwitchId leaf, SwitchId top) const {
+    return busy_[static_cast<std::size_t>(leaf) *
+                     static_cast<std::size_t>(ntop_) +
+                 static_cast<std::size_t>(top)];
+  }
+
+  std::vector<TimeNs> busy_;  // [leaf * ntop + top], retained across resets
+  TimeNs spill_{};
+  int ntop_{1};
+  int nodes_per_leaf_{1};
+};
+
+/// Factory for Fabric: allocates the engine for `strategy` (the only
+/// allocation on the routing path; Fabric re-creates the engine only when
+/// the strategy changes between resets).
+[[nodiscard]] std::unique_ptr<RoutingEngine> make_routing_engine(
+    RoutingStrategy strategy);
+
+}  // namespace ibpower

@@ -64,6 +64,18 @@ ReplayMetrics collect_replay_metrics(const ReplayEngine& engine,
     m.links.push_back(collect_link(n, link, cfg));
   }
 
+  // Trunk telemetry only when a trunk sleep policy is active: with the
+  // policy off trunks are trivially always-on and their rows would only
+  // perturb existing snapshots/exports.
+  if (fabric.config().trunk.kind != TrunkPolicyKind::Off) {
+    const FatTreeTopology& topo = fabric.topology();
+    m.trunks.reserve(
+        static_cast<std::size_t>(topo.num_links() - topo.num_nodes()));
+    for (LinkId l = topo.num_nodes(); l < topo.num_links(); ++l) {
+      m.trunks.push_back(collect_link(l, fabric.link(l), cfg));
+    }
+  }
+
   if (m.managed) {
     m.ranks.reserve(static_cast<std::size_t>(fabric.nodes_used()));
     for (Rank r = 0; r < fabric.nodes_used(); ++r) {
@@ -165,6 +177,9 @@ std::string validate_rank(const RankMetrics& r) {
 
 std::string validate_metrics(const ReplayMetrics& m) {
   for (const LinkMetrics& l : m.links) {
+    if (std::string err = validate_link(l); !err.empty()) return err;
+  }
+  for (const LinkMetrics& l : m.trunks) {
     if (std::string err = validate_link(l); !err.empty()) return err;
   }
   if (!m.managed && !m.ranks.empty()) {

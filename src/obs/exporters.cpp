@@ -105,7 +105,18 @@ void write_replay_json(std::ostream& os, const ReplayMetrics& m) {
     if (i != 0) os << ", ";
     write_link_json(os, m.links[i]);
   }
-  os << "], \"ranks\": [";
+  os << "]";
+  // Trunk rows exist only when a trunk sleep policy ran; omitting the key
+  // entirely otherwise keeps pre-trunk exports byte-identical.
+  if (!m.trunks.empty()) {
+    os << ", \"trunks\": [";
+    for (std::size_t i = 0; i < m.trunks.size(); ++i) {
+      if (i != 0) os << ", ";
+      write_link_json(os, m.trunks[i]);
+    }
+    os << "]";
+  }
+  os << ", \"ranks\": [";
   for (std::size_t i = 0; i < m.ranks.size(); ++i) {
     if (i != 0) os << ", ";
     write_rank_json(os, m.ranks[i]);
@@ -137,7 +148,7 @@ std::string link_series_csv_header() {
 
 void write_link_series_csv(std::ostream& os, const ReplayMetrics& m) {
   os << link_series_csv_header() << "\n";
-  for (const LinkMetrics& l : m.links) {
+  const auto write_rows = [&os](const LinkMetrics& l) {
     std::int64_t seq = 0;
     for_each_mode_interval(
         l, [&](TimeNs begin, TimeNs end, LinkPowerMode mode) {
@@ -145,7 +156,11 @@ void write_link_series_csv(std::ostream& os, const ReplayMetrics& m) {
              << ',' << static_cast<int>(mode) << ',' << link_mode_name(mode)
              << "\n";
         });
-  }
+  };
+  for (const LinkMetrics& l : m.links) write_rows(l);
+  // Trunk rows (global LinkIds >= num_nodes) follow the uplinks; absent
+  // unless a trunk policy ran.
+  for (const LinkMetrics& l : m.trunks) write_rows(l);
 }
 
 StateTimeline power_state_timeline(const ReplayMetrics& m) {

@@ -70,6 +70,11 @@ struct ReplayMetrics {
   std::uint64_t messages_sent{0};
   ReplayDrainStats drain{};
   std::vector<LinkMetrics> links;  // one per used node uplink, by node id
+  /// Trunk links (LinkMetrics::link holds the global LinkId, i.e.
+  /// >= num_nodes). Collected only when the fabric runs a trunk sleep
+  /// policy — empty otherwise, so pre-existing snapshots and exports stay
+  /// byte-identical with the policy off.
+  std::vector<LinkMetrics> trunks;
   std::vector<RankMetrics> ranks;  // empty for baseline legs
 
   friend bool operator==(const ReplayMetrics&, const ReplayMetrics&) = default;

@@ -15,6 +15,8 @@ SwitchPowerRow summarize_switch(const Fabric& fabric,
   double savings_sum_all = 0.0;
   double savings_sum_active = 0.0;
   double low_sum_active = 0.0;
+  double savings_sum_trunk = 0.0;
+  double low_sum_trunk = 0.0;
   for (const LinkId port : ports) {
     const IbLink& link = fabric.link(port);
     const LinkPowerSummary s = summarize_link(link, cfg);
@@ -27,6 +29,11 @@ SwitchPowerRow summarize_switch(const Fabric& fabric,
       savings_sum_active += s.savings_pct;
       low_sum_active += s.low_residency;
     }
+    if (!fabric.topology().is_node_link(port)) {
+      ++row.trunk_ports;
+      savings_sum_trunk += s.savings_pct;
+      low_sum_trunk += s.low_residency;
+    }
   }
   if (row.total_ports > 0) {
     row.savings_all_ports_pct = savings_sum_all / row.total_ports;
@@ -34,6 +41,10 @@ SwitchPowerRow summarize_switch(const Fabric& fabric,
   if (row.active_ports > 0) {
     row.savings_active_ports_pct = savings_sum_active / row.active_ports;
     row.mean_low_residency = low_sum_active / row.active_ports;
+  }
+  if (row.trunk_ports > 0) {
+    row.trunk_savings_pct = savings_sum_trunk / row.trunk_ports;
+    row.mean_trunk_low_residency = low_sum_trunk / row.trunk_ports;
   }
   return row;
 }

@@ -22,6 +22,11 @@ struct SwitchPowerRow {
   /// Savings averaged over the active ports only (the paper's view).
   double savings_active_ports_pct{0.0};
   double mean_low_residency{0.0};  // over active ports
+  /// Trunk-port slice of the box (all ports of a top switch; the w2 up
+  /// ports of a leaf switch). Zero until a trunk sleep policy runs.
+  int trunk_ports{0};
+  double trunk_savings_pct{0.0};      // averaged over all trunk ports
+  double mean_trunk_low_residency{0.0};
 };
 
 /// One row per switch in the fabric's topology.

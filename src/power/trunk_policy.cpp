@@ -1,0 +1,85 @@
+// Compiled into ibpower_network (see src/network/CMakeLists.txt): the
+// controller is driven by Fabric, and ibpower_power already links against
+// ibpower_network, so placing this object there would create a library
+// cycle. The header stays in power/ with the other policy code.
+#include "power/trunk_policy.hpp"
+
+#include "util/expect.hpp"
+
+namespace ibpower {
+
+const char* trunk_policy_name(TrunkPolicyKind k) {
+  switch (k) {
+    case TrunkPolicyKind::Off: return "off";
+    case TrunkPolicyKind::Timeout: return "timeout";
+    case TrunkPolicyKind::MultiTimeout: return "multi-timeout";
+  }
+  return "?";
+}
+
+bool parse_trunk_policy(const std::string& name, TrunkPolicyKind& out) {
+  if (name == "off") {
+    out = TrunkPolicyKind::Off;
+  } else if (name == "timeout") {
+    out = TrunkPolicyKind::Timeout;
+  } else if (name == "multi-timeout") {
+    out = TrunkPolicyKind::MultiTimeout;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+void TrunkSleepController::reset(const TrunkPolicyConfig& cfg,
+                                 int num_trunks) {
+  IBP_EXPECTS(num_trunks >= 0);
+  cfg_ = cfg;
+  if (!enabled()) {
+    // Keep capacity but drop the state: a later reset that re-enables the
+    // policy re-fills from scratch.
+    timeout_.clear();
+    last_end_.clear();
+    return;
+  }
+  IBP_EXPECTS(cfg.idle_timeout > TimeNs::zero());
+  IBP_EXPECTS(cfg.min_timeout > TimeNs::zero());
+  IBP_EXPECTS(cfg.min_timeout <= cfg.max_timeout);
+  const auto n = static_cast<std::size_t>(num_trunks);
+  timeout_.assign(n, cfg.idle_timeout);
+  last_end_.assign(n, TimeNs{});
+}
+
+void TrunkSleepController::arm(IbLink& link, std::size_t index) {
+  IBP_EXPECTS(enabled());
+  IBP_EXPECTS(index < timeout_.size());
+  link.program_idle_shutdown(timeout_[index], kSleepHorizon);
+}
+
+void TrunkSleepController::on_reserved(IbLink& link, std::size_t index,
+                                       const IbLink::TxReservation& res) {
+  IBP_EXPECTS(enabled());
+  IBP_EXPECTS(index < timeout_.size());
+  if (cfg_.kind == TrunkPolicyKind::MultiTimeout &&
+      res.power_delay > TimeNs::zero()) {
+    // The message woke the trunk from a sleep. Under sleep-until-woken
+    // every wake pays the penalty, so the adaptation signal is not the
+    // penalty itself but whether the sleep amortized it: judge by the idle
+    // gap that preceded the arrival.
+    TimeNs& t = timeout_[index];
+    const TimeNs arrival = res.start - res.power_delay;
+    const TimeNs gap = clamp_nonnegative(arrival - last_end_[index]);
+    if (gap >= 4 * t) {
+      // Long idle spell — the sleep paid for itself; tighten the timer so
+      // the next such spell converts even more idle time into sleep.
+      t = max(TimeNs{t.ns / 2}, cfg_.min_timeout);
+    } else {
+      // Premature sleep: lanes barely dropped before traffic returned —
+      // back the timer off (bounded).
+      t = min(2 * t, cfg_.max_timeout);
+    }
+  }
+  last_end_[index] = res.end;
+  link.program_idle_shutdown(timeout_[index], kSleepHorizon);
+}
+
+}  // namespace ibpower

@@ -1,0 +1,98 @@
+// Switch-local trunk sleep policies (the whole-switch half of the paper's
+// story).
+//
+// The PMPI agents gate only the node uplinks they own; the 252 leaf<->top
+// trunk links have no software agent. A real switch can still power them
+// down autonomously: WRPS with a hardware idle timer (sleep after T idle,
+// wake on demand), and the opportunistic multi-timeout refinement of
+// Rodriguez-Perez et al. (PAPERS.md) that backs the timer off per port
+// after premature sleeps and tightens it again after long quiet spells.
+//
+// TrunkSleepController holds the per-trunk timer state and drives
+// IbLink::program_idle_shutdown from Fabric::unicast: after every trunk
+// reservation the idle timer restarts behind the transmission, and a
+// message that finds the trunk asleep pays the on-demand t_react wake on
+// the message path — the same penalty mechanism the uplink agents model.
+//
+// The controller follows the reset-and-reuse protocol (DESIGN.md §7): its
+// per-trunk vectors keep capacity across Fabric::reset, so steady-state
+// replays allocate nothing here.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "network/ib_link.hpp"
+#include "util/time_types.hpp"
+
+namespace ibpower {
+
+enum class TrunkPolicyKind : std::uint8_t {
+  Off = 0,           // always-on baseline (pre-subsystem behavior)
+  Timeout = 1,       // WRPS hardware idle timer, fixed timeout
+  MultiTimeout = 2,  // opportunistic per-trunk adaptive timeout
+};
+
+/// Stable name ("off"/"timeout"/"multi-timeout") for CLI/report output.
+[[nodiscard]] const char* trunk_policy_name(TrunkPolicyKind k);
+/// Parse a CLI spelling; returns false (and leaves `out` alone) on an
+/// unknown name.
+[[nodiscard]] bool parse_trunk_policy(const std::string& name,
+                                      TrunkPolicyKind& out);
+
+struct TrunkPolicyConfig {
+  TrunkPolicyKind kind{TrunkPolicyKind::Off};
+  /// Idle time before lanes drop (the hardware timer; Timeout uses it
+  /// verbatim, MultiTimeout as the starting point of each trunk's timer).
+  TimeNs idle_timeout{TimeNs::from_us(std::int64_t{50})};
+  /// MultiTimeout bounds: a premature sleep (woken after an idle gap of
+  /// < 4x the timer) doubles the trunk's timer up to max_timeout; a wake
+  /// after a long idle spell (>= 4x — the sleep amortized its penalty)
+  /// halves it down to min_timeout.
+  TimeNs min_timeout{TimeNs::from_us(std::int64_t{20})};
+  TimeNs max_timeout{TimeNs::from_us(std::int64_t{1000})};
+
+  friend bool operator==(const TrunkPolicyConfig&,
+                         const TrunkPolicyConfig&) = default;
+};
+
+class TrunkSleepController {
+ public:
+  /// Sleep-until-woken horizon for program_idle_shutdown: far beyond any
+  /// simulated execution (~ a simulated year), so a sleeping trunk stays
+  /// down until an on-demand wake — while the schedule still legally ends
+  /// at FullPower and now + horizon + t_react cannot overflow int64 ns.
+  static constexpr TimeNs kSleepHorizon{std::int64_t{1} << 55};
+
+  /// Return to the freshly-constructed state for `cfg` over `num_trunks`
+  /// trunk links; keeps vector capacity (no allocation once the topology
+  /// shape has been seen).
+  void reset(const TrunkPolicyConfig& cfg, int num_trunks);
+
+  [[nodiscard]] bool enabled() const {
+    return cfg_.kind != TrunkPolicyKind::Off;
+  }
+  [[nodiscard]] const TrunkPolicyConfig& config() const { return cfg_; }
+
+  /// Start trunk `index`'s idle timer on `link` (Fabric calls this for
+  /// every trunk at construction/reset, so never-used trunks sleep too).
+  void arm(IbLink& link, std::size_t index);
+
+  /// Post-reservation hook from Fabric::unicast: adapt the trunk's timer
+  /// (MultiTimeout) and restart it behind the transmission.
+  void on_reserved(IbLink& link, std::size_t index,
+                   const IbLink::TxReservation& res);
+
+  /// Trunk `index`'s current timer value (test/telemetry hook).
+  [[nodiscard]] TimeNs timeout_of(std::size_t index) const {
+    return timeout_[index];
+  }
+
+ private:
+  TrunkPolicyConfig cfg_{};
+  std::vector<TimeNs> timeout_;   // per-trunk timer (adapted by MultiTimeout)
+  std::vector<TimeNs> last_end_;  // per-trunk last reservation end
+};
+
+}  // namespace ibpower

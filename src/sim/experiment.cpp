@@ -88,9 +88,12 @@ BaselineLegResult run_baseline_leg(const ExperimentConfig& cfg,
                                    const Trace& trace,
                                    const ReplayProbe& probe,
                                    ReplayMemory* memory) {
-  // Baseline: power-unaware, always-on links.
+  // Baseline: power-unaware, always-on links — including the trunks, so
+  // the managed-vs-baseline comparison sees the full always-on fabric no
+  // matter what trunk policy the managed leg runs.
   ReplayOptions opt;
   opt.fabric = cfg.fabric;
+  opt.fabric.trunk.kind = TrunkPolicyKind::Off;
   opt.enable_power_management = false;
   opt.eager_threshold = cfg.eager_threshold;
   ReplayEngine engine(&trace, opt, memory);
@@ -133,6 +136,16 @@ ManagedLegResult run_managed_leg(const ExperimentConfig& cfg,
     leg.wake_penalty_total += link.wake_penalty_total();
   }
   leg.power = aggregate_power(ports, cfg.power);
+
+  // Whole-fabric view over all links: uplinks + trunks (the paper's
+  // whole-switch accounting once a trunk policy is active).
+  const Fabric& fabric = engine.fabric();
+  const int nlinks = fabric.topology().num_links();
+  std::vector<const IbLink*> all_ports;
+  all_ports.reserve(static_cast<std::size_t>(nlinks));
+  for (LinkId l = 0; l < nlinks; ++l) all_ports.push_back(&fabric.link(l));
+  leg.fabric_power = aggregate_power(all_ports, cfg.power);
+
   if (probe) probe(engine, rr);
   return leg;
 }
@@ -151,6 +164,7 @@ ExperimentResult combine_legs(const Trace& trace,
   result.on_demand_wakes = managed.on_demand_wakes;
   result.wake_penalty_total = managed.wake_penalty_total;
   result.power = managed.power;
+  result.fabric_power = managed.fabric_power;
   result.sim_events = baseline.events + managed.events;
   if (result.baseline_time > TimeNs::zero()) {
     result.time_increase_pct =
@@ -186,7 +200,9 @@ bool bit_identical(const ExperimentResult& a, const ExperimentResult& b) {
   return bits_equal(a.baseline_time, b.baseline_time) &&
          bits_equal(a.managed_time, b.managed_time) &&
          bits_equal(a.time_increase_pct, b.time_increase_pct) &&
-         bits_equal(a.power, b.power) && bits_equal(a.agents, b.agents) &&
+         bits_equal(a.power, b.power) &&
+         bits_equal(a.fabric_power, b.fabric_power) &&
+         bits_equal(a.agents, b.agents) &&
          bits_equal(a.hit_rate_pct, b.hit_rate_pct) &&
          bits_equal(a.baseline_idle.buckets, b.baseline_idle.buckets) &&
          bits_equal(a.baseline_idle.total_intervals,
@@ -219,6 +235,7 @@ std::vector<std::vector<MpiCallEvent>> baseline_call_timelines(
     const ExperimentConfig& cfg, const Trace& trace, ReplayMemory* memory) {
   ReplayOptions opt;
   opt.fabric = cfg.fabric;
+  opt.fabric.trunk.kind = TrunkPolicyKind::Off;  // baseline run
   opt.enable_power_management = false;
   opt.eager_threshold = cfg.eager_threshold;
   opt.record_call_timeline = true;

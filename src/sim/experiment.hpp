@@ -30,6 +30,11 @@ struct ExperimentResult {
   TimeNs managed_time{};
   double time_increase_pct{0.0};
   FleetPowerSummary power{};       // over the managed run's node uplinks
+  /// Whole-fabric view: all links (node uplinks + trunks) of the managed
+  /// run. With the trunk policy off the trunks are always-on, so this is
+  /// the uplink-only savings diluted over 504 ports; with a trunk policy
+  /// active it is the paper's whole-switch number.
+  FleetPowerSummary fabric_power{};
   AgentStats agents{};             // summed over ranks
   double hit_rate_pct{0.0};
   IdleDistribution baseline_idle{};  // Table I input, baseline run
@@ -91,6 +96,7 @@ struct ManagedLegResult {
   AgentStats agents{};
   double hit_rate_pct{0.0};
   FleetPowerSummary power{};
+  FleetPowerSummary fabric_power{};  // all links, uplinks + trunks
   std::uint64_t on_demand_wakes{0};
   TimeNs wake_penalty_total{};
   std::uint64_t messages{0};

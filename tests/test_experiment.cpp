@@ -14,7 +14,7 @@ ExperimentConfig small_config(const std::string& app, int nranks) {
   cfg.workload.iterations = 25;
   cfg.ppa.grouping_threshold = default_gt(app, nranks);
   cfg.ppa.displacement_factor = 0.10;
-  cfg.fabric.random_routing = false;
+  cfg.fabric.routing.strategy = RoutingStrategy::Dmodk;
   return cfg;
 }
 

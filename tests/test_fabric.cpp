@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include "sim/experiment.hpp"
+
 namespace ibpower {
 namespace {
 
@@ -9,7 +11,7 @@ using namespace ibpower::literals;
 
 FabricConfig test_config() {
   FabricConfig cfg;
-  cfg.random_routing = false;  // deterministic for tests
+  cfg.routing.strategy = RoutingStrategy::Dmodk;  // deterministic for tests
   return cfg;
 }
 
@@ -71,7 +73,7 @@ TEST(Fabric, OccupyNodeLinkBothDirections) {
 
 TEST(Fabric, RandomRoutingSpreadsTrunks) {
   FabricConfig cfg;
-  cfg.random_routing = true;
+  cfg.routing.strategy = RoutingStrategy::Random;
   Fabric fabric(cfg, 252);
   for (int i = 0; i < 200; ++i) {
     fabric.unicast(0, 200, 2048, TimeNs::from_us(std::int64_t{i * 10}));
@@ -111,6 +113,68 @@ TEST(Fabric, SegmentPipeliningBeatsStoreAndForward) {
   const TimeNs one_ser = fabric.node_link(0).serialization_time(big);
   EXPECT_LT(tx.delivery, one_ser + one_ser);  // far less than 2 sers
   EXPECT_GT(tx.delivery, one_ser);
+}
+
+TEST(Fabric, ZeroByteUnicastLeavesLinksIdle) {
+  // Metadata-only sends traverse the path but serialize nothing: the
+  // delivery still pays hop latency, yet idle-gap extraction must see the
+  // uplink as one uninterrupted gap — no phantom busy segments.
+  Fabric fabric(test_config(), 252);
+  const auto tx = fabric.unicast(0, 200, 0, 100_us);
+  EXPECT_GT(tx.delivery, 100_us);  // latency still applies
+  EXPECT_TRUE(fabric.node_link(0).busy(Direction::Up).empty());
+
+  fabric.finish(1_ms);
+  const auto gaps = node_link_idle_gaps(fabric, 0, 1_ms);
+  ASSERT_EQ(gaps.size(), 1u);
+  EXPECT_EQ(gaps[0].begin, TimeNs::zero());
+  EXPECT_EQ(gaps[0].end, 1_ms);
+}
+
+TEST(Fabric, ResetAcrossTopologyShapeChange) {
+  // reset() may change the XGFT shape entirely; the reused fabric must be
+  // indistinguishable from a freshly constructed one.
+  FabricConfig small = test_config();
+  small.xgft = XgftParams{8, 4, 1, 6};  // 32 nodes, 24 trunks
+  Fabric reused(test_config(), 252);
+  reused.unicast(0, 200, 2048, 0_us);
+  reused.reset(small, 32);
+
+  Fabric fresh(small, 32);
+  EXPECT_EQ(reused.topology().num_nodes(), 32);
+  EXPECT_EQ(reused.topology().num_links(), fresh.topology().num_links());
+  for (int i = 0; i < 8; ++i) {
+    const TimeNs ready = TimeNs::from_us(std::int64_t{i} * 40);
+    const auto a = reused.unicast(i, 31 - i, 2048, ready);
+    const auto b = fresh.unicast(i, 31 - i, 2048, ready);
+    EXPECT_EQ(a.delivery, b.delivery) << "message " << i;
+    EXPECT_EQ(a.sender_free, b.sender_free) << "message " << i;
+  }
+  // And back up to the paper topology: state from the small shape is gone.
+  reused.reset(test_config(), 252);
+  Fabric fresh_big(test_config(), 252);
+  EXPECT_EQ(reused.unicast(0, 200, 2048, 0_us).delivery,
+            fresh_big.unicast(0, 200, 2048, 0_us).delivery);
+}
+
+TEST(Fabric, ResetShapeChangeWithTrunkPolicy) {
+  // Shape changes must also re-arm the trunk sleep controller for the new
+  // trunk count.
+  FabricConfig cfg = test_config();
+  cfg.trunk.kind = TrunkPolicyKind::Timeout;
+  FabricConfig small = cfg;
+  small.xgft = XgftParams{8, 4, 1, 6};
+  Fabric fabric(cfg, 252);
+  fabric.reset(small, 32);
+  const auto& topo = fabric.topology();
+  // All 24 trunks of the small shape sleep when idle...
+  EXPECT_EQ(fabric.link(topo.num_nodes()).mode_at(500_us),
+            LinkPowerMode::LowPower);
+  EXPECT_EQ(fabric.link(topo.num_links() - 1).mode_at(500_us),
+            LinkPowerMode::LowPower);
+  // ...and a message still pays the on-demand wake.
+  const auto tx = fabric.unicast(0, 31, 2048, 500_us);
+  EXPECT_GT(tx.power_penalty, TimeNs::zero());
 }
 
 }  // namespace

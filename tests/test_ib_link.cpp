@@ -214,6 +214,29 @@ TEST(IbLink, ReserveCancelsShutdownWhenWindowTooSmall) {
   }
 }
 
+TEST(IbLink, ZeroByteReservationLeavesNoTrace) {
+  // MPI metadata-only calls reserve zero bytes: the reservation resolves to
+  // an empty instant (start == end) and must not leave a busy segment
+  // behind — otherwise idle-gap extraction would see phantom traffic.
+  IbLink link(test_config());
+  const auto res = link.reserve(Direction::Up, 100_us, 0);
+  EXPECT_EQ(res.start, res.end);
+  EXPECT_EQ(res.power_delay, TimeNs::zero());
+  EXPECT_TRUE(link.busy(Direction::Up).empty());
+  EXPECT_EQ(link.serialization_time(0), TimeNs::zero());
+}
+
+TEST(IbLink, ZeroByteReservationStillPaysWakePenalty) {
+  // Even an empty message cannot complete until lanes are up: the sender
+  // observes the wake latency, but the wire itself stays untouched.
+  IbLink link(test_config());
+  link.request_low_power(100_us, 10_ms);  // low from 110us on
+  const auto res = link.reserve(Direction::Up, 500_us, 0);
+  EXPECT_EQ(res.power_delay, 10_us);  // t_react
+  EXPECT_EQ(res.start, res.end);
+  EXPECT_TRUE(link.busy(Direction::Up).empty());
+}
+
 TEST(IbLink, OccupyBlocksLaterRequests) {
   IbLink link(test_config());
   link.occupy(Direction::Down, 0_us, 500_us);  // collective phase

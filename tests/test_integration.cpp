@@ -19,7 +19,7 @@ ExperimentConfig config(const std::string& app, int nranks,
   cfg.workload.iterations = 30;
   cfg.ppa.grouping_threshold = default_gt(app, nranks);
   cfg.ppa.displacement_factor = displacement;
-  cfg.fabric.random_routing = false;
+  cfg.fabric.routing.strategy = RoutingStrategy::Dmodk;
   return cfg;
 }
 

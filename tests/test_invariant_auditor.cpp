@@ -88,7 +88,7 @@ TEST(InvariantAuditor, BaselineAndManagedReplaysAuditClean) {
   ASSERT_EQ(trace.validate(), "");
 
   ReplayOptions base;
-  base.fabric.random_routing = false;
+  base.fabric.routing.strategy = RoutingStrategy::Dmodk;
   base.enable_power_management = false;
   base.record_call_timeline = true;
   ReplayOptions managed = base;

@@ -14,7 +14,7 @@ using namespace ibpower::literals;
 
 ReplayOptions opts() {
   ReplayOptions o;
-  o.fabric.random_routing = false;
+  o.fabric.routing.strategy = RoutingStrategy::Dmodk;
   return o;
 }
 

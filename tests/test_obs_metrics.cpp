@@ -88,7 +88,7 @@ TEST(PredictionTelemetry, SampleConservation) {
 obs::ReplayMetrics replay_and_collect(const Trace& trace, bool managed,
                                       const PowerModelConfig& power) {
   ReplayOptions opt;
-  opt.fabric.random_routing = false;
+  opt.fabric.routing.strategy = RoutingStrategy::Dmodk;
   opt.enable_power_management = managed;
   if (managed) {
     opt.ppa.displacement_factor = 0.01;
@@ -111,7 +111,7 @@ TEST(ObsMetrics, ResidencyAndEnergyBitEqualToAuditor) {
     const Trace trace = generate_trace(tcfg);
 
     ReplayOptions opt;
-    opt.fabric.random_routing = false;
+    opt.fabric.routing.strategy = RoutingStrategy::Dmodk;
     opt.enable_power_management = true;
     opt.ppa.displacement_factor = 0.01;
     opt.fabric.link.t_react = opt.ppa.t_react;

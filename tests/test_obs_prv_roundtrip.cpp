@@ -36,7 +36,7 @@ Snapshot managed_snapshot(std::uint64_t seed, Rank nranks) {
   const Trace trace = generate_trace(tcfg);
 
   ReplayOptions opt;
-  opt.fabric.random_routing = false;
+  opt.fabric.routing.strategy = RoutingStrategy::Dmodk;
   opt.enable_power_management = true;
   opt.ppa.displacement_factor = 0.01;
   opt.fabric.link.t_react = opt.ppa.t_react;

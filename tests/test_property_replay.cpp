@@ -82,7 +82,7 @@ TEST_P(ReplayProperty, RandomTraceInvariants) {
   //    odd ranks send first, and sends up to the eager threshold complete
   //    immediately, so the trace must replay without deadlock.
   ReplayOptions opt;
-  opt.fabric.random_routing = false;
+  opt.fabric.routing.strategy = RoutingStrategy::Dmodk;
   ReplayEngine baseline(&trace, opt);
   const ReplayResult base = baseline.run();
   EXPECT_GT(base.exec_time, TimeNs::zero());

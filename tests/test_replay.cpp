@@ -9,7 +9,7 @@ using namespace ibpower::literals;
 
 ReplayOptions base_options() {
   ReplayOptions opt;
-  opt.fabric.random_routing = false;
+  opt.fabric.routing.strategy = RoutingStrategy::Dmodk;
   return opt;
 }
 

@@ -24,7 +24,7 @@ ReplayResult run_seeded(std::uint64_t seed, bool managed, bool rendezvous,
 
   const Trace trace = generate_trace(tcfg);
   ReplayOptions opt;
-  opt.fabric.random_routing = false;
+  opt.fabric.routing.strategy = RoutingStrategy::Dmodk;
   opt.enable_power_management = managed;
   ReplayEngine engine(&trace, opt);
   const ReplayResult rr = engine.run();

@@ -1,0 +1,208 @@
+// RoutingEngine contract tests: the random engine's byte-identity with the
+// historical hard-coded draw, true D-mod-k vs the legacy hash variant, the
+// consolidating router's minimal-prefix packing, and reset semantics.
+#include "network/routing.hpp"
+
+#include <gtest/gtest.h>
+
+#include "network/fabric.hpp"
+#include "util/rng.hpp"
+
+namespace ibpower {
+namespace {
+
+using namespace ibpower::literals;
+
+/// Distinct up-trunks of `leaf` that carried any traffic.
+int used_up_trunks(const Fabric& fabric, SwitchId leaf) {
+  const auto& topo = fabric.topology();
+  int used = 0;
+  for (int t = 0; t < topo.num_top_switches(); ++t) {
+    if (!fabric.link(topo.trunk_link(leaf, t)).busy(Direction::Up).empty()) {
+      ++used;
+    }
+  }
+  return used;
+}
+
+TEST(Routing, ParseAndNameRoundTrip) {
+  for (const RoutingStrategy s : {RoutingStrategy::Random,
+                                  RoutingStrategy::Dmodk,
+                                  RoutingStrategy::Consolidate}) {
+    RoutingStrategy parsed{};
+    ASSERT_TRUE(parse_routing_strategy(routing_strategy_name(s), parsed));
+    EXPECT_EQ(parsed, s);
+  }
+  RoutingStrategy out = RoutingStrategy::Dmodk;
+  EXPECT_FALSE(parse_routing_strategy("adaptive", out));
+  EXPECT_EQ(out, RoutingStrategy::Dmodk);  // untouched on failure
+}
+
+TEST(Routing, RandomMatchesRawRngDrawsIncludingSameLeafPairs) {
+  // The byte-identity contract: RandomRouting consumes exactly one
+  // uniform_below(ntop) draw per unicast — same-leaf pairs included, whose
+  // pick route() discards — so a mirror Rng with the same seed predicts
+  // every cross-leaf trunk choice.
+  FabricConfig cfg;
+  cfg.routing.strategy = RoutingStrategy::Random;
+  Fabric fabric(cfg, 252);
+  const auto& topo = fabric.topology();
+  const auto ntop = static_cast<std::uint64_t>(topo.num_top_switches());
+
+  Rng mirror(cfg.routing.seed);
+  for (int i = 0; i < 60; ++i) {
+    const bool same_leaf = i % 3 == 0;  // draws must be consumed here too
+    const NodeId dst = same_leaf ? 1 : 200;
+    const auto expect = static_cast<SwitchId>(mirror.uniform_below(ntop));
+    const IbLink& trunk = fabric.link(topo.trunk_link(0, expect));
+    const TimeNs before = trunk.busy(Direction::Up).total();
+    fabric.unicast(0, dst, 2048, TimeNs::from_us(std::int64_t{i} * 50));
+    if (!same_leaf) {
+      EXPECT_GT(trunk.busy(Direction::Up).total(), before)
+          << "unicast " << i << " did not use predicted trunk " << expect;
+    }
+  }
+}
+
+TEST(Routing, DmodkSharesDestinationTrunk) {
+  FabricConfig cfg;
+  cfg.routing.strategy = RoutingStrategy::Dmodk;
+  Fabric fabric(cfg, 252);
+  const auto& topo = fabric.topology();
+  const NodeId dst = 200;  // leaf 11
+  const SwitchId expect = dst % topo.num_top_switches();
+  // Senders on three different leaves, all to the same destination.
+  fabric.unicast(0, dst, 2048, 0_us);
+  fabric.unicast(20, dst, 2048, 0_us);
+  fabric.unicast(40, dst, 2048, 0_us);
+  // All flows converge on the destination's D-mod-k down-trunk: three
+  // serializations, FIFO back-to-back (abutting intervals coalesce).
+  const IbLink& down = fabric.link(topo.trunk_link(topo.leaf_of(dst), expect));
+  EXPECT_EQ(down.busy(Direction::Down).total(),
+            3 * down.serialization_time(2048));
+  // ...and no other down-trunk of that leaf saw traffic.
+  for (int t = 0; t < topo.num_top_switches(); ++t) {
+    if (t == expect) continue;
+    EXPECT_TRUE(fabric.link(topo.trunk_link(topo.leaf_of(dst), t))
+                    .busy(Direction::Down)
+                    .empty());
+  }
+}
+
+TEST(Routing, DmodkHashVariantSpreadsSameDestinationFlows) {
+  // The legacy (src*31 + dst) % ntop hash survives as a documented ablation:
+  // unlike true D-mod-k it scatters same-destination flows across trunks.
+  FabricConfig cfg;
+  cfg.routing.strategy = RoutingStrategy::Dmodk;
+  cfg.routing.dmodk_hash = true;
+  Fabric fabric(cfg, 252);
+  const auto& topo = fabric.topology();
+  const NodeId dst = 200;
+  const int ntop = topo.num_top_switches();
+  for (const NodeId src : {0, 1, 2}) {
+    const auto expect = static_cast<SwitchId>((src * 31 + dst) % ntop);
+    const IbLink& up = fabric.link(topo.trunk_link(topo.leaf_of(src), expect));
+    const TimeNs before = up.busy(Direction::Up).total();
+    fabric.unicast(src, dst, 2048, 0_us);
+    EXPECT_GT(up.busy(Direction::Up).total(), before) << "src " << src;
+  }
+}
+
+TEST(Routing, ConsolidatePacksOntoFirstTopSwitch) {
+  // Light traffic, spaced out: every message's backlog stays within the
+  // spill threshold, so the whole exchange packs onto top switch 0 and the
+  // other 17 trunk pairs never light up.
+  FabricConfig cfg;
+  cfg.routing.strategy = RoutingStrategy::Consolidate;
+  Fabric fabric(cfg, 252);
+  for (int i = 0; i < 40; ++i) {
+    fabric.unicast(i % 10, 200 + (i % 10), 2048,
+                   TimeNs::from_us(std::int64_t{i} * 20));
+  }
+  EXPECT_EQ(used_up_trunks(fabric, 0), 1);
+  EXPECT_TRUE(
+      fabric.link(fabric.topology().trunk_link(0, 0)).busy(Direction::Up)
+          .empty() == false);
+}
+
+TEST(Routing, ConsolidateSpillsUnderBacklog) {
+  // A burst of large simultaneous messages between the same leaf pair: the
+  // first top switch saturates past the spill threshold, so later messages
+  // spill to the next switches in the prefix — but only as far as needed.
+  FabricConfig cfg;
+  cfg.routing.strategy = RoutingStrategy::Consolidate;
+  cfg.routing.spill_threshold = 10_us;
+  Fabric fabric(cfg, 252);
+  const Bytes big = 1 << 20;  // ~210 us serialization each
+  for (int i = 0; i < 6; ++i) {
+    fabric.unicast(i, 200 + i, big, 0_us);
+  }
+  const int used = used_up_trunks(fabric, 0);
+  EXPECT_GT(used, 1);   // backlog forced a spill
+  EXPECT_LT(used, 18);  // but the prefix stayed minimal
+  // The used trunks are exactly the prefix [0, used).
+  const auto& topo = fabric.topology();
+  for (int t = 0; t < used; ++t) {
+    EXPECT_FALSE(
+        fabric.link(topo.trunk_link(0, t)).busy(Direction::Up).empty());
+  }
+}
+
+TEST(Routing, ResetReproducesRandomDrawStream) {
+  FabricConfig cfg;
+  cfg.routing.strategy = RoutingStrategy::Random;
+  Fabric fabric(cfg, 252);
+  std::vector<TimeNs> first;
+  for (int i = 0; i < 20; ++i) {
+    first.push_back(
+        fabric.unicast(0, 200, 2048, TimeNs::from_us(std::int64_t{i} * 100))
+            .delivery);
+  }
+  fabric.reset(cfg, 252);  // must reseed the engine's draw stream
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_EQ(
+        fabric.unicast(0, 200, 2048, TimeNs::from_us(std::int64_t{i} * 100))
+            .delivery,
+        first[static_cast<std::size_t>(i)])
+        << "replay diverged at message " << i;
+  }
+}
+
+TEST(Routing, ResetAcrossStrategyChange) {
+  // A fabric reset may swap the routing strategy; the swapped-in engine
+  // must behave exactly like a fresh fabric built with that strategy.
+  FabricConfig random_cfg;
+  random_cfg.routing.strategy = RoutingStrategy::Random;
+  FabricConfig consolidate_cfg;
+  consolidate_cfg.routing.strategy = RoutingStrategy::Consolidate;
+
+  Fabric reused(random_cfg, 252);
+  reused.unicast(0, 200, 2048, 0_us);
+  reused.reset(consolidate_cfg, 252);
+
+  Fabric fresh(consolidate_cfg, 252);
+  for (int i = 0; i < 10; ++i) {
+    const TimeNs ready = TimeNs::from_us(std::int64_t{i} * 30);
+    EXPECT_EQ(reused.unicast(0, 200 + i, 2048, ready).delivery,
+              fresh.unicast(0, 200 + i, 2048, ready).delivery)
+        << "message " << i;
+  }
+  EXPECT_EQ(used_up_trunks(reused, 0), used_up_trunks(fresh, 0));
+}
+
+TEST(Routing, ConsolidateResetClearsLoadCounters) {
+  FabricConfig cfg;
+  cfg.routing.strategy = RoutingStrategy::Consolidate;
+  cfg.routing.spill_threshold = 10_us;
+  Fabric fabric(cfg, 252);
+  const Bytes big = 1 << 20;
+  for (int i = 0; i < 6; ++i) fabric.unicast(i, 200 + i, big, 0_us);
+  ASSERT_GT(used_up_trunks(fabric, 0), 1);  // counters forced spilling
+  fabric.reset(cfg, 252);
+  // With counters cleared a single light message goes back to switch 0.
+  fabric.unicast(0, 200, 2048, 0_us);
+  EXPECT_EQ(used_up_trunks(fabric, 0), 1);
+}
+
+}  // namespace
+}  // namespace ibpower

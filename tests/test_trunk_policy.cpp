@@ -1,0 +1,227 @@
+// Trunk sleep policy tests: autonomous idle-timeout sleeping on trunk
+// links, on-demand wake penalties on the message path, the opportunistic
+// multi-timeout adaptation, baseline-leg isolation, and the whole-fabric
+// energy acceptance criterion (consolidate + timeout beats the uplink-only
+// managed configuration on the 128-rank cells).
+#include "power/trunk_policy.hpp"
+
+#include <gtest/gtest.h>
+
+#include "check/invariant_auditor.hpp"
+#include "network/fabric.hpp"
+#include "obs/collect.hpp"
+#include "sim/experiment.hpp"
+
+namespace ibpower {
+namespace {
+
+using namespace ibpower::literals;
+
+FabricConfig trunk_config(TrunkPolicyKind kind) {
+  FabricConfig cfg;
+  cfg.routing.strategy = RoutingStrategy::Dmodk;  // deterministic trunks
+  cfg.trunk.kind = kind;
+  return cfg;
+}
+
+TEST(TrunkPolicy, ParseAndNameRoundTrip) {
+  for (const TrunkPolicyKind k : {TrunkPolicyKind::Off,
+                                  TrunkPolicyKind::Timeout,
+                                  TrunkPolicyKind::MultiTimeout}) {
+    TrunkPolicyKind parsed{};
+    ASSERT_TRUE(parse_trunk_policy(trunk_policy_name(k), parsed));
+    EXPECT_EQ(parsed, k);
+  }
+  TrunkPolicyKind out = TrunkPolicyKind::Timeout;
+  EXPECT_FALSE(parse_trunk_policy("sometimes", out));
+  EXPECT_EQ(out, TrunkPolicyKind::Timeout);
+}
+
+TEST(TrunkPolicy, IdleTrunksSleepAfterTimeout) {
+  // No traffic at all: every trunk was armed at construction, so its lanes
+  // drop idle_timeout + t_deact in; node uplinks have no policy and stay
+  // at full power.
+  Fabric fabric(trunk_config(TrunkPolicyKind::Timeout), 252);
+  const LinkId trunk0 = fabric.topology().num_nodes();
+  EXPECT_EQ(fabric.link(trunk0).mode_at(30_us), LinkPowerMode::FullPower);
+  EXPECT_EQ(fabric.link(trunk0).mode_at(500_us), LinkPowerMode::LowPower);
+  EXPECT_EQ(fabric.node_link(0).mode_at(500_us), LinkPowerMode::FullPower);
+
+  fabric.finish(1_ms);
+  // Timer fires at 50 us, lanes down at 60 us, asleep for the rest.
+  EXPECT_EQ(fabric.link(trunk0).residency(LinkPowerMode::LowPower),
+            1_ms - 60_us);
+  EXPECT_EQ(fabric.node_link(0).residency(LinkPowerMode::LowPower),
+            TimeNs::zero());
+}
+
+TEST(TrunkPolicy, OffLeavesTrunksAlwaysOn) {
+  Fabric fabric(trunk_config(TrunkPolicyKind::Off), 252);
+  fabric.finish(1_ms);
+  const LinkId trunk0 = fabric.topology().num_nodes();
+  EXPECT_EQ(fabric.link(trunk0).residency(LinkPowerMode::FullPower), 1_ms);
+  EXPECT_FALSE(fabric.trunk_controller().enabled());
+}
+
+TEST(TrunkPolicy, MessageWakesSleepingTrunksOnDemand) {
+  Fabric fabric(trunk_config(TrunkPolicyKind::Timeout), 252);
+  // By 500 us both trunks of the 0 -> 250 route are asleep; the message
+  // pays one t_react on the up-trunk and one on the down-trunk.
+  const auto tx = fabric.unicast(0, 250, 2048, 500_us);
+  EXPECT_EQ(tx.power_penalty, 20_us);
+
+  // The wake restarted the idle timers: after the transmission clears, the
+  // trunks go back to sleep on their own.
+  const SwitchId top = 250 % fabric.topology().num_top_switches();
+  const IbLink& up = fabric.link(fabric.topology().trunk_link(0, top));
+  EXPECT_EQ(up.mode_at(520_us), LinkPowerMode::FullPower);
+  EXPECT_EQ(up.mode_at(700_us), LinkPowerMode::LowPower);
+}
+
+TEST(TrunkPolicy, AwakeTrunkCarriesTrafficPenaltyFree) {
+  Fabric fabric(trunk_config(TrunkPolicyKind::Timeout), 252);
+  // Before the 50 us timer fires nothing has dropped yet.
+  const auto tx = fabric.unicast(0, 250, 2048, 10_us);
+  EXPECT_EQ(tx.power_penalty, TimeNs::zero());
+}
+
+TEST(TrunkPolicy, MultiTimeoutAdaptsPerTrunk) {
+  FabricConfig cfg = trunk_config(TrunkPolicyKind::MultiTimeout);
+  Fabric fabric(cfg, 252);
+  const SwitchId top = 250 % fabric.topology().num_top_switches();
+  const auto up_index = static_cast<std::size_t>(
+      fabric.topology().trunk_link(0, top) - fabric.topology().num_nodes());
+  const TrunkSleepController& ctl = fabric.trunk_controller();
+  ASSERT_EQ(ctl.timeout_of(up_index), 50_us);
+
+  // Message while the trunk is still awake: no penalty, no adaptation.
+  fabric.unicast(0, 250, 2048, 0_us);
+  EXPECT_EQ(ctl.timeout_of(up_index), 50_us);
+
+  // Wake after a short idle gap (~150 us < 4x50 us): premature sleep, the
+  // timer doubles.
+  fabric.unicast(0, 250, 2048, 150_us);
+  EXPECT_EQ(ctl.timeout_of(up_index), 100_us);
+
+  // Wake after a long idle gap (~500 us >= 4x100 us): the sleep amortized
+  // its penalty, the timer halves back.
+  fabric.unicast(0, 250, 2048, 650_us);
+  EXPECT_EQ(ctl.timeout_of(up_index), 50_us);
+
+  // A trunk that saw no traffic keeps the configured timer.
+  EXPECT_EQ(ctl.timeout_of(up_index + 1), 50_us);
+}
+
+TEST(TrunkPolicy, MultiTimeoutRespectsBounds) {
+  FabricConfig cfg = trunk_config(TrunkPolicyKind::MultiTimeout);
+  cfg.trunk.idle_timeout = 50_us;
+  cfg.trunk.min_timeout = 40_us;
+  cfg.trunk.max_timeout = 80_us;
+  Fabric fabric(cfg, 252);
+  const SwitchId top = 250 % fabric.topology().num_top_switches();
+  const auto up_index = static_cast<std::size_t>(
+      fabric.topology().trunk_link(0, top) - fabric.topology().num_nodes());
+  const TrunkSleepController& ctl = fabric.trunk_controller();
+
+  // Repeated premature wakes saturate at max_timeout.
+  TimeNs ready = 150_us;
+  for (int i = 0; i < 4; ++i) {
+    fabric.unicast(0, 250, 2048, ready);
+    ready += 150_us;
+  }
+  EXPECT_EQ(ctl.timeout_of(up_index), 80_us);
+  // A long-gap wake halves, clamped to min_timeout.
+  fabric.unicast(0, 250, 2048, ready + 2_ms);
+  EXPECT_EQ(ctl.timeout_of(up_index), 40_us);
+}
+
+TEST(TrunkPolicy, BaselineLegForcesTrunkPolicyOff) {
+  ExperimentConfig cfg;
+  cfg.app = "alya";
+  cfg.workload.nranks = 8;
+  cfg.workload.iterations = 4;
+  cfg.fabric.trunk.kind = TrunkPolicyKind::Timeout;
+  const ExperimentConfig norm = normalize_config(cfg);
+  const Trace trace = generate_experiment_trace(norm);
+
+  TrunkPolicyKind seen = TrunkPolicyKind::Timeout;
+  const auto probe = [&seen](const ReplayEngine& engine, const ReplayResult&) {
+    seen = engine.fabric().config().trunk.kind;
+  };
+  (void)run_baseline_leg(norm, trace, probe);
+  EXPECT_EQ(seen, TrunkPolicyKind::Off)
+      << "the always-on baseline must not run a trunk sleep policy";
+}
+
+TEST(TrunkPolicy, AuditAndTelemetryHoldAcrossPolicyMatrix) {
+  // Every routing x policy combination must keep all 504 link schedules
+  // valid, the energy closure tight, and the telemetry snapshot (now
+  // including trunk rows) self-consistent.
+  for (const RoutingStrategy routing : {RoutingStrategy::Dmodk,
+                                        RoutingStrategy::Consolidate}) {
+    for (const TrunkPolicyKind kind : {TrunkPolicyKind::Timeout,
+                                       TrunkPolicyKind::MultiTimeout}) {
+      ExperimentConfig cfg;
+      cfg.app = "alya";
+      cfg.workload.nranks = 8;
+      cfg.workload.iterations = 6;
+      cfg.fabric.routing.strategy = routing;
+      cfg.fabric.trunk.kind = kind;
+      const ExperimentConfig norm = normalize_config(cfg);
+      const Trace trace = generate_experiment_trace(norm);
+
+      std::string audit_err;
+      obs::ReplayMetrics metrics;
+      const auto probe = [&](const ReplayEngine& engine,
+                             const ReplayResult& rr) {
+        audit_err = audit_replay(engine, norm.power);
+        metrics = obs::collect_replay_metrics(engine, rr, norm.power);
+      };
+      const ManagedLegResult leg = run_managed_leg(norm, trace, probe);
+      SCOPED_TRACE(std::string(routing_strategy_name(routing)) + " + " +
+                   trunk_policy_name(kind));
+      EXPECT_TRUE(audit_err.empty()) << audit_err;
+      EXPECT_EQ(metrics.trunks.size(), 252u);
+      const std::string metrics_err = obs::validate_metrics(metrics);
+      EXPECT_TRUE(metrics_err.empty()) << metrics_err;
+      // Trunk sleeping only saves energy: whole-fabric managed energy stays
+      // below the all-ports always-on bound.
+      EXPECT_LT(leg.fabric_power.total_energy_joules,
+                leg.fabric_power.baseline_energy_joules);
+    }
+  }
+}
+
+TEST(TrunkPolicy, WholeFabricEnergyBeatsUplinkOnlyManaged) {
+  // Acceptance criterion: on the gromacs-128 and alya-128 cells,
+  // consolidate + timeout must bring whole-fabric managed energy strictly
+  // below the uplink-only managed configuration (random routing, trunks
+  // always on) while staying within the paper's 1% overhead bound.
+  for (const char* app : {"gromacs", "alya"}) {
+    ExperimentConfig uplink_only;
+    uplink_only.app = app;
+    uplink_only.workload.nranks = 128;
+    uplink_only.workload.iterations = 30;
+    uplink_only.ppa.grouping_threshold = default_gt(app, 128);
+
+    ExperimentConfig whole_fabric = uplink_only;
+    whole_fabric.fabric.routing.strategy = RoutingStrategy::Consolidate;
+    whole_fabric.fabric.trunk.kind = TrunkPolicyKind::Timeout;
+
+    const ExperimentResult a = run_experiment(uplink_only);
+    const ExperimentResult b = run_experiment(whole_fabric);
+    SCOPED_TRACE(app);
+    EXPECT_LT(b.fabric_power.total_energy_joules,
+              a.fabric_power.total_energy_joules);
+    EXPECT_LE(static_cast<double>(b.managed_time.ns),
+              1.01 * static_cast<double>(a.managed_time.ns))
+        << "trunk management exceeded the 1% slowdown bound";
+    // The baseline leg forces trunks off but keeps the configured routing,
+    // so each leg is self-consistent: both stay close.
+    EXPECT_LE(static_cast<double>(b.baseline_time.ns),
+              1.01 * static_cast<double>(a.baseline_time.ns));
+  }
+}
+
+}  // namespace
+}  // namespace ibpower

@@ -36,6 +36,14 @@ def main():
             print(f"  {key[0]}/{key[1]} jobs={key[2]}")
         return 1
 
+    # Cells present in the current run but not in the baseline are fine —
+    # a PR that adds a cell gates it only once its baseline row is
+    # committed. Report them so the addition is visible in the CI log.
+    for key in sorted(set(current) - set(baseline)):
+        eps = current[key]["events_per_sec"]
+        print(f"{key[0]:>10}/{key[1]:<4} jobs={key[2]}: "
+              f"{eps/1e6:7.2f}M events/s  NEW (no baseline)")
+
     failures = []
     for key in sorted(baseline):
         base_eps = baseline[key]["events_per_sec"]

@@ -1,6 +1,6 @@
 // fuzz_replay — randomized differential + metamorphic test driver (check/).
 //
-// Per seed, two independent phases:
+// Per seed, three independent phases:
 //
 //  Phase A (PPA differential oracle): generate a synthetic closed-gram
 //  stream (GramStreamGenerator) and feed the identical stream to both PPA
@@ -18,7 +18,7 @@
 //      (audit_replay: drain conservation, link schedules, energy closure)
 //    * per-switch savings lie in [0, 100]%
 //    * managed execution time >= baseline (deterministic routing — see
-//      DESIGN.md §8 for why this requires random_routing = false)
+//      DESIGN.md §8 for why this requires the dmodk strategy)
 //    * telemetry tier (obs/): the collected ReplayMetrics snapshot passes
 //      validate_metrics (ordered event logs, residency partition, counter
 //      conservation), its residencies match IbLink::residency() exactly and
@@ -26,6 +26,14 @@
 //    * re-running both legs concurrently on a ThreadPool reproduces the
 //      serial results — and the serial telemetry snapshots — bit-for-bit
 //      (the DESIGN.md §7 determinism contract)
+//
+//  Phase C (trunk power tier): replay a random trace under every routing
+//  strategy x trunk sleep policy combination (DESIGN.md §10) and assert the
+//  whole-fabric contracts: all 504 link schedules audit clean, trunk
+//  telemetry rows match the live links bit-for-bit, sleeping trunks only
+//  save energy (managed <= always-on bound, savings in [0, 100]%), wake
+//  penalties only delay execution under deterministic routing, and the
+//  randomized leg reproduces itself bit-identically.
 //
 // Exit status 0 with a one-line summary when every seed passes; on the
 // first failure, prints the seed and violation and exits 1.
@@ -354,7 +362,7 @@ std::optional<Failure> run_replay_metamorphic(std::uint64_t seed, Rng& rng) {
   ReplayOptions base;
   // Deterministic routing: the managed >= baseline time-ordering invariant
   // only holds when both legs route identically (DESIGN.md §8).
-  base.fabric.random_routing = false;
+  base.fabric.routing.strategy = RoutingStrategy::Dmodk;
   base.fabric.link.t_react = ppa.t_react;
   base.fabric.link.t_deact = ppa.t_react;
   base.enable_power_management = false;
@@ -422,6 +430,187 @@ std::optional<Failure> run_replay_metamorphic(std::uint64_t seed, Rng& rng) {
   return std::nullopt;
 }
 
+// --- Phase C: trunk power tier -------------------------------------------
+
+/// Whole-fabric telemetry check: the trunk rows of the snapshot must carry
+/// the same residencies and bit-equal energies as the live links.
+std::string check_trunk_telemetry(const ReplayEngine& engine,
+                                  const obs::ReplayMetrics& metrics,
+                                  const PowerModelConfig& power) {
+  const auto& topo = engine.fabric().topology();
+  const auto num_trunks =
+      static_cast<std::size_t>(topo.num_links() - topo.num_nodes());
+  if (metrics.trunks.size() != num_trunks) {
+    return "snapshot covers " + std::to_string(metrics.trunks.size()) +
+           " trunks, expected " + std::to_string(num_trunks);
+  }
+  for (const obs::LinkMetrics& lm : metrics.trunks) {
+    const IbLink& link = engine.fabric().link(lm.link);
+    for (const LinkPowerMode mode :
+         {LinkPowerMode::FullPower, LinkPowerMode::LowPower,
+          LinkPowerMode::Transition}) {
+      const TimeNs ours = lm.residency[static_cast<std::size_t>(mode)];
+      if (ours != link.residency(mode)) {
+        return "trunk " + std::to_string(lm.link) + " telemetry residency[" +
+               link_mode_name(mode) + "] diverges from IbLink::residency";
+      }
+    }
+    const double audited = integrate_link_energy(link, power);
+    if (std::memcmp(&lm.energy_joules, &audited, sizeof(double)) != 0) {
+      return "trunk " + std::to_string(lm.link) +
+             " telemetry energy is not bit-equal to the auditor's "
+             "integration";
+    }
+  }
+  return {};
+}
+
+struct TrunkLegOutcome {
+  TimeNs exec{};
+  std::uint64_t messages{0};
+  FleetPowerSummary fabric{};  // all links, uplinks + trunks
+  TimeNs trunk_sleep{};
+  std::string violation;  // audit/telemetry failure, "" when clean
+};
+
+TrunkLegOutcome run_trunk_leg(const Trace& trace, const ReplayOptions& opt,
+                              const PowerModelConfig& power) {
+  ReplayEngine engine(&trace, opt);
+  const ReplayResult rr = engine.run();
+  TrunkLegOutcome out;
+  out.exec = rr.exec_time;
+  out.messages = rr.messages_sent;
+  const auto& topo = engine.fabric().topology();
+  std::vector<const IbLink*> ports;
+  ports.reserve(static_cast<std::size_t>(topo.num_links()));
+  for (LinkId l = 0; l < topo.num_links(); ++l) {
+    ports.push_back(&engine.fabric().link(l));
+    if (!topo.is_node_link(l)) {
+      out.trunk_sleep = out.trunk_sleep +
+                        engine.fabric().link(l).residency(
+                            LinkPowerMode::LowPower);
+    }
+  }
+  out.fabric = aggregate_power(ports, power);
+  out.violation = audit_replay(engine, power);
+  if (out.violation.empty() && opt.fabric.trunk.kind != TrunkPolicyKind::Off) {
+    const obs::ReplayMetrics metrics =
+        obs::collect_replay_metrics(engine, rr, power);
+    out.violation = obs::validate_metrics(metrics);
+    if (out.violation.empty()) {
+      out.violation = check_trunk_telemetry(engine, metrics, power);
+    }
+  }
+  return out;
+}
+
+/// Trunk tier: every routing x sleep-policy combination must keep all 504
+/// link schedules valid and the whole-fabric energy closure tight; trunk
+/// sleeping only saves energy and — under deterministic routing — only
+/// delays execution; the randomized leg is reproducible bit-for-bit.
+std::optional<Failure> run_trunk_tier(std::uint64_t seed, Rng& rng) {
+  SyntheticTraceConfig tcfg;
+  tcfg.seed = seed ^ 0x9696969696969696ULL;
+  tcfg.nranks = static_cast<Rank>(rng.uniform_int(2, 24));
+  tcfg.phases_per_iteration = static_cast<int>(rng.uniform_int(2, 4));
+  tcfg.iterations = static_cast<int>(rng.uniform_int(4, 8));
+  tcfg.compute_median =
+      TimeNs::from_us(rng.uniform_int(std::int64_t{100}, std::int64_t{500}));
+  tcfg.compute_jitter_sigma = rng.uniform(0.05, 0.3);
+  tcfg.noise_prob = rng.bernoulli(0.3) ? 0.15 : 0.0;
+  const TimeNs idle_timeout =
+      TimeNs::from_us(rng.uniform_int(std::int64_t{20}, std::int64_t{200}));
+
+  const auto fail = [&](std::string msg) {
+    return Failure{seed, "trunk-tier", std::move(msg)};
+  };
+
+  const Trace trace = generate_trace(tcfg);
+  if (const std::string err = trace.validate(); !err.empty()) {
+    return fail("generated trace invalid: " + err);
+  }
+
+  const PowerModelConfig power;
+  ReplayOptions ref;
+  ref.fabric.routing.strategy = RoutingStrategy::Dmodk;
+  ref.enable_power_management = false;
+  const TrunkLegOutcome dmodk_ref = run_trunk_leg(trace, ref, power);
+  if (!dmodk_ref.violation.empty()) {
+    return fail("dmodk reference leg: " + dmodk_ref.violation);
+  }
+
+  for (const RoutingStrategy routing :
+       {RoutingStrategy::Random, RoutingStrategy::Dmodk,
+        RoutingStrategy::Consolidate}) {
+    for (const TrunkPolicyKind kind :
+         {TrunkPolicyKind::Timeout, TrunkPolicyKind::MultiTimeout}) {
+      ReplayOptions opt = ref;
+      opt.fabric.routing.strategy = routing;
+      opt.fabric.trunk.kind = kind;
+      opt.fabric.trunk.idle_timeout = idle_timeout;
+      const std::string leg = std::string(routing_strategy_name(routing)) +
+                              "+" + trunk_policy_name(kind);
+      const TrunkLegOutcome out = run_trunk_leg(trace, opt, power);
+      if (!out.violation.empty()) {
+        return fail(leg + ": " + out.violation);
+      }
+      if (out.messages != dmodk_ref.messages) {
+        return fail(leg + ": message count " + std::to_string(out.messages) +
+                    " differs from reference " +
+                    std::to_string(dmodk_ref.messages));
+      }
+      if (out.trunk_sleep <= TimeNs::zero()) {
+        return fail(leg + ": no trunk ever slept");
+      }
+      if (out.fabric.total_energy_joules >
+          out.fabric.baseline_energy_joules) {
+        return fail(leg + ": whole-fabric managed energy " +
+                    std::to_string(out.fabric.total_energy_joules) +
+                    " J exceeds the always-on bound " +
+                    std::to_string(out.fabric.baseline_energy_joules) + " J");
+      }
+      if (out.fabric.switch_savings_pct < 0.0 ||
+          out.fabric.switch_savings_pct > 100.0) {
+        return fail(leg + ": fabric savings " +
+                    std::to_string(out.fabric.switch_savings_pct) +
+                    "% outside [0, 100]%");
+      }
+      if (routing == RoutingStrategy::Dmodk && out.exec < dmodk_ref.exec) {
+        return fail(leg + ": execution " + std::to_string(out.exec.ns) +
+                    " ns finished earlier than the always-on reference " +
+                    std::to_string(dmodk_ref.exec.ns) +
+                    " ns (wake penalties can only delay)");
+      }
+    }
+  }
+
+  // Reproducibility of the randomized leg: same options, fresh engine,
+  // bit-identical outcome.
+  ReplayOptions rnd = ref;
+  rnd.fabric.routing.strategy = RoutingStrategy::Random;
+  rnd.fabric.trunk.kind = TrunkPolicyKind::MultiTimeout;
+  rnd.fabric.trunk.idle_timeout = idle_timeout;
+  const TrunkLegOutcome r1 = run_trunk_leg(trace, rnd, power);
+  const TrunkLegOutcome r2 = run_trunk_leg(trace, rnd, power);
+  const auto bits_equal = [](double x, double y) {
+    return std::memcmp(&x, &y, sizeof(double)) == 0;
+  };
+  if (r1.exec != r2.exec ||
+      !bits_equal(r1.fabric.total_energy_joules,
+                  r2.fabric.total_energy_joules) ||
+      r1.trunk_sleep != r2.trunk_sleep) {
+    return fail("random+multi-timeout re-run diverged from itself");
+  }
+
+  if (g_verbose) {
+    std::printf("  seed %" PRIu64 ": trunk ok (ranks %d, timeout %" PRIi64
+                " ns, fabric savings %.1f%%)\n",
+                seed, tcfg.nranks, idle_timeout.ns,
+                r1.fabric.switch_savings_pct);
+  }
+  return std::nullopt;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -454,6 +643,12 @@ int main(int argc, char** argv) {
       return 1;
     }
     if (const auto failure = run_replay_metamorphic(seed, rng)) {
+      std::fprintf(stderr, "fuzz_replay: seed %" PRIu64 " FAILED [%s]: %s\n",
+                   failure->seed, failure->phase.c_str(),
+                   failure->message.c_str());
+      return 1;
+    }
+    if (const auto failure = run_trunk_tier(seed, rng)) {
       std::fprintf(stderr, "fuzz_replay: seed %" PRIu64 " FAILED [%s]: %s\n",
                    failure->seed, failure->phase.c_str(),
                    failure->message.c_str());

@@ -102,6 +102,34 @@ double ms_since(std::chrono::steady_clock::time_point t0) {
       .count();
 }
 
+/// Apply --routing / --trunk-policy / --trunk-timeout (us) / --spill (us)
+/// to a fabric config. Returns false (with a diagnostic) on unknown names.
+bool fabric_from(const Args& args, FabricConfig& fabric) {
+  if (const std::string name = args.get("routing"); !name.empty()) {
+    if (!parse_routing_strategy(name, fabric.routing.strategy)) {
+      std::fprintf(stderr,
+                   "unknown --routing '%s' (random|dmodk|consolidate)\n",
+                   name.c_str());
+      return false;
+    }
+  }
+  if (const std::string name = args.get("trunk-policy"); !name.empty()) {
+    if (!parse_trunk_policy(name, fabric.trunk.kind)) {
+      std::fprintf(stderr,
+                   "unknown --trunk-policy '%s' (off|timeout|multi-timeout)\n",
+                   name.c_str());
+      return false;
+    }
+  }
+  if (args.has("trunk-timeout")) {
+    fabric.trunk.idle_timeout = TimeNs::from_us(args.getd("trunk-timeout", 50.0));
+  }
+  if (args.has("spill")) {
+    fabric.routing.spill_threshold = TimeNs::from_us(args.getd("spill", 50.0));
+  }
+  return true;
+}
+
 PpaConfig ppa_from(const Args& args, const std::string& app, int nranks) {
   PpaConfig ppa;
   ppa.grouping_threshold =
@@ -113,7 +141,7 @@ PpaConfig ppa_from(const Args& args, const std::string& app, int nranks) {
   return ppa;
 }
 
-void print_result(const ExperimentResult& r) {
+void print_result(const ExperimentResult& r, const FabricConfig& fabric) {
   std::printf("baseline time        : %s\n", to_string(r.baseline_time).c_str());
   std::printf("managed time         : %s (%+.3f%%)\n",
               to_string(r.managed_time).c_str(), r.time_increase_pct);
@@ -128,6 +156,18 @@ void print_result(const ExperimentResult& r) {
               to_string(r.wake_penalty_total).c_str());
   std::printf("reducible idle time  : %.1f%% of idle\n",
               100.0 * r.baseline_idle.reducible_time_fraction());
+  // Whole-fabric lines only when trunk management ran: default-off output
+  // stays byte-identical to the pre-trunk CLI.
+  if (fabric.trunk.kind != TrunkPolicyKind::Off) {
+    std::printf("routing / trunks     : %s / %s\n",
+                routing_strategy_name(fabric.routing.strategy),
+                trunk_policy_name(fabric.trunk.kind));
+    std::printf("fabric power savings : %.2f%% (all links incl. trunks)\n",
+                r.fabric_power.switch_savings_pct);
+    std::printf("fabric energy        : %.3f J (always-on %.3f J)\n",
+                r.fabric_power.total_energy_joules,
+                r.fabric_power.baseline_energy_joules);
+  }
 }
 
 /// Telemetry sinks shared by run/replay/grid: --metrics-out FILE.json gets
@@ -210,6 +250,7 @@ int cmd_replay(const Args& args) {
   }
 
   ReplayOptions opt;
+  if (!fabric_from(args, opt.fabric)) return 2;
   opt.enable_power_management = args.has("managed");
   if (opt.enable_power_management) {
     opt.ppa = ppa_from(args, trace.app_name(), trace.nranks());
@@ -251,6 +292,7 @@ int cmd_run(const Args& args) {
   cfg.app = args.get("app", "alya");
   cfg.workload = workload_from(args);
   cfg.ppa = ppa_from(args, cfg.app, cfg.workload.nranks);
+  if (!fabric_from(args, cfg.fabric)) return 2;
   std::printf("%s @ %d ranks, %d iterations, GT %s, displacement %.1f%%\n\n",
               cfg.app.c_str(), cfg.workload.nranks, cfg.workload.iterations,
               to_string(cfg.ppa.grouping_threshold).c_str(),
@@ -260,11 +302,11 @@ int cmd_run(const Args& args) {
   if (wants_telemetry(args)) {
     const std::vector<obs::InstrumentedResult> inst =
         obs::run_instrumented_grid(runner, {cfg});
-    print_result(inst[0].result);
+    print_result(inst[0].result, cfg.fabric);
     print_speedup(runner, ms_since(t0));
     return export_telemetry(args, {obs::make_cell_metrics(cfg, inst[0])});
   }
-  print_result(runner.run(cfg));
+  print_result(runner.run(cfg), cfg.fabric);
   print_speedup(runner, ms_since(t0));
   return 0;
 }
@@ -379,6 +421,7 @@ int cmd_grid(const Args& args) {
       cfg.workload.weak_scaling = args.has("weak");
       cfg.ppa.grouping_threshold = default_gt(name, nranks);
       cfg.ppa.displacement_factor = disp;
+      if (!fabric_from(args, cfg.fabric)) return 2;
       cfgs.push_back(std::move(cfg));
       LabelledResult row;
       row.app = name;
@@ -433,6 +476,9 @@ int usage() {
                "  common: --app NAME --ranks N --iterations N --seed N\n"
                "          --scale X --weak --gt US --disp PCT --treact US\n"
                "          --jobs N (parallel replays; default: all cores)\n"
+               "  fabric (run/replay/grid): --routing random|dmodk|consolidate\n"
+               "          --trunk-policy off|timeout|multi-timeout\n"
+               "          --trunk-timeout US (idle timer) --spill US\n"
                "  gen:    --out FILE          replay: --trace FILE [--managed]\n"
                "  grid:   --out FILE.csv|.json  (full paper evaluation grid)\n"
                "  telemetry (run/replay/grid): --metrics-out FILE.json\n"
