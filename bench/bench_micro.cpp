@@ -2,14 +2,27 @@
 // PPA observation, pattern-list hash table (our uthash stand-in vs
 // std::unordered_map), interval bookkeeping, link reservations and the
 // replay engine's event throughput.
+//
+// The BM_EventQueue* family is the event-queue layout experiment for the
+// sharded-replay PR (DESIGN.md §11, "EventQueue layout"): the production
+// binary heap races two candidate layouts — a 4-ary heap (shallower, more
+// comparisons per level but per-level keys share a cache line) and an
+// SoA split (64-bit times in their own array so sift comparisons touch
+// half the bytes) — under the replay's hold-model: a bounded population
+// of outstanding events (~2 per rank) with exponential-ish holds plus the
+// same-time finish chains the fast-path slot absorbs. The production
+// queue is swapped only if a candidate wins here AND in bench_throughput;
+// the measured result is recorded in DESIGN.md either way.
 #include <benchmark/benchmark.h>
 
+#include <cstring>
 #include <unordered_map>
 
 #include "core/gram_builder.hpp"
 #include "core/pmpi_agent.hpp"
 #include "core/ppa.hpp"
 #include "network/ib_link.hpp"
+#include "sim/des.hpp"
 #include "sim/replay.hpp"
 #include "util/hash_table.hpp"
 #include "util/interval_set.hpp"
@@ -156,6 +169,297 @@ void BM_LinkReserve(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_LinkReserve);
+
+// --- EventQueue layout candidates (experiment-only; see header note) ---
+//
+// Both candidates keep the production design invariants: stationary
+// callback slab + free list, (time, seq) tie order, one-element fast-path
+// slot. Only the heap organ differs.
+
+/// 4-ary heap over the production 24-byte keys.
+class FourAryQueue {
+ public:
+  using Callback = EventQueue::Callback;
+
+  void reserve(std::size_t n) {
+    heap_.reserve(n);
+    slots_.reserve(n);
+    free_.reserve(n);
+  }
+
+  void schedule_tie(TimeNs t, std::uint64_t tie, Callback cb) {
+    const Key key{t, tie, 0};
+    if (!has_next_ && (heap_.empty() || earlier(key, heap_.front()))) {
+      next_key_ = key;
+      next_cb_ = std::move(cb);
+      has_next_ = true;
+    } else if (has_next_ && earlier(key, next_key_)) {
+      heap_push(next_key_, std::move(next_cb_));
+      next_key_ = key;
+      next_cb_ = std::move(cb);
+    } else {
+      heap_push(key, std::move(cb));
+    }
+  }
+
+  [[nodiscard]] TimeNs next_time() const {
+    if (has_next_) return next_key_.t;
+    if (!heap_.empty()) return heap_.front().t;
+    return TimeNs{0};
+  }
+
+  bool run_next() {
+    Callback cb;
+    if (has_next_) {
+      cb = std::move(next_cb_);
+      has_next_ = false;
+    } else if (!heap_.empty()) {
+      const Key top = heap_.front();
+      cb = std::move(slots_[top.slot]);
+      free_.push_back(top.slot);
+      const Key last = heap_.back();
+      heap_.pop_back();
+      if (!heap_.empty()) sift_down(last);
+    } else {
+      return false;
+    }
+    cb();
+    return true;
+  }
+
+ private:
+  struct Key {
+    TimeNs t;
+    std::uint64_t seq;
+    std::uint32_t slot;
+  };
+  static bool earlier(const Key& a, const Key& b) {
+    if (a.t != b.t) return a.t < b.t;
+    return a.seq < b.seq;
+  }
+  void heap_push(const Key& key, Callback cb) {
+    std::uint32_t slot;
+    if (!free_.empty()) {
+      slot = free_.back();
+      free_.pop_back();
+      slots_[slot] = std::move(cb);
+    } else {
+      slot = static_cast<std::uint32_t>(slots_.size());
+      slots_.push_back(std::move(cb));
+    }
+    Key k = key;
+    k.slot = slot;
+    std::size_t i = heap_.size();
+    heap_.push_back(k);
+    while (i > 0) {
+      const std::size_t parent = (i - 1) / 4;
+      if (!earlier(k, heap_[parent])) break;
+      heap_[i] = heap_[parent];
+      i = parent;
+    }
+    heap_[i] = k;
+  }
+  void sift_down(const Key& e) {
+    const std::size_t n = heap_.size();
+    std::size_t i = 0;
+    while (true) {
+      const std::size_t first = 4 * i + 1;
+      if (first >= n) break;
+      std::size_t best = first;
+      const std::size_t limit = std::min(first + 4, n);
+      for (std::size_t c = first + 1; c < limit; ++c) {
+        if (earlier(heap_[c], heap_[best])) best = c;
+      }
+      if (!earlier(heap_[best], e)) break;
+      heap_[i] = heap_[best];
+      i = best;
+    }
+    heap_[i] = e;
+  }
+
+  std::vector<Key> heap_;
+  std::vector<Callback> slots_;
+  std::vector<std::uint32_t> free_;
+  Key next_key_{};
+  Callback next_cb_;
+  bool has_next_{false};
+};
+
+/// Binary heap with SoA keys: times in one array (the only field sift
+/// comparisons read), seq+slot in a parallel array.
+class SoAQueue {
+ public:
+  using Callback = EventQueue::Callback;
+
+  void reserve(std::size_t n) {
+    times_.reserve(n);
+    meta_.reserve(n);
+    slots_.reserve(n);
+    free_.reserve(n);
+  }
+
+  void schedule_tie(TimeNs t, std::uint64_t tie, Callback cb) {
+    if (!has_next_ &&
+        (times_.empty() || before(t.ns, tie, times_[0], meta_[0].seq))) {
+      next_t_ = t.ns;
+      next_seq_ = tie;
+      next_cb_ = std::move(cb);
+      has_next_ = true;
+    } else if (has_next_ && before(t.ns, tie, next_t_, next_seq_)) {
+      heap_push(next_t_, next_seq_, std::move(next_cb_));
+      next_t_ = t.ns;
+      next_seq_ = tie;
+      next_cb_ = std::move(cb);
+    } else {
+      heap_push(t.ns, tie, std::move(cb));
+    }
+  }
+
+  [[nodiscard]] TimeNs next_time() const {
+    if (has_next_) return TimeNs{next_t_};
+    if (!times_.empty()) return TimeNs{times_[0]};
+    return TimeNs{0};
+  }
+
+  bool run_next() {
+    Callback cb;
+    if (has_next_) {
+      cb = std::move(next_cb_);
+      has_next_ = false;
+    } else if (!times_.empty()) {
+      cb = std::move(slots_[meta_[0].slot]);
+      free_.push_back(meta_[0].slot);
+      const std::int64_t lt = times_.back();
+      const Meta lm = meta_.back();
+      times_.pop_back();
+      meta_.pop_back();
+      if (!times_.empty()) sift_down(lt, lm);
+    } else {
+      return false;
+    }
+    cb();
+    return true;
+  }
+
+ private:
+  struct Meta {
+    std::uint64_t seq;
+    std::uint32_t slot;
+  };
+  static bool before(std::int64_t ta, std::uint64_t sa, std::int64_t tb,
+                     std::uint64_t sb) {
+    if (ta != tb) return ta < tb;
+    return sa < sb;
+  }
+  void heap_push(std::int64_t t, std::uint64_t seq, Callback cb) {
+    std::uint32_t slot;
+    if (!free_.empty()) {
+      slot = free_.back();
+      free_.pop_back();
+      slots_[slot] = std::move(cb);
+    } else {
+      slot = static_cast<std::uint32_t>(slots_.size());
+      slots_.push_back(std::move(cb));
+    }
+    std::size_t i = times_.size();
+    times_.push_back(t);
+    meta_.push_back({seq, slot});
+    while (i > 0) {
+      const std::size_t parent = (i - 1) / 2;
+      if (!before(t, seq, times_[parent], meta_[parent].seq)) break;
+      times_[i] = times_[parent];
+      meta_[i] = meta_[parent];
+      i = parent;
+    }
+    times_[i] = t;
+    meta_[i] = {seq, slot};
+  }
+  void sift_down(std::int64_t t, Meta m) {
+    const std::size_t n = times_.size();
+    std::size_t i = 0;
+    while (true) {
+      std::size_t child = 2 * i + 1;
+      if (child >= n) break;
+      if (child + 1 < n &&
+          before(times_[child + 1], meta_[child + 1].seq, times_[child],
+                 meta_[child].seq)) {
+        ++child;
+      }
+      if (!before(times_[child], meta_[child].seq, t, m.seq)) break;
+      times_[i] = times_[child];
+      meta_[i] = meta_[child];
+      i = child;
+    }
+    times_[i] = t;
+    meta_[i] = m;
+  }
+
+  std::vector<std::int64_t> times_;
+  std::vector<Meta> meta_;
+  std::vector<Callback> slots_;
+  std::vector<std::uint32_t> free_;
+  std::int64_t next_t_{0};
+  std::uint64_t next_seq_{0};
+  Callback next_cb_;
+  bool has_next_{false};
+};
+
+/// Replay-shaped hold model: `population` outstanding events (the replay
+/// holds ~2 per rank), each pop reschedules one event at now + hold where
+/// ~30% of holds are zero (finish-call chains at the current timestamp —
+/// the fast-path slot's diet) and the rest spread over a few microseconds.
+template <class Queue>
+void run_hold_model(Queue& q, int population, int pops) {
+  std::uint64_t lcg = 0x243f6a8885a308d3ULL;
+  std::int64_t now = 0;
+  std::uint64_t seq = 0;
+  int remaining = pops;
+  auto hold = [&]() -> std::int64_t {
+    lcg = lcg * 6364136223846793005ULL + 1442695040888963407ULL;
+    const std::uint32_t draw = static_cast<std::uint32_t>(lcg >> 33);
+    if (draw % 10 < 3) return 0;
+    return 1 + static_cast<std::int64_t>(draw % 5000);
+  };
+  for (int i = 0; i < population; ++i) {
+    q.schedule_tie(TimeNs{now + hold()}, seq++, [] {});
+  }
+  // Each executed event re-arms itself once, keeping the population
+  // constant — exactly the rank-chain structure of the replay. The driver
+  // clock follows the queue head so replacements never land in the past
+  // (the production queue asserts monotonic scheduling).
+  while (remaining > 0) {
+    now = q.next_time().ns;
+    if (!q.run_next()) break;
+    --remaining;
+    q.schedule_tie(TimeNs{now + hold()}, seq++, [] {});
+  }
+}
+
+template <class Queue>
+void BM_EventQueueHoldModel(benchmark::State& state) {
+  const int population = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    Queue q;
+    q.reserve(static_cast<std::size_t>(2 * population) + 16);
+    run_hold_model(q, population, 100000);
+  }
+  state.SetItemsProcessed(state.iterations() * 100000);
+}
+
+void BM_EventQueueBinaryHeap(benchmark::State& state) {
+  BM_EventQueueHoldModel<EventQueue>(state);
+}
+BENCHMARK(BM_EventQueueBinaryHeap)->Arg(32)->Arg(256)->Arg(2048);
+
+void BM_EventQueueFourAry(benchmark::State& state) {
+  BM_EventQueueHoldModel<FourAryQueue>(state);
+}
+BENCHMARK(BM_EventQueueFourAry)->Arg(32)->Arg(256)->Arg(2048);
+
+void BM_EventQueueSoA(benchmark::State& state) {
+  BM_EventQueueHoldModel<SoAQueue>(state);
+}
+BENCHMARK(BM_EventQueueSoA)->Arg(32)->Arg(256)->Arg(2048);
 
 void BM_ReplayAlya8(benchmark::State& state) {
   WorkloadParams params;

@@ -5,13 +5,21 @@
 // per cell, verifies that every parallel result is bit-identical to the
 // serial one, and emits machine-readable BENCH_throughput.json with rows
 //   {cell, nranks, wall_ms, gen_ms, base_ms, managed_ms,
-//    events_per_sec, messages_per_sec, jobs}
+//    events_per_sec, messages_per_sec, jobs, shards, host_cores}
 // — the perf trajectory baseline for future PRs. wall_ms is replay work
 // only (base + managed legs); trace generation is reported separately in
 // gen_ms and charged once per distinct trace (sharers show 0).
 //
+// After the jobs sweep the bench runs the intra-replay shards sweep
+// (DESIGN.md §11): every multi-leaf cell (nranks >= 64) re-runs at jobs=1
+// with cfg.shards in --shards-list, bit-checked against the serial
+// reference, and lands as jobs=1/shards=S rows. host_cores records the
+// machine's concurrency so the regression gate only enforces speedup
+// floors where the hardware could actually deliver a speedup.
+//
 // Usage: bench_throughput [--jobs-list 1,2,4,8] [--jobs N] [--iterations N]
-//                         [--quick] [--smoke] [--cells app:nranks,...]
+//                         [--shards-list 2,4,8] [--quick] [--smoke]
+//                         [--cells app:nranks,...]
 //                         [--out BENCH_throughput.json]
 //
 // --smoke restricts the run to one small cell per application at jobs=1 —
@@ -58,6 +66,25 @@ std::vector<unsigned> jobs_list_from_args(int argc, char** argv) {
     pos = next + 1;
   }
   return jobs.empty() ? std::vector<unsigned>{1} : jobs;
+}
+
+std::vector<int> shards_list_from_args(int argc, char** argv) {
+  // Smoke keeps one sharded level so the CI gate covers the sharded hot
+  // path without quadrupling the gate's runtime.
+  std::string spec = has_flag(argc, argv, "--smoke") ? "4" : "2,4,8";
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::string(argv[i]) == "--shards-list") spec = argv[i + 1];
+  }
+  std::vector<int> shards;
+  std::size_t pos = 0;
+  while (pos < spec.size()) {
+    std::size_t next = spec.find(',', pos);
+    if (next == std::string::npos) next = spec.size();
+    const int v = std::stoi(spec.substr(pos, next - pos));
+    if (v > 1) shards.push_back(v);
+    pos = next + 1;
+  }
+  return shards;
 }
 
 std::string out_from_args(int argc, char** argv) {
@@ -116,6 +143,7 @@ struct Row {
   double events_per_sec;
   double messages_per_sec;
   unsigned jobs;
+  int shards;
 };
 
 }  // namespace
@@ -134,9 +162,13 @@ int main(int argc, char** argv) {
     // One small cell per application: enough to catch a hot-path
     // regression, small enough for a CI gate. The "+trunk" cell exercises
     // the whole-fabric configuration (consolidating routing + trunk sleep)
-    // at full scale so a slowdown in the trunk hot path is gated too.
-    cells = {{"gromacs", 16},       {"alya", 16},   {"wrf", 16},
-             {"nas_bt", 16},        {"nas_mg", 16}, {"gromacs+trunk", 128}};
+    // at full scale so a slowdown in the trunk hot path is gated too; the
+    // plain 128-rank cell gates per-event cost at scale without the trunk
+    // machinery in the way (the cross-leaf fan-out is the dominant term
+    // there — see DESIGN.md §11's scaling notes).
+    cells = {{"gromacs", 16}, {"alya", 16},          {"wrf", 16},
+             {"nas_bt", 16},  {"nas_mg", 16},        {"gromacs", 128},
+             {"gromacs+trunk", 128}};
   }
   cells = cells_from_args(argc, argv, std::move(cells));
   std::vector<ExperimentConfig> cfgs;
@@ -235,7 +267,7 @@ int main(int argc, char** argv) {
           cell_s > 0.0
               ? static_cast<double>(best.results[i].messages) / cell_s
               : 0.0,
-          jobs});
+          jobs, 1});
     }
 
     const double speedup = wall_ms_1 > 0.0 ? wall_ms_1 / best.wall_ms : 1.0;
@@ -247,6 +279,94 @@ int main(int argc, char** argv) {
         static_cast<double>(total_messages) / best.wall_ms / 1e3);
   }
 
+  // ---- intra-replay shards sweep (DESIGN.md §11) ----
+  //
+  // Re-run every multi-leaf cell at jobs=1 with the replay itself sharded.
+  // Only cells spanning 4+ leaves (nranks >= 64 at m1 = 18) are worth a
+  // row: below that the executor clamps shards to the leaf count and the
+  // sweep would re-measure near-serial runs.
+  const std::vector<int> shards_list = shards_list_from_args(argc, argv);
+  std::vector<std::size_t> shard_cells;
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (cells[i].nranks >= 64) shard_cells.push_back(i);
+  }
+  if (!shards_list.empty() && !shard_cells.empty()) {
+    struct ShardBest {
+      std::vector<ExperimentResult> results;
+      std::vector<double> work, base, managed;
+      bool have = false;
+    };
+    std::vector<ShardBest> sbest(shards_list.size());
+    for (int rep = 0; rep < repeats; ++rep) {
+      for (std::size_t k = 0; k < shards_list.size(); ++k) {
+        const std::size_t li =
+            (rep % 2 == 0) ? k : shards_list.size() - 1 - k;
+        std::vector<ExperimentConfig> scfgs;
+        scfgs.reserve(shard_cells.size());
+        for (const std::size_t ci : shard_cells) {
+          ExperimentConfig cfg = cfgs[ci];
+          cfg.shards = shards_list[li];
+          scfgs.push_back(std::move(cfg));
+        }
+        ParallelExperimentRunner runner(1);
+        std::vector<ExperimentResult> run = runner.run_all(scfgs);
+        ShardBest& best = sbest[li];
+        if (!best.have) {
+          best.have = true;
+          best.results = std::move(run);
+          best.work = runner.last_cell_work_ms();
+          best.base = runner.last_cell_base_ms();
+          best.managed = runner.last_cell_managed_ms();
+          // The sharded replay must reproduce the serial jobs-sweep
+          // results bit for bit — the tentpole determinism contract.
+          for (std::size_t i = 0; i < shard_cells.size(); ++i) {
+            if (!bit_identical(best.results[i],
+                               reference[shard_cells[i]])) {
+              all_identical = false;
+              std::fprintf(
+                  stderr, "DETERMINISM VIOLATION: cell %s/%d at shards=%d\n",
+                  cells[shard_cells[i]].app, cells[shard_cells[i]].nranks,
+                  shards_list[li]);
+            }
+          }
+          continue;
+        }
+        for (std::size_t i = 0; i < best.work.size(); ++i) {
+          if (runner.last_cell_work_ms()[i] < best.work[i]) {
+            best.work[i] = runner.last_cell_work_ms()[i];
+            best.base[i] = runner.last_cell_base_ms()[i];
+            best.managed[i] = runner.last_cell_managed_ms()[i];
+          }
+        }
+      }
+    }
+    for (std::size_t li = 0; li < shards_list.size(); ++li) {
+      const ShardBest& best = sbest[li];
+      double total_work = 0.0;
+      double serial_work = 0.0;
+      for (std::size_t i = 0; i < shard_cells.size(); ++i) {
+        const std::size_t ci = shard_cells[i];
+        total_work += best.work[i];
+        serial_work += levels.front().work[ci];
+        const double cell_s = best.work[i] / 1e3;
+        rows.push_back(Row{
+            std::string(cells[ci].app), cells[ci].nranks, best.work[i],
+            0.0, best.base[i], best.managed[i],
+            cell_s > 0.0
+                ? static_cast<double>(best.results[i].sim_events) / cell_s
+                : 0.0,
+            cell_s > 0.0
+                ? static_cast<double>(best.results[i].messages) / cell_s
+                : 0.0,
+            1, shards_list[li]});
+      }
+      std::printf(
+          "shards %2d: work %8.1f ms over %zu cells  %6.2fx vs shards=1\n",
+          shards_list[li], total_work, shard_cells.size(),
+          total_work > 0.0 ? serial_work / total_work : 1.0);
+    }
+  }
+
   std::printf("determinism: parallel results %s serial reference\n",
               all_identical ? "bit-identical to" : "DIFFER FROM");
 
@@ -256,17 +376,18 @@ int main(int argc, char** argv) {
     return 1;
   }
   os << "[\n";
+  const unsigned host_cores = ThreadPool::default_concurrency();
   for (std::size_t i = 0; i < rows.size(); ++i) {
     const Row& r = rows[i];
-    char buf[320];
+    char buf[384];
     std::snprintf(buf, sizeof(buf),
                   "  {\"cell\": \"%s\", \"nranks\": %d, \"wall_ms\": %.3f, "
                   "\"gen_ms\": %.3f, \"base_ms\": %.3f, \"managed_ms\": %.3f, "
                   "\"events_per_sec\": %.1f, \"messages_per_sec\": %.1f, "
-                  "\"jobs\": %u}%s\n",
+                  "\"jobs\": %u, \"shards\": %d, \"host_cores\": %u}%s\n",
                   r.cell.c_str(), r.nranks, r.wall_ms, r.gen_ms, r.base_ms,
                   r.managed_ms, r.events_per_sec, r.messages_per_sec, r.jobs,
-                  i + 1 < rows.size() ? "," : "");
+                  r.shards, host_cores, i + 1 < rows.size() ? "," : "");
     os << buf;
   }
   os << "]\n";

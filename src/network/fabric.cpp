@@ -55,42 +55,108 @@ Fabric::TxResult Fabric::unicast(NodeId src, NodeId dst, Bytes bytes,
   IBP_EXPECTS(dst >= 0 && dst < nodes_used_);
   IBP_EXPECTS(src != dst);
 
-  // The engine is consulted even for same-leaf pairs (where route() ignores
-  // the result) so RandomRouting's draw stream matches the historical
-  // behavior byte-for-byte.
-  const SwitchId top = routing_->pick_top(src, dst, bytes, ready);
-  const FatTreeTopology::RoutePath path = topo_.route(src, dst, top);
-  // Channel direction per hop: Up on the source side, Down on the
-  // destination side (trunks: up-trunk carries Up, down-trunk Down).
-  TxResult result{};
-  TimeNs cursor = ready;
-  for (std::size_t h = 0; h < path.size(); ++h) {
-    const Direction dir =
-        h < path.size() / 2 ? Direction::Up : Direction::Down;
-    auto res = link(path[h]).reserve(dir, cursor, bytes);
-    result.power_penalty += res.power_delay;
-    if (h == 0) result.sender_free = res.end;
-    if (path.size() == 4 && (h == 1 || h == 2)) {
-      // Trunk hop: feed the reservation back to the router's load counters
-      // and restart the trunk's idle timer behind the transmission.
-      const SwitchId leaf = h == 1 ? topo_.leaf_of(src) : topo_.leaf_of(dst);
-      routing_->on_trunk_reserved(leaf, top, res.end);
-      if (trunks_.enabled()) {
-        trunks_.on_reserved(
-            link(path[h]),
-            static_cast<std::size_t>(path[h] - topo_.num_nodes()), res);
-      }
+  if (topo_.leaf_of(src) == topo_.leaf_of(dst)) {
+    // Same-leaf: the engine is still consulted (result ignored by route())
+    // so a source's draw/counter stream advances once per unicast no
+    // matter where the destination lives.
+    const SwitchId top = routing_->pick_top(src, dst, bytes, ready);
+    const FatTreeTopology::RoutePath path = topo_.route(src, dst, top);
+    TxResult result{};
+    TimeNs cursor = ready;
+    for (std::size_t h = 0; h < path.size(); ++h) {
+      const Direction dir = h == 0 ? Direction::Up : Direction::Down;
+      auto res = link(path[h]).reserve(dir, cursor, bytes);
+      result.power_penalty += res.power_delay;
+      if (h == 0) result.sender_free = res.end;
+      const TimeNs first_segment = link(path[h]).serialization_time(
+          std::min(bytes, cfg_.segment_size));
+      cursor = res.start + first_segment + cfg_.hop_latency;
+      if (h + 1 == path.size()) result.delivery = res.end + cfg_.hop_latency;
     }
-    // Segment-level pipelining: the next hop can start once the first
-    // segment has crossed this link and the switch (hop latency).
-    const TimeNs first_segment =
-        link(path[h]).serialization_time(std::min(bytes, cfg_.segment_size));
-    cursor = res.start + first_segment + cfg_.hop_latency;
-    if (h + 1 == path.size()) {
-      result.delivery = res.end + cfg_.hop_latency;
-    }
+    result.delivery += cfg_.mpi_latency;
+    return result;
   }
-  result.delivery += cfg_.mpi_latency;
+
+  // Cross-leaf: source half then destination half — the same reservation
+  // sequence (and therefore byte-identical timing) as the historical
+  // single loop, just split at the top switch so sharded replay can run
+  // the halves in different shards.
+  const TxSourceResult srch = unicast_source(src, dst, bytes, ready);
+  TxResult result = unicast_dest(src, dst, bytes, srch.top, srch.handoff);
+  result.sender_free = srch.sender_free;
+  result.power_penalty += srch.power_penalty;
+  return result;
+}
+
+Fabric::TxSourceResult Fabric::unicast_source(NodeId src, NodeId dst,
+                                              Bytes bytes, TimeNs ready) {
+  IBP_EXPECTS(src >= 0 && src < nodes_used_);
+  IBP_EXPECTS(dst >= 0 && dst < nodes_used_);
+  IBP_EXPECTS(topo_.leaf_of(src) != topo_.leaf_of(dst));
+
+  TxSourceResult result{};
+  result.top = routing_->pick_top(src, dst, bytes, ready);
+  const SwitchId src_leaf = topo_.leaf_of(src);
+
+  // Hop 0: source uplink, Up channel.
+  IbLink& uplink = link(topo_.node_uplink(src));
+  auto up = uplink.reserve(Direction::Up, ready, bytes);
+  result.power_penalty += up.power_delay;
+  result.sender_free = up.end;
+  // Segment-level pipelining: the next hop can start once the first
+  // segment has crossed this link and the switch (hop latency).
+  TimeNs cursor =
+      up.start +
+      uplink.serialization_time(std::min(bytes, cfg_.segment_size)) +
+      cfg_.hop_latency;
+
+  // Hop 1: up-trunk (source leaf -> top), Up channel. Feed the reservation
+  // back to the router's load counters and restart the trunk's idle timer
+  // behind the transmission.
+  const LinkId ut = topo_.trunk_link(src_leaf, result.top);
+  IbLink& up_trunk = link(ut);
+  auto tr = up_trunk.reserve(Direction::Up, cursor, bytes);
+  result.power_penalty += tr.power_delay;
+  routing_->on_trunk_reserved(src_leaf, result.top, tr.end);
+  if (trunks_.enabled()) {
+    trunks_.on_reserved(up_trunk,
+                        static_cast<std::size_t>(ut - topo_.num_nodes()), tr);
+  }
+  result.handoff =
+      tr.start +
+      up_trunk.serialization_time(std::min(bytes, cfg_.segment_size)) +
+      cfg_.hop_latency;
+  return result;
+}
+
+Fabric::TxResult Fabric::unicast_dest(NodeId src, NodeId dst, Bytes bytes,
+                                      SwitchId top, TimeNs handoff) {
+  IBP_EXPECTS(dst >= 0 && dst < nodes_used_);
+  IBP_EXPECTS(topo_.leaf_of(src) != topo_.leaf_of(dst));
+
+  TxResult result{};
+  const SwitchId dst_leaf = topo_.leaf_of(dst);
+
+  // Hop 2: down-trunk (top -> destination leaf), Down channel.
+  const LinkId dt = topo_.trunk_link(dst_leaf, top);
+  IbLink& down_trunk = link(dt);
+  auto tr = down_trunk.reserve(Direction::Down, handoff, bytes);
+  result.power_penalty += tr.power_delay;
+  routing_->on_trunk_reserved(dst_leaf, top, tr.end);
+  if (trunks_.enabled()) {
+    trunks_.on_reserved(down_trunk,
+                        static_cast<std::size_t>(dt - topo_.num_nodes()), tr);
+  }
+  TimeNs cursor =
+      tr.start +
+      down_trunk.serialization_time(std::min(bytes, cfg_.segment_size)) +
+      cfg_.hop_latency;
+
+  // Hop 3: destination uplink, Down channel.
+  IbLink& uplink = link(topo_.node_uplink(dst));
+  auto dn = uplink.reserve(Direction::Down, cursor, bytes);
+  result.power_penalty += dn.power_delay;
+  result.delivery = dn.end + cfg_.hop_latency + cfg_.mpi_latency;
   return result;
 }
 

@@ -59,6 +59,31 @@ class Fabric {
   /// to inject.
   TxResult unicast(NodeId src, NodeId dst, Bytes bytes, TimeNs ready);
 
+  /// Source half of a cross-leaf unicast: routing decision plus the source
+  /// uplink and up-trunk reservations. `handoff` is when the leading
+  /// segment reaches the chosen top switch's down side — the earliest time
+  /// the destination half may start. Sharded replay (sim/sharded_replay)
+  /// runs this in the shard owning the source leaf and schedules
+  /// unicast_dest as an event at `handoff` in the destination shard; all
+  /// state touched here (source uplink, up-trunk, routing counters for the
+  /// source leaf) is source-shard-owned.
+  struct TxSourceResult {
+    TimeNs sender_free{};    // injection finished on the source uplink
+    TimeNs handoff{};        // down-trunk may start reserving here
+    TimeNs power_penalty{};  // lane-wake delay on the source-side hops
+    SwitchId top{0};         // routing decision, needed by unicast_dest
+  };
+  TxSourceResult unicast_source(NodeId src, NodeId dst, Bytes bytes,
+                                TimeNs ready);
+
+  /// Destination half: down-trunk and destination uplink reservations
+  /// starting at `handoff` (from unicast_source). Returns the final
+  /// delivery time (including hop + MPI latency) and the wake penalty of
+  /// the destination-side hops; sender_free is not meaningful here.
+  /// Touches only destination-leaf-owned state.
+  TxResult unicast_dest(NodeId src, NodeId dst, Bytes bytes, SwitchId top,
+                        TimeNs handoff);
+
   /// Ensure a node's link is at full width at `ready` (used at collective
   /// entry); returns the wake penalty (zero if already full width).
   TimeNs wake_node_link(NodeId node, TimeNs ready);

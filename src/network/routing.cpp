@@ -29,17 +29,29 @@ bool parse_routing_strategy(const std::string& name, RoutingStrategy& out) {
 void RandomRouting::reset(const FatTreeTopology& topo,
                           const RoutingConfig& cfg) {
   ntop_ = topo.num_top_switches();
-  rng_.reseed(cfg.seed);
+  seed_ = cfg.seed;
+  // assign() reuses the buffer when the shape is unchanged (no allocation).
+  count_.assign(static_cast<std::size_t>(topo.num_nodes()), 0u);
 }
 
 SwitchId RandomRouting::pick_top(NodeId src, NodeId dst, Bytes bytes,
                                  TimeNs ready) {
-  (void)src;
   (void)dst;
   (void)bytes;
   (void)ready;
+  // Counter hash: mix (seed, src, per-src draw index) through splitmix64.
+  // Same-leaf consultations advance the counter too (the once-per-unicast
+  // contract), so a source's draw stream is a pure function of its own
+  // message sequence — independent of other sources' interleaving.
+  const std::uint32_t n = count_[static_cast<std::size_t>(src)]++;
+  std::uint64_t x = seed_ ^ (static_cast<std::uint64_t>(src) << 32 | n);
+  const std::uint64_t h = detail::splitmix64(x);
+  // Lemire-style unbiased-enough reduction: ntop is tiny (<= 18) relative
+  // to 2^64, so the multiply-shift bias is unobservable.
   return static_cast<SwitchId>(
-      rng_.uniform_below(static_cast<std::uint64_t>(ntop_)));
+      (static_cast<unsigned __int128>(h) *
+       static_cast<unsigned __int128>(ntop_)) >>
+      64);
 }
 
 // --- DmodkRouting ----------------------------------------------------------
@@ -74,16 +86,18 @@ void ConsolidatingRouting::reset(const FatTreeTopology& topo,
 SwitchId ConsolidatingRouting::pick_top(NodeId src, NodeId dst, Bytes bytes,
                                         TimeNs ready) {
   (void)bytes;
+  (void)dst;
   const SwitchId src_leaf = src / nodes_per_leaf_;
-  const SwitchId dst_leaf = dst / nodes_per_leaf_;
-  // First top switch in the prefix whose pair of trunks can absorb the
+  // First top switch in the prefix whose source-side trunk can absorb the
   // message within the spill threshold; when all are backlogged, the least
   // backlogged one (lowest index wins ties — keeps the prefix minimal).
+  // Only the source-leaf row is read: under sharded replay the destination
+  // row is owned by another shard, and since every leaf fills the same low
+  // prefix the source row already reflects fabric-wide consolidation.
   SwitchId best = 0;
   TimeNs best_backlog = TimeNs::max();
   for (SwitchId top = 0; top < ntop_; ++top) {
-    const TimeNs horizon =
-        max(busy_until(src_leaf, top), busy_until(dst_leaf, top));
+    const TimeNs horizon = busy_until(src_leaf, top);
     const TimeNs backlog = clamp_nonnegative(horizon - ready);
     if (backlog <= spill_) return top;
     if (backlog < best_backlog) {

@@ -10,9 +10,16 @@
 //
 // Contract notes:
 //  * The engine is consulted once per unicast — including same-leaf pairs,
-//    whose result is ignored by route(). RandomRouting relies on this to
-//    keep its draw sequence (and therefore every simulated timestamp)
-//    byte-identical to the historical Fabric::pick_top behavior.
+//    whose result is ignored by route(). RandomRouting counts these
+//    consultations per source node, so same-leaf traffic still perturbs a
+//    source's later cross-leaf picks exactly once per call.
+//  * Sharded replay (sim/sharded_replay.hpp) partitions fabric state by
+//    leaf switch. pick_top runs inside the *source* shard, so an engine
+//    may only read state owned by the source leaf: per-source counters
+//    (RandomRouting) and the source-leaf busy row (ConsolidatingRouting)
+//    are safe; reading another leaf's row would race. on_trunk_reserved
+//    is called once per trunk reservation from the shard owning `leaf`,
+//    so the busy matrix stays single-writer per row.
 //  * reset() returns the engine to its freshly-constructed state for a
 //    (topology, config) pair while keeping buffer capacity — the
 //    reset-and-reuse protocol of DESIGN.md §7. Steady-state replays make
@@ -86,16 +93,22 @@ class RoutingEngine {
   }
 };
 
-/// Table II random routing: one uniform draw per unicast from a private
-/// xoshiro stream seeded with cfg.seed — byte-identical to the historical
-/// hard-coded branch under the same seed.
+/// Table II random routing as a counter hash: each consultation advances a
+/// per-source counter and the pick is splitmix64(seed ^ src-and-counter)
+/// reduced to [0, ntop). Statistically uniform like the old global xoshiro
+/// stream, but the draw a message sees depends only on (seed, src, how many
+/// messages src sent before it) — not on how sends from different sources
+/// interleave in wall-clock order. That interleaving-independence is what
+/// lets sharded replay run sources on different threads and still route
+/// every message identically to the serial run.
 class RandomRouting final : public RoutingEngine {
  public:
   void reset(const FatTreeTopology& topo, const RoutingConfig& cfg) override;
   SwitchId pick_top(NodeId src, NodeId dst, Bytes bytes, TimeNs ready) override;
 
  private:
-  Rng rng_{0x5eedu};
+  std::vector<std::uint32_t> count_;  // per-source draws so far
+  std::uint64_t seed_{0x5eedu};
   int ntop_{1};
 };
 
@@ -114,10 +127,13 @@ class DmodkRouting final : public RoutingEngine {
 
 /// Power-aware consolidation: keep a per-trunk busy-until horizon (the load
 /// counter) fed back from actual reservations, and route each message to
-/// the lowest-indexed top switch whose up- and down-trunk backlog beyond
+/// the lowest-indexed top switch whose *source-leaf* trunk backlog beyond
 /// the message's ready time is within the spill threshold. Traffic packs
 /// onto a minimal prefix of top switches; the rest go cold and their
-/// trunks sleep (power/trunk_policy.hpp). Fully deterministic.
+/// trunks sleep (power/trunk_policy.hpp). Fully deterministic. Only the
+/// source-leaf row is consulted: the destination leaf's row belongs to
+/// another shard under sharded replay, and because every leaf packs onto
+/// the same low prefix, the source row is an accurate proxy for the pair.
 class ConsolidatingRouting final : public RoutingEngine {
  public:
   void reset(const FatTreeTopology& topo, const RoutingConfig& cfg) override;

@@ -46,22 +46,27 @@ class EventQueue {
   }
 
   void schedule(TimeNs t, Callback cb) {
-    IBP_EXPECTS(t >= now_);
-    const Key key{t, seq_++, 0};
-    if (!has_next_ && (heap_.empty() || earlier(key, heap_.front()))) {
-      // Fast path: the new event precedes everything queued.
-      next_key_ = key;
-      next_cb_ = std::move(cb);
-      has_next_ = true;
-    } else if (has_next_ && earlier(key, next_key_)) {
-      // New global minimum: demote the previous `next` into the heap.
-      heap_push(next_key_, std::move(next_cb_));
-      next_key_ = key;
-      next_cb_ = std::move(cb);
-    } else {
-      heap_push(key, std::move(cb));
-    }
-    IBP_AUDIT(audit_verify_heap());
+    schedule_key(Key{t, seq_++, 0}, std::move(cb));
+  }
+
+  /// Schedule with an explicit tie-break value instead of the insertion
+  /// counter. Callers that need a *shard-count-invariant* event order (the
+  /// sharded replay executor) derive the tie from simulation state — rank,
+  /// message counter — so the same events pop in the same order no matter
+  /// which thread scheduled them or when. Do not mix schedule() and
+  /// schedule_tie() ordering assumptions within one run: the insertion
+  /// counter and explicit ties share one key space.
+  void schedule_tie(TimeNs t, std::uint64_t tie, Callback cb) {
+    schedule_key(Key{t, tie, 0}, std::move(cb));
+  }
+
+  /// Earliest queued event's timestamp, or TimeNs::max() when empty. The
+  /// fast-path slot, when occupied, precedes every heap entry by
+  /// construction, so this is O(1).
+  [[nodiscard]] TimeNs next_time() const {
+    if (has_next_) return next_key_.t;
+    if (!heap_.empty()) return heap_.front().t;
+    return TimeNs::max();
   }
 
   [[nodiscard]] bool empty() const { return !has_next_ && heap_.empty(); }
@@ -132,6 +137,24 @@ class EventQueue {
   [[nodiscard]] static bool earlier(const Key& a, const Key& b) {
     if (a.t != b.t) return a.t < b.t;
     return a.seq < b.seq;
+  }
+
+  void schedule_key(const Key& key, Callback cb) {
+    IBP_EXPECTS(key.t >= now_);
+    if (!has_next_ && (heap_.empty() || earlier(key, heap_.front()))) {
+      // Fast path: the new event precedes everything queued.
+      next_key_ = key;
+      next_cb_ = std::move(cb);
+      has_next_ = true;
+    } else if (has_next_ && earlier(key, next_key_)) {
+      // New global minimum: demote the previous `next` into the heap.
+      heap_push(next_key_, std::move(next_cb_));
+      next_key_ = key;
+      next_cb_ = std::move(cb);
+    } else {
+      heap_push(key, std::move(cb));
+    }
+    IBP_AUDIT(audit_verify_heap());
   }
 
   void heap_push(const Key& key, Callback cb) {

@@ -96,6 +96,7 @@ BaselineLegResult run_baseline_leg(const ExperimentConfig& cfg,
   opt.fabric.trunk.kind = TrunkPolicyKind::Off;
   opt.enable_power_management = false;
   opt.eager_threshold = cfg.eager_threshold;
+  opt.shards = cfg.shards;
   ReplayEngine engine(&trace, opt, memory);
   const ReplayResult rr = engine.run();
   BaselineLegResult leg;
@@ -117,6 +118,7 @@ ManagedLegResult run_managed_leg(const ExperimentConfig& cfg,
   opt.ppa = cfg.ppa;
   opt.eager_threshold = cfg.eager_threshold;
   opt.record_call_timeline = cfg.record_call_timeline;
+  opt.shards = cfg.shards;
   ReplayEngine engine(&trace, opt, memory);
   const ReplayResult rr = engine.run();
   ManagedLegResult leg;
@@ -239,6 +241,7 @@ std::vector<std::vector<MpiCallEvent>> baseline_call_timelines(
   opt.enable_power_management = false;
   opt.eager_threshold = cfg.eager_threshold;
   opt.record_call_timeline = true;
+  opt.shards = cfg.shards;
   ReplayEngine engine(&trace, opt, memory);
   (void)engine.run();
 

@@ -23,6 +23,9 @@ struct ExperimentConfig {
   PowerModelConfig power{};
   Bytes eager_threshold{32 * 1024};
   bool record_call_timeline{false};
+  /// Intra-replay shard count (ReplayOptions::shards): 1 = serial, <= 0 =
+  /// auto. Bit-identical results for every value — a performance knob only.
+  int shards{1};
 };
 
 struct ExperimentResult {

@@ -22,19 +22,56 @@ ReplayEngine::ReplayEngine(const Trace* trace, const ReplayOptions& options,
   }
   mem_ = memory;
   mem_->begin_run();
-  arena_ = &mem_->arena();
-  queue_ = &mem_->queue();
   fabric_ = &mem_->acquire_fabric(opt_.fabric,
                                   static_cast<int>(trace->nranks()));
 
-  const auto n = static_cast<std::size_t>(trace->nranks());
-  ranks_ = arena_->allocate_array<RankState>(n);
-  call_timelines_ = arena_->allocate_array<ArenaVector<MpiCallEvent>>(n);
-  for (std::size_t i = 0; i < n; ++i) {
+  // --- shard layout --------------------------------------------------------
+  // Shards own contiguous blocks of leaf switches: every rank, node uplink
+  // and trunk (both directions) of a leaf belongs to exactly one shard, so
+  // all per-link and per-rank state is single-shard-owned and the only
+  // cross-shard interaction is an event post (DESIGN.md §11).
+  const auto& topo = fabric_->topology();
+  const int n = trace->nranks();
+  const int nleaves_used =
+      topo.leaf_of(static_cast<NodeId>(n - 1)) + 1;
+  ctrl_delay_ = 2 * opt_.fabric.hop_latency;
+  nshards_ = resolve_shard_count(opt_.shards, nleaves_used,
+                                 ctrl_delay_ > TimeNs::zero());
+
+  arena_ = &mem_->shard_slab(0).arena;
+  queue_ = &mem_->shard_slab(0).queue;
+  slab_ptrs_ = arena_->allocate_array<ReplayShardSlab*>(
+      static_cast<std::size_t>(nshards_));
+  shard_queues_ = arena_->allocate_array<EventQueue*>(
+      static_cast<std::size_t>(nshards_));
+  for (int s = 0; s < nshards_; ++s) {
+    ReplayShardSlab& slab = mem_->shard_slab(static_cast<std::size_t>(s));
+    slab_ptrs_[s] = &slab;
+    shard_queues_[s] = &slab.queue;
+  }
+  locals_ = static_cast<ShardLocal*>(arena_->allocate(
+      static_cast<std::size_t>(nshards_) * sizeof(ShardLocal),
+      alignof(ShardLocal)));
+  for (int s = 0; s < nshards_; ++s) new (locals_ + s) ShardLocal{};
+  rank_shard_ =
+      arena_->allocate_array<std::int32_t>(static_cast<std::size_t>(n));
+  for (Rank r = 0; r < n; ++r) {
+    // Balanced contiguous leaf blocks.
+    rank_shard_[static_cast<std::size_t>(r)] = static_cast<std::int32_t>(
+        static_cast<std::int64_t>(topo.leaf_of(r)) * nshards_ / nleaves_used);
+  }
+
+  const auto nsz = static_cast<std::size_t>(n);
+  ranks_ = arena_->allocate_array<RankState>(nsz);
+  call_timelines_ = arena_->allocate_array<ArenaVector<MpiCallEvent>>(nsz);
+  for (std::size_t i = 0; i < nsz; ++i) {
     new (ranks_ + i) RankState{};
-    ranks_[i].completed_requests.attach(arena_);
-    ranks_[i].pending_requests.attach(arena_);
-    new (call_timelines_ + i) ArenaVector<MpiCallEvent>(arena_);
+    // Containers that grow while the replay runs must bump their own
+    // shard's arena — arenas are single-threaded.
+    MonotonicArena* shard_arena = &slab_ptrs_[rank_shard_[i]]->arena;
+    ranks_[i].completed_requests.attach(shard_arena);
+    ranks_[i].pending_requests.attach(shard_arena);
+    new (call_timelines_ + i) ArenaVector<MpiCallEvent>(shard_arena);
     if (opt_.record_call_timeline) {
       // Every MPI call in the stream produces at most one event, so this
       // reserve makes timeline recording bump-free for the whole replay.
@@ -42,13 +79,30 @@ ReplayEngine::ReplayEngine(const Trace* trace, const ReplayOptions& options,
           trace_->stream(static_cast<Rank>(i)).size());
     }
   }
-  collectives_.attach(arena_);
+
+  // Collective boards are pre-counted and pre-allocated: they are touched
+  // from every shard, so they can never move or be created lazily mid-run.
+  nboards_ = 0;
+  for (Rank r = 0; r < n; ++r) {
+    std::size_t c = 0;
+    for (const TraceRecord& rec : trace_->stream(r)) {
+      if (std::get_if<CollectiveRecord>(&rec) != nullptr) ++c;
+    }
+    nboards_ = std::max(nboards_, c);
+  }
+  boards_ = static_cast<CollectiveBoard*>(arena_->allocate(
+      nboards_ * sizeof(CollectiveBoard), alignof(CollectiveBoard)));
+  for (std::size_t k = 0; k < nboards_; ++k) {
+    new (boards_ + k) CollectiveBoard{};
+    boards_[k].entered = arena_->allocate_array<TimeNs>(nsz);
+    boards_[k].enter = arena_->allocate_array<TimeNs>(nsz);
+  }
 
   agents_ = nullptr;
   if (opt_.enable_power_management) {
     IBP_EXPECTS(opt_.ppa.valid());
-    agents_count_ = n;
-    agents_ = arena_->allocate_array<PmpiAgent*>(n);
+    agents_count_ = nsz;
+    agents_ = arena_->allocate_array<PmpiAgent*>(nsz);
     for (Rank r = 0; r < trace->nranks(); ++r) {
       agents_[static_cast<std::size_t>(r)] = &mem_->acquire_agent(
           static_cast<std::size_t>(r), opt_.ppa, &fabric_->node_link(r));
@@ -56,14 +110,40 @@ ReplayEngine::ReplayEngine(const Trace* trace, const ReplayOptions& options,
   }
 }
 
+bool ReplayEngine::cross_leaf(Rank a, Rank b) const {
+  const auto& topo = fabric_->topology();
+  return topo.leaf_of(a) != topo.leaf_of(b);
+}
+
+void ReplayEngine::sched_rank(Rank r, TimeNs t, EventQueue::Callback cb) {
+  shard_queues_[rank_shard_[static_cast<std::size_t>(r)]]->schedule_tie(
+      t, rank_tie(r), std::move(cb));
+}
+
+void ReplayEngine::post_msg(Rank poster, Rank owner, TimeNs t,
+                            EventQueue::Callback cb) {
+  const std::uint64_t tie = msg_tie(poster);
+  const std::int32_t from = rank_shard_[static_cast<std::size_t>(poster)];
+  const std::int32_t to = rank_shard_[static_cast<std::size_t>(owner)];
+  if (exec_ != nullptr && from != to) {
+    exec_->post(from, to, t, tie, std::move(cb));
+  } else {
+    shard_queues_[to]->schedule_tie(t, tie, std::move(cb));
+  }
+}
+
 ReplayEngine::Channel& ReplayEngine::channel(Rank src, Rank dst,
                                              std::int32_t tag) {
-  Channel& ch = mem_->channels()[channel_key(src, dst, tag)];
+  // Channels live in the *destination* shard's slab: matching, parking and
+  // draining all happen where the receiver runs.
+  ReplayShardSlab& slab = slab_of(dst);
+  Channel& ch = slab.channels[channel_key(src, dst, tag)];
   if (!ch.live) {
     ch.live = true;
-    ch.queue.attach(arena_);
-    ch.waiting.attach(arena_);
-    ++drain_.channels_created;
+    ch.queue.attach(&slab.arena);
+    ch.waiting.attach(&slab.arena);
+    ch.ooo.attach(&slab.arena);
+    ++local_of(dst).drain.channels_created;
   }
   return ch;
 }
@@ -86,11 +166,39 @@ ReplayResult ReplayEngine::run() {
   // At any instant the queue holds at most ~one event per rank (advance /
   // resume / collective-release), so this reserve makes scheduling
   // allocation-free for the whole replay.
-  queue_->reserve(2 * static_cast<std::size_t>(trace_->nranks()) + 16);
-  for (Rank r = 0; r < trace_->nranks(); ++r) {
-    queue_->schedule(TimeNs::zero(), [this, r] { advance(r); });
+  for (int s = 0; s < nshards_; ++s) {
+    shard_queues_[s]->reserve(2 * static_cast<std::size_t>(trace_->nranks()) +
+                              16);
   }
-  queue_->run();
+
+  std::vector<ShardProfile> profiles;
+  if (nshards_ == 1) {
+    for (Rank r = 0; r < trace_->nranks(); ++r) {
+      sched_rank(r, TimeNs::zero(), [this, r] { advance(r); });
+    }
+    queue_->run();
+    profiles.push_back(ShardProfile{queue_->processed(), 0, 0, 0});
+  } else {
+    std::vector<EventQueue*> queues(
+        shard_queues_, shard_queues_ + static_cast<std::size_t>(nshards_));
+    ShardExecutor exec(std::move(queues), ctrl_delay_);
+    exec_ = &exec;
+    // Initial advances are scheduled before any worker exists, directly
+    // into each rank's shard queue, in rank order (identical to serial).
+    for (Rank r = 0; r < trace_->nranks(); ++r) {
+      sched_rank(r, TimeNs::zero(), [this, r] { advance(r); });
+    }
+    exec.run();
+    exec_ = nullptr;
+    profiles = exec.profiles();
+  }
+
+  // Fold the per-shard counters into the engine totals.
+  for (int s = 0; s < nshards_; ++s) {
+    done_count_ += locals_[s].done;
+    messages_ += locals_[s].messages;
+    drain_.accumulate(locals_[s].drain);
+  }
 
   if (done_count_ != trace_->nranks()) throw_deadlock();
 
@@ -104,9 +212,14 @@ ReplayResult ReplayEngine::run() {
   for (std::size_t i = 0; i < agents_count_; ++i) {
     result.agent_total.merge(agents_[i]->stats());
   }
-  result.events_processed = queue_->processed();
+  result.events_processed = 0;
+  for (int s = 0; s < nshards_; ++s) {
+    result.events_processed += shard_queues_[s]->processed();
+  }
   result.messages_sent = messages_;
   result.drain = drain_;
+  result.shards_used = nshards_;
+  result.shard_profiles = std::move(profiles);
   fabric_->finish(result.exec_time);
   IBP_AUDIT(if (const std::string err = audit_drain(); !err.empty())
                 IBP_AUDIT_FAIL(err.c_str()));
@@ -121,28 +234,31 @@ std::string ReplayEngine::audit_drain() const {
            " rank(s) not done at drain";
   }
   // Message conservation: a message still queued (or a receive still
-  // waiting) at drain means a send was never consumed — or consumed twice,
-  // leaving a later receive unmatched.
+  // waiting, or an arrival still parked out-of-order) at drain means a send
+  // was never consumed — or consumed twice, leaving a later receive
+  // unmatched.
   std::string err;
-  mem_->channels().for_each([&err](std::uint64_t key, const Channel& ch) {
-    if (!err.empty() || !ch.live) return;
-    if (!ch.queue.empty()) {
-      err = "replay audit: " + std::to_string(ch.queue.size()) +
-            " in-flight message(s) at drain on channel key " +
-            std::to_string(key);
-    } else if (!ch.waiting.empty()) {
-      err = "replay audit: " + std::to_string(ch.waiting.size()) +
-            " receive(s) still waiting at drain on channel key " +
-            std::to_string(key);
-    }
-  });
-  if (!err.empty()) return err;
-  bool stranded_sender = false;
-  mem_->pending_send_enter().for_each(
-      [&stranded_sender](std::uint64_t, TimeNs) { stranded_sender = true; });
-  if (stranded_sender) {
-    return "replay audit: rendezvous sender never resumed at drain";
+  for (int s = 0; s < nshards_ && err.empty(); ++s) {
+    slab_ptrs_[s]->channels.for_each(
+        [&err](std::uint64_t key, const Channel& ch) {
+          if (!err.empty() || !ch.live) return;
+          if (!ch.queue.empty()) {
+            err = "replay audit: " + std::to_string(ch.queue.size()) +
+                  " in-flight message(s) at drain on channel key " +
+                  std::to_string(key);
+          } else if (!ch.waiting.empty()) {
+            err = "replay audit: " + std::to_string(ch.waiting.size()) +
+                  " receive(s) still waiting at drain on channel key " +
+                  std::to_string(key);
+          } else if (!ch.ooo.empty()) {
+            err = "replay audit: " + std::to_string(ch.ooo.size()) +
+                  " arrival(s) still parked out-of-order at drain on channel "
+                  "key " +
+                  std::to_string(key);
+          }
+        });
   }
+  if (!err.empty()) return err;
   for (Rank r = 0; r < trace_->nranks(); ++r) {
     const auto& st = ranks_[static_cast<std::size_t>(r)];
     if (!st.done) {
@@ -216,7 +332,7 @@ void ReplayEngine::advance(Rank r) {
   if (st.pc >= stream.size()) {
     if (!st.done) {
       st.done = true;
-      ++done_count_;
+      ++local_of(r).done;
       if (opt_.enable_power_management) {
         agents_[static_cast<std::size_t>(r)]->finish();
       }
@@ -261,7 +377,7 @@ void ReplayEngine::do_compute(Rank r, const ComputeRecord& rec) {
   auto& st = ranks_[static_cast<std::size_t>(r)];
   ++st.pc;
   const TimeNs wake = st.now + rec.duration;
-  queue_->schedule(wake, [this, r, wake] {
+  sched_rank(r, wake, [this, r, wake] {
     ranks_[static_cast<std::size_t>(r)].now = wake;
     advance(r);
   });
@@ -281,7 +397,7 @@ void ReplayEngine::finish_call(Rank r, MpiCall call, TimeNs enter,
         {call, enter, exit});
   }
   ++st.pc;
-  queue_->schedule(exit, [this, r, exit] {
+  sched_rank(r, exit, [this, r, exit] {
     ranks_[static_cast<std::size_t>(r)].now = exit;
     advance(r);
   });
@@ -293,7 +409,7 @@ void ReplayEngine::resume_blocked_recv(const WaitingRecv& w, TimeNs exit) {
   const Rank dst = w.dst;
   const MpiCall call = w.call;
   const TimeNs enter = w.enter;
-  queue_->schedule(exit, [this, dst, call, enter, exit] {
+  sched_rank(dst, exit, [this, dst, call, enter, exit] {
     finish_call(dst, call, enter, exit);
   });
 }
@@ -302,7 +418,7 @@ void ReplayEngine::satisfy_waiting(Channel& ch, TimeNs delivery) {
   IBP_ASSERT(!ch.waiting.empty());
   const WaitingRecv w = ch.waiting.front();
   ch.waiting.pop_front();
-  ++drain_.recvs_satisfied;
+  ++local_of(w.dst).drain.recvs_satisfied;
   if (w.nonblocking) {
     complete_request(w.dst, w.request, max(w.min_exit, delivery));
   } else {
@@ -316,9 +432,151 @@ void ReplayEngine::deliver_eager(Rank src, Rank dst, std::int32_t tag,
   if (!ch.waiting.empty()) {
     satisfy_waiting(ch, delivery);
   } else {
-    ch.queue.push_back(ChannelMsg{false, delivery, 0, false, -1, 0});
-    ++drain_.messages_enqueued;
+    ch.queue.push_back(ChannelMsg{false, delivery, 0, false, -1, 0, {}});
+    ++local_of(dst).drain.messages_enqueued;
   }
+}
+
+// --- cross-leaf message plumbing (split-phase, shard-safe) ------------------
+
+TimeNs ReplayEngine::send_cross_eager(Rank src, Rank dst, std::int32_t tag,
+                                      Bytes bytes, TimeNs t) {
+  const std::uint32_t seq =
+      slab_of(src).send_seq[channel_key(src, dst, tag)]++;
+  const auto sx = fabric_->unicast_source(src, dst, bytes, t);
+  post_msg(src, dst, sx.handoff,
+           [this, src, dst, tag, seq, bytes, top = sx.top,
+            handoff = sx.handoff] {
+             const auto tx = fabric_->unicast_dest(src, dst, bytes, top,
+                                                   handoff);
+             channel_arrive(src, dst, tag, seq,
+                            ChannelMsg{false, tx.delivery, 0, false, -1, 0, {}},
+                            handoff);
+           });
+  return sx.sender_free;
+}
+
+void ReplayEngine::send_cross_rendezvous(Rank src, Rank dst, std::int32_t tag,
+                                         Bytes bytes, TimeNs t, TimeNs enter,
+                                         bool nonblocking, RequestId request) {
+  ReplayShardSlab& slab = slab_of(src);
+  const std::uint32_t seq = slab.send_seq[channel_key(src, dst, tag)]++;
+  auto* rts = new (slab.arena.allocate(sizeof(RtsMsg), alignof(RtsMsg)))
+      RtsMsg{src, dst, tag, seq, t + ctrl_delay_,
+             ChannelMsg{true, t, bytes, nonblocking, src, request, enter}};
+  post_msg(src, dst, rts->at, [this, rts] {
+    channel_arrive(rts->src, rts->dst, rts->tag, rts->seq, rts->msg, rts->at);
+  });
+}
+
+void ReplayEngine::channel_arrive(Rank src, Rank dst, std::int32_t tag,
+                                  std::uint32_t seq, const ChannelMsg& m,
+                                  TimeNs now) {
+  Channel& ch = channel(src, dst, tag);
+  if (seq != ch.expected_seq) {
+    // Early arrival (cross-shard paths have per-message latencies): park
+    // sorted until the sequence gap closes — MPI non-overtaking.
+    IBP_ASSERT(seq > ch.expected_seq);
+    std::size_t pos = ch.ooo.size();
+    while (pos > 0 && ch.ooo[pos - 1].seq > seq) --pos;
+    ch.ooo.insert_at(pos, ReplayPendingArrival{seq, m});
+    return;
+  }
+  admit_arrival(ch, src, dst, m, now);
+  ++ch.expected_seq;
+  while (!ch.ooo.empty() && ch.ooo[0].seq == ch.expected_seq) {
+    const ReplayPendingArrival next = ch.ooo[0];
+    ch.ooo.erase_at(0);
+    admit_arrival(ch, src, dst, next.msg, now);
+    ++ch.expected_seq;
+  }
+}
+
+void ReplayEngine::admit_arrival(Channel& ch, Rank src, Rank dst,
+                                 const ChannelMsg& m, TimeNs now) {
+  (void)src;
+  if (!m.rendezvous) {
+    if (!ch.waiting.empty()) {
+      satisfy_waiting(ch, m.ready_or_delivery);
+    } else {
+      ch.queue.push_back(m);
+      ++local_of(dst).drain.messages_enqueued;
+    }
+    return;
+  }
+  // RTS: the receive may already be parked here — match it and call the
+  // sender back; otherwise park the announce like any channel message.
+  if (!ch.waiting.empty()) {
+    const WaitingRecv w = ch.waiting.front();
+    ch.waiting.pop_front();
+    ++local_of(w.dst).drain.recvs_satisfied;
+    post_cts(m, w, now);
+  } else {
+    ch.queue.push_back(m);
+    ++local_of(dst).drain.messages_enqueued;
+  }
+}
+
+void ReplayEngine::post_cts(const ChannelMsg& m, const WaitingRecv& w,
+                            TimeNs t_match) {
+  ReplayShardSlab& slab = slab_of(w.dst);
+  auto* x = new (slab.arena.allocate(sizeof(XferMsg), alignof(XferMsg)))
+      XferMsg{m.src,         m.bytes, m.src_nonblocking, m.src_request,
+              m.send_enter,  w,       t_match + ctrl_delay_,
+              0,             TimeNs{}};
+  post_msg(w.dst, m.src, x->at, [this, x] { handle_cts(x); });
+}
+
+void ReplayEngine::handle_cts(XferMsg* x) {
+  // Source shard: the receive is posted, start the transfer. The source
+  // half reserves now; the destination half is an event at the handoff.
+  const Rank src = x->src;
+  const auto sx = fabric_->unicast_source(src, x->w.dst, x->bytes, x->at);
+  if (x->src_nonblocking) {
+    complete_request(src, x->src_request, sx.sender_free);
+  } else {
+    ++local_of(src).drain.rendezvous_resumed;
+    const TimeNs enter = x->send_enter;
+    const TimeNs free = sx.sender_free;
+    sched_rank(src, free, [this, src, enter, free] {
+      finish_call(src, MpiCall::Send, enter, free);
+    });
+  }
+  x->top = sx.top;
+  x->handoff = sx.handoff;
+  post_msg(src, x->w.dst, sx.handoff, [this, x] { handle_dest_half2(x); });
+}
+
+void ReplayEngine::handle_dest_half2(XferMsg* x) {
+  // Destination shard: land the transfer and complete the receiver.
+  const auto tx =
+      fabric_->unicast_dest(x->src, x->w.dst, x->bytes, x->top, x->handoff);
+  const WaitingRecv& w = x->w;
+  const TimeNs done = max(w.min_exit, tx.delivery);
+  if (w.nonblocking) {
+    complete_request(w.dst, w.request, done);
+  } else {
+    resume_blocked_recv(w, done);
+  }
+}
+
+TimeNs ReplayEngine::serve_rendezvous_inline(const ChannelMsg& m, Rank dst,
+                                             TimeNs t) {
+  const auto tx =
+      fabric_->unicast(m.src, dst, m.bytes, max(m.ready_or_delivery, t));
+  if (m.src_nonblocking) {
+    complete_request(m.src, m.src_request, tx.sender_free);
+  } else {
+    // Resume the blocked sender (same leaf, so same shard: inline).
+    ++local_of(m.src).drain.rendezvous_resumed;
+    const Rank src = m.src;
+    const TimeNs enter = m.send_enter;
+    const TimeNs free = tx.sender_free;
+    sched_rank(src, free, [this, src, enter, free] {
+      finish_call(src, MpiCall::Send, enter, free);
+    });
+  }
+  return tx.delivery;
 }
 
 void ReplayEngine::complete_request(Rank r, RequestId req, TimeNs when) {
@@ -350,22 +608,39 @@ void ReplayEngine::try_resume_wait(Rank r) {
 
 void ReplayEngine::do_send(Rank r, const SendRecord& rec, TimeNs enter,
                            TimeNs t) {
-  ++messages_;
+  ++local_of(r).messages;
+  if (cross_leaf(r, rec.peer)) {
+    if (rec.bytes <= opt_.eager_threshold) {
+      ++local_of(r).drain.sends_eager;
+      const TimeNs sender_free =
+          send_cross_eager(r, rec.peer, rec.tag, rec.bytes, t);
+      finish_call(r, MpiCall::Send, enter, max(t, sender_free));
+    } else {
+      // Cross-leaf rendezvous always goes through RTS/CTS — the sender
+      // cannot peek at the remote channel, so it blocks until called back.
+      ++local_of(r).drain.sends_rendezvous;
+      ++local_of(r).drain.rendezvous_blocked;
+      send_cross_rendezvous(r, rec.peer, rec.tag, rec.bytes, t, enter, false,
+                            0);
+    }
+    return;
+  }
+
   if (rec.bytes <= opt_.eager_threshold) {
-    ++drain_.sends_eager;
+    ++local_of(r).drain.sends_eager;
     const auto tx = fabric_->unicast(r, rec.peer, rec.bytes, t);
     deliver_eager(r, rec.peer, rec.tag, tx.delivery);
     finish_call(r, MpiCall::Send, enter, max(t, tx.sender_free));
     return;
   }
 
-  // Rendezvous: transfer begins once the receive is posted.
-  ++drain_.sends_rendezvous;
+  // Same-leaf rendezvous: transfer begins once the receive is posted.
+  ++local_of(r).drain.sends_rendezvous;
   Channel& ch = channel(r, rec.peer, rec.tag);
   if (!ch.waiting.empty()) {
     const WaitingRecv w = ch.waiting.front();
     ch.waiting.pop_front();
-    ++drain_.recvs_satisfied;
+    ++local_of(w.dst).drain.recvs_satisfied;
     const auto tx = fabric_->unicast(r, rec.peer, rec.bytes, max(t, w.posted));
     if (w.nonblocking) {
       complete_request(w.dst, w.request, max(w.min_exit, tx.delivery));
@@ -374,22 +649,37 @@ void ReplayEngine::do_send(Rank r, const SendRecord& rec, TimeNs enter,
     }
     finish_call(r, MpiCall::Send, enter, max(t, tx.sender_free));
   } else {
-    ch.queue.push_back(ChannelMsg{true, t, rec.bytes, false, r, 0});
-    ++drain_.messages_enqueued;
-    ++drain_.rendezvous_blocked;
-    // Sender stays blocked; the matching recv resumes it. Stash what we
-    // need in the channel entry; enter time is recoverable because the
-    // sender's pc still points at this record.
-    mem_->pending_send_enter()[channel_key(r, rec.peer, rec.tag)] = enter;
+    // Sender stays blocked; the matching recv resumes it. Everything the
+    // resume path needs (including the call-enter time) rides in the
+    // channel entry itself.
+    ch.queue.push_back(ChannelMsg{true, t, rec.bytes, false, r, 0, enter});
+    ++local_of(rec.peer).drain.messages_enqueued;
+    ++local_of(r).drain.rendezvous_blocked;
   }
 }
 
 void ReplayEngine::do_isend(Rank r, const IsendRecord& rec, TimeNs enter,
                             TimeNs t) {
-  ++messages_;
+  ++local_of(r).messages;
   auto& st = ranks_[static_cast<std::size_t>(r)];
+  if (cross_leaf(r, rec.peer)) {
+    if (rec.bytes <= opt_.eager_threshold) {
+      ++local_of(r).drain.sends_eager;
+      const TimeNs sender_free =
+          send_cross_eager(r, rec.peer, rec.tag, rec.bytes, t);
+      st.completed_requests.insert_or_assign(rec.request, max(t, sender_free));
+    } else {
+      ++local_of(r).drain.sends_rendezvous;
+      send_cross_rendezvous(r, rec.peer, rec.tag, rec.bytes, t, enter, true,
+                            rec.request);
+      st.pending_requests.insert(rec.request);
+    }
+    finish_call(r, MpiCall::Isend, enter, t);
+    return;
+  }
+
   if (rec.bytes <= opt_.eager_threshold) {
-    ++drain_.sends_eager;
+    ++local_of(r).drain.sends_eager;
     const auto tx = fabric_->unicast(r, rec.peer, rec.bytes, t);
     deliver_eager(r, rec.peer, rec.tag, tx.delivery);
     st.completed_requests.insert_or_assign(rec.request, max(t, tx.sender_free));
@@ -398,12 +688,12 @@ void ReplayEngine::do_isend(Rank r, const IsendRecord& rec, TimeNs enter,
   }
   // Rendezvous Isend: if the receive is already posted, transfer now; the
   // call still returns immediately and the request completes at injection.
-  ++drain_.sends_rendezvous;
+  ++local_of(r).drain.sends_rendezvous;
   Channel& ch = channel(r, rec.peer, rec.tag);
   if (!ch.waiting.empty()) {
     const WaitingRecv w = ch.waiting.front();
     ch.waiting.pop_front();
-    ++drain_.recvs_satisfied;
+    ++local_of(w.dst).drain.recvs_satisfied;
     const auto tx = fabric_->unicast(r, rec.peer, rec.bytes, max(t, w.posted));
     if (w.nonblocking) {
       complete_request(w.dst, w.request, max(w.min_exit, tx.delivery));
@@ -412,8 +702,9 @@ void ReplayEngine::do_isend(Rank r, const IsendRecord& rec, TimeNs enter,
     }
     st.completed_requests.insert_or_assign(rec.request, max(t, tx.sender_free));
   } else {
-    ch.queue.push_back(ChannelMsg{true, t, rec.bytes, true, r, rec.request});
-    ++drain_.messages_enqueued;
+    ch.queue.push_back(ChannelMsg{true, t, rec.bytes, true, r, rec.request,
+                                  enter});
+    ++local_of(rec.peer).drain.messages_enqueued;
     st.pending_requests.insert(rec.request);
   }
   finish_call(r, MpiCall::Isend, enter, t);
@@ -426,31 +717,25 @@ void ReplayEngine::do_irecv(Rank r, const IrecvRecord& rec, TimeNs enter,
   if (!ch.queue.empty()) {
     const ChannelMsg m = ch.queue.front();
     ch.queue.pop_front();
-    ++drain_.messages_matched;
+    ++local_of(r).drain.messages_matched;
     if (!m.rendezvous) {
       st.completed_requests.insert_or_assign(rec.request,
                                              max(t, m.ready_or_delivery));
+    } else if (!cross_leaf(rec.peer, r)) {
+      const TimeNs delivery = serve_rendezvous_inline(m, r, t);
+      st.completed_requests.insert_or_assign(rec.request, max(t, delivery));
     } else {
-      const auto tx =
-          fabric_->unicast(rec.peer, r, m.bytes, max(m.ready_or_delivery, t));
-      if (m.src_nonblocking) {
-        complete_request(m.src, m.src_request, tx.sender_free);
-      } else {
-        const auto key = channel_key(rec.peer, r, rec.tag);
-        const TimeNs send_enter = mem_->pending_send_enter()[key];
-        mem_->pending_send_enter().erase(key);
-        ++drain_.rendezvous_resumed;
-        const Rank src = rec.peer;
-        queue_->schedule(tx.sender_free, [this, src, send_enter, tx] {
-          finish_call(src, MpiCall::Send, send_enter, tx.sender_free);
-        });
-      }
-      st.completed_requests.insert_or_assign(rec.request, max(t, tx.delivery));
+      // Parked RTS from another leaf: call the sender back; the request
+      // completes when the transfer lands (DestHalf2).
+      post_cts(m, WaitingRecv{r, MpiCall::Irecv, t, enter, t, true,
+                              rec.request},
+               t);
+      st.pending_requests.insert(rec.request);
     }
   } else {
     ch.waiting.push_back(
         WaitingRecv{r, MpiCall::Irecv, t, enter, t, true, rec.request});
-    ++drain_.recvs_waited;
+    ++local_of(r).drain.recvs_waited;
     st.pending_requests.insert(rec.request);
   }
   finish_call(r, MpiCall::Irecv, enter, t);
@@ -495,121 +780,128 @@ void ReplayEngine::do_recv(Rank r, const RecvRecord& rec, TimeNs enter,
   if (!ch.queue.empty()) {
     const ChannelMsg m = ch.queue.front();
     ch.queue.pop_front();
-    ++drain_.messages_matched;
+    ++local_of(r).drain.messages_matched;
     if (!m.rendezvous) {
       finish_call(r, MpiCall::Recv, enter, max(t, m.ready_or_delivery));
+    } else if (!cross_leaf(rec.peer, r)) {
+      const TimeNs delivery = serve_rendezvous_inline(m, r, t);
+      finish_call(r, MpiCall::Recv, enter, max(t, delivery));
     } else {
-      const auto tx =
-          fabric_->unicast(rec.peer, r, m.bytes, max(m.ready_or_delivery, t));
-      if (m.src_nonblocking) {
-        complete_request(m.src, m.src_request, tx.sender_free);
-      } else {
-        // Resume the blocked sender.
-        const auto key = channel_key(rec.peer, r, rec.tag);
-        const TimeNs send_enter = mem_->pending_send_enter()[key];
-        mem_->pending_send_enter().erase(key);
-        ++drain_.rendezvous_resumed;
-        const Rank src = rec.peer;
-        queue_->schedule(tx.sender_free, [this, src, send_enter, tx] {
-          finish_call(src, MpiCall::Send, send_enter, tx.sender_free);
-        });
-      }
-      finish_call(r, MpiCall::Recv, enter, max(t, tx.delivery));
+      // Parked RTS from another leaf: call the sender back and stay
+      // blocked; DestHalf2 resumes this rank at delivery.
+      post_cts(m, WaitingRecv{r, MpiCall::Recv, t, enter, t, false, 0}, t);
     }
     return;
   }
   ch.waiting.push_back(WaitingRecv{r, MpiCall::Recv, t, enter, t, false, 0});
-  ++drain_.recvs_waited;
+  ++local_of(r).drain.recvs_waited;
 }
 
 void ReplayEngine::do_sendrecv(Rank r, const SendrecvRecord& rec, TimeNs enter,
                                TimeNs t) {
-  ++messages_;
-  ++drain_.sends_eager;
+  ++local_of(r).messages;
+  ++local_of(r).drain.sends_eager;
   // Send half: always eager (MPI_Sendrecv cannot deadlock).
-  const auto tx = fabric_->unicast(r, rec.send_peer, rec.bytes, t);
-  deliver_eager(r, rec.send_peer, rec.tag, tx.delivery);
-  const TimeNs send_done = max(t, tx.sender_free);
+  TimeNs send_free;
+  if (cross_leaf(r, rec.send_peer)) {
+    send_free = send_cross_eager(r, rec.send_peer, rec.tag, rec.bytes, t);
+  } else {
+    const auto tx = fabric_->unicast(r, rec.send_peer, rec.bytes, t);
+    deliver_eager(r, rec.send_peer, rec.tag, tx.delivery);
+    send_free = tx.sender_free;
+  }
+  const TimeNs send_done = max(t, send_free);
 
   // Recv half.
   Channel& ch = channel(rec.recv_peer, r, rec.tag);
   if (!ch.queue.empty()) {
     const ChannelMsg m = ch.queue.front();
     ch.queue.pop_front();
-    ++drain_.messages_matched;
+    ++local_of(r).drain.messages_matched;
     if (!m.rendezvous) {
       finish_call(r, MpiCall::Sendrecv, enter,
                   max(send_done, m.ready_or_delivery));
       return;
     }
-    // A large Isend can match a Sendrecv's receive half.
-    const auto rtx =
-        fabric_->unicast(rec.recv_peer, r, m.bytes, max(m.ready_or_delivery, t));
-    if (m.src_nonblocking) {
-      complete_request(m.src, m.src_request, rtx.sender_free);
-    } else {
-      const auto key = channel_key(rec.recv_peer, r, rec.tag);
-      const TimeNs send_enter = mem_->pending_send_enter()[key];
-      mem_->pending_send_enter().erase(key);
-      ++drain_.rendezvous_resumed;
-      const Rank src = rec.recv_peer;
-      queue_->schedule(rtx.sender_free, [this, src, send_enter, rtx] {
-        finish_call(src, MpiCall::Send, send_enter, rtx.sender_free);
-      });
+    if (!cross_leaf(rec.recv_peer, r)) {
+      // A large Isend can match a Sendrecv's receive half.
+      const TimeNs delivery = serve_rendezvous_inline(m, r, t);
+      finish_call(r, MpiCall::Sendrecv, enter, max(send_done, delivery));
+      return;
     }
-    finish_call(r, MpiCall::Sendrecv, enter, max(send_done, rtx.delivery));
+    post_cts(m, WaitingRecv{r, MpiCall::Sendrecv, t, enter, send_done, false,
+                            0},
+             t);
     return;
   }
   ch.waiting.push_back(
       WaitingRecv{r, MpiCall::Sendrecv, t, enter, send_done, false, 0});
-  ++drain_.recvs_waited;
+  ++local_of(r).drain.recvs_waited;
 }
 
 void ReplayEngine::do_collective(Rank r, const CollectiveRecord& rec,
                                  TimeNs enter, TimeNs t) {
   auto& st = ranks_[static_cast<std::size_t>(r)];
-  const auto n = static_cast<std::size_t>(trace_->nranks());
   const auto k = static_cast<std::size_t>(st.coll_index++);
-  while (collectives_.size() <= k) {
-    CollectiveState fresh{};
-    fresh.blocked.attach(arena_);
-    collectives_.push_back(fresh);
-  }
-  CollectiveState& cs = collectives_[k];
-  if (cs.entered == nullptr) {
-    cs.entered = arena_->allocate_array<TimeNs>(n);
-    for (std::size_t i = 0; i < n; ++i) cs.entered[i] = TimeNs{-1};
-  }
+  IBP_ASSERT(k < nboards_);
+  CollectiveBoard& board = boards_[k];
 
   // Ensure this rank's uplink is awake for the collective; a lane-wake
   // penalty delays this rank's effective participation.
   const TimeNs penalty = fabric_->wake_node_link(r, t);
   const TimeNs eff = t + penalty;
-  cs.entered[static_cast<std::size_t>(r)] = eff;
-  cs.max_enter = max(cs.max_enter, eff);
-  ++cs.count;
-
-  if (cs.count == trace_->nranks()) {
-    const TimeNs completion =
-        cs.max_enter + coll_model_.cost(rec.call, rec.bytes,
-                                        static_cast<int>(trace_->nranks()));
-    for (Rank q = 0; q < trace_->nranks(); ++q) {
-      fabric_->occupy_node_link(q, cs.entered[static_cast<std::size_t>(q)],
-                                completion);
-    }
-    // All ranks (including r) exit at completion. Other ranks' enters were
-    // recorded when they blocked; we only know r's enter here, so each
-    // blocked rank stored its own via the pending list.
-    for (const auto& blocked : cs.blocked) {
-      queue_->schedule(completion, [this, blocked, completion, call = rec.call] {
-        finish_call(blocked.rank, call, blocked.enter, completion);
-      });
-    }
-    cs.blocked.clear();
-    finish_call(r, rec.call, enter, completion);
-  } else {
-    cs.blocked.push_back({r, enter});
+  board.entered[static_cast<std::size_t>(r)] = eff;
+  board.enter[static_cast<std::size_t>(r)] = enter;
+  // CAS-max; relaxed is enough — the turnstile below publishes it.
+  std::int64_t cur = board.max_enter.load(std::memory_order_relaxed);
+  while (eff.ns > cur &&
+         !board.max_enter.compare_exchange_weak(cur, eff.ns,
+                                                std::memory_order_relaxed)) {
   }
+
+  const int prev = board.count.fetch_add(1, std::memory_order_acq_rel);
+  if (prev + 1 == trace_->nranks()) {
+    // Last entrant: the completion time is a pure function of the max entry
+    // (commutative), so it is identical no matter which shard computes it.
+    const TimeNs completion =
+        TimeNs{board.max_enter.load(std::memory_order_relaxed)} +
+        coll_model_.cost(rec.call, rec.bytes,
+                         static_cast<int>(trace_->nranks()));
+    for (Rank q = 0; q < trace_->nranks(); ++q) {
+      post_collective_finish(r, q, k, completion);
+    }
+  }
+}
+
+void ReplayEngine::post_collective_finish(Rank poster, Rank q,
+                                          std::size_t board,
+                                          TimeNs completion) {
+  const std::uint64_t tie =
+      kTieCollective | (static_cast<std::uint64_t>(board) << 40) |
+      static_cast<std::uint64_t>(static_cast<std::uint32_t>(q));
+  const std::int32_t from = rank_shard_[static_cast<std::size_t>(poster)];
+  const std::int32_t to = rank_shard_[static_cast<std::size_t>(q)];
+  EventQueue::Callback cb = [this, board, q, completion] {
+    finish_collective(board, q, completion);
+  };
+  if (exec_ != nullptr && from != to) {
+    exec_->post(from, to, completion, tie, std::move(cb));
+  } else {
+    shard_queues_[to]->schedule_tie(completion, tie, std::move(cb));
+  }
+}
+
+void ReplayEngine::finish_collective(std::size_t board, Rank q,
+                                     TimeNs completion) {
+  CollectiveBoard& b = boards_[board];
+  auto& st = ranks_[static_cast<std::size_t>(q)];
+  // The rank's pc still points at its collective record (finish_call has
+  // not run yet), so the call kind is recoverable without carrying it.
+  const auto* rec = std::get_if<CollectiveRecord>(&trace_->stream(q)[st.pc]);
+  IBP_ASSERT(rec != nullptr);
+  fabric_->occupy_node_link(q, b.entered[static_cast<std::size_t>(q)],
+                            completion);
+  finish_call(q, rec->call, b.enter[static_cast<std::size_t>(q)], completion);
 }
 
 }  // namespace ibpower

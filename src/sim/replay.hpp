@@ -25,6 +25,7 @@
 #pragma once
 
 #include <algorithm>
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <optional>
@@ -37,6 +38,7 @@
 #include "sim/collectives.hpp"
 #include "sim/des.hpp"
 #include "sim/replay_memory.hpp"
+#include "sim/sharded_replay.hpp"
 #include "trace/trace.hpp"
 #include "util/arena.hpp"
 #include "util/hash_table.hpp"
@@ -54,6 +56,13 @@ struct ReplayOptions {
   /// Record per-rank MPI call events (needed for Paraver output and
   /// call-level analyses; costs memory on large traces).
   bool record_call_timeline{false};
+  /// Intra-replay shard count for the conservative parallel DES. 1 = serial;
+  /// <= 0 = auto (hardware concurrency, serial inside ThreadPool workers).
+  /// Clamped to the number of leaf switches in use; forced serial when the
+  /// topology has no lookahead (zero hop latency). Results are bit-identical
+  /// for every shard count — the event order is keyed by simulation state,
+  /// never by thread interleaving.
+  int shards{1};
 };
 
 /// Always-compiled channel/rendezvous bookkeeping counters. These used to be
@@ -74,6 +83,19 @@ struct ReplayDrainStats {
   std::uint64_t rendezvous_blocked{0};  // blocking senders parked
   std::uint64_t rendezvous_resumed{0};  // parked senders resumed
 
+  /// Fold another stats block in (per-shard counters merged after a run).
+  void accumulate(const ReplayDrainStats& o) {
+    channels_created += o.channels_created;
+    sends_eager += o.sends_eager;
+    sends_rendezvous += o.sends_rendezvous;
+    messages_enqueued += o.messages_enqueued;
+    messages_matched += o.messages_matched;
+    recvs_waited += o.recvs_waited;
+    recvs_satisfied += o.recvs_satisfied;
+    rendezvous_blocked += o.rendezvous_blocked;
+    rendezvous_resumed += o.rendezvous_resumed;
+  }
+
   friend bool operator==(const ReplayDrainStats&,
                          const ReplayDrainStats&) = default;
 };
@@ -85,6 +107,10 @@ struct ReplayResult {
   std::uint64_t events_processed{0};
   std::uint64_t messages_sent{0};
   ReplayDrainStats drain{};
+  /// Shard count the replay actually ran with (after auto/clamping) and the
+  /// per-shard execution profile (events, boundary posts, horizon stalls).
+  int shards_used{1};
+  std::vector<ShardProfile> shard_profiles;
 };
 
 class ReplayEngine {
@@ -131,15 +157,19 @@ class ReplayEngine {
   using WaitingRecv = ReplayWaitingRecv;
   using Channel = ReplayChannel;
 
-  struct BlockedRank {
-    Rank rank{-1};
-    TimeNs enter{};
-  };
-  struct CollectiveState {
-    int count{0};
-    TimeNs max_enter{};
-    TimeNs* entered{nullptr};  // arena array, nranks wide, lazily filled
-    ArenaVector<BlockedRank> blocked;
+  // One collective's rendezvous board. Unlike the rest of the replay state
+  // it is written from every shard (each rank enters from its own shard), so
+  // the shared counters are atomics: `count` is an acq_rel entry turnstile
+  // whose release chain publishes every entrant's writes to whichever shard
+  // hosts the last entrant, and `max_enter` is a relaxed CAS-max (the
+  // turnstile orders it). The completion time derives only from the max —
+  // commutative, so it is identical for every entry interleaving. The
+  // per-rank arrays are written and read only by that rank's shard.
+  struct alignas(64) CollectiveBoard {
+    std::atomic<int> count{0};
+    std::atomic<std::int64_t> max_enter{0};  // ns; entry times are >= 0
+    TimeNs* entered{nullptr};  // arena array [nranks]: effective entry
+    TimeNs* enter{nullptr};    // arena array [nranks]: call-enter time
   };
   // Sorted-array request bookkeeping, carved from the arena. A rank has at
   // most a handful of outstanding nonblocking requests, so contiguous
@@ -222,6 +252,12 @@ class ReplayEngine {
     TimeNs now{};
     int coll_index{0};
     bool done{false};
+    // Deterministic tie-break counters (see the tie-key scheme below). Both
+    // are bumped only by events executing in this rank's shard, in the
+    // shard's deterministic pop order, so the keys they produce are
+    // invariant under the shard count.
+    std::uint64_t chain_seq{0};  // class-0 advance/finish chain events
+    std::uint64_t msg_seq{0};    // class-1 message events originated here
     // Nonblocking-request bookkeeping.
     RequestMap completed_requests;  // not yet retired
     RequestSet pending_requests;    // completion unknown
@@ -230,6 +266,68 @@ class ReplayEngine {
     RequestId wait_request{0};
     TimeNs wait_enter{};
     TimeNs wait_t{};  // post-overhead time inside the Wait
+  };
+
+  // --- shard-count-invariant event keys ------------------------------------
+  //
+  // Every event is scheduled with an explicit (time, tie) key derived from
+  // simulation state, never from an insertion counter, so the per-shard pop
+  // order — and therefore the whole replay — is bit-identical for any shard
+  // count (DESIGN.md §11). Three key classes share the 64-bit tie space:
+  //   class 0 (rank chain):  (0 << 62) | rank << 40 | chain_seq++
+  //   class 1 (messages):    (1 << 62) | origin_rank << 40 | msg_seq++
+  //   class 2 (collectives): (2 << 62) | board_index << 40 | rank
+  static constexpr std::uint64_t kTieRankChain = 0;
+  static constexpr std::uint64_t kTieMessage = std::uint64_t{1} << 62;
+  static constexpr std::uint64_t kTieCollective = std::uint64_t{2} << 62;
+
+  [[nodiscard]] std::uint64_t rank_tie(Rank r) {
+    auto& st = ranks_[static_cast<std::size_t>(r)];
+    return kTieRankChain |
+           (static_cast<std::uint64_t>(static_cast<std::uint32_t>(r)) << 40) |
+           st.chain_seq++;
+  }
+  [[nodiscard]] std::uint64_t msg_tie(Rank origin) {
+    auto& st = ranks_[static_cast<std::size_t>(origin)];
+    return kTieMessage |
+           (static_cast<std::uint64_t>(static_cast<std::uint32_t>(origin))
+            << 40) |
+           st.msg_seq++;
+  }
+
+  // Cross-shard in-flight rendezvous transfer: built at the match site (the
+  // destination shard), read by the CTS handler (source shard) which fills
+  // in the handoff fields, then consumed by the DestHalf2 handler back in
+  // the destination shard. Exclusively owned by the in-flight message at
+  // every point, so no synchronization beyond the event posts themselves.
+  struct XferMsg {
+    Rank src{-1};
+    Bytes bytes{0};
+    bool src_nonblocking{false};
+    RequestId src_request{0};
+    TimeNs send_enter{};
+    WaitingRecv w{};
+    TimeNs at{};       // CTS arrival time == transfer ready time
+    SwitchId top{0};   // filled by the CTS handler
+    TimeNs handoff{};  // filled by the CTS handler
+  };
+  // Cross-shard RTS (rendezvous announce) payload; too large for an inline
+  // event capture, so it rides in the source shard's arena.
+  struct RtsMsg {
+    Rank src{-1};
+    Rank dst{-1};
+    std::int32_t tag{0};
+    std::uint32_t seq{0};
+    TimeNs at{};  // RTS arrival time (the match "now" at the destination)
+    ChannelMsg msg{};
+  };
+
+  // Per-shard mutable counters, merged into the engine totals after the run
+  // (cache-line padded: shards bump them concurrently).
+  struct alignas(64) ShardLocal {
+    ReplayDrainStats drain{};
+    std::uint64_t messages{0};
+    int done{0};
   };
 
   [[nodiscard]] static std::uint64_t channel_key(Rank src, Rank dst,
@@ -241,6 +339,51 @@ class ReplayEngine {
   }
 
   Channel& channel(Rank src, Rank dst, std::int32_t tag);
+
+  [[nodiscard]] bool cross_leaf(Rank a, Rank b) const;
+  [[nodiscard]] ShardLocal& local_of(Rank r) {
+    return locals_[static_cast<std::size_t>(
+        rank_shard_[static_cast<std::size_t>(r)])];
+  }
+  [[nodiscard]] ReplayShardSlab& slab_of(Rank r) {
+    return *slab_ptrs_[static_cast<std::size_t>(
+        rank_shard_[static_cast<std::size_t>(r)])];
+  }
+
+  /// Schedule a class-0 (rank chain) event. Always lands in rank r's own
+  /// shard — chain events are only created while executing that shard.
+  void sched_rank(Rank r, TimeNs t, EventQueue::Callback cb);
+  /// Schedule a class-1 message event into the shard owning `owner`'s rank,
+  /// posted from `poster`'s shard (cross-shard when they differ).
+  void post_msg(Rank poster, Rank owner, TimeNs t, EventQueue::Callback cb);
+
+  /// Cross-leaf eager send: reserves the source half now, posts the
+  /// destination half as an event at the trunk handoff. Returns when the
+  /// sender's uplink frees.
+  TimeNs send_cross_eager(Rank src, Rank dst, std::int32_t tag, Bytes bytes,
+                          TimeNs t);
+  /// Cross-leaf rendezvous send: posts an RTS to the destination shard.
+  void send_cross_rendezvous(Rank src, Rank dst, std::int32_t tag, Bytes bytes,
+                             TimeNs t, TimeNs enter, bool nonblocking,
+                             RequestId request);
+  /// Destination-shard arrival with MPI non-overtaking enforcement: admits
+  /// in sender-assigned sequence order, parking early arrivals.
+  void channel_arrive(Rank src, Rank dst, std::int32_t tag, std::uint32_t seq,
+                      const ChannelMsg& m, TimeNs now);
+  void admit_arrival(Channel& ch, Rank src, Rank dst, const ChannelMsg& m,
+                     TimeNs now);
+  /// Matched a cross-leaf rendezvous message with a receive: post the CTS
+  /// back to the source shard (transfer starts there on arrival).
+  void post_cts(const ChannelMsg& m, const WaitingRecv& w, TimeNs t_match);
+  void handle_cts(XferMsg* x);
+  void handle_dest_half2(XferMsg* x);
+  /// Same-leaf rendezvous service (fully inline, both ends in this shard):
+  /// performs the transfer, resumes the sender, returns the delivery time.
+  TimeNs serve_rendezvous_inline(const ChannelMsg& m, Rank dst, TimeNs t);
+
+  void post_collective_finish(Rank poster, Rank q, std::size_t board,
+                              TimeNs completion);
+  void finish_collective(std::size_t board, Rank q, TimeNs completion);
 
   /// Execute the record at ranks_[r].pc; either finishes it (scheduling the
   /// next advance) or leaves the rank blocked.
@@ -286,13 +429,23 @@ class ReplayEngine {
   ReplayMemory* mem_;
   Fabric* fabric_;           // owned by *mem_
   CollectiveCostModel coll_model_;
-  EventQueue* queue_;        // owned by *mem_
-  MonotonicArena* arena_;    // owned by *mem_
+  EventQueue* queue_;        // shard 0's queue, owned by *mem_
+  MonotonicArena* arena_;    // shard 0's arena, owned by *mem_
   RankState* ranks_;         // arena array [nranks]
   PmpiAgent** agents_;       // arena array [agents_count_], owned by *mem_
   std::size_t agents_count_{0};
-  ArenaVector<CollectiveState> collectives_;
   ArenaVector<MpiCallEvent>* call_timelines_;  // arena array [nranks]
+  // --- sharding ---
+  int nshards_{1};
+  TimeNs ctrl_delay_{};        // RTS/CTS latency == conservative lookahead
+  std::int32_t* rank_shard_;   // arena array [nranks]
+  EventQueue** shard_queues_;  // arena array [nshards_]
+  ReplayShardSlab** slab_ptrs_;  // arena array [nshards_]
+  ShardLocal* locals_;         // arena array [nshards_], 64-byte aligned
+  ShardExecutor* exec_{nullptr};  // live only inside run() when nshards_ > 1
+  CollectiveBoard* boards_;    // arena array [nboards_], pre-counted
+  std::size_t nboards_{0};
+  // Post-run merged totals (per-shard ShardLocals folded in by run()).
   int done_count_{0};
   std::uint64_t messages_{0};
   ReplayDrainStats drain_;

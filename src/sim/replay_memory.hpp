@@ -49,6 +49,11 @@ struct ReplayChannelMsg {
   bool src_nonblocking{false};
   Rank src{-1};
   RequestId src_request{0};
+  // Rendezvous-from-blocking-Send: the sender's call-enter time, needed to
+  // finish its call when the transfer resumes it. Carried in the message
+  // itself so no side table is consulted on the resume path (and, sharded,
+  // so the destination shard never reads sender-shard state).
+  TimeNs send_enter{};
 };
 
 struct ReplayWaitingRecv {
@@ -62,42 +67,78 @@ struct ReplayWaitingRecv {
   RequestId request{0};
 };
 
+/// An arrival that reached the destination shard ahead of a lower-seq
+/// message still in flight (cross-shard paths have per-message latencies).
+/// Parked until the channel's expected_seq catches up, restoring MPI
+/// non-overtaking order.
+struct ReplayPendingArrival {
+  std::uint32_t seq{0};
+  ReplayChannelMsg msg;
+};
+
 struct ReplayChannel {
   ArenaQueue<ReplayChannelMsg> queue;
   ArenaQueue<ReplayWaitingRecv> waiting;
+  // Sender-assigned sequence gating (sharded replay): next seq this channel
+  // may admit, and the sorted out-of-order park for early arrivals. Serial
+  // replays admit in post order, so these stay at 0/empty.
+  std::uint32_t expected_seq{0};
+  ArenaVector<ReplayPendingArrival> ooo;
   bool live{false};  // set when first touched by a replay
+};
+
+/// One shard's slice of the replay workspace: its event queue, its arena
+/// (events, channel buffers, cross-shard message blocks created by it), and
+/// the channel map for channels it owns (keyed by destination rank). Slab 0
+/// doubles as the whole workspace for serial replays.
+struct ReplayShardSlab {
+  MonotonicArena arena;
+  EventQueue queue;
+  FlatHashMap<std::uint64_t, ReplayChannel> channels;
+  // Sender-side per-channel sequence counters, keyed like `channels` but
+  // living in the *source* shard's slab (the sender assigns the seq).
+  FlatHashMap<std::uint64_t, std::uint32_t> send_seq;
+
+  void begin_run() {
+    arena.reset();
+    queue.reset_for_reuse();
+    channels.clear_retain();
+    send_seq.clear_retain();
+  }
 };
 
 class ReplayMemory {
  public:
-  ReplayMemory() = default;
+  ReplayMemory() { slabs_.push_back(std::make_unique<ReplayShardSlab>()); }
   ReplayMemory(const ReplayMemory&) = delete;
   ReplayMemory& operator=(const ReplayMemory&) = delete;
 
-  /// Start a new borrow: recycles the arena and empties queue and channel
+  /// Start a new borrow: recycles every slab's arena, queue and channel
   /// maps while keeping all capacity. Called by ReplayEngine's constructor.
   void begin_run() {
-    arena_.reset();
-    queue_.reset_for_reuse();
-    channels_.clear_retain();
-    pending_send_enter_.clear_retain();
+    for (auto& slab : slabs_) slab->begin_run();
   }
 
-  [[nodiscard]] MonotonicArena& arena() { return arena_; }
-  [[nodiscard]] EventQueue& queue() { return queue_; }
+  /// Shard i's slab, grown on demand. Slabs persist across borrows so a
+  /// worker that alternates sharded and serial replays keeps all capacity.
+  [[nodiscard]] ReplayShardSlab& shard_slab(std::size_t i) {
+    while (slabs_.size() <= i) {
+      slabs_.push_back(std::make_unique<ReplayShardSlab>());
+      slabs_.back()->begin_run();
+    }
+    return *slabs_[i];
+  }
+  [[nodiscard]] std::size_t num_slabs() const { return slabs_.size(); }
+
+  // Serial accessors: slab 0 is the whole workspace for 1-shard replays.
+  [[nodiscard]] MonotonicArena& arena() { return slabs_[0]->arena; }
+  [[nodiscard]] EventQueue& queue() { return slabs_[0]->queue; }
   [[nodiscard]] FlatHashMap<std::uint64_t, ReplayChannel>& channels() {
-    return channels_;
+    return slabs_[0]->channels;
   }
   [[nodiscard]] const FlatHashMap<std::uint64_t, ReplayChannel>& channels()
       const {
-    return channels_;
-  }
-  [[nodiscard]] FlatHashMap<std::uint64_t, TimeNs>& pending_send_enter() {
-    return pending_send_enter_;
-  }
-  [[nodiscard]] const FlatHashMap<std::uint64_t, TimeNs>& pending_send_enter()
-      const {
-    return pending_send_enter_;
+    return slabs_[0]->channels;
   }
 
   /// The reusable fabric: constructed on first use, reset in place after —
@@ -125,10 +166,7 @@ class ReplayMemory {
   }
 
  private:
-  MonotonicArena arena_;
-  EventQueue queue_;
-  FlatHashMap<std::uint64_t, ReplayChannel> channels_;
-  FlatHashMap<std::uint64_t, TimeNs> pending_send_enter_;
+  std::vector<std::unique_ptr<ReplayShardSlab>> slabs_;
   std::unique_ptr<Fabric> fabric_;
   std::vector<std::unique_ptr<PmpiAgent>> agents_;
 };

@@ -1,0 +1,214 @@
+#include "sim/sharded_replay.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <limits>
+#include <thread>
+
+#include "util/expect.hpp"
+#include "util/thread_pool.hpp"
+
+namespace ibpower {
+
+namespace {
+constexpr std::int64_t kInf = std::numeric_limits<std::int64_t>::max();
+
+std::int64_t saturating_add(std::int64_t a, std::int64_t b) {
+  return a > kInf - b ? kInf : a + b;
+}
+}  // namespace
+
+int resolve_shard_count(int requested, int nleaves_used, bool has_lookahead) {
+  if (!has_lookahead || nleaves_used <= 1) return 1;
+  int shards = requested;
+  if (shards <= 0) {
+    // Auto: one shard per core — unless we are already a worker of the
+    // grid-level ThreadPool, where nested fan-out would oversubscribe the
+    // machine; cell-level parallelism wins there.
+    shards = ThreadPool::in_worker()
+                 ? 1
+                 : static_cast<int>(ThreadPool::default_concurrency());
+  }
+  return std::clamp(shards, 1, nleaves_used);
+}
+
+ShardExecutor::ShardExecutor(std::vector<EventQueue*> queues, TimeNs lookahead)
+    : profiles_(queues.size()), lookahead_(lookahead) {
+  IBP_EXPECTS(!queues.empty());
+  IBP_EXPECTS(queues.size() == 1 || lookahead > TimeNs::zero());
+  shards_.reserve(queues.size());
+  for (EventQueue* q : queues) {
+    IBP_EXPECTS(q != nullptr);
+    auto s = std::make_unique<Shard>();
+    s->queue = q;
+    s->inbox_min.store(kInf, std::memory_order_relaxed);
+    s->self_cap = kInf;
+    shards_.push_back(std::move(s));
+  }
+}
+
+void ShardExecutor::post(int from, int to, TimeNs t, std::uint64_t tie,
+                         Callback cb) {
+  IBP_EXPECTS(to >= 0 && to < nshards());
+  if (to == from) {
+    shards_[static_cast<std::size_t>(to)]->queue->schedule_tie(t, tie,
+                                                               std::move(cb));
+    return;
+  }
+  Shard& target = *shards_[static_cast<std::size_t>(to)];
+  {
+    std::lock_guard<std::mutex> lock(target.inbox_mutex);
+    target.inbox.push_back(PendingEvent{t.ns, tie, std::move(cb)});
+    // Single writer at a time (the mutex); the release pairs with the
+    // acquire in effective_horizon so a reader that misses the new horizon
+    // still sees this in-flight event's time.
+    const std::int64_t im =
+        target.inbox_min.load(std::memory_order_relaxed);
+    if (t.ns < im) {
+      target.inbox_min.store(t.ns, std::memory_order_release);
+    }
+  }
+  Shard& self = *shards_[static_cast<std::size_t>(from)];
+  self.posted.fetch_add(1, std::memory_order_release);
+  // Cap our own batch at the earliest time the receiver could react and
+  // post back (owner-thread-only field; see the header's protocol note).
+  const std::int64_t echo = saturating_add(t.ns, lookahead_.ns);
+  if (echo < self.self_cap) self.self_cap = echo;
+  ++profiles_[static_cast<std::size_t>(from)].boundary_posts;
+}
+
+void ShardExecutor::drain_inbox(int i, std::vector<PendingEvent>& scratch) {
+  Shard& s = *shards_[static_cast<std::size_t>(i)];
+  scratch.clear();
+  {
+    std::lock_guard<std::mutex> lock(s.inbox_mutex);
+    if (s.inbox.empty()) return;
+    scratch.swap(s.inbox);
+    // Fold the arrivals into the queue and republish the horizon BEFORE
+    // releasing inbox_min: between the two stores a reader sees either the
+    // old inbox_min (covering the arrivals) or, via the release/acquire
+    // pair on inbox_min, the already-lowered horizon — never a stale
+    // horizon with an empty-looking inbox.
+    for (PendingEvent& ev : scratch) {
+      s.queue->schedule_tie(TimeNs{ev.t}, ev.tie, std::move(ev.cb));
+    }
+    s.horizon.store(s.queue->next_time().ns, std::memory_order_release);
+    s.inbox_min.store(kInf, std::memory_order_release);
+  }
+  s.drained.fetch_add(scratch.size(), std::memory_order_release);
+  scratch.clear();
+}
+
+bool ShardExecutor::try_terminate() {
+  // Monotone-counter double-read: if the posted/drained totals are equal,
+  // every effective horizon reads infinity in between, and the totals have
+  // not moved, then no event exists anywhere and none was in flight during
+  // the sweep — nothing can ever be created again.
+  std::uint64_t posted1 = 0;
+  std::uint64_t drained1 = 0;
+  for (const auto& s : shards_) {
+    posted1 += s->posted.load(std::memory_order_acquire);
+    drained1 += s->drained.load(std::memory_order_acquire);
+  }
+  if (posted1 != drained1) return false;
+  for (const auto& s : shards_) {
+    if (effective_horizon(*s) != kInf) return false;
+  }
+  std::uint64_t posted2 = 0;
+  std::uint64_t drained2 = 0;
+  for (const auto& s : shards_) {
+    posted2 += s->posted.load(std::memory_order_acquire);
+    drained2 += s->drained.load(std::memory_order_acquire);
+  }
+  return posted2 == posted1 && drained2 == drained1;
+}
+
+void ShardExecutor::worker(int i) {
+  Shard& self = *shards_[static_cast<std::size_t>(i)];
+  EventQueue& queue = *self.queue;
+  ShardProfile& prof = profiles_[static_cast<std::size_t>(i)];
+  const std::uint64_t events_before = queue.processed();
+  std::vector<PendingEvent> scratch;
+  const std::int64_t lookahead = lookahead_.ns;
+  const int n = nshards();
+
+  while (!failed_.load(std::memory_order_relaxed)) {
+    // 1. Publish our own horizon. Every event still in the queue is at
+    //    >= next_time(), and every future post happens while executing one
+    //    of them, so this is a sound promise (in-flight arrivals are the
+    //    receiver-side inbox_min's job).
+    self.horizon.store(queue.next_time().ns, std::memory_order_release);
+
+    // 2. Compute the execution bound from the other shards' promises.
+    std::int64_t min_h = kInf;
+    for (int j = 0; j < n; ++j) {
+      if (j == i) continue;
+      min_h = std::min(min_h,
+                       effective_horizon(*shards_[static_cast<std::size_t>(j)]));
+    }
+    const std::int64_t bound =
+        min_h == kInf ? kInf : saturating_add(min_h, lookahead);
+
+    // 3. Drain the inbox — strictly after the horizon reads, so any post
+    //    that raced past our read is either in the queue now or provably
+    //    at >= bound.
+    drain_inbox(i, scratch);
+
+    // 4. Run the whole window. Neighbor arrivals during the batch are
+    //    >= bound by the lookahead argument; echoes of our *own* posts can
+    //    undercut it, so each post lowers self_cap and the loop re-checks.
+    self.self_cap = kInf;
+    if (queue.next_time().ns < bound) {
+      while (queue.next_time().ns < std::min(bound, self.self_cap)) {
+        queue.run_next();
+      }
+      continue;
+    }
+
+    // 5. Nothing executable. Either the whole simulation drained, or a
+    //    neighbor's horizon has to advance first.
+    if (queue.empty()) {
+      self.horizon.store(kInf, std::memory_order_release);
+      if (try_terminate()) break;
+    }
+    ++prof.stall_waits;
+    const auto stall_begin = std::chrono::steady_clock::now();
+    // Yield instead of spinning: shard counts may exceed cores (and must
+    // make progress even on a single-core host).
+    std::this_thread::yield();
+    prof.stall_ns += std::chrono::duration_cast<std::chrono::nanoseconds>(
+                         std::chrono::steady_clock::now() - stall_begin)
+                         .count();
+  }
+  prof.events = queue.processed() - events_before;
+}
+
+void ShardExecutor::run() {
+  const int n = nshards();
+  if (n == 1) {
+    shards_[0]->queue->run();
+    profiles_[0].events = shards_[0]->queue->processed();
+    return;
+  }
+  auto run_guarded = [this](int i) {
+    try {
+      worker(i);
+    } catch (...) {
+      {
+        std::lock_guard<std::mutex> lock(error_mutex_);
+        if (!error_) error_ = std::current_exception();
+      }
+      failed_.store(true, std::memory_order_relaxed);
+    }
+  };
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(n - 1));
+  for (int i = 1; i < n; ++i) {
+    threads.emplace_back(run_guarded, i);
+  }
+  run_guarded(0);
+  for (auto& t : threads) t.join();
+  if (error_) std::rethrow_exception(error_);
+}
+
+}  // namespace ibpower

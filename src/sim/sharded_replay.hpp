@@ -1,0 +1,150 @@
+// ShardExecutor — conservative parallel DES over per-shard EventQueues.
+//
+// A sharded replay partitions the fabric by leaf switch: each shard owns a
+// contiguous block of leaves (their ranks, their node uplinks, and both
+// directions of every trunk attached to those leaves). All simulation state
+// is single-shard-owned; the only cross-shard interaction is a timestamped
+// event post whose arrival time is at least `lookahead` after the posting
+// event — the physical link latency guarantees it (a message cannot affect
+// a remote leaf sooner than two switch traversals).
+//
+// Synchronization is classic conservative (Chandy-Misra-Bryant style)
+// lookahead windows, made barrier-free with published horizons:
+//
+//   * Each shard publishes a horizon h_i — a promise that every event it
+//     will ever execute (and therefore every post it will ever make) lies
+//     at sim time >= h_i. h_i is its queue's next_time(); undrained inbox
+//     arrivals are covered by a separate inbox_min so the promise is never
+//     stale while a post is in flight.
+//   * A shard may execute every event strictly below
+//     bound = min over other shards of eff(h_j) + lookahead: any event
+//     posted to it after it computed the bound arrives at
+//     >= eff(h_j) + lookahead >= bound, so a whole batch runs without
+//     re-checking the inbox.
+//   * One exception: the shard's own posts. A post to a neighbor at time
+//     tp can make that neighbor react and post back at tp + lookahead —
+//     below a bound that was computed when the neighbor looked idle
+//     (horizon infinity). Each cross-shard post therefore caps the
+//     poster's *own* batch at tp + lookahead (`self_cap`, owner-thread
+//     only: posts from shard i always execute on thread i). Transitive
+//     echoes through other shards arrive at >= tp + 2*lookahead, so the
+//     single-hop cap covers every chain.
+//   * Loop order matters: publish own horizon, read the others (inbox_min
+//     before horizon — the release/acquire pairing on inbox_min is what
+//     makes a concurrent drain-and-republish safe to observe), then drain,
+//     then run the batch.
+//
+// Termination is detected with monotone posted/drained counters: when every
+// effective horizon reads infinity and the global counters are equal across
+// a double-read, no event exists and none can be created — every worker
+// exits. A malformed-trace deadlock drains the same way and is diagnosed by
+// the caller post-join (same contract as the serial engine).
+//
+// Determinism: the executor never orders events itself — callers schedule
+// with explicit (time, tie) keys derived from simulation state (see
+// sim/replay.cpp), so each shard pops an identical event sequence no matter
+// how many shards run or how their wall-clocks interleave. One shard is the
+// degenerate case: the caller just runs its queue directly.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <exception>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "sim/des.hpp"
+#include "util/time_types.hpp"
+
+namespace ibpower {
+
+/// Resolve a shard-count request against the workload. `requested` <= 0
+/// means auto (hardware concurrency, or 1 inside a ThreadPool worker so
+/// grid-level parallelism is not oversubscribed). Clamped to the number of
+/// leaf switches in use — shards own whole leaves — and forced to 1 when
+/// the topology has no lookahead (zero hop latency).
+[[nodiscard]] int resolve_shard_count(int requested, int nleaves_used,
+                                      bool has_lookahead);
+
+/// Per-shard profile counters for the lookahead/shard-size tradeoff
+/// (`--shard-profile` in the CLI).
+struct ShardProfile {
+  std::uint64_t events{0};          // events executed by this shard
+  std::uint64_t boundary_posts{0};  // events posted to other shards
+  std::uint64_t stall_waits{0};     // horizon-stall loop entries
+  std::int64_t stall_ns{0};         // wall-clock nanoseconds spent stalled
+};
+
+class ShardExecutor {
+ public:
+  using Callback = EventQueue::Callback;
+
+  /// `queues[i]` is shard i's event queue (owned by the caller's
+  /// ReplayMemory slabs). `lookahead` must be > 0 with more than one shard.
+  ShardExecutor(std::vector<EventQueue*> queues, TimeNs lookahead);
+
+  ShardExecutor(const ShardExecutor&) = delete;
+  ShardExecutor& operator=(const ShardExecutor&) = delete;
+
+  [[nodiscard]] int nshards() const {
+    return static_cast<int>(shards_.size());
+  }
+
+  /// Schedule an event with an explicit tie-break key. Same-shard posts go
+  /// straight into the queue; cross-shard posts travel through the target's
+  /// inbox. Must be called from shard `from`'s worker (or before run()).
+  void post(int from, int to, TimeNs t, std::uint64_t tie, Callback cb);
+
+  /// Run all shards to global drain. Spawns nshards()-1 threads and runs
+  /// shard 0 on the calling thread; rethrows the first worker exception.
+  void run();
+
+  [[nodiscard]] const std::vector<ShardProfile>& profiles() const {
+    return profiles_;
+  }
+
+ private:
+  struct PendingEvent {
+    std::int64_t t{0};
+    std::uint64_t tie{0};
+    Callback cb;
+  };
+  // Cache-line padded: horizons are read in every other shard's bound
+  // computation, so a shard's hot write (horizon) must not share a line
+  // with another shard's.
+  struct alignas(64) Shard {
+    EventQueue* queue{nullptr};
+    std::atomic<std::int64_t> horizon{0};
+    std::atomic<std::int64_t> inbox_min{0};
+    std::atomic<std::uint64_t> posted{0};   // cross-shard posts made by us
+    std::atomic<std::uint64_t> drained{0};  // inbox events we consumed
+    // Batch cap from our own outbound posts (earliest possible boomerang
+    // reply). Written in post() and read in the batch loop — both only on
+    // this shard's worker thread, so it is deliberately not atomic.
+    std::int64_t self_cap{0};
+    std::mutex inbox_mutex;
+    std::vector<PendingEvent> inbox;
+  };
+
+  /// A shard's effective horizon as seen by others: min(inbox_min, horizon),
+  /// loaded in that order (see the drain-side release sequence).
+  [[nodiscard]] std::int64_t effective_horizon(const Shard& s) const {
+    const std::int64_t im = s.inbox_min.load(std::memory_order_acquire);
+    const std::int64_t h = s.horizon.load(std::memory_order_acquire);
+    return im < h ? im : h;
+  }
+
+  void drain_inbox(int i, std::vector<PendingEvent>& scratch);
+  [[nodiscard]] bool try_terminate();
+  void worker(int i);
+
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::vector<ShardProfile> profiles_;
+  TimeNs lookahead_{};
+  std::atomic<bool> failed_{false};
+  std::mutex error_mutex_;
+  std::exception_ptr error_;
+};
+
+}  // namespace ibpower

@@ -53,6 +53,13 @@ class ThreadPool {
   /// tasks with the same index can never run concurrently.
   [[nodiscard]] static int current_worker_index();
 
+  /// True when the current thread is a pool worker. Nested-parallelism
+  /// policy hook: work that would fan out its own threads (e.g. a sharded
+  /// replay with --shards auto) stays serial inside a pool worker, because
+  /// the pool already owns the machine's cores at cell granularity — and
+  /// pool tasks must never block on other pool tasks (FIFO contract).
+  [[nodiscard]] static bool in_worker() { return current_worker_index() >= 0; }
+
   /// Enqueue a nullary callable; its result (or exception) arrives through
   /// the returned future.
   template <class F>

@@ -17,7 +17,7 @@ TEST(MonotonicArena, AllocationsAreAlignedAndDisjoint) {
   EXPECT_EQ(reinterpret_cast<std::uintptr_t>(c) % alignof(std::uint32_t), 0u);
   // Write everything and read it back: no overlap.
   a[0] = 'x';
-  for (int i = 0; i < 4; ++i) b[i] = 0x1111111111111111ull * (i + 1);
+  for (std::uint64_t i = 0; i < 4; ++i) b[i] = 0x1111111111111111ull * (i + 1);
   *c = 0xdeadbeef;
   EXPECT_EQ(a[0], 'x');
   EXPECT_EQ(b[3], 0x4444444444444444ull);

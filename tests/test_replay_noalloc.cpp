@@ -3,8 +3,9 @@
 // been warmed by a first replay, a repeat replay of the same shape performs
 // zero heap allocations across the *full* engine — channel rings, waiting
 // lists, request bookkeeping, call timelines, collective state and the
-// event queue — not just the DES core. The only allowed allocation is the
-// returned ReplayResult's rank_finish vector (an output the caller owns).
+// event queue — not just the DES core. The only allowed allocations are the
+// returned ReplayResult's rank_finish and shard_profiles vectors (outputs
+// the caller owns).
 #include <gtest/gtest.h>
 
 #include <atomic>
@@ -87,8 +88,9 @@ TEST(ReplayNoAlloc, SteadyStateBaselineReplayIsAllocationFree) {
   }
   const std::uint64_t after = g_alloc_count.load();
 
-  // The single allowed allocation is rank_finish in the returned result.
-  EXPECT_LE(after - before, 1u)
+  // The only allowed allocations are the rank_finish and shard_profiles
+  // vectors in the returned result.
+  EXPECT_LE(after - before, 2u)
       << "steady-state replay (channels, timelines, event queue) must not "
          "touch the heap";
 
@@ -129,7 +131,7 @@ TEST(ReplayNoAlloc, SteadyStateHoldsAcrossProtocolMix) {
     rr = engine.run();
   }
   const std::uint64_t after = g_alloc_count.load();
-  EXPECT_LE(after - before, 1u);
+  EXPECT_LE(after - before, 2u);
   EXPECT_GT(rr.drain.sends_rendezvous, 0u);
 }
 
@@ -178,7 +180,7 @@ TEST(ReplayNoAlloc, TrunkPolicySteadyStateIsAllocationFree) {
   // The trunk subsystem (routing engine, sleep controller, per-trunk
   // timers) joins the reset-and-reuse protocol: with power management off,
   // a warmed consolidate + timeout replay touches the heap only for the
-  // returned rank_finish vector.
+  // returned result's vectors.
   // 24 ranks span two leaves, so the replay exercises trunk reservations
   // and on-demand wakes, not just the armed idle timers.
   ExperimentConfig cfg = noalloc_config("alya", 24);
@@ -210,7 +212,7 @@ TEST(ReplayNoAlloc, TrunkPolicySteadyStateIsAllocationFree) {
     }
   }
   const std::uint64_t after = g_alloc_count.load();
-  EXPECT_LE(after - before, 1u)
+  EXPECT_LE(after - before, 2u)
       << "trunk routing/sleep machinery must not allocate in steady state";
   // The measured run actually slept trunks — the contract covered the new
   // machinery, not a no-op.
@@ -254,7 +256,7 @@ TEST(ReplayNoAlloc, ShapeChangeReconvergesToAllocationFree) {
     rr = engine.run();
   }
   const std::uint64_t after = g_alloc_count.load();
-  EXPECT_LE(after - before, 1u)
+  EXPECT_LE(after - before, 2u)
       << "shape change must reconverge to the steady-state contract";
   EXPECT_EQ(rr.exec_time, fresh_shape.exec_time);
   EXPECT_EQ(rr.rank_finish, fresh_shape.rank_finish);

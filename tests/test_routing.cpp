@@ -38,30 +38,67 @@ TEST(Routing, ParseAndNameRoundTrip) {
   EXPECT_EQ(out, RoutingStrategy::Dmodk);  // untouched on failure
 }
 
-TEST(Routing, RandomMatchesRawRngDrawsIncludingSameLeafPairs) {
-  // The byte-identity contract: RandomRouting consumes exactly one
-  // uniform_below(ntop) draw per unicast — same-leaf pairs included, whose
-  // pick route() discards — so a mirror Rng with the same seed predicts
-  // every cross-leaf trunk choice.
+TEST(Routing, RandomConsumesOneDrawPerUnicastIncludingSameLeafPairs) {
+  // The counter contract: RandomRouting advances its per-source counter
+  // exactly once per unicast — same-leaf pairs included, whose pick
+  // route() discards — so a mirror engine fed the same consultation
+  // sequence predicts every cross-leaf trunk choice.
   FabricConfig cfg;
   cfg.routing.strategy = RoutingStrategy::Random;
   Fabric fabric(cfg, 252);
   const auto& topo = fabric.topology();
-  const auto ntop = static_cast<std::uint64_t>(topo.num_top_switches());
 
-  Rng mirror(cfg.routing.seed);
+  auto mirror = make_routing_engine(RoutingStrategy::Random);
+  mirror->reset(topo, cfg.routing);
   for (int i = 0; i < 60; ++i) {
     const bool same_leaf = i % 3 == 0;  // draws must be consumed here too
     const NodeId dst = same_leaf ? 1 : 200;
-    const auto expect = static_cast<SwitchId>(mirror.uniform_below(ntop));
+    const TimeNs ready = TimeNs::from_us(std::int64_t{i} * 50);
+    const SwitchId expect = mirror->pick_top(0, dst, 2048, ready);
     const IbLink& trunk = fabric.link(topo.trunk_link(0, expect));
     const TimeNs before = trunk.busy(Direction::Up).total();
-    fabric.unicast(0, dst, 2048, TimeNs::from_us(std::int64_t{i} * 50));
+    fabric.unicast(0, dst, 2048, ready);
     if (!same_leaf) {
       EXPECT_GT(trunk.busy(Direction::Up).total(), before)
           << "unicast " << i << " did not use predicted trunk " << expect;
     }
   }
+}
+
+TEST(Routing, RandomDrawStreamIsPerSourceInterleavingIndependent) {
+  // The property sharded replay depends on: a source's k-th draw is a pure
+  // function of (seed, src, k), so reordering unicasts *across* sources
+  // must not change any source's trunk choices. Run the same per-source
+  // message sequences under two different global interleavings and compare
+  // which leaf-0 up-trunks carried traffic (only src 0 lives on leaf 0, so
+  // that set is exactly src 0's draw footprint).
+  FabricConfig cfg;
+  cfg.routing.strategy = RoutingStrategy::Random;
+  Fabric interleaved(cfg, 252);
+  Fabric batched(cfg, 252);
+  const auto& topo = interleaved.topology();
+  for (int i = 0; i < 24; ++i) {  // A/B alternating
+    interleaved.unicast(0, 200, 2048, TimeNs::from_us(std::int64_t{i} * 60));
+    interleaved.unicast(18, 230, 2048,
+                        TimeNs::from_us(std::int64_t{i} * 60));
+  }
+  for (int i = 0; i < 24; ++i) {  // all of B first, then all of A
+    batched.unicast(18, 230, 2048, TimeNs::from_us(std::int64_t{i} * 60));
+  }
+  for (int i = 0; i < 24; ++i) {
+    batched.unicast(0, 200, 2048, TimeNs::from_us(std::int64_t{i} * 60));
+  }
+  int footprint = 0;
+  for (int t = 0; t < topo.num_top_switches(); ++t) {
+    const bool a =
+        !interleaved.link(topo.trunk_link(0, t)).busy(Direction::Up).empty();
+    const bool b =
+        !batched.link(topo.trunk_link(0, t)).busy(Direction::Up).empty();
+    EXPECT_EQ(a, b) << "src 0's draw for top " << t
+                    << " changed with cross-source interleaving";
+    footprint += a ? 1 : 0;
+  }
+  EXPECT_GT(footprint, 1);  // 24 draws over 18 tops: more than one trunk
 }
 
 TEST(Routing, DmodkSharesDestinationTrunk) {

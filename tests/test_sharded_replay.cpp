@@ -1,0 +1,245 @@
+// Domain-sharded conservative parallel DES (DESIGN.md §11).
+//
+// The contract under test: a replay sharded over N leaf-switch domains is
+// bit-identical to the serial replay — same execution time, same per-rank
+// finish times, same per-call timelines, same link reservation histories
+// (via the telemetry snapshot), same drain statistics — for every shard
+// count, because every event carries a (time, tie) key derived from
+// simulation state rather than thread interleaving. Alongside identity,
+// the suite pins the shard-resolution policy (auto, clamping, lookahead
+// gating) and the per-shard execution profile invariants.
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+#include "obs/collect.hpp"
+#include "sim/experiment.hpp"
+#include "sim/replay.hpp"
+#include "sim/replay_memory.hpp"
+#include "sim/sharded_replay.hpp"
+#include "util/thread_pool.hpp"
+
+namespace ibpower {
+namespace {
+
+ExperimentConfig big_config(const std::string& app, int nranks,
+                            int iterations = 12) {
+  ExperimentConfig cfg;
+  cfg.app = app;
+  cfg.workload.nranks = nranks;
+  cfg.workload.iterations = iterations;
+  cfg.workload.seed = 7;
+  cfg.ppa.grouping_threshold = default_gt(app, nranks);
+  return normalize_config(cfg);
+}
+
+ReplayOptions options_for(const ExperimentConfig& cfg, bool managed,
+                          int shards) {
+  ReplayOptions opt;
+  opt.fabric = cfg.fabric;
+  opt.enable_power_management = managed;
+  if (managed) opt.ppa = cfg.ppa;
+  opt.eager_threshold = cfg.eager_threshold;
+  opt.record_call_timeline = true;
+  opt.shards = shards;
+  return opt;
+}
+
+struct Snapshot {
+  ReplayResult rr;
+  std::vector<std::vector<MpiCallEvent>> timelines;
+  obs::ReplayMetrics metrics;
+  std::string audit;
+};
+
+Snapshot run_snapshot(const Trace& trace, const ReplayOptions& opt) {
+  ReplayEngine engine(&trace, opt);
+  Snapshot s;
+  s.rr = engine.run();
+  s.timelines.reserve(static_cast<std::size_t>(trace.nranks()));
+  for (Rank r = 0; r < trace.nranks(); ++r) {
+    const auto tl = engine.call_timeline(r);
+    s.timelines.emplace_back(tl.begin(), tl.end());
+  }
+  s.metrics = obs::collect_replay_metrics(engine, s.rr, PowerModelConfig{});
+  s.audit = engine.audit_drain();
+  return s;
+}
+
+void expect_bit_identical(const Snapshot& sharded, const Snapshot& serial,
+                          int shards) {
+  SCOPED_TRACE("shards=" + std::to_string(shards));
+  EXPECT_TRUE(sharded.audit.empty()) << sharded.audit;
+  EXPECT_EQ(sharded.rr.exec_time, serial.rr.exec_time);
+  EXPECT_EQ(sharded.rr.rank_finish, serial.rr.rank_finish);
+  EXPECT_EQ(sharded.rr.messages_sent, serial.rr.messages_sent);
+  EXPECT_EQ(sharded.rr.events_processed, serial.rr.events_processed);
+  EXPECT_TRUE(sharded.rr.drain == serial.rr.drain);
+  ASSERT_EQ(sharded.timelines.size(), serial.timelines.size());
+  for (std::size_t r = 0; r < serial.timelines.size(); ++r) {
+    ASSERT_EQ(sharded.timelines[r].size(), serial.timelines[r].size())
+        << "rank " << r;
+    for (std::size_t i = 0; i < serial.timelines[r].size(); ++i) {
+      EXPECT_EQ(sharded.timelines[r][i].call, serial.timelines[r][i].call);
+      EXPECT_EQ(sharded.timelines[r][i].enter, serial.timelines[r][i].enter);
+      EXPECT_EQ(sharded.timelines[r][i].exit, serial.timelines[r][i].exit);
+    }
+  }
+  // The telemetry snapshot embeds every link's full reservation history
+  // (residencies, busy spans, energies) — byte-level equality here means
+  // the fabric evolved identically event for event.
+  EXPECT_TRUE(sharded.metrics == serial.metrics);
+}
+
+TEST(ShardedReplay, BaselineBitIdenticalAcrossShardCounts128Ranks) {
+  const ExperimentConfig cfg = big_config("alya", 128);
+  const Trace trace = generate_experiment_trace(cfg);
+  const Snapshot serial = run_snapshot(trace, options_for(cfg, false, 1));
+  ASSERT_TRUE(serial.audit.empty()) << serial.audit;
+  for (const int shards : {2, 4, 8}) {
+    const Snapshot sharded =
+        run_snapshot(trace, options_for(cfg, false, shards));
+    EXPECT_EQ(sharded.rr.shards_used, shards);
+    expect_bit_identical(sharded, serial, shards);
+  }
+}
+
+TEST(ShardedReplay, ManagedBitIdenticalAcrossShardCounts128Ranks) {
+  const ExperimentConfig cfg = big_config("gromacs", 128, 10);
+  const Trace trace = generate_experiment_trace(cfg);
+  const Snapshot serial = run_snapshot(trace, options_for(cfg, true, 1));
+  ASSERT_TRUE(serial.audit.empty()) << serial.audit;
+  for (const int shards : {2, 4, 8}) {
+    const Snapshot sharded =
+        run_snapshot(trace, options_for(cfg, true, shards));
+    expect_bit_identical(sharded, serial, shards);
+    EXPECT_EQ(sharded.rr.agent_total.total_calls,
+              serial.rr.agent_total.total_calls);
+    EXPECT_EQ(sharded.rr.agent_total.predicted_calls,
+              serial.rr.agent_total.predicted_calls);
+  }
+}
+
+TEST(ShardedReplay, TrunkPolicyAndRandomRoutingStayIdentical) {
+  // The trunk sleep machinery and the counter-hash Random routing draw
+  // streams are the states most exposed to event reordering; both must be
+  // invariant under sharding.
+  ExperimentConfig cfg = big_config("nas_mg", 64, 8);
+  cfg.fabric.routing.strategy = RoutingStrategy::Random;
+  cfg.fabric.trunk.kind = TrunkPolicyKind::Timeout;
+  cfg.fabric.trunk.idle_timeout = TimeNs::from_us(std::int64_t{50});
+  cfg = normalize_config(cfg);
+  const Trace trace = generate_experiment_trace(cfg);
+  const Snapshot serial = run_snapshot(trace, options_for(cfg, false, 1));
+  ASSERT_TRUE(serial.audit.empty()) << serial.audit;
+  for (const int shards : {2, 4}) {
+    const Snapshot sharded =
+        run_snapshot(trace, options_for(cfg, false, shards));
+    expect_bit_identical(sharded, serial, shards);
+  }
+}
+
+TEST(ShardedReplay, ShardProfileAccountsForEveryEvent) {
+  const ExperimentConfig cfg = big_config("alya", 72, 8);
+  const Trace trace = generate_experiment_trace(cfg);
+  ReplayEngine engine(&trace, options_for(cfg, false, 4));
+  const ReplayResult rr = engine.run();
+  ASSERT_EQ(rr.shards_used, 4);
+  ASSERT_EQ(rr.shard_profiles.size(), 4u);
+  std::uint64_t events = 0;
+  std::uint64_t posts = 0;
+  for (const ShardProfile& p : rr.shard_profiles) {
+    events += p.events;
+    posts += p.boundary_posts;
+  }
+  EXPECT_EQ(events, rr.events_processed);
+  // 72 ranks span 4 leaves with cross-leaf traffic: shards must actually
+  // have talked to each other.
+  EXPECT_GT(posts, 0u);
+}
+
+TEST(ShardedReplay, SerialRunReportsOneShardProfile) {
+  const ExperimentConfig cfg = big_config("alya", 8, 4);
+  const Trace trace = generate_experiment_trace(cfg);
+  ReplayEngine engine(&trace, options_for(cfg, false, 1));
+  const ReplayResult rr = engine.run();
+  EXPECT_EQ(rr.shards_used, 1);
+  ASSERT_EQ(rr.shard_profiles.size(), 1u);
+  EXPECT_EQ(rr.shard_profiles[0].events, rr.events_processed);
+  EXPECT_EQ(rr.shard_profiles[0].boundary_posts, 0u);
+}
+
+TEST(ShardedReplay, ShardCountResolutionPolicy) {
+  // Clamped to leaves in use; 1 without lookahead; auto follows hardware
+  // concurrency off-pool and stays serial inside a pool worker.
+  EXPECT_EQ(resolve_shard_count(8, 4, true), 4);
+  EXPECT_EQ(resolve_shard_count(3, 8, true), 3);
+  EXPECT_EQ(resolve_shard_count(1, 8, true), 1);
+  EXPECT_EQ(resolve_shard_count(8, 1, true), 1);
+  EXPECT_EQ(resolve_shard_count(8, 8, false), 1);
+  EXPECT_EQ(resolve_shard_count(0, 64, true),
+            static_cast<int>(ThreadPool::default_concurrency()));
+  ThreadPool pool(2);
+  auto fut = pool.submit([] { return resolve_shard_count(0, 64, true); });
+  EXPECT_EQ(fut.get(), 1) << "auto must stay serial inside a pool worker";
+}
+
+TEST(ShardedReplay, SingleLeafTraceForcesSerialExecution) {
+  // 16 ranks fit in one leaf (m1 = 18): no boundary exists to cut, so the
+  // engine must fall back to serial no matter what was requested.
+  const ExperimentConfig cfg = big_config("alya", 16, 4);
+  const Trace trace = generate_experiment_trace(cfg);
+  ReplayEngine engine(&trace, options_for(cfg, false, 8));
+  const ReplayResult rr = engine.run();
+  EXPECT_EQ(rr.shards_used, 1);
+}
+
+TEST(ShardedReplay, ZeroHopLatencyForcesSerialExecution) {
+  ExperimentConfig cfg = big_config("alya", 64, 4);
+  cfg.fabric.hop_latency = TimeNs::zero();
+  const Trace trace = generate_experiment_trace(cfg);
+  ReplayEngine engine(&trace, options_for(cfg, false, 8));
+  const ReplayResult rr = engine.run();
+  EXPECT_EQ(rr.shards_used, 1) << "no lookahead -> no conservative window";
+}
+
+TEST(ShardedReplay, ShardedReplayReusesWorkspaceBitIdentically) {
+  // The ReplayMemory reset-and-reuse contract extends to the per-shard
+  // slabs: alternating serial and sharded replays on one workspace must
+  // keep reproducing the fresh-engine results.
+  const ExperimentConfig cfg = big_config("alya", 64, 6);
+  const Trace trace = generate_experiment_trace(cfg);
+  const Snapshot fresh = run_snapshot(trace, options_for(cfg, false, 1));
+
+  ReplayMemory mem;
+  for (const int shards : {4, 1, 2, 4}) {
+    ReplayEngine engine(&trace, options_for(cfg, false, shards), &mem);
+    const ReplayResult rr = engine.run();
+    EXPECT_EQ(rr.exec_time, fresh.rr.exec_time) << "shards " << shards;
+    EXPECT_EQ(rr.rank_finish, fresh.rr.rank_finish) << "shards " << shards;
+    EXPECT_TRUE(rr.drain == fresh.rr.drain) << "shards " << shards;
+    EXPECT_TRUE(engine.audit_drain().empty());
+  }
+}
+
+TEST(ShardedReplay, ExperimentLegsHonorConfigShards) {
+  // The experiment layer forwards cfg.shards into both legs; results stay
+  // bit-identical to the serial legs (the whole-run determinism contract).
+  ExperimentConfig serial_cfg = big_config("alya", 64, 6);
+  ExperimentConfig sharded_cfg = serial_cfg;
+  sharded_cfg.shards = 4;
+  const Trace trace = generate_experiment_trace(serial_cfg);
+  const BaselineLegResult b1 = run_baseline_leg(serial_cfg, trace);
+  const BaselineLegResult b4 = run_baseline_leg(sharded_cfg, trace);
+  EXPECT_EQ(b4.time, b1.time);
+  EXPECT_EQ(b4.events, b1.events);
+  const ManagedLegResult m1 = run_managed_leg(serial_cfg, trace);
+  const ManagedLegResult m4 = run_managed_leg(sharded_cfg, trace);
+  EXPECT_EQ(m4.time, m1.time);
+  EXPECT_EQ(m4.messages, m1.messages);
+  EXPECT_EQ(m4.events, m1.events);
+}
+
+}  // namespace
+}  // namespace ibpower

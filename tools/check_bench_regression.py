@@ -2,20 +2,79 @@
 """Perf gate for the CI smoke benchmark.
 
 Compares a freshly generated bench_throughput JSON against the committed
-baseline, keyed on (cell, nranks, jobs). Fails (exit 1) if any cell's
-events_per_sec dropped by more than the tolerance (default 20%).
+baseline, keyed on (cell, nranks, jobs, shards). Two checks:
 
-Usage: check_bench_regression.py BASELINE.json CURRENT.json [--tolerance 0.20]
+  * Absolute: any cell whose events_per_sec dropped by more than the
+    tolerance (default 20%) vs its baseline row fails the gate.
+  * Relative: rows with jobs > 1 or shards > 1 must additionally beat the
+    matching serial row (jobs=1, shards=1) of the *current* run by the
+    speedup floor — but only when the recording host had enough cores to
+    deliver a speedup at all (row's host_cores >= the parallelism level).
+    On a single-core CI runner the floor is reported and skipped, so the
+    structural rows still exist without making the gate flaky.
+
+Baseline policy: on hosts with noisy-neighbor variance (shared-CPU
+containers drift +/-30% between measurement windows with an identical
+binary), record each baseline row as the per-cell *minimum* across
+several windows. The gate is one-sided, so fast windows always pass and
+the committed floor keeps slow windows from false-failing; a real >20%
+regression below the slow-window floor still trips it.
+
+Usage: check_bench_regression.py BASELINE.json CURRENT.json
+           [--tolerance 0.20] [--speedup-floor 1.2]
 """
 import argparse
 import json
 import sys
 
 
+def row_key(r):
+    return (r["cell"], r["nranks"], r.get("jobs", 1), r.get("shards", 1))
+
+
 def load_rows(path):
     with open(path) as f:
         rows = json.load(f)
-    return {(r["cell"], r["nranks"], r.get("jobs", 1)): r for r in rows}
+    return {row_key(r): r for r in rows}
+
+
+def fmt_key(key):
+    cell, nranks, jobs, shards = key
+    extra = ""
+    if jobs != 1:
+        extra += f" jobs={jobs}"
+    if shards != 1:
+        extra += f" shards={shards}"
+    return f"{cell}/{nranks}{extra or ' serial'}"
+
+
+def check_speedups(current, floor):
+    """Relative gate: parallel rows vs the same run's serial row."""
+    failures = []
+    for key in sorted(current):
+        cell, nranks, jobs, shards = key
+        parallelism = max(jobs, shards)
+        if parallelism <= 1:
+            continue
+        serial = current.get((cell, nranks, 1, 1))
+        if serial is None:
+            print(f"{fmt_key(key):>28}: no serial row in current run -- "
+                  "speedup unchecked")
+            continue
+        base_eps = serial["events_per_sec"]
+        speedup = (current[key]["events_per_sec"] / base_eps
+                   if base_eps > 0 else 1.0)
+        cores = current[key].get("host_cores", 1)
+        if cores < parallelism:
+            print(f"{fmt_key(key):>28}: {speedup:5.2f}x vs serial  "
+                  f"(floor {floor:.2f}x waived: host has {cores} core(s))")
+            continue
+        status = "ok" if speedup >= floor else "SPEEDUP REGRESSION"
+        if speedup < floor:
+            failures.append(key)
+        print(f"{fmt_key(key):>28}: {speedup:5.2f}x vs serial  "
+              f"(floor {floor:.2f}x)  {status}")
+    return failures
 
 
 def main():
@@ -24,6 +83,10 @@ def main():
     ap.add_argument("current")
     ap.add_argument("--tolerance", type=float, default=0.20,
                     help="allowed fractional drop in events_per_sec")
+    ap.add_argument("--speedup-floor", type=float, default=1.2,
+                    help="minimum speedup of jobs>1/shards>1 rows over the "
+                         "current run's serial row (enforced only when "
+                         "host_cores covers the parallelism level)")
     args = ap.parse_args()
 
     baseline = load_rows(args.baseline)
@@ -33,7 +96,7 @@ def main():
     if missing:
         print(f"FAIL: {len(missing)} baseline cells absent from current run:")
         for key in missing:
-            print(f"  {key[0]}/{key[1]} jobs={key[2]}")
+            print(f"  {fmt_key(key)}")
         return 1
 
     # Cells present in the current run but not in the baseline are fine —
@@ -41,8 +104,8 @@ def main():
     # committed. Report them so the addition is visible in the CI log.
     for key in sorted(set(current) - set(baseline)):
         eps = current[key]["events_per_sec"]
-        print(f"{key[0]:>10}/{key[1]:<4} jobs={key[2]}: "
-              f"{eps/1e6:7.2f}M events/s  NEW (no baseline)")
+        print(f"{fmt_key(key):>28}: {eps/1e6:7.2f}M events/s  "
+              "NEW (no baseline)")
 
     failures = []
     for key in sorted(baseline):
@@ -53,13 +116,19 @@ def main():
         if ratio < 1.0 - args.tolerance:
             status = "REGRESSION"
             failures.append(key)
-        print(f"{key[0]:>10}/{key[1]:<4} jobs={key[2]}: "
+        print(f"{fmt_key(key):>28}: "
               f"{base_eps/1e6:7.2f}M -> {cur_eps/1e6:7.2f}M events/s "
               f"({(ratio - 1.0) * 100.0:+6.1f}%)  {status}")
 
-    if failures:
-        print(f"\nFAIL: {len(failures)} cell(s) regressed more than "
-              f"{args.tolerance * 100.0:.0f}% vs baseline")
+    speedup_failures = check_speedups(current, args.speedup_floor)
+
+    if failures or speedup_failures:
+        if failures:
+            print(f"\nFAIL: {len(failures)} cell(s) regressed more than "
+                  f"{args.tolerance * 100.0:.0f}% vs baseline")
+        if speedup_failures:
+            print(f"\nFAIL: {len(speedup_failures)} parallel row(s) below "
+                  f"the {args.speedup_floor:.2f}x speedup floor")
         return 1
     print(f"\nPASS: all {len(baseline)} cells within "
           f"{args.tolerance * 100.0:.0f}% of baseline")

@@ -35,6 +35,13 @@
 //  penalties only delay execution under deterministic routing, and the
 //  randomized leg reproduces itself bit-identically.
 //
+//  Phase D (pdes tier): replay a random multi-leaf trace serially and with
+//  shards in {2, 4, 8} (DESIGN.md §11). Every sharded run must be
+//  bit-identical to the serial one: execution time, per-rank finish times,
+//  message/event counts, drain statistics, and the full telemetry snapshot
+//  (per-link residencies and energies — i.e. the complete reservation
+//  history of all 504 links), with the post-run audit clean in each run.
+//
 // Exit status 0 with a one-line summary when every seed passes; on the
 // first failure, prints the seed and violation and exits 1.
 //
@@ -611,6 +618,129 @@ std::optional<Failure> run_trunk_tier(std::uint64_t seed, Rng& rng) {
   return std::nullopt;
 }
 
+// --- Phase D: sharded-replay bit-identity tier ----------------------------
+
+struct PdesLeg {
+  TimeNs exec{};
+  std::vector<TimeNs> finish;
+  std::uint64_t messages{0};
+  std::uint64_t events{0};
+  ReplayDrainStats drain{};
+  int shards_used{1};
+  std::string audit;
+  obs::ReplayMetrics metrics;
+};
+
+PdesLeg run_pdes_leg(const Trace& trace, ReplayOptions opt, int shards,
+                     const PowerModelConfig& power) {
+  opt.shards = shards;
+  ReplayEngine engine(&trace, opt);
+  const ReplayResult rr = engine.run();
+  PdesLeg out;
+  out.exec = rr.exec_time;
+  out.finish = rr.rank_finish;
+  out.messages = rr.messages_sent;
+  out.events = rr.events_processed;
+  out.drain = rr.drain;
+  out.shards_used = rr.shards_used;
+  out.audit = engine.audit_drain();
+  out.metrics = obs::collect_replay_metrics(engine, rr, power);
+  return out;
+}
+
+std::optional<Failure> run_pdes_tier(std::uint64_t seed, Rng& rng) {
+  SyntheticTraceConfig tcfg;
+  tcfg.seed = seed ^ 0x3c3c3c3c3c3c3c3cULL;
+  // At least two leaf switches (18 nodes per leaf), so cross-shard traffic
+  // actually happens; up to four leaves to exercise shard clamping.
+  tcfg.nranks = static_cast<Rank>(rng.uniform_int(19, 64));
+  tcfg.phases_per_iteration = static_cast<int>(rng.uniform_int(2, 4));
+  tcfg.iterations = static_cast<int>(rng.uniform_int(3, 6));
+  tcfg.compute_median =
+      TimeNs::from_us(rng.uniform_int(std::int64_t{100}, std::int64_t{500}));
+  tcfg.compute_jitter_sigma = rng.uniform(0.05, 0.3);
+  tcfg.noise_prob = rng.bernoulli(0.3) ? 0.15 : 0.0;
+
+  const auto fail = [&](std::string msg) {
+    return Failure{seed, "pdes-tier", std::move(msg)};
+  };
+
+  const Trace trace = generate_trace(tcfg);
+  if (const std::string err = trace.validate(); !err.empty()) {
+    return fail("generated trace invalid: " + err);
+  }
+
+  ReplayOptions opt;
+  // Rotate through the full option space: every routing strategy (the
+  // per-source counter-hash makes Random deterministic too), managed and
+  // baseline legs, and occasionally a trunk sleep policy.
+  opt.fabric.routing.strategy =
+      rng.bernoulli(0.5) ? RoutingStrategy::Dmodk
+                         : (rng.bernoulli(0.5) ? RoutingStrategy::Random
+                                               : RoutingStrategy::Consolidate);
+  if (rng.bernoulli(0.3)) {
+    opt.fabric.trunk.kind = TrunkPolicyKind::Timeout;
+    opt.fabric.trunk.idle_timeout = TimeNs::from_us(std::int64_t{50});
+  }
+  if (rng.bernoulli(0.5)) {
+    opt.enable_power_management = true;
+    opt.ppa.displacement_factor =
+        0.01 * static_cast<double>(rng.uniform_int(1, 10));
+    opt.fabric.link.t_react = opt.ppa.t_react;
+    opt.fabric.link.t_deact = opt.ppa.t_react;
+  }
+
+  const PowerModelConfig power;
+  const PdesLeg serial = run_pdes_leg(trace, opt, 1, power);
+  if (!serial.audit.empty()) return fail("serial audit: " + serial.audit);
+
+  const int nleaves =
+      (static_cast<int>(tcfg.nranks) + 17) / 18;  // ceil(nranks / m1)
+  for (const int shards : {2, 4, 8}) {
+    const PdesLeg sharded = run_pdes_leg(trace, opt, shards, power);
+    const std::string leg = "shards=" + std::to_string(shards);
+    if (!sharded.audit.empty()) {
+      return fail(leg + " audit: " + sharded.audit);
+    }
+    if (sharded.shards_used != std::min(shards, nleaves)) {
+      return fail(leg + " resolved to " +
+                  std::to_string(sharded.shards_used) + " shard(s), expected " +
+                  std::to_string(std::min(shards, nleaves)));
+    }
+    if (sharded.exec != serial.exec) {
+      return fail(leg + " exec " + std::to_string(sharded.exec.ns) +
+                  " ns != serial " + std::to_string(serial.exec.ns) + " ns");
+    }
+    if (sharded.finish != serial.finish) {
+      return fail(leg + " per-rank finish times diverged from serial");
+    }
+    if (sharded.messages != serial.messages ||
+        sharded.events != serial.events) {
+      return fail(leg + " message/event counts diverged from serial (" +
+                  std::to_string(sharded.messages) + "/" +
+                  std::to_string(sharded.events) + " vs " +
+                  std::to_string(serial.messages) + "/" +
+                  std::to_string(serial.events) + ")");
+    }
+    if (!(sharded.drain == serial.drain)) {
+      return fail(leg + " drain statistics diverged from serial");
+    }
+    if (sharded.metrics != serial.metrics) {
+      return fail(leg + " telemetry snapshot (link residencies/energies) "
+                        "diverged from serial");
+    }
+  }
+
+  if (g_verbose) {
+    std::printf("  seed %" PRIu64 ": pdes ok (ranks %d, %d leaves, "
+                "%s%s, exec %.3f ms)\n",
+                seed, tcfg.nranks, nleaves,
+                routing_strategy_name(opt.fabric.routing.strategy),
+                opt.enable_power_management ? "+managed" : "", serial.exec.ms());
+  }
+  return std::nullopt;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -649,6 +779,12 @@ int main(int argc, char** argv) {
       return 1;
     }
     if (const auto failure = run_trunk_tier(seed, rng)) {
+      std::fprintf(stderr, "fuzz_replay: seed %" PRIu64 " FAILED [%s]: %s\n",
+                   failure->seed, failure->phase.c_str(),
+                   failure->message.c_str());
+      return 1;
+    }
+    if (const auto failure = run_pdes_tier(seed, rng)) {
       std::fprintf(stderr, "fuzz_replay: seed %" PRIu64 " FAILED [%s]: %s\n",
                    failure->seed, failure->phase.c_str(),
                    failure->message.c_str());

@@ -87,6 +87,74 @@ unsigned jobs_from(const Args& args) {
   return jobs <= 0 ? 1u : static_cast<unsigned>(jobs);
 }
 
+/// --shards N|auto → ReplayOptions::shards (auto = 0, engine resolves it).
+int shards_from(const Args& args) {
+  const std::string v = args.get("shards");
+  if (v.empty()) return 1;
+  if (v == "auto") return 0;
+  return std::stoi(v);
+}
+
+/// Per-shard execution profile of a finished replay: event counts, boundary
+/// posts and horizon-stall time, plus the derived boundary-message ratio.
+void print_shard_profile(const ReplayResult& rr) {
+  std::uint64_t events = 0;
+  std::uint64_t posts = 0;
+  for (const ShardProfile& p : rr.shard_profiles) {
+    events += p.events;
+    posts += p.boundary_posts;
+  }
+  std::printf("shards       : %d (boundary ratio %.2f%%)\n", rr.shards_used,
+              events > 0 ? 100.0 * static_cast<double>(posts) /
+                               static_cast<double>(events)
+                         : 0.0);
+  for (std::size_t i = 0; i < rr.shard_profiles.size(); ++i) {
+    const ShardProfile& p = rr.shard_profiles[i];
+    std::printf(
+        "  shard %-3zu  events %-10llu posts %-8llu stalls %-8llu "
+        "stall %.3f ms\n",
+        i, static_cast<unsigned long long>(p.events),
+        static_cast<unsigned long long>(p.boundary_posts),
+        static_cast<unsigned long long>(p.stall_waits),
+        static_cast<double>(p.stall_ns) / 1e6);
+  }
+}
+
+int write_shard_profile_json(const std::string& path, const ReplayResult& rr) {
+  std::ofstream os(path);
+  if (!os) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return 1;
+  }
+  std::uint64_t events = 0;
+  std::uint64_t posts = 0;
+  for (const ShardProfile& p : rr.shard_profiles) {
+    events += p.events;
+    posts += p.boundary_posts;
+  }
+  os << "{\n  \"schema\": \"ibpower-shard-profile:v1\",\n"
+     << "  \"shards\": " << rr.shards_used << ",\n"
+     << "  \"events\": " << events << ",\n"
+     << "  \"boundary_posts\": " << posts << ",\n"
+     << "  \"boundary_ratio\": "
+     << (events > 0
+             ? static_cast<double>(posts) / static_cast<double>(events)
+             : 0.0)
+     << ",\n  \"per_shard\": [\n";
+  for (std::size_t i = 0; i < rr.shard_profiles.size(); ++i) {
+    const ShardProfile& p = rr.shard_profiles[i];
+    os << "    {\"shard\": " << i << ", \"events\": " << p.events
+       << ", \"boundary_posts\": " << p.boundary_posts
+       << ", \"stall_waits\": " << p.stall_waits
+       << ", \"stall_ns\": " << p.stall_ns << "}"
+       << (i + 1 < rr.shard_profiles.size() ? "," : "") << "\n";
+  }
+  os << "  ]\n}\n";
+  std::printf("wrote %s (shard profile, %d shards)\n", path.c_str(),
+              rr.shards_used);
+  return 0;
+}
+
 /// One-line speedup summary for a finished parallel run: serial-equivalent
 /// work vs observed wall-clock.
 void print_speedup(const ParallelExperimentRunner& runner, double wall_ms) {
@@ -255,8 +323,19 @@ int cmd_replay(const Args& args) {
   if (opt.enable_power_management) {
     opt.ppa = ppa_from(args, trace.app_name(), trace.nranks());
   }
+  opt.shards = shards_from(args);
   ReplayEngine engine(&trace, opt);
   const ReplayResult rr = engine.run();
+  if (args.has("shards") || args.has("shard-profile")) {
+    print_shard_profile(rr);
+    if (const std::string profile_path = args.get("shard-profile");
+        !profile_path.empty() && profile_path != "1") {
+      if (const int rc = write_shard_profile_json(profile_path, rr);
+          rc != 0) {
+        return rc;
+      }
+    }
+  }
   if (wants_telemetry(args)) {
     obs::CellMetrics cell;
     cell.app = trace.app_name();
@@ -293,6 +372,7 @@ int cmd_run(const Args& args) {
   cfg.workload = workload_from(args);
   cfg.ppa = ppa_from(args, cfg.app, cfg.workload.nranks);
   if (!fabric_from(args, cfg.fabric)) return 2;
+  cfg.shards = shards_from(args);
   std::printf("%s @ %d ranks, %d iterations, GT %s, displacement %.1f%%\n\n",
               cfg.app.c_str(), cfg.workload.nranks, cfg.workload.iterations,
               to_string(cfg.ppa.grouping_threshold).c_str(),
@@ -422,6 +502,7 @@ int cmd_grid(const Args& args) {
       cfg.ppa.grouping_threshold = default_gt(name, nranks);
       cfg.ppa.displacement_factor = disp;
       if (!fabric_from(args, cfg.fabric)) return 2;
+      cfg.shards = shards_from(args);
       cfgs.push_back(std::move(cfg));
       LabelledResult row;
       row.app = name;
@@ -476,6 +557,10 @@ int usage() {
                "  common: --app NAME --ranks N --iterations N --seed N\n"
                "          --scale X --weak --gt US --disp PCT --treact US\n"
                "          --jobs N (parallel replays; default: all cores)\n"
+               "          --shards N|auto (intra-replay parallel DES; run/\n"
+               "          replay/grid; bit-identical to serial)\n"
+               "  replay: --shard-profile [FILE.json] (per-shard events,\n"
+               "          boundary posts, horizon stalls)\n"
                "  fabric (run/replay/grid): --routing random|dmodk|consolidate\n"
                "          --trunk-policy off|timeout|multi-timeout\n"
                "          --trunk-timeout US (idle timer) --spill US\n"
