@@ -45,7 +45,10 @@ inline const char* pretty_app(const std::string& app) {
 /// Standard experiment configuration for a grid cell. A "+trunk" suffix on
 /// the app name ("gromacs+trunk") selects the whole-fabric configuration —
 /// consolidating routing plus the trunk idle-timeout policy — so the bench
-/// grid can carry trunk-subsystem cells under distinct regression keys.
+/// grid can carry trunk-subsystem cells under distinct regression keys. A
+/// "+contention" suffix enables the per-hop arrival-order reservation
+/// discipline (dmodk routing), gating the contention hot path's per-event
+/// cost.
 inline ExperimentConfig cell_config(const GridCell& cell,
                                     double displacement = 0.01,
                                     int iterations = 100) {
@@ -57,6 +60,9 @@ inline ExperimentConfig cell_config(const GridCell& cell,
     if (variant == "trunk") {
       cfg.fabric.routing.strategy = RoutingStrategy::Consolidate;
       cfg.fabric.trunk.kind = TrunkPolicyKind::Timeout;
+    } else if (variant == "contention") {
+      cfg.fabric.routing.strategy = RoutingStrategy::Dmodk;
+      cfg.fabric.contention = true;
     }
   }
   cfg.app = app;

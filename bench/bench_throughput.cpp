@@ -165,10 +165,12 @@ int main(int argc, char** argv) {
     // at full scale so a slowdown in the trunk hot path is gated too; the
     // plain 128-rank cell gates per-event cost at scale without the trunk
     // machinery in the way (the cross-leaf fan-out is the dominant term
-    // there — see DESIGN.md §11's scaling notes).
+    // there — see DESIGN.md §11's scaling notes). The "+contention" cell
+    // gates the per-hop arrival-order reservation discipline (one DES
+    // event per hop; DESIGN.md §12).
     cells = {{"gromacs", 16}, {"alya", 16},          {"wrf", 16},
              {"nas_bt", 16},  {"nas_mg", 16},        {"gromacs", 128},
-             {"gromacs+trunk", 128}};
+             {"gromacs+trunk", 128},                 {"gromacs+contention", 128}};
   }
   cells = cells_from_args(argc, argv, std::move(cells));
   std::vector<ExperimentConfig> cfgs;

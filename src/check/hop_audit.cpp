@@ -1,0 +1,177 @@
+#include "check/hop_audit.hpp"
+
+#include <algorithm>
+#include <cstdint>
+#include <unordered_map>
+
+namespace ibpower {
+
+namespace {
+
+struct OpenMessage {
+  std::int32_t next_hop{0};  // hop index the next record must carry
+  TimeNs next_head{};        // and the head it must carry
+  Bytes bytes{0};
+  std::int32_t hops{0};
+  std::size_t opened_at{0};  // log index of hop 0, for diagnostics
+};
+
+struct ChannelLog {
+  TimeNs last_start{TimeNs{-1}};
+  TimeNs last_end{TimeNs{-1}};
+  Bytes payload{0};
+};
+
+std::string rec_err(std::size_t i, const HopRecord& r,
+                    const std::string& what) {
+  return "hop record " + std::to_string(i) + " (msg " +
+         std::to_string(r.src) + "->" + std::to_string(r.dst) + " via top " +
+         std::to_string(r.top) + ", hop " + std::to_string(r.hop) + "/" +
+         std::to_string(r.hops) + ", link " + std::to_string(r.link) +
+         "): " + what;
+}
+
+// One stream = all messages of one (src, dst, top) triple. Within a stream
+// the per-link FIFO keeps chains ordered, so matching the oldest candidate
+// is exact (equal candidates are indistinguishable anyway).
+std::uint64_t stream_key(const HopRecord& r) {
+  return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(r.src))
+          << 40) |
+         (static_cast<std::uint64_t>(static_cast<std::uint32_t>(r.dst))
+          << 16) |
+         static_cast<std::uint64_t>(static_cast<std::uint32_t>(r.top));
+}
+
+}  // namespace
+
+std::string audit_hop_log(const Fabric& fabric,
+                          const std::vector<HopRecord>& log) {
+  const FatTreeTopology& topo = fabric.topology();
+  const FabricConfig& cfg = fabric.config();
+
+  std::unordered_map<std::uint64_t, std::vector<OpenMessage>> open;
+  // Channel index: link * 2 + direction.
+  std::vector<ChannelLog> channels(
+      static_cast<std::size_t>(topo.num_links()) * 2);
+
+  for (std::size_t i = 0; i < log.size(); ++i) {
+    const HopRecord& r = log[i];
+    if (r.src < 0 || r.src >= topo.num_nodes() || r.dst < 0 ||
+        r.dst >= topo.num_nodes() || r.src == r.dst) {
+      return rec_err(i, r, "endpoints outside the fabric");
+    }
+    if (r.hops != topo.route_length(r.src, r.dst)) {
+      return rec_err(i, r, "route length " + std::to_string(r.hops) +
+                               " does not match the topology (" +
+                               std::to_string(topo.route_length(r.src,
+                                                                r.dst)) +
+                               ")");
+    }
+    if (r.hop < 0 || r.hop >= r.hops) {
+      return rec_err(i, r, "hop index outside the route");
+    }
+    if (r.bytes < 0) return rec_err(i, r, "negative payload");
+    if (r.link != topo.route(r.src, r.dst,
+                             r.top)[static_cast<std::size_t>(r.hop)]) {
+      return rec_err(i, r, "link is not this hop of the route");
+    }
+    // Contention mode routes zero-byte messages around the trunk queues
+    // entirely; legacy whole-route unicasts still place their (zero-length,
+    // zero-payload) reservations there.
+    if (cfg.contention && r.bytes == 0 && !topo.is_node_link(r.link)) {
+      return rec_err(i, r, "zero-byte message reserved a trunk");
+    }
+
+    const IbLink& link = fabric.link(r.link);
+    // Per-hop legality.
+    if (r.start < r.head) {
+      return rec_err(i, r, "reservation starts before the leading segment "
+                           "arrives");
+    }
+    if (r.end - r.start != link.serialization_time(r.bytes)) {
+      return rec_err(i, r, "end - start != serialization time");
+    }
+
+    // Per-channel FIFO: starts never regress, busy intervals never overlap.
+    const std::size_t dir = r.hop < r.hops / 2 ? 0 : 1;
+    ChannelLog& ch = channels[static_cast<std::size_t>(r.link) * 2 + dir];
+    if (r.start < ch.last_start) {
+      return rec_err(i, r, "channel start regressed");
+    }
+    if (r.start < ch.last_end) {
+      return rec_err(i, r, "channel reservations overlap");
+    }
+    ch.last_start = r.start;
+    ch.last_end = r.end;
+    ch.payload += r.bytes;
+
+    // Message reconstruction via the pipelining law.
+    std::vector<OpenMessage>& stream = open[stream_key(r)];
+    OpenMessage* msg = nullptr;
+    if (r.hop == 0) {
+      stream.push_back(OpenMessage{0, r.head, r.bytes, r.hops, i});
+      msg = &stream.back();
+    } else {
+      for (OpenMessage& m : stream) {
+        if (m.next_hop == r.hop && m.next_head == r.head &&
+            m.bytes == r.bytes) {
+          msg = &m;
+          break;
+        }
+      }
+      if (msg == nullptr) {
+        return rec_err(i, r, "no in-flight message expects this hop at this "
+                             "head time");
+      }
+    }
+    if (r.hop + 1 == r.hops) {
+      stream.erase(stream.begin() + (msg - stream.data()));
+    } else {
+      // Leading segment crosses this link, then the switch; contention-mode
+      // zero-byte messages additionally pass every trunk hop unlogged at
+      // one hop latency each.
+      msg->next_head =
+          r.start +
+          link.serialization_time(std::min(r.bytes, cfg.segment_size)) +
+          cfg.hop_latency;
+      msg->next_hop = r.hop + 1;
+      if (cfg.contention && r.bytes == 0) {
+        while (msg->next_hop + 1 < r.hops) {
+          msg->next_head += cfg.hop_latency;
+          ++msg->next_hop;
+        }
+      }
+    }
+  }
+
+  for (const auto& [key, stream] : open) {
+    (void)key;
+    if (!stream.empty()) {
+      const OpenMessage& m = stream.front();
+      return "message opened at hop record " + std::to_string(m.opened_at) +
+             " never completed (next hop " + std::to_string(m.next_hop) +
+             " of " + std::to_string(m.hops) + ")";
+    }
+  }
+
+  // Payload conservation: everything the split-energy model charges dynamic
+  // energy for must be exactly the logged routed volume — on every link in
+  // the fabric, including ones the log never touched (collective occupy()
+  // and zero-byte wakes must not accrue payload).
+  for (LinkId l = 0; l < topo.num_links(); ++l) {
+    for (std::size_t dir = 0; dir < 2; ++dir) {
+      const Bytes logged = channels[static_cast<std::size_t>(l) * 2 + dir].payload;
+      const Bytes counted =
+          fabric.link(l).payload_bytes(static_cast<Direction>(dir));
+      if (logged != counted) {
+        return "link " + std::to_string(l) + " dir " + std::to_string(dir) +
+               ": logged payload " + std::to_string(logged) +
+               " B != link payload counter " + std::to_string(counted) +
+               " B";
+      }
+    }
+  }
+  return {};
+}
+
+}  // namespace ibpower

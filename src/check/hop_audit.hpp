@@ -1,0 +1,42 @@
+// Hop-conservation auditor (check/).
+//
+// Consumes the fabric's hop log (Fabric::set_hop_log) after a finished
+// replay and re-derives every message's journey from first principles:
+//
+//   * message reconstruction — records are matched into per-message hop
+//     chains purely from the pipelining law (next hop's leading-segment
+//     arrival == start + serialization(min(bytes, segment)) + hop latency;
+//     zero-byte messages skip trunk hops at one hop latency each). A record
+//     that fits no in-flight message is a violation by itself.
+//   * per-hop legality — start >= head (FIFO + wake wait only ever delays)
+//     and end == start + serialization(bytes), exact in integer ns.
+//   * per-link-channel FIFO non-overlap — reservations on each (link,
+//     direction) channel never overlap and starts never regress in
+//     reservation order.
+//   * payload conservation — the bytes logged against each link channel sum
+//     exactly to IbLink's payload counter, i.e. the volume the split-energy
+//     model charges dynamic energy for is precisely the volume the routed
+//     messages put on the wire (zero-byte trunk pass-throughs contribute
+//     nothing to either side).
+//
+// The log is an unsynchronized append stream, so this auditor is for
+// single-shard replays; the laws it checks are shard-count-invariant, and
+// the sharded determinism tests pin that equivalence separately.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "network/fabric.hpp"
+
+namespace ibpower {
+
+/// Audit a complete hop log captured over one finished replay on `fabric`
+/// (same fabric instance: link serialization rates and payload counters are
+/// read back from it). Returns empty on success, else a description of the
+/// first violation. Works for both reservation disciplines — legacy
+/// whole-route unicasts obey the same chaining law.
+[[nodiscard]] std::string audit_hop_log(const Fabric& fabric,
+                                        const std::vector<HopRecord>& log);
+
+}  // namespace ibpower

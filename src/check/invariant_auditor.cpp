@@ -70,7 +70,12 @@ std::string audit_energy_closure(const IbLink& link,
   const TimeNs exec = link.end_time();
   if (exec <= TimeNs::zero()) return {};
 
-  const double integrated = integrate_link_energy(link, cfg);
+  double integrated = integrate_link_energy(link, cfg);
+  if (cfg.split_energy) {
+    // Same dynamic term on both sides of the closure (shared helper), so
+    // the comparison still exercises only the static summation order.
+    integrated += dynamic_link_energy_joules(cfg, link.payload_bytes_total());
+  }
   const LinkPowerSummary s = summarize_link(link, cfg);
   const double reported = s.energy_joules;
   // Ulp-scaled tolerance: the two computations differ only in summation

@@ -29,9 +29,11 @@ namespace ibpower {
 /// be finished (finish() called) so residencies are defined.
 [[nodiscard]] std::string audit_link_schedule(const IbLink& link);
 
-/// The auditor's independent energy integration: a segment walk over the
-/// link's mode timeline accumulating power-weighted nanoseconds (transitions
-/// charged at full power, §III-B), scaled to joules. Exposed so the obs/
+/// The auditor's independent *static* energy integration: a segment walk
+/// over the link's mode timeline accumulating power-weighted nanoseconds
+/// (transitions charged at full power, §III-B), scaled to joules. Under
+/// split accounting this is the static component only; callers add
+/// dynamic_link_energy_joules() for the total. Exposed so the obs/
 /// telemetry layer and its tests can assert bit-equality against the audit
 /// arithmetic — same walk, same accumulation order, identical doubles.
 [[nodiscard]] double integrate_link_energy(const IbLink& link,

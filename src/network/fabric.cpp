@@ -49,6 +49,17 @@ void Fabric::arm_trunks() {
   }
 }
 
+void Fabric::on_trunk_hop(IbLink& l, LinkId id, SwitchId feedback_leaf,
+                          SwitchId top, const IbLink::TxReservation& res) {
+  if (feedback_leaf >= 0) {
+    routing_->on_trunk_reserved(feedback_leaf, top, res.end);
+  }
+  if (trunks_.enabled()) {
+    trunks_.on_reserved(l, static_cast<std::size_t>(id - topo_.num_nodes()),
+                        res);
+  }
+}
+
 Fabric::TxResult Fabric::unicast(NodeId src, NodeId dst, Bytes bytes,
                                  TimeNs ready) {
   IBP_EXPECTS(src >= 0 && src < nodes_used_);
@@ -62,15 +73,17 @@ Fabric::TxResult Fabric::unicast(NodeId src, NodeId dst, Bytes bytes,
     const SwitchId top = routing_->pick_top(src, dst, bytes, ready);
     const FatTreeTopology::RoutePath path = topo_.route(src, dst, top);
     TxResult result{};
-    TimeNs cursor = ready;
+    TimeNs head = ready;
     for (std::size_t h = 0; h < path.size(); ++h) {
       const Direction dir = h == 0 ? Direction::Up : Direction::Down;
-      auto res = link(path[h]).reserve(dir, cursor, bytes);
+      auto res = link(path[h]).reserve(dir, head, bytes);
       result.power_penalty += res.power_delay;
       if (h == 0) result.sender_free = res.end;
+      log_hop(src, dst, top, bytes, path[h], static_cast<int>(h), path.count,
+              head, res);
       const TimeNs first_segment = link(path[h]).serialization_time(
           std::min(bytes, cfg_.segment_size));
-      cursor = res.start + first_segment + cfg_.hop_latency;
+      head = res.start + first_segment + cfg_.hop_latency;
       if (h + 1 == path.size()) result.delivery = res.end + cfg_.hop_latency;
     }
     result.delivery += cfg_.mpi_latency;
@@ -79,7 +92,7 @@ Fabric::TxResult Fabric::unicast(NodeId src, NodeId dst, Bytes bytes,
 
   // Cross-leaf: source half then destination half — the same reservation
   // sequence (and therefore byte-identical timing) as the historical
-  // single loop, just split at the top switch so sharded replay can run
+  // single loop, just split at the route apex so sharded replay can run
   // the halves in different shards.
   const TxSourceResult srch = unicast_source(src, dst, bytes, ready);
   TxResult result = unicast_dest(src, dst, bytes, srch.top, srch.handoff);
@@ -96,36 +109,32 @@ Fabric::TxSourceResult Fabric::unicast_source(NodeId src, NodeId dst,
 
   TxSourceResult result{};
   result.top = routing_->pick_top(src, dst, bytes, ready);
-  const SwitchId src_leaf = topo_.leaf_of(src);
+  const FatTreeTopology::RoutePath path = topo_.route(src, dst, result.top);
+  const int up_count = path.count / 2;
 
-  // Hop 0: source uplink, Up channel.
-  IbLink& uplink = link(topo_.node_uplink(src));
-  auto up = uplink.reserve(Direction::Up, ready, bytes);
-  result.power_penalty += up.power_delay;
-  result.sender_free = up.end;
-  // Segment-level pipelining: the next hop can start once the first
-  // segment has crossed this link and the switch (hop latency).
-  TimeNs cursor =
-      up.start +
-      uplink.serialization_time(std::min(bytes, cfg_.segment_size)) +
-      cfg_.hop_latency;
-
-  // Hop 1: up-trunk (source leaf -> top), Up channel. Feed the reservation
-  // back to the router's load counters and restart the trunk's idle timer
-  // behind the transmission.
-  const LinkId ut = topo_.trunk_link(src_leaf, result.top);
-  IbLink& up_trunk = link(ut);
-  auto tr = up_trunk.reserve(Direction::Up, cursor, bytes);
-  result.power_penalty += tr.power_delay;
-  routing_->on_trunk_reserved(src_leaf, result.top, tr.end);
-  if (trunks_.enabled()) {
-    trunks_.on_reserved(up_trunk,
-                        static_cast<std::size_t>(ut - topo_.num_nodes()), tr);
+  TimeNs head = ready;
+  for (int h = 0; h < up_count; ++h) {
+    const LinkId id = path[static_cast<std::size_t>(h)];
+    IbLink& l = link(id);
+    const auto res = l.reserve(Direction::Up, head, bytes);
+    result.power_penalty += res.power_delay;
+    if (h == 0) {
+      result.sender_free = res.end;
+    } else {
+      // The leaf-trunk hop (h == 1) feeds the router's load counters;
+      // every trunk hop restarts the sleep policy's idle timer behind the
+      // transmission.
+      on_trunk_hop(l, id, h == 1 ? topo_.leaf_of(src) : SwitchId{-1},
+                   result.top, res);
+    }
+    log_hop(src, dst, result.top, bytes, id, h, path.count, head, res);
+    // Segment-level pipelining: the next hop can start once the first
+    // segment has crossed this link and the switch (hop latency).
+    head = res.start +
+           l.serialization_time(std::min(bytes, cfg_.segment_size)) +
+           cfg_.hop_latency;
   }
-  result.handoff =
-      tr.start +
-      up_trunk.serialization_time(std::min(bytes, cfg_.segment_size)) +
-      cfg_.hop_latency;
+  result.handoff = head;
   return result;
 }
 
@@ -135,29 +144,81 @@ Fabric::TxResult Fabric::unicast_dest(NodeId src, NodeId dst, Bytes bytes,
   IBP_EXPECTS(topo_.leaf_of(src) != topo_.leaf_of(dst));
 
   TxResult result{};
-  const SwitchId dst_leaf = topo_.leaf_of(dst);
+  const FatTreeTopology::RoutePath path = topo_.route(src, dst, top);
+  const int count = path.count;
 
-  // Hop 2: down-trunk (top -> destination leaf), Down channel.
-  const LinkId dt = topo_.trunk_link(dst_leaf, top);
-  IbLink& down_trunk = link(dt);
-  auto tr = down_trunk.reserve(Direction::Down, handoff, bytes);
-  result.power_penalty += tr.power_delay;
-  routing_->on_trunk_reserved(dst_leaf, top, tr.end);
-  if (trunks_.enabled()) {
-    trunks_.on_reserved(down_trunk,
-                        static_cast<std::size_t>(dt - topo_.num_nodes()), tr);
+  TimeNs head = handoff;
+  for (int h = count / 2; h < count; ++h) {
+    const LinkId id = path[static_cast<std::size_t>(h)];
+    IbLink& l = link(id);
+    const auto res = l.reserve(Direction::Down, head, bytes);
+    result.power_penalty += res.power_delay;
+    const bool last = h + 1 == count;
+    if (!last) {
+      on_trunk_hop(l, id, h == count - 2 ? topo_.leaf_of(dst) : SwitchId{-1},
+                   top, res);
+    }
+    log_hop(src, dst, top, bytes, id, h, count, head, res);
+    if (last) {
+      result.delivery = res.end + cfg_.hop_latency + cfg_.mpi_latency;
+    } else {
+      head = res.start +
+             l.serialization_time(std::min(bytes, cfg_.segment_size)) +
+             cfg_.hop_latency;
+    }
   }
-  TimeNs cursor =
-      tr.start +
-      down_trunk.serialization_time(std::min(bytes, cfg_.segment_size)) +
-      cfg_.hop_latency;
-
-  // Hop 3: destination uplink, Down channel.
-  IbLink& uplink = link(topo_.node_uplink(dst));
-  auto dn = uplink.reserve(Direction::Down, cursor, bytes);
-  result.power_penalty += dn.power_delay;
-  result.delivery = dn.end + cfg_.hop_latency + cfg_.mpi_latency;
   return result;
+}
+
+SwitchId Fabric::pick_route(NodeId src, NodeId dst, Bytes bytes,
+                            TimeNs ready) {
+  IBP_EXPECTS(src >= 0 && src < nodes_used_);
+  IBP_EXPECTS(dst >= 0 && dst < nodes_used_);
+  IBP_EXPECTS(src != dst);
+  return routing_->pick_top(src, dst, bytes, ready);
+}
+
+Fabric::HopTx Fabric::reserve_hop(NodeId src, NodeId dst, Bytes bytes,
+                                  SwitchId top, int hop, TimeNs head) {
+  const FatTreeTopology::RoutePath path = topo_.route(src, dst, top);
+  const int count = path.count;
+  IBP_EXPECTS(hop >= 0 && hop < count);
+  const LinkId id = path[static_cast<std::size_t>(hop)];
+  const bool last = hop + 1 == count;
+
+  HopTx out{};
+  if (bytes == 0 && !topo_.is_node_link(id)) {
+    // Zero-byte pass-through (see header): the message still pays the
+    // per-switch hop latency, but a sleeping trunk stays asleep. The final
+    // hop is always a node uplink, so `last` is unreachable here.
+    out.start = head;
+    out.end = head;
+    out.next_head = head + cfg_.hop_latency;
+    return out;
+  }
+
+  IbLink& l = link(id);
+  const Direction dir = hop < count / 2 ? Direction::Up : Direction::Down;
+  const auto res = l.reserve(dir, head, bytes);
+  out.start = res.start;
+  out.end = res.end;
+  out.power_delay = res.power_delay;
+  if (!topo_.is_node_link(id)) {
+    SwitchId feedback_leaf{-1};
+    if (hop == 1) {
+      feedback_leaf = topo_.leaf_of(src);
+    } else if (hop == count - 2) {
+      feedback_leaf = topo_.leaf_of(dst);
+    }
+    on_trunk_hop(l, id, feedback_leaf, top, res);
+  }
+  log_hop(src, dst, top, bytes, id, hop, count, head, res);
+  out.next_head =
+      last ? res.end + cfg_.hop_latency + cfg_.mpi_latency
+           : res.start +
+                 l.serialization_time(std::min(bytes, cfg_.segment_size)) +
+                 cfg_.hop_latency;
+  return out;
 }
 
 TimeNs Fabric::wake_node_link(NodeId node, TimeNs ready) {

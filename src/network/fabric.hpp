@@ -8,6 +8,20 @@
 // the top switch per message (random — Table II's default — dmodk, or the
 // power-aware consolidating router; network/routing.hpp).
 //
+// Two reservation disciplines are supported:
+//
+//  * Legacy (contention = false): unicast()/unicast_source()/unicast_dest()
+//    walk the whole route at send time, reserving each link at the
+//    pipelined cursor. Per-link FIFO holds, but the reservations are made
+//    in *send* order, so a message never queues behind traffic that
+//    reaches a shared trunk before it does.
+//
+//  * Contention-accurate (contention = true): the replay engine reserves
+//    the route hop by hop at leading-segment *arrival* times via
+//    pick_route() + reserve_hop(), one DES event per hop, so segments
+//    queue behind competing flows' busy intervals on every hop in arrival
+//    order. Under zero load the two disciplines produce identical timings.
+//
 // Trunk links additionally run a switch-local sleep policy
 // (power/trunk_policy.hpp): the fabric arms each trunk's idle timer at
 // construction/reset and restarts it after every trunk reservation, so cold
@@ -33,6 +47,28 @@ struct FabricConfig {
   Bytes segment_size{2048};                              // Table II: 2 KB
   RoutingConfig routing{};
   TrunkPolicyConfig trunk{};
+  /// Contention-accurate mode: cross-leaf messages are reserved hop by hop
+  /// at segment-arrival times (arrival-order FIFO per link) instead of all
+  /// at send time. Same-leaf pairs never traverse trunks in either mode.
+  bool contention{false};
+};
+
+/// One link reservation along a routed message, as recorded by the hop log
+/// (set_hop_log). The hop-conservation auditor (check/hop_audit.hpp)
+/// reconstructs whole messages from these and checks the delivery-time
+/// decomposition, per-link FIFO non-overlap, and payload conservation.
+struct HopRecord {
+  NodeId src{};
+  NodeId dst{};
+  SwitchId top{};
+  Bytes bytes{};
+  LinkId link{};
+  std::int32_t hop{};   // index of this link within the route
+  std::int32_t hops{};  // route length in links (2, 4 or 6)
+  TimeNs head{};        // leading-segment arrival at this hop
+  TimeNs start{};       // reservation start (>= head; FIFO + wake wait)
+  TimeNs end{};         // start + serialization
+  TimeNs power_delay{};
 };
 
 class Fabric {
@@ -59,30 +95,68 @@ class Fabric {
   /// to inject.
   TxResult unicast(NodeId src, NodeId dst, Bytes bytes, TimeNs ready);
 
-  /// Source half of a cross-leaf unicast: routing decision plus the source
-  /// uplink and up-trunk reservations. `handoff` is when the leading
-  /// segment reaches the chosen top switch's down side — the earliest time
-  /// the destination half may start. Sharded replay (sim/sharded_replay)
-  /// runs this in the shard owning the source leaf and schedules
-  /// unicast_dest as an event at `handoff` in the destination shard; all
-  /// state touched here (source uplink, up-trunk, routing counters for the
-  /// source leaf) is source-shard-owned.
+  /// Source half of a cross-leaf unicast: routing decision plus the
+  /// climbing-side reservations (source uplink, leaf trunk, and on 3-level
+  /// trees the source group's mid trunk). `handoff` is when the leading
+  /// segment reaches the route apex's down side — the earliest time the
+  /// destination half may start. Sharded replay (sim/sharded_replay) runs
+  /// this in the shard owning the source domain and schedules unicast_dest
+  /// as an event at `handoff` in the destination shard; all state touched
+  /// here is source-domain-owned.
   struct TxSourceResult {
     TimeNs sender_free{};    // injection finished on the source uplink
-    TimeNs handoff{};        // down-trunk may start reserving here
+    TimeNs handoff{};        // descending side may start reserving here
     TimeNs power_penalty{};  // lane-wake delay on the source-side hops
     SwitchId top{0};         // routing decision, needed by unicast_dest
   };
   TxSourceResult unicast_source(NodeId src, NodeId dst, Bytes bytes,
                                 TimeNs ready);
 
-  /// Destination half: down-trunk and destination uplink reservations
-  /// starting at `handoff` (from unicast_source). Returns the final
-  /// delivery time (including hop + MPI latency) and the wake penalty of
-  /// the destination-side hops; sender_free is not meaningful here.
-  /// Touches only destination-leaf-owned state.
+  /// Destination half: the descending-side reservations (mid trunk on
+  /// 3-level trees, leaf trunk, destination uplink) starting at `handoff`
+  /// (from unicast_source). Returns the final delivery time (including hop
+  /// + MPI latency) and the wake penalty of the destination-side hops;
+  /// sender_free is not meaningful here. Touches only
+  /// destination-domain-owned state.
   TxResult unicast_dest(NodeId src, NodeId dst, Bytes bytes, SwitchId top,
                         TimeNs handoff);
+
+  // --- Contention-accurate per-hop interface (FabricConfig::contention) ---
+
+  /// Routing decision for one contention-mode message. Advances the
+  /// routing engine's per-source stream exactly like unicast() /
+  /// unicast_source() do, so the chosen tops match the legacy discipline
+  /// draw for draw.
+  SwitchId pick_route(NodeId src, NodeId dst, Bytes bytes, TimeNs ready);
+
+  /// Links in the src -> dst route: 2 same-leaf, 4 on a 2-level tree, 6 on
+  /// a 3-level tree.
+  [[nodiscard]] int route_links(NodeId src, NodeId dst) const {
+    return topo_.route_length(src, dst);
+  }
+
+  struct HopTx {
+    TimeNs start{};        // reservation start on this hop's link
+    TimeNs end{};          // start + serialization
+    TimeNs next_head{};    // leading-segment arrival at the next hop; for
+                           // the final hop, the delivery time (+hop +MPI)
+    TimeNs power_delay{};  // lane-wake delay on this hop
+  };
+
+  /// Reserve hop `hop` (0-based) of the src -> dst route via `top`, with
+  /// the leading segment arriving at `head`. The first route_links()/2
+  /// hops climb (Direction::Up), the rest descend. Zero-byte messages pass
+  /// through trunk hops without touching the link — no wake, no idle-timer
+  /// restart, no routing-load feedback — because they carry no payload to
+  /// queue (their endpoints' uplinks are still reserved for the wake
+  /// semantics the PR 5 zero-byte tests pin).
+  HopTx reserve_hop(NodeId src, NodeId dst, Bytes bytes, SwitchId top,
+                    int hop, TimeNs head);
+
+  /// Record every link reservation made by the unicast/reserve_hop paths
+  /// into `sink` (null disables). The log is an unsynchronized append
+  /// stream: single-shard replays only.
+  void set_hop_log(std::vector<HopRecord>* sink) { hop_log_ = sink; }
 
   /// Ensure a node's link is at full width at `ready` (used at collective
   /// entry); returns the wake penalty (zero if already full width).
@@ -119,6 +193,18 @@ class Fabric {
   }
   /// Start every trunk's idle timer (never-used trunks sleep too).
   void arm_trunks();
+  /// Post-reservation bookkeeping shared by every trunk hop: routing-load
+  /// feedback when the hop is a *leaf* trunk (keyed by that side's leaf),
+  /// and the sleep policy's idle-timer restart for every trunk.
+  void on_trunk_hop(IbLink& l, LinkId id, SwitchId feedback_leaf,
+                    SwitchId top, const IbLink::TxReservation& res);
+  void log_hop(NodeId src, NodeId dst, SwitchId top, Bytes bytes, LinkId id,
+               int hop, int hops, TimeNs head,
+               const IbLink::TxReservation& res) {
+    if (hop_log_ == nullptr) return;
+    hop_log_->push_back(HopRecord{src, dst, top, bytes, id, hop, hops, head,
+                                  res.start, res.end, res.power_delay});
+  }
 
   FabricConfig cfg_;
   FatTreeTopology topo_;
@@ -127,6 +213,7 @@ class Fabric {
   std::unique_ptr<RoutingEngine> routing_;
   RoutingStrategy routing_strategy_{RoutingStrategy::Random};
   TrunkSleepController trunks_;
+  std::vector<HopRecord>* hop_log_{nullptr};
 };
 
 }  // namespace ibpower

@@ -34,6 +34,7 @@ void IbLink::reset(const LinkConfig& cfg) {
   busy_[1].clear();
   end_time_ = TimeNs{};
   finished_ = false;
+  payload_bytes_[0] = payload_bytes_[1] = 0;
   low_power_requests_ = 0;
   on_demand_wakes_ = 0;
   wake_penalty_total_ = TimeNs{};
@@ -196,6 +197,7 @@ IbLink::TxReservation IbLink::reserve(Direction dir, TimeNs ready,
 
   const TimeNs start = max(t, avail_[d]);
   avail_[d] = start + ser;
+  payload_bytes_[d] += bytes;
   busy_[d].add(start, start + ser);
   defer_shutdown(start, start + ser);
   IBP_AUDIT(if (const std::string err = validate_schedule(); !err.empty())

@@ -111,6 +111,17 @@ class IbLink final : public LinkPowerPort {
     return busy_[static_cast<std::size_t>(dir)];
   }
 
+  /// Payload volume reserved on a channel since construction/reset — the
+  /// per-message traffic that the split energy model charges dynamic
+  /// energy for. Counts reserve() payloads only: collective occupy()
+  /// windows and zero-byte wake probes carry no payload.
+  [[nodiscard]] Bytes payload_bytes(Direction dir) const {
+    return payload_bytes_[static_cast<std::size_t>(dir)];
+  }
+  [[nodiscard]] Bytes payload_bytes_total() const {
+    return payload_bytes_[0] + payload_bytes_[1];
+  }
+
   [[nodiscard]] std::uint64_t low_power_requests() const {
     return low_power_requests_;
   }
@@ -150,6 +161,7 @@ class IbLink final : public LinkPowerPort {
   IntervalSet busy_[2];
   TimeNs end_time_{};
   bool finished_{false};
+  Bytes payload_bytes_[2]{};
   std::uint64_t low_power_requests_{0};
   std::uint64_t on_demand_wakes_{0};
   TimeNs wake_penalty_total_{};

@@ -13,8 +13,8 @@ std::vector<LinkId> FatTreeTopology::leaf_switch_ports(SwitchId leaf) const {
   for (int i = 0; i < params_.m1; ++i) {
     ports.push_back(node_uplink(leaf * params_.m1 + i));
   }
-  for (int t = 0; t < num_top_switches(); ++t) {
-    ports.push_back(trunk_link(leaf, t));
+  for (int a = 0; a < params_.w2; ++a) {
+    ports.push_back(num_nodes() + leaf * params_.w2 + a);
   }
   return ports;
 }
@@ -22,9 +22,16 @@ std::vector<LinkId> FatTreeTopology::leaf_switch_ports(SwitchId leaf) const {
 std::vector<LinkId> FatTreeTopology::top_switch_ports(SwitchId top) const {
   IBP_EXPECTS(top >= 0 && top < num_top_switches());
   std::vector<LinkId> ports;
-  ports.reserve(static_cast<std::size_t>(params_.m2));
-  for (int l = 0; l < num_leaf_switches(); ++l) {
-    ports.push_back(trunk_link(l, top));
+  if (levels() == 2) {
+    ports.reserve(static_cast<std::size_t>(params_.m2));
+    for (int l = 0; l < num_leaf_switches(); ++l) {
+      ports.push_back(trunk_link(l, top));
+    }
+    return ports;
+  }
+  ports.reserve(static_cast<std::size_t>(num_groups()));
+  for (int g = 0; g < num_groups(); ++g) {
+    ports.push_back(mid_trunk_link(g, top));
   }
   return ports;
 }

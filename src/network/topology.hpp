@@ -1,17 +1,32 @@
 // Extended Generalized Fat Tree (XGFT) topology — paper Table II:
-// XGFT(2; 18, 14; 1, 18).
+// XGFT(2; 18, 14; 1, 18), generalized to parameterized 2- and 3-level trees.
 //
 // XGFT(h; m1..mh; w1..wh) notation (Öhring et al.): level-0 vertices are the
 // compute nodes; a level-l switch has m_l children and every level-(l-1)
-// vertex has w_l parents. For the paper's instance:
+// vertex has w_l parents. For the paper's 2-level instance:
 //   nodes            = m1 * m2       = 18 * 14 = 252
 //   leaf switches    = m2            = 14 (18 node ports + 18 up ports — a
 //                                      36-port SX6036-class switch)
 //   top switches     = w1 * w2       = 18 (14 down ports each)
 //   links: 252 node-to-leaf + 14*18 = 252 leaf-to-top = 504 total
 //
+// The 3-level extension XGFT(3; m1, m2, m3; 1, w2, w3) adds m3 "groups" of
+// m2 leaf switches each.  Every group owns w2 mid-level switches; every
+// mid-level switch has w3 parents among the w2*w3 root switches.  A root
+// route is identified by a single `top` id t in [0, w2*w3): mid plane
+// a = t / w3, root b = t % w3, so routing engines keep working unchanged
+// with ntop = w2*w3 choices per message.  Cross-leaf routes always climb to
+// a root (uniform routing, even for same-group pairs, so the route shape is
+// a pure function of `top`): src uplink, leaf trunk up, mid trunk up, mid
+// trunk down, leaf trunk down, dst uplink.  A same-group pair uses the same
+// mid-trunk link id for both the up and down legs — IbLink directions are
+// independent full-duplex channels, so this is just the cable being crossed
+// twice.
+//
 // Links are numbered: [0, nodes) are node uplinks (the links the PMPI agent
-// gates); [nodes, nodes + leaves*w2) are leaf-to-top trunks.
+// gates); [nodes, nodes + leaves*w2) are leaf-to-mid trunks; for 3-level
+// trees, [nodes + leaves*w2, nodes + leaves*w2 + m3*w2*w3) are mid-to-root
+// trunks, laid out as group*ntop + top.
 #pragma once
 
 #include <array>
@@ -28,13 +43,19 @@ using LinkId = std::int32_t;
 
 struct XgftParams {
   int m1{18};  // nodes per leaf switch
-  int m2{14};  // leaf switches per top switch
+  int m2{14};  // leaf switches per group (2-level: per top switch)
   int w1{1};   // parents per node
-  int w2{18};  // parents per leaf switch (= number of top switches / w1)
+  int w2{18};  // parents per leaf switch (mid switches per group)
+  int m3{1};   // groups (1 selects the 2-level tree)
+  int w3{1};   // parents per mid switch (1 selects the 2-level tree)
 
   [[nodiscard]] bool valid() const {
-    return m1 > 0 && m2 > 0 && w1 == 1 && w2 > 0;
+    return m1 > 0 && m2 > 0 && w1 == 1 && w2 > 0 && m3 > 0 && w3 > 0;
   }
+
+  /// Two levels of switching (leaf + top) when the third level is
+  /// degenerate; three (leaf + mid + root) otherwise.
+  [[nodiscard]] int levels() const { return m3 == 1 && w3 == 1 ? 2 : 3; }
 
   friend bool operator==(const XgftParams&, const XgftParams&) = default;
 };
@@ -44,17 +65,37 @@ class FatTreeTopology {
   explicit FatTreeTopology(XgftParams params = {});
 
   [[nodiscard]] const XgftParams& params() const { return params_; }
-  [[nodiscard]] int num_nodes() const { return params_.m1 * params_.m2; }
-  [[nodiscard]] int num_leaf_switches() const { return params_.m2; }
-  [[nodiscard]] int num_top_switches() const { return params_.w1 * params_.w2; }
-  [[nodiscard]] int num_links() const {
-    return num_nodes() + num_leaf_switches() * params_.w2;
+  [[nodiscard]] int levels() const { return params_.levels(); }
+  [[nodiscard]] int num_nodes() const {
+    return params_.m1 * params_.m2 * params_.m3;
   }
+  [[nodiscard]] int num_leaf_switches() const {
+    return params_.m2 * params_.m3;
+  }
+  [[nodiscard]] int num_groups() const { return params_.m3; }
+  /// Distinct route choices per cross-leaf message — what routing engines
+  /// see as "top switches": w2 for 2-level trees, w2*w3 root routes for
+  /// 3-level trees.
+  [[nodiscard]] int num_top_switches() const {
+    return params_.w1 * params_.w2 * params_.w3;
+  }
+  [[nodiscard]] int num_links() const {
+    return num_nodes() + num_leaf_switches() * params_.w2 +
+           (levels() == 3 ? params_.m3 * params_.w2 * params_.w3 : 0);
+  }
+  /// Trunks = every link that is not a node uplink.
+  [[nodiscard]] int num_trunks() const { return num_links() - num_nodes(); }
 
   /// Leaf switch a node hangs off.
   [[nodiscard]] SwitchId leaf_of(NodeId node) const {
     IBP_EXPECTS(node >= 0 && node < num_nodes());
     return node / params_.m1;
+  }
+
+  /// Group a leaf switch belongs to (always 0 for 2-level trees).
+  [[nodiscard]] SwitchId group_of_leaf(SwitchId leaf) const {
+    IBP_EXPECTS(leaf >= 0 && leaf < num_leaf_switches());
+    return leaf / params_.m2;
   }
 
   /// The node's (single, w1 = 1) uplink to its leaf switch.
@@ -63,11 +104,22 @@ class FatTreeTopology {
     return node;
   }
 
-  /// Trunk link between a leaf switch and a top switch.
+  /// Trunk link between a leaf switch and the mid-level switch serving
+  /// route `top` (for 2-level trees the mid level IS the top level).
   [[nodiscard]] LinkId trunk_link(SwitchId leaf, SwitchId top) const {
     IBP_EXPECTS(leaf >= 0 && leaf < num_leaf_switches());
     IBP_EXPECTS(top >= 0 && top < num_top_switches());
-    return num_nodes() + leaf * params_.w2 + top;
+    return num_nodes() + leaf * params_.w2 + top / params_.w3;
+  }
+
+  /// 3-level only: trunk link between group `group`'s mid switch and the
+  /// root, for route `top` (mid a = top / w3, root b = top % w3).
+  [[nodiscard]] LinkId mid_trunk_link(SwitchId group, SwitchId top) const {
+    IBP_EXPECTS(levels() == 3);
+    IBP_EXPECTS(group >= 0 && group < num_groups());
+    IBP_EXPECTS(top >= 0 && top < num_top_switches());
+    return num_nodes() + num_leaf_switches() * params_.w2 +
+           group * num_top_switches() + top;
   }
 
   [[nodiscard]] bool is_node_link(LinkId link) const {
@@ -75,16 +127,18 @@ class FatTreeTopology {
   }
 
   /// Number of switch-to-switch hops between two nodes: 1 if they share a
-  /// leaf switch, 3 otherwise (leaf -> top -> leaf).
+  /// leaf switch, 3 via leaf -> top -> leaf, 5 via leaf -> mid -> root ->
+  /// mid -> leaf.
   [[nodiscard]] int hop_count(NodeId a, NodeId b) const {
-    return leaf_of(a) == leaf_of(b) ? 1 : 3;
+    if (leaf_of(a) == leaf_of(b)) return 1;
+    return levels() == 2 ? 3 : 5;
   }
 
-  /// A route is at most 4 links (uplink, up-trunk, down-trunk, uplink), so
-  /// it lives inline — unicast() runs once per message and must not
-  /// allocate.
+  /// A route is at most 6 links (uplink, leaf trunk, mid trunk, mid trunk,
+  /// leaf trunk, uplink), so it lives inline — unicast() runs once per
+  /// message and must not allocate.
   struct RoutePath {
-    std::array<LinkId, 4> links{};
+    std::array<LinkId, 6> links{};
     int count{0};
 
     [[nodiscard]] std::size_t size() const {
@@ -98,24 +152,39 @@ class FatTreeTopology {
     [[nodiscard]] const LinkId* end() const { return links.data() + count; }
   };
 
-  /// Links a message traverses from src to dst via top switch `top`
-  /// (ignored for same-leaf pairs). Order: src uplink, up-trunk, down-trunk,
-  /// dst uplink.
+  /// Links a message traverses from src to dst via route `top` (ignored for
+  /// same-leaf pairs). The first count/2 links are climbed (Direction::Up),
+  /// the rest descended (Direction::Down).
   [[nodiscard]] RoutePath route(NodeId src, NodeId dst, SwitchId top) const {
     IBP_EXPECTS(src != dst);
     const SwitchId src_leaf = leaf_of(src);
     const SwitchId dst_leaf = leaf_of(dst);
     if (src_leaf == dst_leaf) {
-      return RoutePath{{node_uplink(src), node_uplink(dst), 0, 0}, 2};
+      return RoutePath{{node_uplink(src), node_uplink(dst), 0, 0, 0, 0}, 2};
+    }
+    if (levels() == 2) {
+      return RoutePath{{node_uplink(src), trunk_link(src_leaf, top),
+                        trunk_link(dst_leaf, top), node_uplink(dst), 0, 0},
+                       4};
     }
     return RoutePath{{node_uplink(src), trunk_link(src_leaf, top),
+                      mid_trunk_link(group_of_leaf(src_leaf), top),
+                      mid_trunk_link(group_of_leaf(dst_leaf), top),
                       trunk_link(dst_leaf, top), node_uplink(dst)},
-                     4};
+                     6};
+  }
+
+  /// Number of links in the src -> dst route: 2 same-leaf, 4 on a 2-level
+  /// tree, 6 on a 3-level tree.
+  [[nodiscard]] int route_length(NodeId a, NodeId b) const {
+    if (leaf_of(a) == leaf_of(b)) return 2;
+    return levels() == 2 ? 4 : 6;
   }
 
   /// Ports (link ids) of a leaf switch: its m1 node links + w2 trunks.
   [[nodiscard]] std::vector<LinkId> leaf_switch_ports(SwitchId leaf) const;
-  /// Ports of a top switch: one trunk per leaf switch.
+  /// Ports of a top-level switch: one trunk per leaf switch (2-level), or
+  /// one mid-trunk per group (3-level root).
   [[nodiscard]] std::vector<LinkId> top_switch_ports(SwitchId top) const;
 
  private:

@@ -42,6 +42,13 @@ LinkMetrics collect_link(std::int32_t id, const IbLink& link,
   m.wake_penalty_total = link.wake_penalty_total();
   m.energy_joules = integrate_link_energy(link, cfg);
   m.savings_pct = summarize_link(link, cfg).savings_pct;
+  if (cfg.split_energy) {
+    m.static_energy_joules = m.energy_joules;
+    m.dynamic_energy_joules =
+        dynamic_link_energy_joules(cfg, link.payload_bytes_total());
+    m.payload_bytes = link.payload_bytes_total();
+    m.energy_joules = m.static_energy_joules + m.dynamic_energy_joules;
+  }
   return m;
 }
 
@@ -52,6 +59,7 @@ ReplayMetrics collect_replay_metrics(const ReplayEngine& engine,
                                      const PowerModelConfig& cfg) {
   ReplayMetrics m;
   m.managed = engine.options().enable_power_management;
+  m.energy_split = cfg.split_energy;
   m.exec_time = result.exec_time;
   m.events_processed = result.events_processed;
   m.messages_sent = result.messages_sent;
@@ -181,6 +189,24 @@ std::string validate_metrics(const ReplayMetrics& m) {
   }
   for (const LinkMetrics& l : m.trunks) {
     if (std::string err = validate_link(l); !err.empty()) return err;
+  }
+  for (const auto* vec : {&m.links, &m.trunks}) {
+    for (const LinkMetrics& l : *vec) {
+      if (!m.energy_split) {
+        if (l.static_energy_joules != 0.0 || l.dynamic_energy_joules != 0.0 ||
+            l.payload_bytes != 0) {
+          return link_err(l, "split-energy fields set without split accounting");
+        }
+      } else {
+        if (l.payload_bytes < 0) {
+          return link_err(l, "negative payload volume");
+        }
+        if (l.energy_joules !=
+            l.static_energy_joules + l.dynamic_energy_joules) {
+          return link_err(l, "energy != static + dynamic under split accounting");
+        }
+      }
+    }
   }
   if (!m.managed && !m.ranks.empty()) {
     return "baseline snapshot carries rank telemetry";

@@ -60,7 +60,8 @@ void write_drain_json(std::ostream& os, const ReplayDrainStats& d) {
      << ", \"rendezvous_resumed\": " << d.rendezvous_resumed << "}";
 }
 
-void write_link_json(std::ostream& os, const LinkMetrics& l) {
+void write_link_json(std::ostream& os, const LinkMetrics& l,
+                     bool energy_split) {
   os << "{\"link\": " << l.link << ", \"exec_ns\": " << l.exec.ns
      << ", \"residency_full_ns\": " << l.residency[0].ns
      << ", \"residency_low_ns\": " << l.residency[1].ns
@@ -71,7 +72,17 @@ void write_link_json(std::ostream& os, const LinkMetrics& l) {
      << ", \"on_demand_wakes\": " << l.on_demand_wakes
      << ", \"wake_penalty_ns\": " << l.wake_penalty_total.ns
      << ", \"energy_joules\": " << fmt_double(l.energy_joules)
-     << ", \"savings_pct\": " << fmt_double(l.savings_pct) << "}";
+     << ", \"savings_pct\": " << fmt_double(l.savings_pct);
+  // Split-accounting columns only when the snapshot was collected with
+  // split_energy on (the trunks-key idiom: omitting them keeps pre-split
+  // exports byte-identical).
+  if (energy_split) {
+    os << ", \"static_energy_joules\": " << fmt_double(l.static_energy_joules)
+       << ", \"dynamic_energy_joules\": "
+       << fmt_double(l.dynamic_energy_joules)
+       << ", \"payload_bytes\": " << l.payload_bytes;
+  }
+  os << "}";
 }
 
 void write_rank_json(std::ostream& os, const RankMetrics& r) {
@@ -103,7 +114,7 @@ void write_replay_json(std::ostream& os, const ReplayMetrics& m) {
   os << ", \"links\": [";
   for (std::size_t i = 0; i < m.links.size(); ++i) {
     if (i != 0) os << ", ";
-    write_link_json(os, m.links[i]);
+    write_link_json(os, m.links[i], m.energy_split);
   }
   os << "]";
   // Trunk rows exist only when a trunk sleep policy ran; omitting the key
@@ -112,7 +123,7 @@ void write_replay_json(std::ostream& os, const ReplayMetrics& m) {
     os << ", \"trunks\": [";
     for (std::size_t i = 0; i < m.trunks.size(); ++i) {
       if (i != 0) os << ", ";
-      write_link_json(os, m.trunks[i]);
+      write_link_json(os, m.trunks[i], m.energy_split);
     }
     os << "]";
   }

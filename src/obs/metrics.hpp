@@ -43,9 +43,17 @@ struct LinkMetrics {
   std::uint64_t on_demand_wakes{0};
   TimeNs wake_penalty_total{};
   /// Energy by the auditor's own integration (integrate_link_energy) —
-  /// bit-equal to the check/ recomputation by construction.
+  /// bit-equal to the check/ recomputation by construction. Under split
+  /// accounting (PowerModelConfig::split_energy) this is static + dynamic.
   double energy_joules{0.0};
   double savings_pct{0.0};  // summarize_link's reported savings
+  /// Split-energy telemetry: static (mode-residency integral) and per-bit
+  /// dynamic components of energy_joules, plus the payload volume that
+  /// produced the dynamic term. All zero when the split is off, keeping
+  /// pre-split snapshots and exports byte-identical.
+  double static_energy_joules{0.0};
+  double dynamic_energy_joules{0.0};
+  std::int64_t payload_bytes{0};
 
   friend bool operator==(const LinkMetrics&, const LinkMetrics&) = default;
 };
@@ -65,6 +73,9 @@ struct RankMetrics {
 /// Telemetry roll-up of one replay leg (baseline or managed).
 struct ReplayMetrics {
   bool managed{false};
+  /// Split energy accounting was on when this snapshot was collected; the
+  /// exporters emit the per-link static/dynamic/payload columns only then.
+  bool energy_split{false};
   TimeNs exec_time{};
   std::uint64_t events_processed{0};
   std::uint64_t messages_sent{0};

@@ -26,6 +26,12 @@ LinkPowerSummary summarize_link(const IbLink& link,
   }
   s.savings_pct = 100.0 * savings;
   s.energy_joules = cfg.port_nominal_watts * s.mean_power_fraction * exec.s();
+  if (cfg.split_energy) {
+    s.static_energy_joules = s.energy_joules;
+    s.dynamic_energy_joules =
+        dynamic_link_energy_joules(cfg, link.payload_bytes_total());
+    s.energy_joules = s.static_energy_joules + s.dynamic_energy_joules;
+  }
   // Energy-accounting closure: the three mode residencies partition [0, exec]
   // exactly (integer nanoseconds — no tolerance needed), and the resulting
   // mean power fraction must land in [low_power_fraction, 1].
@@ -52,8 +58,14 @@ FleetPowerSummary aggregate_power(const std::vector<const IbLink*>& ports,
     out.mean_low_residency += s.low_residency;
     out.switch_savings_pct += s.savings_pct;
     out.total_energy_joules += s.energy_joules;
+    // The always-on baseline moves the same traffic, so under split
+    // accounting it pays the same dynamic energy on top of nominal static
+    // power — only the static component is saveable.
     out.baseline_energy_joules +=
-        cfg.port_nominal_watts * port->end_time().s();
+        cfg.port_nominal_watts * port->end_time().s() +
+        (cfg.split_energy
+             ? dynamic_link_energy_joules(cfg, port->payload_bytes_total())
+             : 0.0);
   }
   const auto n = static_cast<double>(ports.size());
   out.mean_low_residency /= n;

@@ -31,7 +31,25 @@ struct PowerModelConfig {
 
   enum class Weighting : std::uint8_t { GatedPorts, LinkShareOfSwitch };
   Weighting weighting{Weighting::GatedPorts};
+
+  /// Split accounting (Graphite LinkPowerModel-style): report static
+  /// (mode-residency) and per-bit dynamic transmission energy separately;
+  /// energy_joules becomes their sum. Off by default so pre-split outputs
+  /// stay byte-identical.
+  bool split_energy{false};
+  /// Dynamic transmission energy per payload bit (picojoules/bit). Charged
+  /// per message byte reserved on a link, so traffic concentration shows up
+  /// in the energy books, not just in residency.
+  double dynamic_pj_per_bit{15.0};
 };
+
+/// Dynamic transmission energy for `payload` bytes of link traffic. The
+/// single definition shared by summarize_link, the obs collector and the
+/// auditors so their closure comparisons see identical doubles.
+[[nodiscard]] inline double dynamic_link_energy_joules(
+    const PowerModelConfig& cfg, Bytes payload) {
+  return cfg.dynamic_pj_per_bit * 1e-12 * 8.0 * static_cast<double>(payload);
+}
 
 /// Power/energy summary for one link (port) over a finished execution.
 struct LinkPowerSummary {
@@ -42,6 +60,10 @@ struct LinkPowerSummary {
   double mean_power_fraction{1.0};  // vs always-on
   double energy_joules{0.0};
   double savings_pct{0.0};       // (1 - mean_power_fraction) * 100
+  // Split accounting (PowerModelConfig::split_energy; zero when off):
+  // energy_joules == static_energy_joules + dynamic_energy_joules.
+  double static_energy_joules{0.0};
+  double dynamic_energy_joules{0.0};
 };
 
 [[nodiscard]] LinkPowerSummary summarize_link(const IbLink& link,

@@ -34,9 +34,20 @@ ReplayEngine::ReplayEngine(const Trace* trace, const ReplayOptions& options,
   const int n = trace->nranks();
   const int nleaves_used =
       topo.leaf_of(static_cast<NodeId>(n - 1)) + 1;
+  // Shard domains: single leaves on 2-level trees; whole groups on 3-level
+  // trees — a group's mid-trunks are reserved by both the climbing (source)
+  // and descending (destination) halves of its routes, so a group must
+  // never straddle shards.
+  const int leaves_per_domain = topo.levels() == 3 ? topo.params().m2 : 1;
+  const int ndomains_used =
+      (nleaves_used + leaves_per_domain - 1) / leaves_per_domain;
   ctrl_delay_ = 2 * opt_.fabric.hop_latency;
-  nshards_ = resolve_shard_count(opt_.shards, nleaves_used,
-                                 ctrl_delay_ > TimeNs::zero());
+  contention_ = opt_.fabric.contention;
+  // Legacy posts (handoff, RTS, CTS) are all >= 2 hops in the future;
+  // contention-mode hop handoffs are only one switch out.
+  lookahead_ = contention_ ? opt_.fabric.hop_latency : ctrl_delay_;
+  nshards_ = resolve_shard_count(opt_.shards, ndomains_used,
+                                 lookahead_ > TimeNs::zero());
 
   arena_ = &mem_->shard_slab(0).arena;
   queue_ = &mem_->shard_slab(0).queue;
@@ -56,9 +67,10 @@ ReplayEngine::ReplayEngine(const Trace* trace, const ReplayOptions& options,
   rank_shard_ =
       arena_->allocate_array<std::int32_t>(static_cast<std::size_t>(n));
   for (Rank r = 0; r < n; ++r) {
-    // Balanced contiguous leaf blocks.
+    // Balanced contiguous domain blocks (domain == leaf on 2-level trees).
     rank_shard_[static_cast<std::size_t>(r)] = static_cast<std::int32_t>(
-        static_cast<std::int64_t>(topo.leaf_of(r)) * nshards_ / nleaves_used);
+        static_cast<std::int64_t>(topo.leaf_of(r) / leaves_per_domain) *
+        nshards_ / ndomains_used);
   }
 
   const auto nsz = static_cast<std::size_t>(n);
@@ -181,7 +193,7 @@ ReplayResult ReplayEngine::run() {
   } else {
     std::vector<EventQueue*> queues(
         shard_queues_, shard_queues_ + static_cast<std::size_t>(nshards_));
-    ShardExecutor exec(std::move(queues), ctrl_delay_);
+    ShardExecutor exec(std::move(queues), lookahead_);
     exec_ = &exec;
     // Initial advances are scheduled before any worker exists, directly
     // into each rank's shard queue, in rank order (identical to serial).
@@ -443,6 +455,10 @@ TimeNs ReplayEngine::send_cross_eager(Rank src, Rank dst, std::int32_t tag,
                                       Bytes bytes, TimeNs t) {
   const std::uint32_t seq =
       slab_of(src).send_seq[channel_key(src, dst, tag)]++;
+  if (contention_) {
+    return launch_contended(src, dst, bytes, t, tag, seq, /*eager=*/true,
+                            WaitingRecv{});
+  }
   const auto sx = fabric_->unicast_source(src, dst, bytes, t);
   post_msg(src, dst, sx.handoff,
            [this, src, dst, tag, seq, bytes, top = sx.top,
@@ -531,6 +547,21 @@ void ReplayEngine::handle_cts(XferMsg* x) {
   // Source shard: the receive is posted, start the transfer. The source
   // half reserves now; the destination half is an event at the handoff.
   const Rank src = x->src;
+  if (contention_) {
+    const TimeNs sender_free = launch_contended(
+        src, x->w.dst, x->bytes, x->at, 0, 0, /*eager=*/false, x->w);
+    if (x->src_nonblocking) {
+      complete_request(src, x->src_request, sender_free);
+    } else {
+      ++local_of(src).drain.rendezvous_resumed;
+      const TimeNs enter = x->send_enter;
+      const TimeNs free = sender_free;
+      sched_rank(src, free, [this, src, enter, free] {
+        finish_call(src, MpiCall::Send, enter, free);
+      });
+    }
+    return;
+  }
   const auto sx = fabric_->unicast_source(src, x->w.dst, x->bytes, x->at);
   if (x->src_nonblocking) {
     complete_request(src, x->src_request, sx.sender_free);
@@ -553,6 +584,49 @@ void ReplayEngine::handle_dest_half2(XferMsg* x) {
       fabric_->unicast_dest(x->src, x->w.dst, x->bytes, x->top, x->handoff);
   const WaitingRecv& w = x->w;
   const TimeNs done = max(w.min_exit, tx.delivery);
+  if (w.nonblocking) {
+    complete_request(w.dst, w.request, done);
+  } else {
+    resume_blocked_recv(w, done);
+  }
+}
+
+TimeNs ReplayEngine::launch_contended(Rank src, Rank dst, Bytes bytes,
+                                      TimeNs t, std::int32_t tag,
+                                      std::uint32_t seq, bool eager,
+                                      const WaitingRecv& w) {
+  const SwitchId top = fabric_->pick_route(src, dst, bytes, t);
+  const auto h0 = fabric_->reserve_hop(src, dst, bytes, top, 0, t);
+  ReplayShardSlab& slab = slab_of(src);
+  auto* m = new (slab.arena.allocate(sizeof(HopMsg), alignof(HopMsg)))
+      HopMsg{src, dst, bytes, top, 1, tag, seq, eager, h0.next_head, w};
+  post_msg(src, src, m->head, [this, m] { hop_event(m); });
+  return h0.end;
+}
+
+void ReplayEngine::hop_event(HopMsg* m) {
+  const int count = fabric_->route_links(m->src, m->dst);
+  const auto hx =
+      fabric_->reserve_hop(m->src, m->dst, m->bytes, m->top, m->hop, m->head);
+  if (m->hop + 1 < count) {
+    // This event runs in the shard of the current hop's owner, which is the
+    // required poster identity for the next hop's tie key.
+    const Rank poster = m->hop < count / 2 ? m->src : m->dst;
+    m->hop += 1;
+    m->head = hx.next_head;
+    const Rank owner = m->hop < count / 2 ? m->src : m->dst;
+    post_msg(poster, owner, m->head, [this, m] { hop_event(m); });
+    return;
+  }
+  // Final hop: next_head carries the delivery time (+hop latency +MPI).
+  if (m->eager) {
+    channel_arrive(m->src, m->dst, m->tag, m->seq,
+                   ChannelMsg{false, hx.next_head, 0, false, -1, 0, {}},
+                   hx.next_head);
+    return;
+  }
+  const WaitingRecv w = m->w;
+  const TimeNs done = max(w.min_exit, hx.next_head);
   if (w.nonblocking) {
     complete_request(w.dst, w.request, done);
   } else {

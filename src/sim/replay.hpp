@@ -58,7 +58,8 @@ struct ReplayOptions {
   bool record_call_timeline{false};
   /// Intra-replay shard count for the conservative parallel DES. 1 = serial;
   /// <= 0 = auto (hardware concurrency, serial inside ThreadPool workers).
-  /// Clamped to the number of leaf switches in use; forced serial when the
+  /// Clamped to the number of shard domains in use (leaf switches on
+  /// 2-level trees, whole groups on 3-level trees); forced serial when the
   /// topology has no lookahead (zero hop latency). Results are bit-identical
   /// for every shard count — the event order is keyed by simulation state,
   /// never by thread interleaving.
@@ -321,6 +322,28 @@ class ReplayEngine {
     TimeNs at{};  // RTS arrival time (the match "now" at the destination)
     ChannelMsg msg{};
   };
+  // Contention-mode in-flight message (FabricConfig::contention): one arena
+  // record per cross-leaf message, advanced hop by hop by hop_event() so
+  // each hop's reservation happens at its leading-segment *arrival* time —
+  // arrival-order FIFO behind competing flows on every link. Hop 0 (the
+  // source uplink) is reserved inline at the send/CTS site so sender_free
+  // stays synchronous; `hop` is the next hop to reserve and `head` its
+  // leading-segment arrival. The climbing half (hop < hops/2) runs in the
+  // source rank's shard, the descending half in the destination's; the
+  // crossing post carries a gap >= hop_latency — the contention-mode
+  // conservative lookahead.
+  struct HopMsg {
+    Rank src{-1};
+    Rank dst{-1};
+    Bytes bytes{0};
+    SwitchId top{0};
+    std::int32_t hop{1};
+    std::int32_t tag{0};
+    std::uint32_t seq{0};
+    bool eager{true};
+    TimeNs head{};
+    WaitingRecv w{};  // rendezvous completion context (eager: unused)
+  };
 
   // Per-shard mutable counters, merged into the engine totals after the run
   // (cache-line padded: shards bump them concurrently).
@@ -362,6 +385,16 @@ class ReplayEngine {
   /// sender's uplink frees.
   TimeNs send_cross_eager(Rank src, Rank dst, std::int32_t tag, Bytes bytes,
                           TimeNs t);
+  /// Contention-mode initiation shared by the eager and CTS paths: picks
+  /// the route, reserves hop 0 inline at `t`, and posts the hop-1 event at
+  /// its leading-segment arrival. Returns the hop-0 reservation end (the
+  /// sender-free time).
+  TimeNs launch_contended(Rank src, Rank dst, Bytes bytes, TimeNs t,
+                          std::int32_t tag, std::uint32_t seq, bool eager,
+                          const WaitingRecv& w);
+  /// Reserve HopMsg's next hop and either chain the following hop event or
+  /// complete the message (eager arrival / rendezvous completion).
+  void hop_event(HopMsg* m);
   /// Cross-leaf rendezvous send: posts an RTS to the destination shard.
   void send_cross_rendezvous(Rank src, Rank dst, std::int32_t tag, Bytes bytes,
                              TimeNs t, TimeNs enter, bool nonblocking,
@@ -437,7 +470,12 @@ class ReplayEngine {
   ArenaVector<MpiCallEvent>* call_timelines_;  // arena array [nranks]
   // --- sharding ---
   int nshards_{1};
-  TimeNs ctrl_delay_{};        // RTS/CTS latency == conservative lookahead
+  TimeNs ctrl_delay_{};  // RTS/CTS latency (2 * hop_latency)
+  /// Conservative cross-shard lookahead: ctrl_delay_ in legacy mode (every
+  /// cross-shard post is a handoff/RTS/CTS >= 2 hops out), hop_latency in
+  /// contention mode (per-hop handoffs are only one switch out).
+  TimeNs lookahead_{};
+  bool contention_{false};
   std::int32_t* rank_shard_;   // arena array [nranks]
   EventQueue** shard_queues_;  // arena array [nshards_]
   ReplayShardSlab** slab_ptrs_;  // arena array [nshards_]

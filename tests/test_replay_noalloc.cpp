@@ -262,6 +262,88 @@ TEST(ReplayNoAlloc, ShapeChangeReconvergesToAllocationFree) {
   EXPECT_EQ(rr.rank_finish, fresh_shape.rank_finish);
 }
 
+TEST(ReplayNoAlloc, AlternatingTopologyShapesStayBitIdenticalToFresh) {
+  // One workspace cycled through three topology shapes — the paper 2-level
+  // tree, a small 2-level tree, and a 3-level tree — with contention on:
+  // every leg must match a fresh private-workspace engine exactly, and
+  // re-warming any shape reconverges to the allocation-free steady state.
+  const ExperimentConfig cfg = noalloc_config("alya");
+  const Trace trace = generate_experiment_trace(cfg);
+  ReplayOptions opt = baseline_options(cfg);
+  opt.fabric.contention = true;
+
+  const XgftParams shapes[3] = {XgftParams{18, 14, 1, 18},
+                                XgftParams{8, 4, 1, 6},
+                                XgftParams{2, 2, 1, 2, 2, 2}};
+  ReplayResult fresh[3];
+  for (int s = 0; s < 3; ++s) {
+    ReplayOptions o = opt;
+    o.fabric.xgft = shapes[s];
+    ReplayEngine engine(&trace, o);
+    fresh[s] = engine.run();
+  }
+
+  ReplayMemory mem;
+  for (int round = 0; round < 2; ++round) {
+    for (int s = 0; s < 3; ++s) {
+      ReplayOptions o = opt;
+      o.fabric.xgft = shapes[s];
+      ReplayEngine engine(&trace, o, &mem);
+      const ReplayResult rr = engine.run();
+      EXPECT_EQ(rr.exec_time, fresh[s].exec_time)
+          << "round " << round << " shape " << s;
+      EXPECT_EQ(rr.rank_finish, fresh[s].rank_finish);
+      EXPECT_EQ(rr.events_processed, fresh[s].events_processed);
+      EXPECT_TRUE(rr.drain == fresh[s].drain);
+      EXPECT_TRUE(engine.audit_drain().empty());
+    }
+  }
+
+  // Re-warm the final shape, then demand the steady-state contract again.
+  for (int warm = 0; warm < 2; ++warm) {
+    ReplayOptions o = opt;
+    o.fabric.xgft = shapes[2];
+    ReplayEngine engine(&trace, o, &mem);
+    (void)engine.run();
+  }
+  const std::uint64_t before = g_alloc_count.load();
+  {
+    ReplayOptions o = opt;
+    o.fabric.xgft = shapes[2];
+    ReplayEngine engine(&trace, o, &mem);
+    (void)engine.run();
+  }
+  const std::uint64_t after = g_alloc_count.load();
+  EXPECT_LE(after - before, 2u)
+      << "shape cycling must reconverge to the steady-state contract";
+}
+
+TEST(ReplayNoAlloc, ContentionSteadyStateIsAllocationFree) {
+  // The per-hop event chains allocate their HopMsg blocks from the shard
+  // arenas; a warmed workspace replays a contended trace with zero heap
+  // traffic, like the legacy discipline.
+  const ExperimentConfig cfg = noalloc_config("gromacs");
+  const Trace trace = generate_experiment_trace(cfg);
+  ReplayOptions opt = baseline_options(cfg);
+  opt.fabric.contention = true;
+
+  ReplayMemory mem;
+  for (int warm = 0; warm < 2; ++warm) {
+    ReplayEngine engine(&trace, opt, &mem);
+    (void)engine.run();
+  }
+  const std::uint64_t before = g_alloc_count.load();
+  ReplayResult rr;
+  {
+    ReplayEngine engine(&trace, opt, &mem);
+    rr = engine.run();
+  }
+  const std::uint64_t after = g_alloc_count.load();
+  EXPECT_LE(after - before, 2u)
+      << "contention-mode steady state must stay allocation-free";
+  EXPECT_GT(rr.messages_sent, 0u);
+}
+
 TEST(ReplayNoAlloc, ReusedWorkspaceIsBitIdenticalToFreshEngine) {
   const ExperimentConfig cfg = noalloc_config("gromacs");
   const Trace trace = generate_experiment_trace(cfg);

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <set>
+#include <tuple>
 
 namespace ibpower {
 namespace {
@@ -82,6 +83,84 @@ TEST(Topology, CustomParams) {
   EXPECT_EQ(topo.num_top_switches(), 2);
   const auto path = topo.route(0, 11, 1);
   ASSERT_EQ(path.size(), 4u);
+}
+
+TEST(Topology, ExplicitUnitThirdLevelIsTheTwoLevelTree) {
+  const FatTreeTopology two(XgftParams{18, 14, 1, 18});
+  const FatTreeTopology explicit3(XgftParams{18, 14, 1, 18, 1, 1});
+  EXPECT_EQ(two.levels(), 2);
+  EXPECT_EQ(explicit3.levels(), 2);
+  EXPECT_EQ(explicit3.num_nodes(), two.num_nodes());
+  EXPECT_EQ(explicit3.num_links(), two.num_links());
+  for (const auto [src, dst, top] :
+       {std::tuple{0, 20, 7}, std::tuple{0, 5, 3}, std::tuple{200, 37, 17}}) {
+    const auto a = two.route(src, dst, top);
+    const auto b = explicit3.route(src, dst, top);
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t h = 0; h < a.size(); ++h) EXPECT_EQ(a[h], b[h]);
+  }
+}
+
+TEST(Topology, ThreeLevel512RankDimensions) {
+  // XGFT(3; 8,8,8; 1,4,2): 512 nodes, 64 leaves in 8 groups of 8, 8 roots.
+  const FatTreeTopology topo(XgftParams{8, 8, 1, 4, 8, 2});
+  EXPECT_EQ(topo.levels(), 3);
+  EXPECT_EQ(topo.num_nodes(), 512);
+  EXPECT_EQ(topo.num_leaf_switches(), 64);
+  EXPECT_EQ(topo.num_groups(), 8);
+  EXPECT_EQ(topo.num_top_switches(), 8);
+  // 512 uplinks + 64*4 leaf trunks + 8 groups * 8 roots mid trunks.
+  EXPECT_EQ(topo.num_links(), 512 + 256 + 64);
+  EXPECT_EQ(topo.leaf_of(511), 63);
+  EXPECT_EQ(topo.group_of_leaf(63), 7);
+}
+
+TEST(Topology, ThreeLevelCrossGroupRoute) {
+  const FatTreeTopology topo(XgftParams{2, 2, 1, 2, 2, 2});
+  EXPECT_EQ(topo.levels(), 3);
+  EXPECT_EQ(topo.num_nodes(), 8);
+  // Node 0 (leaf 0, group 0) -> node 6 (leaf 3, group 1).
+  const auto path = topo.route(0, 6, /*top=*/3);
+  ASSERT_EQ(path.size(), 6u);
+  EXPECT_EQ(path[0], topo.node_uplink(0));
+  EXPECT_EQ(path[1], topo.trunk_link(0, 3));
+  EXPECT_EQ(path[2], topo.mid_trunk_link(0, 3));
+  EXPECT_EQ(path[3], topo.mid_trunk_link(1, 3));
+  EXPECT_EQ(path[4], topo.trunk_link(3, 3));
+  EXPECT_EQ(path[5], topo.node_uplink(6));
+  EXPECT_EQ(topo.hop_count(0, 6), 5);
+  EXPECT_EQ(topo.route_length(0, 6), 6);
+}
+
+TEST(Topology, ThreeLevelSameGroupRouteSharesTheMidTrunk) {
+  const FatTreeTopology topo(XgftParams{2, 2, 1, 2, 2, 2});
+  // Node 0 (leaf 0) -> node 2 (leaf 1), both group 0: the climb and the
+  // descent use the same group-to-root trunk (full-duplex link).
+  const auto path = topo.route(0, 2, /*top=*/1);
+  ASSERT_EQ(path.size(), 6u);
+  EXPECT_EQ(path[2], topo.mid_trunk_link(0, 1));
+  EXPECT_EQ(path[3], topo.mid_trunk_link(0, 1));
+}
+
+TEST(Topology, ThreeLevelLinkIdsDisjoint) {
+  const FatTreeTopology topo(XgftParams{2, 2, 1, 2, 2, 2});
+  std::set<LinkId> ids;
+  for (int n = 0; n < topo.num_nodes(); ++n) ids.insert(topo.node_uplink(n));
+  for (int l = 0; l < topo.num_leaf_switches(); ++l) {
+    for (int a = 0; a < 2; ++a) {
+      ids.insert(topo.num_nodes() + l * 2 + a);
+    }
+  }
+  for (int g = 0; g < topo.num_groups(); ++g) {
+    for (int t = 0; t < topo.num_top_switches(); ++t) {
+      ids.insert(topo.mid_trunk_link(g, t));
+    }
+  }
+  EXPECT_EQ(static_cast<int>(ids.size()), topo.num_links());
+  for (const LinkId id : ids) {
+    EXPECT_GE(id, 0);
+    EXPECT_LT(id, topo.num_links());
+  }
 }
 
 }  // namespace

@@ -1,6 +1,6 @@
 // fuzz_replay — randomized differential + metamorphic test driver (check/).
 //
-// Per seed, three independent phases:
+// Per seed, six independent phases:
 //
 //  Phase A (PPA differential oracle): generate a synthetic closed-gram
 //  stream (GramStreamGenerator) and feed the identical stream to both PPA
@@ -42,6 +42,24 @@
 //  (per-link residencies and energies — i.e. the complete reservation
 //  history of all 504 links), with the post-run audit clean in each run.
 //
+//  Phase E (contention tier, DESIGN.md §12): the contention-accurate
+//  per-hop reservation discipline. A randomized zero-load token ring must
+//  be bit-identical between the legacy and contention disciplines
+//  (contention only ever changes queueing). A random contended trace must
+//  pass the hop-conservation audit (check/hop_audit.hpp: per-message
+//  delivery decomposition, per-channel FIFO non-overlap, payload
+//  conservation against the split-energy model) and stay bit-identical
+//  across shard counts {2, 4, 8}. A sound single-FIFO-stage probe asserts
+//  queueing monotonicity: adding a background flow never makes any
+//  existing flow finish earlier.
+//
+//  Phase F (scale-topology tier): metamorphic topology scaling. Under
+//  dmodk, widening a tree from w2 to 2*w2 trunks per leaf refines every
+//  trunk class, so a feed-forward workload finishes pointwise no later.
+//  Every 8th seed additionally replays a 512-rank 3-level XGFT(3; 8,8,8;
+//  1,4,2) under all three routing strategies, contention on, with the full
+//  audit stack and shard bit-identity.
+//
 // Exit status 0 with a one-line summary when every seed passes; on the
 // first failure, prints the seed and violation and exits 1.
 //
@@ -54,6 +72,7 @@
 #include <string>
 #include <vector>
 
+#include "check/hop_audit.hpp"
 #include "check/invariant_auditor.hpp"
 #include "check/trace_gen.hpp"
 #include "core/ppa.hpp"
@@ -741,6 +760,410 @@ std::optional<Failure> run_pdes_tier(std::uint64_t seed, Rng& rng) {
   return std::nullopt;
 }
 
+// --- Phase E: contention tier ---------------------------------------------
+
+/// Cross-leaf token ring over `n` ranks (2 nodes per leaf; even ranks are
+/// visited before odd ranks, so consecutive stops always sit on different
+/// leaves) with per-hop byte counts drawn from `rng`. Exactly one message
+/// is ever in flight — the zero-load oracle for the contention discipline.
+Trace contention_token_ring(int n, Rng& rng) {
+  Trace trace("contention-ring", static_cast<Rank>(n));
+  std::vector<Rank> order;
+  for (Rank r = 0; r < n; r += 2) order.push_back(r);
+  for (Rank r = 1; r < n; r += 2) order.push_back(r);
+  std::vector<Bytes> bytes(order.size());
+  for (Bytes& b : bytes) {
+    // Mix eager and rendezvous sizes (threshold 32 KiB).
+    b = Bytes{rng.uniform_int(std::int64_t{1}, std::int64_t{100000})};
+  }
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    const std::size_t prev_i = (i + order.size() - 1) % order.size();
+    const Rank self = order[i];
+    const Rank next = order[(i + 1) % order.size()];
+    const Rank prev = order[prev_i];
+    if (i == 0) {
+      trace.push(self, SendRecord{next, bytes[i], 0});
+      trace.push(self, RecvRecord{prev, bytes[prev_i], 0});
+    } else {
+      trace.push(self, RecvRecord{prev, bytes[prev_i], 0});
+      trace.push(self, SendRecord{next, bytes[i], 0});
+    }
+  }
+  return trace;
+}
+
+/// run_pdes_leg plus the contention-mode audit stack: an optional hop log
+/// (single-shard only) fed through the hop-conservation auditor, and the
+/// full replay invariant audit (drain conservation, link schedules, energy
+/// closure including the split dynamic component).
+PdesLeg run_contention_leg(const Trace& trace, ReplayOptions opt, int shards,
+                           const PowerModelConfig& power,
+                           std::vector<HopRecord>* log,
+                           std::string* hop_audit,
+                           std::string* replay_audit) {
+  opt.shards = shards;
+  ReplayEngine engine(&trace, opt);
+  if (log != nullptr) engine.fabric().set_hop_log(log);
+  const ReplayResult rr = engine.run();
+  PdesLeg out;
+  out.exec = rr.exec_time;
+  out.finish = rr.rank_finish;
+  out.messages = rr.messages_sent;
+  out.events = rr.events_processed;
+  out.drain = rr.drain;
+  out.shards_used = rr.shards_used;
+  out.audit = engine.audit_drain();
+  if (replay_audit != nullptr) *replay_audit = audit_replay(engine, power);
+  if (hop_audit != nullptr && log != nullptr) {
+    *hop_audit = audit_hop_log(engine.fabric(), *log);
+  }
+  out.metrics = obs::collect_replay_metrics(engine, rr, power);
+  return out;
+}
+
+std::optional<Failure> run_contention_tier(std::uint64_t seed, Rng& rng) {
+  const auto fail = [&](std::string msg) {
+    return Failure{seed, "contention-tier", std::move(msg)};
+  };
+
+  PowerModelConfig power;
+  power.split_energy = true;  // exercise the static/dynamic decomposition
+
+  // (a) Zero-load oracle: with exactly one message in flight the per-hop
+  // arrival-order discipline must reproduce legacy timings bit for bit —
+  // everything observable except the DES event count.
+  XgftParams ring_xgft;
+  int nring = 0;
+  if (rng.bernoulli(0.25)) {
+    const int groups = static_cast<int>(rng.uniform_int(2, 3));
+    ring_xgft = XgftParams{2, 2, 1, 2, groups, 2};
+    nring = 4 * groups;
+  } else {
+    const int nleaves = static_cast<int>(rng.uniform_int(3, 6));
+    const int w2 = static_cast<int>(rng.uniform_int(1, 3));
+    ring_xgft = XgftParams{2, nleaves, 1, w2};
+    nring = 2 * nleaves;
+  }
+  const Trace ring = contention_token_ring(nring, rng);
+  ReplayOptions ring_opt;
+  ring_opt.fabric.xgft = ring_xgft;
+  ring_opt.fabric.routing.strategy = RoutingStrategy::Dmodk;
+  if (rng.bernoulli(0.3)) {
+    ring_opt.fabric.trunk.kind = TrunkPolicyKind::Timeout;
+    ring_opt.fabric.trunk.idle_timeout = TimeNs::from_us(std::int64_t{5});
+  }
+  const PdesLeg ring_off = run_pdes_leg(ring, ring_opt, 1, power);
+  ring_opt.fabric.contention = true;
+  const PdesLeg ring_on = run_pdes_leg(ring, ring_opt, 1, power);
+  if (!ring_off.audit.empty() || !ring_on.audit.empty()) {
+    return fail("ring audit: " + ring_off.audit + ring_on.audit);
+  }
+  if (ring_on.exec != ring_off.exec || ring_on.finish != ring_off.finish ||
+      ring_on.messages != ring_off.messages ||
+      !(ring_on.drain == ring_off.drain)) {
+    return fail("zero-load ring timings diverge between disciplines (exec " +
+                std::to_string(ring_on.exec.ns) + " ns vs " +
+                std::to_string(ring_off.exec.ns) + " ns)");
+  }
+  obs::ReplayMetrics ring_a = ring_off.metrics;
+  obs::ReplayMetrics ring_b = ring_on.metrics;
+  ring_a.events_processed = 0;
+  ring_b.events_processed = 0;
+  if (!(ring_a == ring_b)) {
+    return fail("zero-load ring telemetry diverges between disciplines");
+  }
+
+  // (b) Queueing monotonicity. Single-FIFO-stage construction: all senders
+  // sit on leaf 0 and target the same trunk class c (dst % w2 == c) on
+  // *distinct* destination leaves, so the leaf-0 up-trunk is the only
+  // shared link. Arrival times there are fixed by each sender's private
+  // uplink; a FIFO with fixed arrivals can only delay the existing flows
+  // when one more is inserted. Trunk sleep and power management stay off —
+  // wake-penalty absorption could otherwise let a background flow speed a
+  // probe up (DESIGN.md §12).
+  const int mono_w2 = static_cast<int>(rng.uniform_int(2, 4));
+  const int mono_m1 = static_cast<int>(rng.uniform_int(4, 7));
+  const int nsenders = static_cast<int>(rng.uniform_int(2, 3));
+  const int mono_c = static_cast<int>(rng.uniform_int(0, mono_w2 - 1));
+  const int mono_leaves = nsenders + 2;
+  const int mono_ranks = mono_m1 * mono_leaves;
+  std::vector<TimeNs> mono_start(static_cast<std::size_t>(nsenders) + 1);
+  std::vector<Bytes> mono_bytes(static_cast<std::size_t>(nsenders) + 1);
+  std::vector<Rank> mono_dst(static_cast<std::size_t>(nsenders) + 1);
+  for (std::size_t j = 0; j <= static_cast<std::size_t>(nsenders); ++j) {
+    mono_start[j] = TimeNs::from_us(rng.uniform_int(std::int64_t{0},
+                                                    std::int64_t{50}));
+    mono_bytes[j] =
+        Bytes{rng.uniform_int(std::int64_t{1}, std::int64_t{30000})};
+    const int base_node = (1 + static_cast<int>(j)) * mono_m1;
+    for (int node = base_node; node < base_node + mono_m1; ++node) {
+      if (node % mono_w2 == mono_c) {
+        mono_dst[j] = static_cast<Rank>(node);
+        break;
+      }
+    }
+  }
+  const auto mono_trace = [&](int count) {
+    Trace t("monotonic-probe", static_cast<Rank>(mono_ranks));
+    for (std::size_t j = 0; j < static_cast<std::size_t>(count); ++j) {
+      t.push(static_cast<Rank>(j), ComputeRecord{mono_start[j]});
+      t.push(static_cast<Rank>(j), SendRecord{mono_dst[j], mono_bytes[j], 0});
+      t.push(mono_dst[j], RecvRecord{static_cast<Rank>(j), mono_bytes[j], 0});
+    }
+    return t;
+  };
+  ReplayOptions mono_opt;
+  mono_opt.fabric.xgft = XgftParams{mono_m1, mono_leaves, 1, mono_w2};
+  mono_opt.fabric.routing.strategy = RoutingStrategy::Dmodk;
+  mono_opt.fabric.contention = true;
+  const PdesLeg base = run_pdes_leg(mono_trace(nsenders), mono_opt, 1, power);
+  const PdesLeg more =
+      run_pdes_leg(mono_trace(nsenders + 1), mono_opt, 1, power);
+  if (!base.audit.empty() || !more.audit.empty()) {
+    return fail("monotonicity audit: " + base.audit + more.audit);
+  }
+  for (std::size_t r = 0; r < static_cast<std::size_t>(mono_ranks); ++r) {
+    if (more.finish[r] < base.finish[r]) {
+      return fail("adding a background flow made rank " + std::to_string(r) +
+                  " finish earlier (" + std::to_string(more.finish[r].ns) +
+                  " ns < " + std::to_string(base.finish[r].ns) + " ns)");
+    }
+  }
+
+  // (c) Contended random trace: hop-conservation audit + energy closure on
+  // the serial leg, then bit-identity across shard counts.
+  SyntheticTraceConfig tcfg;
+  tcfg.seed = seed ^ 0x7e7e7e7e7e7e7e7eULL;
+  tcfg.nranks = static_cast<Rank>(rng.uniform_int(19, 48));
+  tcfg.phases_per_iteration = static_cast<int>(rng.uniform_int(2, 3));
+  tcfg.iterations = static_cast<int>(rng.uniform_int(2, 4));
+  tcfg.compute_median =
+      TimeNs::from_us(rng.uniform_int(std::int64_t{50}, std::int64_t{300}));
+  tcfg.compute_jitter_sigma = rng.uniform(0.05, 0.3);
+  tcfg.noise_prob = rng.bernoulli(0.3) ? 0.15 : 0.0;
+  const Trace trace = generate_trace(tcfg);
+  if (const std::string err = trace.validate(); !err.empty()) {
+    return fail("generated trace invalid: " + err);
+  }
+
+  ReplayOptions opt;
+  opt.fabric.contention = true;
+  opt.fabric.routing.strategy =
+      rng.bernoulli(0.5) ? RoutingStrategy::Dmodk
+                         : (rng.bernoulli(0.5) ? RoutingStrategy::Random
+                                               : RoutingStrategy::Consolidate);
+  if (rng.bernoulli(0.3)) {
+    opt.fabric.trunk.kind = TrunkPolicyKind::Timeout;
+    opt.fabric.trunk.idle_timeout = TimeNs::from_us(std::int64_t{50});
+  }
+  if (rng.bernoulli(0.5)) {
+    opt.enable_power_management = true;
+    opt.ppa.displacement_factor =
+        0.01 * static_cast<double>(rng.uniform_int(1, 10));
+    opt.fabric.link.t_react = opt.ppa.t_react;
+    opt.fabric.link.t_deact = opt.ppa.t_react;
+  }
+
+  std::vector<HopRecord> log;
+  std::string hop_err;
+  std::string replay_err;
+  const PdesLeg serial =
+      run_contention_leg(trace, opt, 1, power, &log, &hop_err, &replay_err);
+  if (!serial.audit.empty()) return fail("serial audit: " + serial.audit);
+  if (!replay_err.empty()) return fail("invariant audit: " + replay_err);
+  if (!hop_err.empty()) return fail("hop audit: " + hop_err);
+  // A trace can come out collective-only; the hop log covers unicasts.
+  if (serial.messages > 0 && log.empty()) {
+    return fail("contended run sent " + std::to_string(serial.messages) +
+                " message(s) but logged no hop reservations");
+  }
+
+  const int nleaves = (static_cast<int>(tcfg.nranks) + 17) / 18;
+  for (const int shards : {2, 4, 8}) {
+    const PdesLeg sharded =
+        run_contention_leg(trace, opt, shards, power, nullptr, nullptr,
+                           nullptr);
+    const std::string leg = "shards=" + std::to_string(shards);
+    if (!sharded.audit.empty()) return fail(leg + " audit: " + sharded.audit);
+    if (sharded.shards_used != std::min(shards, nleaves)) {
+      return fail(leg + " resolved to " + std::to_string(sharded.shards_used) +
+                  " shard(s), expected " +
+                  std::to_string(std::min(shards, nleaves)));
+    }
+    if (sharded.exec != serial.exec || sharded.finish != serial.finish ||
+        sharded.messages != serial.messages ||
+        sharded.events != serial.events ||
+        !(sharded.drain == serial.drain)) {
+      return fail(leg + " diverged from the serial contended run");
+    }
+    if (sharded.metrics != serial.metrics) {
+      return fail(leg + " telemetry snapshot diverged from serial");
+    }
+  }
+
+  if (g_verbose) {
+    std::printf("  seed %" PRIu64 ": contention ok (ring %d ranks, probe "
+                "%d+1 senders, trace %d ranks, %zu hop records)\n",
+                seed, nring, nsenders, tcfg.nranks, log.size());
+  }
+  return std::nullopt;
+}
+
+// --- Phase F: scale-topology tier -----------------------------------------
+
+std::optional<Failure> run_scale_topology_tier(std::uint64_t seed, Rng& rng) {
+  const auto fail = [&](std::string msg) {
+    return Failure{seed, "scale-tier", std::move(msg)};
+  };
+
+  PowerModelConfig power;
+  power.split_energy = true;
+
+  // (a) More-trunks metamorphic law. Feed-forward workload: nsend eager
+  // isends per leaf, destinations chosen injectively with consecutive node
+  // offsets per destination leaf (distinct mod w2, hence also distinct mod
+  // 2*w2), so every uplink and every down-trunk carries exactly one
+  // message and only up-trunks are contended. Arrival times at the
+  // up-trunks are fixed by the private uplinks; widening w2 -> 2*w2
+  // refines every dmodk trunk class (x == y mod 2*w2 implies x == y mod
+  // w2), shrinking each message's competitor set. A FIFO with fixed
+  // arrivals and fewer competitors never starts later, so every rank must
+  // finish pointwise no later on the wider tree.
+  const int w2 = static_cast<int>(rng.uniform_int(2, 3));
+  const int m1 = static_cast<int>(rng.uniform_int(6, 8));
+  const int m2 = static_cast<int>(rng.uniform_int(5, 6));
+  const int nsend = static_cast<int>(rng.uniform_int(1, w2));
+  const int nranks = m1 * m2;
+  Trace ff("feed-forward", static_cast<Rank>(nranks));
+  for (int leaf = 0; leaf < m2; ++leaf) {
+    for (int j = 0; j < nsend; ++j) {
+      const Rank src = static_cast<Rank>(leaf * m1 + j);
+      const int dleaf = (leaf + 1 + j) % m2;
+      const Rank dst = static_cast<Rank>(dleaf * m1 + nsend + j);
+      const Bytes bytes{rng.uniform_int(std::int64_t{1}, std::int64_t{30000})};
+      ff.push(src, ComputeRecord{TimeNs::from_us(
+                       rng.uniform_int(std::int64_t{0}, std::int64_t{20}))});
+      ff.push(src, IsendRecord{dst, bytes, 0, 1});
+      ff.push(src, WaitallRecord{});
+      ff.push(dst, RecvRecord{src, bytes, 0});
+    }
+  }
+  if (const std::string err = ff.validate(); !err.empty()) {
+    return fail("feed-forward trace invalid: " + err);
+  }
+
+  ReplayOptions narrow;
+  narrow.fabric.xgft = XgftParams{m1, m2, 1, w2};
+  narrow.fabric.routing.strategy = RoutingStrategy::Dmodk;
+  narrow.fabric.contention = true;
+  ReplayOptions wide = narrow;
+  wide.fabric.xgft = XgftParams{m1, m2, 1, 2 * w2};
+
+  std::vector<HopRecord> nlog;
+  std::string nhop;
+  std::string nreplay;
+  const PdesLeg narrow_leg =
+      run_contention_leg(ff, narrow, 1, power, &nlog, &nhop, &nreplay);
+  if (!narrow_leg.audit.empty()) return fail("narrow audit: " +
+                                             narrow_leg.audit);
+  if (!nreplay.empty()) return fail("narrow invariant audit: " + nreplay);
+  if (!nhop.empty()) return fail("narrow hop audit: " + nhop);
+  const PdesLeg wide_leg =
+      run_contention_leg(ff, wide, 1, power, nullptr, nullptr, nullptr);
+  if (!wide_leg.audit.empty()) return fail("wide audit: " + wide_leg.audit);
+  if (wide_leg.messages != narrow_leg.messages) {
+    return fail("widening the tree changed the message count");
+  }
+  for (std::size_t r = 0; r < static_cast<std::size_t>(nranks); ++r) {
+    if (wide_leg.finish[r] > narrow_leg.finish[r]) {
+      return fail("widening w2 " + std::to_string(w2) + " -> " +
+                  std::to_string(2 * w2) + " delayed rank " +
+                  std::to_string(r) + " (" +
+                  std::to_string(wide_leg.finish[r].ns) + " ns > " +
+                  std::to_string(narrow_leg.finish[r].ns) + " ns)");
+    }
+  }
+  if (wide_leg.exec > narrow_leg.exec) {
+    return fail("widening the tree lengthened execution");
+  }
+
+  // (b) 512-rank 3-level XGFT(3; 8,8,8; 1,4,2), contention on: every
+  // routing strategy must audit clean, and the dmodk leg must stay
+  // bit-identical across shard counts (8 group domains). Gated to every
+  // 8th seed — this is the expensive scale probe.
+  if (seed % 8 != 0) {
+    if (g_verbose) {
+      std::printf("  seed %" PRIu64 ": scale ok (w2 %d -> %d, %d ranks)\n",
+                  seed, w2, 2 * w2, nranks);
+    }
+    return std::nullopt;
+  }
+
+  SyntheticTraceConfig big;
+  big.seed = seed ^ 0xe1e1e1e1e1e1e1e1ULL;
+  big.nranks = 512;
+  big.phases_per_iteration = 2;
+  big.iterations = 2;
+  big.compute_median = TimeNs::from_us(std::int64_t{100});
+  big.compute_jitter_sigma = 0.1;
+  big.noise_prob = 0.0;
+  const Trace btrace = generate_trace(big);
+  if (const std::string err = btrace.validate(); !err.empty()) {
+    return fail("512-rank trace invalid: " + err);
+  }
+
+  ReplayOptions bopt;
+  bopt.fabric.xgft = XgftParams{8, 8, 1, 4, 8, 2};
+  bopt.fabric.contention = true;
+  PdesLeg serial512;
+  for (const RoutingStrategy routing :
+       {RoutingStrategy::Random, RoutingStrategy::Dmodk,
+        RoutingStrategy::Consolidate}) {
+    bopt.fabric.routing.strategy = routing;
+    std::vector<HopRecord> blog;
+    std::string bhop;
+    std::string breplay;
+    const PdesLeg leg =
+        run_contention_leg(btrace, bopt, 1, power, &blog, &bhop, &breplay);
+    const std::string name = routing_strategy_name(routing);
+    if (!leg.audit.empty()) return fail(name + " 512 audit: " + leg.audit);
+    if (!breplay.empty()) {
+      return fail(name + " 512 invariant audit: " + breplay);
+    }
+    if (!bhop.empty()) return fail(name + " 512 hop audit: " + bhop);
+    if (routing == RoutingStrategy::Dmodk) serial512 = leg;
+  }
+
+  bopt.fabric.routing.strategy = RoutingStrategy::Dmodk;
+  for (const int shards : {2, 4, 8}) {
+    const PdesLeg sharded =
+        run_contention_leg(btrace, bopt, shards, power, nullptr, nullptr,
+                           nullptr);
+    const std::string leg = "512 shards=" + std::to_string(shards);
+    if (!sharded.audit.empty()) return fail(leg + " audit: " + sharded.audit);
+    if (sharded.shards_used != std::min(shards, 8)) {
+      return fail(leg + " resolved to " + std::to_string(sharded.shards_used) +
+                  " shard(s), expected " +
+                  std::to_string(std::min(shards, 8)));
+    }
+    if (sharded.exec != serial512.exec ||
+        sharded.finish != serial512.finish ||
+        sharded.messages != serial512.messages ||
+        sharded.events != serial512.events ||
+        !(sharded.drain == serial512.drain) ||
+        sharded.metrics != serial512.metrics) {
+      return fail(leg + " diverged from the serial 512-rank run");
+    }
+  }
+
+  if (g_verbose) {
+    std::printf("  seed %" PRIu64 ": scale ok (w2 %d -> %d, %d ranks; 512-"
+                "rank probe exec %.3f ms)\n",
+                seed, w2, 2 * w2, nranks, serial512.exec.ms());
+  }
+  return std::nullopt;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -785,6 +1208,18 @@ int main(int argc, char** argv) {
       return 1;
     }
     if (const auto failure = run_pdes_tier(seed, rng)) {
+      std::fprintf(stderr, "fuzz_replay: seed %" PRIu64 " FAILED [%s]: %s\n",
+                   failure->seed, failure->phase.c_str(),
+                   failure->message.c_str());
+      return 1;
+    }
+    if (const auto failure = run_contention_tier(seed, rng)) {
+      std::fprintf(stderr, "fuzz_replay: seed %" PRIu64 " FAILED [%s]: %s\n",
+                   failure->seed, failure->phase.c_str(),
+                   failure->message.c_str());
+      return 1;
+    }
+    if (const auto failure = run_scale_topology_tier(seed, rng)) {
       std::fprintf(stderr, "fuzz_replay: seed %" PRIu64 " FAILED [%s]: %s\n",
                    failure->seed, failure->phase.c_str(),
                    failure->message.c_str());

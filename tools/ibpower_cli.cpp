@@ -14,6 +14,7 @@
 //   ibpower_cli sweep --app nas_mg --ranks 16
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <iostream>
 #include <map>
@@ -170,9 +171,39 @@ double ms_since(std::chrono::steady_clock::time_point t0) {
       .count();
 }
 
-/// Apply --routing / --trunk-policy / --trunk-timeout (us) / --spill (us)
-/// to a fabric config. Returns false (with a diagnostic) on unknown names.
+/// --xgft M1,M2,W1,W2[,M3,W3] → topology parameters (4 values select the
+/// 2-level tree, 6 the 3-level tree). Returns false on a malformed spec.
+bool xgft_from(const std::string& spec, XgftParams& xgft) {
+  std::vector<int> v;
+  const char* p = spec.c_str();
+  while (true) {
+    char* end = nullptr;
+    const long field = std::strtol(p, &end, 10);
+    if (end == p) return false;
+    v.push_back(static_cast<int>(field));
+    if (*end == '\0') break;
+    if (*end != ',') return false;
+    p = end + 1;
+  }
+  if (v.size() != 4 && v.size() != 6) return false;
+  xgft = XgftParams{v[0], v[1], v[2], v[3], v.size() == 6 ? v[4] : 1,
+                    v.size() == 6 ? v[5] : 1};
+  return xgft.valid();
+}
+
+/// Apply --routing / --trunk-policy / --trunk-timeout (us) / --spill (us) /
+/// --xgft / --contention to a fabric config. Returns false (with a
+/// diagnostic) on unknown names.
 bool fabric_from(const Args& args, FabricConfig& fabric) {
+  if (const std::string spec = args.get("xgft"); !spec.empty()) {
+    if (!xgft_from(spec, fabric.xgft)) {
+      std::fprintf(stderr,
+                   "bad --xgft '%s' (want M1,M2,W1,W2 or M1,M2,W1,W2,M3,W3)\n",
+                   spec.c_str());
+      return false;
+    }
+  }
+  if (args.has("contention")) fabric.contention = true;
   if (const std::string name = args.get("routing"); !name.empty()) {
     if (!parse_routing_strategy(name, fabric.routing.strategy)) {
       std::fprintf(stderr,
@@ -324,6 +355,10 @@ int cmd_replay(const Args& args) {
     opt.ppa = ppa_from(args, trace.app_name(), trace.nranks());
   }
   opt.shards = shards_from(args);
+  // --split-energy: report static (mode-residency) and dynamic (per-bit)
+  // link energy separately in the telemetry snapshot (DESIGN.md §12).
+  PowerModelConfig pmcfg;
+  pmcfg.split_energy = args.has("split-energy");
   ReplayEngine engine(&trace, opt);
   const ReplayResult rr = engine.run();
   if (args.has("shards") || args.has("shard-profile")) {
@@ -341,8 +376,7 @@ int cmd_replay(const Args& args) {
     cell.app = trace.app_name();
     cell.nranks = trace.nranks();
     cell.displacement = opt.ppa.displacement_factor;
-    obs::ReplayMetrics m =
-        obs::collect_replay_metrics(engine, rr, PowerModelConfig{});
+    obs::ReplayMetrics m = obs::collect_replay_metrics(engine, rr, pmcfg);
     (m.managed ? cell.managed : cell.baseline) = std::move(m);
     if (const int rc = export_telemetry(args, {std::move(cell)}); rc != 0) {
       return rc;
@@ -359,7 +393,7 @@ int cmd_replay(const Args& args) {
       ports.push_back(
           &engine.fabric().link(engine.fabric().topology().node_uplink(n)));
     }
-    const auto fleet = aggregate_power(ports, PowerModelConfig{});
+    const auto fleet = aggregate_power(ports, pmcfg);
     std::printf("savings      : %.2f%%\n", fleet.switch_savings_pct);
     std::printf("hit rate     : %.1f%%\n", rr.agent_total.hit_rate_pct());
   }
@@ -564,6 +598,11 @@ int usage() {
                "  fabric (run/replay/grid): --routing random|dmodk|consolidate\n"
                "          --trunk-policy off|timeout|multi-timeout\n"
                "          --trunk-timeout US (idle timer) --spill US\n"
+               "          --xgft M1,M2,W1,W2[,M3,W3] (topology; 6 values\n"
+               "          select the 3-level tree) --contention (per-hop\n"
+               "          arrival-order FIFO queueing on every link)\n"
+               "  replay: --split-energy (static + dynamic link energy in\n"
+               "          the telemetry snapshot)\n"
                "  gen:    --out FILE          replay: --trace FILE [--managed]\n"
                "  grid:   --out FILE.csv|.json  (full paper evaluation grid)\n"
                "  telemetry (run/replay/grid): --metrics-out FILE.json\n"
