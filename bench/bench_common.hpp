@@ -48,7 +48,9 @@ inline const char* pretty_app(const std::string& app) {
 /// grid can carry trunk-subsystem cells under distinct regression keys. A
 /// "+contention" suffix enables the per-hop arrival-order reservation
 /// discipline (dmodk routing), gating the contention hot path's per-event
-/// cost.
+/// cost. A "+predictor" suffix swaps the agent's PPA for the pattern-free
+/// multi-timeout predictor (DESIGN.md §13), gating the per-call cost of the
+/// IdlePredictor indirection and the request-heavy pattern-free path.
 inline ExperimentConfig cell_config(const GridCell& cell,
                                     double displacement = 0.01,
                                     int iterations = 100) {
@@ -63,6 +65,8 @@ inline ExperimentConfig cell_config(const GridCell& cell,
     } else if (variant == "contention") {
       cfg.fabric.routing.strategy = RoutingStrategy::Dmodk;
       cfg.fabric.contention = true;
+    } else if (variant == "predictor") {
+      cfg.ppa.predictor.kind = PredictorKind::MultiTimeout;
     }
   }
   cfg.app = app;

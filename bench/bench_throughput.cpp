@@ -167,10 +167,13 @@ int main(int argc, char** argv) {
     // machinery in the way (the cross-leaf fan-out is the dominant term
     // there — see DESIGN.md §11's scaling notes). The "+contention" cell
     // gates the per-hop arrival-order reservation discipline (one DES
-    // event per hop; DESIGN.md §12).
+    // event per hop; DESIGN.md §12). The "+predictor" cell swaps in the
+    // pattern-free multi-timeout predictor so the IdlePredictor dispatch
+    // and the request-heavy path are gated too (DESIGN.md §13).
     cells = {{"gromacs", 16}, {"alya", 16},          {"wrf", 16},
              {"nas_bt", 16},  {"nas_mg", 16},        {"gromacs", 128},
-             {"gromacs+trunk", 128},                 {"gromacs+contention", 128}};
+             {"gromacs+trunk", 128},                 {"gromacs+contention", 128},
+             {"gromacs+predictor", 128}};
   }
   cells = cells_from_args(argc, argv, std::move(cells));
   std::vector<ExperimentConfig> cfgs;

@@ -2,10 +2,81 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
+#include <string>
 
 #include "util/time_types.hpp"
 
 namespace ibpower {
+
+/// Which idle predictor drives the node uplink (DESIGN.md §13). The paper's
+/// PPA is the default; the alternatives are pattern-free fallbacks for
+/// irregular applications the PPA cannot learn.
+enum class PredictorKind {
+  /// Pattern detection + power-mode control (paper Alg. 1-3). Default.
+  Ppa,
+  /// Rodríguez-Pérez-style adaptive multi-timeout duration estimate (the
+  /// trunk policy's double/halve rule applied to node uplink call gaps).
+  MultiTimeout,
+  /// Per-call-id idle-gap histogram + EWMA; sleeps for a conservative
+  /// low-quantile of the observed gap distribution after each call.
+  Histogram,
+};
+
+/// Predictor selection plus the per-kind knobs. Embedded in PpaConfig so the
+/// choice threads through replay, experiments and the CLI without new
+/// plumbing; all defaults reproduce the pre-interface behaviour exactly.
+struct PredictorConfig {
+  PredictorKind kind{PredictorKind::Ppa};
+
+  /// COUNTDOWN-Slack-style guard (PAPERS.md): power requests whose predicted
+  /// idle is <= this threshold are suppressed before reaching the link. Zero
+  /// disables the guard. Composable over every predictor kind.
+  TimeNs guard_threshold{};
+
+  /// Multi-timeout estimate bounds (mirrors TrunkPolicyConfig's timer):
+  /// start at `mt_initial`, double toward `mt_max` on long observed gaps
+  /// (>= 4x estimate), halve toward `mt_min` on gaps shorter than the
+  /// estimate.
+  TimeNs mt_initial{TimeNs::from_us(std::int64_t{50})};
+  TimeNs mt_min{TimeNs::from_us(std::int64_t{20})};
+  TimeNs mt_max{TimeNs::from_us(std::int64_t{5000})};
+
+  /// Histogram predictor: minimum observed gaps for a call id before it may
+  /// predict, and the quantile of the gap distribution used as the (lower
+  /// bound) idle estimate.
+  std::uint32_t hist_min_samples{8};
+  double hist_quantile{0.10};
+  /// EWMA weight of the newest gap in the per-call mean estimate; the
+  /// prediction takes min(quantile floor, EWMA) to stay conservative under
+  /// heavy-tailed gap distributions.
+  double hist_ewma_alpha{0.2};
+
+  /// True for the configuration every pre-interface run used; exporters gate
+  /// their predictor columns on this so default outputs stay byte-identical.
+  [[nodiscard]] bool is_default() const {
+    return kind == PredictorKind::Ppa && guard_threshold == TimeNs::zero();
+  }
+
+  [[nodiscard]] bool valid() const {
+    return guard_threshold >= TimeNs::zero() && mt_min > TimeNs::zero() &&
+           mt_max >= mt_min && mt_initial >= mt_min && mt_initial <= mt_max &&
+           hist_min_samples >= 1 && hist_quantile > 0.0 &&
+           hist_quantile <= 0.5 && hist_ewma_alpha >= 0.0 &&
+           hist_ewma_alpha <= 1.0;
+  }
+
+  friend bool operator==(const PredictorConfig&,
+                         const PredictorConfig&) = default;
+};
+
+/// Stable CLI/export name of a predictor kind.
+[[nodiscard]] const char* predictor_name(PredictorKind kind);
+
+/// Parse a predictor name ("ppa", "multi-timeout", "histogram"). Returns
+/// false and leaves `out` untouched on an unknown name.
+[[nodiscard]] bool parse_predictor(const std::string& name,
+                                   PredictorKind* out);
 
 /// Parameters of the pattern-prediction + power-mode-control mechanism.
 ///
@@ -56,12 +127,16 @@ struct PpaConfig {
   /// paper's runs; this is a safety valve for very long executions).
   std::size_t max_gram_history{1u << 22};
 
+  /// Which idle predictor PmpiAgent drives and its knobs; the default keeps
+  /// every output bit-identical to the pre-interface PPA-only agent.
+  PredictorConfig predictor{};
+
   [[nodiscard]] bool valid() const {
     return grouping_threshold >= 2 * t_react && t_react > TimeNs::zero() &&
            displacement_factor >= 0.0 && displacement_factor < 1.0 &&
            consecutive_appearances_to_detect >= 2 && min_pattern_grams >= 2 &&
            max_pattern_grams >= min_pattern_grams && gap_ewma_alpha >= 0.0 &&
-           gap_ewma_alpha <= 1.0;
+           gap_ewma_alpha <= 1.0 && predictor.valid();
   }
 };
 

@@ -1,0 +1,251 @@
+#include "core/idle_predictor.hpp"
+
+#include <algorithm>
+
+#include "util/expect.hpp"
+
+namespace ibpower {
+
+const char* predictor_name(PredictorKind kind) {
+  switch (kind) {
+    case PredictorKind::Ppa: return "ppa";
+    case PredictorKind::MultiTimeout: return "multi-timeout";
+    case PredictorKind::Histogram: return "histogram";
+  }
+  return "?";
+}
+
+bool parse_predictor(const std::string& name, PredictorKind* out) {
+  IBP_EXPECTS(out != nullptr);
+  if (name == "ppa") {
+    *out = PredictorKind::Ppa;
+  } else if (name == "multi-timeout") {
+    *out = PredictorKind::MultiTimeout;
+  } else if (name == "histogram") {
+    *out = PredictorKind::Histogram;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+// --- PpaPredictor ----------------------------------------------------------
+
+PpaPredictor::PpaPredictor(const PpaConfig& cfg)
+    : grams_(cfg.grouping_threshold, &interner_),
+      detector_(cfg, &interner_),
+      controller_(cfg, &interner_) {}
+
+void PpaPredictor::reset(const PpaConfig& cfg) {
+  interner_.clear();
+  grams_.reset(cfg.grouping_threshold);
+  detector_.reset(cfg);
+  controller_.reset(cfg);
+}
+
+IdlePredictor::EnterOutcome PpaPredictor::on_call_enter(MpiCall call,
+                                                        TimeNs enter,
+                                                        TimeNs gap,
+                                                        bool /*first*/) {
+  EnterOutcome out;
+  const bool was_active = controller_.active();
+  const std::uint64_t scans_before = detector_.invocations();
+
+  // 1. Gram formation (Alg. 1). A closure is processed with the detector's
+  //    *current* scanning state: light bookkeeping while the controller is
+  //    active, full PPA otherwise. Running this before the controller's
+  //    verdict means a mispredict at this very call cannot instantly re-arm
+  //    on the previous (stale) appearance.
+  if (auto closed = grams_.on_call_enter(call, enter)) {
+    out.gram_closed = true;
+    if (auto pattern = detector_.observe(*closed)) {
+      if (!controller_.active() &&
+          controller_.arm(&detector_.patterns(), *pattern, call)) {
+        detector_.set_scanning(false);
+        out.armed_now = true;  // the arming call begins the pattern
+      } else if (!controller_.active()) {
+        out.arm_failed = true;
+      }
+    }
+  }
+
+  // 2. Pattern verification (Alg. 3 guard) for calls while predicting.
+  if (was_active && !out.armed_now) {
+    const auto verdict = controller_.on_call_enter(call, gap);
+    if (verdict == PowerModeController::Verdict::Mispredict) {
+      out.mispredict = true;
+      detector_.set_scanning(true);  // relaunch the PPA (paper Fig. 1)
+    } else {
+      out.predicted = true;
+    }
+  }
+
+  out.scans = detector_.invocations() - scans_before;
+  return out;
+}
+
+IdlePredictor::ExitOutcome PpaPredictor::on_call_exit(MpiCall /*call*/,
+                                                      TimeNs exit) {
+  grams_.on_call_exit(exit);
+  ExitOutcome out;
+  if (controller_.active()) {
+    if (auto request = controller_.on_call_exit()) {
+      out.request = Request{request->predicted_idle,
+                            request->low_power_duration};
+    }
+  }
+  return out;
+}
+
+bool PpaPredictor::finish() {
+  if (auto closed = grams_.flush()) {
+    (void)detector_.observe(*closed);
+    return true;
+  }
+  return false;
+}
+
+// --- MultiTimeoutPredictor -------------------------------------------------
+
+void MultiTimeoutPredictor::reset(const PpaConfig& cfg) {
+  cfg_ = cfg;
+  estimate_ = min(max(cfg.predictor.mt_initial, cfg.predictor.mt_min),
+                  cfg.predictor.mt_max);
+}
+
+IdlePredictor::EnterOutcome MultiTimeoutPredictor::on_call_enter(
+    MpiCall /*call*/, TimeNs /*enter*/, TimeNs gap, bool first) {
+  // Issuance-independent adaptation (guard dominance depends on it): judge
+  // each observed gap against the current estimate, mirroring
+  // TrunkMultiTimeoutPolicy::on_reserved's double/halve rule. Gaps below the
+  // grouping threshold are intra-gram spacing, not gateable idle (Alg. 1
+  // semantics) — letting them halve the estimate would collapse it to mt_min
+  // over any call burst and forfeit the trailing idle period that follows.
+  if (!first && gap >= cfg_.grouping_threshold) {
+    const PredictorConfig& p = cfg_.predictor;
+    if (gap >= 4 * estimate_) {
+      estimate_ = min(2 * estimate_, p.mt_max);
+    } else if (gap < estimate_) {
+      estimate_ = max(TimeNs{estimate_.ns / 2}, p.mt_min);
+    }
+  }
+  return EnterOutcome{};
+}
+
+IdlePredictor::ExitOutcome MultiTimeoutPredictor::on_call_exit(
+    MpiCall /*call*/, TimeNs /*exit*/) {
+  ExitOutcome out;
+  // Alg. 3 shape on the adaptive estimate: the short-estimate regime
+  // self-throttles because low drops below min_low_power_duration.
+  const TimeNs predicted = estimate_;
+  const TimeNs safety = predicted * cfg_.displacement_factor + cfg_.t_react;
+  const TimeNs low = predicted - safety;
+  if (low >= cfg_.min_low_power_duration) {
+    out.request = Request{predicted, low};
+  }
+  return out;
+}
+
+// --- HistogramPredictor ----------------------------------------------------
+
+namespace {
+constexpr std::size_t kNumCallIds =
+    static_cast<std::size_t>(MpiCall::Sendrecv) + 1;
+}  // namespace
+
+void HistogramPredictor::reset(const PpaConfig& cfg) {
+  cfg_ = cfg;
+  last_call_ = MpiCall::None;
+  if (per_call_.size() < kNumCallIds) {
+    per_call_.resize(kNumCallIds);  // first Histogram-kind reset only
+  } else {
+    for (CallStats& cs : per_call_) cs = CallStats{};
+  }
+}
+
+IdlePredictor::EnterOutcome HistogramPredictor::on_call_enter(
+    MpiCall /*call*/, TimeNs /*enter*/, TimeNs gap, bool first) {
+  if (!first && last_call_ != MpiCall::None) {
+    CallStats& cs = per_call_[static_cast<std::size_t>(last_call_)];
+    cs.gaps.observe(gap);
+    const double g = static_cast<double>(clamp_nonnegative(gap).ns);
+    if (!cs.ewma_seeded) {
+      cs.ewma_ns = g;
+      cs.ewma_seeded = true;
+    } else {
+      const double a = cfg_.predictor.hist_ewma_alpha;
+      cs.ewma_ns = a * g + (1.0 - a) * cs.ewma_ns;
+    }
+  }
+  return EnterOutcome{};
+}
+
+TimeNs HistogramPredictor::predicted_gap_after(MpiCall call) const {
+  const auto id = static_cast<std::size_t>(call);
+  if (id >= per_call_.size()) return TimeNs::zero();
+  const CallStats& cs = per_call_[id];
+  if (cs.gaps.samples < cfg_.predictor.hist_min_samples) return TimeNs::zero();
+
+  // Floor of the bucket holding the hist_quantile point: a lower bound on
+  // the true quantile, so the prediction errs toward shorter sleeps.
+  const std::uint64_t target = std::max<std::uint64_t>(
+      1, static_cast<std::uint64_t>(
+             static_cast<double>(cs.gaps.samples) *
+             cfg_.predictor.hist_quantile));
+  std::uint64_t cum = 0;
+  TimeNs quantile_floor = TimeNs::zero();
+  for (std::size_t i = 0; i < obs::IdleHistogram::kBuckets; ++i) {
+    cum += cs.gaps.counts[i];
+    if (cum >= target) {
+      quantile_floor = TimeNs{obs::IdleHistogram::bucket_floor_ns(i)};
+      break;
+    }
+  }
+  const TimeNs ewma{static_cast<std::int64_t>(cs.ewma_ns)};
+  return min(quantile_floor, ewma);
+}
+
+IdlePredictor::ExitOutcome HistogramPredictor::on_call_exit(MpiCall call,
+                                                            TimeNs /*exit*/) {
+  ExitOutcome out;
+  const TimeNs predicted = predicted_gap_after(call);
+  last_call_ = call;
+  if (predicted > TimeNs::zero()) {
+    const TimeNs safety = predicted * cfg_.displacement_factor + cfg_.t_react;
+    const TimeNs low = predicted - safety;
+    if (low >= cfg_.min_low_power_duration) {
+      out.request = Request{predicted, low};
+    }
+  }
+  return out;
+}
+
+// --- GuardPredictor --------------------------------------------------------
+
+void GuardPredictor::reset(const PpaConfig& cfg) {
+  IBP_EXPECTS(inner_ != nullptr);
+  inner_->reset(cfg);
+}
+
+IdlePredictor::EnterOutcome GuardPredictor::on_call_enter(MpiCall call,
+                                                          TimeNs enter,
+                                                          TimeNs gap,
+                                                          bool first) {
+  return inner_->on_call_enter(call, enter, gap, first);
+}
+
+IdlePredictor::ExitOutcome GuardPredictor::on_call_exit(MpiCall call,
+                                                        TimeNs exit) {
+  ExitOutcome out = inner_->on_call_exit(call, exit);
+  if (out.request && out.request->predicted_idle <= threshold_) {
+    out.request.reset();
+    out.guard_suppressed = true;
+  }
+  return out;
+}
+
+bool GuardPredictor::finish() { return inner_->finish(); }
+
+bool GuardPredictor::predicting() const { return inner_->predicting(); }
+
+}  // namespace ibpower

@@ -1,0 +1,224 @@
+// IdlePredictor — the pluggable per-rank idle-prediction family
+// (DESIGN.md §13).
+//
+// PmpiAgent owns the interception loop (call counting, telemetry, modeled
+// overhead, actuation through LinkPowerPort); the predictor owns only the
+// decision logic: what to learn from each call boundary and when to request
+// a low-power interval. Three predictors implement the interface —
+//
+//  * PpaPredictor       — the paper's gram/PPA/power-mode-control pipeline,
+//                         transplanted verbatim so default outputs stay
+//                         bit-identical to the pre-interface agent;
+//  * MultiTimeoutPredictor — pattern-free adaptive duration estimate (the
+//                         trunk policy's double/halve rule on observed call
+//                         gaps), for irregular apps the PPA cannot learn;
+//  * HistogramPredictor — per-call-id idle-gap histograms + EWMA; sleeps for
+//                         a conservative low quantile of the distribution
+//                         observed after each call id.
+//
+// GuardPredictor is a COUNTDOWN-Slack-style decorator composable over any
+// of them: it forwards everything but drops power requests whose predicted
+// idle is at or below a threshold, killing short-idle mispredict wakes.
+//
+// All predictors follow the reset-and-reuse protocol (DESIGN.md §7): reset()
+// returns to the freshly-constructed state while keeping learned-structure
+// capacity, so a pooled agent is allocation-free in steady state.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "core/config.hpp"
+#include "core/gram.hpp"
+#include "core/gram_builder.hpp"
+#include "core/pattern.hpp"
+#include "core/power_mode_control.hpp"
+#include "core/ppa.hpp"
+#include "obs/counters.hpp"
+#include "util/time_types.hpp"
+
+namespace ibpower {
+
+class IdlePredictor {
+ public:
+  /// What happened inside the predictor at one call entry; the agent
+  /// translates these flags into its AgentStats counters so every predictor
+  /// shares one accounting path.
+  struct EnterOutcome {
+    bool gram_closed{false};
+    bool armed_now{false};   // prediction (re)activated at this call
+    bool arm_failed{false};
+    bool mispredict{false};  // active prediction contradicted
+    bool predicted{false};   // call verified against an active prediction
+    std::uint64_t scans{0};  // full PPA scan invocations charged as overhead
+  };
+
+  /// A proposed low-power interval (Alg. 3 shape: the predicted idle and the
+  /// duration after subtracting the safety margin).
+  struct Request {
+    TimeNs predicted_idle{};
+    TimeNs low_power_duration{};
+  };
+
+  struct ExitOutcome {
+    std::optional<Request> request;
+    /// The inner predictor proposed a request but the guard suppressed it.
+    bool guard_suppressed{false};
+  };
+
+  virtual ~IdlePredictor() = default;
+
+  /// Return to the freshly-constructed state for `cfg`, keeping capacity.
+  virtual void reset(const PpaConfig& cfg) = 0;
+
+  /// Observe a call entry. `gap` is the idle gap since the previous call's
+  /// exit on this rank (zero and meaningless when `first`).
+  virtual EnterOutcome on_call_enter(MpiCall call, TimeNs enter, TimeNs gap,
+                                     bool first) = 0;
+
+  /// Observe the matching call exit; may propose a power request.
+  virtual ExitOutcome on_call_exit(MpiCall call, TimeNs exit) = 0;
+
+  /// End of execution. Returns true when a trailing gram was flushed (the
+  /// agent counts it as closed).
+  virtual bool finish() = 0;
+
+  /// True while the predictor is verifying an armed pattern (PPA notion;
+  /// pattern-free predictors always report false).
+  [[nodiscard]] virtual bool predicting() const = 0;
+
+  [[nodiscard]] virtual const char* name() const = 0;
+};
+
+/// The paper's mechanism behind the interface: gram formation (Alg. 1), PPA
+/// scanning (Alg. 2) and power-mode control (Alg. 3). The enter/exit bodies
+/// are the pre-interface PmpiAgent logic moved verbatim — the agent's
+/// translation of EnterOutcome/ExitOutcome reproduces the exact same counter
+/// increments, telemetry calls and port requests in the same order.
+class PpaPredictor final : public IdlePredictor {
+ public:
+  explicit PpaPredictor(const PpaConfig& cfg);
+
+  void reset(const PpaConfig& cfg) override;
+  EnterOutcome on_call_enter(MpiCall call, TimeNs enter, TimeNs gap,
+                             bool first) override;
+  ExitOutcome on_call_exit(MpiCall call, TimeNs exit) override;
+  bool finish() override;
+  [[nodiscard]] bool predicting() const override {
+    return controller_.active();
+  }
+  [[nodiscard]] const char* name() const override { return "ppa"; }
+
+  // Introspection used by the inspect CLI, property tests and benches.
+  [[nodiscard]] const PatternDetector& detector() const { return detector_; }
+  [[nodiscard]] const GramInterner& interner() const { return interner_; }
+  [[nodiscard]] const PowerModeController& controller() const {
+    return controller_;
+  }
+
+ private:
+  GramInterner interner_;
+  GramBuilder grams_;
+  PatternDetector detector_;
+  PowerModeController controller_;
+};
+
+/// Pattern-free adaptive multi-timeout predictor: keeps one idle-duration
+/// estimate D per rank, adapted from observed call gaps with the trunk
+/// policy's rule dualized for duration estimation — a long gap (>= 4D)
+/// doubles D toward mt_max, a gap shorter than D halves it toward mt_min;
+/// gaps in [D, 4D) leave it unchanged (hysteresis). Gaps below the grouping
+/// threshold are intra-gram spacing, not gateable idle, and are ignored so a
+/// call burst cannot collapse D before the idle period that follows it.
+/// After every call exit it
+/// proposes to sleep for D minus the Alg. 3 safety margin. Adaptation
+/// depends only on observed gaps, never on whether a request was issued, so
+/// a guard layered on top is a pure output filter (the guard-dominance
+/// property fuzz phase G checks).
+class MultiTimeoutPredictor final : public IdlePredictor {
+ public:
+  MultiTimeoutPredictor() = default;
+
+  void reset(const PpaConfig& cfg) override;
+  EnterOutcome on_call_enter(MpiCall call, TimeNs enter, TimeNs gap,
+                             bool first) override;
+  ExitOutcome on_call_exit(MpiCall call, TimeNs exit) override;
+  bool finish() override { return false; }
+  [[nodiscard]] bool predicting() const override { return false; }
+  [[nodiscard]] const char* name() const override { return "multi-timeout"; }
+
+  /// Current duration estimate (tests observe adaptation through this).
+  [[nodiscard]] TimeNs estimate() const { return estimate_; }
+
+ private:
+  PpaConfig cfg_{};
+  TimeNs estimate_{};
+};
+
+/// Per-call-id histogram/EWMA predictor: attributes each observed gap to the
+/// call id that preceded it, then predicts the idle after a call as
+/// min(quantile floor, EWMA mean) of that call's distribution — conservative
+/// under heavy tails. Proposes the Alg. 3 request once a call id has
+/// hist_min_samples observations. Storage (one 48-bucket histogram per call
+/// id) is allocated on the first Histogram-kind reset and retained, keeping
+/// non-histogram agents cheap and steady state allocation-free.
+class HistogramPredictor final : public IdlePredictor {
+ public:
+  HistogramPredictor() = default;
+
+  void reset(const PpaConfig& cfg) override;
+  EnterOutcome on_call_enter(MpiCall call, TimeNs enter, TimeNs gap,
+                             bool first) override;
+  ExitOutcome on_call_exit(MpiCall call, TimeNs exit) override;
+  bool finish() override { return false; }
+  [[nodiscard]] bool predicting() const override { return false; }
+  [[nodiscard]] const char* name() const override { return "histogram"; }
+
+  /// Predicted idle after `call` (zero when below the sample gate); exposed
+  /// for the property tests.
+  [[nodiscard]] TimeNs predicted_gap_after(MpiCall call) const;
+
+ private:
+  struct CallStats {
+    obs::IdleHistogram gaps;
+    double ewma_ns{0.0};
+    bool ewma_seeded{false};
+  };
+
+  PpaConfig cfg_{};
+  std::vector<CallStats> per_call_;  // indexed by MpiCall id; sized lazily
+  MpiCall last_call_{MpiCall::None};
+};
+
+/// COUNTDOWN-Slack-style guard: forwards every observation to the wrapped
+/// predictor and filters its requests — a request whose predicted idle is
+/// <= guard_threshold is suppressed (reported via guard_suppressed so the
+/// agent can count it without issuing telemetry or actuation).
+class GuardPredictor final : public IdlePredictor {
+ public:
+  GuardPredictor() = default;
+
+  /// Bind the wrapped predictor and threshold; the agent rebinds on every
+  /// reset. The guard itself is stateless beyond the binding.
+  void bind(IdlePredictor* inner, TimeNs threshold) {
+    inner_ = inner;
+    threshold_ = threshold;
+  }
+
+  void reset(const PpaConfig& cfg) override;
+  EnterOutcome on_call_enter(MpiCall call, TimeNs enter, TimeNs gap,
+                             bool first) override;
+  ExitOutcome on_call_exit(MpiCall call, TimeNs exit) override;
+  bool finish() override;
+  [[nodiscard]] bool predicting() const override;
+  [[nodiscard]] const char* name() const override { return "guard"; }
+
+  [[nodiscard]] const IdlePredictor* inner() const { return inner_; }
+
+ private:
+  IdlePredictor* inner_{nullptr};
+  TimeNs threshold_{};
+};
+
+}  // namespace ibpower

@@ -13,31 +13,58 @@ void AgentStats::merge(const AgentStats& o) {
   grams_closed += o.grams_closed;
   ppa_scan_invocations += o.ppa_scan_invocations;
   power_requests += o.power_requests;
+  mispredict_wakes += o.mispredict_wakes;
+  guard_suppressed += o.guard_suppressed;
   requested_low_power_total += o.requested_low_power_total;
   modeled_overhead_total += o.modeled_overhead_total;
 }
 
 PmpiAgent::PmpiAgent(const PpaConfig& cfg, LinkPowerPort* port)
-    : cfg_(cfg),
-      port_(port),
-      grams_(cfg.grouping_threshold, &interner_),
-      detector_(cfg, &interner_),
-      controller_(cfg, &interner_) {
+    : cfg_(cfg), port_(port), ppa_(cfg) {
   IBP_EXPECTS(cfg.valid());
+  if (cfg_.predictor.kind == PredictorKind::MultiTimeout) {
+    multi_timeout_.reset(cfg_);
+  } else if (cfg_.predictor.kind == PredictorKind::Histogram) {
+    histogram_.reset(cfg_);
+  }
+  bind_predictor();
+}
+
+void PmpiAgent::bind_predictor() {
+  IdlePredictor* inner = &ppa_;
+  switch (cfg_.predictor.kind) {
+    case PredictorKind::Ppa: inner = &ppa_; break;
+    case PredictorKind::MultiTimeout: inner = &multi_timeout_; break;
+    case PredictorKind::Histogram: inner = &histogram_; break;
+  }
+  if (cfg_.predictor.guard_threshold > TimeNs::zero()) {
+    guard_.bind(inner, cfg_.predictor.guard_threshold);
+    predictor_ = &guard_;
+  } else {
+    predictor_ = inner;
+  }
 }
 
 void PmpiAgent::reset(const PpaConfig& cfg, LinkPowerPort* port) {
   IBP_EXPECTS(cfg.valid());
   cfg_ = cfg;
   port_ = port;
-  interner_.clear();
-  grams_.reset(cfg.grouping_threshold);
-  detector_.reset(cfg);
-  controller_.reset(cfg);
+  // The PPA is always reset (it is the default predictor and backs the
+  // detector/interner accessors); the pattern-free predictors only when
+  // selected, so non-histogram agents never touch the histogram storage.
+  ppa_.reset(cfg_);
+  if (cfg_.predictor.kind == PredictorKind::MultiTimeout) {
+    multi_timeout_.reset(cfg_);
+  } else if (cfg_.predictor.kind == PredictorKind::Histogram) {
+    histogram_.reset(cfg_);
+  }
+  bind_predictor();
   stats_ = AgentStats{};
   prediction_telemetry_ = obs::PredictionTelemetry{};
   last_exit_ = TimeNs{};
   any_call_ = false;
+  pending_low_ = TimeNs{};
+  pending_request_ = false;
 }
 
 TimeNs PmpiAgent::on_call_enter(MpiCall call, TimeNs enter) {
@@ -45,50 +72,30 @@ TimeNs PmpiAgent::on_call_enter(MpiCall call, TimeNs enter) {
   ++stats_.total_calls;
   const TimeNs gap = any_call_ ? enter - last_exit_ : TimeNs::zero();
   if (any_call_) prediction_telemetry_.on_next_call_gap(gap);
+  if (pending_request_) {
+    if (gap < pending_low_) ++stats_.mispredict_wakes;
+    pending_request_ = false;
+  }
+  const bool first = !any_call_;
   any_call_ = true;
 
-  const bool was_active = controller_.active();
-  const std::uint64_t scans_before = detector_.invocations();
-
-  // 1. Gram formation (Alg. 1). A closure is processed with the detector's
-  //    *current* scanning state: light bookkeeping while the controller is
-  //    active, full PPA otherwise. Running this before the controller's
-  //    verdict means a mispredict at this very call cannot instantly re-arm
-  //    on the previous (stale) appearance.
-  bool armed_now = false;
-  if (auto closed = grams_.on_call_enter(call, enter)) {
-    ++stats_.grams_closed;
-    if (auto pattern = detector_.observe(*closed)) {
-      if (!controller_.active() &&
-          controller_.arm(&detector_.patterns(), *pattern, call)) {
-        detector_.set_scanning(false);
-        ++stats_.arms;
-        ++stats_.predicted_calls;  // the arming call begins the pattern
-        armed_now = true;
-      } else if (!controller_.active()) {
-        ++stats_.arm_failures;
-      }
-    }
+  const auto out = predictor_->on_call_enter(call, enter, gap, first);
+  if (out.gram_closed) ++stats_.grams_closed;
+  if (out.armed_now) {
+    ++stats_.arms;
+    ++stats_.predicted_calls;  // the arming call begins the pattern
   }
+  if (out.arm_failed) ++stats_.arm_failures;
+  if (out.mispredict) ++stats_.pattern_mispredicts;
+  if (out.predicted) ++stats_.predicted_calls;
 
-  // 2. Pattern verification (Alg. 3 guard) for calls while predicting.
-  if (was_active && !armed_now) {
-    const auto verdict = controller_.on_call_enter(call, gap);
-    if (verdict == PowerModeController::Verdict::Mispredict) {
-      ++stats_.pattern_mispredicts;
-      detector_.set_scanning(true);  // relaunch the PPA (paper Fig. 1)
-    } else {
-      ++stats_.predicted_calls;
-    }
-  }
-
-  // 3. Modeled software overhead: every interception costs ~1 us; a full
-  //    PPA scan costs extra when it ran (§IV-D).
+  // Modeled software overhead: every interception costs ~1 us; a full PPA
+  // scan costs extra when it ran (§IV-D).
   TimeNs overhead = cfg_.interception_overhead;
-  const std::uint64_t scans = detector_.invocations() - scans_before;
-  stats_.ppa_scan_invocations += scans;
-  if (scans > 0) {
-    overhead += cfg_.ppa_invocation_overhead * static_cast<std::int64_t>(scans);
+  stats_.ppa_scan_invocations += out.scans;
+  if (out.scans > 0) {
+    overhead +=
+        cfg_.ppa_invocation_overhead * static_cast<std::int64_t>(out.scans);
   }
   stats_.modeled_overhead_total += overhead;
   return overhead;
@@ -96,27 +103,24 @@ TimeNs PmpiAgent::on_call_enter(MpiCall call, TimeNs enter) {
 
 void PmpiAgent::on_call_exit(MpiCall call, TimeNs exit) {
   IBP_EXPECTS(call != MpiCall::None);
-  (void)call;
-  grams_.on_call_exit(exit);
+  const auto out = predictor_->on_call_exit(call, exit);
   last_exit_ = exit;
 
-  if (controller_.active()) {
-    if (auto request = controller_.on_call_exit()) {
-      ++stats_.power_requests;
-      stats_.requested_low_power_total += request->low_power_duration;
-      prediction_telemetry_.on_power_request(request->predicted_idle);
-      if (port_ != nullptr) {
-        port_->request_low_power(exit, request->low_power_duration);
-      }
+  if (out.guard_suppressed) ++stats_.guard_suppressed;
+  if (out.request) {
+    ++stats_.power_requests;
+    stats_.requested_low_power_total += out.request->low_power_duration;
+    prediction_telemetry_.on_power_request(out.request->predicted_idle);
+    pending_low_ = out.request->low_power_duration;
+    pending_request_ = true;
+    if (port_ != nullptr) {
+      port_->request_low_power(exit, out.request->low_power_duration);
     }
   }
 }
 
 void PmpiAgent::finish() {
-  if (auto closed = grams_.flush()) {
-    ++stats_.grams_closed;
-    (void)detector_.observe(*closed);
-  }
+  if (predictor_->finish()) ++stats_.grams_closed;
 }
 
 }  // namespace ibpower

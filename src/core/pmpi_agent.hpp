@@ -1,11 +1,14 @@
 // PmpiAgent — the per-MPI-process power-saving mechanism (paper Fig. 1).
 //
 // This is the component the paper runs inside the PMPI profiling layer: it
-// intercepts every MPI call, forms grams (Alg. 1), runs the PPA while no
-// pattern is predicted (Alg. 2), and drives the power-mode controller
-// (Alg. 3) once one is. It is substrate-agnostic: the replay engine invokes
-// the enter/exit hooks with simulated times, and a real PMPI shim could
-// invoke them with wall-clock times — the agent never assumes a simulator.
+// intercepts every MPI call and drives a pluggable IdlePredictor (DESIGN.md
+// §13) — the paper's gram/PPA/power-mode-control pipeline by default, or one
+// of the pattern-free predictors for irregular applications. The agent owns
+// everything predictor-independent: call counting, predicted-vs-actual
+// telemetry, modeled software overhead, and actuation. It is
+// substrate-agnostic: the replay engine invokes the enter/exit hooks with
+// simulated times, and a real PMPI shim could invoke them with wall-clock
+// times — the agent never assumes a simulator.
 //
 // Lane actuation goes through the LinkPowerPort interface so the agent can
 // be bound to the network model's node link, a mock in tests, or nothing
@@ -16,11 +19,7 @@
 #include <memory>
 
 #include "core/config.hpp"
-#include "core/gram.hpp"
-#include "core/gram_builder.hpp"
-#include "core/pattern.hpp"
-#include "core/power_mode_control.hpp"
-#include "core/ppa.hpp"
+#include "core/idle_predictor.hpp"
 #include "obs/counters.hpp"
 #include "util/time_types.hpp"
 
@@ -49,6 +48,13 @@ struct AgentStats {
   std::uint64_t grams_closed{0};
   std::uint64_t ppa_scan_invocations{0};
   std::uint64_t power_requests{0};
+  /// Issued requests whose actual next-call gap turned out shorter than the
+  /// requested low-power duration — the link was still asleep when the rank
+  /// next needed it (the short-idle wake the guard predictor targets).
+  std::uint64_t mispredict_wakes{0};
+  /// Requests the COUNTDOWN-Slack guard dropped (predicted idle at or below
+  /// guard_threshold); they count neither as power_requests nor telemetry.
+  std::uint64_t guard_suppressed{0};
   TimeNs requested_low_power_total{};
   TimeNs modeled_overhead_total{};
 
@@ -70,8 +76,8 @@ class PmpiAgent {
   PmpiAgent(const PpaConfig& cfg, LinkPowerPort* port);
 
   /// Return to the freshly-constructed state for (cfg, port) while keeping
-  /// the interner/detector/pattern buffers — the reset-and-reuse protocol
-  /// that lets a per-worker agent pool run cell after cell without
+  /// the interner/detector/pattern/histogram buffers — the reset-and-reuse
+  /// protocol that lets a per-worker agent pool run cell after cell without
   /// reallocating its learning structures.
   void reset(const PpaConfig& cfg, LinkPowerPort* port);
 
@@ -93,25 +99,41 @@ class PmpiAgent {
   [[nodiscard]] const obs::PredictionTelemetry& prediction_telemetry() const {
     return prediction_telemetry_;
   }
-  [[nodiscard]] const PatternDetector& detector() const { return detector_; }
-  [[nodiscard]] const GramInterner& interner() const { return interner_; }
-  [[nodiscard]] const PowerModeController& controller() const {
-    return controller_;
+  // PPA introspection (inspect CLI, property tests, benches). Valid for any
+  // configuration — the PPA instance always exists and is reset with the
+  // agent — but only learns when it is the selected predictor.
+  [[nodiscard]] const PatternDetector& detector() const {
+    return ppa_.detector();
   }
-  [[nodiscard]] bool predicting() const { return controller_.active(); }
+  [[nodiscard]] const GramInterner& interner() const {
+    return ppa_.interner();
+  }
+  [[nodiscard]] const PowerModeController& controller() const {
+    return ppa_.controller();
+  }
+  /// The selected predictor (after guard composition).
+  [[nodiscard]] const IdlePredictor& predictor() const { return *predictor_; }
+  [[nodiscard]] bool predicting() const { return predictor_->predicting(); }
   [[nodiscard]] const PpaConfig& config() const { return cfg_; }
 
  private:
+  void bind_predictor();
+
   PpaConfig cfg_;
   LinkPowerPort* port_;
-  GramInterner interner_;
-  GramBuilder grams_;
-  PatternDetector detector_;
-  PowerModeController controller_;
+  PpaPredictor ppa_;
+  MultiTimeoutPredictor multi_timeout_;
+  HistogramPredictor histogram_;
+  GuardPredictor guard_;
+  IdlePredictor* predictor_{nullptr};
   AgentStats stats_;
   obs::PredictionTelemetry prediction_telemetry_;
   TimeNs last_exit_{};
   bool any_call_{false};
+  /// Outstanding request issued at the previous exit, judged against the
+  /// next observed gap to count mispredict_wakes.
+  TimeNs pending_low_{};
+  bool pending_request_{false};
 };
 
 }  // namespace ibpower

@@ -85,6 +85,11 @@ ReplayMetrics collect_replay_metrics(const ReplayEngine& engine,
   }
 
   if (m.managed) {
+    if (const PmpiAgent* a0 = engine.agent(0);
+        a0 != nullptr && !a0->config().predictor.is_default()) {
+      m.predictor = predictor_name(a0->config().predictor.kind);
+      m.guard_us = a0->config().predictor.guard_threshold.us();
+    }
     m.ranks.reserve(static_cast<std::size_t>(fabric.nodes_used()));
     for (Rank r = 0; r < fabric.nodes_used(); ++r) {
       const PmpiAgent* agent = engine.agent(r);
@@ -178,6 +183,9 @@ std::string validate_rank(const RankMetrics& r) {
       r.stats.total_calls) {
     return rank_err(r, "predicted + mispredicted calls exceed total calls");
   }
+  if (r.stats.mispredict_wakes > r.stats.power_requests) {
+    return rank_err(r, "mispredict wakes exceed power requests");
+  }
   return {};
 }
 
@@ -210,6 +218,15 @@ std::string validate_metrics(const ReplayMetrics& m) {
   }
   if (!m.managed && !m.ranks.empty()) {
     return "baseline snapshot carries rank telemetry";
+  }
+  if (m.predictor.empty()) {
+    // Default configuration means no guard, so nothing may be suppressed —
+    // the gating counterpart of the split-energy field check above.
+    for (const RankMetrics& r : m.ranks) {
+      if (r.stats.guard_suppressed != 0) {
+        return rank_err(r, "guard suppressions without a guard predictor");
+      }
+    }
   }
   for (const RankMetrics& r : m.ranks) {
     if (std::string err = validate_rank(r); !err.empty()) return err;

@@ -85,7 +85,8 @@ void write_link_json(std::ostream& os, const LinkMetrics& l,
   os << "}";
 }
 
-void write_rank_json(std::ostream& os, const RankMetrics& r) {
+void write_rank_json(std::ostream& os, const RankMetrics& r,
+                     bool predictor_columns) {
   const AgentStats& s = r.stats;
   os << "{\"rank\": " << r.rank << ", \"total_calls\": " << s.total_calls
      << ", \"predicted_calls\": " << s.predicted_calls
@@ -93,8 +94,13 @@ void write_rank_json(std::ostream& os, const RankMetrics& r) {
      << ", \"arms\": " << s.arms << ", \"arm_failures\": " << s.arm_failures
      << ", \"grams_closed\": " << s.grams_closed
      << ", \"ppa_scan_invocations\": " << s.ppa_scan_invocations
-     << ", \"power_requests\": " << s.power_requests
-     << ", \"requested_low_power_ns\": " << s.requested_low_power_total.ns
+     << ", \"power_requests\": " << s.power_requests;
+  // Guard/wake counters only for non-default predictors (trunks-key idiom).
+  if (predictor_columns) {
+    os << ", \"mispredict_wakes\": " << s.mispredict_wakes
+       << ", \"guard_suppressed\": " << s.guard_suppressed;
+  }
+  os << ", \"requested_low_power_ns\": " << s.requested_low_power_total.ns
      << ", \"modeled_overhead_ns\": " << s.modeled_overhead_total.ns
      << ", \"hit_rate_pct\": " << fmt_double(s.hit_rate_pct())
      << ", \"active_at_end\": " << (r.active_at_end ? "true" : "false")
@@ -109,7 +115,12 @@ void write_replay_json(std::ostream& os, const ReplayMetrics& m) {
   os << "{\"managed\": " << (m.managed ? "true" : "false")
      << ", \"exec_time_ns\": " << m.exec_time.ns
      << ", \"events_processed\": " << m.events_processed
-     << ", \"messages_sent\": " << m.messages_sent << ", \"drain\": ";
+     << ", \"messages_sent\": " << m.messages_sent;
+  if (!m.predictor.empty()) {
+    os << ", \"predictor\": \"" << m.predictor << "\", \"guard_us\": "
+       << fmt_double(m.guard_us);
+  }
+  os << ", \"drain\": ";
   write_drain_json(os, m.drain);
   os << ", \"links\": [";
   for (std::size_t i = 0; i < m.links.size(); ++i) {
@@ -130,7 +141,7 @@ void write_replay_json(std::ostream& os, const ReplayMetrics& m) {
   os << ", \"ranks\": [";
   for (std::size_t i = 0; i < m.ranks.size(); ++i) {
     if (i != 0) os << ", ";
-    write_rank_json(os, m.ranks[i]);
+    write_rank_json(os, m.ranks[i], !m.predictor.empty());
   }
   os << "]}";
 }
@@ -143,8 +154,14 @@ void write_metrics_json(std::ostream& os,
   for (std::size_t i = 0; i < cells.size(); ++i) {
     const CellMetrics& c = cells[i];
     os << "{\"app\": \"" << c.app << "\", \"nranks\": " << c.nranks
-       << ", \"displacement_pct\": " << fmt_double(100.0 * c.displacement)
-       << ",\n \"baseline\": ";
+       << ", \"displacement_pct\": " << fmt_double(100.0 * c.displacement);
+    // Predictor columns only for non-default selections (the trunks-key
+    // idiom): default exports stay byte-identical to pre-interface runs.
+    if (!c.predictor.empty()) {
+      os << ", \"predictor\": \"" << c.predictor << "\", \"guard_us\": "
+         << fmt_double(c.guard_us);
+    }
+    os << ",\n \"baseline\": ";
     write_replay_json(os, c.baseline);
     os << ",\n \"managed\": ";
     write_replay_json(os, c.managed);

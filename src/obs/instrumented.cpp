@@ -66,6 +66,10 @@ CellMetrics make_cell_metrics(const ExperimentConfig& cfg,
   cell.app = cfg.app;
   cell.nranks = cfg.workload.nranks;
   cell.displacement = cfg.ppa.displacement_factor;
+  if (!cfg.ppa.predictor.is_default()) {
+    cell.predictor = predictor_name(cfg.ppa.predictor.kind);
+    cell.guard_us = cfg.ppa.predictor.guard_threshold.us();
+  }
   cell.baseline = r.baseline;
   cell.managed = r.managed;
   return cell;

@@ -76,6 +76,11 @@ struct ReplayMetrics {
   /// Split energy accounting was on when this snapshot was collected; the
   /// exporters emit the per-link static/dynamic/payload columns only then.
   bool energy_split{false};
+  /// Predictor of the managed leg's agents ("" = the default PPA with no
+  /// guard). The exporters emit the replay/rank predictor columns only when
+  /// non-empty, keeping default exports byte-identical (trunks-key idiom).
+  std::string predictor;
+  double guard_us{0.0};
   TimeNs exec_time{};
   std::uint64_t events_processed{0};
   std::uint64_t messages_sent{0};
@@ -96,6 +101,11 @@ struct CellMetrics {
   std::string app;
   int nranks{0};
   double displacement{0.0};
+  /// Predictor selection of the managed leg (DESIGN.md §13). Empty string =
+  /// the default PPA with no guard; exporters emit the predictor/guard
+  /// columns only when non-empty, keeping default exports byte-identical.
+  std::string predictor;
+  double guard_us{0.0};
   ReplayMetrics baseline;
   ReplayMetrics managed;
 

@@ -1,0 +1,64 @@
+#include "workloads/apps.hpp"
+#include "workloads/scaling.hpp"
+
+namespace ibpower {
+
+// AMR-style load imbalance (predictor-family stressor, not a paper app).
+// Adaptive mesh refinement concentrates work on the ranks owning refined
+// patches: per-rank compute weights drift as a bounded random walk, the
+// number of halo rounds per step follows the (random) refinement depth, and
+// regrid steps insert collectives at irregular intervals. The MPI call
+// sequence therefore never repeats three times consecutively — the PPA
+// cannot arm — while the inter-call gaps stay long (hundreds of us of
+// compute), which is exactly the regime the pattern-free predictors target.
+Trace AmrModel::generate(const WorkloadParams& p) const {
+  TraceEmitter em(name(), p);
+  const ScalingHelper sc(p, 8, /*alpha=*/1.1);
+
+  const double g_base = sc.comp_us(1600.0);  // per-step solve on level 0
+  const Bytes halo = sc.msg_bytes(24 * 1024);
+  const Bytes regrid_payload = 512 * 1024;
+  const double p_regrid = 0.12;
+
+  // Refinement weight random walk, bounded to [0.4, 2.5]: heavy ranks stay
+  // heavy for a few steps (patches persist), then the front moves.
+  std::vector<double> weight(static_cast<std::size_t>(p.nranks), 1.0);
+  for (int it = 0; it < p.iterations; ++it) {
+    for (double& w : weight) {
+      w *= 1.0 + em.master_rng().uniform(-0.25, 0.25);
+      if (w < 0.4) w = 0.4;
+      if (w > 2.5) w = 2.5;
+    }
+
+    // Imbalanced solve on the current refinement distribution.
+    for (int r = 0; r < p.nranks; ++r) {
+      em.compute(r, g_base * weight[static_cast<std::size_t>(r)], 0.08);
+    }
+
+    // Refinement depth 1..6 decides how many halo rounds this step needs.
+    // The rounds are separated by sub-GT packing compute (8us), so one step's
+    // whole exchange merges into a single gram whose *identity* depends on
+    // the depth — together with the random error-estimate collective this
+    // keeps any gram pattern from appearing three times consecutively (the
+    // PPA-cannot-arm property the negative tests pin).
+    const int depth = 1 + static_cast<int>(em.master_rng().uniform_below(6));
+    for (int d = 0; d < depth; ++d) {
+      em.sendrecv_ring(halo, /*shift=*/d + 1, /*tag=*/d);
+      em.compute_all(8.0, 0.10);
+    }
+    const MpiCall estimate_op = em.master_rng().bernoulli(0.5)
+                                    ? MpiCall::Allreduce
+                                    : MpiCall::Reduce;
+    em.collective(estimate_op, 64);  // error estimate
+
+    // Irregular regrid: redistribute patches and rebalance.
+    if (em.master_rng().bernoulli(p_regrid)) {
+      em.compute_all(220.0, 0.10);
+      em.collective(MpiCall::Allgather, regrid_payload);
+      em.collective(MpiCall::Barrier, 0);
+    }
+  }
+  return em.take();
+}
+
+}  // namespace ibpower

@@ -109,8 +109,13 @@ class TraceEmitter {
   std::vector<Rng> rank_rng_;
 };
 
-/// Factory: "gromacs", "alya", "wrf", "nas_bt", "nas_mg".
+/// Factory: "gromacs", "alya", "wrf", "nas_bt", "nas_mg", "nas_lu", plus
+/// the predictor-family stressors "amr", "ml_train", "bursty".
 [[nodiscard]] std::unique_ptr<AppModel> make_app(const std::string& name);
+/// The evaluation-grid apps (paper five + nas_lu). Deliberately excludes the
+/// stressors so every paper-grid sweep stays byte-identical.
 [[nodiscard]] std::vector<std::string> app_names();
+/// The irregular predictor-family stressors (DESIGN.md §13).
+[[nodiscard]] std::vector<std::string> stressor_app_names();
 
 }  // namespace ibpower

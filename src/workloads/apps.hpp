@@ -74,4 +74,34 @@ class NasMgModel final : public AppModel {
   [[nodiscard]] Trace generate(const WorkloadParams& p) const override;
 };
 
+// --- Predictor-family stressors (ROADMAP "Predictor family beyond the
+// paper's PPA"). Not part of the reproduced evaluation grid (app_names() and
+// the paper-grid CLI/bench sweeps exclude them); reachable through make_app
+// and listed by stressor_app_names(). Each is built to be *irregular*: no
+// MPI call sequence the PPA's exact-repeat detector can learn.
+
+/// AMR-style load imbalance: random-walk per-rank weights, refinement-depth
+/// dependent halo rounds, irregular regrid collectives.
+class AmrModel final : public AppModel {
+ public:
+  [[nodiscard]] std::string name() const override { return "amr"; }
+  [[nodiscard]] Trace generate(const WorkloadParams& p) const override;
+};
+
+/// Allreduce-heavy data-parallel ML training step: variable gradient-bucket
+/// counts, irregular data-loading stalls, a long post-broadcast gap.
+class MlTrainModel final : public AppModel {
+ public:
+  [[nodiscard]] std::string name() const override { return "ml_train"; }
+  [[nodiscard]] Trace generate(const WorkloadParams& p) const override;
+};
+
+/// Bursty request-driven traffic: heavy-tailed inter-arrival idles between
+/// random-length bursts of small exchanges.
+class BurstyModel final : public AppModel {
+ public:
+  [[nodiscard]] std::string name() const override { return "bursty"; }
+  [[nodiscard]] Trace generate(const WorkloadParams& p) const override;
+};
+
 }  // namespace ibpower

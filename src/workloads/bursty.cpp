@@ -1,0 +1,47 @@
+#include "workloads/apps.hpp"
+#include "workloads/scaling.hpp"
+
+namespace ibpower {
+
+// Bursty request-driven traffic (predictor-family stressor): a service-style
+// process that sits idle for exponential-ish inter-arrival times, then
+// handles a batch of requests as a tight burst of small exchanges whose
+// length and composition are random. No call-level periodicity exists for
+// the PPA to learn; almost all link-idle time is the long inter-burst gap,
+// which an adaptive timeout captures and the COUNTDOWN-Slack guard keeps
+// from being squandered on intra-burst micro-gaps.
+Trace BurstyModel::generate(const WorkloadParams& p) const {
+  TraceEmitter em(name(), p);
+  const ScalingHelper sc(p, 8, /*alpha=*/1.0);
+
+  const Bytes request = sc.msg_bytes(8 * 1024);
+  const Bytes response = sc.msg_bytes(32 * 1024);
+
+  for (int it = 0; it < p.iterations; ++it) {
+    // Inter-arrival idle: heavy-tailed, 0.3-8 ms.
+    const double wait_us =
+        300.0 * (1.0 + em.master_rng().uniform(0.0, 25.0));
+    em.compute_all(wait_us, 0.10);
+
+    // Burst: 1-6 request/response rounds with randomized shifts, sprinkled
+    // with coordination collectives.
+    const int rounds = 1 + static_cast<int>(em.master_rng().uniform_below(6));
+    for (int b = 0; b < rounds; ++b) {
+      const int shift =
+          1 + static_cast<int>(em.master_rng().uniform_below(
+                  static_cast<std::uint64_t>(p.nranks - 1)));
+      em.sendrecv_ring(request, shift, /*tag=*/b);
+      em.compute_all(12.0, 0.20);
+      em.sendrecv_ring(response, shift, /*tag=*/100 + b);
+      if (em.master_rng().bernoulli(0.3)) {
+        em.compute_all(8.0, 0.20);
+        em.collective(em.master_rng().bernoulli(0.5) ? MpiCall::Bcast
+                                                     : MpiCall::Reduce,
+                      4096);
+      }
+    }
+  }
+  return em.take();
+}
+
+}  // namespace ibpower

@@ -1,0 +1,50 @@
+#include "workloads/apps.hpp"
+#include "workloads/scaling.hpp"
+
+namespace ibpower {
+
+// Allreduce-heavy data-parallel ML training step (predictor-family
+// stressor). Each step: an irregular data-loading stall, forward compute, a
+// variable number of bucketed gradient allreduces (overlap bucketing makes
+// the count data-dependent), the optimizer, and a parameter broadcast.
+// Varying the bucket count defeats the PPA's exact-repeat detection, but the
+// gap *after* each call id is strongly structured: bucket allreduces are
+// followed by short backward slices while the closing broadcast is always
+// followed by the long load+forward stretch — the distribution the
+// histogram predictor keys on, and long enough for the multi-timeout
+// estimate to climb.
+Trace MlTrainModel::generate(const WorkloadParams& p) const {
+  TraceEmitter em(name(), p);
+  const ScalingHelper sc(p, 8, /*alpha=*/1.05);
+
+  const double g_forward = sc.comp_us(1800.0);
+  const double g_backward_slice = 70.0;  // per-bucket backward overlap
+  const double g_optimizer = sc.comp_us(900.0);
+  const Bytes grad_bucket = sc.msg_bytes(4 * 1024 * 1024);
+  const Bytes params = 2 * 1024 * 1024;
+  const double p_checkpoint = 0.05;
+
+  for (int it = 0; it < p.iterations; ++it) {
+    // Data-loading stall: irregular, occasionally very long (input pipeline
+    // hiccups) — the idle the guard must distinguish from bucket gaps.
+    em.compute_all(em.master_rng().uniform(400.0, 3200.0), 0.12);
+    em.compute_all(g_forward, 0.06);
+
+    const int buckets = 4 + static_cast<int>(em.master_rng().uniform_below(5));
+    for (int b = 0; b < buckets; ++b) {
+      em.collective(MpiCall::Allreduce, grad_bucket);
+      if (b + 1 < buckets) em.compute_all(g_backward_slice, 0.15);
+    }
+
+    em.compute_all(g_optimizer, 0.05);
+    em.collective(MpiCall::Bcast, params);
+
+    if (em.master_rng().bernoulli(p_checkpoint)) {
+      em.compute_all(150.0, 0.05);
+      em.collective(MpiCall::Gather, 1024 * 1024);
+    }
+  }
+  return em.take();
+}
+
+}  // namespace ibpower

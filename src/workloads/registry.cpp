@@ -13,12 +13,21 @@ std::unique_ptr<AppModel> make_app(const std::string& name) {
   if (name == "nas_bt") return std::make_unique<NasBtModel>();
   if (name == "nas_mg") return std::make_unique<NasMgModel>();
   if (name == "nas_lu") return std::make_unique<NasLuModel>();
+  if (name == "amr") return std::make_unique<AmrModel>();
+  if (name == "ml_train") return std::make_unique<MlTrainModel>();
+  if (name == "bursty") return std::make_unique<BurstyModel>();
   throw std::invalid_argument("unknown app model: " + name);
 }
 
 std::vector<std::string> app_names() {
   // The paper's five, plus nas_lu (beyond-paper, not in the evaluation grid).
+  // The predictor stressors are intentionally NOT listed here: every
+  // paper-grid sweep iterates app_names() and must stay byte-identical.
   return {"gromacs", "alya", "wrf", "nas_bt", "nas_mg", "nas_lu"};
+}
+
+std::vector<std::string> stressor_app_names() {
+  return {"amr", "ml_train", "bursty"};
 }
 
 }  // namespace ibpower

@@ -323,9 +323,11 @@ TEST(Contention, SplitEnergyFieldsGateJsonExports) {
     const std::string verr = obs::validate_metrics(out.metrics);
     EXPECT_TRUE(verr.empty()) << verr;
     std::ostringstream os;
-    obs::write_metrics_json(os, {obs::CellMetrics{
-                                    "export", 4, 0.0, out.metrics,
-                                    obs::ReplayMetrics{}}});
+    obs::CellMetrics cell;
+    cell.app = "export";
+    cell.nranks = 4;
+    cell.baseline = out.metrics;
+    obs::write_metrics_json(os, {cell});
     return os.str();
   };
   const std::string off = json_for(false);

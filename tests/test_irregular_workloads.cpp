@@ -1,0 +1,155 @@
+// Tests of the three irregular-workload stressors (amr, ml_train, bursty) —
+// trace generators built to defeat the PPA's consecutive-repeat detection
+// while leaving long gateable idle for the pattern-free predictors
+// (DESIGN.md §13). The suite pins: well-formed deterministic traces across
+// seeds and sizes, registry separation (stressors are reachable through
+// make_app but excluded from the paper-grid app_names), bit-identical
+// sharded replay, and the negative property the whole family exists for —
+// the PPA detects no pattern on amr and bursty.
+#include "workloads/app_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <sstream>
+
+#include "sim/experiment.hpp"
+#include "trace/trace_io.hpp"
+#include "workloads/apps.hpp"
+
+namespace ibpower {
+namespace {
+
+struct AppSize {
+  const char* app;
+  int nranks;
+};
+
+std::string param_name(const ::testing::TestParamInfo<AppSize>& info) {
+  return std::string(info.param.app) + "_" + std::to_string(info.param.nranks);
+}
+
+class StressorValidity : public ::testing::TestWithParam<AppSize> {};
+
+TEST_P(StressorValidity, GeneratesValidTrace) {
+  const auto [app_name, nranks] = GetParam();
+  const auto app = make_app(app_name);
+  ASSERT_TRUE(app->supports(nranks));
+  WorkloadParams params;
+  params.nranks = nranks;
+  params.iterations = 12;
+  const Trace trace = app->generate(params);
+  EXPECT_EQ(trace.nranks(), nranks);
+  EXPECT_EQ(trace.validate(), "") << app_name << " @" << nranks;
+  EXPECT_GT(trace.total_mpi_calls(), 0u);
+}
+
+TEST_P(StressorValidity, DeterministicForSeed) {
+  const auto [app_name, nranks] = GetParam();
+  const auto app = make_app(app_name);
+  WorkloadParams params;
+  params.nranks = nranks;
+  params.iterations = 6;
+  params.seed = 777;
+  std::ostringstream a, b;
+  write_trace(a, app->generate(params));
+  write_trace(b, app->generate(params));
+  EXPECT_EQ(a.str(), b.str());
+}
+
+TEST_P(StressorValidity, SeedChangesJitter) {
+  const auto [app_name, nranks] = GetParam();
+  const auto app = make_app(app_name);
+  WorkloadParams p1, p2;
+  p1.nranks = p2.nranks = nranks;
+  p1.iterations = p2.iterations = 6;
+  p1.seed = 1;
+  p2.seed = 2;
+  std::ostringstream a, b;
+  write_trace(a, app->generate(p1));
+  write_trace(b, app->generate(p2));
+  EXPECT_NE(a.str(), b.str());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllStressorsAndSizes, StressorValidity,
+    ::testing::Values(AppSize{"amr", 8}, AppSize{"amr", 32},
+                      AppSize{"ml_train", 8}, AppSize{"ml_train", 16},
+                      AppSize{"bursty", 8}, AppSize{"bursty", 32}),
+    param_name);
+
+TEST(Stressors, RegistryKeepsStressorsOutOfThePaperGrid) {
+  const auto stressors = stressor_app_names();
+  ASSERT_EQ(stressors,
+            (std::vector<std::string>{"amr", "ml_train", "bursty"}));
+  for (const auto& name : stressors) {
+    EXPECT_EQ(make_app(name)->name(), name);
+  }
+  // The paper-grid registry must stay exactly the six apps: cmd_grid
+  // iterates it, and adding rows would break byte-identity of default
+  // grid exports.
+  const auto grid = app_names();
+  EXPECT_EQ(grid.size(), 6u);
+  for (const auto& name : stressors) {
+    EXPECT_EQ(std::find(grid.begin(), grid.end(), name), grid.end())
+        << name << " leaked into app_names()";
+  }
+}
+
+ExperimentConfig stressor_config(const std::string& app, int nranks,
+                                 int iterations, std::uint64_t seed) {
+  ExperimentConfig cfg;
+  cfg.app = app;
+  cfg.workload.nranks = nranks;
+  cfg.workload.iterations = iterations;
+  cfg.workload.seed = seed;
+  cfg.ppa.grouping_threshold = default_gt(app, nranks);
+  return normalize_config(cfg);
+}
+
+TEST(Stressors, ShardedReplayBitIdenticalToSerial) {
+  for (const char* app : {"amr", "ml_train", "bursty"}) {
+    ExperimentConfig serial = stressor_config(app, 32, 5, 11);
+    ExperimentConfig sharded = serial;
+    sharded.shards = 4;
+    const ExperimentResult a = run_experiment(serial);
+    const ExperimentResult b = run_experiment(sharded);
+    EXPECT_TRUE(bit_identical(a, b)) << app;
+  }
+}
+
+TEST(Stressors, RepeatedRunsBitIdentical) {
+  for (const char* app : {"amr", "ml_train", "bursty"}) {
+    const ExperimentConfig cfg = stressor_config(app, 8, 8, 5);
+    const ExperimentResult a = run_experiment(cfg);
+    const ExperimentResult b = run_experiment(cfg);
+    EXPECT_TRUE(bit_identical(a, b)) << app;
+  }
+}
+
+// The negative property that motivates the predictor family: on the AMR and
+// bursty stressors the PPA never sees any gram pattern three times
+// consecutively, so it never arms and saves nothing. Pinned over several
+// seeds — a generator change that re-introduces periodicity fails here.
+TEST(Stressors, PpaDetectsNoPatternOnAmr) {
+  for (const std::uint64_t seed : {1ull, 7ull, 42ull}) {
+    const ExperimentResult r =
+        run_experiment(stressor_config("amr", 8, 30, seed));
+    EXPECT_EQ(r.agents.arms, 0u) << "seed " << seed;
+    EXPECT_EQ(r.agents.predicted_calls, 0u) << "seed " << seed;
+    EXPECT_EQ(r.agents.power_requests, 0u) << "seed " << seed;
+  }
+}
+
+TEST(Stressors, PpaDetectsNoPatternOnBursty) {
+  for (const std::uint64_t seed : {1ull, 7ull, 42ull}) {
+    const ExperimentResult r =
+        run_experiment(stressor_config("bursty", 8, 30, seed));
+    EXPECT_EQ(r.agents.arms, 0u) << "seed " << seed;
+    EXPECT_EQ(r.agents.predicted_calls, 0u) << "seed " << seed;
+    EXPECT_EQ(r.agents.power_requests, 0u) << "seed " << seed;
+  }
+}
+
+}  // namespace
+}  // namespace ibpower

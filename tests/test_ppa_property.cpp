@@ -2,7 +2,12 @@
 // periodic streams.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <iterator>
+#include <vector>
+
 #include "core/gram_builder.hpp"
+#include "core/idle_predictor.hpp"
 #include "core/pmpi_agent.hpp"
 #include "core/ppa.hpp"
 #include "util/rng.hpp"
@@ -124,6 +129,48 @@ TEST_P(PpaStreamProperty, GapEstimatesBracketObservations) {
       EXPECT_LE(est.mean(), TimeNs::from_us(hi + 2.0));
     }
   }
+}
+
+TEST_P(PpaStreamProperty, AmbiguousPeriodsResolveToSmallestLength) {
+  // Ambiguity by construction: a period of L pairwise-distinct calls means
+  // L is the unique smallest repeating unit, while 2L, 3L, ... also qualify
+  // as periods of the very same stream. Alg. 2 scans lengths ascending, so
+  // the detected pattern must pin exactly L — a regression toward any
+  // multiple (e.g. scanning 2L first, or freezing max length too early)
+  // fails here. Driven through the IdlePredictor interface the agent now
+  // uses.
+  Rng rng(GetParam() ^ 0x5eed);
+  std::vector<MpiCall> calls(std::begin(kCalls), std::end(kCalls));
+  for (std::size_t i = calls.size() - 1; i > 0; --i) {
+    std::swap(calls[i], calls[rng.uniform_below(i + 1)]);
+  }
+  const int period = 2 + static_cast<int>(rng.uniform_below(6));  // 2..7
+  calls.resize(static_cast<std::size_t>(period));
+
+  PpaPredictor ppa(prop_config());
+  TimeNs t{};
+  TimeNs prev_exit{};
+  bool first = true;
+  for (int a = 0; a < 30; ++a) {
+    for (const MpiCall c : calls) {
+      t += TimeNs::from_us(rng.uniform(60.0, 70.0));  // gaps >> GT
+      (void)ppa.on_call_enter(c, t, first ? TimeNs::zero() : t - prev_exit,
+                              first);
+      first = false;
+      t += 1_us;
+      (void)ppa.on_call_exit(c, t);
+      prev_exit = t;
+    }
+  }
+  (void)ppa.finish();
+
+  ASSERT_FALSE(ppa.detector().patterns().detected_ids().empty());
+  const PatternInfo& info =
+      ppa.detector().patterns()[ppa.detector().patterns()
+                                    .detected_ids()
+                                    .front()];
+  EXPECT_EQ(static_cast<int>(info.length()), period)
+      << "detected a multiple of the smallest period";
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, PpaStreamProperty,

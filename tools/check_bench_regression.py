@@ -20,8 +20,14 @@ several windows. The gate is one-sided, so fast windows always pass and
 the committed floor keeps slow windows from false-failing; a real >20%
 regression below the slow-window floor still trips it.
 
+A baseline row may carry "new": true — a cell added in the same PR as its
+baseline, measured in a single window on the authoring machine instead of
+hardened by the multi-window minimum. Such rows are gated with the looser
+--new-tolerance until a follow-up re-records them (and drops the flag),
+so a fresh cell is covered immediately without making the gate flaky.
+
 Usage: check_bench_regression.py BASELINE.json CURRENT.json
-           [--tolerance 0.20] [--speedup-floor 1.2]
+           [--tolerance 0.20] [--new-tolerance 0.35] [--speedup-floor 1.2]
 """
 import argparse
 import json
@@ -83,6 +89,9 @@ def main():
     ap.add_argument("current")
     ap.add_argument("--tolerance", type=float, default=0.20,
                     help="allowed fractional drop in events_per_sec")
+    ap.add_argument("--new-tolerance", type=float, default=0.35,
+                    help="tolerance applied to baseline rows flagged "
+                         '"new": true (single-window measurements)')
     ap.add_argument("--speedup-floor", type=float, default=1.2,
                     help="minimum speedup of jobs>1/shards>1 rows over the "
                          "current run's serial row (enforced only when "
@@ -112,9 +121,11 @@ def main():
         base_eps = baseline[key]["events_per_sec"]
         cur_eps = current[key]["events_per_sec"]
         ratio = cur_eps / base_eps if base_eps > 0 else 1.0
-        status = "ok"
-        if ratio < 1.0 - args.tolerance:
-            status = "REGRESSION"
+        is_new = bool(baseline[key].get("new"))
+        tolerance = args.new_tolerance if is_new else args.tolerance
+        status = "ok (new)" if is_new else "ok"
+        if ratio < 1.0 - tolerance:
+            status = "REGRESSION (new cell)" if is_new else "REGRESSION"
             failures.append(key)
         print(f"{fmt_key(key):>28}: "
               f"{base_eps/1e6:7.2f}M -> {cur_eps/1e6:7.2f}M events/s "

@@ -1,6 +1,6 @@
 // fuzz_replay — randomized differential + metamorphic test driver (check/).
 //
-// Per seed, six independent phases:
+// Per seed, seven independent phases:
 //
 //  Phase A (PPA differential oracle): generate a synthetic closed-gram
 //  stream (GramStreamGenerator) and feed the identical stream to both PPA
@@ -60,6 +60,20 @@
 //  1,4,2) under all three routing strategies, contention on, with the full
 //  audit stack and shard bit-identity.
 //
+//  Phase G (predictor tier, DESIGN.md §13): the pluggable idle-predictor
+//  family. Baseline call timelines drive four oracles: (a) a per-predictor
+//  soundness check — every issued request is at least the minimum low-power
+//  duration, respects the Alg. 3 safety margin against its own prediction,
+//  and never intrudes on a correctly-predicted gap; (b) a bit-identity
+//  differential — the agent with the default PPA predictor must reproduce
+//  the pre-interface monolithic loop (reimplemented inline from the core
+//  primitives) counter-for-counter and request-for-request; (c) a
+//  guard-dominance metamorphic check per predictor kind — the guarded
+//  request stream is a subsequence of the unguarded one, every suppressed
+//  request is accounted, and mispredict wakes never increase; (d) closed-
+//  loop managed replays per predictor kind, which must audit clean and obey
+//  the phase-B orderings.
+//
 // Exit status 0 with a one-line summary when every seed passes; on the
 // first failure, prints the seed and violation and exits 1.
 //
@@ -75,6 +89,8 @@
 #include "check/hop_audit.hpp"
 #include "check/invariant_auditor.hpp"
 #include "check/trace_gen.hpp"
+#include "core/idle_predictor.hpp"
+#include "core/pmpi_agent.hpp"
 #include "core/ppa.hpp"
 #include "core/ppa_paper.hpp"
 #include "obs/collect.hpp"
@@ -1164,6 +1180,381 @@ std::optional<Failure> run_scale_topology_tier(std::uint64_t seed, Rng& rng) {
   return std::nullopt;
 }
 
+// --- Phase G: predictor tier ----------------------------------------------
+
+/// One (issue time, low-power duration) pair per actuated request, as seen
+/// through the agent's LinkPowerPort.
+using RequestLog = std::vector<std::pair<TimeNs, TimeNs>>;
+
+class RequestRecorder final : public LinkPowerPort {
+ public:
+  void request_low_power(TimeNs now, TimeNs duration) override {
+    log.push_back({now, duration});
+  }
+  RequestLog log;
+};
+
+struct DryDrive {
+  AgentStats stats;
+  RequestLog requests;
+};
+
+/// Replay prerecorded baseline call timelines through a PmpiAgent (no
+/// actuation feedback — the dry methodology of dry_run_hit_rate), exercising
+/// the reset-and-reuse protocol between ranks.
+DryDrive dry_drive(const std::vector<std::vector<MpiCallEvent>>& timelines,
+                   const PpaConfig& cfg) {
+  DryDrive out;
+  RequestRecorder port;
+  PmpiAgent agent(cfg, &port);
+  bool fresh = true;
+  for (const auto& timeline : timelines) {
+    if (!fresh) agent.reset(cfg, &port);
+    fresh = false;
+    for (const MpiCallEvent& ev : timeline) {
+      (void)agent.on_call_enter(ev.call, ev.enter);
+      agent.on_call_exit(ev.call, ev.exit);
+    }
+    agent.finish();
+    out.stats.merge(agent.stats());
+  }
+  out.requests = std::move(port.log);
+  return out;
+}
+
+/// The pre-interface PmpiAgent loop, reimplemented inline from the core
+/// primitives (GramBuilder / PatternDetector / PowerModeController) as an
+/// independent oracle: driving the same timelines through today's
+/// PmpiAgent + PpaPredictor must reproduce these counters and requests
+/// bit-for-bit, or the interface transplant changed behavior.
+DryDrive legacy_ppa_drive(
+    const std::vector<std::vector<MpiCallEvent>>& timelines,
+    const PpaConfig& cfg) {
+  DryDrive out;
+  for (const auto& timeline : timelines) {
+    GramInterner interner;
+    GramBuilder grams(cfg.grouping_threshold, &interner);
+    PatternDetector detector(cfg, &interner);
+    PowerModeController controller(cfg, &interner);
+    AgentStats s;
+    TimeNs last_exit{};
+    bool any_call = false;
+    TimeNs pending_low{};
+    bool pending_request = false;
+    for (const MpiCallEvent& ev : timeline) {
+      ++s.total_calls;
+      const TimeNs gap = any_call ? ev.enter - last_exit : TimeNs::zero();
+      if (pending_request) {
+        if (gap < pending_low) ++s.mispredict_wakes;
+        pending_request = false;
+      }
+      any_call = true;
+
+      const bool was_active = controller.active();
+      const std::uint64_t scans_before = detector.invocations();
+      bool armed_now = false;
+      if (auto closed = grams.on_call_enter(ev.call, ev.enter)) {
+        ++s.grams_closed;
+        if (auto pattern = detector.observe(*closed)) {
+          if (!controller.active() &&
+              controller.arm(&detector.patterns(), *pattern, ev.call)) {
+            detector.set_scanning(false);
+            armed_now = true;
+            ++s.arms;
+            ++s.predicted_calls;
+          } else if (!controller.active()) {
+            ++s.arm_failures;
+          }
+        }
+      }
+      if (was_active && !armed_now) {
+        const auto verdict = controller.on_call_enter(ev.call, gap);
+        if (verdict == PowerModeController::Verdict::Mispredict) {
+          ++s.pattern_mispredicts;
+          detector.set_scanning(true);
+        } else {
+          ++s.predicted_calls;
+        }
+      }
+      const std::uint64_t scans = detector.invocations() - scans_before;
+      s.ppa_scan_invocations += scans;
+      TimeNs overhead = cfg.interception_overhead;
+      if (scans > 0) {
+        overhead +=
+            cfg.ppa_invocation_overhead * static_cast<std::int64_t>(scans);
+      }
+      s.modeled_overhead_total += overhead;
+
+      grams.on_call_exit(ev.exit);
+      last_exit = ev.exit;
+      if (controller.active()) {
+        if (auto request = controller.on_call_exit()) {
+          ++s.power_requests;
+          s.requested_low_power_total += request->low_power_duration;
+          pending_low = request->low_power_duration;
+          pending_request = true;
+          out.requests.push_back({ev.exit, request->low_power_duration});
+        }
+      }
+    }
+    if (auto closed = grams.flush()) {
+      (void)detector.observe(*closed);
+      ++s.grams_closed;
+    }
+    out.stats.merge(s);
+  }
+  return out;
+}
+
+/// Soundness oracle over one predictor: every issued request must (a) be at
+/// least min_low_power_duration long, (b) end at least Treact before its own
+/// predicted idle runs out (the Alg. 3 safety contract), and (c) whenever
+/// the prediction was correct — the actual gap reached the predicted idle —
+/// the link must be full-width at least Treact before the next call (no
+/// intrusion on a foreseen gap). Returns "" when sound.
+std::string soundness_violation(
+    IdlePredictor* p, const PpaConfig& cfg,
+    const std::vector<std::vector<MpiCallEvent>>& timelines) {
+  const auto us = [](TimeNs t) { return std::to_string(t.ns / 1000); };
+  for (const auto& timeline : timelines) {
+    p->reset(cfg);
+    bool first = true;
+    TimeNs prev_exit{};
+    std::optional<IdlePredictor::Request> pending;
+    for (const MpiCallEvent& ev : timeline) {
+      const TimeNs gap = first ? TimeNs::zero() : ev.enter - prev_exit;
+      if (pending && !first && gap >= pending->predicted_idle &&
+          pending->low_power_duration + cfg.t_react > gap) {
+        return std::string(p->name()) + ": correctly predicted gap (" +
+               us(gap) + " us >= predicted " + us(pending->predicted_idle) +
+               " us) still intruded on by a " +
+               us(pending->low_power_duration) + " us sleep";
+      }
+      pending.reset();
+      (void)p->on_call_enter(ev.call, ev.enter, gap, first);
+      first = false;
+      const auto out = p->on_call_exit(ev.call, ev.exit);
+      prev_exit = ev.exit;
+      if (out.request) {
+        const IdlePredictor::Request& rq = *out.request;
+        if (rq.low_power_duration < cfg.min_low_power_duration) {
+          return std::string(p->name()) + ": request below the minimum " +
+                 "low-power duration (" + us(rq.low_power_duration) +
+                 " us < " + us(cfg.min_low_power_duration) + " us)";
+        }
+        if (rq.low_power_duration + cfg.t_react > rq.predicted_idle) {
+          return std::string(p->name()) +
+                 ": request sleeps into its own predicted busy time (low " +
+                 us(rq.low_power_duration) + " us + Treact > predicted " +
+                 us(rq.predicted_idle) + " us)";
+        }
+        pending = rq;
+      }
+    }
+    (void)p->finish();
+  }
+  return {};
+}
+
+/// True when `sub` appears in `full` in order (not necessarily contiguous).
+bool is_request_subsequence(const RequestLog& sub, const RequestLog& full) {
+  std::size_t j = 0;
+  for (const auto& r : sub) {
+    while (j < full.size() && full[j] != r) ++j;
+    if (j == full.size()) return false;
+    ++j;
+  }
+  return true;
+}
+
+std::optional<Failure> run_predictor_tier(std::uint64_t seed, Rng& rng) {
+  SyntheticTraceConfig tcfg;
+  tcfg.seed = seed ^ 0x4b4b4b4b4b4b4b4bULL;
+  tcfg.nranks = static_cast<Rank>(rng.uniform_int(2, 8));
+  tcfg.phases_per_iteration = static_cast<int>(rng.uniform_int(2, 4));
+  tcfg.iterations = static_cast<int>(rng.uniform_int(6, 12));
+  tcfg.compute_median =
+      TimeNs::from_us(rng.uniform_int(std::int64_t{100}, std::int64_t{500}));
+  tcfg.compute_jitter_sigma = rng.uniform(0.05, 0.4);
+  tcfg.noise_prob = rng.bernoulli(0.5) ? 0.2 : 0.0;
+
+  const auto fail = [&](std::string msg) {
+    return Failure{seed, "predictor-tier", std::move(msg)};
+  };
+
+  const Trace trace = generate_trace(tcfg);
+  if (const std::string err = trace.validate(); !err.empty()) {
+    return fail("generated trace invalid: " + err);
+  }
+
+  PpaConfig ppa;
+  ppa.displacement_factor = 0.01 * static_cast<double>(rng.uniform_int(1, 10));
+  const TimeNs guard_threshold =
+      TimeNs::from_us(rng.uniform_int(std::int64_t{20}, std::int64_t{200}));
+
+  ReplayOptions base;
+  base.fabric.routing.strategy = RoutingStrategy::Dmodk;
+  base.fabric.link.t_react = ppa.t_react;
+  base.fabric.link.t_deact = ppa.t_react;
+  base.enable_power_management = false;
+  base.record_call_timeline = true;
+
+  const int nranks = tcfg.nranks;
+  ReplayEngine engine(&trace, base);
+  const ReplayResult rr = engine.run();
+  std::vector<std::vector<MpiCallEvent>> timelines;
+  timelines.reserve(static_cast<std::size_t>(nranks));
+  for (Rank r = 0; r < nranks; ++r) {
+    const auto tl = engine.call_timeline(r);
+    timelines.emplace_back(tl.begin(), tl.end());
+  }
+
+  // (a) Soundness oracle: every predictor, guarded and not, driven over the
+  // recorded timelines.
+  {
+    PpaPredictor ppa_pred(ppa);
+    MultiTimeoutPredictor mt;
+    HistogramPredictor hist;
+    hist.reset(ppa);
+    GuardPredictor guarded_mt;
+    guarded_mt.bind(&mt, guard_threshold);
+    GuardPredictor guarded_hist;
+    guarded_hist.bind(&hist, guard_threshold);
+    for (IdlePredictor* p : {static_cast<IdlePredictor*>(&ppa_pred), static_cast<IdlePredictor*>(&mt),
+                             static_cast<IdlePredictor*>(&hist),
+                             static_cast<IdlePredictor*>(&guarded_mt),
+                             static_cast<IdlePredictor*>(&guarded_hist)}) {
+      if (std::string err = soundness_violation(p, ppa, timelines);
+          !err.empty()) {
+        return fail("soundness: " + err);
+      }
+    }
+  }
+
+  // (b) PPA-through-interface bit-identity: the agent with the default
+  // predictor must reproduce the pre-interface loop's counters and request
+  // stream exactly.
+  const DryDrive via_interface = dry_drive(timelines, ppa);
+  {
+    const DryDrive legacy = legacy_ppa_drive(timelines, ppa);
+    if (!(via_interface.stats == legacy.stats)) {
+      return fail("agent stats diverged from the pre-interface PPA loop "
+                  "(e.g. power_requests " +
+                  std::to_string(via_interface.stats.power_requests) + " vs " +
+                  std::to_string(legacy.stats.power_requests) + ")");
+    }
+    if (via_interface.requests != legacy.requests) {
+      return fail("agent request stream diverged from the pre-interface PPA "
+                  "loop (" + std::to_string(via_interface.requests.size()) +
+                  " vs " + std::to_string(legacy.requests.size()) +
+                  " requests)");
+    }
+  }
+
+  // (c) Guard-dominance metamorphic check, per predictor kind: the guard is
+  // a pure output filter, so the guarded run must issue a subsequence of the
+  // unguarded requests, account for every dropped one, and never wake worse.
+  std::uint64_t dry_requests[3] = {0, 0, 0};
+  int kind_idx = 0;
+  for (const PredictorKind kind :
+       {PredictorKind::Ppa, PredictorKind::MultiTimeout,
+        PredictorKind::Histogram}) {
+    PpaConfig plain = ppa;
+    plain.predictor.kind = kind;
+    PpaConfig guarded_cfg = plain;
+    guarded_cfg.predictor.guard_threshold = guard_threshold;
+    const DryDrive unguarded =
+        kind == PredictorKind::Ppa ? via_interface : dry_drive(timelines, plain);
+    const DryDrive guarded = dry_drive(timelines, guarded_cfg);
+    const std::string name = predictor_name(kind);
+    dry_requests[kind_idx++] = unguarded.stats.power_requests;
+    if (unguarded.stats.power_requests != unguarded.requests.size() ||
+        guarded.stats.power_requests != guarded.requests.size()) {
+      return fail(name + ": power_requests counter disagrees with the port "
+                  "log");
+    }
+    if (unguarded.stats.guard_suppressed != 0) {
+      return fail(name + ": unguarded run reports " +
+                  std::to_string(unguarded.stats.guard_suppressed) +
+                  " guard-suppressed requests");
+    }
+    if (unguarded.stats.mispredict_wakes > unguarded.stats.power_requests) {
+      return fail(name + ": more mispredict wakes than requests");
+    }
+    if (guarded.stats.total_calls != unguarded.stats.total_calls ||
+        guarded.stats.grams_closed != unguarded.stats.grams_closed) {
+      return fail(name + ": guard changed predictor-side accounting "
+                  "(total_calls/grams_closed)");
+    }
+    if (guarded.stats.power_requests + guarded.stats.guard_suppressed !=
+        unguarded.stats.power_requests) {
+      return fail(name + ": guarded requests (" +
+                  std::to_string(guarded.stats.power_requests) +
+                  ") + suppressed (" +
+                  std::to_string(guarded.stats.guard_suppressed) +
+                  ") != unguarded requests (" +
+                  std::to_string(unguarded.stats.power_requests) + ")");
+    }
+    if (guarded.stats.mispredict_wakes > unguarded.stats.mispredict_wakes) {
+      return fail(name + ": guard increased mispredict wakes (" +
+                  std::to_string(guarded.stats.mispredict_wakes) + " > " +
+                  std::to_string(unguarded.stats.mispredict_wakes) + ")");
+    }
+    if (!is_request_subsequence(guarded.requests, unguarded.requests)) {
+      return fail(name + ": guarded request stream is not a subsequence of "
+                  "the unguarded one");
+    }
+  }
+
+  // (d) Closed loop: one managed replay per predictor kind (plus a guarded
+  // variant) must audit clean, keep telemetry consistent, and obey the
+  // deterministic-routing orderings of phase B.
+  const PowerModelConfig power;
+  PpaConfig closed_cfgs[4] = {ppa, ppa, ppa, ppa};
+  closed_cfgs[1].predictor.kind = PredictorKind::MultiTimeout;
+  closed_cfgs[2].predictor.kind = PredictorKind::Histogram;
+  closed_cfgs[3].predictor.kind = rng.bernoulli(0.5)
+                                      ? PredictorKind::MultiTimeout
+                                      : PredictorKind::Histogram;
+  closed_cfgs[3].predictor.guard_threshold = guard_threshold;
+  for (const PpaConfig& cfg : closed_cfgs) {
+    ReplayOptions managed = base;
+    managed.record_call_timeline = false;
+    managed.enable_power_management = true;
+    managed.ppa = cfg;
+    const LegOutcome m = run_leg(trace, managed, power, nranks);
+    std::string name = predictor_name(cfg.predictor.kind);
+    if (cfg.predictor.guard_threshold > TimeNs::zero()) name += "+guard";
+    if (!m.audit.empty()) return fail(name + " audit: " + m.audit);
+    if (!m.telemetry.empty()) {
+      return fail(name + " telemetry: " + m.telemetry);
+    }
+    if (m.exec < rr.exec_time) {
+      return fail(name + " managed run finished earlier than baseline (" +
+                  std::to_string(m.exec.ns) + " ns < " +
+                  std::to_string(rr.exec_time.ns) + " ns)");
+    }
+    if (m.messages != rr.messages_sent) {
+      return fail(name + " message counts differ between legs (" +
+                  std::to_string(m.messages) + " vs " +
+                  std::to_string(rr.messages_sent) + ")");
+    }
+    if (m.savings_pct < 0.0 || m.savings_pct > 100.0) {
+      return fail(name + " managed savings " + std::to_string(m.savings_pct) +
+                  "% outside [0, 100]%");
+    }
+  }
+
+  if (g_verbose) {
+    std::printf("  seed %" PRIu64 ": predictor ok (%d ranks, dry requests "
+                "ppa %" PRIu64 " mt %" PRIu64 " hist %" PRIu64
+                ", guard %" PRId64 " us)\n",
+                seed, nranks, dry_requests[0], dry_requests[1],
+                dry_requests[2], guard_threshold.ns / 1000);
+  }
+  return std::nullopt;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -1220,6 +1611,12 @@ int main(int argc, char** argv) {
       return 1;
     }
     if (const auto failure = run_scale_topology_tier(seed, rng)) {
+      std::fprintf(stderr, "fuzz_replay: seed %" PRIu64 " FAILED [%s]: %s\n",
+                   failure->seed, failure->phase.c_str(),
+                   failure->message.c_str());
+      return 1;
+    }
+    if (const auto failure = run_predictor_tier(seed, rng)) {
       std::fprintf(stderr, "fuzz_replay: seed %" PRIu64 " FAILED [%s]: %s\n",
                    failure->seed, failure->phase.c_str(),
                    failure->message.c_str());

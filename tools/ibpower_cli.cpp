@@ -240,7 +240,25 @@ PpaConfig ppa_from(const Args& args, const std::string& app, int nranks) {
   return ppa;
 }
 
-void print_result(const ExperimentResult& r, const FabricConfig& fabric) {
+/// Apply --predictor / --guard-us (DESIGN.md §13) to the predictor
+/// selection. Returns false (with a diagnostic) on an unknown name.
+bool predictor_from(const Args& args, PredictorConfig& pred) {
+  if (const std::string name = args.get("predictor"); !name.empty()) {
+    if (!parse_predictor(name, &pred.kind)) {
+      std::fprintf(stderr,
+                   "unknown --predictor '%s' (ppa|multi-timeout|histogram)\n",
+                   name.c_str());
+      return false;
+    }
+  }
+  if (args.has("guard-us")) {
+    pred.guard_threshold = TimeNs::from_us(args.getd("guard-us", 0.0));
+  }
+  return true;
+}
+
+void print_result(const ExperimentResult& r, const FabricConfig& fabric,
+                  const PpaConfig& ppa) {
   std::printf("baseline time        : %s\n", to_string(r.baseline_time).c_str());
   std::printf("managed time         : %s (%+.3f%%)\n",
               to_string(r.managed_time).c_str(), r.time_increase_pct);
@@ -266,6 +284,18 @@ void print_result(const ExperimentResult& r, const FabricConfig& fabric) {
     std::printf("fabric energy        : %.3f J (always-on %.3f J)\n",
                 r.fabric_power.total_energy_joules,
                 r.fabric_power.baseline_energy_joules);
+  }
+  // Predictor lines only for a non-default selection: default output stays
+  // byte-identical to the pre-interface CLI.
+  if (!ppa.predictor.is_default()) {
+    std::printf("predictor            : %s (guard %s)\n",
+                predictor_name(ppa.predictor.kind),
+                ppa.predictor.guard_threshold > TimeNs::zero()
+                    ? to_string(ppa.predictor.guard_threshold).c_str()
+                    : "off");
+    std::printf("mispredict wakes     : %llu (guard suppressed %llu)\n",
+                static_cast<unsigned long long>(r.agents.mispredict_wakes),
+                static_cast<unsigned long long>(r.agents.guard_suppressed));
   }
 }
 
@@ -353,6 +383,7 @@ int cmd_replay(const Args& args) {
   opt.enable_power_management = args.has("managed");
   if (opt.enable_power_management) {
     opt.ppa = ppa_from(args, trace.app_name(), trace.nranks());
+    if (!predictor_from(args, opt.ppa.predictor)) return 2;
   }
   opt.shards = shards_from(args);
   // --split-energy: report static (mode-residency) and dynamic (per-bit)
@@ -376,6 +407,10 @@ int cmd_replay(const Args& args) {
     cell.app = trace.app_name();
     cell.nranks = trace.nranks();
     cell.displacement = opt.ppa.displacement_factor;
+    if (opt.enable_power_management && !opt.ppa.predictor.is_default()) {
+      cell.predictor = predictor_name(opt.ppa.predictor.kind);
+      cell.guard_us = opt.ppa.predictor.guard_threshold.us();
+    }
     obs::ReplayMetrics m = obs::collect_replay_metrics(engine, rr, pmcfg);
     (m.managed ? cell.managed : cell.baseline) = std::move(m);
     if (const int rc = export_telemetry(args, {std::move(cell)}); rc != 0) {
@@ -405,6 +440,7 @@ int cmd_run(const Args& args) {
   cfg.app = args.get("app", "alya");
   cfg.workload = workload_from(args);
   cfg.ppa = ppa_from(args, cfg.app, cfg.workload.nranks);
+  if (!predictor_from(args, cfg.ppa.predictor)) return 2;
   if (!fabric_from(args, cfg.fabric)) return 2;
   cfg.shards = shards_from(args);
   std::printf("%s @ %d ranks, %d iterations, GT %s, displacement %.1f%%\n\n",
@@ -416,11 +452,11 @@ int cmd_run(const Args& args) {
   if (wants_telemetry(args)) {
     const std::vector<obs::InstrumentedResult> inst =
         obs::run_instrumented_grid(runner, {cfg});
-    print_result(inst[0].result, cfg.fabric);
+    print_result(inst[0].result, cfg.fabric, cfg.ppa);
     print_speedup(runner, ms_since(t0));
     return export_telemetry(args, {obs::make_cell_metrics(cfg, inst[0])});
   }
-  print_result(runner.run(cfg), cfg.fabric);
+  print_result(runner.run(cfg), cfg.fabric, cfg.ppa);
   print_speedup(runner, ms_since(t0));
   return 0;
 }
@@ -525,7 +561,11 @@ int cmd_grid(const Args& args) {
 
   std::vector<ExperimentConfig> cfgs;
   std::vector<LabelledResult> rows;
-  for (const auto& name : app_names()) {
+  // --stressors swaps the paper grid for the irregular predictor-family
+  // workloads (the EXPERIMENTS.md ablation rows).
+  const std::vector<std::string> grid_apps =
+      args.has("stressors") ? stressor_app_names() : app_names();
+  for (const auto& name : grid_apps) {
     const auto app = make_app(name);
     for (const int nranks : app->paper_process_counts()) {
       ExperimentConfig cfg;
@@ -535,6 +575,7 @@ int cmd_grid(const Args& args) {
       cfg.workload.weak_scaling = args.has("weak");
       cfg.ppa.grouping_threshold = default_gt(name, nranks);
       cfg.ppa.displacement_factor = disp;
+      if (!predictor_from(args, cfg.ppa.predictor)) return 2;
       if (!fabric_from(args, cfg.fabric)) return 2;
       cfg.shards = shards_from(args);
       cfgs.push_back(std::move(cfg));
@@ -603,8 +644,14 @@ int usage() {
                "          arrival-order FIFO queueing on every link)\n"
                "  replay: --split-energy (static + dynamic link energy in\n"
                "          the telemetry snapshot)\n"
+               "  predictor (run/replay/grid): --predictor\n"
+               "          ppa|multi-timeout|histogram (node-uplink idle\n"
+               "          predictor; default ppa) --guard-us US\n"
+               "          (COUNTDOWN-Slack guard: sleep only when the\n"
+               "          predicted idle exceeds US)\n"
                "  gen:    --out FILE          replay: --trace FILE [--managed]\n"
                "  grid:   --out FILE.csv|.json  (full paper evaluation grid)\n"
+               "          --stressors (amr/ml_train/bursty ablation grid)\n"
                "  telemetry (run/replay/grid): --metrics-out FILE.json\n"
                "          --timeline-out FILE.prv (managed power-state view)\n");
   return 2;
