@@ -5,10 +5,13 @@
 // per cell, verifies that every parallel result is bit-identical to the
 // serial one, and emits machine-readable BENCH_throughput.json with rows
 //   {cell, nranks, wall_ms, gen_ms, base_ms, managed_ms,
-//    events_per_sec, messages_per_sec, jobs, shards, host_cores}
+//    events_per_sec, messages_per_sec, jobs, shards,
+//    utilization, steals, host_cores}
 // — the perf trajectory baseline for future PRs. wall_ms is replay work
 // only (base + managed legs); trace generation is reported separately in
 // gen_ms and charged once per distinct trace (sharers show 0).
+// utilization/steals come from the TaskEngine's scheduler counters for the
+// level's best pass (every cell row from one run_all shares them).
 //
 // After the jobs sweep the bench runs the intra-replay shards sweep
 // (DESIGN.md §11): every multi-leaf cell (nranks >= 64) re-runs at jobs=1
@@ -16,6 +19,13 @@
 // reference, and lands as jobs=1/shards=S rows. host_cores records the
 // machine's concurrency so the regression gate only enforces speedup
 // floors where the hardware could actually deliver a speedup.
+//
+// Two aggregate sections follow (skipped under --cells): "hetero_mix"
+// rows time a deliberately imbalanced 8/128/1024-rank grid end to end at
+// jobs 1/2/4 with the fabric-scale cells elastically sharded (shards = 0),
+// and "campaign_mix" rows drive the same mix through CampaignSession as
+// JSONL request lines at jobs 1/4. Both are wall-clock rows; the jobs > 1
+// entries are the barrier-elimination acceptance pin for multi-core hosts.
 //
 // Usage: bench_throughput [--jobs-list 1,2,4,8] [--jobs N] [--iterations N]
 //                         [--shards-list 2,4,8] [--quick] [--smoke]
@@ -27,6 +37,7 @@
 // BENCH_baseline.json (tools/check_bench_regression.py).
 #include <algorithm>
 #include <chrono>
+#include <cstdint>
 #include <cstdio>
 #include <fstream>
 #include <string>
@@ -34,6 +45,8 @@
 #include <vector>
 
 #include "bench_common.hpp"
+#include "obs/sched_export.hpp"
+#include "sim/campaign.hpp"
 #include "sim/parallel.hpp"
 
 namespace {
@@ -144,7 +157,19 @@ struct Row {
   double messages_per_sec;
   unsigned jobs;
   int shards;
+  // Engine-level scheduler columns (one value per run_all; every cell row
+  // from the same level shares them). utilization < 0 means not captured.
+  double utilization = -1.0;
+  std::uint64_t steals = 0;
 };
+
+// Busy fraction + steal count for the run the runner just finished. Valid
+// right after run_all: the engine's counters and clock were reset when the
+// run started, so now_ns() is that run's wall time.
+ibpower::obs::SchedSummary engine_summary(ParallelExperimentRunner& runner) {
+  return ibpower::obs::summarize_sched(runner.last_sched_profile(),
+                                       runner.engine().now_ns());
+}
 
 }  // namespace
 
@@ -191,6 +216,8 @@ int main(int argc, char** argv) {
     std::vector<ExperimentResult> results;
     double wall_ms = 0.0;
     std::vector<double> work, gen, base, managed;
+    double utilization = -1.0;
+    std::uint64_t steals = 0;
     bool have = false;
   };
   std::vector<LevelBest> levels(jobs_list.size());
@@ -211,11 +238,14 @@ int main(int argc, char** argv) {
           std::chrono::duration<double, std::milli>(
               std::chrono::steady_clock::now() - t0)
               .count();
+      const obs::SchedSummary sched = engine_summary(runner);
       LevelBest& best = levels[li];
       if (!best.have) {
         best.have = true;
         best.results = std::move(run);
         best.wall_ms = ms;
+        best.utilization = sched.utilization;
+        best.steals = sched.steals;
         best.work = runner.last_cell_work_ms();
         best.gen = runner.last_cell_gen_ms();
         best.base = runner.last_cell_base_ms();
@@ -234,7 +264,11 @@ int main(int argc, char** argv) {
         }
         continue;
       }
-      best.wall_ms = std::min(best.wall_ms, ms);
+      if (ms < best.wall_ms) {
+        best.wall_ms = ms;
+        best.utilization = sched.utilization;
+        best.steals = sched.steals;
+      }
       // Keep the fastest observation per cell (results are bit-identical
       // across repeats, so only the timings differ).
       for (std::size_t i = 0; i < best.work.size(); ++i) {
@@ -272,16 +306,19 @@ int main(int argc, char** argv) {
           cell_s > 0.0
               ? static_cast<double>(best.results[i].messages) / cell_s
               : 0.0,
-          jobs, 1});
+          jobs, 1, best.utilization, best.steals});
     }
 
     const double speedup = wall_ms_1 > 0.0 ? wall_ms_1 / best.wall_ms : 1.0;
     std::printf(
         "jobs %2u: wall %8.1f ms  work %8.1f ms  gen %6.1f ms  "
-        "%6.2fx vs jobs=1  %.2fM events/s  %.2fM msgs/s\n",
+        "%6.2fx vs jobs=1  %.2fM events/s  %.2fM msgs/s  util %5.1f%%  "
+        "steals %llu\n",
         jobs, best.wall_ms, total_work, total_gen, speedup,
         static_cast<double>(total_events) / best.wall_ms / 1e3,
-        static_cast<double>(total_messages) / best.wall_ms / 1e3);
+        static_cast<double>(total_messages) / best.wall_ms / 1e3,
+        100.0 * best.utilization,
+        static_cast<unsigned long long>(best.steals));
   }
 
   // ---- intra-replay shards sweep (DESIGN.md §11) ----
@@ -299,6 +336,9 @@ int main(int argc, char** argv) {
     struct ShardBest {
       std::vector<ExperimentResult> results;
       std::vector<double> work, base, managed;
+      double wall_ms = 0.0;
+      double utilization = -1.0;
+      std::uint64_t steals = 0;
       bool have = false;
     };
     std::vector<ShardBest> sbest(shards_list.size());
@@ -314,11 +354,20 @@ int main(int argc, char** argv) {
           scfgs.push_back(std::move(cfg));
         }
         ParallelExperimentRunner runner(1);
+        const auto st0 = std::chrono::steady_clock::now();
         std::vector<ExperimentResult> run = runner.run_all(scfgs);
+        const double sms =
+            std::chrono::duration<double, std::milli>(
+                std::chrono::steady_clock::now() - st0)
+                .count();
+        const obs::SchedSummary sched = engine_summary(runner);
         ShardBest& best = sbest[li];
         if (!best.have) {
           best.have = true;
           best.results = std::move(run);
+          best.wall_ms = sms;
+          best.utilization = sched.utilization;
+          best.steals = sched.steals;
           best.work = runner.last_cell_work_ms();
           best.base = runner.last_cell_base_ms();
           best.managed = runner.last_cell_managed_ms();
@@ -335,6 +384,11 @@ int main(int argc, char** argv) {
             }
           }
           continue;
+        }
+        if (sms < best.wall_ms) {
+          best.wall_ms = sms;
+          best.utilization = sched.utilization;
+          best.steals = sched.steals;
         }
         for (std::size_t i = 0; i < best.work.size(); ++i) {
           if (runner.last_cell_work_ms()[i] < best.work[i]) {
@@ -363,12 +417,245 @@ int main(int argc, char** argv) {
             cell_s > 0.0
                 ? static_cast<double>(best.results[i].messages) / cell_s
                 : 0.0,
-            1, shards_list[li]});
+            1, shards_list[li], best.utilization, best.steals});
       }
       std::printf(
           "shards %2d: work %8.1f ms over %zu cells  %6.2fx vs shards=1\n",
           shards_list[li], total_work, shard_cells.size(),
           total_work > 0.0 ? serial_work / total_work : 1.0);
+    }
+  }
+
+  // ---- heterogeneous-grid scheduling cell (DESIGN.md §14) ----
+  //
+  // One aggregate row per jobs level: a deliberately imbalanced mix of 8-,
+  // 128- and 1024-rank cells (plus a trace sharer) submitted as a single
+  // run_all. The 1024-rank pole carries ~90% of the work, so the old
+  // phase-barrier scheduler pinned every other worker idle during its
+  // replay; the elastic engine shards the pole across idle workers
+  // (cfg.shards = 0 resolves to the engine's worker count) and overlaps
+  // the small cells' legs with trace generation. wall_ms here is true
+  // end-to-end wall clock, not summed work, so the jobs > 1 rows carry the
+  // barrier-elimination speedup the regression gate enforces on hosts with
+  // enough cores.
+  if (!has_flag(argc, argv, "--cells")) {
+    const int hetero_iters = 60;  // fixed: rows comparable across modes
+    std::vector<ExperimentConfig> hcfgs;
+    hcfgs.push_back(cell_config({"alya", 8}, 0.01, hetero_iters));
+    {
+      ExperimentConfig sharer = hcfgs.back();  // replay-only diff: shares
+      sharer.ppa.displacement_factor = 0.05;   // the 8-rank trace
+      hcfgs.push_back(std::move(sharer));
+    }
+    hcfgs.push_back(cell_config({"gromacs", 128}, 0.01, hetero_iters));
+    {
+      ExperimentConfig big =
+          cell_config({"gromacs", 1024}, 0.01, hetero_iters);
+      big.fabric.xgft = XgftParams{8, 8, 1, 4, 16, 2};  // 3 levels, 1024
+      hcfgs.push_back(std::move(big));
+    }
+    hcfgs[2].shards = 0;  // elastic: the fabric-scale cells soak up
+    hcfgs[3].shards = 0;  // whatever workers the small cells leave idle
+    int hetero_ranks = 0;
+    for (const auto& cfg : hcfgs) hetero_ranks += cfg.workload.nranks;
+
+    // Serial bit-reference. Results are jobs- and shards-invariant, so one
+    // unsharded serial pass covers every level below.
+    std::vector<ExperimentResult> href;
+    href.reserve(hcfgs.size());
+    for (ExperimentConfig cfg : hcfgs) {
+      cfg.shards = 1;
+      href.push_back(run_experiment(cfg));
+    }
+
+    const std::vector<unsigned> hetero_jobs = {1, 2, 4};
+    struct HeteroBest {
+      double wall_ms = 0.0;
+      double gen_ms = 0.0, base_ms = 0.0, managed_ms = 0.0;
+      double utilization = -1.0;
+      std::uint64_t steals = 0;
+      std::uint64_t events = 0, messages = 0;
+      bool have = false;
+    };
+    std::vector<HeteroBest> hbest(hetero_jobs.size());
+    // The pole makes each pass ~0.5 s; cap the repeats so smoke stays a
+    // gate, not a benchmark marathon (the baseline rows are "new"-flagged
+    // with the wider tolerance anyway).
+    const int hetero_reps = std::min(repeats, 3);
+    for (int rep = 0; rep < hetero_reps; ++rep) {
+      for (std::size_t k = 0; k < hetero_jobs.size(); ++k) {
+        const std::size_t li =
+            (rep % 2 == 0) ? k : hetero_jobs.size() - 1 - k;
+        ParallelExperimentRunner runner(hetero_jobs[li]);
+        const auto t0 = std::chrono::steady_clock::now();
+        const std::vector<ExperimentResult> run = runner.run_all(hcfgs);
+        const double ms =
+            std::chrono::duration<double, std::milli>(
+                std::chrono::steady_clock::now() - t0)
+                .count();
+        const obs::SchedSummary sched = engine_summary(runner);
+        for (std::size_t i = 0; i < run.size(); ++i) {
+          if (!bit_identical(run[i], href[i])) {
+            all_identical = false;
+            std::fprintf(stderr,
+                         "DETERMINISM VIOLATION: hetero cell %zu at "
+                         "jobs=%u\n",
+                         i, hetero_jobs[li]);
+          }
+        }
+        HeteroBest& best = hbest[li];
+        if (!best.have || ms < best.wall_ms) {
+          best.wall_ms = ms;
+          double gen = 0.0, base = 0.0, managed = 0.0;
+          for (std::size_t i = 0; i < run.size(); ++i) {
+            gen += runner.last_cell_gen_ms()[i];
+            base += runner.last_cell_base_ms()[i];
+            managed += runner.last_cell_managed_ms()[i];
+          }
+          best.gen_ms = gen;
+          best.base_ms = base;
+          best.managed_ms = managed;
+          best.utilization = sched.utilization;
+          best.steals = sched.steals;
+          if (!best.have) {
+            for (const ExperimentResult& r : run) {
+              best.events += r.sim_events;
+              best.messages += r.messages;
+            }
+          }
+          best.have = true;
+        }
+      }
+    }
+    const double hetero_wall_1 = hbest.front().wall_ms;
+    for (std::size_t li = 0; li < hetero_jobs.size(); ++li) {
+      const HeteroBest& best = hbest[li];
+      const double s = best.wall_ms / 1e3;
+      rows.push_back(Row{
+          "hetero_mix", hetero_ranks, best.wall_ms, best.gen_ms,
+          best.base_ms, best.managed_ms,
+          s > 0.0 ? static_cast<double>(best.events) / s : 0.0,
+          s > 0.0 ? static_cast<double>(best.messages) / s : 0.0,
+          hetero_jobs[li], 1, best.utilization, best.steals});
+      std::printf(
+          "hetero jobs %2u: wall %8.1f ms  %6.2fx vs jobs=1  "
+          "util %5.1f%%  steals %llu\n",
+          hetero_jobs[li], best.wall_ms,
+          best.wall_ms > 0.0 ? hetero_wall_1 / best.wall_ms : 1.0,
+          100.0 * best.utilization,
+          static_cast<unsigned long long>(best.steals));
+    }
+
+    // ---- campaign-session throughput (long-running JSONL mode) ----
+    //
+    // The same mix driven through CampaignSession as parsed JSONL request
+    // lines: measures the wire-format round-trip, the refcounted trace
+    // cache and in-order row streaming wrapped around the same engine.
+    // Formatted rows must be byte-identical across worker counts — the
+    // campaign determinism pin, enforced here on real request traffic.
+    const std::vector<std::string> req_lines = {
+        R"({"id":"alya-8","app":"alya","nranks":8,"iterations":60})",
+        R"({"id":"alya-8-disp","app":"alya","nranks":8,"iterations":60,)"
+        R"("disp":5})",
+        R"({"id":"gromacs-128","app":"gromacs","nranks":128,)"
+        R"("iterations":60,"shards":0})",
+        R"({"id":"gromacs-1024","app":"gromacs","nranks":1024,)"
+        R"("iterations":60,"xgft":"8,8,1,4,16,2","shards":0})",
+    };
+    const std::vector<unsigned> campaign_jobs = {1, 4};
+    struct CampaignBest {
+      double wall_ms = 0.0;
+      double gen_ms = 0.0, base_ms = 0.0, managed_ms = 0.0;
+      double utilization = -1.0;
+      std::uint64_t steals = 0;
+      std::uint64_t events = 0, messages = 0;
+      bool have = false;
+    };
+    std::vector<CampaignBest> cbest(campaign_jobs.size());
+    std::vector<std::string> campaign_ref;  // first level's formatted rows
+    for (int rep = 0; rep < hetero_reps; ++rep) {
+      for (std::size_t k = 0; k < campaign_jobs.size(); ++k) {
+        const std::size_t li =
+            (rep % 2 == 0) ? k : campaign_jobs.size() - 1 - k;
+        ParallelExperimentRunner runner(campaign_jobs[li]);
+        CampaignSession session(runner);
+        const auto t0 = std::chrono::steady_clock::now();
+        int lineno = 0;
+        for (const std::string& line : req_lines) {
+          ++lineno;
+          CampaignRequest req;
+          std::string err;
+          if (parse_campaign_request(line, lineno, &req, &err)) {
+            session.submit(req);
+          } else {
+            std::fprintf(stderr, "campaign request rejected: %s\n",
+                         err.c_str());
+            all_identical = false;
+          }
+        }
+        std::vector<std::string> formatted;
+        double gen = 0.0, base = 0.0, managed = 0.0;
+        std::uint64_t events = 0, messages = 0;
+        CampaignRow row;
+        while (session.pop(&row)) {
+          formatted.push_back(format_campaign_row(row));
+          if (!row.ok) {
+            std::fprintf(stderr, "campaign row %s failed: %s\n",
+                         row.id.c_str(), row.error.c_str());
+            all_identical = false;
+            continue;
+          }
+          gen += row.gen_ms;
+          base += row.base_ms;
+          managed += row.managed_ms;
+          events += row.result.sim_events;
+          messages += row.result.messages;
+        }
+        const double ms =
+            std::chrono::duration<double, std::milli>(
+                std::chrono::steady_clock::now() - t0)
+                .count();
+        const obs::SchedSummary sched = engine_summary(runner);
+        if (campaign_ref.empty()) {
+          campaign_ref = formatted;
+        } else if (formatted != campaign_ref) {
+          all_identical = false;
+          std::fprintf(stderr,
+                       "DETERMINISM VIOLATION: campaign rows diverged at "
+                       "jobs=%u\n",
+                       campaign_jobs[li]);
+        }
+        CampaignBest& best = cbest[li];
+        if (!best.have || ms < best.wall_ms) {
+          best.wall_ms = ms;
+          best.gen_ms = gen;
+          best.base_ms = base;
+          best.managed_ms = managed;
+          best.utilization = sched.utilization;
+          best.steals = sched.steals;
+          best.events = events;
+          best.messages = messages;
+          best.have = true;
+        }
+      }
+    }
+    const double campaign_wall_1 = cbest.front().wall_ms;
+    for (std::size_t li = 0; li < campaign_jobs.size(); ++li) {
+      const CampaignBest& best = cbest[li];
+      const double s = best.wall_ms / 1e3;
+      rows.push_back(Row{
+          "campaign_mix", hetero_ranks, best.wall_ms, best.gen_ms,
+          best.base_ms, best.managed_ms,
+          s > 0.0 ? static_cast<double>(best.events) / s : 0.0,
+          s > 0.0 ? static_cast<double>(best.messages) / s : 0.0,
+          campaign_jobs[li], 1, best.utilization, best.steals});
+      std::printf(
+          "campaign jobs %2u: wall %8.1f ms  %6.2fx vs jobs=1  "
+          "util %5.1f%%  steals %llu\n",
+          campaign_jobs[li], best.wall_ms,
+          best.wall_ms > 0.0 ? campaign_wall_1 / best.wall_ms : 1.0,
+          100.0 * best.utilization,
+          static_cast<unsigned long long>(best.steals));
     }
   }
 
@@ -384,15 +671,23 @@ int main(int argc, char** argv) {
   const unsigned host_cores = ThreadPool::default_concurrency();
   for (std::size_t i = 0; i < rows.size(); ++i) {
     const Row& r = rows[i];
-    char buf[384];
+    char sched_cols[96] = "";
+    if (r.utilization >= 0.0) {
+      std::snprintf(sched_cols, sizeof(sched_cols),
+                    "\"utilization\": %.4f, \"steals\": %llu, ",
+                    r.utilization,
+                    static_cast<unsigned long long>(r.steals));
+    }
+    char buf[512];
     std::snprintf(buf, sizeof(buf),
                   "  {\"cell\": \"%s\", \"nranks\": %d, \"wall_ms\": %.3f, "
                   "\"gen_ms\": %.3f, \"base_ms\": %.3f, \"managed_ms\": %.3f, "
                   "\"events_per_sec\": %.1f, \"messages_per_sec\": %.1f, "
-                  "\"jobs\": %u, \"shards\": %d, \"host_cores\": %u}%s\n",
+                  "\"jobs\": %u, \"shards\": %d, %s\"host_cores\": %u}%s\n",
                   r.cell.c_str(), r.nranks, r.wall_ms, r.gen_ms, r.base_ms,
                   r.managed_ms, r.events_per_sec, r.messages_per_sec, r.jobs,
-                  r.shards, host_cores, i + 1 < rows.size() ? "," : "");
+                  r.shards, sched_cols, host_cores,
+                  i + 1 < rows.size() ? "," : "");
     os << buf;
   }
   os << "]\n";

@@ -1,0 +1,76 @@
+#include "obs/sched_export.hpp"
+
+#include <cstdio>
+
+namespace ibpower::obs {
+
+SchedSummary summarize_sched(const SchedProfile& profile,
+                             std::int64_t wall_ns) {
+  SchedSummary s;
+  double busy_sum = 0.0;
+  for (const SchedWorkerProfile& w : profile.workers) {
+    s.executed += w.executed;
+    s.steals += w.steals;
+    s.steal_attempts += w.steal_attempts;
+    if (wall_ns > 0) {
+      const double idle = static_cast<double>(w.idle_ns) /
+                          static_cast<double>(wall_ns);
+      busy_sum += idle >= 1.0 ? 0.0 : 1.0 - idle;
+    }
+  }
+  if (!profile.workers.empty() && wall_ns > 0) {
+    s.utilization = busy_sum / static_cast<double>(profile.workers.size());
+  }
+  return s;
+}
+
+std::string sched_profile_json(const SchedProfile& profile,
+                               std::int64_t wall_ns) {
+  std::string out = "{\n  \"version\": \"ibpower-sched-profile:v1\",\n";
+  char buf[256];
+  const SchedSummary sum = summarize_sched(profile, wall_ns);
+  std::snprintf(buf, sizeof(buf),
+                "  \"wall_ns\": %lld,\n  \"workers\": %zu,\n"
+                "  \"executed\": %llu,\n  \"steals\": %llu,\n"
+                "  \"utilization\": %.6f,\n",
+                static_cast<long long>(wall_ns), profile.workers.size(),
+                static_cast<unsigned long long>(sum.executed),
+                static_cast<unsigned long long>(sum.steals), sum.utilization);
+  out += buf;
+  out += "  \"worker_profiles\": [\n";
+  for (std::size_t i = 0; i < profile.workers.size(); ++i) {
+    const SchedWorkerProfile& w = profile.workers[i];
+    std::snprintf(
+        buf, sizeof(buf),
+        "    {\"worker\": %zu, \"executed\": %llu, \"steals\": %llu, "
+        "\"steal_attempts\": %llu, \"parks\": %llu, "
+        "\"deque_highwater\": %llu, \"idle_ns\": %lld}%s\n",
+        i, static_cast<unsigned long long>(w.executed),
+        static_cast<unsigned long long>(w.steals),
+        static_cast<unsigned long long>(w.steal_attempts),
+        static_cast<unsigned long long>(w.parks),
+        static_cast<unsigned long long>(w.deque_highwater),
+        static_cast<long long>(w.idle_ns),
+        i + 1 < profile.workers.size() ? "," : "");
+    out += buf;
+  }
+  out += "  ],\n  \"tasks\": [\n";
+  for (std::size_t i = 0; i < profile.tasks.size(); ++i) {
+    const SchedTaskProfile& t = profile.tasks[i];
+    std::snprintf(
+        buf, sizeof(buf),
+        "    {\"task\": %zu, \"label\": \"%s\", \"submit_ns\": %lld, "
+        "\"ready_ns\": %lld, \"start_ns\": %lld, \"finish_ns\": %lld, "
+        "\"worker\": %d, \"stolen\": %s}%s\n",
+        i, t.label, static_cast<long long>(t.submit_ns),
+        static_cast<long long>(t.ready_ns), static_cast<long long>(t.start_ns),
+        static_cast<long long>(t.finish_ns), t.worker,
+        t.stolen ? "true" : "false",
+        i + 1 < profile.tasks.size() ? "," : "");
+    out += buf;
+  }
+  out += "  ]\n}\n";
+  return out;
+}
+
+}  // namespace ibpower::obs

@@ -1,0 +1,37 @@
+// Scheduler-profile exporter (ibpower-sched-profile:v1) — the TaskEngine
+// counterpart of the CLI's --shard-profile JSON. One document per grid or
+// campaign run: per-worker counters (executed/steals/idle) plus, when the
+// engine ran with profiling enabled, the per-task timeline (submit/ready/
+// start/finish nanoseconds, executing worker, stolen flag). The task
+// records are what prove the phase barrier is gone: on a heterogeneous
+// grid some replay leg's start_ns precedes the last generation task's
+// finish_ns (test_sched_determinism pins this).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "util/task_engine.hpp"
+
+namespace ibpower::obs {
+
+/// Derived utilization summary of one engine run.
+struct SchedSummary {
+  std::uint64_t executed{0};
+  std::uint64_t steals{0};
+  std::uint64_t steal_attempts{0};
+  /// Mean busy fraction across workers over `wall_ns`: 1 - idle/wall,
+  /// averaged; 0 when wall_ns is 0.
+  double utilization{0.0};
+};
+
+[[nodiscard]] SchedSummary summarize_sched(const SchedProfile& profile,
+                                           std::int64_t wall_ns);
+
+/// Deterministically formatted JSON document (field order fixed; wall-clock
+/// values are inherently run-dependent — this is a profiling artifact, not
+/// part of the byte-identical export surface).
+[[nodiscard]] std::string sched_profile_json(const SchedProfile& profile,
+                                             std::int64_t wall_ns);
+
+}  // namespace ibpower::obs

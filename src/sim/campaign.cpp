@@ -1,0 +1,481 @@
+#include "sim/campaign.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <utility>
+
+#include "core/config.hpp"
+#include "network/routing.hpp"
+#include "power/trunk_policy.hpp"
+#include "util/expect.hpp"
+
+namespace ibpower {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double ms_since(Clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - t0).count();
+}
+
+std::string describe(const std::exception_ptr& err) {
+  try {
+    std::rethrow_exception(err);
+  } catch (const std::exception& e) {
+    return e.what();
+  } catch (...) {
+    return "unknown error";
+  }
+}
+
+}  // namespace
+
+CampaignSession::CampaignSession(ParallelExperimentRunner& runner)
+    : runner_(&runner) {}
+
+CampaignSession::~CampaignSession() {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait(lock, [this] { return done_count_ == slots_.size(); });
+}
+
+void CampaignSession::submit(CampaignRequest req) {
+  Slot* slot = nullptr;
+  TraceEntry* entry = nullptr;
+  bool fresh = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    slots_.push_back(std::make_unique<Slot>());
+    slot = slots_.back().get();
+    slot->id = std::move(req.id);
+    slot->cfg = normalize_config(req.cfg);
+    slot->key = trace_cache_key(slot->cfg);
+    ++stats_.requests;
+    auto& up = cache_[slot->key];
+    if (up == nullptr) {
+      up = std::make_unique<TraceEntry>();
+      fresh = true;
+      ++stats_.trace_builds;
+    } else {
+      ++stats_.trace_hits;
+      slot->row.trace_shared = true;
+    }
+    entry = up.get();
+    ++entry->refs;
+    stats_.max_live_traces =
+        std::max<std::uint64_t>(stats_.max_live_traces, cache_.size());
+  }
+
+  TaskEngine& engine = runner_->engine();
+  if (fresh) {
+    // One generation task per live key; later same-key requests depend on
+    // this same task id (finished deps are free), replaying the one Trace
+    // the entry holds until its last reference finalizes.
+    entry->gen_task = engine.submit(
+        [slot, entry] {
+          try {
+            const auto t0 = Clock::now();
+            entry->trace = generate_experiment_trace(slot->cfg);
+            slot->row.gen_ms = ms_since(t0);
+          } catch (...) {
+            entry->error = std::current_exception();
+          }
+        },
+        "campaign-gen");
+  }
+  ParallelExperimentRunner* runner = runner_;
+  const TaskId base = engine.submit_after(
+      {entry->gen_task},
+      [slot, entry, runner] {
+        if (entry->error) return;  // finalize reports the generation error
+        try {
+          const auto t0 = Clock::now();
+          slot->base = run_baseline_leg(slot->cfg, entry->trace, {},
+                                        runner->worker_memory());
+          slot->row.base_ms = ms_since(t0);
+        } catch (...) {
+          slot->base_err = std::current_exception();
+        }
+      },
+      "campaign-baseline");
+  const TaskId managed = engine.submit_after(
+      {entry->gen_task},
+      [slot, entry, runner] {
+        if (entry->error) return;
+        try {
+          const auto t0 = Clock::now();
+          slot->managed = run_managed_leg(slot->cfg, entry->trace, {},
+                                          runner->worker_memory());
+          slot->row.managed_ms = ms_since(t0);
+        } catch (...) {
+          slot->managed_err = std::current_exception();
+        }
+      },
+      "campaign-managed");
+  engine.submit_after({base, managed},
+                      [this, slot, entry] { finalize(slot, entry); },
+                      "campaign-finalize");
+}
+
+void CampaignSession::finalize(Slot* slot, TraceEntry* entry) {
+  // Combine while our reference still pins the trace (combine_legs reads
+  // mpi_calls out of it); release the reference only afterwards.
+  CampaignRow& row = slot->row;
+  row.id = slot->id;
+  if (entry->error) {
+    row.ok = false;
+    row.error = describe(entry->error);
+  } else if (slot->base_err) {
+    row.ok = false;
+    row.error = describe(slot->base_err);
+  } else if (slot->managed_err) {
+    row.ok = false;
+    row.error = describe(slot->managed_err);
+  } else {
+    row.ok = true;
+    row.result = combine_legs(entry->trace, slot->base, slot->managed);
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (--entry->refs == 0) {
+      cache_.erase(slot->key);
+      ++stats_.evictions;
+    }
+    slot->done = true;
+    ++done_count_;
+    // Notify under the lock: the destructor may tear the session (and
+    // this cv) down the instant the predicate holds, so the broadcast
+    // must complete before a waiter can observe the final done_count_.
+    cv_.notify_all();
+  }
+}
+
+void CampaignSession::submit_error(std::string id, std::string message) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    slots_.push_back(std::make_unique<Slot>());
+    Slot* slot = slots_.back().get();
+    slot->id = id;
+    slot->row.id = std::move(id);
+    slot->row.ok = false;
+    slot->row.error = std::move(message);
+    slot->done = true;
+    ++done_count_;
+    ++stats_.requests;
+    cv_.notify_all();  // under the lock, same lifetime reasoning as above
+  }
+}
+
+bool CampaignSession::pop(CampaignRow* out) {
+  std::unique_lock<std::mutex> lock(mu_);
+  if (next_pop_ >= slots_.size()) return false;
+  Slot* slot = slots_[next_pop_].get();
+  cv_.wait(lock, [slot] { return slot->done; });
+  *out = std::move(slot->row);
+  ++next_pop_;
+  return true;
+}
+
+bool CampaignSession::try_pop(CampaignRow* out) {
+  std::unique_lock<std::mutex> lock(mu_);
+  if (next_pop_ >= slots_.size()) return false;
+  Slot* slot = slots_[next_pop_].get();
+  if (!slot->done) return false;
+  *out = std::move(slot->row);
+  ++next_pop_;
+  return true;
+}
+
+CampaignCacheStats CampaignSession::cache_stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+// ---------------------------------------------------------------------------
+// JSONL wire format
+
+namespace {
+
+/// Minimal cursor over one flat JSON object. Supports string, number, bool
+/// and null values — the whole request vocabulary — and rejects everything
+/// else with a positioned message.
+struct JsonCursor {
+  const char* p;
+  std::string err;
+
+  void skip_ws() {
+    while (*p == ' ' || *p == '\t' || *p == '\r' || *p == '\n') ++p;
+  }
+  bool fail(const std::string& what) {
+    if (err.empty()) err = what;
+    return false;
+  }
+  bool expect(char c) {
+    skip_ws();
+    if (*p != c) return fail(std::string("expected '") + c + "'");
+    ++p;
+    return true;
+  }
+  bool parse_string(std::string* out) {
+    skip_ws();
+    if (*p != '"') return fail("expected string");
+    ++p;
+    out->clear();
+    while (*p != '"') {
+      if (*p == '\0') return fail("unterminated string");
+      if (*p == '\\') {
+        ++p;
+        switch (*p) {
+          case '"': out->push_back('"'); break;
+          case '\\': out->push_back('\\'); break;
+          case '/': out->push_back('/'); break;
+          case 'n': out->push_back('\n'); break;
+          case 't': out->push_back('\t'); break;
+          default: return fail("unsupported escape");
+        }
+        ++p;
+      } else {
+        out->push_back(*p++);
+      }
+    }
+    ++p;
+    return true;
+  }
+  bool parse_number(double* out) {
+    skip_ws();
+    char* end = nullptr;
+    *out = std::strtod(p, &end);
+    if (end == p) return fail("expected number");
+    p = end;
+    return true;
+  }
+  bool parse_bool(bool* out) {
+    skip_ws();
+    if (std::strncmp(p, "true", 4) == 0) {
+      *out = true;
+      p += 4;
+      return true;
+    }
+    if (std::strncmp(p, "false", 5) == 0) {
+      *out = false;
+      p += 5;
+      return true;
+    }
+    return fail("expected true/false");
+  }
+};
+
+bool parse_xgft(const std::string& spec, XgftParams* out, std::string* err) {
+  int v[6] = {0, 0, 0, 0, 1, 1};
+  int n = 0;
+  const char* p = spec.c_str();
+  while (*p != '\0' && n < 6) {
+    char* end = nullptr;
+    v[n] = static_cast<int>(std::strtol(p, &end, 10));
+    if (end == p) break;
+    ++n;
+    p = end;
+    if (*p == ',') ++p;
+  }
+  if ((n != 4 && n != 6) || *p != '\0') {
+    *err = "bad xgft '" + spec + "' (want M1,M2,W1,W2 or M1,M2,W1,W2,M3,W3)";
+    return false;
+  }
+  out->m1 = v[0];
+  out->m2 = v[1];
+  out->w1 = v[2];
+  out->w2 = v[3];
+  out->m3 = v[4];
+  out->w3 = v[5];
+  return true;
+}
+
+void append_escaped(std::string* out, const std::string& s) {
+  for (const char c : s) {
+    switch (c) {
+      case '"': *out += "\\\""; break;
+      case '\\': *out += "\\\\"; break;
+      case '\n': *out += "\\n"; break;
+      case '\t': *out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          *out += buf;
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+}
+
+void append_double(std::string* out, const char* key, double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), ",\"%s\":%.17g", key, v);
+  *out += buf;
+}
+
+void append_u64(std::string* out, const char* key, std::uint64_t v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), ",\"%s\":%llu", key,
+                static_cast<unsigned long long>(v));
+  *out += buf;
+}
+
+}  // namespace
+
+bool parse_campaign_request(const std::string& line, int lineno,
+                            CampaignRequest* out, std::string* error) {
+  CampaignRequest req;
+  req.id = "req-" + std::to_string(lineno);
+  ExperimentConfig& cfg = req.cfg;
+  bool has_gt = false;
+  double gt_us = 0.0;
+
+  JsonCursor c{line.c_str(), {}};
+  if (!c.expect('{')) {
+    *error = c.err;
+    return false;
+  }
+  c.skip_ws();
+  bool first = true;
+  while (*c.p != '}') {
+    if (!first && !c.expect(',')) {
+      *error = c.err;
+      return false;
+    }
+    first = false;
+    std::string key;
+    if (!c.parse_string(&key) || !c.expect(':')) {
+      *error = c.err;
+      return false;
+    }
+    std::string sval;
+    double dval = 0.0;
+    bool bval = false;
+    bool ok = true;
+    if (key == "id" || key == "app" || key == "routing" ||
+        key == "trunk_policy" || key == "predictor" || key == "xgft") {
+      ok = c.parse_string(&sval);
+    } else if (key == "weak_scaling" || key == "contention" ||
+               key == "split_energy") {
+      ok = c.parse_bool(&bval);
+    } else {
+      ok = c.parse_number(&dval);
+    }
+    if (!ok) {
+      *error = "key '" + key + "': " + c.err;
+      return false;
+    }
+    if (key == "id") {
+      req.id = sval;
+    } else if (key == "app") {
+      cfg.app = sval;
+    } else if (key == "nranks") {
+      cfg.workload.nranks = static_cast<int>(dval);
+    } else if (key == "iterations") {
+      cfg.workload.iterations = static_cast<int>(dval);
+    } else if (key == "seed") {
+      cfg.workload.seed = static_cast<std::uint64_t>(dval);
+    } else if (key == "scale") {
+      cfg.workload.scale = dval;
+    } else if (key == "weak_scaling") {
+      cfg.workload.weak_scaling = bval;
+    } else if (key == "gt_us") {
+      has_gt = true;
+      gt_us = dval;
+    } else if (key == "disp") {
+      cfg.ppa.displacement_factor = dval / 100.0;
+    } else if (key == "treact_us") {
+      cfg.ppa.t_react = TimeNs::from_us(dval);
+    } else if (key == "guard_us") {
+      cfg.ppa.predictor.guard_threshold = TimeNs::from_us(dval);
+    } else if (key == "predictor") {
+      if (!parse_predictor(sval, &cfg.ppa.predictor.kind)) {
+        *error = "unknown predictor '" + sval + "'";
+        return false;
+      }
+    } else if (key == "routing") {
+      if (!parse_routing_strategy(sval, cfg.fabric.routing.strategy)) {
+        *error = "unknown routing '" + sval + "'";
+        return false;
+      }
+    } else if (key == "trunk_policy") {
+      if (!parse_trunk_policy(sval, cfg.fabric.trunk.kind)) {
+        *error = "unknown trunk_policy '" + sval + "'";
+        return false;
+      }
+    } else if (key == "trunk_timeout_us") {
+      cfg.fabric.trunk.idle_timeout = TimeNs::from_us(dval);
+    } else if (key == "spill_us") {
+      cfg.fabric.routing.spill_threshold = TimeNs::from_us(dval);
+    } else if (key == "contention") {
+      cfg.fabric.contention = bval;
+    } else if (key == "split_energy") {
+      cfg.power.split_energy = bval;
+    } else if (key == "xgft") {
+      if (!parse_xgft(sval, &cfg.fabric.xgft, error)) return false;
+    } else if (key == "eager") {
+      cfg.eager_threshold = Bytes{static_cast<std::int64_t>(dval)};
+    } else if (key == "shards") {
+      cfg.shards = static_cast<int>(dval);
+    } else {
+      // Reject typos loudly: a misspelled knob silently running a default
+      // experiment is the worst campaign failure mode.
+      *error = "unknown key '" + key + "'";
+      return false;
+    }
+    c.skip_ws();
+  }
+  ++c.p;
+  c.skip_ws();
+  if (*c.p != '\0') {
+    *error = "trailing characters after object";
+    return false;
+  }
+
+  // Mirror the CLI's --gt handling: default from the calibration table,
+  // always clamped to the 2*Treact feasibility floor.
+  cfg.ppa.grouping_threshold = has_gt
+                                   ? TimeNs::from_us(gt_us)
+                                   : default_gt(cfg.app, cfg.workload.nranks);
+  cfg.ppa.grouping_threshold =
+      max(cfg.ppa.grouping_threshold, 2 * cfg.ppa.t_react);
+
+  *out = std::move(req);
+  return true;
+}
+
+std::string format_campaign_row(const CampaignRow& row) {
+  std::string out = "{\"v\":\"ibpower-campaign:v1\",\"id\":\"";
+  append_escaped(&out, row.id);
+  out += "\"";
+  if (!row.ok) {
+    out += ",\"ok\":false,\"error\":\"";
+    append_escaped(&out, row.error);
+    out += "\"}";
+    return out;
+  }
+  const ExperimentResult& r = row.result;
+  out += ",\"ok\":true";
+  append_u64(&out, "baseline_ns", static_cast<std::uint64_t>(r.baseline_time.ns));
+  append_u64(&out, "managed_ns", static_cast<std::uint64_t>(r.managed_time.ns));
+  append_double(&out, "time_increase_pct", r.time_increase_pct);
+  append_double(&out, "uplink_savings_pct", r.power.switch_savings_pct);
+  append_double(&out, "fabric_savings_pct", r.fabric_power.switch_savings_pct);
+  append_double(&out, "low_residency", r.power.mean_low_residency);
+  append_double(&out, "hit_rate_pct", r.hit_rate_pct);
+  append_u64(&out, "on_demand_wakes", r.on_demand_wakes);
+  append_u64(&out, "wake_penalty_ns",
+             static_cast<std::uint64_t>(r.wake_penalty_total.ns));
+  append_u64(&out, "mpi_calls", r.mpi_calls);
+  append_u64(&out, "messages", r.messages);
+  append_u64(&out, "sim_events", r.sim_events);
+  out += "}";
+  return out;
+}
+
+}  // namespace ibpower

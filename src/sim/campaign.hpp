@@ -1,0 +1,149 @@
+// CampaignSession — a long-running experiment service over the TaskEngine.
+//
+// The ROADMAP's north star is a campaign server: thousands of experiment
+// requests streaming through one process, sharing read-only traces, with
+// work-stealing across workers. This is its seed (DESIGN.md §14). A session
+// wraps a ParallelExperimentRunner and accepts requests incrementally —
+// unlike run_all there is no closed batch: each submit() immediately wires
+// gen → {baseline, managed} → finalize tasks into the engine, trace
+// generation is deduplicated through a *refcounted* cache (concurrent
+// requests with the same trace_cache_key share one generation task and one
+// in-memory Trace; the entry is evicted the moment its last in-flight
+// request finalizes, so a long campaign's memory is bounded by what is
+// in flight, not by its history), and finished rows stream back out in
+// submission order through pop()/try_pop().
+//
+// Determinism: a row's simulation fields are produced by exactly the same
+// leg code, per-worker ReplayMemory borrow and combine_legs as the serial
+// path, so format_campaign_row output is byte-identical at any jobs/shards
+// setting (pinned under TSan by test_campaign). Cache hit/miss *timing* is
+// scheduling-dependent, so rows never include cache or wall-clock fields —
+// those live in CampaignCacheStats and the CampaignRow timing members for
+// profiling consumers (bench_throughput).
+//
+// The JSONL wire format (ibpower-campaign:v1):
+//   request:  {"id":"r1","app":"gromacs","nranks":128,"predictor":"histogram"}
+//   row:      {"v":"ibpower-campaign:v1","id":"r1","ok":true,...}
+//   error:    {"v":"ibpower-campaign:v1","id":"r1","ok":false,"error":"..."}
+// Unknown request keys are rejected (a typo'd knob must not silently run a
+// default experiment); sim-time failures (unknown app, unsupported rank
+// count) come back as in-order error rows rather than killing the stream.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "sim/parallel.hpp"
+
+namespace ibpower {
+
+/// One experiment request, parsed from a JSONL line.
+struct CampaignRequest {
+  std::string id;
+  ExperimentConfig cfg;
+};
+
+/// One finished (or failed) experiment, in submission order.
+struct CampaignRow {
+  std::string id;
+  bool ok{false};
+  std::string error;          // when !ok
+  ExperimentResult result{};  // when ok
+  // Profiling extras — scheduling-dependent, deliberately NOT part of
+  // format_campaign_row (rows must be byte-identical at any worker count).
+  bool trace_shared{false};   // trace came from the refcounted cache
+  double gen_ms{0.0};
+  double base_ms{0.0};
+  double managed_ms{0.0};
+};
+
+struct CampaignCacheStats {
+  std::uint64_t requests{0};
+  std::uint64_t trace_builds{0};   // generation tasks actually scheduled
+  std::uint64_t trace_hits{0};     // requests that shared a live entry
+  std::uint64_t evictions{0};      // entries freed when refs hit zero
+  std::uint64_t max_live_traces{0};
+};
+
+class CampaignSession {
+ public:
+  /// The session schedules on `runner`'s engine and borrows its per-worker
+  /// ReplayMemory. The runner must outlive the session and must not be used
+  /// for run()/run_all() while the session has requests in flight (both
+  /// reset the engine's task table between runs).
+  explicit CampaignSession(ParallelExperimentRunner& runner);
+
+  /// Blocks until every in-flight request has finalized (unpopped rows are
+  /// discarded), so worker tasks never outlive the session.
+  ~CampaignSession();
+
+  CampaignSession(const CampaignSession&) = delete;
+  CampaignSession& operator=(const CampaignSession&) = delete;
+
+  /// Enqueue one experiment. Returns immediately; the row arrives through
+  /// pop() in submission order.
+  void submit(CampaignRequest req);
+
+  /// Enqueue an already-failed row (e.g. a malformed request line), keeping
+  /// the output stream aligned with the input stream.
+  void submit_error(std::string id, std::string message);
+
+  /// Next row in submission order, blocking until it finishes. False when
+  /// every submitted row has already been popped.
+  bool pop(CampaignRow* out);
+
+  /// As pop(), but returns false instead of blocking when the next row in
+  /// order is still running (lets a driver interleave reads with submits).
+  bool try_pop(CampaignRow* out);
+
+  [[nodiscard]] CampaignCacheStats cache_stats() const;
+
+ private:
+  struct TraceEntry {
+    Trace trace;
+    std::exception_ptr error;
+    TaskId gen_task{0};
+    int refs{0};
+  };
+  struct Slot {
+    std::string id;
+    std::string key;
+    ExperimentConfig cfg;
+    BaselineLegResult base{};
+    ManagedLegResult managed{};
+    std::exception_ptr base_err;
+    std::exception_ptr managed_err;
+    CampaignRow row;
+    bool done{false};
+  };
+
+  void finalize(Slot* slot, TraceEntry* entry);
+
+  ParallelExperimentRunner* runner_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::unique_ptr<Slot>> slots_;  // stable addresses, by sequence
+  std::size_t next_pop_{0};
+  std::size_t done_count_{0};
+  std::unordered_map<std::string, std::unique_ptr<TraceEntry>> cache_;
+  CampaignCacheStats stats_;
+};
+
+/// Parse one JSONL request line (flat object; see header note for the key
+/// set). `lineno` seeds the default id ("req-<lineno>") when the line has
+/// none. Returns false with a message on malformed input, unknown keys, or
+/// unknown enum names.
+[[nodiscard]] bool parse_campaign_request(const std::string& line, int lineno,
+                                          CampaignRequest* out,
+                                          std::string* error);
+
+/// Deterministic one-line JSON for a finished row (doubles printed %.17g,
+/// so equal bit patterns give equal bytes).
+[[nodiscard]] std::string format_campaign_row(const CampaignRow& row);
+
+}  // namespace ibpower

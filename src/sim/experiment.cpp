@@ -1,5 +1,6 @@
 #include "sim/experiment.hpp"
 
+#include <cstdio>
 #include <cstring>
 #include <stdexcept>
 #include <type_traits>
@@ -82,6 +83,21 @@ Trace generate_experiment_trace(const ExperimentConfig& cfg) {
                                 std::to_string(cfg.workload.nranks));
   }
   return app->generate(cfg.workload);
+}
+
+std::string trace_cache_key(const ExperimentConfig& cfg) {
+  // scale joins by bit pattern: 0.1*3 and 0.3 are different workloads here,
+  // exactly as they would be to the generator's arithmetic.
+  std::uint64_t scale_bits = 0;
+  static_assert(sizeof(scale_bits) == sizeof(cfg.workload.scale));
+  std::memcpy(&scale_bits, &cfg.workload.scale, sizeof(scale_bits));
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), "|%d|%d|%llu|%016llx|%d",
+                cfg.workload.nranks, cfg.workload.iterations,
+                static_cast<unsigned long long>(cfg.workload.seed),
+                static_cast<unsigned long long>(scale_bits),
+                cfg.workload.weak_scaling ? 1 : 0);
+  return cfg.app + buf;
 }
 
 BaselineLegResult run_baseline_leg(const ExperimentConfig& cfg,

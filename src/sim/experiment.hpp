@@ -73,6 +73,17 @@ struct ExperimentResult {
 /// std::invalid_argument when the app does not support cfg.workload.nranks.
 [[nodiscard]] Trace generate_experiment_trace(const ExperimentConfig& cfg);
 
+/// Canonical key over *everything* that affects generate_experiment_trace:
+/// the app name and every WorkloadParams field (nranks, iterations, seed,
+/// scale — by exact bit pattern, not by value — and weak_scaling). Two
+/// configs with equal keys produce bit-identical traces, so the parallel
+/// runner and the campaign session share one generated Trace between them;
+/// configs differing only in predictor/policy/fabric/power knobs map to the
+/// same key on purpose. This is the single source of truth for trace
+/// sharing — anyone adding a trace-affecting field to WorkloadParams must
+/// extend it (test_parallel_experiment pins the field coverage).
+[[nodiscard]] std::string trace_cache_key(const ExperimentConfig& cfg);
+
 /// Observation hook invoked with the finished engine (links closed, audits
 /// run) just before a leg discards it. The obs/ telemetry layer hangs off
 /// this: the sim layer never names the metrics types, so sim stays free of

@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <chrono>
-#include <future>
+#include <exception>
 #include <stdexcept>
+#include <string>
+#include <unordered_map>
 #include <utility>
 
 namespace ibpower {
@@ -18,16 +20,21 @@ double ms_since(Clock::time_point t0) {
 
 }  // namespace
 
-ParallelExperimentRunner::ParallelExperimentRunner(unsigned jobs)
-    : pool_(std::min(jobs == 0 ? 1u : jobs, ThreadPool::default_concurrency())) {
-  worker_memory_.reserve(pool_.size());
-  for (unsigned i = 0; i < pool_.size(); ++i) {
+ParallelExperimentRunner::ParallelExperimentRunner(unsigned jobs,
+                                                   bool clamp_to_hardware)
+    : engine_(clamp_to_hardware
+                  ? std::min(jobs == 0 ? 1u : jobs,
+                             ThreadPool::default_concurrency())
+                  : (jobs == 0 ? 1u : jobs)) {
+  worker_memory_.reserve(engine_.size());
+  for (unsigned i = 0; i < engine_.size(); ++i) {
     worker_memory_.push_back(std::make_unique<ReplayMemory>());
   }
 }
 
 ReplayMemory* ParallelExperimentRunner::worker_memory() const {
-  const int idx = ThreadPool::current_worker_index();
+  if (TaskEngine::current() != &engine_) return nullptr;
+  const int idx = TaskEngine::current_worker_index();
   if (idx < 0 || static_cast<std::size_t>(idx) >= worker_memory_.size()) {
     return nullptr;
   }
@@ -48,46 +55,11 @@ double ParallelExperimentRunner::last_total_gen_ms() const {
 
 ExperimentResult ParallelExperimentRunner::run(const ExperimentConfig& rawcfg,
                                                const LegProbes& probes) {
-  const ExperimentConfig cfg = normalize_config(rawcfg);
-
-  // Trace generation runs on the pool like every other unit of work.
-  double gen_ms = 0.0;
-  auto gen = pool_.submit([&cfg, &gen_ms] {
-    const auto t0 = Clock::now();
-    Trace trace = generate_experiment_trace(cfg);
-    gen_ms = ms_since(t0);
-    return trace;
-  });
-  const Trace trace = gen.get();
-
-  // The two legs only read `cfg`, `trace` and `probes`; all outlive the
-  // futures. Probes execute inside the leg on the worker thread and must
-  // only write caller-owned per-leg storage (see parallel.hpp). Each leg
-  // borrows its worker's ReplayMemory.
-  double base_ms = 0.0;
-  double managed_ms = 0.0;
-  auto baseline = pool_.submit([this, &cfg, &trace, &probes, &base_ms] {
-    const auto leg0 = Clock::now();
-    BaselineLegResult leg =
-        run_baseline_leg(cfg, trace, probes.baseline, worker_memory());
-    base_ms = ms_since(leg0);
-    return leg;
-  });
-  auto managed = pool_.submit([this, &cfg, &trace, &probes, &managed_ms] {
-    const auto leg0 = Clock::now();
-    ManagedLegResult leg =
-        run_managed_leg(cfg, trace, probes.managed, worker_memory());
-    managed_ms = ms_since(leg0);
-    return leg;
-  });
-  const BaselineLegResult b = baseline.get();
-  const ManagedLegResult m = managed.get();
-
-  cell_gen_ms_.assign(1, gen_ms);
-  cell_base_ms_.assign(1, base_ms);
-  cell_managed_ms_.assign(1, managed_ms);
-  cell_work_ms_.assign(1, base_ms + managed_ms);
-  return combine_legs(trace, b, m);
+  std::vector<ExperimentResult> results =
+      run_all({rawcfg}, probes.baseline || probes.managed
+                            ? std::vector<LegProbes>{probes}
+                            : std::vector<LegProbes>{});
+  return results.front();
 }
 
 std::vector<ExperimentResult> ParallelExperimentRunner::run_all(
@@ -102,23 +74,21 @@ std::vector<ExperimentResult> ParallelExperimentRunner::run_all(
   cfgs.reserve(n);
   for (const auto& cfg : rawcfgs) cfgs.push_back(normalize_config(cfg));
 
-  // Trace sharing: cells with the same (app, workload) — a parameter sweep
-  // over PPA/fabric settings — replay one read-only Trace instead of
-  // regenerating it per cell. `trace_of[i]` maps cell i to its trace slot;
-  // generation cost is charged to the first cell of each slot.
+  // Trace sharing: cells with the same trace_cache_key — a parameter sweep
+  // over PPA/fabric/predictor settings — replay one read-only Trace instead
+  // of regenerating it per cell. `trace_of[i]` maps cell i to its trace
+  // slot; generation cost is charged to the first cell of each slot.
   std::vector<std::size_t> trace_of(n, 0);
   std::vector<std::size_t> owner_cell;  // slot -> generating cell
-  for (std::size_t i = 0; i < n; ++i) {
-    std::size_t slot = owner_cell.size();
-    for (std::size_t s = 0; s < owner_cell.size(); ++s) {
-      const auto& o = cfgs[owner_cell[s]];
-      if (o.app == cfgs[i].app && o.workload == cfgs[i].workload) {
-        slot = s;
-        break;
-      }
+  {
+    std::unordered_map<std::string, std::size_t> slot_of;
+    slot_of.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      const auto [it, inserted] =
+          slot_of.emplace(trace_cache_key(cfgs[i]), owner_cell.size());
+      if (inserted) owner_cell.push_back(i);
+      trace_of[i] = it->second;
     }
-    if (slot == owner_cell.size()) owner_cell.push_back(i);
-    trace_of[i] = slot;
   }
 
   // Each task writes only its own slot of these vectors: no shared mutable
@@ -128,55 +98,90 @@ std::vector<ExperimentResult> ParallelExperimentRunner::run_all(
   cell_managed_ms_.assign(n, 0.0);
   cell_work_ms_.assign(n, 0.0);
 
-  // Phase 1: generate every distinct trace in parallel.
   const std::size_t ntraces = owner_cell.size();
-  std::vector<std::future<Trace>> gen;
-  gen.reserve(ntraces);
+  std::vector<Trace> traces(ntraces);
+  std::vector<BaselineLegResult> base_res(n);
+  std::vector<ManagedLegResult> managed_res(n);
+  // Exceptions are captured per slot and rethrown after wait_all in a fixed
+  // order (generation slots first, then per-cell baseline/managed), so the
+  // surfaced exception is the same one the old phase-barrier gather — and
+  // the serial loop — would have thrown.
+  std::vector<std::exception_ptr> gen_err(ntraces);
+  std::vector<std::exception_ptr> base_err(n);
+  std::vector<std::exception_ptr> managed_err(n);
+
+  engine_.reset();
+
+  // One generation task per distinct trace; each cell's legs depend only on
+  // their own trace task — a cell replays the instant ITS trace exists,
+  // while slower generations are still running (no phase barrier).
+  std::vector<TaskId> gen_task(ntraces);
   for (std::size_t s = 0; s < ntraces; ++s) {
     const std::size_t cell = owner_cell[s];
-    gen.push_back(pool_.submit([this, &cfgs, cell] {
-      const auto t0 = Clock::now();
-      Trace trace = generate_experiment_trace(cfgs[cell]);
-      cell_gen_ms_[cell] = ms_since(t0);
-      return trace;
-    }));
+    gen_task[s] = engine_.submit(
+        [this, &cfgs, &traces, &gen_err, s, cell] {
+          try {
+            const auto t0 = Clock::now();
+            traces[s] = generate_experiment_trace(cfgs[cell]);
+            cell_gen_ms_[cell] = ms_since(t0);
+          } catch (...) {
+            gen_err[s] = std::current_exception();
+          }
+        },
+        "gen");
   }
-  std::vector<Trace> traces;
-  traces.reserve(ntraces);
-  for (auto& f : gen) traces.push_back(f.get());
-
-  // Phase 2: 2N independent replay legs against the shared traces.
-  std::vector<std::future<BaselineLegResult>> baselines;
-  std::vector<std::future<ManagedLegResult>> manageds;
-  baselines.reserve(n);
-  manageds.reserve(n);
   for (std::size_t i = 0; i < n; ++i) {
-    const Trace& trace = traces[trace_of[i]];
-    baselines.push_back(pool_.submit([this, &cfgs, &trace, &probes, i] {
-      const auto t0 = Clock::now();
-      BaselineLegResult leg = run_baseline_leg(
-          cfgs[i], trace, probes.empty() ? ReplayProbe{} : probes[i].baseline,
-          worker_memory());
-      cell_base_ms_[i] = ms_since(t0);
-      return leg;
-    }));
-    manageds.push_back(pool_.submit([this, &cfgs, &trace, &probes, i] {
-      const auto t0 = Clock::now();
-      ManagedLegResult leg = run_managed_leg(
-          cfgs[i], trace, probes.empty() ? ReplayProbe{} : probes[i].managed,
-          worker_memory());
-      cell_managed_ms_[i] = ms_since(t0);
-      return leg;
-    }));
+    const std::size_t s = trace_of[i];
+    engine_.submit_after(
+        {gen_task[s]},
+        [this, &cfgs, &traces, &probes, &gen_err, &base_res, &base_err, i, s] {
+          if (gen_err[s]) return;  // trace missing; rethrown by slot order
+          try {
+            const auto t0 = Clock::now();
+            base_res[i] = run_baseline_leg(
+                cfgs[i], traces[s],
+                probes.empty() ? ReplayProbe{} : probes[i].baseline,
+                worker_memory());
+            cell_base_ms_[i] = ms_since(t0);
+          } catch (...) {
+            base_err[i] = std::current_exception();
+          }
+        },
+        "baseline");
+    engine_.submit_after(
+        {gen_task[s]},
+        [this, &cfgs, &traces, &probes, &gen_err, &managed_res, &managed_err,
+         i, s] {
+          if (gen_err[s]) return;
+          try {
+            const auto t0 = Clock::now();
+            managed_res[i] = run_managed_leg(
+                cfgs[i], traces[s],
+                probes.empty() ? ReplayProbe{} : probes[i].managed,
+                worker_memory());
+            cell_managed_ms_[i] = ms_since(t0);
+          } catch (...) {
+            managed_err[i] = std::current_exception();
+          }
+        },
+        "managed");
+  }
+  engine_.wait_all();
+
+  for (std::size_t s = 0; s < ntraces; ++s) {
+    if (gen_err[s]) std::rethrow_exception(gen_err[s]);
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    if (base_err[i]) std::rethrow_exception(base_err[i]);
+    if (managed_err[i]) std::rethrow_exception(managed_err[i]);
   }
 
   // Gather in submission order — output order is the input order.
   std::vector<ExperimentResult> results;
   results.reserve(n);
   for (std::size_t i = 0; i < n; ++i) {
-    const BaselineLegResult b = baselines[i].get();
-    const ManagedLegResult m = manageds[i].get();
-    results.push_back(combine_legs(traces[trace_of[i]], b, m));
+    results.push_back(
+        combine_legs(traces[trace_of[i]], base_res[i], managed_res[i]));
     cell_work_ms_[i] = cell_base_ms_[i] + cell_managed_ms_[i];
   }
   return results;
@@ -184,41 +189,58 @@ std::vector<ExperimentResult> ParallelExperimentRunner::run_all(
 
 std::vector<GtSweepPoint> ParallelExperimentRunner::sweep_gt(
     const ExperimentConfig& cfg, const std::vector<TimeNs>& values) {
-  // Generation and the single baseline replay run on the pool so the
-  // replay borrows a worker's ReplayMemory.
+  // gen -> one baseline timeline replay -> |values| scoring tasks, all
+  // dependency-edged on the engine (the replay borrows a worker's
+  // ReplayMemory; scoring tasks start the moment the timelines exist).
   double gen_ms = 0.0;
-  auto gen = pool_.submit([&cfg, &gen_ms] {
-    const auto t0 = Clock::now();
-    Trace trace = generate_experiment_trace(cfg);
-    gen_ms = ms_since(t0);
-    return trace;
-  });
-  const Trace trace = gen.get();
-
   double base_ms = 0.0;
-  auto tl = pool_.submit([this, &cfg, &trace, &base_ms] {
-    const auto t0 = Clock::now();
-    auto timelines = baseline_call_timelines(cfg, trace, worker_memory());
-    base_ms = ms_since(t0);
-    return timelines;
-  });
-  const auto timelines = tl.get();
-
+  Trace trace;
+  std::vector<std::vector<MpiCallEvent>> timelines;
+  std::exception_ptr gen_err;
+  std::exception_ptr base_err;
+  std::vector<GtSweepPoint> points(values.size());
   std::vector<double> score_ms(values.size(), 0.0);
-  std::vector<std::future<GtSweepPoint>> futures;
-  futures.reserve(values.size());
+
+  engine_.reset();
+  const TaskId gen = engine_.submit(
+      [&cfg, &trace, &gen_ms, &gen_err] {
+        try {
+          const auto t0 = Clock::now();
+          trace = generate_experiment_trace(cfg);
+          gen_ms = ms_since(t0);
+        } catch (...) {
+          gen_err = std::current_exception();
+        }
+      },
+      "gen");
+  const TaskId base = engine_.submit_after(
+      {gen},
+      [this, &cfg, &trace, &timelines, &base_ms, &gen_err, &base_err] {
+        if (gen_err) return;
+        try {
+          const auto t0 = Clock::now();
+          timelines = baseline_call_timelines(cfg, trace, worker_memory());
+          base_ms = ms_since(t0);
+        } catch (...) {
+          base_err = std::current_exception();
+        }
+      },
+      "timelines");
   for (std::size_t i = 0; i < values.size(); ++i) {
     const TimeNs gt = values[i];
-    futures.push_back(pool_.submit([&timelines, &cfg, &score_ms, gt, i] {
-      const auto t0 = Clock::now();
-      GtSweepPoint p = score_gt(timelines, cfg.ppa, gt);
-      score_ms[i] = ms_since(t0);
-      return p;
-    }));
+    engine_.submit_after(
+        {base},
+        [&timelines, &cfg, &points, &score_ms, &gen_err, &base_err, gt, i] {
+          if (gen_err || base_err) return;
+          const auto t0 = Clock::now();
+          points[i] = score_gt(timelines, cfg.ppa, gt);
+          score_ms[i] = ms_since(t0);
+        },
+        "score_gt");
   }
-  std::vector<GtSweepPoint> points;
-  points.reserve(values.size());
-  for (auto& f : futures) points.push_back(f.get());
+  engine_.wait_all();
+  if (gen_err) std::rethrow_exception(gen_err);
+  if (base_err) std::rethrow_exception(base_err);
 
   double scoring = 0.0;
   for (const double ms : score_ms) scoring += ms;

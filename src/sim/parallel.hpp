@@ -1,24 +1,32 @@
-// ParallelExperimentRunner — fans independent replays out over a ThreadPool.
+// ParallelExperimentRunner — barrier-free experiment scheduling on a
+// work-stealing TaskEngine.
 //
-// Determinism contract (DESIGN.md §7): parallelism exists only *across*
+// Determinism contract (DESIGN.md §7/§14): parallelism exists only *across*
 // independent EventQueues — the two legs of one experiment, the cells of a
 // grid, the dry runs of a GT sweep. One replay never shares mutable state
-// with another (each borrows its worker's private ReplayMemory; the Trace
-// is shared read-only), and results are gathered in submission order, so
-// every output is bit-identical to the serial run_experiment / sweep_gt
-// paths at any thread count.
+// with another (each borrows the *executing* worker's private ReplayMemory;
+// the Trace is shared read-only), and results are gathered in submission
+// order, so every output is bit-identical to the serial run_experiment /
+// sweep_gt paths at any worker count — including when a task was stolen.
 //
-// Memory layout (DESIGN.md §7, "Memory architecture"): the runner owns one
-// ReplayMemory per pool worker. A leg task asks the pool which worker it is
-// on and borrows that worker's workspace — no locking, since tasks with the
-// same worker index never run concurrently. Across cells a worker reuses
-// its arena, event queue, fabric and agents (reset-and-reuse), so grid
-// sweeps stop hammering the global allocator from every thread — the
-// contention that previously made --jobs 2 *slower* than --jobs 1.
+// Task graph (DESIGN.md §14): run_all used to be two phases with a global
+// join between them — generate every trace, wait for ALL of them, then run
+// every replay leg. TaskEngine replaces the barrier with dependency edges:
+// each distinct trace is one generation task, and a cell's baseline/managed
+// legs depend only on *their* trace's task, so they start the instant it
+// finishes while slower generations are still running. Trace sharing is
+// keyed by trace_cache_key (the full trace-affecting config), charged to
+// the first cell with each key.
 //
-// Work layout: trace generation also runs on the pool, and cells whose
-// (app, workload) coincide — a GT sweep grid — share one generated Trace
-// read-only instead of regenerating it per cell.
+// Memory layout: the runner owns one ReplayMemory per engine worker. A leg
+// task asks the engine which worker it is on and borrows that worker's
+// workspace — no locking, since two tasks with the same worker index never
+// run concurrently; a *stolen* task simply borrows the thief's workspace.
+//
+// Elastic shards: a sharded replay leg (cfg.shards != 1) running on an
+// engine worker shares this same engine for its shard pumps (ShardExecutor
+// elastic mode), so --jobs and --shards draw from one pool instead of
+// competing for cores.
 #pragma once
 
 #include <memory>
@@ -26,6 +34,7 @@
 
 #include "sim/experiment.hpp"
 #include "sim/replay_memory.hpp"
+#include "util/task_engine.hpp"
 #include "util/thread_pool.hpp"
 
 namespace ibpower {
@@ -33,33 +42,45 @@ namespace ibpower {
 class ParallelExperimentRunner {
  public:
   /// `jobs` is a performance knob, not a semantic one: results are
-  /// bit-identical at any worker count, so the runner clamps the pool to
-  /// the hardware concurrency. Replays are CPU-bound — oversubscribed
-  /// workers only multiply workspace footprint (cache/TLB pressure from
-  /// extra per-worker arenas) and scheduler churn, which is how `--jobs 8`
-  /// on a small host used to run *slower* than `--jobs 1`.
+  /// bit-identical at any worker count, so by default the runner clamps the
+  /// engine to the machine's usable cores (cgroup-quota-aware). Replays are
+  /// CPU-bound — oversubscribed workers only multiply workspace footprint
+  /// (cache/TLB pressure from extra per-worker arenas) and scheduler churn,
+  /// which is how `--jobs 8` on a small host used to run *slower* than
+  /// `--jobs 1`. Tests pass clamp_to_hardware=false to get genuinely
+  /// multi-worker engines (and the steal path) on 1-core CI hosts.
   explicit ParallelExperimentRunner(
-      unsigned jobs = ThreadPool::default_concurrency());
+      unsigned jobs = ThreadPool::default_concurrency(),
+      bool clamp_to_hardware = true);
 
-  [[nodiscard]] unsigned jobs() const { return pool_.size(); }
+  [[nodiscard]] unsigned jobs() const { return engine_.size(); }
+
+  /// The underlying engine — the campaign session schedules directly on it
+  /// and sharded replays lend themselves pump helpers through it.
+  [[nodiscard]] TaskEngine& engine() { return engine_; }
+
+  /// The calling task's worker workspace (null when called off-engine,
+  /// which makes the legs fall back to a private workspace). Public for the
+  /// campaign session, whose leg tasks run on this runner's engine.
+  [[nodiscard]] ReplayMemory* worker_memory() const;
 
   /// run_experiment with the baseline and managed replays in parallel.
-  /// Must not be called from inside the pool's own workers.
+  /// Must not be called from inside the engine's own workers.
   [[nodiscard]] ExperimentResult run(const ExperimentConfig& cfg) {
     return run(cfg, LegProbes{});
   }
 
   /// As run(), additionally invoking the cell's probes with each finished
-  /// engine (obs/ telemetry collection). Probes execute on pool workers;
+  /// engine (obs/ telemetry collection). Probes execute on engine workers;
   /// they must write only caller-owned, per-cell storage (DESIGN.md §7) so
   /// the gathered output is bit-identical at any thread count.
   [[nodiscard]] ExperimentResult run(const ExperimentConfig& cfg,
                                      const LegProbes& probes);
 
   /// Run many experiments concurrently; result i corresponds to cfgs[i].
-  /// Phase 1 generates every *distinct* (app, workload) trace once, in
-  /// parallel; phase 2 runs each cell's two replay legs as independent
-  /// tasks (2N tasks for N cells) against the shared read-only traces.
+  /// Every *distinct* trace (by trace_cache_key) is one generation task;
+  /// each cell's two replay legs depend only on their own trace task — no
+  /// phase barrier (see header note).
   [[nodiscard]] std::vector<ExperimentResult> run_all(
       const std::vector<ExperimentConfig>& cfgs) {
     return run_all(cfgs, {});
@@ -75,6 +96,13 @@ class ParallelExperimentRunner {
   /// then |values| independent prediction-only scoring tasks).
   [[nodiscard]] std::vector<GtSweepPoint> sweep_gt(
       const ExperimentConfig& cfg, const std::vector<TimeNs>& values);
+
+  /// Record per-task scheduler timestamps for the next run_all()/run()
+  /// (--sched-profile). last_sched_profile() returns them.
+  void set_profiling(bool on) { engine_.set_profiling(on); }
+  [[nodiscard]] SchedProfile last_sched_profile() const {
+    return engine_.profile();
+  }
 
   // --- cost accounting of the most recent run()/run_all()/sweep_gt() ---
   //
@@ -106,12 +134,8 @@ class ParallelExperimentRunner {
   [[nodiscard]] double last_total_gen_ms() const;
 
  private:
-  /// The calling task's worker workspace (null when called off-pool, which
-  /// makes the legs fall back to a private workspace).
-  [[nodiscard]] ReplayMemory* worker_memory() const;
-
-  ThreadPool pool_;
-  // One workspace per pool worker, indexed by ThreadPool worker index.
+  TaskEngine engine_;
+  // One workspace per engine worker, indexed by TaskEngine worker index.
   // unique_ptr keeps addresses stable and the workspaces uncopied.
   std::vector<std::unique_ptr<ReplayMemory>> worker_memory_;
   std::vector<double> cell_work_ms_;

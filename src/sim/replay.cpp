@@ -5,6 +5,7 @@
 #include <string>
 
 #include "check/audit.hpp"
+#include "util/task_engine.hpp"
 
 namespace ibpower {
 
@@ -200,7 +201,14 @@ ReplayResult ReplayEngine::run() {
     for (Rank r = 0; r < trace_->nranks(); ++r) {
       sched_rank(r, TimeNs::zero(), [this, r] { advance(r); });
     }
-    exec.run();
+    // Inside a TaskEngine worker the shards share the engine (idle peers
+    // steal pump tasks; the caller never spawns threads); standalone
+    // replays keep the thread-per-shard executor. Bit-identical either way.
+    if (TaskEngine* engine = TaskEngine::current()) {
+      exec.run_elastic(engine);
+    } else {
+      exec.run();
+    }
     exec_ = nullptr;
     profiles = exec.profiles();
   }

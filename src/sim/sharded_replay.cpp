@@ -2,10 +2,13 @@
 
 #include <algorithm>
 #include <chrono>
+#include <condition_variable>
 #include <limits>
+#include <memory>
 #include <thread>
 
 #include "util/expect.hpp"
+#include "util/task_engine.hpp"
 #include "util/thread_pool.hpp"
 
 namespace ibpower {
@@ -22,12 +25,18 @@ int resolve_shard_count(int requested, int nleaves_used, bool has_lookahead) {
   if (!has_lookahead || nleaves_used <= 1) return 1;
   int shards = requested;
   if (shards <= 0) {
-    // Auto: one shard per core — unless we are already a worker of the
-    // grid-level ThreadPool, where nested fan-out would oversubscribe the
-    // machine; cell-level parallelism wins there.
-    shards = ThreadPool::in_worker()
-                 ? 1
-                 : static_cast<int>(ThreadPool::default_concurrency());
+    if (TaskEngine* engine = TaskEngine::current()) {
+      // Auto inside a TaskEngine worker: shard to the engine's width — the
+      // elastic run shares the engine's workers (no thread spawn), so idle
+      // peers can pump while busy ones keep their own cells.
+      shards = static_cast<int>(engine->size());
+    } else if (ThreadPool::in_worker()) {
+      // Plain ThreadPool worker: nested fan-out would oversubscribe the
+      // machine; cell-level parallelism wins there.
+      shards = 1;
+    } else {
+      shards = static_cast<int>(ThreadPool::default_concurrency());
+    }
   }
   return std::clamp(shards, 1, nleaves_used);
 }
@@ -123,55 +132,63 @@ bool ShardExecutor::try_terminate() {
   return posted2 == posted1 && drained2 == drained1;
 }
 
-void ShardExecutor::worker(int i) {
+bool ShardExecutor::pump(int i, std::vector<PendingEvent>& scratch) {
   Shard& self = *shards_[static_cast<std::size_t>(i)];
   EventQueue& queue = *self.queue;
-  ShardProfile& prof = profiles_[static_cast<std::size_t>(i)];
-  const std::uint64_t events_before = queue.processed();
-  std::vector<PendingEvent> scratch;
   const std::int64_t lookahead = lookahead_.ns;
   const int n = nshards();
 
-  while (!failed_.load(std::memory_order_relaxed)) {
-    // 1. Publish our own horizon. Every event still in the queue is at
-    //    >= next_time(), and every future post happens while executing one
-    //    of them, so this is a sound promise (in-flight arrivals are the
-    //    receiver-side inbox_min's job).
-    self.horizon.store(queue.next_time().ns, std::memory_order_release);
+  // 1. Publish our own horizon. Every event still in the queue is at
+  //    >= next_time(), and every future post happens while executing one
+  //    of them, so this is a sound promise (in-flight arrivals are the
+  //    receiver-side inbox_min's job).
+  self.horizon.store(queue.next_time().ns, std::memory_order_release);
 
-    // 2. Compute the execution bound from the other shards' promises.
-    std::int64_t min_h = kInf;
-    for (int j = 0; j < n; ++j) {
-      if (j == i) continue;
-      min_h = std::min(min_h,
-                       effective_horizon(*shards_[static_cast<std::size_t>(j)]));
+  // 2. Compute the execution bound from the other shards' promises.
+  std::int64_t min_h = kInf;
+  for (int j = 0; j < n; ++j) {
+    if (j == i) continue;
+    min_h = std::min(min_h,
+                     effective_horizon(*shards_[static_cast<std::size_t>(j)]));
+  }
+  const std::int64_t bound =
+      min_h == kInf ? kInf : saturating_add(min_h, lookahead);
+
+  // 3. Drain the inbox — strictly after the horizon reads, so any post
+  //    that raced past our read is either in the queue now or provably
+  //    at >= bound.
+  drain_inbox(i, scratch);
+
+  // 4. Run the whole window. Neighbor arrivals during the batch are
+  //    >= bound by the lookahead argument; echoes of our *own* posts can
+  //    undercut it, so each post lowers self_cap and the loop re-checks.
+  self.self_cap = kInf;
+  if (queue.next_time().ns < bound) {
+    while (queue.next_time().ns < std::min(bound, self.self_cap)) {
+      queue.run_next();
     }
-    const std::int64_t bound =
-        min_h == kInf ? kInf : saturating_add(min_h, lookahead);
+    return true;
+  }
 
-    // 3. Drain the inbox — strictly after the horizon reads, so any post
-    //    that raced past our read is either in the queue now or provably
-    //    at >= bound.
-    drain_inbox(i, scratch);
-
-    // 4. Run the whole window. Neighbor arrivals during the batch are
-    //    >= bound by the lookahead argument; echoes of our *own* posts can
-    //    undercut it, so each post lowers self_cap and the loop re-checks.
-    self.self_cap = kInf;
-    if (queue.next_time().ns < bound) {
-      while (queue.next_time().ns < std::min(bound, self.self_cap)) {
-        queue.run_next();
-      }
-      continue;
+  // 5. Nothing executable. Either the whole simulation drained, or a
+  //    neighbor's horizon has to advance first.
+  if (queue.empty()) {
+    self.horizon.store(kInf, std::memory_order_release);
+    if (try_terminate()) {
+      terminated_.store(true, std::memory_order_release);
+      return true;
     }
+  }
+  ++profiles_[static_cast<std::size_t>(i)].stall_waits;
+  return false;
+}
 
-    // 5. Nothing executable. Either the whole simulation drained, or a
-    //    neighbor's horizon has to advance first.
-    if (queue.empty()) {
-      self.horizon.store(kInf, std::memory_order_release);
-      if (try_terminate()) break;
-    }
-    ++prof.stall_waits;
+void ShardExecutor::worker(int i) {
+  ShardProfile& prof = profiles_[static_cast<std::size_t>(i)];
+  std::vector<PendingEvent> scratch;
+  while (!failed_.load(std::memory_order_relaxed) &&
+         !terminated_.load(std::memory_order_acquire)) {
+    if (pump(i, scratch)) continue;
     const auto stall_begin = std::chrono::steady_clock::now();
     // Yield instead of spinning: shard counts may exceed cores (and must
     // make progress even on a single-core host).
@@ -180,14 +197,53 @@ void ShardExecutor::worker(int i) {
                          std::chrono::steady_clock::now() - stall_begin)
                          .count();
   }
-  prof.events = queue.processed() - events_before;
+}
+
+void ShardExecutor::participant_loop() {
+  const int n = nshards();
+  std::vector<PendingEvent> scratch;
+  try {
+    while (!failed_.load(std::memory_order_relaxed) &&
+           !terminated_.load(std::memory_order_acquire)) {
+      bool progress = false;
+      for (int i = 0; i < n; ++i) {
+        Shard& s = *shards_[static_cast<std::size_t>(i)];
+        // try_lock, never lock: a participant that finds every shard taken
+        // just sweeps again — no participant ever waits on another, so a
+        // descheduled helper can't stall the coordinator.
+        if (s.pump_mutex.try_lock()) {
+          if (pump(i, scratch)) progress = true;
+          s.pump_mutex.unlock();
+        }
+        if (terminated_.load(std::memory_order_acquire) ||
+            failed_.load(std::memory_order_relaxed)) {
+          return;
+        }
+      }
+      if (!progress) std::this_thread::yield();
+    }
+  } catch (...) {
+    {
+      std::lock_guard<std::mutex> lock(error_mutex_);
+      if (!error_) error_ = std::current_exception();
+    }
+    failed_.store(true, std::memory_order_relaxed);
+  }
+}
+
+void ShardExecutor::record_events() {
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    profiles_[i].events = shards_[i]->queue->processed() -
+                          shards_[i]->events_start;
+  }
 }
 
 void ShardExecutor::run() {
   const int n = nshards();
+  for (auto& s : shards_) s->events_start = s->queue->processed();
   if (n == 1) {
     shards_[0]->queue->run();
-    profiles_[0].events = shards_[0]->queue->processed();
+    record_events();
     return;
   }
   auto run_guarded = [this](int i) {
@@ -208,6 +264,68 @@ void ShardExecutor::run() {
   }
   run_guarded(0);
   for (auto& t : threads) t.join();
+  record_events();
+  if (error_) std::rethrow_exception(error_);
+}
+
+void ShardExecutor::run_elastic(TaskEngine* engine) {
+  const int n = nshards();
+  for (auto& s : shards_) s->events_start = s->queue->processed();
+  if (n == 1) {
+    shards_[0]->queue->run();
+    record_events();
+    return;
+  }
+
+  // Helpers rendezvous through a shared control block rather than the
+  // executor itself: a queued helper task may start long after this run
+  // finished (or never), so it must be able to discover "run over" without
+  // touching a dead ShardExecutor. The coordinator nulls `exec` at the end
+  // and waits only for helpers that actually entered (`active`).
+  struct HelperGate {
+    std::mutex mu;
+    std::condition_variable cv;
+    ShardExecutor* exec{nullptr};
+    int active{0};
+  };
+  auto gate = std::make_shared<HelperGate>();
+  gate->exec = this;
+
+  int nhelpers = n - 1;
+  if (engine != nullptr) {
+    const int peers = static_cast<int>(engine->size()) - 1;
+    nhelpers = std::min(nhelpers, std::max(peers, 0));
+    for (int h = 0; h < nhelpers; ++h) {
+      engine->submit(
+          [gate] {
+            ShardExecutor* exec = nullptr;
+            {
+              std::lock_guard<std::mutex> lock(gate->mu);
+              if (gate->exec != nullptr) {
+                exec = gate->exec;
+                ++gate->active;
+              }
+            }
+            if (exec == nullptr) return;  // run already drained
+            exec->participant_loop();
+            {
+              std::lock_guard<std::mutex> lock(gate->mu);
+              --gate->active;
+            }
+            gate->cv.notify_all();
+          },
+          "shard-pump");
+    }
+  }
+
+  participant_loop();
+
+  {
+    std::unique_lock<std::mutex> lock(gate->mu);
+    gate->exec = nullptr;  // unstarted helpers become no-ops
+    gate->cv.wait(lock, [&] { return gate->active == 0; });
+  }
+  record_events();
   if (error_) std::rethrow_exception(error_);
 }
 

@@ -59,11 +59,15 @@
 
 namespace ibpower {
 
+class TaskEngine;
+
 /// Resolve a shard-count request against the workload. `requested` <= 0
-/// means auto (hardware concurrency, or 1 inside a ThreadPool worker so
-/// grid-level parallelism is not oversubscribed). Clamped to the number of
-/// leaf switches in use — shards own whole leaves — and forced to 1 when
-/// the topology has no lookahead (zero hop latency).
+/// means auto: inside a TaskEngine worker it is the engine's worker count
+/// (the elastic mode below shares that pool instead of spawning threads);
+/// inside a plain ThreadPool worker it is 1 (nested fan-out would
+/// oversubscribe); otherwise the machine's usable cores. Clamped to the
+/// number of leaf switches in use — shards own whole leaves — and forced
+/// to 1 when the topology has no lookahead (zero hop latency).
 [[nodiscard]] int resolve_shard_count(int requested, int nleaves_used,
                                       bool has_lookahead);
 
@@ -100,6 +104,20 @@ class ShardExecutor {
   /// shard 0 on the calling thread; rethrows the first worker exception.
   void run();
 
+  /// Elastic mode: run all shards to global drain *without spawning
+  /// threads*. The calling thread round-robins every shard (so it always
+  /// makes progress alone — a busy engine degrades to serialized CMB, never
+  /// deadlock), and up to nshards()-1 helper tasks are submitted to
+  /// `engine`; an idle engine worker that picks one up claims shards via
+  /// per-shard try-locks and pumps alongside the caller. This is how
+  /// `--jobs` and `--shards` fuse under one pool: a worker that finished
+  /// its grid cells steals a pump task and lends its core to the long-pole
+  /// replay. Helper tasks that never start before drain (engine saturated)
+  /// no-op — the caller waits only for helpers that actually entered.
+  /// Results are bit-identical to run(): the pump loop is the same CMB
+  /// protocol, only the thread↔shard binding is dynamic.
+  void run_elastic(TaskEngine* engine);
+
   [[nodiscard]] const std::vector<ShardProfile>& profiles() const {
     return profiles_;
   }
@@ -120,11 +138,21 @@ class ShardExecutor {
     std::atomic<std::uint64_t> posted{0};   // cross-shard posts made by us
     std::atomic<std::uint64_t> drained{0};  // inbox events we consumed
     // Batch cap from our own outbound posts (earliest possible boomerang
-    // reply). Written in post() and read in the batch loop — both only on
-    // this shard's worker thread, so it is deliberately not atomic.
+    // reply). Written in post() and read in the batch loop — both only by
+    // the thread currently pumping this shard, so it is deliberately not
+    // atomic: in run() that is the shard's dedicated thread; in
+    // run_elastic() exclusivity (and the cross-thread happens-before when
+    // pumping migrates) comes from pump_mutex.
     std::int64_t self_cap{0};
     std::mutex inbox_mutex;
     std::vector<PendingEvent> inbox;
+    // Elastic mode: whoever holds this pumps the shard; everyone else
+    // try-locks and moves on. Also orders the non-atomic per-shard state
+    // (self_cap, ShardProfile fields) across migrating pumpers.
+    std::mutex pump_mutex;
+    // queue->processed() at run start, so events-per-shard survives the
+    // dynamic thread↔shard binding (set single-threaded before the run).
+    std::uint64_t events_start{0};
   };
 
   /// A shard's effective horizon as seen by others: min(inbox_min, horizon),
@@ -137,11 +165,22 @@ class ShardExecutor {
 
   void drain_inbox(int i, std::vector<PendingEvent>& scratch);
   [[nodiscard]] bool try_terminate();
+  /// One CMB protocol iteration for shard i (publish horizon → bound →
+  /// drain → batch). Returns true when it executed events; sets
+  /// terminated_ when it proves global drain. Caller must hold exclusive
+  /// pump rights for shard i (dedicated thread in run(), pump_mutex in
+  /// run_elastic()).
+  bool pump(int i, std::vector<PendingEvent>& scratch);
   void worker(int i);
+  /// Elastic participant: sweep every shard with try-locks until the run
+  /// terminates or fails. Never blocks on another participant.
+  void participant_loop();
+  void record_events();
 
   std::vector<std::unique_ptr<Shard>> shards_;
   std::vector<ShardProfile> profiles_;
   TimeNs lookahead_{};
+  std::atomic<bool> terminated_{false};
   std::atomic<bool> failed_{false};
   std::mutex error_mutex_;
   std::exception_ptr error_;

@@ -1,0 +1,393 @@
+#include "util/task_engine.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "util/expect.hpp"
+
+namespace ibpower {
+
+namespace {
+// Which engine/worker owns the current thread. A thread belongs to at most
+// one engine worker for its whole life, so plain thread_locals suffice.
+thread_local TaskEngine* tl_engine = nullptr;
+thread_local int tl_worker_index = -1;
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// StealDeque
+
+StealDeque::StealDeque(std::size_t initial_capacity) {
+  buffers_.push_back(std::make_unique<Buffer>(
+      std::max<std::size_t>(initial_capacity, 2)));
+  buffer_.store(buffers_.back().get(), std::memory_order_relaxed);
+}
+
+void StealDeque::grow(std::int64_t top, std::int64_t bottom) {
+  Buffer* old = buffer_.load(std::memory_order_relaxed);
+  auto next = std::make_unique<Buffer>(old->capacity * 2);
+  for (std::int64_t i = top; i < bottom; ++i) {
+    next->slots[static_cast<std::size_t>(i) % next->capacity].store(
+        old->slots[static_cast<std::size_t>(i) % old->capacity].load(
+            std::memory_order_relaxed),
+        std::memory_order_relaxed);
+  }
+  buffer_.store(next.get(), std::memory_order_release);
+  buffers_.push_back(std::move(next));  // old stays alive for late thieves
+}
+
+void StealDeque::push(TaskId v) {
+  const std::int64_t b = bottom_.load(std::memory_order_relaxed);
+  const std::int64_t t = top_.load(std::memory_order_acquire);
+  Buffer* buf = buffer_.load(std::memory_order_relaxed);
+  if (b - t >= static_cast<std::int64_t>(buf->capacity)) {
+    grow(t, b);
+    buf = buffer_.load(std::memory_order_relaxed);
+  }
+  buf->slots[static_cast<std::size_t>(b) % buf->capacity].store(
+      v, std::memory_order_relaxed);
+  // seq_cst publish: a thief that observes the new bottom also observes the
+  // slot store (slots are atomics, so even a racing overwrite after a
+  // wraparound is a benign value race resolved by the thief's top CAS).
+  bottom_.store(b + 1, std::memory_order_seq_cst);
+}
+
+bool StealDeque::pop(TaskId* out) {
+  const std::int64_t b = bottom_.load(std::memory_order_relaxed) - 1;
+  Buffer* buf = buffer_.load(std::memory_order_relaxed);
+  bottom_.store(b, std::memory_order_seq_cst);  // announce the take-back
+  std::int64_t t = top_.load(std::memory_order_seq_cst);
+  if (t > b) {  // deque was empty
+    bottom_.store(b + 1, std::memory_order_relaxed);
+    return false;
+  }
+  *out = buf->slots[static_cast<std::size_t>(b) % buf->capacity].load(
+      std::memory_order_relaxed);
+  if (t == b) {
+    // Last element: race the thieves for it via top.
+    const bool won = top_.compare_exchange_strong(
+        t, t + 1, std::memory_order_seq_cst, std::memory_order_seq_cst);
+    bottom_.store(b + 1, std::memory_order_relaxed);
+    return won;
+  }
+  return true;
+}
+
+bool StealDeque::steal(TaskId* out) {
+  std::int64_t t = top_.load(std::memory_order_seq_cst);
+  const std::int64_t b = bottom_.load(std::memory_order_seq_cst);
+  if (t >= b) return false;
+  Buffer* buf = buffer_.load(std::memory_order_acquire);
+  const TaskId v =
+      buf->slots[static_cast<std::size_t>(t) % buf->capacity].load(
+          std::memory_order_relaxed);
+  if (!top_.compare_exchange_strong(t, t + 1, std::memory_order_seq_cst,
+                                    std::memory_order_seq_cst)) {
+    return false;  // lost the race; caller probes elsewhere
+  }
+  *out = v;
+  return true;
+}
+
+std::size_t StealDeque::approx_size() const {
+  const std::int64_t b = bottom_.load(std::memory_order_relaxed);
+  const std::int64_t t = top_.load(std::memory_order_relaxed);
+  return b > t ? static_cast<std::size_t>(b - t) : 0;
+}
+
+// ---------------------------------------------------------------------------
+// TaskEngine
+
+TaskEngine::TaskEngine(unsigned workers)
+    : epoch_(std::chrono::steady_clock::now()) {
+  const unsigned n = workers == 0 ? 1 : workers;
+  workers_.reserve(n);
+  for (unsigned i = 0; i < n; ++i) {
+    workers_.push_back(std::make_unique<Worker>());
+  }
+  threads_.reserve(n);
+  for (unsigned i = 0; i < n; ++i) {
+    threads_.emplace_back([this, i] { worker_loop(i); });
+  }
+}
+
+TaskEngine::~TaskEngine() {
+  {
+    std::lock_guard<std::mutex> lock(park_mu_);
+    stop_ = true;
+    ++signal_;
+  }
+  park_cv_.notify_all();
+  for (auto& t : threads_) t.join();
+}
+
+TaskEngine* TaskEngine::current() { return tl_engine; }
+
+int TaskEngine::current_worker_index() { return tl_worker_index; }
+
+std::int64_t TaskEngine::now_ns() const {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now() - epoch_)
+      .count();
+}
+
+TaskEngine::TaskNode* TaskEngine::node(TaskId id) {
+  // nodes_ is a deque: push_back never moves existing elements, but the
+  // bookkeeping it mutates races with operator[] — hence the lock for the
+  // address lookup only; the returned node is safe to use lock-free under
+  // the ownership rules documented on TaskNode.
+  std::lock_guard<std::mutex> lock(graph_mu_);
+  return &nodes_[id];
+}
+
+void TaskEngine::notify_enqueue() {
+  {
+    std::lock_guard<std::mutex> lock(park_mu_);
+    ++signal_;
+  }
+  park_cv_.notify_all();
+}
+
+void TaskEngine::enqueue_ready(TaskId id) {
+  if (tl_engine == this && tl_worker_index >= 0) {
+    Worker& w = *workers_[static_cast<std::size_t>(tl_worker_index)];
+    w.deque.push(id);
+    const std::uint64_t depth = w.deque.approx_size();
+    if (depth > w.deque_highwater.load(std::memory_order_relaxed)) {
+      w.deque_highwater.store(depth, std::memory_order_relaxed);
+    }
+  } else {
+    std::lock_guard<std::mutex> lock(inject_mu_);
+    inject_.push_back(id);
+  }
+  notify_enqueue();
+}
+
+TaskId TaskEngine::submit(TaskFn fn, const char* label) {
+  return submit_after(nullptr, 0, std::move(fn), label);
+}
+
+TaskId TaskEngine::submit_after(const TaskId* deps, std::size_t ndeps,
+                                TaskFn fn, const char* label) {
+  TaskId id = 0;
+  bool ready = false;
+  {
+    std::lock_guard<std::mutex> lock(graph_mu_);
+    id = static_cast<TaskId>(nodes_.size());
+    nodes_.emplace_back();
+    TaskNode& nd = nodes_.back();
+    nd.fn = std::move(fn);
+    nd.prof.label = label;
+    if (profiling_) nd.prof.submit_ns = now_ns();
+    int pending = 0;
+    for (std::size_t d = 0; d < ndeps; ++d) {
+      IBP_EXPECTS(deps[d] < id);
+      if (!nodes_[deps[d]].finished) {
+        nodes_[deps[d]].dependents.push_back(id);
+        ++pending;
+      }
+    }
+    nd.pending = pending;
+    outstanding_.fetch_add(1, std::memory_order_relaxed);
+    ready = pending == 0;
+    if (ready && profiling_) nd.prof.ready_ns = nd.prof.submit_ns;
+  }
+  if (ready) enqueue_ready(id);
+  return id;
+}
+
+bool TaskEngine::find_work(unsigned self, TaskId* out, bool* stolen) {
+  Worker& me = *workers_[self];
+  if (me.deque.pop(out)) {
+    *stolen = false;
+    return true;
+  }
+  {
+    std::lock_guard<std::mutex> lock(inject_mu_);
+    if (!inject_.empty()) {
+      *out = inject_.front();
+      inject_.pop_front();
+      *stolen = false;
+      return true;
+    }
+  }
+  const unsigned n = static_cast<unsigned>(workers_.size());
+  for (unsigned k = 1; k < n; ++k) {
+    const unsigned j = (self + k) % n;
+    me.steal_attempts.fetch_add(1, std::memory_order_relaxed);
+    if (workers_[j]->deque.steal(out)) {
+      me.steals.fetch_add(1, std::memory_order_relaxed);
+      *stolen = true;
+      return true;
+    }
+  }
+  return false;
+}
+
+void TaskEngine::run_task(unsigned self, TaskId id, bool stolen) {
+  TaskNode& nd = *node(id);
+  if (profiling_) {
+    nd.prof.start_ns = now_ns();
+    nd.prof.worker = static_cast<std::int32_t>(self);
+    nd.prof.stolen = stolen;
+  }
+  // Move the body out so its captures (e.g. campaign shared_ptrs) die as
+  // soon as the task finishes, not when the table is reset.
+  TaskFn fn = std::move(nd.fn);
+  try {
+    fn();
+  } catch (...) {
+    std::lock_guard<std::mutex> lock(error_mu_);
+    if (!error_) error_ = std::current_exception();
+  }
+  if (profiling_) nd.prof.finish_ns = now_ns();
+  workers_[self]->executed.fetch_add(1, std::memory_order_relaxed);
+  complete(id);
+}
+
+void TaskEngine::complete(TaskId id) {
+  // Newly ready dependents are collected under the lock, then pushed onto
+  // the completing worker's own deque (depth-first locality; thieves can
+  // still take them) with one wakeup for the whole batch.
+  TaskId ready_local[8];
+  std::size_t nready = 0;
+  std::vector<TaskId> ready_spill;
+  bool all_done = false;
+  {
+    std::lock_guard<std::mutex> lock(graph_mu_);
+    TaskNode& nd = nodes_[id];
+    nd.finished = true;
+    const std::int64_t t = profiling_ ? now_ns() : 0;
+    for (const TaskId dep : nd.dependents) {
+      if (--nodes_[dep].pending == 0) {
+        if (profiling_) nodes_[dep].prof.ready_ns = t;
+        if (nready < 8) {
+          ready_local[nready++] = dep;
+        } else {
+          ready_spill.push_back(dep);
+        }
+      }
+    }
+    nd.dependents.clear();
+    all_done = outstanding_.fetch_sub(1, std::memory_order_relaxed) == 1;
+  }
+  if (nready > 0 || !ready_spill.empty()) {
+    const bool on_worker = tl_engine == this && tl_worker_index >= 0;
+    Worker* me = on_worker
+                     ? workers_[static_cast<std::size_t>(tl_worker_index)].get()
+                     : nullptr;
+    for (std::size_t i = 0; i < nready + ready_spill.size(); ++i) {
+      const TaskId dep = i < nready ? ready_local[i] : ready_spill[i - nready];
+      if (me != nullptr) {
+        me->deque.push(dep);
+      } else {
+        std::lock_guard<std::mutex> lock(inject_mu_);
+        inject_.push_back(dep);
+      }
+    }
+    if (me != nullptr) {
+      const std::uint64_t depth = me->deque.approx_size();
+      if (depth > me->deque_highwater.load(std::memory_order_relaxed)) {
+        me->deque_highwater.store(depth, std::memory_order_relaxed);
+      }
+    }
+    notify_enqueue();
+  }
+  if (all_done) {
+    std::lock_guard<std::mutex> lock(done_mu_);
+    done_cv_.notify_all();
+  }
+}
+
+void TaskEngine::worker_loop(unsigned index) {
+  tl_engine = this;
+  tl_worker_index = static_cast<int>(index);
+  Worker& me = *workers_[index];
+  std::uint64_t seen = 0;
+  bool stopping = false;
+  for (;;) {
+    TaskId id = 0;
+    bool stolen = false;
+    if (find_work(index, &id, &stolen)) {
+      run_task(index, id, stolen);
+      continue;
+    }
+    // stop_ is sticky and this worker's own deque is empty right now (we
+    // are the only pusher), so nothing of ours is stranded by exiting;
+    // work made ready later lands on the worker that readied it.
+    if (stopping) break;
+    const auto idle0 = std::chrono::steady_clock::now();
+    {
+      std::unique_lock<std::mutex> lock(park_mu_);
+      if (signal_ == seen && !stop_) {
+        me.parks.fetch_add(1, std::memory_order_relaxed);
+        park_cv_.wait(lock, [&] { return signal_ != seen || stop_; });
+      }
+      seen = signal_;
+      stopping = stop_;
+    }
+    me.idle_ns.fetch_add(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                             std::chrono::steady_clock::now() - idle0)
+                             .count(),
+                         std::memory_order_relaxed);
+  }
+}
+
+void TaskEngine::wait_all() {
+  IBP_EXPECTS(tl_engine != this);  // a worker waiting on workers deadlocks
+  {
+    std::unique_lock<std::mutex> lock(done_mu_);
+    done_cv_.wait(lock, [this] {
+      return outstanding_.load(std::memory_order_acquire) == 0;
+    });
+  }
+  std::exception_ptr err;
+  {
+    std::lock_guard<std::mutex> lock(error_mu_);
+    err = std::exchange(error_, nullptr);
+  }
+  if (err) std::rethrow_exception(err);
+}
+
+void TaskEngine::set_profiling(bool on) {
+  std::lock_guard<std::mutex> lock(graph_mu_);
+  profiling_ = on;
+}
+
+SchedProfile TaskEngine::profile() const {
+  SchedProfile p;
+  p.workers.reserve(workers_.size());
+  for (const auto& w : workers_) {
+    SchedWorkerProfile wp;
+    wp.executed = w->executed.load(std::memory_order_relaxed);
+    wp.steals = w->steals.load(std::memory_order_relaxed);
+    wp.steal_attempts = w->steal_attempts.load(std::memory_order_relaxed);
+    wp.parks = w->parks.load(std::memory_order_relaxed);
+    wp.deque_highwater = w->deque_highwater.load(std::memory_order_relaxed);
+    wp.idle_ns = w->idle_ns.load(std::memory_order_relaxed);
+    p.workers.push_back(wp);
+  }
+  std::lock_guard<std::mutex> lock(graph_mu_);
+  if (profiling_) {
+    p.tasks.reserve(nodes_.size());
+    for (const TaskNode& nd : nodes_) p.tasks.push_back(nd.prof);
+  }
+  return p;
+}
+
+void TaskEngine::reset() {
+  std::lock_guard<std::mutex> lock(graph_mu_);
+  IBP_EXPECTS(outstanding_.load(std::memory_order_relaxed) == 0);
+  nodes_.clear();
+  for (auto& w : workers_) {
+    w->executed.store(0, std::memory_order_relaxed);
+    w->steals.store(0, std::memory_order_relaxed);
+    w->steal_attempts.store(0, std::memory_order_relaxed);
+    w->parks.store(0, std::memory_order_relaxed);
+    w->deque_highwater.store(0, std::memory_order_relaxed);
+    w->idle_ns.store(0, std::memory_order_relaxed);
+  }
+  epoch_ = std::chrono::steady_clock::now();
+}
+
+}  // namespace ibpower

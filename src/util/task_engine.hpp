@@ -1,0 +1,280 @@
+// TaskEngine — a work-stealing, dependency-aware task scheduler.
+//
+// Why it exists (DESIGN.md §14): the original ThreadPool is one FIFO queue,
+// and ParallelExperimentRunner used it in phases — generate every trace,
+// join, then run every replay leg. On heterogeneous grids (8-rank cells next
+// to 1024-rank XGFT cells) the phase barrier leaves most workers idle while
+// the slowest trace generates, and the long-pole replay tail runs on a
+// single worker while the rest have nothing to steal. TaskEngine removes
+// both: tasks carry dependency edges (a replay leg becomes runnable the
+// instant *its* trace finishes, not the last one), and idle workers steal
+// work from busy ones, including shard-pump helper tasks that let them lend
+// cores to a long-pole sharded replay (sim/sharded_replay.hpp's elastic
+// mode).
+//
+// Scheduling structure:
+//  * One Chase–Lev deque per worker. A worker pushes tasks it makes ready
+//    (dependents of a task it just finished) onto its own deque and pops
+//    LIFO — depth-first, cache-warm. Thieves steal FIFO from the top, so
+//    they take the oldest (usually largest-remaining) work.
+//  * Off-worker submissions (the coordinating caller, or another engine's
+//    worker) go through a mutex-protected global injection queue that every
+//    worker polls between deque and steal attempts.
+//  * Workers park on a condition variable when a full sweep (own deque,
+//    injection queue, every peer) finds nothing; every enqueue bumps a
+//    signal counter under the park mutex, so wakeups cannot be lost.
+//
+// Determinism contract: the engine itself promises nothing about execution
+// *order* of independent tasks — determinism is the caller's job, and the
+// callers here (sim/parallel.cpp, sim/campaign.cpp) get it the same way the
+// ThreadPool design did: every task writes only its own pre-allocated
+// result slot, and results are gathered in submission order. The stealing
+// and the deques affect only *where and when* a task runs, never what it
+// computes or where its output lands.
+//
+// Exceptions: task bodies must not throw — callers wrap bodies and capture
+// std::exception_ptr into per-task slots so rethrow order stays
+// deterministic. As a backstop the engine catches anything that escapes,
+// completes the task (so dependents still release), and rethrows the first
+// such exception from wait_all().
+//
+// The ThreadPool stays for plain fan-out users (fuzz_replay, tests);
+// TaskEngine is the scheduler under the experiment runner and the campaign
+// session.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <initializer_list>
+#include <exception>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "util/inplace_callback.hpp"
+
+namespace ibpower {
+
+using TaskId = std::uint32_t;
+
+/// Chase–Lev work-stealing deque of TaskIds (Lê et al., "Correct and
+/// Efficient Work-Stealing for Weak Memory Models"). Single owner thread
+/// pushes/pops at the bottom (LIFO); any number of thieves steal at the top
+/// (FIFO). This implementation uses seq_cst operations on top_/bottom_ and
+/// atomic buffer slots instead of standalone fences — marginally stronger
+/// than the minimal algorithm, but exactly as lock-free, and it keeps the
+/// code inside what TSan models precisely (fences are where TSan gives
+/// false negatives/positives).
+class StealDeque {
+ public:
+  explicit StealDeque(std::size_t initial_capacity = 256);
+
+  StealDeque(const StealDeque&) = delete;
+  StealDeque& operator=(const StealDeque&) = delete;
+
+  /// Owner only. Grows the buffer when full (old buffers are retired, not
+  /// freed, so a racing thief can still read through a stale pointer).
+  void push(TaskId v);
+
+  /// Owner only; takes the most recently pushed element. False when empty.
+  bool pop(TaskId* out);
+
+  /// Any thread; takes the oldest element. False when empty or when the
+  /// steal lost a race (callers treat both as "try elsewhere").
+  bool steal(TaskId* out);
+
+  /// Racy size estimate for profiling (queue-depth highwater).
+  [[nodiscard]] std::size_t approx_size() const;
+
+ private:
+  struct Buffer {
+    explicit Buffer(std::size_t n)
+        : capacity(n), slots(new std::atomic<TaskId>[n]) {}
+    std::size_t capacity;
+    std::unique_ptr<std::atomic<TaskId>[]> slots;
+  };
+
+  void grow(std::int64_t top, std::int64_t bottom);
+
+  std::atomic<std::int64_t> top_{0};
+  std::atomic<std::int64_t> bottom_{0};
+  std::atomic<Buffer*> buffer_{nullptr};
+  // Owner-only: current + retired buffers. Retired buffers stay alive for
+  // the deque's lifetime so thieves never dereference freed memory; growth
+  // is rare (doubling) and the engine's task count is bounded per run.
+  std::vector<std::unique_ptr<Buffer>> buffers_;
+};
+
+/// Per-worker scheduler counters (all cumulative since the last reset()).
+struct SchedWorkerProfile {
+  std::uint64_t executed{0};        // tasks run by this worker
+  std::uint64_t steals{0};          // tasks taken from a peer's deque
+  std::uint64_t steal_attempts{0};  // steal probes, successful or not
+  std::uint64_t parks{0};           // times the worker went to sleep
+  std::uint64_t deque_highwater{0}; // max own-deque depth observed at push
+  std::int64_t idle_ns{0};          // wall time spent looking for work/parked
+};
+
+/// Per-task record (populated only while profiling is enabled). Timestamps
+/// are nanoseconds on the engine's steady clock (0 = engine construction /
+/// last reset), so ready→start latency and phase overlap can be read
+/// directly: the phase barrier is dead iff some leg's start_ns precedes the
+/// last generation task's finish_ns.
+struct SchedTaskProfile {
+  const char* label{""};
+  std::int64_t submit_ns{0};
+  std::int64_t ready_ns{0};   // all dependencies finished
+  std::int64_t start_ns{0};
+  std::int64_t finish_ns{0};
+  std::int32_t worker{-1};    // executing worker index
+  bool stolen{false};         // executed off the deque of another worker
+};
+
+struct SchedProfile {
+  std::vector<SchedWorkerProfile> workers;
+  std::vector<SchedTaskProfile> tasks;  // by TaskId; empty unless profiling
+};
+
+class TaskEngine {
+ public:
+  // Task bodies are submitted at cell granularity (a trace generation, one
+  // replay leg); 128 bytes holds every closure the runner and the campaign
+  // session build inline, and the InplaceCallback heap fallback keeps the
+  // API total for anything bigger.
+  using TaskFn = InplaceCallback<128>;
+
+  /// Spawns max(1, workers) workers. Unlike ParallelExperimentRunner this
+  /// does NOT clamp to hardware concurrency — tests rely on multi-worker
+  /// engines existing on 1-core hosts.
+  explicit TaskEngine(unsigned workers);
+
+  /// Drains every remaining runnable task, then joins. Callers should
+  /// wait_all() first; destruction with an unsatisfiable dependency cycle
+  /// would hang, exactly like waiting on it would.
+  ~TaskEngine();
+
+  TaskEngine(const TaskEngine&) = delete;
+  TaskEngine& operator=(const TaskEngine&) = delete;
+
+  [[nodiscard]] unsigned size() const {
+    return static_cast<unsigned>(threads_.size());
+  }
+
+  /// The engine whose worker is running the current thread, or nullptr.
+  /// This is how nested parallelism finds the shared pool: a sharded replay
+  /// inside an engine worker lends itself helper tasks on the same engine
+  /// instead of spawning threads (sharded_replay's elastic mode).
+  [[nodiscard]] static TaskEngine* current();
+
+  /// Index of the engine worker running the current thread, or -1. Tasks
+  /// use it to borrow per-worker state (ReplayMemory): two tasks with the
+  /// same index never run concurrently — stealing moves a task to the
+  /// *thief's* index, so the borrow discipline holds for stolen tasks too.
+  [[nodiscard]] static int current_worker_index();
+
+  /// Submit an immediately runnable task. Thread-safe; callable from
+  /// workers (own-deque push, stealable) and external threads (injection
+  /// queue). `label` must outlive the engine (string literals).
+  TaskId submit(TaskFn fn, const char* label = "");
+
+  /// Submit a task that becomes runnable when every task in `deps` has
+  /// finished. Already-finished dependencies are allowed (they just don't
+  /// count). Every dep must be an id previously returned by this engine.
+  TaskId submit_after(const TaskId* deps, std::size_t ndeps, TaskFn fn,
+                      const char* label = "");
+  TaskId submit_after(std::initializer_list<TaskId> deps, TaskFn fn,
+                      const char* label = "") {
+    return submit_after(deps.begin(), deps.size(), std::move(fn), label);
+  }
+
+  /// Block until every submitted task has finished. Must be called from a
+  /// non-worker thread (a worker waiting for workers deadlocks; enforced).
+  /// Rethrows the first exception that escaped a task body, if any.
+  void wait_all();
+
+  /// Enable per-task records (timestamps, worker, stolen flag). Cheap
+  /// per-worker counters are always on. Call while idle.
+  void set_profiling(bool on);
+  [[nodiscard]] bool profiling() const { return profiling_; }
+
+  /// Snapshot of the counters and (if profiling) per-task records. Call
+  /// after wait_all(); racy against in-flight tasks otherwise.
+  [[nodiscard]] SchedProfile profile() const;
+
+  /// Nanoseconds since the engine epoch, on the same clock as the task
+  /// records (lets callers timestamp external phases against them).
+  [[nodiscard]] std::int64_t now_ns() const;
+
+  /// Forget every finished task (ids restart at 0) and zero all profiling.
+  /// Requires an idle engine (wait_all() returned, no concurrent submits).
+  void reset();
+
+ private:
+  struct TaskNode {
+    TaskFn fn;
+    int pending{0};                 // unfinished deps (under graph_mu_)
+    bool finished{false};           // under graph_mu_
+    std::vector<TaskId> dependents; // under graph_mu_
+    SchedTaskProfile prof;          // timestamps under graph_mu_ until
+                                    // ready; start/finish/worker/stolen are
+                                    // executing-worker-only
+  };
+
+  struct alignas(64) Worker {
+    StealDeque deque;
+    // Counters are atomics so profile() can read them while workers idle
+    // between runs without a data race; all updates are relaxed (they
+    // publish through wait_all's mutex chain, not through each other).
+    std::atomic<std::uint64_t> executed{0};
+    std::atomic<std::uint64_t> steals{0};
+    std::atomic<std::uint64_t> steal_attempts{0};
+    std::atomic<std::uint64_t> parks{0};
+    std::atomic<std::uint64_t> deque_highwater{0};
+    std::atomic<std::int64_t> idle_ns{0};
+  };
+
+  [[nodiscard]] TaskNode* node(TaskId id);
+  void enqueue_ready(TaskId id);
+  void notify_enqueue();
+  bool find_work(unsigned self, TaskId* out, bool* stolen);
+  void run_task(unsigned self, TaskId id, bool stolen);
+  void complete(TaskId id);
+  void worker_loop(unsigned index);
+
+  std::vector<std::unique_ptr<Worker>> workers_;
+  std::vector<std::thread> threads_;
+
+  // Task graph: table + edges + outstanding count.
+  mutable std::mutex graph_mu_;
+  std::deque<TaskNode> nodes_;          // stable addresses; indexed by id
+  std::atomic<std::int64_t> outstanding_{0};  // mutated under graph_mu_
+
+  // Global injection queue for off-worker submissions.
+  std::mutex inject_mu_;
+  std::deque<TaskId> inject_;
+
+  // Park/wake. signal_ is bumped (under park_mu_) on every enqueue; a
+  // worker re-sweeps instead of sleeping whenever it changed since its
+  // last failed sweep, so no wakeup can be lost.
+  std::mutex park_mu_;
+  std::condition_variable park_cv_;
+  std::uint64_t signal_{0};
+  bool stop_{false};
+
+  // wait_all.
+  std::mutex done_mu_;
+  std::condition_variable done_cv_;
+
+  // First exception that escaped a task body (backstop; see header note).
+  std::mutex error_mu_;
+  std::exception_ptr error_;
+
+  bool profiling_{false};
+  std::chrono::steady_clock::time_point epoch_;
+};
+
+}  // namespace ibpower

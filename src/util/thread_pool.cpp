@@ -1,5 +1,10 @@
 #include "util/thread_pool.hpp"
 
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
 #include "util/expect.hpp"
 
 namespace ibpower {
@@ -7,7 +12,52 @@ namespace ibpower {
 namespace {
 // -1 off-pool; workers stamp their index before entering the loop.
 thread_local int tl_worker_index = -1;
+
+std::string read_first_line(const char* path) {
+  std::ifstream in(path);
+  std::string line;
+  if (in) std::getline(in, line);
+  return line;
+}
+
+/// CPUs granted by the cgroup this process runs in (v2 first, then v1);
+/// 0 when no quota applies.
+unsigned cgroup_quota_cpus() {
+  const std::string v2 = read_first_line("/sys/fs/cgroup/cpu.max");
+  if (!v2.empty()) return parse_cpu_quota(v2.c_str(), nullptr);
+  const std::string quota =
+      read_first_line("/sys/fs/cgroup/cpu/cpu.cfs_quota_us");
+  const std::string period =
+      read_first_line("/sys/fs/cgroup/cpu/cpu.cfs_period_us");
+  if (quota.empty() || period.empty()) return 0;
+  return parse_cpu_quota(quota.c_str(), period.c_str());
+}
 }  // namespace
+
+unsigned parse_cpu_quota(const char* quota_text, const char* period_text) {
+  if (quota_text == nullptr) return 0;
+  long long quota = 0;
+  long long period = 0;
+  if (period_text == nullptr) {
+    // v2 `cpu.max`: "<quota|max> <period>".
+    std::istringstream in(quota_text);
+    std::string first;
+    if (!(in >> first >> period)) return 0;
+    if (first == "max") return 0;
+    char* end = nullptr;
+    quota = std::strtoll(first.c_str(), &end, 10);
+    if (end == first.c_str() || *end != '\0') return 0;
+  } else {
+    char* end = nullptr;
+    quota = std::strtoll(quota_text, &end, 10);
+    if (end == quota_text) return 0;
+    end = nullptr;
+    period = std::strtoll(period_text, &end, 10);
+    if (end == period_text) return 0;
+  }
+  if (quota <= 0 || period <= 0) return 0;  // v1 "-1" = unlimited
+  return static_cast<unsigned>((quota + period - 1) / period);
+}
 
 ThreadPool::ThreadPool(unsigned threads) {
   const unsigned n = threads == 0 ? 1 : threads;
@@ -27,8 +77,14 @@ ThreadPool::~ThreadPool() {
 }
 
 unsigned ThreadPool::default_concurrency() {
-  const unsigned hc = std::thread::hardware_concurrency();
-  return hc == 0 ? 1 : hc;
+  static const unsigned cached = [] {
+    const unsigned hc = std::thread::hardware_concurrency();
+    unsigned n = hc == 0 ? 1 : hc;
+    const unsigned quota = cgroup_quota_cpus();
+    if (quota != 0 && quota < n) n = quota;
+    return n == 0 ? 1u : n;
+  }();
+  return cached;
 }
 
 int ThreadPool::current_worker_index() { return tl_worker_index; }

@@ -29,6 +29,18 @@
 
 namespace ibpower {
 
+/// Effective CPU count implied by a cgroup CPU bandwidth quota, or 0 when
+/// unlimited/unparseable. Pure string parsing, exposed for tests:
+///  * cgroup v2: `quota_text` is the whole `cpu.max` file ("max 100000" or
+///    "250000 100000"), `period_text` is null.
+///  * cgroup v1: `quota_text` is `cpu.cfs_quota_us` ("-1" = unlimited) and
+///    `period_text` is `cpu.cfs_period_us`.
+/// The count is ceil(quota / period): a 2.5-CPU quota rounds to 3 workers —
+/// fractional headroom is still worth a (mostly idle) worker, while
+/// rounding down would waive real bandwidth.
+[[nodiscard]] unsigned parse_cpu_quota(const char* quota_text,
+                                       const char* period_text);
+
 class ThreadPool {
  public:
   /// Spawns max(1, threads) workers.
@@ -44,7 +56,11 @@ class ThreadPool {
     return static_cast<unsigned>(workers_.size());
   }
 
-  /// hardware_concurrency, clamped to at least 1.
+  /// Usable CPUs: hardware_concurrency further clamped by the cgroup CPU
+  /// quota when one applies (containers report the *host's* cores through
+  /// hardware_concurrency; a 1-core-quota container used to default to
+  /// `--jobs 8`-style pure oversubscription). Always >= 1. Cached after
+  /// the first call.
   [[nodiscard]] static unsigned default_concurrency();
 
   /// Index of the pool worker running the current thread, in [0, size()),

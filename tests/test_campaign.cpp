@@ -1,0 +1,226 @@
+// CampaignSession + JSONL wire format: request parsing (including the
+// loud-rejection contract for unknown keys), in-order row delivery with
+// interleaved error rows, refcounted trace sharing, and the determinism
+// pin — formatted rows byte-identical at any worker count.
+#include "sim/campaign.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "sim/experiment.hpp"
+
+namespace ibpower {
+namespace {
+
+ExperimentConfig small_config(const std::string& app, int nranks) {
+  ExperimentConfig cfg;
+  cfg.app = app;
+  cfg.workload.nranks = nranks;
+  cfg.workload.iterations = 6;
+  cfg.workload.seed = 42;
+  cfg.ppa.grouping_threshold = default_gt(app, nranks);
+  cfg.ppa.displacement_factor = 0.01;
+  return cfg;
+}
+
+TEST(CampaignParse, FullRequest) {
+  CampaignRequest req;
+  std::string err;
+  ASSERT_TRUE(parse_campaign_request(
+      R"({"id":"r1","app":"gromacs","nranks":16,"iterations":30,"seed":7,)"
+      R"("scale":1.5,"weak_scaling":true,"gt_us":40,"disp":2,)"
+      R"("treact_us":5,"predictor":"histogram","guard_us":12,)"
+      R"("routing":"consolidate","trunk_policy":"timeout",)"
+      R"("trunk_timeout_us":80,"spill_us":60,"contention":true,)"
+      R"("xgft":"8,8,1,4","split_energy":true,"shards":4})",
+      1, &req, &err))
+      << err;
+  EXPECT_EQ(req.id, "r1");
+  EXPECT_EQ(req.cfg.app, "gromacs");
+  EXPECT_EQ(req.cfg.workload.nranks, 16);
+  EXPECT_EQ(req.cfg.workload.iterations, 30);
+  EXPECT_EQ(req.cfg.workload.seed, 7u);
+  EXPECT_DOUBLE_EQ(req.cfg.workload.scale, 1.5);
+  EXPECT_TRUE(req.cfg.workload.weak_scaling);
+  EXPECT_EQ(req.cfg.ppa.grouping_threshold, TimeNs::from_us(40.0));
+  EXPECT_DOUBLE_EQ(req.cfg.ppa.displacement_factor, 0.02);
+  EXPECT_EQ(req.cfg.ppa.t_react, TimeNs::from_us(5.0));
+  EXPECT_EQ(req.cfg.ppa.predictor.kind, PredictorKind::Histogram);
+  EXPECT_EQ(req.cfg.ppa.predictor.guard_threshold, TimeNs::from_us(12.0));
+  EXPECT_EQ(req.cfg.fabric.routing.strategy, RoutingStrategy::Consolidate);
+  EXPECT_EQ(req.cfg.fabric.trunk.kind, TrunkPolicyKind::Timeout);
+  EXPECT_EQ(req.cfg.fabric.trunk.idle_timeout, TimeNs::from_us(80.0));
+  EXPECT_EQ(req.cfg.fabric.routing.spill_threshold, TimeNs::from_us(60.0));
+  EXPECT_TRUE(req.cfg.fabric.contention);
+  EXPECT_EQ(req.cfg.fabric.xgft.m1, 8);
+  EXPECT_EQ(req.cfg.fabric.xgft.w2, 4);
+  EXPECT_TRUE(req.cfg.power.split_energy);
+  EXPECT_EQ(req.cfg.shards, 4);
+}
+
+TEST(CampaignParse, DefaultsIdAndGroupingThreshold) {
+  CampaignRequest req;
+  std::string err;
+  ASSERT_TRUE(parse_campaign_request(R"({"app":"alya","nranks":8})", 7, &req,
+                                     &err))
+      << err;
+  EXPECT_EQ(req.id, "req-7");
+  EXPECT_EQ(req.cfg.ppa.grouping_threshold, default_gt("alya", 8));
+
+  // An explicit GT below the feasibility floor is clamped to 2*Treact,
+  // exactly like the CLI's --gt.
+  ASSERT_TRUE(parse_campaign_request(
+      R"({"app":"alya","nranks":8,"gt_us":1,"treact_us":10})", 8, &req, &err))
+      << err;
+  EXPECT_EQ(req.cfg.ppa.grouping_threshold, TimeNs::from_us(20.0));
+}
+
+TEST(CampaignParse, RejectsBadInput) {
+  CampaignRequest req;
+  std::string err;
+  EXPECT_FALSE(parse_campaign_request(R"({"app":"alya","typo_knob":3})", 1,
+                                      &req, &err));
+  EXPECT_NE(err.find("typo_knob"), std::string::npos);
+  EXPECT_FALSE(parse_campaign_request("not json", 1, &req, &err));
+  EXPECT_FALSE(parse_campaign_request(R"({"app":"alya"} trailing)", 1, &req,
+                                      &err));
+  EXPECT_FALSE(parse_campaign_request(R"({"predictor":"nope"})", 1, &req,
+                                      &err));
+  EXPECT_FALSE(parse_campaign_request(R"({"xgft":"1,2,3"})", 1, &req, &err));
+  EXPECT_FALSE(parse_campaign_request(R"({"app":123})", 1, &req, &err));
+}
+
+TEST(CampaignFormat, ErrorRowAndEscaping) {
+  CampaignRow row;
+  row.id = "we\"ird\n";
+  row.ok = false;
+  row.error = "bad \"app\"";
+  EXPECT_EQ(format_campaign_row(row),
+            "{\"v\":\"ibpower-campaign:v1\",\"id\":\"we\\\"ird\\n\","
+            "\"ok\":false,\"error\":\"bad \\\"app\\\"\"}");
+}
+
+TEST(CampaignSessionTest, RowMatchesSerialExperiment) {
+  const ExperimentConfig cfg = small_config("alya", 8);
+  const ExperimentResult serial = run_experiment(cfg);
+
+  ParallelExperimentRunner runner(2, /*clamp_to_hardware=*/false);
+  CampaignSession session(runner);
+  session.submit(CampaignRequest{"only", cfg});
+  CampaignRow row;
+  ASSERT_TRUE(session.pop(&row));
+  EXPECT_EQ(row.id, "only");
+  ASSERT_TRUE(row.ok) << row.error;
+  EXPECT_TRUE(bit_identical(serial, row.result));
+  EXPECT_FALSE(session.pop(&row));  // stream exhausted
+}
+
+TEST(CampaignSessionTest, RowsArriveInSubmissionOrderWithErrors) {
+  ParallelExperimentRunner runner(4, /*clamp_to_hardware=*/false);
+  CampaignSession session(runner);
+  session.submit(CampaignRequest{"a", small_config("gromacs", 8)});
+  session.submit_error("b", "malformed line");
+  ExperimentConfig bad = small_config("alya", 8);
+  bad.app = "nosuchapp";
+  session.submit(CampaignRequest{"c", bad});
+  session.submit(CampaignRequest{"d", small_config("alya", 8)});
+
+  CampaignRow row;
+  ASSERT_TRUE(session.pop(&row));
+  EXPECT_EQ(row.id, "a");
+  EXPECT_TRUE(row.ok) << row.error;
+  ASSERT_TRUE(session.pop(&row));
+  EXPECT_EQ(row.id, "b");
+  EXPECT_FALSE(row.ok);
+  EXPECT_EQ(row.error, "malformed line");
+  ASSERT_TRUE(session.pop(&row));
+  EXPECT_EQ(row.id, "c");
+  EXPECT_FALSE(row.ok);  // sim-time failure becomes an in-order error row
+  ASSERT_TRUE(session.pop(&row));
+  EXPECT_EQ(row.id, "d");
+  EXPECT_TRUE(row.ok) << row.error;
+  EXPECT_FALSE(session.pop(&row));
+}
+
+TEST(CampaignSessionTest, SharedTraceIsBuiltOnceAndEvicted) {
+  ParallelExperimentRunner runner(2, /*clamp_to_hardware=*/false);
+  CampaignSession session(runner);
+  ExperimentConfig a = small_config("alya", 8);
+  ExperimentConfig b = a;
+  b.ppa.grouping_threshold = TimeNs::from_us(200.0);  // replay-only diff
+  session.submit(CampaignRequest{"a", a});
+  session.submit(CampaignRequest{"b", b});
+  CampaignRow ra, rb;
+  ASSERT_TRUE(session.pop(&ra));
+  ASSERT_TRUE(session.pop(&rb));
+  ASSERT_TRUE(ra.ok && rb.ok) << ra.error << rb.error;
+  const CampaignCacheStats stats = session.cache_stats();
+  EXPECT_EQ(stats.requests, 2u);
+  EXPECT_EQ(stats.trace_builds, 1u);
+  EXPECT_EQ(stats.trace_hits, 1u);
+  EXPECT_EQ(stats.evictions, 1u);  // refcount hit zero after both finalized
+  EXPECT_EQ(stats.max_live_traces, 1u);
+  EXPECT_TRUE(rb.trace_shared);
+
+  // Same workload again after eviction: the trace is rebuilt (the cache
+  // holds only in-flight entries) and the row still matches byte-for-byte.
+  session.submit(CampaignRequest{"a2", a});
+  CampaignRow ra2;
+  ASSERT_TRUE(session.pop(&ra2));
+  ASSERT_TRUE(ra2.ok) << ra2.error;
+  EXPECT_EQ(session.cache_stats().trace_builds, 2u);
+  EXPECT_TRUE(bit_identical(ra.result, ra2.result));
+}
+
+TEST(CampaignSessionTest, FormattedRowsByteIdenticalAcrossJobCounts) {
+  // The acceptance pin: the same request stream produces byte-identical
+  // JSONL rows at any worker count, stolen tasks and shared traces
+  // included. Shards exercise the elastic path inside engine workers.
+  std::vector<CampaignRequest> reqs;
+  reqs.push_back({"r0", small_config("alya", 8)});
+  reqs.push_back({"r1", small_config("gromacs", 8)});
+  ExperimentConfig shared = small_config("alya", 8);
+  shared.ppa.displacement_factor = 0.05;  // replay-only diff → shares r0's
+  reqs.push_back({"r2", shared});
+  ExperimentConfig sharded = small_config("nas_mg", 8);
+  sharded.shards = 4;
+  reqs.push_back({"r3", sharded});
+
+  auto rows_at = [&reqs](unsigned jobs) {
+    ParallelExperimentRunner runner(jobs, /*clamp_to_hardware=*/false);
+    CampaignSession session(runner);
+    for (const CampaignRequest& r : reqs) session.submit(r);
+    std::vector<std::string> rows;
+    CampaignRow row;
+    while (session.pop(&row)) rows.push_back(format_campaign_row(row));
+    return rows;
+  };
+
+  const std::vector<std::string> at1 = rows_at(1);
+  ASSERT_EQ(at1.size(), reqs.size());
+  for (const unsigned jobs : {2u, 8u}) {
+    const std::vector<std::string> at = rows_at(jobs);
+    ASSERT_EQ(at.size(), at1.size());
+    for (std::size_t i = 0; i < at1.size(); ++i) {
+      EXPECT_EQ(at[i], at1[i]) << "row " << i << " diverged at jobs=" << jobs;
+    }
+  }
+}
+
+TEST(CampaignSessionTest, TryPopNeverBlocks) {
+  ParallelExperimentRunner runner(1);
+  CampaignSession session(runner);
+  CampaignRow row;
+  EXPECT_FALSE(session.try_pop(&row));  // nothing submitted
+  session.submit(CampaignRequest{"x", small_config("alya", 8)});
+  // Drain: poll try_pop (it must return false, not block, while running).
+  while (!session.try_pop(&row)) {
+  }
+  EXPECT_EQ(row.id, "x");
+  EXPECT_FALSE(session.try_pop(&row));
+}
+
+}  // namespace
+}  // namespace ibpower

@@ -5,6 +5,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -226,6 +227,70 @@ TEST(ParallelExperiment, SimEventsPopulated) {
   const ExperimentResult r = run_experiment(small_config("alya", 8));
   EXPECT_GT(r.sim_events, 0u);
   EXPECT_GT(r.mpi_calls, 0u);
+}
+
+// --- trace_cache_key: what shares a trace and what must not ------------
+
+TEST(TraceCacheKey, PredictorAndPolicyOnlyDiffsShareATrace) {
+  // Knobs that only affect the *replay* (predictor, GT, displacement,
+  // trunk policy, routing) must map to the same key — and therefore to a
+  // single generation task, observable as gen_ms == 0 for the sharer.
+  ExperimentConfig a = small_config("alya", 8);
+  ExperimentConfig b = a;
+  b.ppa.predictor.kind = PredictorKind::Histogram;
+  b.ppa.grouping_threshold = TimeNs::from_us(400.0);
+  b.ppa.displacement_factor = 0.10;
+  b.fabric.trunk.kind = TrunkPolicyKind::Timeout;
+  b.fabric.routing.strategy = RoutingStrategy::Consolidate;
+  EXPECT_EQ(trace_cache_key(a), trace_cache_key(b));
+
+  ParallelExperimentRunner runner(2);
+  (void)runner.run_all({a, b});
+  ASSERT_EQ(runner.last_cell_gen_ms().size(), 2u);
+  EXPECT_GT(runner.last_cell_gen_ms()[0], 0.0);
+  EXPECT_EQ(runner.last_cell_gen_ms()[1], 0.0) << "trace was regenerated";
+}
+
+TEST(TraceCacheKey, TraceAffectingParamDiffsGetDistinctKeys) {
+  const ExperimentConfig base = small_config("alya", 8);
+  const std::string k0 = trace_cache_key(base);
+
+  ExperimentConfig m = base;
+  m.app = "gromacs";
+  EXPECT_NE(trace_cache_key(m), k0);
+
+  m = base;
+  m.workload.nranks = 16;
+  EXPECT_NE(trace_cache_key(m), k0);
+
+  m = base;
+  m.workload.iterations += 1;
+  EXPECT_NE(trace_cache_key(m), k0);
+
+  m = base;
+  m.workload.seed += 1;
+  EXPECT_NE(trace_cache_key(m), k0);
+
+  m = base;
+  m.workload.weak_scaling = !m.workload.weak_scaling;
+  EXPECT_NE(trace_cache_key(m), k0);
+
+  // Scale is keyed by exact bit pattern: even an ULP nudge is a new trace.
+  m = base;
+  m.workload.scale = std::nextafter(m.workload.scale, 2.0);
+  EXPECT_NE(trace_cache_key(m), k0);
+}
+
+TEST(TraceCacheKey, DistinctKeysActuallyRegenerate) {
+  ExperimentConfig a = small_config("alya", 8);
+  ExperimentConfig b = a;
+  b.workload.seed += 1;  // trace-affecting → must NOT share
+  ParallelExperimentRunner runner(2);
+  (void)runner.run_all({a, b});
+  ASSERT_EQ(runner.last_cell_gen_ms().size(), 2u);
+  EXPECT_GT(runner.last_cell_gen_ms()[0], 0.0);
+  EXPECT_GT(runner.last_cell_gen_ms()[1], 0.0)
+      << "seed diff wrongly shared a trace";
 }
 
 }  // namespace

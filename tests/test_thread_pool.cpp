@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <memory>
 #include <mutex>
@@ -103,6 +104,41 @@ TEST(ThreadPool, DestructorDrainsQueue) {
     }
   }  // ~ThreadPool joins after the queue drains
   EXPECT_EQ(ran.load(), 200);
+}
+
+// --- cgroup CPU quota parsing (default_concurrency's clamp) -------------
+
+TEST(CpuQuota, CgroupV2Limited) {
+  EXPECT_EQ(parse_cpu_quota("250000 100000", nullptr), 3u);  // ceil(2.5)
+  EXPECT_EQ(parse_cpu_quota("100000 100000", nullptr), 1u);
+  EXPECT_EQ(parse_cpu_quota("800000 100000\n", nullptr), 8u);
+}
+
+TEST(CpuQuota, CgroupV2Unlimited) {
+  EXPECT_EQ(parse_cpu_quota("max 100000", nullptr), 0u);
+  EXPECT_EQ(parse_cpu_quota("max 100000\n", nullptr), 0u);
+}
+
+TEST(CpuQuota, CgroupV1) {
+  EXPECT_EQ(parse_cpu_quota("150000", "100000"), 2u);  // ceil(1.5)
+  EXPECT_EQ(parse_cpu_quota("100000", "100000"), 1u);
+  EXPECT_EQ(parse_cpu_quota("-1", "100000"), 0u);  // unlimited
+}
+
+TEST(CpuQuota, MalformedIsUnlimited) {
+  EXPECT_EQ(parse_cpu_quota("", nullptr), 0u);
+  EXPECT_EQ(parse_cpu_quota("banana 100000", nullptr), 0u);
+  EXPECT_EQ(parse_cpu_quota("100000", nullptr), 0u);   // v2 missing period
+  EXPECT_EQ(parse_cpu_quota("100000", "0"), 0u);       // zero period
+  EXPECT_EQ(parse_cpu_quota("100000", "banana"), 0u);
+}
+
+TEST(CpuQuota, DefaultConcurrencyRespectsQuota) {
+  // On any host, the cached default can never exceed what the cgroup quota
+  // (if one applies here) allows, and is always at least one.
+  const unsigned n = ThreadPool::default_concurrency();
+  EXPECT_GE(n, 1u);
+  EXPECT_LE(n, std::max(1u, std::thread::hardware_concurrency()));
 }
 
 }  // namespace

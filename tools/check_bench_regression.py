@@ -26,6 +26,14 @@ hardened by the multi-window minimum. Such rows are gated with the looser
 --new-tolerance until a follow-up re-records them (and drops the flag),
 so a fresh cell is covered immediately without making the gate flaky.
 
+Rows may also carry scheduler columns ("utilization": engine busy
+fraction for the recording run, "steals": tasks stolen) — reported here
+for visibility, never gated: utilization is a property of the recording
+host's core count, not of the code under test. The aggregate
+"hetero_mix" and "campaign_mix" rows (wall-clock over an imbalanced
+multi-scale grid, direct and via the campaign JSONL session) flow
+through the same two checks as per-cell rows.
+
 Usage: check_bench_regression.py BASELINE.json CURRENT.json
            [--tolerance 0.20] [--new-tolerance 0.35] [--speedup-floor 1.2]
 """
@@ -42,6 +50,12 @@ def load_rows(path):
     with open(path) as f:
         rows = json.load(f)
     return {row_key(r): r for r in rows}
+
+
+def fmt_util(row):
+    """'  util 87.3%' when the row carries the scheduler column, else ''."""
+    util = row.get("utilization")
+    return f"  util {util * 100.0:5.1f}%" if util is not None else ""
 
 
 def fmt_key(key):
@@ -79,7 +93,7 @@ def check_speedups(current, floor):
         if speedup < floor:
             failures.append(key)
         print(f"{fmt_key(key):>28}: {speedup:5.2f}x vs serial  "
-              f"(floor {floor:.2f}x)  {status}")
+              f"(floor {floor:.2f}x)  {status}{fmt_util(current[key])}")
     return failures
 
 
@@ -129,7 +143,8 @@ def main():
             failures.append(key)
         print(f"{fmt_key(key):>28}: "
               f"{base_eps/1e6:7.2f}M -> {cur_eps/1e6:7.2f}M events/s "
-              f"({(ratio - 1.0) * 100.0:+6.1f}%)  {status}")
+              f"({(ratio - 1.0) * 100.0:+6.1f}%)  {status}"
+              f"{fmt_util(current[key])}")
 
     speedup_failures = check_speedups(current, args.speedup_floor)
 

@@ -25,6 +25,8 @@
 #include "obs/collect.hpp"
 #include "obs/exporters.hpp"
 #include "obs/instrumented.hpp"
+#include "obs/sched_export.hpp"
+#include "sim/campaign.hpp"
 #include "sim/experiment.hpp"
 #include "sim/parallel.hpp"
 #include "sim/report.hpp"
@@ -82,9 +84,13 @@ WorkloadParams workload_from(const Args& args) {
   return p;
 }
 
+/// --jobs N|auto → engine worker count. "auto" (and the default) is the
+/// cgroup-quota-aware usable-core count, so a container limited to 2 CPUs
+/// gets 2 workers even when the host advertises 64.
 unsigned jobs_from(const Args& args) {
-  const int jobs =
-      args.geti("jobs", static_cast<int>(ThreadPool::default_concurrency()));
+  const std::string v = args.get("jobs");
+  if (v.empty() || v == "auto") return ThreadPool::default_concurrency();
+  const int jobs = std::stoi(v);
   return jobs <= 0 ? 1u : static_cast<unsigned>(jobs);
 }
 
@@ -153,6 +159,35 @@ int write_shard_profile_json(const std::string& path, const ReplayResult& rr) {
   os << "  ]\n}\n";
   std::printf("wrote %s (shard profile, %d shards)\n", path.c_str(),
               rr.shards_used);
+  return 0;
+}
+
+/// --sched-profile [FILE.json]: one-line scheduler summary, plus the full
+/// ibpower-sched-profile:v1 document when a filename was given. The profile
+/// is read before the engine's next reset(), so it reflects the run that
+/// just finished. Mirrors --shard-profile.
+int write_sched_profile(const Args& args, ParallelExperimentRunner& runner) {
+  const SchedProfile prof = runner.last_sched_profile();
+  const std::int64_t wall_ns = runner.engine().now_ns();
+  const obs::SchedSummary sum = obs::summarize_sched(prof, wall_ns);
+  std::printf(
+      "sched        : %zu workers, %llu tasks, %llu steals "
+      "(%llu attempts), utilization %.1f%%\n",
+      prof.workers.size(), static_cast<unsigned long long>(sum.executed),
+      static_cast<unsigned long long>(sum.steals),
+      static_cast<unsigned long long>(sum.steal_attempts),
+      100.0 * sum.utilization);
+  const std::string path = args.get("sched-profile");
+  if (!path.empty() && path != "1") {
+    std::ofstream os(path);
+    if (!os) {
+      std::fprintf(stderr, "cannot write %s\n", path.c_str());
+      return 1;
+    }
+    os << obs::sched_profile_json(prof, wall_ns);
+    std::printf("wrote %s (sched profile, %zu tasks)\n", path.c_str(),
+                prof.tasks.size());
+  }
   return 0;
 }
 
@@ -588,6 +623,7 @@ int cmd_grid(const Args& args) {
   }
 
   ParallelExperimentRunner runner(jobs_from(args));
+  if (args.has("sched-profile")) runner.set_profiling(true);
   const auto t0 = std::chrono::steady_clock::now();
   std::vector<ExperimentResult> results;
   std::vector<obs::CellMetrics> cells;
@@ -612,6 +648,9 @@ int cmd_grid(const Args& args) {
                 rows[i].result.time_increase_pct, rows[i].result.hit_rate_pct);
   }
   print_speedup(runner, wall_ms);
+  if (args.has("sched-profile")) {
+    if (const int rc = write_sched_profile(args, runner); rc != 0) return rc;
+  }
   std::ofstream os(out);
   if (!os) {
     std::fprintf(stderr, "cannot write %s\n", out.c_str());
@@ -626,12 +665,86 @@ int cmd_grid(const Args& args) {
   return export_telemetry(args, cells);
 }
 
+int cmd_campaign(const Args& args) {
+  // Long-running mode: a JSONL stream of experiment requests in (stdin or
+  // --in FILE), one result row per line out (stdout or --out FILE), in
+  // request order. Rows are drained opportunistically while reading, so an
+  // unbounded stream runs in bounded memory: only in-flight requests (and
+  // their shared traces) are live at once.
+  std::ifstream fin;
+  std::istream* in = &std::cin;
+  if (const std::string path = args.get("in"); !path.empty() && path != "1") {
+    fin.open(path);
+    if (!fin) {
+      std::fprintf(stderr, "cannot read %s\n", path.c_str());
+      return 1;
+    }
+    in = &fin;
+  }
+  std::ofstream fout;
+  std::ostream* out = &std::cout;
+  if (const std::string path = args.get("out"); !path.empty() && path != "1") {
+    fout.open(path);
+    if (!fout) {
+      std::fprintf(stderr, "cannot write %s\n", path.c_str());
+      return 1;
+    }
+    out = &fout;
+  }
+
+  ParallelExperimentRunner runner(jobs_from(args));
+  if (args.has("sched-profile")) runner.set_profiling(true);
+  std::uint64_t rows_out = 0;
+  std::uint64_t error_rows = 0;
+  CampaignCacheStats stats;
+  {
+    CampaignSession session(runner);
+    auto emit = [&](const CampaignRow& row) {
+      *out << format_campaign_row(row) << "\n";
+      ++rows_out;
+      if (!row.ok) ++error_rows;
+    };
+    std::string line;
+    int lineno = 0;
+    CampaignRow row;
+    while (std::getline(*in, line)) {
+      ++lineno;
+      if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
+      CampaignRequest req;
+      std::string error;
+      if (parse_campaign_request(line, lineno, &req, &error)) {
+        session.submit(std::move(req));
+      } else {
+        // A malformed line still occupies its slot in the output stream.
+        session.submit_error("req-" + std::to_string(lineno), error);
+      }
+      while (session.try_pop(&row)) emit(row);
+    }
+    while (session.pop(&row)) emit(row);
+    stats = session.cache_stats();
+  }
+  out->flush();
+  std::fprintf(stderr,
+               "campaign     : %llu rows (%llu errors), %llu traces built, "
+               "%llu shared, peak %llu live\n",
+               static_cast<unsigned long long>(rows_out),
+               static_cast<unsigned long long>(error_rows),
+               static_cast<unsigned long long>(stats.trace_builds),
+               static_cast<unsigned long long>(stats.trace_hits),
+               static_cast<unsigned long long>(stats.max_live_traces));
+  if (args.has("sched-profile")) {
+    if (const int rc = write_sched_profile(args, runner); rc != 0) return rc;
+  }
+  return 0;
+}
+
 int usage() {
   std::fprintf(stderr,
-               "usage: ibpower_cli <gen|replay|run|sweep|grid|inspect|stats|apps> [--key value]\n"
+               "usage: ibpower_cli <gen|replay|run|sweep|grid|campaign|inspect|stats|apps> [--key value]\n"
                "  common: --app NAME --ranks N --iterations N --seed N\n"
                "          --scale X --weak --gt US --disp PCT --treact US\n"
-               "          --jobs N (parallel replays; default: all cores)\n"
+               "          --jobs N|auto (parallel replays; auto = usable\n"
+               "          cores, cgroup-quota-aware)\n"
                "          --shards N|auto (intra-replay parallel DES; run/\n"
                "          replay/grid; bit-identical to serial)\n"
                "  replay: --shard-profile [FILE.json] (per-shard events,\n"
@@ -652,6 +765,14 @@ int usage() {
                "  gen:    --out FILE          replay: --trace FILE [--managed]\n"
                "  grid:   --out FILE.csv|.json  (full paper evaluation grid)\n"
                "          --stressors (amr/ml_train/bursty ablation grid)\n"
+               "  grid/campaign: --sched-profile [FILE.json] (work-stealing\n"
+               "          engine profile: per-worker steals/idle, per-task\n"
+               "          submit/ready/start/finish timeline)\n"
+               "  campaign: JSONL experiment requests in, one result row per\n"
+               "          line out, in request order; shared traces are\n"
+               "          deduplicated while in flight\n"
+               "          --in FILE.jsonl (default stdin) --out FILE.jsonl\n"
+               "          (default stdout)\n"
                "  telemetry (run/replay/grid): --metrics-out FILE.json\n"
                "          --timeline-out FILE.prv (managed power-state view)\n");
   return 2;
@@ -670,6 +791,7 @@ int main(int argc, char** argv) {
     if (cmd == "run") return cmd_run(args);
     if (cmd == "sweep") return cmd_sweep(args);
     if (cmd == "grid") return cmd_grid(args);
+    if (cmd == "campaign") return cmd_campaign(args);
     if (cmd == "inspect") return cmd_inspect(args);
     if (cmd == "stats") return cmd_stats(args);
   } catch (const std::exception& e) {
