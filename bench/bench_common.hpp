@@ -50,7 +50,10 @@ inline const char* pretty_app(const std::string& app) {
 /// discipline (dmodk routing), gating the contention hot path's per-event
 /// cost. A "+predictor" suffix swaps the agent's PPA for the pattern-free
 /// multi-timeout predictor (DESIGN.md §13), gating the per-call cost of the
-/// IdlePredictor indirection and the request-heavy pattern-free path.
+/// IdlePredictor indirection and the request-heavy pattern-free path. A
+/// "+host" suffix turns on host-side power co-management (DESIGN.md §15):
+/// the countdown policy plus a mildly binding cluster power cap, gating the
+/// per-call host FSM cost and the cap epoch/apply event machinery.
 inline ExperimentConfig cell_config(const GridCell& cell,
                                     double displacement = 0.01,
                                     int iterations = 100) {
@@ -67,6 +70,12 @@ inline ExperimentConfig cell_config(const GridCell& cell,
       cfg.fabric.contention = true;
     } else if (variant == "predictor") {
       cfg.ppa.predictor.kind = PredictorKind::MultiTimeout;
+    } else if (variant == "host") {
+      cfg.host.policy = HostPolicyKind::Countdown;
+      // Mildly binding: ~97% of the fleet's flat-out draw, so the cap
+      // machinery actually redistributes without dominating the timings.
+      cfg.host.power_cap_watts =
+          cfg.host.pstates[0].watts * cell.nranks * 0.97;
     }
   }
   cfg.app = app;

@@ -194,11 +194,14 @@ int main(int argc, char** argv) {
     // gates the per-hop arrival-order reservation discipline (one DES
     // event per hop; DESIGN.md §12). The "+predictor" cell swaps in the
     // pattern-free multi-timeout predictor so the IdlePredictor dispatch
-    // and the request-heavy path are gated too (DESIGN.md §13).
+    // and the request-heavy path are gated too (DESIGN.md §13). The
+    // "+host" cell runs host-side co-management under a mildly binding
+    // power cap, gating the per-call host FSM and the cap epoch/apply
+    // machinery (DESIGN.md §15).
     cells = {{"gromacs", 16}, {"alya", 16},          {"wrf", 16},
              {"nas_bt", 16},  {"nas_mg", 16},        {"gromacs", 128},
              {"gromacs+trunk", 128},                 {"gromacs+contention", 128},
-             {"gromacs+predictor", 128}};
+             {"gromacs+predictor", 128},             {"gromacs+host", 128}};
   }
   cells = cells_from_args(argc, argv, std::move(cells));
   std::vector<ExperimentConfig> cfgs;

@@ -1,9 +1,12 @@
 #include "check/invariant_auditor.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <cstdio>
 #include <limits>
 #include <string>
+#include <utility>
+#include <vector>
 
 namespace ibpower {
 
@@ -98,6 +101,170 @@ std::string audit_energy_closure(const IbLink& link,
   return {};
 }
 
+std::string audit_host_schedule(const HostPowerModel& host) {
+  if (std::string err = host.validate_schedule(); !err.empty()) {
+    return "host schedule: " + err;
+  }
+  const TimeNs exec = host.end_time();
+  if (exec < TimeNs::zero()) {
+    return "host exec time is negative";
+  }
+  const TimeNs sum = host.residency(HostMode::Active) +
+                     host.residency(HostMode::Sleep) +
+                     host.residency(HostMode::Transition);
+  if (sum != exec) {
+    return "host mode residencies sum to " + std::to_string(sum.ns) +
+           " ns but exec time is " + std::to_string(exec.ns) + " ns";
+  }
+  return {};
+}
+
+double integrate_host_energy(const HostPowerModel& host) {
+  const TimeNs exec = host.end_time();
+  if (exec <= TimeNs::zero()) return 0.0;
+  const HostPowerConfig& cfg = host.config();
+
+  // Independent integration in flush-cursor style (the opposite
+  // accumulation order to summarize_host's per-segment residency walk).
+  double weighted_ns = 0.0;
+  TimeNs cursor = TimeNs::zero();
+  double watts = cfg.pstates[0].watts;  // implicit initial Active@P0
+  const auto flush = [&](TimeNs until) {
+    const TimeNs e = min(until, exec);
+    if (e > cursor) {
+      weighted_ns += watts * static_cast<double>((e - cursor).ns);
+      cursor = e;
+    }
+  };
+  for (const HostModeSegment& seg : host.segments()) {
+    flush(seg.begin);
+    cursor = max(cursor, min(seg.begin, exec));
+    watts = seg.mode == HostMode::Sleep ? cfg.cstates[seg.level].watts
+                                        : cfg.pstates[seg.level].watts;
+  }
+  flush(exec);
+  return weighted_ns * 1e-9;
+}
+
+std::string audit_host_energy_closure(const HostPowerModel& host) {
+  const TimeNs exec = host.end_time();
+  if (exec <= TimeNs::zero()) return {};
+
+  const double integrated =
+      integrate_host_energy(host) +
+      dynamic_host_energy_joules(host.config(), host.mpi_calls());
+  const HostPowerSummary s = summarize_host(host);
+  const double reported = s.energy_joules;
+  const double tol = std::max(std::fabs(integrated), std::fabs(reported)) *
+                         std::numeric_limits<double>::epsilon() * 8.0 +
+                     1e-12;
+  if (std::fabs(integrated - reported) > tol) {
+    return "host energy closure violated: segment-walk integration gives " +
+           fmt_double(integrated) + " J but summarize_host reports " +
+           fmt_double(reported) + " J";
+  }
+  if (s.energy_joules < 0.0) {
+    return "host energy " + fmt_double(s.energy_joules) + " J is negative";
+  }
+  if (s.savings_pct > 100.0 + 1e-9) {
+    return "host savings " + fmt_double(s.savings_pct) + "% above 100%";
+  }
+  return {};
+}
+
+std::string audit_system_energy_closure(const ReplayEngine& engine,
+                                        const PowerModelConfig& cfg) {
+  if (engine.host(0) == nullptr) return {};
+  const Fabric& fabric = engine.fabric();
+  const FatTreeTopology& topo = fabric.topology();
+
+  // Reported side: what the telemetry layer would sum. Integrated side: the
+  // auditor's independent walks plus the shared dynamic terms.
+  double reported = 0.0;
+  double integrated = 0.0;
+  std::size_t terms = 0;
+  for (LinkId l = 0; l < topo.num_links(); ++l) {
+    const IbLink& link = fabric.link(l);
+    reported += summarize_link(link, cfg).energy_joules;
+    double e = integrate_link_energy(link, cfg);
+    if (cfg.split_energy) {
+      e += dynamic_link_energy_joules(cfg, link.payload_bytes_total());
+    }
+    integrated += e;
+    ++terms;
+  }
+  for (Rank r = 0; r < engine.nranks(); ++r) {
+    const HostPowerModel& host = *engine.host(r);
+    reported += summarize_host(host).energy_joules;
+    integrated += integrate_host_energy(host) +
+                  dynamic_host_energy_joules(host.config(), host.mpi_calls());
+    ++terms;
+  }
+  const double tol =
+      std::max(std::fabs(integrated), std::fabs(reported)) *
+          std::numeric_limits<double>::epsilon() * 8.0 *
+          static_cast<double>(terms + 1) +
+      1e-12;
+  if (std::fabs(integrated - reported) > tol) {
+    return "system energy closure violated: independent integration gives " +
+           fmt_double(integrated) + " J over " + std::to_string(terms) +
+           " links+hosts but the summaries report " + fmt_double(reported) +
+           " J";
+  }
+  return {};
+}
+
+std::string audit_cluster_cap(const ReplayEngine& engine) {
+  const double cap = engine.options().host.power_cap_watts;
+  if (cap <= 0.0 || engine.host(0) == nullptr) return {};
+
+  // Sweep the merged per-rank step functions: every host contributes its
+  // initial draw at t=0 and a watts delta at each segment boundary. The sum
+  // is piecewise constant, so checking every breakpoint checks every event
+  // timestamp of the run.
+  std::vector<std::pair<TimeNs, double>> deltas;
+  TimeNs exec{};
+  for (Rank r = 0; r < engine.nranks(); ++r) {
+    const HostPowerModel& host = *engine.host(r);
+    const HostPowerConfig& cfg = host.config();
+    exec = max(exec, host.end_time());
+    double prev = cfg.pstates[0].watts;  // implicit initial Active@P0
+    deltas.emplace_back(TimeNs::zero(), prev);
+    for (const HostModeSegment& seg : host.segments()) {
+      if (seg.begin >= host.end_time()) break;
+      const double w = seg.mode == HostMode::Sleep
+                           ? cfg.cstates[seg.level].watts
+                           : cfg.pstates[seg.level].watts;
+      if (w != prev) deltas.emplace_back(seg.begin, w - prev);
+      prev = w;
+    }
+  }
+  std::sort(deltas.begin(), deltas.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  // The allocation arithmetic keeps the exact sum under the cap; the sweep
+  // re-adds the same watts in a different order, so tolerate ulp-scale
+  // accumulation noise per contributing rank.
+  const double tol =
+      cap * std::numeric_limits<double>::epsilon() *
+          static_cast<double>(engine.nranks() + 1) * 8.0 +
+      1e-9;
+  double draw = 0.0;
+  std::size_t i = 0;
+  while (i < deltas.size()) {
+    const TimeNs t = deltas[i].first;
+    if (t >= exec) break;
+    for (; i < deltas.size() && deltas[i].first == t; ++i) {
+      draw += deltas[i].second;
+    }
+    if (draw > cap + tol) {
+      return "power cap violated: cluster host draw " + fmt_double(draw) +
+             " W exceeds cap " + fmt_double(cap) + " W at t=" +
+             std::to_string(t.ns) + " ns";
+    }
+  }
+  return {};
+}
+
 std::string audit_replay(const ReplayEngine& engine,
                          const PowerModelConfig& cfg) {
   if (std::string err = engine.audit_drain(); !err.empty()) return err;
@@ -117,6 +284,24 @@ std::string audit_replay(const ReplayEngine& engine,
     }
     if (std::string err = audit_energy_closure(link, cfg); !err.empty()) {
       return where + ": " + err;
+    }
+  }
+  if (engine.host(0) != nullptr) {
+    for (Rank r = 0; r < engine.nranks(); ++r) {
+      const HostPowerModel& host = *engine.host(r);
+      if (std::string err = audit_host_schedule(host); !err.empty()) {
+        return "rank " + std::to_string(r) + ": " + err;
+      }
+      if (std::string err = audit_host_energy_closure(host); !err.empty()) {
+        return "rank " + std::to_string(r) + ": " + err;
+      }
+    }
+    if (std::string err = audit_system_energy_closure(engine, cfg);
+        !err.empty()) {
+      return err;
+    }
+    if (std::string err = audit_cluster_cap(engine); !err.empty()) {
+      return err;
     }
   }
   return {};

@@ -19,6 +19,7 @@
 
 #include <string>
 
+#include "host/host_power.hpp"
 #include "network/ib_link.hpp"
 #include "power/power_model.hpp"
 #include "sim/replay.hpp"
@@ -45,8 +46,36 @@ namespace ibpower {
 [[nodiscard]] std::string audit_energy_closure(const IbLink& link,
                                                const PowerModelConfig& cfg);
 
+/// Audits one host's mode schedule and residency accounting (the host
+/// analog of audit_link_schedule). The host must be finished.
+[[nodiscard]] std::string audit_host_schedule(const HostPowerModel& host);
+
+/// Independent *static* host energy integration: a cursor walk over the
+/// host's mode timeline in a different accumulation order than
+/// summarize_host()'s residency integral. Callers add
+/// dynamic_host_energy_joules() for the total.
+[[nodiscard]] double integrate_host_energy(const HostPowerModel& host);
+
+/// Host energy-accounting closure: integrate_host_energy() plus the shared
+/// dynamic term vs summarize_host()'s energy_joules within ulps.
+[[nodiscard]] std::string audit_host_energy_closure(const HostPowerModel& host);
+
+/// System-energy closure over a finished host-co-managed replay: the sum of
+/// every link's and every host's *reported* energy must equal the sum of
+/// the auditor's independent integrations, within a term-count-scaled ulp
+/// tolerance. No-op (empty) when the replay ran without host models.
+[[nodiscard]] std::string audit_system_energy_closure(
+    const ReplayEngine& engine, const PowerModelConfig& cfg);
+
+/// Cap-respected invariant: the instantaneous cluster host draw — the sum
+/// of every rank's segment-watts step function — never exceeds the
+/// configured power cap at any breakpoint of the merged timeline. No-op
+/// when the replay ran without a cap.
+[[nodiscard]] std::string audit_cluster_cap(const ReplayEngine& engine);
+
 /// Full post-run audit of a finished replay: drain invariants plus the two
-/// link audits above over every used node uplink.
+/// link audits above over every used node uplink, and — when host
+/// co-management ran — the host schedule/closure/cap audits.
 [[nodiscard]] std::string audit_replay(const ReplayEngine& engine,
                                        const PowerModelConfig& cfg = {});
 

@@ -1,0 +1,478 @@
+#include "host/host_power.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <string>
+
+#include "check/audit.hpp"
+#include "util/expect.hpp"
+
+namespace ibpower {
+
+const char* host_policy_name(HostPolicyKind kind) {
+  switch (kind) {
+    case HostPolicyKind::Off: return "off";
+    case HostPolicyKind::Countdown: return "countdown";
+  }
+  return "?";
+}
+
+bool parse_host_policy(const std::string& name, HostPolicyKind* out) {
+  if (name == "off") {
+    *out = HostPolicyKind::Off;
+    return true;
+  }
+  if (name == "countdown") {
+    *out = HostPolicyKind::Countdown;
+    return true;
+  }
+  return false;
+}
+
+const char* host_mode_name(HostMode mode) {
+  switch (mode) {
+    case HostMode::Active: return "Active";
+    case HostMode::Sleep: return "Sleep";
+    case HostMode::Transition: return "Transition";
+  }
+  return "?";
+}
+
+bool HostPowerConfig::valid() const {
+  if (power_cap_watts < 0.0) return false;
+  if (cap_epoch <= TimeNs::zero()) return false;
+  if (pstate_count < 1 || pstate_count > kMaxPStates) return false;
+  if (cstate_count < 1 || cstate_count > kMaxCStates) return false;
+  if (pstates[0].speed != 1.0) return false;
+  for (int p = 0; p < pstate_count; ++p) {
+    if (pstates[p].watts <= 0.0) return false;
+    if (pstates[p].speed <= 0.0 || pstates[p].speed > 1.0) return false;
+    if (p > 0 && pstates[p].watts >= pstates[p - 1].watts) return false;
+    if (p > 0 && pstates[p].speed > pstates[p - 1].speed) return false;
+  }
+  for (int c = 0; c < cstate_count; ++c) {
+    if (cstates[c].watts < 0.0) return false;
+    if (cstates[c].entry <= TimeNs::zero() || cstates[c].exit <= TimeNs::zero())
+      return false;
+    if (c > 0 && cstates[c].watts >= cstates[c - 1].watts) return false;
+    if (c > 0 && (cstates[c].entry < cstates[c - 1].entry ||
+                  cstates[c].exit < cstates[c - 1].exit))
+      return false;
+  }
+  // Sleeping must save power against any active point, else the controller
+  // would "save" negative watts in the shallowest state.
+  if (cstates[0].watts >= pstates[pstate_count - 1].watts) return false;
+  return true;
+}
+
+bool parse_host_pstates(const std::string& spec, HostPowerConfig* cfg) {
+  HostPState table[HostPowerConfig::kMaxPStates];
+  int count = 0;
+  const char* p = spec.c_str();
+  while (*p != '\0') {
+    if (count >= HostPowerConfig::kMaxPStates) return false;
+    char* end = nullptr;
+    const double watts = std::strtod(p, &end);
+    if (end == p || *end != ':') return false;
+    p = end + 1;
+    const double speed = std::strtod(p, &end);
+    if (end == p) return false;
+    p = end;
+    if (*p == ',') {
+      ++p;
+      if (*p == '\0') return false;  // trailing comma
+    } else if (*p != '\0') {
+      return false;
+    }
+    table[count].watts = watts;
+    table[count].speed = speed;
+    ++count;
+  }
+  if (count == 0) return false;
+  if (table[0].speed != 1.0) return false;
+  for (int i = 0; i < count; ++i) {
+    if (table[i].watts <= 0.0) return false;
+    if (table[i].speed <= 0.0 || table[i].speed > 1.0) return false;
+    if (i > 0 && table[i].watts >= table[i - 1].watts) return false;
+    if (i > 0 && table[i].speed > table[i - 1].speed) return false;
+  }
+  cfg->pstate_count = count;
+  for (int i = 0; i < count; ++i) cfg->pstates[i] = table[i];
+  return true;
+}
+
+HostPowerModel::HostPowerModel(const HostPowerConfig& cfg) : cfg_(cfg) {
+  IBP_EXPECTS(cfg.valid());
+}
+
+void HostPowerModel::reset(const HostPowerConfig& cfg) {
+  IBP_EXPECTS(cfg.valid());
+  cfg_ = cfg;
+  segments_.clear();
+  end_time_ = TimeNs{};
+  finished_ = false;
+  pstate_ = 0;
+  sleep_requests_ = 0;
+  on_demand_wakes_ = 0;
+  pstate_changes_ = 0;
+  mpi_calls_ = 0;
+  wake_penalty_total_ = TimeNs{};
+}
+
+std::ptrdiff_t HostPowerModel::segment_index(TimeNs t) const {
+  auto it = std::upper_bound(
+      segments_.begin(), segments_.end(), t,
+      [](TimeNs v, const HostModeSegment& s) { return v < s.begin; });
+  return static_cast<std::ptrdiff_t>(it - segments_.begin()) - 1;
+}
+
+HostMode HostPowerModel::mode_at(TimeNs t) const {
+  const std::ptrdiff_t i = segment_index(t);
+  return i < 0 ? HostMode::Active
+               : segments_[static_cast<std::size_t>(i)].mode;
+}
+
+void HostPowerModel::append(TimeNs t, HostMode mode, std::uint8_t level) {
+  while (!segments_.empty() && segments_.back().begin >= t) {
+    segments_.pop_back();
+  }
+  const HostMode prev_mode =
+      segments_.empty() ? HostMode::Active : segments_.back().mode;
+  const std::uint8_t prev_level =
+      segments_.empty() ? std::uint8_t{0} : segments_.back().level;
+  if (prev_mode != mode || prev_level != level) {
+    segments_.push_back({t, mode, level});
+  }
+}
+
+void HostPowerModel::request_sleep(TimeNs now, TimeNs duration) {
+  IBP_EXPECTS(!finished_);
+  IBP_EXPECTS(now >= TimeNs::zero());
+  // Deepest C-state whose entry+exit overheads fit inside the predicted
+  // window (the host analog of the link's `duration > t_deact` guard).
+  int c = -1;
+  for (int i = 0; i < cfg_.cstate_count; ++i) {
+    if (cfg_.cstates[i].entry + cfg_.cstates[i].exit < duration) c = i;
+  }
+  if (c < 0) return;
+  ++sleep_requests_;
+  const auto p = static_cast<std::uint8_t>(pstate_);
+  const HostCState& cs = cfg_.cstates[c];
+  // A new request supersedes any scheduled sleep from `now` on (the link's
+  // hardware-timer reprogram rule).
+  append(now, HostMode::Transition, p);
+  append(now + cs.entry, HostMode::Sleep, static_cast<std::uint8_t>(c));
+  append(now + duration, HostMode::Transition, p);
+  append(now + duration + cs.exit, HostMode::Active, p);
+  IBP_AUDIT(if (const std::string err = validate_schedule(); !err.empty())
+                IBP_AUDIT_FAIL(err.c_str()));
+}
+
+TimeNs HostPowerModel::next_active_time(TimeNs t) const {
+  std::ptrdiff_t i = segment_index(t);
+  if (i < 0) return t;
+  auto idx = static_cast<std::size_t>(i);
+  if (segments_[idx].mode == HostMode::Active) return t;
+  for (++idx; idx < segments_.size(); ++idx) {
+    if (segments_[idx].mode == HostMode::Active) return segments_[idx].begin;
+  }
+  // The schedule always ends Active, so this means t is beyond the last
+  // segment — a plain on-demand wake from the deepest state.
+  return t + cfg_.cstates[cfg_.cstate_count - 1].exit;
+}
+
+TimeNs HostPowerModel::on_call_arrival(TimeNs now) {
+  IBP_EXPECTS(!finished_);
+  ++mpi_calls_;
+  const std::ptrdiff_t i = segment_index(now);
+  if (i < 0) return TimeNs{};
+  const auto idx = static_cast<std::size_t>(i);
+  if (segments_[idx].mode == HostMode::Active) return TimeNs{};
+
+  const TimeNs scheduled = next_active_time(now);
+  TimeNs on_demand = TimeNs::max();
+  TimeNs wake_start{};
+  if (segments_[idx].mode == HostMode::Sleep) {
+    wake_start = now;
+    on_demand = now + cfg_.cstates[segments_[idx].level].exit;
+  } else {
+    // Transition: if entering sleep (the next non-Transition segment is
+    // Sleep), the wake can begin once entry completes; if already exiting,
+    // wait for it. A cap DVFS retarget may have split the transition, so
+    // skip over consecutive Transition segments.
+    std::size_t j = idx + 1;
+    while (j < segments_.size() &&
+           segments_[j].mode == HostMode::Transition) {
+      ++j;
+    }
+    if (j < segments_.size() && segments_[j].mode == HostMode::Sleep) {
+      wake_start = segments_[j].begin;
+      on_demand = wake_start + cfg_.cstates[segments_[j].level].exit;
+    }
+  }
+  const TimeNs active_at = min(scheduled, on_demand);
+  if (on_demand < scheduled) {
+    // Cut the sleep short and wake immediately (cancels the scheduled wake).
+    const auto p = static_cast<std::uint8_t>(pstate_);
+    append(wake_start, HostMode::Transition, p);
+    append(active_at, HostMode::Active, p);
+    ++on_demand_wakes_;
+  }
+  const TimeNs penalty = active_at - now;
+  wake_penalty_total_ += penalty;
+  IBP_AUDIT(if (const std::string err = validate_schedule(); !err.empty())
+                IBP_AUDIT_FAIL(err.c_str()));
+  return penalty;
+}
+
+void HostPowerModel::set_pstate(TimeNs t, int pstate) {
+  IBP_EXPECTS(!finished_);
+  IBP_EXPECTS(pstate >= 0 && pstate < cfg_.pstate_count);
+  if (pstate == pstate_) return;
+  ++pstate_changes_;
+  pstate_ = pstate;
+  const auto lvl = static_cast<std::uint8_t>(pstate);
+  const std::ptrdiff_t i = segment_index(t);
+  // Scheduled future segments (a pending sleep's transitions and wake) keep
+  // their shape but land in the new P-state.
+  for (auto j = static_cast<std::size_t>(i + 1); j < segments_.size(); ++j) {
+    if (segments_[j].mode != HostMode::Sleep) segments_[j].level = lvl;
+  }
+  const HostMode cur_mode =
+      i < 0 ? HostMode::Active : segments_[static_cast<std::size_t>(i)].mode;
+  // A sleeping package is below the floor P-state's draw no matter what, so
+  // the change can wait for the wake (already releveled above). Active and
+  // Transition segments retarget *now* — the cap allocator budgets the new
+  // assignment from this instant, so the draw must follow immediately even
+  // mid-transition.
+  if (cur_mode == HostMode::Sleep) return;
+  const std::uint8_t cur_lvl =
+      i < 0 ? std::uint8_t{0} : segments_[static_cast<std::size_t>(i)].level;
+  if (cur_lvl == lvl) return;
+  if (i >= 0 && segments_[static_cast<std::size_t>(i)].begin == t) {
+    // DVFS boundary coincides with an existing one: retarget it, merging
+    // away a segment made redundant with its predecessor.
+    const auto idx = static_cast<std::size_t>(i);
+    segments_[idx].level = lvl;
+    const bool merge =
+        idx == 0 ? cur_mode == HostMode::Active && lvl == 0
+                 : segments_[idx - 1].mode == cur_mode &&
+                       segments_[idx - 1].level == lvl;
+    if (merge) {
+      segments_.erase(segments_.begin() + static_cast<std::ptrdiff_t>(idx));
+    }
+  } else {
+    // Split the current segment at t, continuing in the same mode at the
+    // new level (a Transition split keeps its scheduled completion).
+    segments_.insert(segments_.begin() + (i + 1),
+                     HostModeSegment{t, cur_mode, lvl});
+  }
+  IBP_AUDIT(if (const std::string err = validate_schedule(); !err.empty())
+                IBP_AUDIT_FAIL(err.c_str()));
+}
+
+void HostPowerModel::finish(TimeNs end_time) {
+  IBP_EXPECTS(!finished_);
+  finished_ = true;
+  end_time_ = end_time;
+}
+
+TimeNs HostPowerModel::residency(HostMode mode) const {
+  IBP_EXPECTS(finished_);
+  TimeNs sum{};
+  for (std::size_t i = 0; i < segments_.size(); ++i) {
+    if (segments_[i].mode != mode) continue;
+    const TimeNs b = min(segments_[i].begin, end_time_);
+    const TimeNs e = i + 1 < segments_.size()
+                         ? min(segments_[i + 1].begin, end_time_)
+                         : end_time_;
+    if (e > b) sum += e - b;
+  }
+  if (mode == HostMode::Active) {
+    // Time before the first segment is Active at P0.
+    const TimeNs first =
+        segments_.empty() ? end_time_ : min(segments_.front().begin, end_time_);
+    sum += first;
+  }
+  return sum;
+}
+
+double HostPowerModel::segment_watts(const HostModeSegment& s) const {
+  return s.mode == HostMode::Sleep ? cfg_.cstates[s.level].watts
+                                   : cfg_.pstates[s.level].watts;
+}
+
+double HostPowerModel::mean_watts(TimeNs a, TimeNs b) const {
+  IBP_EXPECTS(a >= TimeNs::zero() && b > a);
+  const std::ptrdiff_t i = segment_index(a);
+  double watts = i < 0 ? cfg_.pstates[0].watts
+                       : segment_watts(segments_[static_cast<std::size_t>(i)]);
+  TimeNs cursor = a;
+  double weighted_ns = 0.0;
+  for (auto j = static_cast<std::size_t>(i + 1); j < segments_.size(); ++j) {
+    if (segments_[j].begin >= b) break;
+    weighted_ns +=
+        watts * static_cast<double>((segments_[j].begin - cursor).ns);
+    cursor = segments_[j].begin;
+    watts = segment_watts(segments_[j]);
+  }
+  weighted_ns += watts * static_cast<double>((b - cursor).ns);
+  return weighted_ns / static_cast<double>((b - a).ns);
+}
+
+std::string HostPowerModel::validate_schedule() const {
+  const auto name = host_mode_name;
+  HostMode prev = HostMode::Active;  // implicit initial state: Active@P0
+  std::uint8_t prev_level = 0;
+  TimeNs prev_begin = TimeNs{-1};
+  for (std::size_t i = 0; i < segments_.size(); ++i) {
+    const HostModeSegment& seg = segments_[i];
+    if (seg.begin < TimeNs::zero()) {
+      return "host segment " + std::to_string(i) + " begins before t=0";
+    }
+    if (seg.begin <= prev_begin) {
+      return "host segment " + std::to_string(i) +
+             " begin not strictly increasing";
+    }
+    const int level_bound = seg.mode == HostMode::Sleep
+                                ? cfg_.cstate_count
+                                : cfg_.pstate_count;
+    if (static_cast<int>(seg.level) >= level_bound) {
+      return "host segment " + std::to_string(i) + " level " +
+             std::to_string(static_cast<int>(seg.level)) +
+             " out of range for " + name(seg.mode);
+    }
+    if (seg.mode == prev && seg.level == prev_level) {
+      return "host segment " + std::to_string(i) + " repeats state " +
+             name(seg.mode) + "@" + std::to_string(static_cast<int>(seg.level));
+    }
+    // Legal edges: Active->Active and Transition->Transition are DVFS
+    // steps (the cap controller retargets an in-flight transition so the
+    // budget applies instantly); sleep entry and exit always pass through
+    // Transition.
+    const bool legal =
+        (prev == HostMode::Active &&
+         (seg.mode == HostMode::Active || seg.mode == HostMode::Transition)) ||
+        (prev == HostMode::Transition &&
+         (seg.mode == HostMode::Sleep || seg.mode == HostMode::Active ||
+          seg.mode == HostMode::Transition)) ||
+        (prev == HostMode::Sleep && seg.mode == HostMode::Transition);
+    if (!legal) {
+      return "illegal host mode edge " + std::string(name(prev)) + " -> " +
+             name(seg.mode) + " at segment " + std::to_string(i);
+    }
+    prev = seg.mode;
+    prev_level = seg.level;
+    prev_begin = seg.begin;
+  }
+  if (!segments_.empty() && prev != HostMode::Active) {
+    return "host schedule does not end Active (ends " +
+           std::string(name(prev)) + ")";
+  }
+  return {};
+}
+
+HostPowerSummary summarize_host(const HostPowerModel& host) {
+  const HostPowerConfig& cfg = host.config();
+  HostPowerSummary s;
+  s.active_time = host.residency(HostMode::Active);
+  s.sleep_time = host.residency(HostMode::Sleep);
+  s.transition_time = host.residency(HostMode::Transition);
+  const TimeNs e = host.end_time();
+  s.sleep_residency = e > TimeNs::zero() ? s.sleep_time / e : 0.0;
+  // Static energy: the clamped chronological residency integral. The
+  // auditors (check/host_audit) reproduce this walk independently and
+  // require bit-equality.
+  double weighted_ns = 0.0;
+  const auto& segs = host.segments();
+  {
+    const TimeNs first =
+        segs.empty() ? e : min(segs.front().begin, e);
+    weighted_ns += cfg.pstates[0].watts * static_cast<double>(first.ns);
+  }
+  for (std::size_t i = 0; i < segs.size(); ++i) {
+    const TimeNs b = min(segs[i].begin, e);
+    const TimeNs end = i + 1 < segs.size() ? min(segs[i + 1].begin, e) : e;
+    if (end <= b) continue;
+    const double watts = segs[i].mode == HostMode::Sleep
+                             ? cfg.cstates[segs[i].level].watts
+                             : cfg.pstates[segs[i].level].watts;
+    weighted_ns += watts * static_cast<double>((end - b).ns);
+  }
+  s.static_energy_joules = weighted_ns * 1e-9;
+  s.dynamic_energy_joules = dynamic_host_energy_joules(cfg, host.mpi_calls());
+  s.energy_joules = s.static_energy_joules + s.dynamic_energy_joules;
+  s.baseline_energy_joules =
+      cfg.pstates[0].watts * static_cast<double>(e.ns) * 1e-9;
+  s.savings_pct = s.baseline_energy_joules > 0.0
+                      ? (1.0 - s.energy_joules / s.baseline_energy_joules) *
+                            100.0
+                      : 0.0;
+  return s;
+}
+
+HostFleetSummary aggregate_hosts(
+    const std::vector<const HostPowerModel*>& hosts) {
+  HostFleetSummary fleet;
+  if (hosts.empty()) return fleet;
+  double residency_sum = 0.0;
+  for (const HostPowerModel* host : hosts) {
+    const HostPowerSummary s = summarize_host(*host);
+    residency_sum += s.sleep_residency;
+    fleet.total_energy_joules += s.energy_joules;
+    fleet.baseline_energy_joules += s.baseline_energy_joules;
+    fleet.sleep_requests += host->sleep_requests();
+    fleet.on_demand_wakes += host->on_demand_wakes();
+    fleet.pstate_changes += host->pstate_changes();
+    fleet.wake_penalty_total += host->wake_penalty_total();
+  }
+  fleet.mean_sleep_residency = residency_sum / static_cast<double>(hosts.size());
+  fleet.savings_pct =
+      fleet.baseline_energy_joules > 0.0
+          ? (1.0 - fleet.total_energy_joules / fleet.baseline_energy_joules) *
+                100.0
+          : 0.0;
+  return fleet;
+}
+
+void allocate_power_cap(const HostPowerConfig& cfg, const CapRankSlot* slots,
+                        std::size_t nranks, std::uint8_t* out_pstate,
+                        std::uint32_t* order_scratch) {
+  const auto floor_idx = static_cast<std::uint8_t>(cfg.pstate_count - 1);
+  const double floor_watts = cfg.pstates[floor_idx].watts;
+  double budget = cfg.power_cap_watts;
+  std::size_t nlive = 0;
+  for (std::size_t r = 0; r < nranks; ++r) {
+    if (slots[r].retired) {
+      budget -= slots[r].retired_watts;
+      out_pstate[r] = floor_idx;
+    } else {
+      order_scratch[nlive++] = static_cast<std::uint32_t>(r);
+    }
+  }
+  // Hungriest ranks first; rank id breaks ties, so the order — and the
+  // whole allocation — is a pure deterministic function of the board.
+  std::sort(order_scratch, order_scratch + nlive,
+            [slots](std::uint32_t a, std::uint32_t b) {
+              const double da = slots[a].demand_watts;
+              const double db = slots[b].demand_watts;
+              if (da != db) return da > db;
+              return a < b;
+            });
+  double reserve = static_cast<double>(nlive) * floor_watts;
+  for (std::size_t k = 0; k < nlive; ++k) {
+    const std::uint32_t r = order_scratch[k];
+    reserve -= floor_watts;
+    std::uint8_t chosen = floor_idx;
+    for (int p = 0; p < cfg.pstate_count; ++p) {
+      if (cfg.pstates[p].watts <= budget - reserve) {
+        chosen = static_cast<std::uint8_t>(p);
+        break;
+      }
+    }
+    out_pstate[r] = chosen;
+    budget -= cfg.pstates[chosen].watts;
+  }
+}
+
+}  // namespace ibpower

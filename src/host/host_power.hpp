@@ -1,0 +1,317 @@
+// Host-side power co-management (COUNTDOWN / PoLiMEr direction, DESIGN.md
+// §15): a per-rank CPU power model with DVFS P-states and idle C-states,
+// driven from the *same* per-rank idle-prediction stream that gates the IB
+// uplink, plus a deterministic cluster-wide power-cap layer that
+// redistributes slack watts between ranks each accounting epoch.
+//
+// Modeling premise. The gated host domains are the ones MPI engagement
+// needs — uncore, memory channels, the network stack — not the compute
+// cores: a predicted inter-call gap is compute time on the cores, and
+// COUNTDOWN's observation is that the *MPI-side* machinery can drop to a
+// low-power state across it without slowing the computation. The model
+// therefore sleeps during exactly the post-guard windows the PmpiAgent
+// requests for the link (no second prediction path), charges entry/exit
+// transitions at active power (the link model's Transition convention), and
+// charges the residual exit latency onto the rank's timeline only when the
+// rank re-enters MPI before the scheduled wake completed — the same
+// on-demand-wake shape as IbLink. The deep C-state's exit latency defaults
+// to Treact, so the predictor's safety margin (Alg. 3) covers the host wake
+// exactly as it covers the lane reactivation; that is what makes the
+// COUNTDOWN performance-neutrality claim structural rather than tuned.
+//
+// The cap layer is PoLiMEr-shaped bookkeeping (SNIPPETS.md power_manager_t):
+// every rank publishes its mean draw over the last epoch, and a pure
+// deterministic allocation function hands the fastest affordable P-state to
+// the hungriest ranks while reserving the floor P-state for everyone else.
+// DVFS is modeled as instantaneous (frequency switch latency is orders of
+// magnitude under the epoch length); a compute burst is stretched by the
+// reciprocal of the P-state speed in effect when it starts.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/pmpi_agent.hpp"  // LinkPowerPort
+#include "util/time_types.hpp"
+
+namespace ibpower {
+
+/// Which host-side policy consumes the prediction stream. Off leaves the
+/// host subsystem entirely inert (no models, no columns, byte-identical
+/// outputs); Countdown mirrors every post-guard link sleep request onto the
+/// rank's host model.
+enum class HostPolicyKind : std::uint8_t { Off = 0, Countdown = 1 };
+
+[[nodiscard]] const char* host_policy_name(HostPolicyKind kind);
+/// Parse a policy name ("off", "countdown"). Returns false and leaves
+/// `out` untouched on an unknown name.
+[[nodiscard]] bool parse_host_policy(const std::string& name,
+                                     HostPolicyKind* out);
+
+/// One DVFS operating point: package draw when active and relative compute
+/// speed (P0 = 1.0).
+struct HostPState {
+  double watts{0.0};
+  double speed{1.0};
+  friend bool operator==(const HostPState&, const HostPState&) = default;
+};
+
+/// One idle sleep state: residual draw plus entry/exit latencies (the host
+/// analog of the link's t_deact/t_react).
+struct HostCState {
+  double watts{0.0};
+  TimeNs entry{};
+  TimeNs exit{};
+  friend bool operator==(const HostCState&, const HostCState&) = default;
+};
+
+struct HostPowerConfig {
+  // Fixed-capacity tables so the config stays trivially copyable and the
+  // steady-state replay path stays allocation-free.
+  static constexpr int kMaxPStates = 6;
+  static constexpr int kMaxCStates = 4;
+
+  HostPolicyKind policy{HostPolicyKind::Off};
+
+  /// Cluster-wide active-power budget in watts; 0 disables the cap layer.
+  /// Must admit every rank at the floor P-state (validated at replay setup).
+  double power_cap_watts{0.0};
+  /// Cap accounting epoch: demands publish at k*E, allocations apply at
+  /// k*E + E/2. Must be >= 4x the sharded replay's lookahead so the epoch
+  /// protocol's cross-shard reads stay inside the conservative window.
+  TimeNs cap_epoch{TimeNs::from_us(std::int64_t{500})};
+
+  /// P-states, fastest first: strictly decreasing watts, non-increasing
+  /// speed, pstates[0].speed == 1.0. Defaults are a Haswell-Xeon-class
+  /// package (COUNTDOWN's platform family): 90 W flat out, two DVFS steps.
+  int pstate_count{3};
+  HostPState pstates[kMaxPStates]{{90.0, 1.0}, {65.0, 0.8}, {45.0, 0.6}};
+
+  /// C-states, shallowest first: strictly decreasing watts, non-decreasing
+  /// latencies. The deep state's exit defaults to Treact (10 us) — see the
+  /// header comment for why that equality matters.
+  int cstate_count{2};
+  HostCState cstates[kMaxCStates]{
+      {25.0, TimeNs::from_us(std::int64_t{1}), TimeNs::from_us(std::int64_t{2})},
+      {5.0, TimeNs::from_us(std::int64_t{4}),
+       TimeNs::from_us(std::int64_t{10})}};
+
+  /// Dynamic (per-event) energy of one intercepted MPI call in microjoules:
+  /// the PMPI-layer work the static residency integral cannot see. The host
+  /// analog of the link model's per-bit dynamic component.
+  double dynamic_uj_per_call{1.5};
+
+  /// True when any host-side mechanism is active. Everything — model
+  /// construction, timeline perturbation, telemetry columns — gates on
+  /// this, so disabled runs stay byte-identical to pre-host builds.
+  [[nodiscard]] bool enabled() const {
+    return policy != HostPolicyKind::Off || power_cap_watts > 0.0;
+  }
+
+  [[nodiscard]] bool valid() const;
+
+  friend bool operator==(const HostPowerConfig&,
+                         const HostPowerConfig&) = default;
+};
+
+/// Parse a "--host-pstates" table: comma-separated "watts:speed" pairs,
+/// fastest first (e.g. "90:1.0,65:0.8,45:0.6"). Returns false on a
+/// malformed table, leaving `cfg` untouched.
+[[nodiscard]] bool parse_host_pstates(const std::string& spec,
+                                      HostPowerConfig* cfg);
+
+enum class HostMode : std::uint8_t { Active = 0, Sleep = 1, Transition = 2 };
+
+[[nodiscard]] const char* host_mode_name(HostMode mode);
+
+/// One entry of a host's mode schedule. `level` indexes the config tables:
+/// the P-state for Active and Transition segments (transitions are charged
+/// at active watts, the link model's convention), the C-state for Sleep.
+struct HostModeSegment {
+  TimeNs begin{};
+  HostMode mode{HostMode::Active};
+  std::uint8_t level{0};
+};
+
+/// Per-rank host power model: an IbLink-shaped mode-schedule FSM over
+/// {Active@P, Sleep@C, Transition} with the same append/supersede, finish,
+/// residency and validate_schedule contracts.
+class HostPowerModel {
+ public:
+  explicit HostPowerModel(const HostPowerConfig& cfg = HostPowerConfig());
+
+  /// Return to the freshly-constructed state for `cfg` while keeping the
+  /// segment buffer (reset-and-reuse protocol, DESIGN.md §7).
+  void reset(const HostPowerConfig& cfg);
+
+  /// Countdown controller: mirror a post-guard link sleep request. Picks
+  /// the deepest C-state whose entry+exit overheads fit inside `duration`
+  /// (no-op when none fits), schedules Sleep until now+duration and Active
+  /// again at now+duration+exit. A new request supersedes any scheduled
+  /// sleep from `now` on, like the link's hardware-timer reprogram.
+  void request_sleep(TimeNs now, TimeNs duration);
+
+  /// The rank re-engages MPI at `now`: counts the intercepted call and, if
+  /// the host is not Active (prediction overran), performs an on-demand
+  /// wake — the call waits for the earlier of the scheduled wake and
+  /// now + exit latency. Returns the wait (zero when active), which the
+  /// replay engine charges onto the rank's timeline.
+  [[nodiscard]] TimeNs on_call_arrival(TimeNs now);
+
+  /// Cap controller: switch the active P-state at `t` (instantaneous DVFS).
+  /// Takes effect immediately when active; a scheduled sleep keeps its
+  /// shape and wakes into the new P-state.
+  void set_pstate(TimeNs t, int pstate);
+
+  [[nodiscard]] int pstate() const { return pstate_; }
+  /// Relative compute speed of the current P-state (P0 = 1.0).
+  [[nodiscard]] double speed() const {
+    return cfg_.pstates[pstate_].speed;
+  }
+
+  /// Close the timeline at the end of the simulated execution.
+  void finish(TimeNs end_time);
+
+  [[nodiscard]] const std::vector<HostModeSegment>& segments() const {
+    return segments_;
+  }
+  [[nodiscard]] HostMode mode_at(TimeNs t) const;
+  /// Total time spent in `mode` over [0, end_time]; requires finish().
+  [[nodiscard]] TimeNs residency(HostMode mode) const;
+  [[nodiscard]] TimeNs end_time() const { return end_time_; }
+
+  /// Mean static draw in watts over [a, b) under the current schedule
+  /// (pre-finish; used for the cap layer's per-epoch demand).
+  [[nodiscard]] double mean_watts(TimeNs a, TimeNs b) const;
+
+  [[nodiscard]] std::uint64_t sleep_requests() const {
+    return sleep_requests_;
+  }
+  [[nodiscard]] std::uint64_t on_demand_wakes() const {
+    return on_demand_wakes_;
+  }
+  [[nodiscard]] std::uint64_t pstate_changes() const {
+    return pstate_changes_;
+  }
+  [[nodiscard]] std::uint64_t mpi_calls() const { return mpi_calls_; }
+  [[nodiscard]] TimeNs wake_penalty_total() const {
+    return wake_penalty_total_;
+  }
+
+  [[nodiscard]] const HostPowerConfig& config() const { return cfg_; }
+
+  /// Invariant audit of the mode schedule (check/ subsystem): begins
+  /// strictly increasing, levels in range, no identical-state adjacency,
+  /// legal FSM edges only (Active->Active is DVFS; Sleep entry/exit always
+  /// pass through Transition), and the schedule ends Active. Empty string
+  /// when valid.
+  [[nodiscard]] std::string validate_schedule() const;
+
+ private:
+  /// Append a state change at `t`, dropping any scheduled changes at or
+  /// after `t` (the IbLink::append_mode supersede rule).
+  void append(TimeNs t, HostMode mode, std::uint8_t level);
+  [[nodiscard]] std::ptrdiff_t segment_index(TimeNs t) const;
+  /// Earliest time >= t at which the host is (or becomes) Active.
+  [[nodiscard]] TimeNs next_active_time(TimeNs t) const;
+  [[nodiscard]] double segment_watts(const HostModeSegment& s) const;
+
+  HostPowerConfig cfg_;
+  std::vector<HostModeSegment> segments_;
+  TimeNs end_time_{};
+  bool finished_{false};
+  int pstate_{0};
+  std::uint64_t sleep_requests_{0};
+  std::uint64_t on_demand_wakes_{0};
+  std::uint64_t pstate_changes_{0};
+  std::uint64_t mpi_calls_{0};
+  TimeNs wake_penalty_total_{};
+};
+
+/// Dynamic (per-call) host energy for `calls` intercepted MPI calls. The
+/// single definition shared by summarize_host, the obs collector and the
+/// auditors so closure comparisons see identical doubles.
+[[nodiscard]] inline double dynamic_host_energy_joules(
+    const HostPowerConfig& cfg, std::uint64_t calls) {
+  return cfg.dynamic_uj_per_call * 1e-6 * static_cast<double>(calls);
+}
+
+/// Energy summary for one host over a finished execution. The baseline is
+/// the power-unaware host: flat out at P0 with no PMPI layer (so no
+/// dynamic charge).
+struct HostPowerSummary {
+  TimeNs active_time{};
+  TimeNs sleep_time{};
+  TimeNs transition_time{};
+  double sleep_residency{0.0};
+  double energy_joules{0.0};  // static + dynamic
+  double static_energy_joules{0.0};
+  double dynamic_energy_joules{0.0};
+  double baseline_energy_joules{0.0};
+  double savings_pct{0.0};
+};
+
+[[nodiscard]] HostPowerSummary summarize_host(const HostPowerModel& host);
+
+/// Fleet roll-up over every rank's host (the FleetPowerSummary analog).
+/// Trivially copyable so experiment results can compare it by bit pattern.
+struct HostFleetSummary {
+  double mean_sleep_residency{0.0};
+  double total_energy_joules{0.0};
+  double baseline_energy_joules{0.0};
+  double savings_pct{0.0};
+  std::uint64_t sleep_requests{0};
+  std::uint64_t on_demand_wakes{0};
+  std::uint64_t pstate_changes{0};
+  TimeNs wake_penalty_total{};
+};
+
+[[nodiscard]] HostFleetSummary aggregate_hosts(
+    const std::vector<const HostPowerModel*>& hosts);
+
+/// LinkPowerPort tee wired between each rank's PmpiAgent and its node
+/// uplink: forwards every WRPS request to the link unchanged and, under the
+/// countdown policy, mirrors it onto the rank's host model. This is the
+/// whole controller — one prediction stream, two actuation targets.
+class HostLinkPort final : public LinkPowerPort {
+ public:
+  void bind(LinkPowerPort* link, HostPowerModel* host) {
+    link_ = link;
+    host_ = host;
+  }
+  void request_low_power(TimeNs now, TimeNs duration) override {
+    if (link_ != nullptr) link_->request_low_power(now, duration);
+    if (host_ != nullptr) host_->request_sleep(now, duration);
+  }
+
+ private:
+  LinkPowerPort* link_{nullptr};
+  HostPowerModel* host_{nullptr};
+};
+
+// --- cluster power cap (PoLiMEr power_manager_t bookkeeping shape) ----------
+
+/// One rank's slot on the cap bookkeeping board. Written only by its own
+/// rank's epoch events; read by every rank's allocation half an epoch later
+/// (the conservative-sync window makes that read race-free — DESIGN.md §15).
+struct CapRankSlot {
+  std::int64_t epoch{-1};      // last epoch this slot was published for
+  double demand_watts{0.0};    // mean static draw over the last epoch
+  double retired_watts{0.0};   // frozen draw once the rank finished
+  bool retired{false};
+};
+
+/// Deterministic cluster-cap allocation: a pure function of the board, so
+/// every rank (in any shard) computes the identical assignment. Budget =
+/// power_cap_watts minus the frozen draw of retired ranks; live ranks are
+/// ordered by (demand desc, rank asc) and greedily given the fastest
+/// P-state affordable while reserving the floor P-state's watts for every
+/// rank still waiting. `out_pstate` and `order_scratch` are caller-owned
+/// arrays of `nranks` entries; retired ranks' assignments are set to the
+/// floor P-state and never applied.
+void allocate_power_cap(const HostPowerConfig& cfg, const CapRankSlot* slots,
+                        std::size_t nranks, std::uint8_t* out_pstate,
+                        std::uint32_t* order_scratch);
+
+}  // namespace ibpower

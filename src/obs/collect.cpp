@@ -52,6 +52,43 @@ LinkMetrics collect_link(std::int32_t id, const IbLink& link,
   return m;
 }
 
+HostMetrics collect_host(std::int32_t rank, const HostPowerModel& host) {
+  HostMetrics m;
+  m.rank = rank;
+  m.exec = host.end_time();
+
+  // Residency from the raw segment log — the same clamped walk the
+  // auditor's integration uses, independent of HostPowerModel::residency().
+  TimeNs cursor = TimeNs::zero();
+  HostMode mode = HostMode::Active;
+  const auto flush = [&](TimeNs until) {
+    const TimeNs e = min(until, m.exec);
+    if (e > cursor) {
+      m.residency[static_cast<std::size_t>(mode)] += e - cursor;
+      cursor = e;
+    }
+  };
+  for (const HostModeSegment& seg : host.segments()) {
+    flush(seg.begin);
+    cursor = max(cursor, min(seg.begin, m.exec));
+    mode = seg.mode;
+  }
+  flush(m.exec);
+
+  m.sleep_requests = host.sleep_requests();
+  m.on_demand_wakes = host.on_demand_wakes();
+  m.pstate_changes = host.pstate_changes();
+  m.mpi_calls = host.mpi_calls();
+  m.wake_penalty_total = host.wake_penalty_total();
+  m.final_pstate = host.pstate();
+  m.static_energy_joules = integrate_host_energy(host);
+  m.dynamic_energy_joules =
+      dynamic_host_energy_joules(host.config(), host.mpi_calls());
+  m.energy_joules = m.static_energy_joules + m.dynamic_energy_joules;
+  m.savings_pct = summarize_host(host).savings_pct;
+  return m;
+}
+
 }  // namespace
 
 ReplayMetrics collect_replay_metrics(const ReplayEngine& engine,
@@ -81,6 +118,15 @@ ReplayMetrics collect_replay_metrics(const ReplayEngine& engine,
         static_cast<std::size_t>(topo.num_links() - topo.num_nodes()));
     for (LinkId l = topo.num_nodes(); l < topo.num_links(); ++l) {
       m.trunks.push_back(collect_link(l, fabric.link(l), cfg));
+    }
+  }
+
+  // Host rows only when host co-management ran (the trunks idiom: absent
+  // otherwise, keeping pre-host snapshots byte-identical).
+  if (engine.host(0) != nullptr) {
+    m.hosts.reserve(static_cast<std::size_t>(engine.nranks()));
+    for (Rank r = 0; r < engine.nranks(); ++r) {
+      m.hosts.push_back(collect_host(r, *engine.host(r)));
     }
   }
 
@@ -150,6 +196,37 @@ std::string rank_err(const RankMetrics& r, const std::string& what) {
   return "rank " + std::to_string(r.rank) + ": " + what;
 }
 
+std::string host_err(const HostMetrics& h, const std::string& what) {
+  return "host " + std::to_string(h.rank) + ": " + what;
+}
+
+std::string validate_host(const HostMetrics& h) {
+  if (h.exec < TimeNs::zero()) return host_err(h, "negative exec time");
+  const TimeNs sum = h.residency[0] + h.residency[1] + h.residency[2];
+  if (sum != h.exec) {
+    return host_err(h, "residencies sum to " + std::to_string(sum.ns) +
+                           " ns but exec is " + std::to_string(h.exec.ns) +
+                           " ns");
+  }
+  for (std::size_t i = 0; i < 3; ++i) {
+    if (h.residency[i] < TimeNs::zero()) {
+      return host_err(h, "negative residency for mode " + std::to_string(i));
+    }
+  }
+  if (h.energy_joules != h.static_energy_joules + h.dynamic_energy_joules) {
+    return host_err(h, "energy != static + dynamic");
+  }
+  if (h.energy_joules < 0.0) return host_err(h, "negative energy");
+  if (h.on_demand_wakes > h.mpi_calls) {
+    return host_err(h, "on-demand wakes exceed MPI calls");
+  }
+  if (h.residency[1] > TimeNs::zero() && h.sleep_requests == 0) {
+    return host_err(h, "sleep residency without a sleep request");
+  }
+  if (h.final_pstate < 0) return host_err(h, "negative final P-state");
+  return {};
+}
+
 std::string validate_rank(const RankMetrics& r) {
   const auto& p = r.prediction;
   if (p.predicted_idle.samples !=
@@ -215,6 +292,9 @@ std::string validate_metrics(const ReplayMetrics& m) {
         }
       }
     }
+  }
+  for (const HostMetrics& h : m.hosts) {
+    if (std::string err = validate_host(h); !err.empty()) return err;
   }
   if (!m.managed && !m.ranks.empty()) {
     return "baseline snapshot carries rank telemetry";

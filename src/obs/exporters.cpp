@@ -85,6 +85,23 @@ void write_link_json(std::ostream& os, const LinkMetrics& l,
   os << "}";
 }
 
+void write_host_json(std::ostream& os, const HostMetrics& h) {
+  os << "{\"rank\": " << h.rank << ", \"exec_ns\": " << h.exec.ns
+     << ", \"residency_active_ns\": " << h.residency[0].ns
+     << ", \"residency_sleep_ns\": " << h.residency[1].ns
+     << ", \"residency_transition_ns\": " << h.residency[2].ns
+     << ", \"sleep_requests\": " << h.sleep_requests
+     << ", \"on_demand_wakes\": " << h.on_demand_wakes
+     << ", \"pstate_changes\": " << h.pstate_changes
+     << ", \"mpi_calls\": " << h.mpi_calls
+     << ", \"wake_penalty_ns\": " << h.wake_penalty_total.ns
+     << ", \"final_pstate\": " << h.final_pstate
+     << ", \"energy_joules\": " << fmt_double(h.energy_joules)
+     << ", \"static_energy_joules\": " << fmt_double(h.static_energy_joules)
+     << ", \"dynamic_energy_joules\": " << fmt_double(h.dynamic_energy_joules)
+     << ", \"savings_pct\": " << fmt_double(h.savings_pct) << "}";
+}
+
 void write_rank_json(std::ostream& os, const RankMetrics& r,
                      bool predictor_columns) {
   const AgentStats& s = r.stats;
@@ -135,6 +152,15 @@ void write_replay_json(std::ostream& os, const ReplayMetrics& m) {
     for (std::size_t i = 0; i < m.trunks.size(); ++i) {
       if (i != 0) os << ", ";
       write_link_json(os, m.trunks[i], m.energy_split);
+    }
+    os << "]";
+  }
+  // Host rows exist only when host co-management ran (same idiom).
+  if (!m.hosts.empty()) {
+    os << ", \"hosts\": [";
+    for (std::size_t i = 0; i < m.hosts.size(); ++i) {
+      if (i != 0) os << ", ";
+      write_host_json(os, m.hosts[i]);
     }
     os << "]";
   }

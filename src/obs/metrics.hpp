@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "core/pmpi_agent.hpp"
+#include "host/host_power.hpp"
 #include "network/ib_link.hpp"
 #include "obs/counters.hpp"
 #include "sim/replay.hpp"
@@ -58,6 +59,32 @@ struct LinkMetrics {
   friend bool operator==(const LinkMetrics&, const LinkMetrics&) = default;
 };
 
+/// Per-rank host power telemetry (host co-management runs only, DESIGN.md
+/// §15). Residencies are recomputed from the copied segment log —
+/// independently of HostPowerModel::residency() — and energy uses the
+/// check/ auditor's own integration, mirroring LinkMetrics.
+struct HostMetrics {
+  std::int32_t rank{0};
+  TimeNs exec{};
+  /// Residency per HostMode value (Active, Sleep, Transition). Partitions
+  /// [0, exec] exactly (integer ns).
+  TimeNs residency[3]{};
+  std::uint64_t sleep_requests{0};
+  std::uint64_t on_demand_wakes{0};
+  std::uint64_t pstate_changes{0};
+  std::uint64_t mpi_calls{0};
+  TimeNs wake_penalty_total{};
+  std::int32_t final_pstate{0};
+  /// integrate_host_energy + the shared dynamic term — bit-equal to the
+  /// check/ recomputation by construction.
+  double energy_joules{0.0};
+  double static_energy_joules{0.0};
+  double dynamic_energy_joules{0.0};
+  double savings_pct{0.0};  // summarize_host's reported savings
+
+  friend bool operator==(const HostMetrics&, const HostMetrics&) = default;
+};
+
 /// Per-rank prediction telemetry (managed runs only).
 struct RankMetrics {
   std::int32_t rank{0};
@@ -91,6 +118,10 @@ struct ReplayMetrics {
   /// policy — empty otherwise, so pre-existing snapshots and exports stay
   /// byte-identical with the policy off.
   std::vector<LinkMetrics> trunks;
+  /// Per-rank host rows. Collected only when the replay ran host
+  /// co-management — empty otherwise, so pre-host snapshots and exports
+  /// stay byte-identical (the trunks idiom).
+  std::vector<HostMetrics> hosts;
   std::vector<RankMetrics> ranks;  // empty for baseline legs
 
   friend bool operator==(const ReplayMetrics&, const ReplayMetrics&) = default;

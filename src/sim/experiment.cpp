@@ -135,6 +135,7 @@ ManagedLegResult run_managed_leg(const ExperimentConfig& cfg,
   opt.eager_threshold = cfg.eager_threshold;
   opt.record_call_timeline = cfg.record_call_timeline;
   opt.shards = cfg.shards;
+  opt.host = cfg.host;
   ReplayEngine engine(&trace, opt, memory);
   const ReplayResult rr = engine.run();
   ManagedLegResult leg;
@@ -164,6 +165,15 @@ ManagedLegResult run_managed_leg(const ExperimentConfig& cfg,
   for (LinkId l = 0; l < nlinks; ++l) all_ports.push_back(&fabric.link(l));
   leg.fabric_power = aggregate_power(all_ports, cfg.power);
 
+  if (engine.host(0) != nullptr) {
+    std::vector<const HostPowerModel*> hosts;
+    hosts.reserve(static_cast<std::size_t>(cfg.workload.nranks));
+    for (Rank r = 0; r < cfg.workload.nranks; ++r) {
+      hosts.push_back(engine.host(r));
+    }
+    leg.hosts = aggregate_hosts(hosts);
+  }
+
   if (probe) probe(engine, rr);
   return leg;
 }
@@ -190,6 +200,22 @@ ExperimentResult combine_legs(const Trace& trace,
         (static_cast<double>(result.managed_time.ns) -
          static_cast<double>(result.baseline_time.ns)) /
         static_cast<double>(result.baseline_time.ns);
+  }
+  result.hosts = managed.hosts;
+  if (managed.hosts.baseline_energy_joules > 0.0) {
+    // System view = every fabric link plus every rank's host; baseline is
+    // the power-unaware system (always-on links, hosts flat out at P0).
+    result.system_energy_joules = managed.fabric_power.total_energy_joules +
+                                  managed.hosts.total_energy_joules;
+    result.system_baseline_energy_joules =
+        managed.fabric_power.baseline_energy_joules +
+        managed.hosts.baseline_energy_joules;
+    result.system_savings_pct =
+        result.system_baseline_energy_joules > 0.0
+            ? (1.0 - result.system_energy_joules /
+                         result.system_baseline_energy_joules) *
+                  100.0
+            : 0.0;
   }
   return result;
 }
@@ -230,7 +256,12 @@ bool bit_identical(const ExperimentResult& a, const ExperimentResult& b) {
          bits_equal(a.wake_penalty_total, b.wake_penalty_total) &&
          bits_equal(a.mpi_calls, b.mpi_calls) &&
          bits_equal(a.messages, b.messages) &&
-         bits_equal(a.sim_events, b.sim_events);
+         bits_equal(a.sim_events, b.sim_events) &&
+         bits_equal(a.hosts, b.hosts) &&
+         bits_equal(a.system_energy_joules, b.system_energy_joules) &&
+         bits_equal(a.system_baseline_energy_joules,
+                    b.system_baseline_energy_joules) &&
+         bits_equal(a.system_savings_pct, b.system_savings_pct);
 }
 
 double dry_run_hit_rate(

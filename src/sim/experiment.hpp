@@ -26,6 +26,10 @@ struct ExperimentConfig {
   /// Intra-replay shard count (ReplayOptions::shards): 1 = serial, <= 0 =
   /// auto. Bit-identical results for every value — a performance knob only.
   int shards{1};
+  /// Host-side power co-management (managed leg only; DESIGN.md §15).
+  /// Disabled by default, leaving every result field and export byte
+  /// untouched.
+  HostPowerConfig host{};
 };
 
 struct ExperimentResult {
@@ -46,6 +50,14 @@ struct ExperimentResult {
   std::uint64_t mpi_calls{0};
   std::uint64_t messages{0};
   std::uint64_t sim_events{0};  // DES events, baseline + managed replays
+  /// Host co-management roll-up (zeros when ExperimentConfig::host is off).
+  HostFleetSummary hosts{};
+  /// Total system energy of the managed run: every fabric link plus every
+  /// rank's host. The baseline is the power-unaware system (always-on
+  /// links, hosts flat out at P0). Zeros when host co-management is off.
+  double system_energy_joules{0.0};
+  double system_baseline_energy_joules{0.0};
+  double system_savings_pct{0.0};
 };
 
 /// Generate the workload trace and run baseline + managed replays.
@@ -115,6 +127,7 @@ struct ManagedLegResult {
   TimeNs wake_penalty_total{};
   std::uint64_t messages{0};
   std::uint64_t events{0};
+  HostFleetSummary hosts{};  // zeros when host co-management is off
 };
 
 /// `memory` is an optional reusable ReplayMemory workspace (the parallel

@@ -111,14 +111,90 @@ ReplayEngine::ReplayEngine(const Trace* trace, const ReplayOptions& options,
     boards_[k].enter = arena_->allocate_array<TimeNs>(nsz);
   }
 
+  // --- host-side power co-management (DESIGN.md §15) -----------------------
+  // Built before the agents so the countdown tee ports exist when each
+  // agent binds its power port. Everything below gates on enabled():
+  // disabled runs allocate no host state and schedule no host events.
+  host_on_ = opt_.host.enabled();
+  if (host_on_) {
+    if (!opt_.host.valid()) {
+      throw std::runtime_error("replay: invalid host power configuration");
+    }
+    hosts_ = arena_->allocate_array<HostPowerModel*>(nsz);
+    for (std::size_t i = 0; i < nsz; ++i) {
+      hosts_[i] = &mem_->acquire_host(i, opt_.host);
+    }
+    if (opt_.host.policy == HostPolicyKind::Countdown &&
+        opt_.enable_power_management) {
+      host_ports_ = static_cast<HostLinkPort*>(arena_->allocate(
+          nsz * sizeof(HostLinkPort), alignof(HostLinkPort)));
+      for (std::size_t i = 0; i < nsz; ++i) {
+        new (host_ports_ + i) HostLinkPort{};
+        host_ports_[i].bind(&fabric_->node_link(static_cast<Rank>(i)),
+                            hosts_[i]);
+      }
+    }
+    cap_on_ = opt_.host.power_cap_watts > 0.0;
+    cap_epoch_ = opt_.host.cap_epoch;
+    if (cap_on_) {
+      if (cap_epoch_ <= TimeNs::zero()) {
+        throw std::runtime_error("replay: cap epoch must be positive");
+      }
+      if (nshards_ > 1 && cap_epoch_ < 4 * lookahead_) {
+        // The epoch protocol's race freedom needs E/2 >= 2x lookahead:
+        // epoch-k publishes (at kE) must be conservatively ordered before
+        // every epoch-k read (at kE + E/2), and those reads before the
+        // epoch-(k+1) publishes.
+        throw std::runtime_error(
+            "replay: cap epoch " + std::to_string(cap_epoch_.ns) +
+            "ns is below 4x the shard lookahead (" +
+            std::to_string(lookahead_.ns) +
+            "ns); raise --cap-epoch or run serial");
+      }
+      const double floor_watts =
+          opt_.host.pstates[opt_.host.pstate_count - 1].watts;
+      if (opt_.host.power_cap_watts <
+          floor_watts * static_cast<double>(n)) {
+        throw std::runtime_error(
+            "replay: power cap infeasible: " +
+            std::to_string(opt_.host.power_cap_watts) + " W < " +
+            std::to_string(n) + " ranks at the floor P-state (" +
+            std::to_string(floor_watts) + " W each)");
+      }
+      cap_slots_ = arena_->allocate_array<CapRankSlot>(nsz);
+      for (std::size_t i = 0; i < nsz; ++i) new (cap_slots_ + i) CapRankSlot{};
+      cap_shards_ = static_cast<CapShardState*>(arena_->allocate(
+          static_cast<std::size_t>(nshards_) * sizeof(CapShardState),
+          alignof(CapShardState)));
+      for (int s = 0; s < nshards_; ++s) {
+        new (cap_shards_ + s) CapShardState{};
+        MonotonicArena& sa = slab_ptrs_[s]->arena;
+        cap_shards_[s].assign = sa.allocate_array<std::uint8_t>(nsz);
+        cap_shards_[s].order = sa.allocate_array<std::uint32_t>(nsz);
+      }
+      // Initial allocation at t = 0: every rank live with zero demand, so
+      // ties break on rank order and the assignment is deterministic.
+      allocate_power_cap(opt_.host, cap_slots_, nsz, cap_shards_[0].assign,
+                         cap_shards_[0].order);
+      for (std::size_t i = 0; i < nsz; ++i) {
+        hosts_[i]->set_pstate(TimeNs::zero(), cap_shards_[0].assign[i]);
+      }
+    }
+  }
+
   agents_ = nullptr;
   if (opt_.enable_power_management) {
     IBP_EXPECTS(opt_.ppa.valid());
     agents_count_ = nsz;
     agents_ = arena_->allocate_array<PmpiAgent*>(nsz);
     for (Rank r = 0; r < trace->nranks(); ++r) {
+      LinkPowerPort* port =
+          host_ports_ != nullptr
+              ? static_cast<LinkPowerPort*>(
+                    &host_ports_[static_cast<std::size_t>(r)])
+              : static_cast<LinkPowerPort*>(&fabric_->node_link(r));
       agents_[static_cast<std::size_t>(r)] = &mem_->acquire_agent(
-          static_cast<std::size_t>(r), opt_.ppa, &fabric_->node_link(r));
+          static_cast<std::size_t>(r), opt_.ppa, port);
     }
   }
 }
@@ -173,6 +249,50 @@ void ReplayEngine::throw_deadlock() const {
   throw std::runtime_error(diag);
 }
 
+void ReplayEngine::cap_epoch_event(Rank r, std::int64_t k) {
+  const auto i = static_cast<std::size_t>(r);
+  CapRankSlot& slot = cap_slots_[i];
+  slot.epoch = k;
+  if (ranks_[i].done) {
+    // Freeze the rank's draw at its last assigned P-state and end the
+    // chain; the budget keeps funding it (conservative) but its slot never
+    // changes again, so allocation inputs stay deterministic.
+    slot.retired = true;
+    slot.retired_watts =
+        opt_.host.pstates[hosts_[i]->pstate()].watts;
+    return;
+  }
+  const TimeNs now = cap_epoch_ * k;
+  slot.demand_watts = hosts_[i]->mean_watts(now - cap_epoch_, now);
+  const TimeNs half = TimeNs{cap_epoch_.ns / 2};
+  sched_rank(r, now + half, [this, r, k] { cap_apply_event(r, k); });
+  sched_rank(r, now + cap_epoch_,
+             [this, r, k] { cap_epoch_event(r, k + 1); });
+}
+
+void ReplayEngine::cap_apply_event(Rank r, std::int64_t k) {
+  // A rank that finished between publish and apply still takes its
+  // assignment: the host stays powered until the run ends, and the epoch-k
+  // allocation already budgeted it at the assigned P-state. Skipping it
+  // would leave the package at its old (possibly hotter) operating point
+  // and break the cap invariant by the difference.
+  const auto i = static_cast<std::size_t>(r);
+  CapShardState& cs =
+      cap_shards_[static_cast<std::size_t>(rank_shard_[i])];
+  if (cs.epoch != k) {
+    // First rank of this shard to reach epoch k computes the allocation;
+    // it is a pure function of the slot board, and every shard's epoch-k
+    // publishes are conservatively ordered before this read (E/2 >= 2x
+    // lookahead), so all shards compute the identical assignment.
+    allocate_power_cap(opt_.host, cap_slots_,
+                       static_cast<std::size_t>(trace_->nranks()), cs.assign,
+                       cs.order);
+    cs.epoch = k;
+  }
+  const TimeNs at = cap_epoch_ * k + TimeNs{cap_epoch_.ns / 2};
+  hosts_[i]->set_pstate(at, cs.assign[i]);
+}
+
 ReplayResult ReplayEngine::run() {
   IBP_EXPECTS(!ran_);
   ran_ = true;
@@ -189,6 +309,11 @@ ReplayResult ReplayEngine::run() {
     for (Rank r = 0; r < trace_->nranks(); ++r) {
       sched_rank(r, TimeNs::zero(), [this, r] { advance(r); });
     }
+    if (cap_on_) {
+      for (Rank r = 0; r < trace_->nranks(); ++r) {
+        sched_rank(r, cap_epoch_, [this, r] { cap_epoch_event(r, 1); });
+      }
+    }
     queue_->run();
     profiles.push_back(ShardProfile{queue_->processed(), 0, 0, 0});
   } else {
@@ -200,6 +325,11 @@ ReplayResult ReplayEngine::run() {
     // into each rank's shard queue, in rank order (identical to serial).
     for (Rank r = 0; r < trace_->nranks(); ++r) {
       sched_rank(r, TimeNs::zero(), [this, r] { advance(r); });
+    }
+    if (cap_on_) {
+      for (Rank r = 0; r < trace_->nranks(); ++r) {
+        sched_rank(r, cap_epoch_, [this, r] { cap_epoch_event(r, 1); });
+      }
     }
     // Inside a TaskEngine worker the shards share the engine (idle peers
     // steal pump tasks; the caller never spawns threads); standalone
@@ -241,6 +371,11 @@ ReplayResult ReplayEngine::run() {
   result.shards_used = nshards_;
   result.shard_profiles = std::move(profiles);
   fabric_->finish(result.exec_time);
+  if (host_on_) {
+    for (Rank r = 0; r < trace_->nranks(); ++r) {
+      hosts_[static_cast<std::size_t>(r)]->finish(result.exec_time);
+    }
+  }
   IBP_AUDIT(if (const std::string err = audit_drain(); !err.empty())
                 IBP_AUDIT_FAIL(err.c_str()));
   return result;
@@ -343,6 +478,18 @@ std::string ReplayEngine::audit_drain() const {
            std::to_string(drain_.sends_rendezvous) +
            " does not sum to message count " + std::to_string(messages_);
   }
+  // Host FSM legality: every rank's mode schedule must be a legal
+  // Active/Sleep/Transition sequence (host co-management runs only).
+  if (hosts_ != nullptr) {
+    for (Rank r = 0; r < trace_->nranks(); ++r) {
+      if (const std::string herr =
+              hosts_[static_cast<std::size_t>(r)]->validate_schedule();
+          !herr.empty()) {
+        return "replay audit: rank " + std::to_string(r) +
+               " host schedule: " + herr;
+      }
+    }
+  }
   return {};
 }
 
@@ -369,7 +516,13 @@ void ReplayEngine::advance(Rank r) {
   // MPI call: interception + PPA overheads are charged before the call's
   // network activity (the PMPI wrapper runs first).
   const MpiCall call = call_of(rec);
-  const TimeNs enter = st.now;
+  TimeNs enter = st.now;
+  if (host_on_) {
+    // A sleeping host must wake before the PMPI wrapper can run: the
+    // on-demand wake penalty (zero when the prediction held) shifts the
+    // whole call — purely rank-local, so shard-count-invariant.
+    enter += hosts_[static_cast<std::size_t>(r)]->on_call_arrival(enter);
+  }
   TimeNs t = enter;
   if (opt_.enable_power_management) {
     t += agents_[static_cast<std::size_t>(r)]->on_call_enter(call, enter);
@@ -396,7 +549,14 @@ void ReplayEngine::advance(Rank r) {
 void ReplayEngine::do_compute(Rank r, const ComputeRecord& rec) {
   auto& st = ranks_[static_cast<std::size_t>(r)];
   ++st.pc;
-  const TimeNs wake = st.now + rec.duration;
+  TimeNs dur = rec.duration;
+  if (host_on_) {
+    // Cap-layer DVFS: a burst runs at the P-state speed in effect when it
+    // starts (exact identity at speed 1.0 — no rounding perturbation).
+    const double speed = hosts_[static_cast<std::size_t>(r)]->speed();
+    if (speed != 1.0) dur = dur * (1.0 / speed);
+  }
+  const TimeNs wake = st.now + dur;
   sched_rank(r, wake, [this, r, wake] {
     ranks_[static_cast<std::size_t>(r)].now = wake;
     advance(r);

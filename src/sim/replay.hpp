@@ -34,6 +34,7 @@
 #include <vector>
 
 #include "core/pmpi_agent.hpp"
+#include "host/host_power.hpp"
 #include "network/fabric.hpp"
 #include "sim/collectives.hpp"
 #include "sim/des.hpp"
@@ -64,6 +65,11 @@ struct ReplayOptions {
   /// for every shard count — the event order is keyed by simulation state,
   /// never by thread interleaving.
   int shards{1};
+  /// Host-side power co-management (DESIGN.md §15). Disabled by default:
+  /// the replay then schedules no host events, perturbs no timelines and
+  /// allocates no host state, keeping every output byte-identical to
+  /// pre-host builds.
+  HostPowerConfig host{};
 };
 
 /// Always-compiled channel/rendezvous bookkeeping counters. These used to be
@@ -133,6 +139,12 @@ class ReplayEngine {
     const auto idx = static_cast<std::size_t>(r);
     return idx < agents_count_ ? agents_[idx] : nullptr;
   }
+  /// Rank r's host power model; null unless options().host.enabled().
+  [[nodiscard]] const HostPowerModel* host(Rank r) const {
+    return hosts_ == nullptr ? nullptr
+                             : hosts_[static_cast<std::size_t>(r)];
+  }
+  [[nodiscard]] int nranks() const { return trace_->nranks(); }
   /// View of rank r's recorded call events. Arena-backed: valid until the
   /// engine's ReplayMemory is borrowed by the next engine (copy out to keep).
   [[nodiscard]] std::span<const MpiCallEvent> call_timeline(Rank r) const {
@@ -353,6 +365,16 @@ class ReplayEngine {
     int done{0};
   };
 
+  // Per-shard power-cap allocation cache (cache-line padded: each shard
+  // writes only its own entry). The epoch-k allocation is a pure function
+  // of the cap board, so every shard computes the identical assignment
+  // exactly once per epoch and its ranks read their slots from it.
+  struct alignas(64) CapShardState {
+    std::int64_t epoch{-1};
+    std::uint8_t* assign{nullptr};   // arena array [nranks]
+    std::uint32_t* order{nullptr};   // arena scratch [nranks]
+  };
+
   [[nodiscard]] static std::uint64_t channel_key(Rank src, Rank dst,
                                                  std::int32_t tag) {
     return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(src)) << 44) |
@@ -456,6 +478,17 @@ class ReplayEngine {
   /// so no diagnostic state is assembled unless the replay actually failed.
   [[noreturn]] void throw_deadlock() const;
 
+  /// Power-cap epoch event for rank r at t = k * cap_epoch_: publish the
+  /// rank's demand (mean draw over the last epoch) to its CapRankSlot — or
+  /// retire the slot if the rank is done — then self-reschedule. Class-0
+  /// (rank chain) events: timeline-neutral, deterministic under sharding.
+  void cap_epoch_event(Rank r, std::int64_t k);
+  /// Apply event at t = k * cap_epoch_ + cap_epoch_ / 2: read the full slot
+  /// board (safe: every shard's epoch-k writes are at least two lookaheads
+  /// in its past), compute the epoch-k allocation once per shard, and move
+  /// rank r to its assigned P-state.
+  void cap_apply_event(Rank r, std::int64_t k);
+
   const Trace* trace_;
   ReplayOptions opt_;
   std::unique_ptr<ReplayMemory> owned_memory_;  // only when none was passed
@@ -467,6 +500,14 @@ class ReplayEngine {
   RankState* ranks_;         // arena array [nranks]
   PmpiAgent** agents_;       // arena array [agents_count_], owned by *mem_
   std::size_t agents_count_{0};
+  // --- host-side power co-management (null/false unless opt_.host.enabled())
+  HostPowerModel** hosts_{nullptr};   // arena array [nranks], owned by *mem_
+  HostLinkPort* host_ports_{nullptr};  // arena array [nranks] (Countdown only)
+  bool host_on_{false};  // opt_.host.enabled(): hosts exist, hooks active
+  bool cap_on_{false};   // opt_.host.power_cap_watts > 0: epoch events run
+  TimeNs cap_epoch_{};
+  CapRankSlot* cap_slots_{nullptr};    // arena array [nranks]
+  CapShardState* cap_shards_{nullptr};  // arena array [nshards_]
   ArenaVector<MpiCallEvent>* call_timelines_;  // arena array [nranks]
   // --- sharding ---
   int nshards_{1};

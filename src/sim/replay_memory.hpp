@@ -30,6 +30,7 @@
 #include <vector>
 
 #include "core/pmpi_agent.hpp"
+#include "host/host_power.hpp"
 #include "network/fabric.hpp"
 #include "sim/des.hpp"
 #include "util/arena.hpp"
@@ -165,10 +166,24 @@ class ReplayMemory {
     return *agents_[i];
   }
 
+  /// The reusable host-model pool (host co-management runs only): host `i`
+  /// is constructed once and reset for each new config binding.
+  [[nodiscard]] HostPowerModel& acquire_host(std::size_t i,
+                                             const HostPowerConfig& cfg) {
+    while (hosts_.size() <= i) hosts_.push_back(nullptr);
+    if (!hosts_[i]) {
+      hosts_[i] = std::make_unique<HostPowerModel>(cfg);
+    } else {
+      hosts_[i]->reset(cfg);
+    }
+    return *hosts_[i];
+  }
+
  private:
   std::vector<std::unique_ptr<ReplayShardSlab>> slabs_;
   std::unique_ptr<Fabric> fabric_;
   std::vector<std::unique_ptr<PmpiAgent>> agents_;
+  std::vector<std::unique_ptr<HostPowerModel>> hosts_;
 };
 
 }  // namespace ibpower

@@ -78,13 +78,26 @@ class NasMgModel final : public AppModel {
 // paper's PPA"). Not part of the reproduced evaluation grid (app_names() and
 // the paper-grid CLI/bench sweeps exclude them); reachable through make_app
 // and listed by stressor_app_names(). Each is built to be *irregular*: no
-// MPI call sequence the PPA's exact-repeat detector can learn.
+// MPI call sequence the PPA's exact-repeat detector can learn. Their
+// process-count ladder extends past the paper sizes to a 512-rank scale
+// cell: `grid --stressors` places it on a 3-level XGFT automatically (the
+// default 252-node tree cannot hold it), so the irregular workloads also
+// exercise the scale topology path.
+
+/// Process counts shared by the stressors: the paper ladder plus the
+/// 512-rank XGFT scale cell.
+inline std::vector<int> stressor_process_counts() {
+  return {8, 16, 32, 64, 128, 512};
+}
 
 /// AMR-style load imbalance: random-walk per-rank weights, refinement-depth
 /// dependent halo rounds, irregular regrid collectives.
 class AmrModel final : public AppModel {
  public:
   [[nodiscard]] std::string name() const override { return "amr"; }
+  [[nodiscard]] std::vector<int> paper_process_counts() const override {
+    return stressor_process_counts();
+  }
   [[nodiscard]] Trace generate(const WorkloadParams& p) const override;
 };
 
@@ -93,6 +106,9 @@ class AmrModel final : public AppModel {
 class MlTrainModel final : public AppModel {
  public:
   [[nodiscard]] std::string name() const override { return "ml_train"; }
+  [[nodiscard]] std::vector<int> paper_process_counts() const override {
+    return stressor_process_counts();
+  }
   [[nodiscard]] Trace generate(const WorkloadParams& p) const override;
 };
 
@@ -101,6 +117,9 @@ class MlTrainModel final : public AppModel {
 class BurstyModel final : public AppModel {
  public:
   [[nodiscard]] std::string name() const override { return "bursty"; }
+  [[nodiscard]] std::vector<int> paper_process_counts() const override {
+    return stressor_process_counts();
+  }
   [[nodiscard]] Trace generate(const WorkloadParams& p) const override;
 };
 

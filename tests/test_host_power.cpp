@@ -1,0 +1,486 @@
+// Host-side power co-management (DESIGN.md §15).
+//
+// Contracts under test: the per-rank HostPowerModel FSM mirrors the IbLink
+// schedule discipline (append/supersede, on-demand wake, finish, clamped
+// residency, energy closure); the cluster power-cap allocation is a pure
+// deterministic function of the bookkeeping board that never exceeds the
+// budget; the engine integration is bit-identical across shard counts;
+// and a disabled host config leaves every export byte-identical.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <vector>
+
+#include "check/invariant_auditor.hpp"
+#include "host/host_power.hpp"
+#include "obs/collect.hpp"
+#include "obs/exporters.hpp"
+#include "sim/experiment.hpp"
+#include "sim/parallel.hpp"
+#include "sim/replay.hpp"
+#include "workloads/apps.hpp"
+
+namespace ibpower {
+namespace {
+
+TimeNs us(double v) { return TimeNs::from_us(v); }
+
+HostPowerConfig countdown_cfg() {
+  HostPowerConfig cfg;
+  cfg.policy = HostPolicyKind::Countdown;
+  return cfg;
+}
+
+// --- config & parsing -------------------------------------------------------
+
+TEST(HostPowerConfig, DefaultIsValidAndDisabled) {
+  const HostPowerConfig cfg;
+  EXPECT_TRUE(cfg.valid());
+  EXPECT_FALSE(cfg.enabled());
+  EXPECT_TRUE(countdown_cfg().enabled());
+  HostPowerConfig capped;
+  capped.power_cap_watts = 500.0;
+  EXPECT_TRUE(capped.enabled());
+}
+
+TEST(HostPowerConfig, RejectsMalformedTables) {
+  HostPowerConfig rising_watts;
+  rising_watts.pstates[1].watts = 95.0;  // not strictly decreasing
+  EXPECT_FALSE(rising_watts.valid());
+
+  HostPowerConfig slow_p0;
+  slow_p0.pstates[0].speed = 0.9;  // P0 must run at full speed
+  EXPECT_FALSE(slow_p0.valid());
+
+  HostPowerConfig hot_sleep;
+  hot_sleep.cstates[0].watts = 50.0;  // sleep must undercut the floor P-state
+  EXPECT_FALSE(hot_sleep.valid());
+
+  HostPowerConfig shrinking_exit;
+  shrinking_exit.cstates[1].exit = TimeNs::from_us(std::int64_t{1});
+  EXPECT_FALSE(shrinking_exit.valid());
+}
+
+TEST(HostPowerConfig, ParsePolicyNames) {
+  HostPolicyKind kind = HostPolicyKind::Off;
+  EXPECT_TRUE(parse_host_policy("countdown", &kind));
+  EXPECT_EQ(kind, HostPolicyKind::Countdown);
+  EXPECT_TRUE(parse_host_policy("off", &kind));
+  EXPECT_EQ(kind, HostPolicyKind::Off);
+  EXPECT_FALSE(parse_host_policy("dvfs", &kind));
+  EXPECT_STREQ(host_policy_name(HostPolicyKind::Countdown), "countdown");
+}
+
+TEST(HostPowerConfig, ParsePstateTable) {
+  HostPowerConfig cfg;
+  ASSERT_TRUE(parse_host_pstates("120:1.0,80:0.7", &cfg));
+  EXPECT_EQ(cfg.pstate_count, 2);
+  EXPECT_DOUBLE_EQ(cfg.pstates[0].watts, 120.0);
+  EXPECT_DOUBLE_EQ(cfg.pstates[1].speed, 0.7);
+  EXPECT_TRUE(cfg.valid());
+
+  const HostPowerConfig before = cfg;
+  EXPECT_FALSE(parse_host_pstates("", &cfg));
+  EXPECT_FALSE(parse_host_pstates("90", &cfg));
+  EXPECT_FALSE(parse_host_pstates("90:0.9", &cfg));         // P0 speed != 1
+  EXPECT_FALSE(parse_host_pstates("90:1.0,95:0.8", &cfg));  // watts rise
+  EXPECT_FALSE(parse_host_pstates("90:1.0,", &cfg));        // trailing comma
+  EXPECT_TRUE(cfg == before);  // failures leave the config untouched
+}
+
+// --- FSM --------------------------------------------------------------------
+
+TEST(HostPowerModel, SleepPicksDeepestFittingCState) {
+  HostPowerModel host(countdown_cfg());
+  // Default C-states: shallow 1+2 us overhead, deep 4+10 us.
+  host.request_sleep(us(100), us(50));  // deep fits
+  ASSERT_EQ(host.segments().size(), 4u);
+  EXPECT_EQ(host.segments()[1].mode, HostMode::Sleep);
+  EXPECT_EQ(host.segments()[1].level, 1);
+  EXPECT_EQ(host.segments()[1].begin, us(104));  // entry = 4 us
+  EXPECT_EQ(host.segments()[3].begin, us(160));  // wake at 100+50+10
+
+  HostPowerModel shallow(countdown_cfg());
+  shallow.request_sleep(us(100), us(5));  // only the shallow state fits
+  ASSERT_EQ(shallow.segments().size(), 4u);
+  EXPECT_EQ(shallow.segments()[1].level, 0);
+
+  HostPowerModel none(countdown_cfg());
+  none.request_sleep(us(100), us(2));  // nothing fits: no-op
+  EXPECT_TRUE(none.segments().empty());
+  EXPECT_EQ(none.sleep_requests(), 0u);
+}
+
+TEST(HostPowerModel, NewRequestSupersedesScheduledSleep) {
+  HostPowerModel host(countdown_cfg());
+  host.request_sleep(us(100), us(50));
+  host.request_sleep(us(120), us(200));  // reprogram mid-sleep
+  EXPECT_EQ(host.sleep_requests(), 2u);
+  EXPECT_EQ(host.validate_schedule(), "");
+  host.finish(us(1000));
+  // The second request's wake is the only one left.
+  EXPECT_EQ(host.segments().back().begin, us(330));
+  EXPECT_EQ(host.mode_at(us(300)), HostMode::Sleep);
+}
+
+TEST(HostPowerModel, OnDemandWakeChargesExitLatency) {
+  HostPowerModel host(countdown_cfg());
+  host.request_sleep(us(100), us(100));  // deep sleep until 200, wake at 210
+  const TimeNs penalty = host.on_call_arrival(us(150));
+  EXPECT_EQ(penalty, us(10));  // deep exit latency
+  EXPECT_EQ(host.on_demand_wakes(), 1u);
+  EXPECT_EQ(host.wake_penalty_total(), us(10));
+  EXPECT_EQ(host.mode_at(us(155)), HostMode::Transition);
+  EXPECT_EQ(host.mode_at(us(161)), HostMode::Active);
+  EXPECT_EQ(host.validate_schedule(), "");
+
+  // An active host pays nothing.
+  EXPECT_EQ(host.on_call_arrival(us(500)), TimeNs{});
+  EXPECT_EQ(host.on_demand_wakes(), 1u);
+  EXPECT_EQ(host.mpi_calls(), 2u);
+}
+
+TEST(HostPowerModel, ArrivalNearScheduledWakeWaitsForIt) {
+  HostPowerModel host(countdown_cfg());
+  host.request_sleep(us(100), us(100));  // scheduled active at 210
+  // At 205 the scheduled wake (210) beats an on-demand one (205+10): the
+  // call just waits and no extra transition is inserted.
+  const TimeNs penalty = host.on_call_arrival(us(205));
+  EXPECT_EQ(penalty, us(5));
+  EXPECT_EQ(host.on_demand_wakes(), 0u);
+  EXPECT_EQ(host.validate_schedule(), "");
+}
+
+TEST(HostPowerModel, SetPstateChangesSpeedAndRelevels) {
+  HostPowerModel host(countdown_cfg());
+  EXPECT_DOUBLE_EQ(host.speed(), 1.0);
+  host.set_pstate(us(50), 2);
+  EXPECT_EQ(host.pstate(), 2);
+  EXPECT_DOUBLE_EQ(host.speed(), 0.6);
+  EXPECT_EQ(host.pstate_changes(), 1u);
+  host.set_pstate(us(60), 2);  // no-op
+  EXPECT_EQ(host.pstate_changes(), 1u);
+
+  // A pending sleep keeps its shape but wakes into the new P-state.
+  host.request_sleep(us(100), us(50));
+  host.set_pstate(us(110), 0);
+  EXPECT_EQ(host.validate_schedule(), "");
+  host.finish(us(500));
+  EXPECT_EQ(host.segments().back().mode, HostMode::Active);
+  EXPECT_EQ(host.segments().back().level, 0);
+}
+
+TEST(HostPowerModel, ResidencyPartitionsExecTime) {
+  HostPowerModel host(countdown_cfg());
+  host.request_sleep(us(100), us(50));
+  (void)host.on_call_arrival(us(120));
+  host.request_sleep(us(300), us(80));
+  host.set_pstate(us(450), 1);
+  host.finish(us(1000));
+  const TimeNs total = host.residency(HostMode::Active) +
+                       host.residency(HostMode::Sleep) +
+                       host.residency(HostMode::Transition);
+  EXPECT_EQ(total, us(1000));
+  EXPECT_EQ(audit_host_schedule(host), "");
+}
+
+TEST(HostPowerModel, FinishClampsScheduledFuture) {
+  HostPowerModel host(countdown_cfg());
+  host.request_sleep(us(100), us(500));  // sleeps past the end of time
+  host.finish(us(200));
+  EXPECT_EQ(host.end_time(), us(200));
+  const TimeNs total = host.residency(HostMode::Active) +
+                       host.residency(HostMode::Sleep) +
+                       host.residency(HostMode::Transition);
+  EXPECT_EQ(total, us(200));
+}
+
+TEST(HostPowerModel, MeanWattsReflectsSchedule) {
+  HostPowerModel host(countdown_cfg());
+  // Fully active window: P0 draw.
+  EXPECT_DOUBLE_EQ(host.mean_watts(us(0), us(100)), 90.0);
+  host.set_pstate(us(100), 2);
+  EXPECT_DOUBLE_EQ(host.mean_watts(us(100), us(200)), 45.0);
+  // Half the window at P0, half at P2.
+  EXPECT_DOUBLE_EQ(host.mean_watts(us(0), us(200)), (90.0 + 45.0) / 2.0);
+}
+
+// --- energy accounting ------------------------------------------------------
+
+TEST(HostPowerEnergy, ClosureAcrossSleepAndDvfs) {
+  HostPowerModel host(countdown_cfg());
+  for (int i = 0; i < 40; ++i) {
+    host.request_sleep(us(100 + 200 * i), us(120));
+    (void)host.on_call_arrival(us(180 + 200 * i));
+  }
+  host.set_pstate(us(4000), 1);
+  host.set_pstate(us(6000), 0);
+  host.finish(us(10000));
+  EXPECT_EQ(audit_host_energy_closure(host), "");
+
+  const HostPowerSummary sum = summarize_host(host);
+  EXPECT_GT(sum.energy_joules, 0.0);
+  EXPECT_DOUBLE_EQ(sum.energy_joules,
+                   sum.static_energy_joules + sum.dynamic_energy_joules);
+  // Sleep + DVFS must undercut the flat-out P0 baseline.
+  EXPECT_LT(sum.energy_joules, sum.baseline_energy_joules);
+  EXPECT_GT(sum.savings_pct, 0.0);
+}
+
+TEST(HostPowerEnergy, IdleHostAtP0MatchesBaselineStaticDraw) {
+  HostPowerModel host(countdown_cfg());
+  host.finish(us(1000));
+  const HostPowerSummary sum = summarize_host(host);
+  EXPECT_DOUBLE_EQ(sum.static_energy_joules, sum.baseline_energy_joules);
+  EXPECT_DOUBLE_EQ(sum.dynamic_energy_joules, 0.0);
+  EXPECT_EQ(audit_host_energy_closure(host), "");
+}
+
+// --- cluster power cap ------------------------------------------------------
+
+TEST(PowerCapAllocation, DeterministicAndWithinBudget) {
+  HostPowerConfig cfg;
+  cfg.power_cap_watts = 400.0;  // 6 ranks, floor 45 W each = 270 W minimum
+  constexpr std::size_t n = 6;
+  std::vector<CapRankSlot> slots(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    slots[i].epoch = 1;
+    slots[i].demand_watts = 30.0 + 10.0 * static_cast<double>(i);
+  }
+  std::vector<std::uint8_t> a(n);
+  std::vector<std::uint8_t> b(n);
+  std::vector<std::uint32_t> scratch(n);
+  allocate_power_cap(cfg, slots.data(), n, a.data(), scratch.data());
+  allocate_power_cap(cfg, slots.data(), n, b.data(), scratch.data());
+  EXPECT_EQ(a, b);  // pure function of the board
+
+  double assigned = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    ASSERT_LT(a[i], cfg.pstate_count);
+    assigned += cfg.pstates[a[i]].watts;
+  }
+  EXPECT_LE(assigned, cfg.power_cap_watts);
+  // 400 W cannot run all six flat out (540 W) but beats the floor (270 W):
+  // at least one rank above the floor, at least one below P0.
+  EXPECT_TRUE(std::any_of(a.begin(), a.end(),
+                          [](std::uint8_t p) { return p < 2; }));
+  EXPECT_TRUE(std::any_of(a.begin(), a.end(),
+                          [](std::uint8_t p) { return p > 0; }));
+}
+
+TEST(PowerCapAllocation, GenerousCapRunsEveryoneFlatOut) {
+  HostPowerConfig cfg;
+  cfg.power_cap_watts = 10000.0;
+  constexpr std::size_t n = 8;
+  std::vector<CapRankSlot> slots(n);
+  for (std::size_t i = 0; i < n; ++i) slots[i].demand_watts = 45.0;
+  std::vector<std::uint8_t> out(n);
+  std::vector<std::uint32_t> scratch(n);
+  allocate_power_cap(cfg, slots.data(), n, out.data(), scratch.data());
+  for (std::size_t i = 0; i < n; ++i) EXPECT_EQ(out[i], 0);
+}
+
+TEST(PowerCapAllocation, RetiredRanksFreezeTheirDraw) {
+  HostPowerConfig cfg;
+  cfg.power_cap_watts = 225.0;  // 4 live at floor = 180; one retired at 45
+  constexpr std::size_t n = 5;
+  std::vector<CapRankSlot> slots(n);
+  for (std::size_t i = 0; i < n; ++i) slots[i].demand_watts = 90.0;
+  slots[4].retired = true;
+  slots[4].retired_watts = 45.0;
+  std::vector<std::uint8_t> out(n);
+  std::vector<std::uint32_t> scratch(n);
+  allocate_power_cap(cfg, slots.data(), n, out.data(), scratch.data());
+  double live = 0.0;
+  for (std::size_t i = 0; i < 4; ++i) live += cfg.pstates[out[i]].watts;
+  EXPECT_LE(live + slots[4].retired_watts, cfg.power_cap_watts);
+}
+
+// --- engine integration -----------------------------------------------------
+
+ExperimentConfig host_config(const std::string& app, int nranks,
+                             int iterations, HostPowerConfig host) {
+  ExperimentConfig cfg;
+  cfg.app = app;
+  cfg.workload.nranks = nranks;
+  cfg.workload.iterations = iterations;
+  cfg.workload.seed = 7;
+  cfg.ppa.grouping_threshold = default_gt(app, nranks);
+  cfg.host = host;
+  return normalize_config(cfg);
+}
+
+ReplayOptions managed_options(const ExperimentConfig& cfg, int shards) {
+  ReplayOptions opt;
+  opt.fabric = cfg.fabric;
+  opt.enable_power_management = true;
+  opt.ppa = cfg.ppa;
+  opt.eager_threshold = cfg.eager_threshold;
+  opt.shards = shards;
+  opt.host = cfg.host;
+  return opt;
+}
+
+TEST(HostReplay, CountdownRunAuditsClean) {
+  const ExperimentConfig cfg =
+      host_config("gromacs", 16, 20, countdown_cfg());
+  const Trace trace = generate_experiment_trace(cfg);
+  ReplayEngine engine(&trace, managed_options(cfg, 1));
+  const ReplayResult rr = engine.run();
+  ASSERT_NE(engine.host(0), nullptr);
+  EXPECT_EQ(audit_replay(engine), "");
+
+  std::uint64_t sleeps = 0;
+  for (Rank r = 0; r < trace.nranks(); ++r) {
+    ASSERT_NE(engine.host(r), nullptr);
+    EXPECT_EQ(engine.host(r)->end_time(), rr.exec_time);
+    sleeps += engine.host(r)->sleep_requests();
+  }
+  EXPECT_GT(sleeps, 0u);  // the predictor stream actually drove the hosts
+}
+
+TEST(HostReplay, DisabledConfigAllocatesNoHostState) {
+  const ExperimentConfig cfg =
+      host_config("gromacs", 16, 20, HostPowerConfig{});
+  const Trace trace = generate_experiment_trace(cfg);
+  ReplayEngine engine(&trace, managed_options(cfg, 1));
+  (void)engine.run();
+  EXPECT_EQ(engine.host(0), nullptr);
+}
+
+TEST(HostReplay, DisabledConfigKeepsExportsByteIdentical) {
+  const ExperimentConfig cfg =
+      host_config("gromacs", 16, 20, HostPowerConfig{});
+  const Trace trace = generate_experiment_trace(cfg);
+
+  const auto snapshot_json = [&](const ReplayOptions& opt) {
+    ReplayEngine engine(&trace, opt);
+    const ReplayResult rr = engine.run();
+    obs::CellMetrics cell;
+    cell.app = cfg.app;
+    cell.nranks = trace.nranks();
+    cell.managed = obs::collect_replay_metrics(engine, rr, PowerModelConfig{});
+    std::ostringstream os;
+    obs::write_metrics_json(os, {cell});
+    return os.str();
+  };
+
+  ReplayOptions plain = managed_options(cfg, 1);
+  ReplayOptions off = managed_options(cfg, 1);
+  off.host = HostPowerConfig{};  // explicit default-off config
+  const std::string a = snapshot_json(plain);
+  const std::string b = snapshot_json(off);
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a.find("\"hosts\""), std::string::npos);
+}
+
+TEST(HostReplay, HostRowsAppearOnlyWhenEnabled) {
+  const ExperimentConfig cfg =
+      host_config("gromacs", 16, 20, countdown_cfg());
+  const Trace trace = generate_experiment_trace(cfg);
+  ReplayEngine engine(&trace, managed_options(cfg, 1));
+  const ReplayResult rr = engine.run();
+  const obs::ReplayMetrics m =
+      obs::collect_replay_metrics(engine, rr, PowerModelConfig{});
+  ASSERT_EQ(m.hosts.size(), static_cast<std::size_t>(trace.nranks()));
+  EXPECT_EQ(obs::validate_metrics(m), "");
+  std::ostringstream os;
+  obs::CellMetrics cell;
+  cell.app = cfg.app;
+  cell.nranks = trace.nranks();
+  cell.managed = m;
+  obs::write_metrics_json(os, {cell});
+  EXPECT_NE(os.str().find("\"hosts\""), std::string::npos);
+}
+
+TEST(HostReplay, BitIdenticalAcrossShardCounts) {
+  HostPowerConfig host = countdown_cfg();
+  host.power_cap_watts = 2500.0;  // binding: 32 ranks * 90 W = 2880 W
+  const ExperimentConfig cfg = host_config("gromacs", 32, 16, host);
+  const Trace trace = generate_experiment_trace(cfg);
+
+  struct Snap {
+    ReplayResult rr;
+    obs::ReplayMetrics metrics;
+  };
+  const auto snap = [&](int shards) {
+    ReplayEngine engine(&trace, managed_options(cfg, shards));
+    Snap s;
+    s.rr = engine.run();
+    EXPECT_EQ(audit_replay(engine), "") << "shards=" << shards;
+    s.metrics = obs::collect_replay_metrics(engine, s.rr, PowerModelConfig{});
+    return s;
+  };
+
+  const Snap serial = snap(1);
+  EXPECT_GT(serial.metrics.hosts.front().pstate_changes, 0u);
+  for (const int shards : {2, 4}) {
+    SCOPED_TRACE("shards=" + std::to_string(shards));
+    const Snap sharded = snap(shards);
+    EXPECT_EQ(sharded.rr.exec_time, serial.rr.exec_time);
+    EXPECT_EQ(sharded.rr.rank_finish, serial.rr.rank_finish);
+    EXPECT_TRUE(sharded.metrics == serial.metrics);
+  }
+}
+
+TEST(HostReplay, CapRespectedInvariantHolds) {
+  HostPowerConfig host = countdown_cfg();
+  host.power_cap_watts = 1300.0;  // 16 ranks * 90 W = 1440 W demand
+  const ExperimentConfig cfg = host_config("gromacs", 16, 20, host);
+  const Trace trace = generate_experiment_trace(cfg);
+  ReplayEngine engine(&trace, managed_options(cfg, 1));
+  (void)engine.run();
+  EXPECT_EQ(audit_cluster_cap(engine), "");
+  EXPECT_EQ(audit_system_energy_closure(engine, PowerModelConfig{}), "");
+}
+
+TEST(HostReplay, InfeasibleCapThrows) {
+  HostPowerConfig host;
+  host.power_cap_watts = 100.0;  // 16 ranks * 45 W floor = 720 W minimum
+  const ExperimentConfig cfg = host_config("gromacs", 16, 8, host);
+  const Trace trace = generate_experiment_trace(cfg);
+  const ReplayOptions opt = managed_options(cfg, 1);
+  EXPECT_THROW({ ReplayEngine engine(&trace, opt); }, std::runtime_error);
+}
+
+TEST(HostReplay, ShardedCapNeedsWideEpoch) {
+  HostPowerConfig host;
+  host.power_cap_watts = 2000.0;
+  host.cap_epoch = TimeNs{200};  // far below 4x the conservative lookahead
+  const ExperimentConfig cfg = host_config("gromacs", 32, 8, host);
+  const Trace trace = generate_experiment_trace(cfg);
+  const ReplayOptions opt = managed_options(cfg, 4);
+  EXPECT_THROW({ ReplayEngine engine(&trace, opt); }, std::runtime_error);
+}
+
+TEST(HostExperiment, ResultCarriesSystemEnergyAndIsDeterministic) {
+  HostPowerConfig host = countdown_cfg();
+  host.power_cap_watts = 1350.0;
+  const ExperimentConfig cfg = host_config("gromacs", 16, 20, host);
+
+  const ExperimentResult serial = run_experiment(cfg);
+  EXPECT_GT(serial.hosts.total_energy_joules, 0.0);
+  EXPECT_GT(serial.hosts.savings_pct, 0.0);
+  EXPECT_GT(serial.system_energy_joules, 0.0);
+  EXPECT_LT(serial.system_energy_joules,
+            serial.system_baseline_energy_joules);
+
+  ParallelExperimentRunner runner(4);
+  EXPECT_TRUE(bit_identical(serial, runner.run(cfg)));
+
+  ExperimentConfig sharded = cfg;
+  sharded.shards = 4;
+  EXPECT_TRUE(bit_identical(serial, run_experiment(sharded)));
+}
+
+TEST(HostExperiment, HostOffLeavesResultFieldsZero) {
+  const ExperimentConfig cfg =
+      host_config("gromacs", 16, 20, HostPowerConfig{});
+  const ExperimentResult r = run_experiment(cfg);
+  EXPECT_DOUBLE_EQ(r.hosts.total_energy_joules, 0.0);
+  EXPECT_DOUBLE_EQ(r.system_energy_joules, 0.0);
+  EXPECT_DOUBLE_EQ(r.system_baseline_energy_joules, 0.0);
+}
+
+}  // namespace
+}  // namespace ibpower

@@ -25,6 +25,11 @@ baseline, measured in a single window on the authoring machine instead of
 hardened by the multi-window minimum. Such rows are gated with the looser
 --new-tolerance until a follow-up re-records them (and drops the flag),
 so a fresh cell is covered immediately without making the gate flaky.
+The flag is meant to survive at most one committed baseline refresh: a
+refresh that re-records a row should drop it, and a refresh that keeps it
+should bump it to "new": 2 so the next run can tell. The gate warns on
+every surviving flag and fails on "new" >= 2 (a flag that outlived a
+refresh) unless --allow-stale-new is passed.
 
 Rows may also carry scheduler columns ("utilization": engine busy
 fraction for the recording run, "steals": tasks stolen) — reported here
@@ -106,6 +111,9 @@ def main():
     ap.add_argument("--new-tolerance", type=float, default=0.35,
                     help="tolerance applied to baseline rows flagged "
                          '"new": true (single-window measurements)')
+    ap.add_argument("--allow-stale-new", action="store_true",
+                    help='do not fail on "new" flags that survived a '
+                         "committed baseline refresh (value >= 2)")
     ap.add_argument("--speedup-floor", type=float, default=1.2,
                     help="minimum speedup of jobs>1/shards>1 rows over the "
                          "current run's serial row (enforced only when "
@@ -147,6 +155,31 @@ def main():
               f"{fmt_util(current[key])}")
 
     speedup_failures = check_speedups(current, args.speedup_floor)
+
+    # "new" staleness: warn on every surviving flag; a flag that outlived a
+    # committed baseline refresh ("new" >= 2) is a gate failure, so fresh
+    # cells cannot quietly keep the looser tolerance forever.
+    stale_new = []
+    for key in sorted(baseline):
+        flag = baseline[key].get("new")
+        if not flag:
+            continue
+        generations = flag if isinstance(flag, int) and not isinstance(
+            flag, bool) else 1
+        if generations >= 2:
+            stale_new.append(key)
+            print(f'WARNING: {fmt_key(key)} kept "new" through '
+                  f"{generations - 1} baseline refresh(es) -- re-record it "
+                  "with the multi-window minimum and drop the flag")
+        else:
+            print(f'WARNING: {fmt_key(key)} is flagged "new" -- the next '
+                  "baseline refresh should re-record it (or bump the flag "
+                  'to "new": 2)')
+
+    if stale_new and not args.allow_stale_new:
+        print(f'\nFAIL: {len(stale_new)} "new" flag(s) survived a baseline '
+              "refresh (pass --allow-stale-new to defer)")
+        return 1
 
     if failures or speedup_failures:
         if failures:

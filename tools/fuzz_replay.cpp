@@ -1,6 +1,6 @@
 // fuzz_replay — randomized differential + metamorphic test driver (check/).
 //
-// Per seed, seven independent phases:
+// Per seed, eight independent phases:
 //
 //  Phase A (PPA differential oracle): generate a synthetic closed-gram
 //  stream (GramStreamGenerator) and feed the identical stream to both PPA
@@ -58,7 +58,11 @@
 //  trunk class, so a feed-forward workload finishes pointwise no later.
 //  Every 8th seed additionally replays a 512-rank 3-level XGFT(3; 8,8,8;
 //  1,4,2) under all three routing strategies, contention on, with the full
-//  audit stack and shard bit-identity.
+//  audit stack and shard bit-identity. Seeds == 4 (mod 8) instead run the
+//  stressor-at-scale leg: one irregular predictor-family workload
+//  (amr/ml_train/bursty) at 512 ranks on the same 3-level tree, managed
+//  through a rotated predictor kind, full audit + shard bit-identity
+//  (ROADMAP predictor follow-on (d)).
 //
 //  Phase G (predictor tier, DESIGN.md §13): the pluggable idle-predictor
 //  family. Baseline call timelines drive four oracles: (a) a per-predictor
@@ -74,6 +78,18 @@
 //  loop managed replays per predictor kind, which must audit clean and obey
 //  the phase-B orderings.
 //
+//  Phase H (host co-management tier, DESIGN.md §15): the per-rank host
+//  power model and cluster power cap. Per seed: (a) a countdown-managed
+//  replay (capped on most seeds, cap drawn between fleet floor and flat
+//  out) must pass the full invariant audit, the system-energy closure
+//  (links + hosts vs the auditor's independent integrations), and — when
+//  capped — the cap-respected invariant at every breakpoint of the merged
+//  host timeline; (b) a disabled host config, even with scrambled inert
+//  fields, must leave the default JSON exports byte-identical and free of
+//  host columns; (c) sharded runs (2, 4) with host + cap must stay
+//  bit-identical to the serial leg and audit clean under the per-shard
+//  allocation cache.
+//
 // Exit status 0 with a one-line summary when every seed passes; on the
 // first failure, prints the seed and violation and exits 1.
 //
@@ -83,6 +99,7 @@
 #include <cstdio>
 #include <cstring>
 #include <optional>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -94,10 +111,12 @@
 #include "core/ppa.hpp"
 #include "core/ppa_paper.hpp"
 #include "obs/collect.hpp"
+#include "obs/exporters.hpp"
 #include "power/power_model.hpp"
 #include "sim/replay.hpp"
 #include "util/rng.hpp"
 #include "util/thread_pool.hpp"
+#include "workloads/app_model.hpp"
 
 namespace {
 
@@ -1027,6 +1046,79 @@ std::optional<Failure> run_contention_tier(std::uint64_t seed, Rng& rng) {
 
 // --- Phase F: scale-topology tier -----------------------------------------
 
+/// Stressor-at-scale leg (every 8th seed, offset 4): one irregular
+/// predictor-family workload (amr/ml_train/bursty, rotated by seed) at 512
+/// ranks on the 3-level XGFT(3; 8,8,8; 1,4,2) — the tree `grid --stressors`
+/// auto-selects for its 512-rank cells. The managed replay (predictor kind
+/// rotated across the family) must pass the full invariant audit and stay
+/// bit-identical across shard counts, closing ROADMAP predictor follow-on
+/// (d): the irregular workloads exercised at scale through the pluggable-
+/// predictor path.
+std::optional<Failure> run_stressor_scale_leg(std::uint64_t seed, Rng& rng) {
+  const auto fail = [&](std::string msg) {
+    return Failure{seed, "scale-tier", std::move(msg)};
+  };
+
+  PowerModelConfig power;
+  power.split_energy = true;
+
+  const std::vector<std::string> apps = stressor_app_names();
+  const std::string app = apps[(seed / 8) % apps.size()];
+  WorkloadParams params;
+  params.nranks = 512;
+  params.iterations = 2;
+  params.seed = seed ^ 0x5d5d5d5d5d5d5d5dULL;
+  const Trace trace = make_app(app)->generate(params);
+  if (const std::string err = trace.validate(); !err.empty()) {
+    return fail(app + " 512-rank trace invalid: " + err);
+  }
+
+  ReplayOptions opt;
+  opt.fabric.xgft = XgftParams{8, 8, 1, 4, 8, 2};
+  opt.fabric.routing.strategy = RoutingStrategy::Dmodk;
+  opt.fabric.contention = rng.bernoulli(0.5);
+  opt.enable_power_management = true;
+  opt.ppa.displacement_factor =
+      0.01 * static_cast<double>(rng.uniform_int(1, 10));
+  opt.ppa.predictor.kind =
+      seed % 3 == 0 ? PredictorKind::Ppa
+                    : (seed % 3 == 1 ? PredictorKind::MultiTimeout
+                                     : PredictorKind::Histogram);
+  opt.fabric.link.t_react = opt.ppa.t_react;
+  opt.fabric.link.t_deact = opt.ppa.t_react;
+
+  std::string replay_err;
+  const PdesLeg serial =
+      run_contention_leg(trace, opt, 1, power, nullptr, nullptr, &replay_err);
+  if (!serial.audit.empty()) {
+    return fail(app + " 512 drain audit: " + serial.audit);
+  }
+  if (!replay_err.empty()) {
+    return fail(app + " 512 invariant audit: " + replay_err);
+  }
+  for (const int shards : {4, 8}) {
+    const PdesLeg sharded = run_contention_leg(trace, opt, shards, power,
+                                               nullptr, nullptr, nullptr);
+    const std::string leg = app + " 512 shards=" + std::to_string(shards);
+    if (!sharded.audit.empty()) return fail(leg + " audit: " + sharded.audit);
+    if (sharded.exec != serial.exec || sharded.finish != serial.finish ||
+        sharded.messages != serial.messages ||
+        sharded.events != serial.events ||
+        !(sharded.drain == serial.drain) ||
+        sharded.metrics != serial.metrics) {
+      return fail(leg + " diverged from the serial run");
+    }
+  }
+
+  if (g_verbose) {
+    std::printf("  seed %" PRIu64 ": scale ok (stressor %s @512, %s, exec "
+                "%.3f ms)\n",
+                seed, app.c_str(),
+                predictor_name(opt.ppa.predictor.kind), serial.exec.ms());
+  }
+  return std::nullopt;
+}
+
 std::optional<Failure> run_scale_topology_tier(std::uint64_t seed, Rng& rng) {
   const auto fail = [&](std::string msg) {
     return Failure{seed, "scale-tier", std::move(msg)};
@@ -1106,7 +1198,10 @@ std::optional<Failure> run_scale_topology_tier(std::uint64_t seed, Rng& rng) {
   // (b) 512-rank 3-level XGFT(3; 8,8,8; 1,4,2), contention on: every
   // routing strategy must audit clean, and the dmodk leg must stay
   // bit-identical across shard counts (8 group domains). Gated to every
-  // 8th seed — this is the expensive scale probe.
+  // 8th seed — this is the expensive scale probe. Seeds == 4 (mod 8) run
+  // the stressor-at-scale leg (c) instead, so the two expensive probes
+  // never stack on one seed.
+  if (seed % 8 == 4) return run_stressor_scale_leg(seed, rng);
   if (seed % 8 != 0) {
     if (g_verbose) {
       std::printf("  seed %" PRIu64 ": scale ok (w2 %d -> %d, %d ranks)\n",
@@ -1555,6 +1650,153 @@ std::optional<Failure> run_predictor_tier(std::uint64_t seed, Rng& rng) {
   return std::nullopt;
 }
 
+// --- Phase H: host co-management tier -------------------------------------
+
+std::optional<Failure> run_host_tier(std::uint64_t seed, Rng& rng) {
+  const auto fail = [&](std::string msg) {
+    return Failure{seed, "host-tier", std::move(msg)};
+  };
+
+  SyntheticTraceConfig tcfg;
+  tcfg.seed = seed ^ 0x4d4d4d4d4d4d4d4dULL;
+  tcfg.nranks = static_cast<Rank>(rng.uniform_int(8, 24));
+  tcfg.phases_per_iteration = static_cast<int>(rng.uniform_int(2, 4));
+  tcfg.iterations = static_cast<int>(rng.uniform_int(4, 8));
+  tcfg.compute_median =
+      TimeNs::from_us(rng.uniform_int(std::int64_t{100}, std::int64_t{500}));
+  tcfg.compute_jitter_sigma = rng.uniform(0.05, 0.3);
+  tcfg.noise_prob = rng.bernoulli(0.3) ? 0.15 : 0.0;
+  const Trace trace = generate_trace(tcfg);
+  if (const std::string err = trace.validate(); !err.empty()) {
+    return fail("generated trace invalid: " + err);
+  }
+  const int nranks = tcfg.nranks;
+
+  const PowerModelConfig power;
+
+  // Countdown policy, capped on most seeds: the cap is drawn between the
+  // fleet floor (everyone at the slowest P-state) and flat out, so the
+  // allocator actually has to ration.
+  HostPowerConfig host;
+  host.policy = HostPolicyKind::Countdown;
+  const bool capped = rng.bernoulli(0.6);
+  if (capped) {
+    const double floor_w =
+        host.pstates[static_cast<std::size_t>(host.pstate_count - 1)].watts;
+    const double full_w = host.pstates[0].watts;
+    host.power_cap_watts =
+        static_cast<double>(nranks) *
+        (floor_w + rng.uniform(0.1, 0.95) * (full_w - floor_w));
+  }
+
+  ReplayOptions opt;
+  opt.fabric.xgft = XgftParams{4, 6, 1, 2};  // 24 nodes, 6 shard domains
+  opt.fabric.routing.strategy = RoutingStrategy::Dmodk;
+  opt.enable_power_management = rng.bernoulli(0.7);
+  if (opt.enable_power_management) {
+    opt.ppa.displacement_factor =
+        0.01 * static_cast<double>(rng.uniform_int(1, 10));
+    opt.fabric.link.t_react = opt.ppa.t_react;
+    opt.fabric.link.t_deact = opt.ppa.t_react;
+  }
+  opt.host = host;
+
+  // (a) Serial managed leg: full invariant audit, the system-energy
+  // closure, and — when capped — the cap-respected invariant at every
+  // breakpoint of the merged host timeline.
+  ReplayEngine engine(&trace, opt);
+  const ReplayResult rr = engine.run();
+  if (const std::string err = engine.audit_drain(); !err.empty()) {
+    return fail("drain audit: " + err);
+  }
+  if (const std::string err = audit_replay(engine, power); !err.empty()) {
+    return fail("invariant audit: " + err);
+  }
+  if (const std::string err = audit_system_energy_closure(engine, power);
+      !err.empty()) {
+    return fail("system-energy closure: " + err);
+  }
+  if (capped) {
+    if (const std::string err = audit_cluster_cap(engine); !err.empty()) {
+      return fail("cap invariant: " + err);
+    }
+  }
+  const obs::ReplayMetrics serial =
+      obs::collect_replay_metrics(engine, rr, power);
+  if (const std::string err = obs::validate_metrics(serial); !err.empty()) {
+    return fail("telemetry: " + err);
+  }
+
+  // (b) Host-off leg: a disabled config — even with scrambled inert fields
+  // — must leave the default exports byte-identical and host-column-free.
+  const auto export_json = [&](const ReplayOptions& o) {
+    ReplayEngine e(&trace, o);
+    const ReplayResult r = e.run();
+    obs::CellMetrics cell;
+    cell.app = "fuzz-host";
+    cell.nranks = nranks;
+    cell.managed = obs::collect_replay_metrics(e, r, power);
+    std::ostringstream os;
+    obs::write_metrics_json(os, {cell});
+    return os.str();
+  };
+  ReplayOptions off_default = opt;
+  off_default.host = HostPowerConfig{};
+  ReplayOptions off_scrambled = opt;
+  HostPowerConfig inert;  // Off policy, no cap: enabled() stays false
+  inert.cap_epoch =
+      TimeNs::from_us(rng.uniform_int(std::int64_t{50}, std::int64_t{2000}));
+  inert.dynamic_uj_per_call = rng.uniform(0.1, 9.0);
+  off_scrambled.host = inert;
+  const std::string ja = export_json(off_default);
+  const std::string jb = export_json(off_scrambled);
+  if (ja != jb) {
+    return fail("a disabled host config leaked into the default exports");
+  }
+  if (ja.find("\"hosts\"") != std::string::npos) {
+    return fail("host rows present in a host-off export");
+  }
+
+  // (c) Sharded legs: host + cap must stay bit-identical to serial (exec,
+  // finishes, full telemetry including host energies), audit clean, and
+  // keep the cap invariant under the per-shard allocation cache.
+  for (const int shards : {2, 4}) {
+    ReplayOptions sopt = opt;
+    sopt.shards = shards;
+    ReplayEngine se(&trace, sopt);
+    const ReplayResult srr = se.run();
+    const std::string leg = "shards=" + std::to_string(shards);
+    if (const std::string err = se.audit_drain(); !err.empty()) {
+      return fail(leg + " drain audit: " + err);
+    }
+    if (const std::string err = audit_replay(se, power); !err.empty()) {
+      return fail(leg + " invariant audit: " + err);
+    }
+    if (capped) {
+      if (const std::string err = audit_cluster_cap(se); !err.empty()) {
+        return fail(leg + " cap invariant: " + err);
+      }
+    }
+    if (srr.exec_time != rr.exec_time || srr.rank_finish != rr.rank_finish ||
+        srr.messages_sent != rr.messages_sent) {
+      return fail(leg + " diverged from the serial host run");
+    }
+    const obs::ReplayMetrics sm = obs::collect_replay_metrics(se, srr, power);
+    if (sm != serial) {
+      return fail(leg + " telemetry snapshot diverged from serial");
+    }
+  }
+
+  if (g_verbose) {
+    std::printf("  seed %" PRIu64 ": host ok (%d ranks, links %s, cap "
+                "%.0f W)\n",
+                seed, nranks,
+                opt.enable_power_management ? "managed" : "off",
+                host.power_cap_watts);
+  }
+  return std::nullopt;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -1617,6 +1859,12 @@ int main(int argc, char** argv) {
       return 1;
     }
     if (const auto failure = run_predictor_tier(seed, rng)) {
+      std::fprintf(stderr, "fuzz_replay: seed %" PRIu64 " FAILED [%s]: %s\n",
+                   failure->seed, failure->phase.c_str(),
+                   failure->message.c_str());
+      return 1;
+    }
+    if (const auto failure = run_host_tier(seed, rng)) {
       std::fprintf(stderr, "fuzz_replay: seed %" PRIu64 " FAILED [%s]: %s\n",
                    failure->seed, failure->phase.c_str(),
                    failure->message.c_str());

@@ -292,8 +292,43 @@ bool predictor_from(const Args& args, PredictorConfig& pred) {
   return true;
 }
 
+/// Apply --host-policy / --host-pstates / --power-cap / --cap-epoch-us
+/// (DESIGN.md §15) to the host co-management config. Returns false (with a
+/// diagnostic) on unknown names or malformed tables.
+bool host_from(const Args& args, HostPowerConfig& host) {
+  if (const std::string name = args.get("host-policy"); !name.empty()) {
+    if (!parse_host_policy(name, &host.policy)) {
+      std::fprintf(stderr, "unknown --host-policy '%s' (off|countdown)\n",
+                   name.c_str());
+      return false;
+    }
+  }
+  if (const std::string spec = args.get("host-pstates"); !spec.empty()) {
+    if (!parse_host_pstates(spec, &host)) {
+      std::fprintf(stderr,
+                   "bad --host-pstates '%s' (want watts:speed,... fastest "
+                   "first, e.g. 90:1.0,65:0.8,45:0.6)\n",
+                   spec.c_str());
+      return false;
+    }
+  }
+  if (args.has("power-cap")) {
+    host.power_cap_watts = args.getd("power-cap", 0.0);
+  }
+  if (args.has("cap-epoch-us")) {
+    host.cap_epoch = TimeNs::from_us(args.getd("cap-epoch-us", 500.0));
+  }
+  if (host.enabled() && !host.valid()) {
+    std::fprintf(stderr,
+                 "invalid host config (check --host-pstates ordering and "
+                 "--cap-epoch-us > 0)\n");
+    return false;
+  }
+  return true;
+}
+
 void print_result(const ExperimentResult& r, const FabricConfig& fabric,
-                  const PpaConfig& ppa) {
+                  const PpaConfig& ppa, const HostPowerConfig& host) {
   std::printf("baseline time        : %s\n", to_string(r.baseline_time).c_str());
   std::printf("managed time         : %s (%+.3f%%)\n",
               to_string(r.managed_time).c_str(), r.time_increase_pct);
@@ -331,6 +366,30 @@ void print_result(const ExperimentResult& r, const FabricConfig& fabric,
     std::printf("mispredict wakes     : %llu (guard suppressed %llu)\n",
                 static_cast<unsigned long long>(r.agents.mispredict_wakes),
                 static_cast<unsigned long long>(r.agents.guard_suppressed));
+  }
+  // Host co-management lines only when the subsystem ran: default-off
+  // output stays byte-identical to the pre-host CLI (DESIGN.md §15).
+  if (host.enabled()) {
+    if (host.power_cap_watts > 0.0) {
+      std::printf("host policy          : %s (cap %.1f W, epoch %s)\n",
+                  host_policy_name(host.policy), host.power_cap_watts,
+                  to_string(host.cap_epoch).c_str());
+    } else {
+      std::printf("host policy          : %s\n",
+                  host_policy_name(host.policy));
+    }
+    std::printf("host energy savings  : %.2f%%\n", r.hosts.savings_pct);
+    std::printf("host sleep residency : %.1f%%\n",
+                100.0 * r.hosts.mean_sleep_residency);
+    std::printf("host wakes           : %llu on-demand (penalty %s), "
+                "%llu P-state changes\n",
+                static_cast<unsigned long long>(r.hosts.on_demand_wakes),
+                to_string(r.hosts.wake_penalty_total).c_str(),
+                static_cast<unsigned long long>(r.hosts.pstate_changes));
+    std::printf("system energy        : %.3f J (always-on %.3f J, "
+                "savings %.2f%%)\n",
+                r.system_energy_joules, r.system_baseline_energy_joules,
+                r.system_savings_pct);
   }
 }
 
@@ -420,6 +479,7 @@ int cmd_replay(const Args& args) {
     opt.ppa = ppa_from(args, trace.app_name(), trace.nranks());
     if (!predictor_from(args, opt.ppa.predictor)) return 2;
   }
+  if (!host_from(args, opt.host)) return 2;
   opt.shards = shards_from(args);
   // --split-energy: report static (mode-residency) and dynamic (per-bit)
   // link energy separately in the telemetry snapshot (DESIGN.md §12).
@@ -467,6 +527,17 @@ int cmd_replay(const Args& args) {
     std::printf("savings      : %.2f%%\n", fleet.switch_savings_pct);
     std::printf("hit rate     : %.1f%%\n", rr.agent_total.hit_rate_pct());
   }
+  // Host co-management summary only when the subsystem ran (DESIGN.md §15).
+  if (engine.host(0) != nullptr) {
+    std::vector<const HostPowerModel*> hosts;
+    for (Rank r = 0; r < trace.nranks(); ++r) hosts.push_back(engine.host(r));
+    const HostFleetSummary fleet = aggregate_hosts(hosts);
+    std::printf("host policy  : %s%s\n", host_policy_name(opt.host.policy),
+                opt.host.power_cap_watts > 0.0 ? " (capped)" : "");
+    std::printf("host savings : %.2f%%\n", fleet.savings_pct);
+    std::printf("host energy  : %.3f J (always-on %.3f J)\n",
+                fleet.total_energy_joules, fleet.baseline_energy_joules);
+  }
   return 0;
 }
 
@@ -477,6 +548,7 @@ int cmd_run(const Args& args) {
   cfg.ppa = ppa_from(args, cfg.app, cfg.workload.nranks);
   if (!predictor_from(args, cfg.ppa.predictor)) return 2;
   if (!fabric_from(args, cfg.fabric)) return 2;
+  if (!host_from(args, cfg.host)) return 2;
   cfg.shards = shards_from(args);
   std::printf("%s @ %d ranks, %d iterations, GT %s, displacement %.1f%%\n\n",
               cfg.app.c_str(), cfg.workload.nranks, cfg.workload.iterations,
@@ -487,11 +559,11 @@ int cmd_run(const Args& args) {
   if (wants_telemetry(args)) {
     const std::vector<obs::InstrumentedResult> inst =
         obs::run_instrumented_grid(runner, {cfg});
-    print_result(inst[0].result, cfg.fabric, cfg.ppa);
+    print_result(inst[0].result, cfg.fabric, cfg.ppa, cfg.host);
     print_speedup(runner, ms_since(t0));
     return export_telemetry(args, {obs::make_cell_metrics(cfg, inst[0])});
   }
-  print_result(runner.run(cfg), cfg.fabric, cfg.ppa);
+  print_result(runner.run(cfg), cfg.fabric, cfg.ppa, cfg.host);
   print_speedup(runner, ms_since(t0));
   return 0;
 }
@@ -612,6 +684,15 @@ int cmd_grid(const Args& args) {
       cfg.ppa.displacement_factor = disp;
       if (!predictor_from(args, cfg.ppa.predictor)) return 2;
       if (!fabric_from(args, cfg.fabric)) return 2;
+      if (!host_from(args, cfg.host)) return 2;
+      // Scale cells (the stressors' 512-rank rung) outgrow the default
+      // 252-node XGFT; absent an explicit --xgft, place them on a 3-level
+      // tree of 64-node groups sized to the cell.
+      if (!args.has("xgft") &&
+          nranks > cfg.fabric.xgft.m1 * cfg.fabric.xgft.m2 *
+                       cfg.fabric.xgft.m3) {
+        cfg.fabric.xgft = XgftParams{8, 8, 1, 4, (nranks + 63) / 64, 2};
+      }
       cfg.shards = shards_from(args);
       cfgs.push_back(std::move(cfg));
       LabelledResult row;
@@ -762,6 +843,12 @@ int usage() {
                "          predictor; default ppa) --guard-us US\n"
                "          (COUNTDOWN-Slack guard: sleep only when the\n"
                "          predicted idle exceeds US)\n"
+               "  host (run/replay/grid): --host-policy off|countdown\n"
+               "          (per-rank CPU sleep driven by the same idle\n"
+               "          predictor stream as the link) --host-pstates\n"
+               "          watts:speed,... (DVFS table, fastest first)\n"
+               "          --power-cap W (cluster-wide budget, slack watts\n"
+               "          redistributed per epoch) --cap-epoch-us US\n"
                "  gen:    --out FILE          replay: --trace FILE [--managed]\n"
                "  grid:   --out FILE.csv|.json  (full paper evaluation grid)\n"
                "          --stressors (amr/ml_train/bursty ablation grid)\n"
